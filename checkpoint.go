@@ -1,0 +1,176 @@
+package streamkm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/rng"
+)
+
+// Checkpoint support for long-running streaming jobs: a StreamClusterer
+// can serialize its complete state — retained chunk summaries, the
+// buffered tail, and the random-generator state — and be resumed later
+// (or on another machine) with bit-identical behaviour. This is the
+// library's answer to Conquest's query-migration capability (§4).
+//
+// Layout (little-endian):
+//
+//	magic    [4]byte "SKMC"
+//	version  uint16
+//	dim      uint16
+//	pushed   uint64
+//	partialT int64 (accumulated partial time, ns)
+//	rng      uint16 length + bytes (rng.RNG.MarshalBinary)
+//	parts    uint32 count, then each as a weighted-set block
+//	buffer   one weighted-set block (unit weights; may be empty)
+const (
+	checkpointMagic   = "SKMC"
+	checkpointVersion = 1
+)
+
+// ErrBadCheckpoint is wrapped by checkpoint decoding errors.
+var ErrBadCheckpoint = errors.New("streamkm: malformed checkpoint")
+
+// Checkpoint serializes the clusterer's state. It may be called between
+// any two Pushes; it must not be called after Finish.
+func (s *StreamClusterer) Checkpoint(w io.Writer) error {
+	if s.finished {
+		return errors.New("streamkm: Checkpoint after Finish")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(checkpointMagic); err != nil {
+		return err
+	}
+	for _, v := range []any{
+		uint16(checkpointVersion),
+		uint16(s.dim),
+		uint64(s.pushed),
+		int64(s.partialT),
+	} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	state, err := s.rng.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(len(state))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(state); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(s.parts))); err != nil {
+		return err
+	}
+	for _, part := range s.parts {
+		if err := dataset.EncodeWeightedSet(bw, part); err != nil {
+			return err
+		}
+	}
+	if err := dataset.EncodeWeightedSet(bw, dataset.Unweighted(s.buffer)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ResumeStreamClusterer reconstructs a clusterer from a checkpoint. The
+// caller supplies the same Options used originally (the checkpoint holds
+// data, not configuration); dimension and option validity are checked.
+func ResumeStreamClusterer(r io.Reader, opts Options) (*StreamClusterer, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+	if string(magic) != checkpointMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadCheckpoint, magic)
+	}
+	var version, dim uint16
+	var pushed uint64
+	var partialT int64
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+	if version != checkpointVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadCheckpoint, version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &dim); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+	if dim == 0 {
+		return nil, fmt.Errorf("%w: zero dimension", ErrBadCheckpoint)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &pushed); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+	if pushed > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: implausible push count %d", ErrBadCheckpoint, pushed)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &partialT); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+	var stateLen uint16
+	if err := binary.Read(br, binary.LittleEndian, &stateLen); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+	state := make([]byte, stateLen)
+	if _, err := io.ReadFull(br, state); err != nil {
+		return nil, fmt.Errorf("%w: truncated rng state: %v", ErrBadCheckpoint, err)
+	}
+	restored := rng.New(0)
+	if err := restored.UnmarshalBinary(state); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+
+	sc, err := NewStreamClusterer(int(dim), opts)
+	if err != nil {
+		return nil, err
+	}
+	sc.rng = restored
+	sc.pushed = int(pushed)
+	sc.partialT = time.Duration(partialT)
+
+	var nParts uint32
+	if err := binary.Read(br, binary.LittleEndian, &nParts); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+	if nParts > 1<<24 {
+		return nil, fmt.Errorf("%w: implausible part count %d", ErrBadCheckpoint, nParts)
+	}
+	for i := uint32(0); i < nParts; i++ {
+		part, err := dataset.DecodeWeightedSet(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: part %d: %v", ErrBadCheckpoint, i, err)
+		}
+		if part.Dim() != int(dim) {
+			return nil, fmt.Errorf("%w: part %d has dim %d", ErrBadCheckpoint, i, part.Dim())
+		}
+		sc.parts = append(sc.parts, part)
+	}
+	bufSet, err := dataset.DecodeWeightedSet(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: buffer: %v", ErrBadCheckpoint, err)
+	}
+	if bufSet.Dim() != int(dim) {
+		return nil, fmt.Errorf("%w: buffer dim %d", ErrBadCheckpoint, bufSet.Dim())
+	}
+	buffer, err := dataset.NewSet(int(dim))
+	if err != nil {
+		return nil, err
+	}
+	for _, wp := range bufSet.Points() {
+		if err := buffer.Add(wp.Vec); err != nil {
+			return nil, err
+		}
+	}
+	sc.buffer = buffer
+	return sc, nil
+}

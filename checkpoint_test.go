@@ -1,0 +1,197 @@
+package streamkm
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestCheckpointResumeIsBitIdentical(t *testing.T) {
+	opts := Options{K: 6, Restarts: 3, ChunkPoints: 90, Seed: 13}
+	pts := blobPoints(700)
+
+	// Reference run: straight through.
+	ref, err := NewStreamClusterer(2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if err := ref.Push(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := ref.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Checkpointed run: stop mid-stream (between chunks AND mid-buffer),
+	// serialize, resume, continue.
+	cut := 400 // 4 full chunks + 40 buffered points
+	first, err := NewStreamClusterer(2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts[:cut] {
+		if err := first.Push(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := first.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := ResumeStreamClusterer(bytes.NewReader(buf.Bytes()), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Pushed() != cut || resumed.Partials() != 4 {
+		t.Fatalf("resumed state: pushed=%d partials=%d", resumed.Pushed(), resumed.Partials())
+	}
+	for _, p := range pts[cut:] {
+		if err := resumed.Push(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := resumed.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.MergeMSE != want.MergeMSE {
+		t.Fatalf("resumed MergeMSE %g != reference %g", got.MergeMSE, want.MergeMSE)
+	}
+	if len(got.Centroids) != len(want.Centroids) {
+		t.Fatalf("centroid counts differ")
+	}
+	for i := range want.Centroids {
+		for d := range want.Centroids[i] {
+			if got.Centroids[i][d] != want.Centroids[i][d] {
+				t.Fatalf("centroid %d differs after resume", i)
+			}
+		}
+	}
+	var w float64
+	for _, x := range got.Weights {
+		w += x
+	}
+	if math.Abs(w-700) > 1e-6 {
+		t.Fatalf("resumed run lost data: weight %g", w)
+	}
+}
+
+func TestCheckpointAfterFinishRejected(t *testing.T) {
+	sc, err := NewStreamClusterer(2, Options{K: 2, Restarts: 1, ChunkPoints: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range blobPoints(20) {
+		if err := sc.Push(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sc.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sc.Checkpoint(&buf); err == nil {
+		t.Fatal("Checkpoint after Finish should error")
+	}
+}
+
+func TestResumeRejectsCorruption(t *testing.T) {
+	opts := Options{K: 3, Restarts: 2, ChunkPoints: 50, Seed: 3}
+	sc, err := NewStreamClusterer(2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range blobPoints(120) {
+		if err := sc.Push(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := sc.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":        {},
+		"bad magic":    append([]byte("XXXX"), good[4:]...),
+		"bad version":  func() []byte { b := append([]byte{}, good...); b[4] = 9; return b }(),
+		"truncated":    good[:len(good)-5],
+		"flipped data": func() []byte { b := append([]byte{}, good...); b[len(b)-10] ^= 0x40; return b }(),
+	}
+	for name, data := range cases {
+		if _, err := ResumeStreamClusterer(bytes.NewReader(data), opts); err == nil {
+			t.Errorf("%s: corruption not detected", name)
+		}
+	}
+}
+
+// failingWriter errors after n bytes, exercising every write branch.
+type failingWriter struct{ remaining int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.remaining <= 0 {
+		return 0, errWriterFull
+	}
+	if len(p) > w.remaining {
+		n := w.remaining
+		w.remaining = 0
+		return n, errWriterFull
+	}
+	w.remaining -= len(p)
+	return len(p), nil
+}
+
+type sentinelError string
+
+func (e sentinelError) Error() string { return string(e) }
+
+const errWriterFull = sentinelError("writer full")
+
+func TestCheckpointPropagatesWriteErrors(t *testing.T) {
+	opts := Options{K: 3, Restarts: 2, ChunkPoints: 50, Seed: 3}
+	sc, err := NewStreamClusterer(2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range blobPoints(120) {
+		if err := sc.Push(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var full bytes.Buffer
+	if err := sc.Checkpoint(&full); err != nil {
+		t.Fatal(err)
+	}
+	// Fail at every prefix length; Checkpoint must surface an error for
+	// each truncation point rather than silently writing a short file.
+	for n := 0; n < full.Len(); n += 97 {
+		if err := sc.Checkpoint(&failingWriter{remaining: n}); err == nil {
+			t.Fatalf("no error when writer fails after %d bytes", n)
+		}
+	}
+}
+
+func TestResumeValidatesOptions(t *testing.T) {
+	opts := Options{K: 3, Restarts: 2, ChunkPoints: 50, Seed: 3}
+	sc, err := NewStreamClusterer(2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Push([]float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sc.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	bad := opts
+	bad.ChunkPoints = 0
+	if _, err := ResumeStreamClusterer(bytes.NewReader(buf.Bytes()), bad); err == nil {
+		t.Fatal("invalid options should be rejected at resume")
+	}
+}

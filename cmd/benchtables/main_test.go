@@ -1,0 +1,60 @@
+package main
+
+import (
+	"testing"
+
+	"streamkm/internal/bench"
+	"streamkm/internal/dataset"
+)
+
+// microWorkload keeps the CLI tests fast.
+func microWorkload() bench.Workload {
+	spec := dataset.DefaultCellSpec()
+	spec.Clusters = 5
+	return bench.Workload{
+		Sizes:    []int{150, 400},
+		Dim:      4,
+		K:        5,
+		Restarts: 1,
+		Versions: 1,
+		Seed:     3,
+		Spec:     spec,
+	}
+}
+
+func TestRunEveryExperiment(t *testing.T) {
+	w := microWorkload()
+	exps := []string{
+		"table2", "figure6", "figure7", "figure8",
+		"speedup", "merge-mode", "merge-seeding", "partial-seeding",
+		"slicing", "ecvq", "accel", "memory", "chunk-size",
+		"agreement", "distributed", "baselines",
+	}
+	for _, exp := range exps {
+		exp := exp
+		t.Run(exp, func(t *testing.T) {
+			if err := run(exp, w, 400, 2); err != nil {
+				t.Fatalf("%s: %v", exp, err)
+			}
+		})
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nope", microWorkload(), 400, 2); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestPaperishCases(t *testing.T) {
+	big := bench.PaperWorkload()
+	cases := paperishCases(big)
+	if len(cases) != 3 || cases[1].Splits != 5 || cases[2].Splits != 10 {
+		t.Fatalf("paper cases wrong: %+v", cases)
+	}
+	small := microWorkload()
+	cases = paperishCases(small)
+	if len(cases) != 3 || cases[1].Splits != 2 || cases[2].Splits != 4 {
+		t.Fatalf("quick cases wrong: %+v", cases)
+	}
+}

@@ -1,0 +1,142 @@
+// Command compress turns clustered grid buckets into multivariate
+// histogram files (.skmh) — the paper's compression product (§1) — and
+// answers range queries from the compressed form.
+//
+//	compress -data data -out hist -k 40                # compress all cells
+//	compress -query hist/N34W118.skmh -dim0 0:10       # estimate mass in a range
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"streamkm/internal/core"
+	"streamkm/internal/grid"
+	"streamkm/internal/histogram"
+	"streamkm/internal/vector"
+)
+
+func main() {
+	var (
+		data     = flag.String("data", "data", "directory of .skmb bucket files")
+		out      = flag.String("out", "hist", "output directory for .skmh histogram files")
+		k        = flag.Int("k", 40, "clusters (= histogram buckets) per cell")
+		restarts = flag.Int("restarts", 10, "seed sets per partition")
+		splits   = flag.Int("splits", 5, "partitions per cell")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		query    = flag.String("query", "", "a .skmh file to range-query instead of compressing")
+		ranges   = flag.String("range", "", "comma-separated per-dim ranges lo:hi (empty dim = unbounded), e.g. '0:10,,-5:5'")
+	)
+	flag.Parse()
+	var err error
+	if *query != "" {
+		err = runQuery(*query, *ranges)
+	} else {
+		err = runCompress(*data, *out, *k, *restarts, *splits, *seed)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compress:", err)
+		os.Exit(1)
+	}
+}
+
+func runCompress(data, out string, k, restarts, splits int, seed uint64) error {
+	index, err := grid.IndexDir(data)
+	if err != nil {
+		return err
+	}
+	if len(index) == 0 {
+		return fmt.Errorf("no bucket files in %s", data)
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	for _, entry := range index {
+		key, set, err := grid.ReadBucketFile(entry.Path)
+		if err != nil {
+			return err
+		}
+		res, err := core.Cluster(set, core.Options{
+			K: k, Restarts: restarts, Splits: splits, Seed: seed,
+		})
+		if err != nil {
+			return fmt.Errorf("cell %v: %w", key, err)
+		}
+		h, err := histogram.Build(set, res.Centroids)
+		if err != nil {
+			return fmt.Errorf("cell %v: %w", key, err)
+		}
+		path := filepath.Join(out, key.String()+".skmh")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := h.Encode(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d points -> %d buckets, %.1fx compression, point MSE %.2f\n",
+			key, set.Len(), len(h.Buckets()), h.CompressionRatio(set.Len()), res.PointMSE)
+	}
+	return nil
+}
+
+func runQuery(path, ranges string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h, err := histogram.Decode(f)
+	if err != nil {
+		return err
+	}
+	lo := vector.New(h.Dim())
+	hi := vector.New(h.Dim())
+	for d := 0; d < h.Dim(); d++ {
+		lo[d], hi[d] = math.Inf(-1), math.Inf(1)
+	}
+	if ranges != "" {
+		parts := strings.Split(ranges, ",")
+		if len(parts) > h.Dim() {
+			return fmt.Errorf("%d ranges for a %d-dimensional histogram", len(parts), h.Dim())
+		}
+		for d, spec := range parts {
+			spec = strings.TrimSpace(spec)
+			if spec == "" {
+				continue
+			}
+			bounds := strings.SplitN(spec, ":", 2)
+			if len(bounds) != 2 {
+				return fmt.Errorf("bad range %q (want lo:hi)", spec)
+			}
+			if bounds[0] != "" {
+				if lo[d], err = strconv.ParseFloat(bounds[0], 64); err != nil {
+					return fmt.Errorf("bad range %q: %v", spec, err)
+				}
+			}
+			if bounds[1] != "" {
+				if hi[d], err = strconv.ParseFloat(bounds[1], 64); err != nil {
+					return fmt.Errorf("bad range %q: %v", spec, err)
+				}
+			}
+		}
+	}
+	est, err := h.EstimateRange(lo, hi)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("histogram: dim %d, %d buckets, total mass %.0f\n", h.Dim(), len(h.Buckets()), h.Total())
+	fmt.Printf("estimated mass in range: %.1f (%.1f%% of total)\n", est, 100*est/h.Total())
+	mean := h.Mean()
+	fmt.Printf("cell mean (from compressed form): %v\n", mean)
+	return nil
+}

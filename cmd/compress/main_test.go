@@ -1,0 +1,69 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/grid"
+)
+
+func TestCompressAndQuery(t *testing.T) {
+	data := t.TempDir()
+	spec := dataset.DefaultCellSpec()
+	spec.Clusters = 4
+	spec.Dim = 3
+	set, err := dataset.GenerateCell(spec, 300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := grid.CellKey{Lat: 10, Lon: 10}
+	if err := grid.WriteBucketFile(filepath.Join(data, grid.BucketFileName(key)), key, set); err != nil {
+		t.Fatal(err)
+	}
+	out := t.TempDir()
+	if err := runCompress(data, out, 4, 2, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	histPath := filepath.Join(out, key.String()+".skmh")
+	if err := runQuery(histPath, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := runQuery(histPath, "0:5,,-1:1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressErrors(t *testing.T) {
+	if err := runCompress(t.TempDir(), t.TempDir(), 4, 2, 2, 1); err == nil {
+		t.Fatal("empty data dir should error")
+	}
+	if err := runQuery(filepath.Join(t.TempDir(), "missing.skmh"), ""); err == nil {
+		t.Fatal("missing histogram should error")
+	}
+}
+
+func TestQueryBadRanges(t *testing.T) {
+	data := t.TempDir()
+	spec := dataset.DefaultCellSpec()
+	spec.Clusters = 2
+	spec.Dim = 2
+	set, err := dataset.GenerateCell(spec, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := grid.CellKey{Lat: 0, Lon: 0}
+	if err := grid.WriteBucketFile(filepath.Join(data, grid.BucketFileName(key)), key, set); err != nil {
+		t.Fatal(err)
+	}
+	out := t.TempDir()
+	if err := runCompress(data, out, 2, 1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	histPath := filepath.Join(out, key.String()+".skmh")
+	for _, bad := range []string{"1:2:3", "x:2", "1:y", "1:2,3:4,5:6"} {
+		if err := runQuery(histPath, bad); err == nil {
+			t.Fatalf("range %q should error", bad)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Command datagen synthesizes MISR-like grid-bucket files for the other
+// tools to cluster. Two modes:
+//
+//	-mode cells  (default) generates independent Gaussian-mixture cells
+//	             with the paper's characteristics (6-D points, latent
+//	             cluster structure), one bucket file per cell.
+//	-mode swath  simulates a polar-orbiting instrument (Fig. 1 of the
+//	             paper), buckets the swath measurements into 1°x1° grid
+//	             cells, and writes every cell with at least -minpoints
+//	             points.
+//
+// Example:
+//
+//	datagen -out data/ -cells 4 -points 20000 -seed 7
+//	datagen -out data/ -mode swath -orbits 16 -minpoints 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/grid"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "data", "output directory for .skmb bucket files")
+		mode      = flag.String("mode", "cells", "generation mode: cells or swath")
+		cells     = flag.Int("cells", 4, "cells mode: number of cells to generate")
+		points    = flag.Int("points", 20000, "cells mode: points per cell (the paper's typical monthly cell)")
+		dim       = flag.Int("dim", 6, "attribute dimensionality")
+		clusters  = flag.Int("clusters", 40, "cells mode: latent clusters per cell")
+		seed      = flag.Uint64("seed", 2004, "random seed")
+		orbits    = flag.Int("orbits", 16, "swath mode: orbits to simulate")
+		perOrbit  = flag.Int("per-orbit", 5000, "swath mode: measurements per orbit")
+		minPoints = flag.Int("minpoints", 200, "swath mode: minimum points for a cell to be written")
+	)
+	flag.Parse()
+	if err := run(*out, *mode, *cells, *points, *dim, *clusters, *seed, *orbits, *perOrbit, *minPoints); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, mode string, cells, points, dim, clusters int, seed uint64, orbits, perOrbit, minPoints int) error {
+	switch mode {
+	case "cells":
+		return genCells(out, cells, points, dim, clusters, seed)
+	case "swath":
+		return genSwath(out, dim, seed, orbits, perOrbit, minPoints)
+	case "rawswaths":
+		return genRawSwaths(out, dim, seed, orbits, perOrbit)
+	default:
+		return fmt.Errorf("unknown mode %q (want cells, swath, or rawswaths)", mode)
+	}
+}
+
+func genCells(out string, cells, points, dim, clusters int, seed uint64) error {
+	spec := dataset.DefaultCellSpec()
+	spec.Dim = dim
+	spec.Clusters = clusters
+	for i := 0; i < cells; i++ {
+		set, err := dataset.GenerateCell(spec, points, seed+uint64(i))
+		if err != nil {
+			return err
+		}
+		key := grid.CellKey{Lat: i / 180, Lon: i%180 - 90}
+		path := filepath.Join(out, grid.BucketFileName(key))
+		if err := grid.WriteBucketFile(path, key, set); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d points, dim %d\n", path, set.Len(), set.Dim())
+	}
+	return nil
+}
+
+// genRawSwaths writes one .skms swath file per simulated orbit — the
+// "complex, semi-structured files" input for cmd/swathsort.
+func genRawSwaths(out string, dim int, seed uint64, orbits, perOrbit int) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	spec := grid.DefaultSwathSpec()
+	spec.Dim = dim
+	spec.Orbits = orbits
+	spec.PointsPerOrbit = perOrbit
+	model := grid.GeoGradientModel{Dim: dim, Noise: 0.8, Scale: 10}
+	pts, err := grid.SimulateSwaths(spec, model, seed)
+	if err != nil {
+		return err
+	}
+	for orbit := 0; orbit < orbits; orbit++ {
+		path := filepath.Join(out, fmt.Sprintf("orbit%03d.skms", orbit))
+		chunk := pts[orbit*perOrbit : (orbit+1)*perOrbit]
+		if err := grid.WriteSwathFile(path, dim, chunk); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d swath files (%d measurements each) to %s\n", orbits, perOrbit, out)
+	return nil
+}
+
+func genSwath(out string, dim int, seed uint64, orbits, perOrbit, minPoints int) error {
+	spec := grid.DefaultSwathSpec()
+	spec.Dim = dim
+	spec.Orbits = orbits
+	spec.PointsPerOrbit = perOrbit
+	model := grid.GeoGradientModel{Dim: dim, Noise: 0.8, Scale: 10}
+	pts, err := grid.SimulateSwaths(spec, model, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulated %d measurements over %d orbits\n", len(pts), orbits)
+	cellMap, err := grid.Bucketize(pts)
+	if err != nil {
+		return err
+	}
+	sets, err := grid.BucketizeToSets(cellMap)
+	if err != nil {
+		return err
+	}
+	written := 0
+	for key, set := range sets {
+		if set.Len() < minPoints {
+			continue
+		}
+		path := filepath.Join(out, grid.BucketFileName(key))
+		if err := grid.WriteBucketFile(path, key, set); err != nil {
+			return err
+		}
+		written++
+	}
+	fmt.Printf("wrote %d cells (of %d touched) with >= %d points to %s\n",
+		written, len(sets), minPoints, out)
+	return nil
+}

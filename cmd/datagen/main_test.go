@@ -1,0 +1,75 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"streamkm/internal/grid"
+)
+
+func TestRunCellsMode(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, "cells", 2, 200, 4, 5, 7, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	index, err := grid.IndexDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(index) != 2 {
+		t.Fatalf("wrote %d cells", len(index))
+	}
+	for _, e := range index {
+		if e.Count != 200 || e.Dim != 4 {
+			t.Fatalf("entry %+v", e)
+		}
+	}
+}
+
+func TestRunSwathMode(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, "swath", 0, 0, 6, 0, 7, 16, 5000, 30); err != nil {
+		t.Fatal(err)
+	}
+	index, err := grid.IndexDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(index) == 0 {
+		t.Fatal("swath mode wrote no cells")
+	}
+	for _, e := range index {
+		if e.Count < 30 {
+			t.Fatalf("cell below minpoints: %+v", e)
+		}
+	}
+}
+
+func TestRunRawSwathsMode(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, "rawswaths", 0, 0, 3, 0, 9, 2, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.skms"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("wrote %d swath files", len(files))
+	}
+	// Sort them into buckets to prove the pipeline connects.
+	out := filepath.Join(dir, "buckets")
+	stats, err := grid.SortSwathsToBuckets(files, out, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PointsScanned != 200 {
+		t.Fatalf("scanned %d points", stats.PointsScanned)
+	}
+}
+
+func TestRunUnknownMode(t *testing.T) {
+	if err := run(t.TempDir(), "nope", 1, 1, 1, 1, 1, 1, 1, 1); err == nil {
+		t.Fatal("unknown mode should error")
+	}
+}

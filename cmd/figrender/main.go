@@ -1,0 +1,48 @@
+// Command figrender runs the Table 2 sweep once and renders Figures 6-8
+// (columns plus ASCII plots) from it — a single-sweep alternative to
+// three separate benchtables invocations.
+//
+//	figrender          # laptop-scale workload
+//	figrender -full    # the paper's exact sweep (minutes on one core)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"streamkm/internal/bench"
+)
+
+func main() {
+	full := flag.Bool("full", false, "use the paper's full workload")
+	flag.Parse()
+	w := bench.QuickWorkload()
+	cases := []bench.Case{
+		{Name: "serial", Splits: 0},
+		{Name: "2split", Splits: 2},
+		{Name: "4split", Splits: 4},
+	}
+	if *full {
+		w = bench.PaperWorkload()
+		cases = bench.PaperCases()
+	}
+	rows, err := bench.RunTable2(w, cases)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figrender:", err)
+		os.Exit(1)
+	}
+	for _, f := range []struct {
+		title  string
+		series []bench.FigureSeries
+	}{
+		{"Figure 6: overall execution time, serial vs partial/merge", bench.Figure6(rows)},
+		{"Figure 7: minimum MSE, serial vs partial/merge", bench.Figure7(rows)},
+		{"Figure 8: partial k-means time by split count", bench.Figure8(rows)},
+	} {
+		fmt.Printf("=== %s ===\n", f.title)
+		fmt.Print(bench.FormatFigure(f.title, f.series))
+		fmt.Print(bench.ASCIIPlot(f.title, f.series, 64, 16))
+		fmt.Println()
+	}
+}

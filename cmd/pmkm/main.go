@@ -1,0 +1,222 @@
+// Command pmkm clusters grid-bucket files with partial/merge k-means
+// through the query engine: the optimizer sizes chunks from the memory
+// budget and picks the partial-operator clone count from the worker
+// budget, then the executor runs the pipelined plan over all cells.
+//
+// Example:
+//
+//	pmkm -data data/ -k 40 -restarts 10 -mem 64MB -workers 4
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"streamkm"
+	"streamkm/internal/dataset"
+	"streamkm/internal/engine"
+	"streamkm/internal/grid"
+)
+
+func main() {
+	var (
+		data      = flag.String("data", "data", "directory of .skmb bucket files")
+		k         = flag.Int("k", 40, "clusters per cell")
+		restarts  = flag.Int("restarts", 10, "seed sets per partition")
+		mem       = flag.String("mem", "8MB", "memory budget for one partial operator (e.g. 512KB, 8MB)")
+		workers   = flag.Int("workers", 4, "worker budget for cloned operators")
+		strategy  = flag.String("strategy", "random", "slicing strategy: random, salami, spatial")
+		merge     = flag.String("merge", "collective", "merge mode: collective or incremental")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		explain   = flag.Bool("explain", false, "print the logical and physical plans and exit")
+		adaptive  = flag.Bool("adaptive", false, "start with 1 partial clone and let the re-optimizer scale up under backlog")
+		csvPath   = flag.String("csv", "", "cluster a single CSV file of numeric columns instead of a bucket directory")
+		showTrace = flag.Bool("trace", false, "print the operator-span timeline after execution")
+	)
+	flag.Parse()
+	if *csvPath != "" {
+		if err := runCSV(*csvPath, *k, *restarts, *mem, *workers, *strategy, *merge, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "pmkm:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*data, *k, *restarts, *mem, *workers, *strategy, *merge, *seed, *explain, *adaptive, *showTrace); err != nil {
+		fmt.Fprintln(os.Stderr, "pmkm:", err)
+		os.Exit(1)
+	}
+}
+
+// runCSV clusters a single CSV file as one "cell" through the engine,
+// letting the library be tried on arbitrary numeric data.
+func runCSV(path string, k, restarts int, mem string, workers int, strategy, merge string, seed uint64) error {
+	budget, err := parseBytes(mem)
+	if err != nil {
+		return err
+	}
+	strat, err := streamkm.ParseStrategy(strategy)
+	if err != nil {
+		return err
+	}
+	mode, err := streamkm.ParseMergeMode(merge)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	set, err := dataset.ReadCSV(f, dataset.CSVOptions{})
+	closeErr := f.Close()
+	if err != nil {
+		return err
+	}
+	if closeErr != nil {
+		return closeErr
+	}
+	cells := []engine.Cell{{Key: grid.CellKey{}, Points: set}}
+	q := engine.Query{K: k, Restarts: restarts, Strategy: strat, MergeMode: mode, Seed: seed}
+	results, plan, stats, err := engine.Run(context.Background(), cells, q, engine.Resources{
+		MemoryBytes: budget, Workers: workers,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(plan.Explain())
+	r := results[0]
+	fmt.Printf("\n%d points, dim %d -> %d centroids across %d chunks\n",
+		set.Len(), set.Dim(), len(r.Result.Centroids), r.Partitions)
+	fmt.Printf("merge MSE %.4f, point MSE %.4f, elapsed %v\n", r.Result.MSE, r.PointMSE, stats.Elapsed)
+	for i, c := range r.Result.Centroids {
+		fmt.Printf("  w=%10.1f  %v\n", r.Result.Weights[i], c)
+	}
+	return nil
+}
+
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "GB"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "GB")
+	case strings.HasSuffix(s, "MB"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "MB")
+	case strings.HasSuffix(s, "KB"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "KB")
+	case strings.HasSuffix(s, "B"):
+		s = strings.TrimSuffix(s, "B")
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q: %w", s, err)
+	}
+	return n * mult, nil
+}
+
+func run(data string, k, restarts int, mem string, workers int, strategy, merge string, seed uint64, explain, adaptive, showTrace bool) error {
+	budget, err := parseBytes(mem)
+	if err != nil {
+		return err
+	}
+	strat, err := streamkm.ParseStrategy(strategy)
+	if err != nil {
+		return err
+	}
+	mode, err := streamkm.ParseMergeMode(merge)
+	if err != nil {
+		return err
+	}
+	index, err := grid.IndexDir(data)
+	if err != nil {
+		return err
+	}
+	if len(index) == 0 {
+		return fmt.Errorf("no bucket files in %s (run datagen first)", data)
+	}
+	var cells []engine.Cell
+	for _, entry := range index {
+		key, set, err := grid.ReadBucketFile(entry.Path)
+		if err != nil {
+			return err
+		}
+		cells = append(cells, engine.Cell{Key: key, Points: set})
+	}
+	q := engine.Query{
+		K:         k,
+		Restarts:  restarts,
+		Strategy:  strat,
+		MergeMode: mode,
+		Seed:      seed,
+	}
+	if explain {
+		sizes := make([]int, len(cells))
+		for i, c := range cells {
+			sizes[i] = c.Points.Len()
+		}
+		plan, err := engine.Optimize(q, sizes, cells[0].Points.Dim(), engine.Resources{
+			MemoryBytes: budget, Workers: workers,
+		})
+		if err != nil {
+			return err
+		}
+		logical := engine.LogicalFor(q, len(cells), false)
+		fmt.Println("LogicalPlan:")
+		fmt.Print(logical.String())
+		fmt.Println("Annotated:")
+		fmt.Print(logical.AnnotatePhysical(plan).String())
+		fmt.Print(plan.Explain())
+		return nil
+	}
+	var (
+		results []engine.CellResult
+		plan    engine.PhysicalPlan
+		stats   *engine.ExecStats
+		events  []engine.ReoptEvent
+	)
+	if adaptive {
+		sizes := make([]int, len(cells))
+		for i, c := range cells {
+			sizes[i] = c.Points.Len()
+		}
+		plan, err = engine.Optimize(q, sizes, cells[0].Points.Dim(), engine.Resources{
+			MemoryBytes: budget, Workers: workers,
+		})
+		if err != nil {
+			return err
+		}
+		plan.PartialClones = 1 // start minimal; the re-optimizer scales up
+		results, stats, events, err = engine.ExecuteAdaptive(context.Background(), cells, q, plan,
+			engine.ReoptPolicy{MaxClones: workers})
+	} else {
+		results, plan, stats, err = engine.Run(context.Background(), cells, q, engine.Resources{
+			MemoryBytes: budget, Workers: workers,
+		})
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Print(plan.Explain())
+	for _, e := range events {
+		fmt.Println("  reopt:", e)
+	}
+	fmt.Printf("\n%-10s %8s %6s %14s %14s %14s\n",
+		"cell", "points", "chunks", "merge MSE", "point MSE", "partial (ms)")
+	for i, r := range results {
+		fmt.Printf("%-10s %8d %6d %14.2f %14.2f %14d\n",
+			r.Key, cells[i].Points.Len(), r.Partitions, r.Result.MSE, r.PointMSE,
+			r.PartialTime.Milliseconds())
+	}
+	fmt.Printf("\nprocessed %d cells / %d chunks in %v\n", stats.Cells, stats.Chunks, stats.Elapsed)
+	for _, op := range stats.Registry.All() {
+		fmt.Println(" ", op)
+	}
+	if showTrace {
+		fmt.Println()
+		fmt.Print(stats.Trace.Timeline(72))
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/grid"
+)
+
+// writeTestData creates a bucket directory with two small cells.
+func writeTestData(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	spec := dataset.DefaultCellSpec()
+	spec.Clusters = 5
+	spec.Dim = 4
+	for i, key := range []grid.CellKey{{Lat: 1, Lon: 1}, {Lat: 1, Lon: 2}} {
+		set, err := dataset.GenerateCell(spec, 300, uint64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := grid.WriteBucketFile(filepath.Join(dir, grid.BucketFileName(key)), key, set); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestRunHappyPath(t *testing.T) {
+	dir := writeTestData(t)
+	if err := run(dir, 5, 2, "8KB", 2, "random", "collective", 1, false, false, true); err != nil {
+		t.Fatal(err)
+	}
+	// explain-only path
+	if err := run(dir, 5, 2, "8KB", 2, "random", "collective", 1, true, false, false); err != nil {
+		t.Fatal(err)
+	}
+	// adaptive path
+	if err := run(dir, 5, 2, "8KB", 2, "random", "collective", 1, false, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := writeTestData(t)
+	if err := run(dir, 5, 2, "bogus", 2, "random", "collective", 1, false, false, false); err == nil {
+		t.Fatal("bad mem should error")
+	}
+	if err := run(dir, 5, 2, "8KB", 2, "zigzag", "collective", 1, false, false, false); err == nil {
+		t.Fatal("bad strategy should error")
+	}
+	if err := run(dir, 5, 2, "8KB", 2, "random", "eager", 1, false, false, false); err == nil {
+		t.Fatal("bad merge mode should error")
+	}
+	if err := run(t.TempDir(), 5, 2, "8KB", 2, "random", "collective", 1, false, false, false); err == nil {
+		t.Fatal("empty data dir should error")
+	}
+}
+
+func TestRunCSVHappyPath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pts.csv")
+	var rows []byte
+	for i := 0; i < 40; i++ {
+		x := byte('0' + i%10)
+		rows = append(rows, x, ',', x, '\n')
+	}
+	if err := os.WriteFile(path, rows, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCSV(path, 3, 2, "8KB", 2, "random", "collective", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCSV(filepath.Join(t.TempDir(), "missing.csv"), 3, 2, "8KB", 2, "random", "collective", 1); err == nil {
+		t.Fatal("missing csv should error")
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := map[string]int64{
+		"8MB":    8 << 20,
+		"512KB":  512 << 10,
+		"1GB":    1 << 30,
+		"100B":   100,
+		"4096":   4096,
+		" 2 MB ": 2 << 20,
+		"2mb":    2 << 20,
+	}
+	for in, want := range cases {
+		got, err := parseBytes(in)
+		if err != nil {
+			t.Errorf("parseBytes(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("parseBytes(%q) = %d, want %d", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "MB", "x8MB", "8.5MB"} {
+		if _, err := parseBytes(bad); err == nil {
+			t.Errorf("parseBytes(%q) should error", bad)
+		}
+	}
+}

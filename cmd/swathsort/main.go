@@ -1,0 +1,48 @@
+// Command swathsort performs the offline step the paper assumes before
+// clustering (§3.1): scan raw swath files once each and sort their
+// measurements into per-cell grid buckets under a bounded memory budget
+// (spilling to segment files under pressure).
+//
+//	swathsort -swaths 'orbits/*.skms' -out data -budget 100000
+//
+// Raw swath files come from `datagen -mode rawswaths`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"streamkm/internal/grid"
+)
+
+func main() {
+	var (
+		pattern = flag.String("swaths", "orbits/*.skms", "glob of swath files to sort")
+		out     = flag.String("out", "data", "output directory for .skmb buckets")
+		budget  = flag.Int("budget", 100000, "max points buffered in memory (0 = unbounded)")
+	)
+	flag.Parse()
+	if err := run(*pattern, *out, *budget); err != nil {
+		fmt.Fprintln(os.Stderr, "swathsort:", err)
+		os.Exit(1)
+	}
+}
+
+func run(pattern, out string, budget int) error {
+	paths, err := filepath.Glob(pattern)
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no files match %q", pattern)
+	}
+	stats, err := grid.SortSwathsToBuckets(paths, out, budget)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scanned %d points from %d swath files -> %d cell buckets (%d memory spills) in %s\n",
+		stats.PointsScanned, len(paths), stats.CellsWritten, stats.Spills, out)
+	return nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"streamkm/internal/grid"
+	"streamkm/internal/rng"
+	"streamkm/internal/vector"
+)
+
+func TestRunSortsSwaths(t *testing.T) {
+	dir := t.TempDir()
+	r := rng.New(3)
+	pts := make([]grid.GeoPoint, 200)
+	for i := range pts {
+		pts[i] = grid.GeoPoint{
+			Lat:   r.Float64()*160 - 80,
+			Lon:   r.Float64()*340 - 170,
+			Attrs: vector.Of(r.NormFloat64(), r.NormFloat64()),
+		}
+	}
+	if err := grid.WriteSwathFile(filepath.Join(dir, "a.skms"), 2, pts[:100]); err != nil {
+		t.Fatal(err)
+	}
+	if err := grid.WriteSwathFile(filepath.Join(dir, "b.skms"), 2, pts[100:]); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "buckets")
+	if err := run(filepath.Join(dir, "*.skms"), out, 50); err != nil {
+		t.Fatal(err)
+	}
+	index, err := grid.IndexDir(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, e := range index {
+		total += e.Count
+	}
+	if total != 200 {
+		t.Fatalf("buckets hold %d points", total)
+	}
+}
+
+func TestRunNoMatches(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "*.skms"), t.TempDir(), 0); err == nil {
+		t.Fatal("no matches should error")
+	}
+}

@@ -1,0 +1,115 @@
+package streamkm_test
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"streamkm"
+)
+
+// grid9 returns 9 copies each of the 4 corners of a square — trivially
+// clusterable data for deterministic examples.
+func grid9() [][]float64 {
+	var pts [][]float64
+	for _, c := range [][2]float64{{0, 0}, {0, 100}, {100, 0}, {100, 100}} {
+		for i := 0; i < 9; i++ {
+			dx := float64(i%3) - 1
+			dy := float64(i/3) - 1
+			pts = append(pts, []float64{c[0] + dx, c[1] + dy})
+		}
+	}
+	return pts
+}
+
+func ExampleCluster() {
+	res, err := streamkm.Cluster(grid9(), streamkm.Options{
+		K:        4,
+		Restarts: 10,
+		Splits:   3,
+		Seed:     2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cs := make([][2]float64, len(res.Centroids))
+	for i, c := range res.Centroids {
+		cs[i] = [2]float64{c[0], c[1]}
+	}
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i][0] != cs[j][0] {
+			return cs[i][0] < cs[j][0]
+		}
+		return cs[i][1] < cs[j][1]
+	})
+	for _, c := range cs {
+		fmt.Printf("(%.0f, %.0f)\n", c[0], c[1])
+	}
+	// Output:
+	// (0, 0)
+	// (0, 100)
+	// (100, 0)
+	// (100, 100)
+}
+
+func ExampleWindowedClusterer() {
+	w, err := streamkm.NewWindowedClusterer(2, streamkm.WindowedOptions{
+		K:            4,
+		ChunkPoints:  36, // one grid9() pass per chunk
+		WindowChunks: 2,  // the answer covers the last two chunks
+		Seed:         1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Three full chunks: the first expires from the window.
+	for round := 0; round < 3; round++ {
+		for _, p := range grid9() {
+			if err := w.Push(p); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	snap, err := w.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var total float64
+	for _, wt := range snap.Weights {
+		total += wt
+	}
+	fmt.Printf("consumed %d, expired %d chunks, snapshot covers %.0f points\n",
+		w.Consumed(), w.Expired(), total)
+	// Output:
+	// consumed 108, expired 1 chunks, snapshot covers 72 points
+}
+
+func ExampleStreamClusterer() {
+	sc, err := streamkm.NewStreamClusterer(2, streamkm.Options{
+		K:           4,
+		Restarts:    5,
+		ChunkPoints: 12, // the memory budget: at most 12 raw points held
+		Seed:        1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range grid9() {
+		if err := sc.Push(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+	res, err := sc.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var total float64
+	for _, w := range res.Weights {
+		total += w
+	}
+	fmt.Printf("points represented: %.0f\n", total)
+	fmt.Printf("centroids: %d\n", len(res.Centroids))
+	// Output:
+	// points represented: 36
+	// centroids: 4
+}

@@ -1,0 +1,86 @@
+// continuous clusters an unbounded data stream with bounded memory using
+// the push-based StreamClusterer: points arrive one at a time, each full
+// memory budget worth of points is reduced to weighted centroids and
+// discarded (the "one look" regime of §3), and the final merge produces
+// the overall representation. The stream drifts halfway through, and the
+// final centroids reflect both phases.
+//
+//	go run ./examples/continuous
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"streamkm"
+	"streamkm/internal/rng"
+)
+
+func main() {
+	const (
+		dim    = 4
+		total  = 50000
+		budget = 2000 // points that fit in "volatile memory"
+	)
+	// k = 16 over 4 latent clusters: the merge step seeds with the k
+	// heaviest partial centroids (§3.3), and a generous k makes it very
+	// likely both stream phases contribute seeds.
+	sc, err := streamkm.NewStreamClusterer(dim, streamkm.Options{
+		K:           16,
+		Restarts:    5,
+		ChunkPoints: budget,
+		Seed:        9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1: clusters near ±20 in dims 0-1. Phase 2 (drift): clusters
+	// move to ±60 in dims 2-3.
+	r := rng.New(3)
+	emit := func(base []float64) []float64 {
+		p := make([]float64, dim)
+		for d := range p {
+			p[d] = base[d] + r.NormFloat64()
+		}
+		return p
+	}
+	phase1 := [][]float64{{-20, -20, 0, 0}, {20, 20, 0, 0}}
+	phase2 := [][]float64{{0, 0, -60, 60}, {0, 0, 60, -60}}
+	for i := 0; i < total; i++ {
+		bases := phase1
+		if i >= total/2 {
+			bases = phase2
+		}
+		if err := sc.Push(emit(bases[i%2])); err != nil {
+			log.Fatal(err)
+		}
+		if (i+1)%10000 == 0 {
+			fmt.Printf("consumed %6d points, %3d chunk reductions so far (state is O(k x chunks), never O(N))\n",
+				sc.Pushed(), sc.Partials())
+		}
+	}
+
+	res, err := sc.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfinal representation: %d centroids from %d partitions, merge MSE %.3f\n",
+		len(res.Centroids), res.Partitions, res.MergeMSE)
+	fmt.Printf("partial time %v, merge time %v\n", res.PartialTime, res.MergeTime)
+
+	type row struct {
+		w float64
+		c []float64
+	}
+	rows := make([]row, 0, len(res.Centroids))
+	for i, c := range res.Centroids {
+		rows = append(rows, row{w: res.Weights[i], c: c})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].w > rows[j].w })
+	fmt.Println("\ncentroids by weight (both stream phases must appear):")
+	for _, r := range rows {
+		fmt.Printf("  w=%7.0f  (%7.2f %7.2f %7.2f %7.2f)\n", r.w, r.c[0], r.c[1], r.c[2], r.c[3])
+	}
+}

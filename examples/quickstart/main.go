@@ -1,0 +1,67 @@
+// Quickstart: cluster an in-memory point set with partial/merge k-means
+// through the public API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"streamkm"
+)
+
+func main() {
+	// Build 3000 points around five well-separated 2-D centers, with a
+	// cheap deterministic jitter.
+	centers := [][2]float64{{0, 0}, {40, 0}, {0, 40}, {40, 40}, {20, 80}}
+	state := uint64(1)
+	jitter := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return (float64(state>>11)/(1<<53) - 0.5) * 3
+	}
+	points := make([][]float64, 0, 3000)
+	for i := 0; i < 3000; i++ {
+		c := centers[i%len(centers)]
+		points = append(points, []float64{c[0] + jitter(), c[1] + jitter()})
+	}
+
+	// Cluster with k=10 (comfortably above the latent structure), 5
+	// memory-sized partitions, 10 restarts per partition — the paper's
+	// configuration in miniature.
+	res, err := streamkm.Cluster(points, streamkm.Options{
+		K:        10,
+		Restarts: 10,
+		Splits:   5,
+		Seed:     42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("clustered %d points into %d centroids across %d partitions\n",
+		len(points), len(res.Centroids), res.Partitions)
+	fmt.Printf("merge MSE %.3f, point MSE %.3f, total time %v\n",
+		res.MergeMSE, res.PointMSE, res.Elapsed)
+	fmt.Println("\nheaviest centroids:")
+	for i, c := range res.Centroids {
+		if res.Weights[i] < 200 {
+			continue
+		}
+		fmt.Printf("  (%6.2f, %6.2f) representing %4.0f points\n", c[0], c[1], res.Weights[i])
+	}
+
+	// Sanity: every latent center has a nearby centroid.
+	for _, want := range centers {
+		best := math.Inf(1)
+		for _, c := range res.Centroids {
+			d := math.Hypot(c[0]-want[0], c[1]-want[1])
+			if d < best {
+				best = d
+			}
+		}
+		fmt.Printf("latent center (%g, %g): nearest centroid at distance %.2f\n",
+			want[0], want[1], best)
+	}
+}

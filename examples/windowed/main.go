@@ -1,0 +1,59 @@
+// windowed demonstrates the sliding-window extension: the clustering
+// covers only the W most recent memory-budget chunks, so when the stream
+// drifts, old structure expires from the answer instead of polluting it
+// forever — the continuous-query behaviour of the related work (§2.2)
+// built from the paper's own partial/merge operators.
+//
+//	go run ./examples/windowed
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streamkm"
+	"streamkm/internal/rng"
+)
+
+func main() {
+	w, err := streamkm.NewWindowedClusterer(2, streamkm.WindowedOptions{
+		K:            6,
+		ChunkPoints:  2000, // memory budget per chunk
+		WindowChunks: 4,    // the answer covers the last 8000 points
+		Restarts:     5,
+		Seed:         3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	r := rng.New(11)
+	regimes := [][][2]float64{
+		{{-30, -30}, {30, 30}},          // regime A
+		{{-30, 30}, {30, -30}, {0, 90}}, // regime B: rotated + new mode
+		{{100, 100}, {140, 100}},        // regime C: moved entirely
+	}
+	for phase, centers := range regimes {
+		for i := 0; i < 12000; i++ {
+			c := centers[i%len(centers)]
+			p := []float64{c[0] + r.NormFloat64(), c[1] + r.NormFloat64()}
+			if err := w.Push(p); err != nil {
+				log.Fatal(err)
+			}
+		}
+		snap, err := w.Snapshot()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("after regime %c (%d points consumed, %d chunks expired):\n",
+			'A'+phase, w.Consumed(), w.Expired())
+		for i, c := range snap.Centroids {
+			if snap.Weights[i] < 500 {
+				continue // skip minor centroids for readability
+			}
+			fmt.Printf("  w=%6.0f at (%7.2f, %7.2f)\n", snap.Weights[i], c[0], c[1])
+		}
+	}
+	fmt.Println("\neach snapshot reflects only the current regime: expired chunks")
+	fmt.Println("no longer contribute, unlike the unbounded StreamClusterer.")
+}

@@ -1,0 +1,163 @@
+package streamkm_test
+
+import (
+	"context"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"streamkm/internal/core"
+	"streamkm/internal/dataset"
+	"streamkm/internal/engine"
+	"streamkm/internal/grid"
+	"streamkm/internal/histogram"
+	"streamkm/internal/metrics"
+	"streamkm/internal/rng"
+	"streamkm/internal/vector"
+)
+
+// TestEndToEndSwathToHistograms exercises the full system across module
+// boundaries: swath simulation → grid bucketing → bucket files on disk →
+// directory index → engine-planned partial/merge clustering → histogram
+// compression → range-query estimation. This is the paper's motivating
+// pipeline (§1) as one test.
+func TestEndToEndSwathToHistograms(t *testing.T) {
+	// 1. Simulate the instrument and bucket the measurements.
+	spec := grid.DefaultSwathSpec()
+	spec.Orbits = 16
+	spec.PointsPerOrbit = 10000
+	model := grid.GeoGradientModel{Dim: spec.Dim, Noise: 0.8, Scale: 10}
+	measurements, err := grid.SimulateSwaths(spec, model, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cellMap, err := grid.Bucketize(measurements)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets, err := grid.BucketizeToSets(cellMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Persist the densest cells as bucket files, like datagen does.
+	dir := t.TempDir()
+	written := 0
+	for key, set := range sets {
+		if set.Len() < 60 {
+			continue
+		}
+		path := filepath.Join(dir, grid.BucketFileName(key))
+		if err := grid.WriteBucketFile(path, key, set); err != nil {
+			t.Fatal(err)
+		}
+		written++
+		if written == 5 {
+			break
+		}
+	}
+	if written == 0 {
+		t.Fatal("swath produced no dense cells")
+	}
+
+	// 3. Re-read through the index, like pmkm does.
+	index, err := grid.IndexDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(index) != written {
+		t.Fatalf("index has %d entries, wrote %d", len(index), written)
+	}
+	var cells []engine.Cell
+	for _, entry := range index {
+		key, set, err := grid.ReadBucketFile(entry.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key != entry.Key || set.Len() != entry.Count {
+			t.Fatalf("index entry %+v does not match file (%v, %d)", entry, key, set.Len())
+		}
+		cells = append(cells, engine.Cell{Key: key, Points: set})
+	}
+
+	// 4. Cluster through the engine with a tight memory budget so cells
+	// actually get chunked.
+	q := engine.Query{K: 8, Restarts: 3, Seed: 5}
+	results, plan, stats, err := engine.Run(context.Background(), cells, q, engine.Resources{
+		MemoryBytes: 4 << 10,
+		Workers:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.ChunkPoints <= 0 || stats.Chunks < len(cells) {
+		t.Fatalf("plan %+v, stats %+v", plan, stats)
+	}
+
+	// 5. Compress every cell and validate the compressed representation
+	// answers a whole-space range query with the exact point count.
+	for i, r := range results {
+		h, err := histogram.Build(cells[i].Points, r.Result.Centroids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(h.Total()-float64(cells[i].Points.Len())) > 1e-9 {
+			t.Fatalf("cell %v: histogram mass %g != %d points", r.Key, h.Total(), cells[i].Points.Len())
+		}
+		lo, hi := vector.New(h.Dim()), vector.New(h.Dim())
+		for d := range lo {
+			lo[d], hi[d] = -1e12, 1e12
+		}
+		est, err := h.EstimateRange(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(est-h.Total()) > 1e-6 {
+			t.Fatalf("cell %v: whole-space estimate %g != %g", r.Key, est, h.Total())
+		}
+		if h.CompressionRatio(cells[i].Points.Len()) <= 1 {
+			t.Fatalf("cell %v: no compression achieved", r.Key)
+		}
+	}
+}
+
+// TestStreamedEqualsBatchQuality verifies the memory-bounded streaming
+// path is in the same quality regime as batch partial/merge on the same
+// data, using the raw points for an apples-to-apples MSE.
+func TestStreamedEqualsBatchQuality(t *testing.T) {
+	spec := dataset.DefaultCellSpec()
+	spec.Clusters = 10
+	cell, err := dataset.GenerateCell(spec, 5000, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := core.Cluster(cell, core.Options{K: 20, Restarts: 3, Splits: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stream the same points through the partial operator in 5 chunks.
+	chunks, err := dataset.Split(cell, 5, dataset.SplitSalami, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	master := rng.New(3)
+	parts := make([]*dataset.WeightedSet, len(chunks))
+	for i, c := range chunks {
+		pr, err := core.PartialKMeans(c, core.PartialConfig{K: 20, Restarts: 3}, master.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts[i] = pr.Centroids
+	}
+	mr, err := core.MergeKMeans(parts, core.MergeConfig{K: 20}, master.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamMSE, err := metrics.MSE(cell, mr.Centroids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamMSE > 3*batch.PointMSE+1 {
+		t.Fatalf("streamed MSE %g far from batch %g", streamMSE, batch.PointMSE)
+	}
+}

@@ -1,0 +1,341 @@
+package baseline
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/metrics"
+)
+
+// testCell builds a clusterable cell with nBlobs well-separated blobs.
+func testCell(t testing.TB, nBlobs, n int, seed uint64) *dataset.Set {
+	t.Helper()
+	spec := dataset.DefaultCellSpec()
+	spec.Clusters = nBlobs
+	spec.Dim = 3
+	spec.NoiseFrac = 0
+	spec.Separation = 40
+	spec.Spread = 0.5
+	s, err := dataset.GenerateCell(spec, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSerialBaseline(t *testing.T) {
+	cell := testCell(t, 4, 400, 1)
+	rep, err := Serial(cell, SerialConfig{K: 8, Restarts: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Name != "serial" {
+		t.Fatalf("Name = %q", rep.Name)
+	}
+	if len(rep.Centroids) != 8 {
+		t.Fatalf("centroids = %d", len(rep.Centroids))
+	}
+	if rep.MSE > 2 {
+		t.Fatalf("MSE = %g on clean blobs", rep.MSE)
+	}
+	if rep.Elapsed <= 0 || rep.Iterations < 5 {
+		t.Fatalf("diagnostics: elapsed=%v iters=%d", rep.Elapsed, rep.Iterations)
+	}
+	if _, err := Serial(cell, SerialConfig{K: 8, Restarts: 0}); err == nil {
+		t.Fatal("restarts=0 should error")
+	}
+}
+
+func TestMethodAClusterManyCells(t *testing.T) {
+	cells := []*dataset.Set{
+		testCell(t, 3, 200, 10),
+		testCell(t, 3, 200, 11),
+		testCell(t, 3, 200, 12),
+	}
+	reports, err := MethodA(context.Background(), cells, SerialConfig{K: 6, Restarts: 2, Seed: 5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	for i, rep := range reports {
+		if rep.Name != "methodA" {
+			t.Fatalf("report %d name %q", i, rep.Name)
+		}
+		if rep.MSE > 2 {
+			t.Fatalf("cell %d MSE = %g", i, rep.MSE)
+		}
+	}
+	if _, err := MethodA(context.Background(), nil, SerialConfig{K: 2, Restarts: 1}, 1); err == nil {
+		t.Fatal("no cells should error")
+	}
+}
+
+func TestMethodADeterministicAcrossWorkerCounts(t *testing.T) {
+	cells := []*dataset.Set{testCell(t, 3, 150, 20), testCell(t, 3, 150, 21)}
+	cfg := SerialConfig{K: 3, Restarts: 2, Seed: 9}
+	a, err := MethodA(context.Background(), cells, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MethodA(context.Background(), cells, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if math.Abs(a[i].MSE-b[i].MSE) > 1e-12 {
+			t.Fatalf("cell %d MSE differs across worker counts: %g vs %g", i, a[i].MSE, b[i].MSE)
+		}
+	}
+}
+
+func TestMethodBMatchesQualityOfSerialStyle(t *testing.T) {
+	cell := testCell(t, 4, 300, 30)
+	rep, err := MethodB(context.Background(), cell, SerialConfig{K: 8, Restarts: 6, Seed: 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Name != "methodB" || len(rep.Centroids) != 8 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.MSE > 2 {
+		t.Fatalf("MSE = %g", rep.MSE)
+	}
+	// Deterministic across worker counts (RNGs derived per restart).
+	again, err := MethodB(context.Background(), cell, SerialConfig{K: 8, Restarts: 6, Seed: 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.MSE-again.MSE) > 1e-12 {
+		t.Fatalf("MethodB result depends on worker count: %g vs %g", rep.MSE, again.MSE)
+	}
+	if _, err := MethodB(context.Background(), cell, SerialConfig{K: 8, Restarts: 0}, 1); err == nil {
+		t.Fatal("restarts=0 should error")
+	}
+}
+
+func TestMethodCMatchesSerialLloyd(t *testing.T) {
+	cell := testCell(t, 4, 400, 40)
+	// Method C with 1 slave is literally serial Lloyd; more slaves must
+	// produce identical centroids because the reduction is exact.
+	one, err := MethodC(context.Background(), cell, SerialConfig{K: 4, Seed: 7}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := MethodC(context.Background(), cell, SerialConfig{K: 4, Seed: 7}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one.Centroids) != 4 || len(four.Centroids) != 4 {
+		t.Fatal("wrong centroid counts")
+	}
+	for j := range one.Centroids {
+		if !one.Centroids[j].ApproxEqual(four.Centroids[j], 1e-9) {
+			t.Fatalf("slave count changed centroid %d: %v vs %v",
+				j, one.Centroids[j], four.Centroids[j])
+		}
+	}
+	if four.Messages <= one.Messages {
+		t.Fatalf("message overhead should grow with slaves: %d vs %d", four.Messages, one.Messages)
+	}
+	// 2 messages per slave per iteration.
+	if want := int64(4 * 2 * four.Iterations); four.Messages != want {
+		t.Fatalf("messages = %d, want %d", four.Messages, want)
+	}
+}
+
+func TestMethodCValidation(t *testing.T) {
+	cell := testCell(t, 2, 50, 41)
+	if _, err := MethodC(context.Background(), cell, SerialConfig{K: 0}, 2); err == nil {
+		t.Fatal("K=0 should error")
+	}
+	if _, err := MethodC(context.Background(), cell, SerialConfig{K: 51}, 2); err == nil {
+		t.Fatal("K>N should error")
+	}
+}
+
+func TestBIRCHClustersCell(t *testing.T) {
+	cell := testCell(t, 4, 1000, 50)
+	rep, err := BIRCH(cell, BIRCHConfig{K: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Name != "birch" || len(rep.Centroids) != 8 {
+		t.Fatalf("report: name=%q k=%d", rep.Name, len(rep.Centroids))
+	}
+	// Serial on the same cell for comparison: BIRCH is lossy but must be
+	// in the same quality regime on clean data (within ~6x here; the
+	// blobs are separated by ~40 with spread 0.5, so a broken BIRCH
+	// would produce MSE in the hundreds).
+	serial, err := Serial(cell, SerialConfig{K: 8, Restarts: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MSE > 6*serial.MSE+1 {
+		t.Fatalf("BIRCH MSE %g far worse than serial %g", rep.MSE, serial.MSE)
+	}
+}
+
+func TestBIRCHValidation(t *testing.T) {
+	cell := testCell(t, 2, 100, 51)
+	if _, err := BIRCH(cell, BIRCHConfig{K: 0}); err == nil {
+		t.Fatal("K=0 should error")
+	}
+	if _, err := BIRCH(cell, BIRCHConfig{K: 2, Branching: 1}); err == nil {
+		t.Fatal("branching=1 should error")
+	}
+	if _, err := BIRCH(cell, BIRCHConfig{K: 40, MaxLeafEntries: 10}); err == nil {
+		t.Fatal("budget < K should error")
+	}
+	if _, err := BIRCH(cell, BIRCHConfig{K: 2, InitialThreshold: -1}); err == nil {
+		t.Fatal("negative threshold should error")
+	}
+	if _, err := BIRCH(cell, BIRCHConfig{K: 101}); err == nil {
+		t.Fatal("K>N should error")
+	}
+}
+
+func TestBIRCHRespectsLeafBudget(t *testing.T) {
+	// A large cell with a small budget forces threshold rebuilds; the
+	// run must still succeed and produce k centroids.
+	cell := testCell(t, 6, 3000, 52)
+	rep, err := BIRCH(cell, BIRCHConfig{K: 6, MaxLeafEntries: 64, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Centroids) != 6 {
+		t.Fatalf("centroids = %d", len(rep.Centroids))
+	}
+}
+
+func TestCFStatistics(t *testing.T) {
+	cf := NewCF(2)
+	cf.Add([]float64{0, 0}, 1)
+	cf.Add([]float64{2, 0}, 1)
+	if cf.N != 2 {
+		t.Fatalf("N = %g", cf.N)
+	}
+	c := cf.Centroid()
+	if c[0] != 1 || c[1] != 0 {
+		t.Fatalf("centroid = %v", c)
+	}
+	// radius = sqrt(mean squared distance to centroid) = 1
+	if math.Abs(cf.Radius()-1) > 1e-12 {
+		t.Fatalf("radius = %g", cf.Radius())
+	}
+	// radiusIfAdded must predict the post-Add radius exactly
+	predicted := cf.radiusIfAdded([]float64{4, 0}, 1)
+	cf.Add([]float64{4, 0}, 1)
+	if math.Abs(predicted-cf.Radius()) > 1e-12 {
+		t.Fatalf("radiusIfAdded %g != actual %g", predicted, cf.Radius())
+	}
+	// Merge equals adding the same points
+	a, b := NewCF(1), NewCF(1)
+	a.Add([]float64{1}, 2)
+	b.Add([]float64{3}, 1)
+	a.Merge(b)
+	whole := NewCF(1)
+	whole.Add([]float64{1}, 2)
+	whole.Add([]float64{3}, 1)
+	if a.N != whole.N || a.SS != whole.SS || !a.LS.Equal(whole.LS) {
+		t.Fatal("Merge != sequential Add")
+	}
+}
+
+func TestCFEmptyCentroidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCF(1).Centroid()
+}
+
+func TestStreamLSClustersCell(t *testing.T) {
+	cell := testCell(t, 4, 2000, 60)
+	rep, err := StreamLS(cell, StreamLSConfig{K: 8, ChunkPoints: 250, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Name != "streamls" || len(rep.Centroids) != 8 {
+		t.Fatalf("report: name=%q k=%d", rep.Name, len(rep.Centroids))
+	}
+	serial, err := Serial(cell, SerialConfig{K: 8, Restarts: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MSE > 6*serial.MSE+1 {
+		t.Fatalf("StreamLS MSE %g far worse than serial %g", rep.MSE, serial.MSE)
+	}
+}
+
+func TestStreamLSValidation(t *testing.T) {
+	cell := testCell(t, 2, 100, 61)
+	if _, err := StreamLS(cell, StreamLSConfig{K: 0, ChunkPoints: 10}); err == nil {
+		t.Fatal("K=0 should error")
+	}
+	if _, err := StreamLS(cell, StreamLSConfig{K: 10, ChunkPoints: 5}); err == nil {
+		t.Fatal("chunk < K should error")
+	}
+	if _, err := StreamLS(cell, StreamLSConfig{K: 2, ChunkPoints: 10, LevelFanout: 1}); err == nil {
+		t.Fatal("fanout=1 should error")
+	}
+	if _, err := StreamLS(cell, StreamLSConfig{K: 101, ChunkPoints: 200}); err == nil {
+		t.Fatal("K>N should error")
+	}
+}
+
+func TestStreamLSHierarchyCascades(t *testing.T) {
+	// Enough chunks to force at least two levels of re-clustering:
+	// 4000 points / 100 per chunk = 40 chunks, fanout 4 → levels 0,1,2.
+	cell := testCell(t, 3, 4000, 62)
+	rep, err := StreamLS(cell, StreamLSConfig{K: 6, ChunkPoints: 100, LevelFanout: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MSE > 5 {
+		t.Fatalf("cascaded StreamLS lost the structure: MSE = %g", rep.MSE)
+	}
+}
+
+func TestBaselinesComparableOnSameCell(t *testing.T) {
+	// The A4 positioning experiment in miniature: all four algorithms
+	// cluster the same cell; every MSE must be finite and positive and
+	// the centroid count must be k.
+	cell := testCell(t, 5, 1500, 70)
+	const k = 10
+	serial, err := Serial(cell, SerialConfig{K: k, Restarts: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	birch, err := BIRCH(cell, BIRCHConfig{K: k, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sls, err := StreamLS(cell, StreamLSConfig{K: k, ChunkPoints: 300, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := MethodC(context.Background(), cell, SerialConfig{K: k, Seed: 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range []*Report{serial, birch, sls, &mc.Report} {
+		if len(rep.Centroids) != k {
+			t.Fatalf("%s returned %d centroids", rep.Name, len(rep.Centroids))
+		}
+		if math.IsNaN(rep.MSE) || rep.MSE <= 0 {
+			t.Fatalf("%s MSE = %g", rep.Name, rep.MSE)
+		}
+		recomputed, err := metrics.MSE(cell, rep.Centroids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(recomputed-rep.MSE) > 1e-9*(1+rep.MSE) {
+			t.Fatalf("%s reported MSE %g, recomputed %g", rep.Name, rep.MSE, recomputed)
+		}
+	}
+}

@@ -1,0 +1,393 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/kmeans"
+	"streamkm/internal/metrics"
+	"streamkm/internal/rng"
+	"streamkm/internal/vector"
+)
+
+// This file implements BIRCH (Zhang, Ramakrishnan, Livny, SIGMOD '96) —
+// the database-literature comparator of §2.2. Phase 1 builds a CF-tree
+// (clustering features N, LS, SS) in one pass under a leaf-entry budget,
+// doubling the absorption threshold and rebuilding when the budget is
+// exceeded; phase 3 runs a global weighted k-means over the leaf entries.
+
+// CF is a clustering feature: the sufficient statistics of a point set.
+type CF struct {
+	N  float64       // number of points
+	LS vector.Vector // linear sum
+	SS float64       // sum of squared norms
+}
+
+// NewCF returns an empty CF of the given dimension.
+func NewCF(dim int) *CF { return &CF{LS: vector.New(dim)} }
+
+// Add folds a point with weight w into the CF.
+func (c *CF) Add(p vector.Vector, w float64) {
+	c.N += w
+	c.LS.AddScaled(w, p)
+	c.SS += w * p.Dot(p)
+}
+
+// Merge folds another CF into c.
+func (c *CF) Merge(o *CF) {
+	c.N += o.N
+	c.LS.Add(o.LS)
+	c.SS += o.SS
+}
+
+// Centroid returns LS/N. It panics on an empty CF; callers only read
+// centroids of CFs that absorbed at least one point.
+func (c *CF) Centroid() vector.Vector {
+	if c.N == 0 {
+		panic("baseline: centroid of empty CF")
+	}
+	m := c.LS.Clone()
+	m.Scale(1 / c.N)
+	return m
+}
+
+// Radius returns the RMS distance of the CF's points to its centroid:
+// sqrt(SS/N - ||LS/N||^2), clamped at zero against rounding.
+func (c *CF) Radius() float64 {
+	if c.N == 0 {
+		return 0
+	}
+	m := c.Centroid()
+	r2 := c.SS/c.N - m.Dot(m)
+	if r2 < 0 {
+		r2 = 0
+	}
+	return math.Sqrt(r2)
+}
+
+// radiusIfAdded computes the radius the CF would have after absorbing
+// (p, w) without mutating it.
+func (c *CF) radiusIfAdded(p vector.Vector, w float64) float64 {
+	n := c.N + w
+	ss := c.SS + w*p.Dot(p)
+	var m2 float64
+	for d := range c.LS {
+		m := (c.LS[d] + w*p[d]) / n
+		m2 += m * m
+	}
+	r2 := ss/n - m2
+	if r2 < 0 {
+		r2 = 0
+	}
+	return math.Sqrt(r2)
+}
+
+// BIRCHConfig parameterizes the CF-tree build and global clustering.
+type BIRCHConfig struct {
+	// K is the final cluster count produced by the global phase.
+	K int
+	// Branching is the maximum child count of an internal node
+	// (BIRCH's B; default 8).
+	Branching int
+	// MaxLeafEntries is the memory budget: the maximum total number of
+	// leaf CF entries before a rebuild with a larger threshold
+	// (default 512).
+	MaxLeafEntries int
+	// InitialThreshold is the starting absorption radius T (default 0,
+	// meaning "absorb only duplicates", as in the original).
+	InitialThreshold float64
+	// Seed drives the global clustering phase.
+	Seed uint64
+}
+
+func (c BIRCHConfig) withDefaults() BIRCHConfig {
+	if c.Branching == 0 {
+		c.Branching = 8
+	}
+	if c.MaxLeafEntries == 0 {
+		c.MaxLeafEntries = 512
+	}
+	return c
+}
+
+func (c BIRCHConfig) validate() error {
+	if c.K <= 0 {
+		return fmt.Errorf("baseline: BIRCH K must be positive, got %d", c.K)
+	}
+	if c.Branching < 2 {
+		return fmt.Errorf("baseline: BIRCH branching must be >= 2, got %d", c.Branching)
+	}
+	if c.MaxLeafEntries < c.K {
+		return fmt.Errorf("baseline: BIRCH leaf budget %d below K=%d", c.MaxLeafEntries, c.K)
+	}
+	if c.InitialThreshold < 0 {
+		return fmt.Errorf("baseline: BIRCH threshold must be non-negative")
+	}
+	return nil
+}
+
+// cfNode is a CF-tree node; leaves hold entry CFs, internal nodes hold
+// child summaries.
+type cfNode struct {
+	leaf     bool
+	entries  []*CF     // leaf: absorbed clusters; internal: child summaries
+	children []*cfNode // internal only, parallel to entries
+}
+
+// cfTree is the phase-1 structure.
+type cfTree struct {
+	root        *cfNode
+	dim         int
+	branching   int
+	threshold   float64
+	leafEntries int
+}
+
+func newCFTree(dim, branching int, threshold float64) *cfTree {
+	return &cfTree{
+		root:      &cfNode{leaf: true},
+		dim:       dim,
+		branching: branching,
+		threshold: threshold,
+	}
+}
+
+// insert adds (p, w) to the tree, returning a new root if the old one
+// split.
+func (t *cfTree) insert(p vector.Vector, w float64) {
+	split := t.insertInto(t.root, p, w)
+	if split != nil {
+		// Root split: grow a new root with two children.
+		old := t.root
+		t.root = &cfNode{
+			leaf:     false,
+			entries:  []*CF{summarize(old, t.dim), summarize(split, t.dim)},
+			children: []*cfNode{old, split},
+		}
+	}
+}
+
+// insertInto descends to the closest leaf entry; returns a sibling node
+// if n split.
+func (t *cfTree) insertInto(n *cfNode, p vector.Vector, w float64) *cfNode {
+	if n.leaf {
+		if len(n.entries) > 0 {
+			best := t.closestEntry(n, p)
+			if n.entries[best].radiusIfAdded(p, w) <= t.threshold {
+				n.entries[best].Add(p, w)
+				return nil
+			}
+		}
+		cf := NewCF(t.dim)
+		cf.Add(p, w)
+		n.entries = append(n.entries, cf)
+		t.leafEntries++
+		if len(n.entries) > t.branching {
+			return t.splitLeaf(n)
+		}
+		return nil
+	}
+	best := t.closestEntry(n, p)
+	n.entries[best].Add(p, w)
+	split := t.insertInto(n.children[best], p, w)
+	if split == nil {
+		return nil
+	}
+	// Child split: recompute the summary of the (shrunken) child and
+	// add the new sibling.
+	n.entries[best] = summarize(n.children[best], t.dim)
+	n.entries = append(n.entries, summarize(split, t.dim))
+	n.children = append(n.children, split)
+	if len(n.children) > t.branching {
+		return t.splitInternal(n)
+	}
+	return nil
+}
+
+func (t *cfTree) closestEntry(n *cfNode, p vector.Vector) int {
+	best, bestD := 0, math.Inf(1)
+	for i, e := range n.entries {
+		if e.N == 0 {
+			continue
+		}
+		if d := vector.SquaredDistance(p, e.Centroid()); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// summarize rebuilds a node's CF summary from its entries.
+func summarize(n *cfNode, dim int) *CF {
+	s := NewCF(dim)
+	for _, e := range n.entries {
+		s.Merge(e)
+	}
+	return s
+}
+
+// splitLeaf divides a leaf's entries between the old node and a new
+// sibling using the farthest-pair heuristic of the original paper.
+func (t *cfTree) splitLeaf(n *cfNode) *cfNode {
+	a, b := farthestPair(n.entries)
+	left, right := &cfNode{leaf: true}, &cfNode{leaf: true}
+	for i, e := range n.entries {
+		da := vector.SquaredDistance(e.Centroid(), n.entries[a].Centroid())
+		db := vector.SquaredDistance(e.Centroid(), n.entries[b].Centroid())
+		if da <= db && i != b || i == a {
+			left.entries = append(left.entries, e)
+		} else {
+			right.entries = append(right.entries, e)
+		}
+	}
+	n.entries = left.entries
+	return right
+}
+
+// splitInternal divides an internal node's children similarly.
+func (t *cfTree) splitInternal(n *cfNode) *cfNode {
+	a, b := farthestPair(n.entries)
+	right := &cfNode{leaf: false}
+	var keepE []*CF
+	var keepC []*cfNode
+	for i := range n.entries {
+		da := vector.SquaredDistance(n.entries[i].Centroid(), n.entries[a].Centroid())
+		db := vector.SquaredDistance(n.entries[i].Centroid(), n.entries[b].Centroid())
+		if da <= db && i != b || i == a {
+			keepE = append(keepE, n.entries[i])
+			keepC = append(keepC, n.children[i])
+		} else {
+			right.entries = append(right.entries, n.entries[i])
+			right.children = append(right.children, n.children[i])
+		}
+	}
+	n.entries, n.children = keepE, keepC
+	return right
+}
+
+// farthestPair returns the indices of the two entries with the largest
+// centroid distance.
+func farthestPair(entries []*CF) (int, int) {
+	a, b, bestD := 0, 0, -1.0
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			d := vector.SquaredDistance(entries[i].Centroid(), entries[j].Centroid())
+			if d > bestD {
+				a, b, bestD = i, j, d
+			}
+		}
+	}
+	if a == b && len(entries) > 1 {
+		b = a + 1
+	}
+	return a, b
+}
+
+// leafCFs collects all leaf entries of the tree.
+func (t *cfTree) leafCFs() []*CF {
+	var out []*CF
+	var walk func(n *cfNode)
+	walk = func(n *cfNode) {
+		if n.leaf {
+			out = append(out, n.entries...)
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// BIRCH clusters one cell: phase 1 builds the CF-tree in a single scan,
+// rebuilding with a doubled threshold whenever the leaf-entry budget is
+// exceeded; phase 3 runs weighted k-means over the leaf CFs.
+func BIRCH(points *dataset.Set, cfg BIRCHConfig) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if points.Len() < cfg.K {
+		return nil, fmt.Errorf("baseline: %d points cannot form k=%d clusters", points.Len(), cfg.K)
+	}
+	start := time.Now()
+	threshold := cfg.InitialThreshold
+	tree := newCFTree(points.Dim(), cfg.Branching, threshold)
+	for _, p := range points.Points() {
+		tree.insert(p, 1)
+		if tree.leafEntries > cfg.MaxLeafEntries {
+			threshold = nextThreshold(threshold, tree)
+			tree = rebuild(tree, points.Dim(), cfg.Branching, threshold)
+		}
+	}
+	leaves := tree.leafCFs()
+	ws, err := dataset.NewWeightedSet(points.Dim())
+	if err != nil {
+		return nil, err
+	}
+	for _, cf := range leaves {
+		if cf.N == 0 {
+			continue
+		}
+		if err := ws.Add(dataset.WeightedPoint{Vec: cf.Centroid(), Weight: cf.N}); err != nil {
+			return nil, err
+		}
+	}
+	if ws.Len() < cfg.K {
+		return nil, fmt.Errorf("baseline: CF-tree collapsed to %d entries, below k=%d (threshold grew too fast)",
+			ws.Len(), cfg.K)
+	}
+	res, err := kmeans.Run(ws, kmeans.Config{K: cfg.K}, rng.New(cfg.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("baseline: BIRCH global phase: %w", err)
+	}
+	mse, err := metrics.MSE(points, res.Centroids)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Name:       "birch",
+		Centroids:  res.Centroids,
+		MSE:        mse,
+		Elapsed:    time.Since(start),
+		Iterations: res.Iterations,
+	}, nil
+}
+
+// nextThreshold picks the rebuild threshold: at least double, and at
+// least the current average leaf radius so the rebuild actually shrinks
+// the tree.
+func nextThreshold(current float64, t *cfTree) float64 {
+	next := current * 2
+	if next == 0 {
+		next = 1e-6
+	}
+	var sum float64
+	var n int
+	for _, cf := range t.leafCFs() {
+		sum += cf.Radius()
+		n++
+	}
+	if n > 0 {
+		if avg := sum / float64(n) * 1.5; avg > next {
+			next = avg
+		}
+	}
+	return next
+}
+
+// rebuild reinserts the old tree's leaf CFs into a fresh tree with the
+// larger threshold — BIRCH's memory-pressure response, reusing the
+// summaries instead of rescanning the data.
+func rebuild(old *cfTree, dim, branching int, threshold float64) *cfTree {
+	t := newCFTree(dim, branching, threshold)
+	for _, cf := range old.leafCFs() {
+		if cf.N > 0 {
+			t.insert(cf.Centroid(), cf.N)
+		}
+	}
+	return t
+}

@@ -1,0 +1,110 @@
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/kmeans"
+	"streamkm/internal/metrics"
+	"streamkm/internal/rng"
+	"streamkm/internal/vector"
+)
+
+// This file implements mini-batch k-means (Sculley, WWW 2010) — the
+// modern low-memory comparator to partial/merge k-means (today's
+// MiniBatchKMeans in scikit-learn). Each iteration samples a small batch,
+// assigns it to the nearest centers, and moves each center toward its
+// batch points with a per-center learning rate 1/v(c), where v(c) counts
+// lifetime assignments.
+
+// MiniBatchConfig parameterizes a mini-batch run.
+type MiniBatchConfig struct {
+	// K is the cluster count.
+	K int
+	// BatchSize is points sampled per iteration (0 = 10*K).
+	BatchSize int
+	// Iterations is the number of batches processed (0 = 100).
+	Iterations int
+	// Seed drives sampling and initialization.
+	Seed uint64
+}
+
+func (c MiniBatchConfig) withDefaults() MiniBatchConfig {
+	if c.BatchSize == 0 {
+		c.BatchSize = 10 * c.K
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 100
+	}
+	return c
+}
+
+func (c MiniBatchConfig) validate() error {
+	if c.K <= 0 {
+		return fmt.Errorf("baseline: minibatch K must be positive, got %d", c.K)
+	}
+	if c.BatchSize < 1 {
+		return fmt.Errorf("baseline: minibatch batch size must be positive, got %d", c.BatchSize)
+	}
+	if c.Iterations < 1 {
+		return fmt.Errorf("baseline: minibatch iterations must be positive, got %d", c.Iterations)
+	}
+	return nil
+}
+
+// MiniBatch clusters one cell with mini-batch k-means. Memory use is
+// O(K + BatchSize) beyond the input itself.
+func MiniBatch(points *dataset.Set, cfg MiniBatchConfig) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := points.Len()
+	if n < cfg.K {
+		return nil, fmt.Errorf("baseline: %d points cannot seed k=%d", n, cfg.K)
+	}
+	start := time.Now()
+	r := rng.New(cfg.Seed)
+	weighted := dataset.Unweighted(points)
+	centers, err := (kmeans.PlusPlusSeeder{}).Seed(weighted, cfg.K, r)
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]float64, cfg.K)
+	assignCache := make([]int, cfg.BatchSize)
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		// Sample the batch (with replacement, as in the original).
+		batch := make([]int, cfg.BatchSize)
+		for i := range batch {
+			batch[i] = r.Intn(n)
+		}
+		// Cache assignments against the centers at batch start.
+		for i, idx := range batch {
+			j, _ := vector.NearestIndex(points.At(idx), centers)
+			assignCache[i] = j
+		}
+		// Gradient step with per-center learning rates.
+		for i, idx := range batch {
+			j := assignCache[i]
+			counts[j]++
+			eta := 1 / counts[j]
+			c := centers[j]
+			p := points.At(idx)
+			for d := range c {
+				c[d] += eta * (p[d] - c[d])
+			}
+		}
+	}
+	mse, err := metrics.MSE(points, centers)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Name:       "minibatch",
+		Centroids:  centers,
+		MSE:        mse,
+		Elapsed:    time.Since(start),
+		Iterations: cfg.Iterations,
+	}, nil
+}

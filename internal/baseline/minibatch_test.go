@@ -1,0 +1,81 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMiniBatchValidation(t *testing.T) {
+	cell := testCell(t, 3, 200, 80)
+	if _, err := MiniBatch(cell, MiniBatchConfig{K: 0}); err == nil {
+		t.Fatal("K=0 should error")
+	}
+	if _, err := MiniBatch(cell, MiniBatchConfig{K: 201}); err == nil {
+		t.Fatal("K>N should error")
+	}
+	if _, err := MiniBatch(cell, MiniBatchConfig{K: 3, BatchSize: -1}); err == nil {
+		t.Fatal("negative batch should error")
+	}
+	if _, err := MiniBatch(cell, MiniBatchConfig{K: 3, Iterations: -1}); err == nil {
+		t.Fatal("negative iterations should error")
+	}
+}
+
+func TestMiniBatchClustersCell(t *testing.T) {
+	cell := testCell(t, 4, 2000, 81)
+	rep, err := MiniBatch(cell, MiniBatchConfig{K: 8, Iterations: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Name != "minibatch" || len(rep.Centroids) != 8 {
+		t.Fatalf("report: %q k=%d", rep.Name, len(rep.Centroids))
+	}
+	serial, err := Serial(cell, SerialConfig{K: 8, Restarts: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mini-batch is an approximation; on clean blobs it must land in
+	// the same quality regime as serial.
+	if rep.MSE > 6*serial.MSE+1 {
+		t.Fatalf("minibatch MSE %g far worse than serial %g", rep.MSE, serial.MSE)
+	}
+}
+
+func TestMiniBatchDeterministic(t *testing.T) {
+	cell := testCell(t, 3, 500, 82)
+	a, err := MiniBatch(cell, MiniBatchConfig{K: 6, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MiniBatch(cell, MiniBatchConfig{K: 6, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.MSE-b.MSE) > 1e-12 {
+		t.Fatalf("same seed produced different MSE: %g vs %g", a.MSE, b.MSE)
+	}
+}
+
+func TestMiniBatchMoreIterationsHelp(t *testing.T) {
+	// Statistical direction over several cells: 300 iterations should
+	// beat 3 iterations most of the time.
+	wins := 0
+	const trials = 8
+	for trial := 0; trial < trials; trial++ {
+		cell := testCell(t, 5, 1500, uint64(90+trial))
+		few, err := MiniBatch(cell, MiniBatchConfig{K: 10, Iterations: 3, Seed: uint64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		many, err := MiniBatch(cell, MiniBatchConfig{K: 10, Iterations: 300, Seed: uint64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if many.MSE <= few.MSE {
+			wins++
+		}
+	}
+	if wins < trials-2 {
+		t.Fatalf("more iterations helped only %d/%d times", wins, trials)
+	}
+}

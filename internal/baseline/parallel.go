@@ -1,0 +1,293 @@
+package baseline
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/kmeans"
+	"streamkm/internal/metrics"
+	"streamkm/internal/rng"
+	"streamkm/internal/stream"
+	"streamkm/internal/vector"
+)
+
+// This file implements the three ways of parallelizing k-means the paper
+// surveys in Fig. 2. None of them relieves the memory bottleneck — each
+// worker must hold a well-defined point set in RAM — which is the gap
+// partial/merge k-means fills.
+
+// MethodA ("one grid cell per processor") clusters many cells in
+// parallel, each with the serial algorithm. workers <= 0 selects 1.
+func MethodA(ctx context.Context, cells []*dataset.Set, cfg SerialConfig, workers int) ([]*Report, error) {
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("baseline: method A needs at least one cell")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	type task struct {
+		index int
+		cell  *dataset.Set
+		seed  uint64
+	}
+	type outcome struct {
+		index  int
+		report *Report
+	}
+	g, gctx := stream.NewGroup(ctx)
+	taskQ := stream.NewQueue[task]("cells", 0)
+	outQ := stream.NewQueue[outcome]("reports", 0)
+	stream.RunSource(g, gctx, nil, "cell-scan", func(ctx context.Context, emit stream.Emit[task]) error {
+		for i, c := range cells {
+			if err := emit(task{index: i, cell: c, seed: cfg.Seed + uint64(i)*7919}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, taskQ)
+	stream.RunTransform(g, gctx, nil, "serial-kmeans", workers,
+		func(ctx context.Context, t task, emit stream.Emit[outcome]) error {
+			c := cfg
+			c.Seed = t.seed
+			rep, err := Serial(t.cell, c)
+			if err != nil {
+				return fmt.Errorf("cell %d: %w", t.index, err)
+			}
+			return emit(outcome{index: t.index, report: rep})
+		}, taskQ, outQ)
+	reports := make([]*Report, len(cells))
+	stream.RunSink(g, gctx, nil, "collect", 1, func(ctx context.Context, o outcome) error {
+		reports[o.index] = o.report
+		return nil
+	}, outQ)
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	for i, rep := range reports {
+		if rep == nil {
+			return nil, fmt.Errorf("baseline: cell %d produced no report", i)
+		}
+		rep.Name = "methodA"
+	}
+	return reports, nil
+}
+
+// MethodB ("one restart per processor") runs the R seed-set restarts of
+// a single cell concurrently and keeps the minimum-MSE representation.
+func MethodB(ctx context.Context, points *dataset.Set, cfg SerialConfig, workers int) (*Report, error) {
+	if cfg.Restarts <= 0 {
+		return nil, fmt.Errorf("baseline: restarts must be positive, got %d", cfg.Restarts)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	start := time.Now()
+	weighted := dataset.Unweighted(points)
+	// Pre-derive one RNG per restart so the result set is independent of
+	// scheduling.
+	master := rng.New(cfg.Seed)
+	rngs := make([]*rng.RNG, cfg.Restarts)
+	for i := range rngs {
+		rngs[i] = master.Split()
+	}
+	type outcome struct {
+		index int
+		res   *kmeans.Result
+	}
+	g, gctx := stream.NewGroup(ctx)
+	runQ := stream.NewQueue[int]("restarts", 0)
+	outQ := stream.NewQueue[outcome]("results", 0)
+	stream.RunSource(g, gctx, nil, "restart-ids", func(ctx context.Context, emit stream.Emit[int]) error {
+		for i := 0; i < cfg.Restarts; i++ {
+			if err := emit(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, runQ)
+	stream.RunTransform(g, gctx, nil, "kmeans-run", workers,
+		func(ctx context.Context, i int, emit stream.Emit[outcome]) error {
+			res, err := kmeans.Run(weighted, cfg.kmeansConfig(), rngs[i])
+			if err != nil {
+				return fmt.Errorf("restart %d: %w", i, err)
+			}
+			return emit(outcome{index: i, res: res})
+		}, runQ, outQ)
+	results := make([]*kmeans.Result, cfg.Restarts)
+	stream.RunSink(g, gctx, nil, "collect", 1, func(ctx context.Context, o outcome) error {
+		results[o.index] = o.res
+		return nil
+	}, outQ)
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	var best *kmeans.Result
+	iterations := 0
+	for i, res := range results {
+		if res == nil {
+			return nil, fmt.Errorf("baseline: restart %d produced no result", i)
+		}
+		iterations += res.Iterations
+		if best == nil || res.MSE < best.MSE {
+			best = res
+		}
+	}
+	mse, err := metrics.MSE(points, best.Centroids)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Name:       "methodB",
+		Centroids:  best.Centroids,
+		MSE:        mse,
+		Elapsed:    time.Since(start),
+		Iterations: iterations,
+	}, nil
+}
+
+// MethodCStats augments the Method C report with the message-passing
+// overhead the paper calls out ("it also introduced an overhead of
+// message passing between the slaves").
+type MethodCStats struct {
+	Report
+	// Messages counts centroid broadcasts and partial-sum reductions
+	// exchanged between the master and the slaves.
+	Messages int64
+}
+
+// MethodC ("distributed Lloyd") partitions the cell's points across
+// slaves; each iteration every slave computes, for its subset, the
+// partial weighted sums per centroid, the master reduces them into new
+// means and broadcasts the result. The arithmetic is identical to serial
+// Lloyd with the same seeds, so quality matches serial exactly; only the
+// execution is distributed.
+func MethodC(ctx context.Context, points *dataset.Set, cfg SerialConfig, slaves int) (*MethodCStats, error) {
+	if slaves < 1 {
+		slaves = 1
+	}
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("baseline: K must be positive, got %d", cfg.K)
+	}
+	if points.Len() < cfg.K {
+		return nil, fmt.Errorf("baseline: %d points cannot seed k=%d", points.Len(), cfg.K)
+	}
+	start := time.Now()
+	r := rng.New(cfg.Seed)
+	weighted := dataset.Unweighted(points)
+	seeds, err := (kmeans.RandomSeeder{}).Seed(weighted, cfg.K, r)
+	if err != nil {
+		return nil, err
+	}
+	eps := cfg.Epsilon
+	if eps == 0 {
+		eps = kmeans.DefaultEpsilon
+	}
+	maxIter := cfg.MaxIterations
+	if maxIter == 0 {
+		maxIter = kmeans.DefaultMaxIterations
+	}
+
+	// Partition points across slaves (contiguous ranges).
+	parts, err := dataset.Split(points, min(slaves, points.Len()), dataset.SplitSalami, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	type partial struct {
+		sums   []vector.Vector
+		counts []float64
+		sse    float64
+	}
+	var messages atomic.Int64
+	dim := points.Dim()
+	centroids := seeds
+	prevMSE := 0.0
+	iterations := 0
+	converged := false
+
+	for iter := 1; iter <= maxIter && !converged; iter++ {
+		iterations = iter
+		results := make(chan partial, len(parts))
+		for _, part := range parts {
+			part := part
+			go func() {
+				// Broadcast of centroids to this slave.
+				messages.Add(1)
+				p := partial{
+					sums:   make([]vector.Vector, len(centroids)),
+					counts: make([]float64, len(centroids)),
+				}
+				for j := range p.sums {
+					p.sums[j] = vector.New(dim)
+				}
+				for _, v := range part.Points() {
+					j, d := vector.NearestIndex(v, centroids)
+					p.sums[j].Add(v)
+					p.counts[j]++
+					p.sse += d
+				}
+				// Reduction message back to the master.
+				messages.Add(1)
+				results <- p
+			}()
+		}
+		totalSums := make([]vector.Vector, len(centroids))
+		totalCounts := make([]float64, len(centroids))
+		for j := range totalSums {
+			totalSums[j] = vector.New(dim)
+		}
+		var sse float64
+		for range parts {
+			select {
+			case p := <-results:
+				for j := range totalSums {
+					totalSums[j].Add(p.sums[j])
+					totalCounts[j] += p.counts[j]
+				}
+				sse += p.sse
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		next := make([]vector.Vector, len(centroids))
+		for j := range next {
+			if totalCounts[j] > 0 {
+				next[j] = totalSums[j]
+				next[j].Scale(1 / totalCounts[j])
+			} else {
+				next[j] = centroids[j]
+			}
+		}
+		centroids = next
+		mse := sse / float64(points.Len())
+		if iter > 1 && prevMSE-mse <= eps {
+			converged = true
+		}
+		prevMSE = mse
+	}
+
+	mse, err := metrics.MSE(points, centroids)
+	if err != nil {
+		return nil, err
+	}
+	return &MethodCStats{
+		Report: Report{
+			Name:       "methodC",
+			Centroids:  centroids,
+			MSE:        mse,
+			Elapsed:    time.Since(start),
+			Iterations: iterations,
+		},
+		Messages: messages.Load(),
+	}, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,77 @@
+// Package baseline implements the algorithms the paper compares against
+// or positions itself relative to: the serial k-means baseline of §5, the
+// three parallelization methods of Fig. 2, a BIRCH CF-tree (Zhang et al.,
+// SIGMOD '96), and a STREAM/LOCALSEARCH-style one-pass hierarchical
+// clusterer (O'Callaghan et al., ICDE '02). All of them report through a
+// common Report type so the benchmark harness can tabulate them together.
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/kmeans"
+	"streamkm/internal/metrics"
+	"streamkm/internal/rng"
+	"streamkm/internal/vector"
+)
+
+// Report is the common result shape for all baselines.
+type Report struct {
+	// Name identifies the algorithm in tables.
+	Name string
+	// Centroids is the final cell representation.
+	Centroids []vector.Vector
+	// MSE is the mean squared distance of the cell's points to their
+	// nearest final centroid.
+	MSE float64
+	// Elapsed is end-to-end wall-clock time.
+	Elapsed time.Duration
+	// Iterations counts Lloyd iterations (summed over restarts).
+	Iterations int
+}
+
+// SerialConfig parameterizes the serial baseline: the paper's §5 setup
+// loads the complete grid cell into memory and runs k-means R times with
+// different random seed sets, keeping the minimum-MSE representation.
+type SerialConfig struct {
+	// K is the cluster count (paper: 40).
+	K int
+	// Restarts is the number of seed sets (paper: 10).
+	Restarts int
+	// Epsilon is the ΔMSE convergence threshold (0 = paper's 1e-9).
+	Epsilon float64
+	// MaxIterations caps Lloyd iterations (0 = default).
+	MaxIterations int
+	// Seed drives the random seed selection.
+	Seed uint64
+}
+
+func (c SerialConfig) kmeansConfig() kmeans.Config {
+	return kmeans.Config{K: c.K, Epsilon: c.Epsilon, MaxIterations: c.MaxIterations}
+}
+
+// Serial runs the paper's serial k-means baseline over one cell.
+func Serial(points *dataset.Set, cfg SerialConfig) (*Report, error) {
+	if cfg.Restarts <= 0 {
+		return nil, fmt.Errorf("baseline: restarts must be positive, got %d", cfg.Restarts)
+	}
+	start := time.Now()
+	weighted := dataset.Unweighted(points)
+	rr, err := kmeans.RunRestarts(weighted, cfg.kmeansConfig(), cfg.Restarts, rng.New(cfg.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("baseline: serial: %w", err)
+	}
+	mse, err := metrics.MSE(points, rr.Best.Centroids)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Name:       "serial",
+		Centroids:  rr.Best.Centroids,
+		MSE:        mse,
+		Elapsed:    time.Since(start),
+		Iterations: rr.TotalIterations,
+	}, nil
+}

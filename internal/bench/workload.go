@@ -1,0 +1,89 @@
+// Package bench is the experiment harness: it regenerates every table
+// and figure of the paper's evaluation (§5) plus the ablations DESIGN.md
+// calls out, over synthetic MISR-like grid cells. Each experiment
+// returns typed rows; formatting helpers render them in the paper's
+// layout so measured shapes can be compared side by side with the
+// published numbers (EXPERIMENTS.md records that comparison).
+package bench
+
+import (
+	"fmt"
+
+	"streamkm/internal/dataset"
+)
+
+// Workload pins the data-generation and algorithm parameters shared by
+// all experiments.
+type Workload struct {
+	// Sizes is the per-cell point-count sweep (paper: 250, 2 500,
+	// 12 500, 25 000, 50 000, 75 000).
+	Sizes []int
+	// Dim is the attribute dimensionality (paper: 6).
+	Dim int
+	// K is the cluster count (paper: 40).
+	K int
+	// Restarts is the seed sets per run (paper: 10).
+	Restarts int
+	// Versions is how many independently generated cells are averaged
+	// per configuration (paper: 5).
+	Versions int
+	// Seed derives all randomness.
+	Seed uint64
+	// Spec shapes the synthetic cells.
+	Spec dataset.CellSpec
+}
+
+// PaperWorkload returns the paper's full experiment setting. Running it
+// takes minutes; tests and CI use QuickWorkload.
+func PaperWorkload() Workload {
+	spec := dataset.DefaultCellSpec()
+	return Workload{
+		Sizes:    []int{250, 2500, 12500, 25000, 50000, 75000},
+		Dim:      6,
+		K:        40,
+		Restarts: 10,
+		Versions: 5,
+		Seed:     2004,
+		Spec:     spec,
+	}
+}
+
+// QuickWorkload returns a laptop-scale setting that preserves the
+// paper's qualitative shape (same sweep structure, smaller N, smaller k)
+// for tests and smoke benchmarks.
+func QuickWorkload() Workload {
+	spec := dataset.DefaultCellSpec()
+	spec.Clusters = 12
+	return Workload{
+		Sizes:    []int{250, 1000, 4000},
+		Dim:      6,
+		K:        10,
+		Restarts: 3,
+		Versions: 2,
+		Seed:     2004,
+		Spec:     spec,
+	}
+}
+
+func (w Workload) validate() error {
+	if len(w.Sizes) == 0 {
+		return fmt.Errorf("bench: workload has no sizes")
+	}
+	for _, n := range w.Sizes {
+		if n <= 0 {
+			return fmt.Errorf("bench: non-positive size %d", n)
+		}
+	}
+	if w.Dim <= 0 || w.K <= 0 || w.Restarts <= 0 || w.Versions <= 0 {
+		return fmt.Errorf("bench: Dim, K, Restarts, Versions must be positive")
+	}
+	return nil
+}
+
+// cell generates version v of the N-point cell deterministically.
+func (w Workload) cell(n int, version int) (*dataset.Set, error) {
+	spec := w.Spec
+	spec.Dim = w.Dim
+	seed := w.Seed ^ (uint64(n) << 20) ^ uint64(version)*0x9e37
+	return dataset.GenerateCell(spec, n, seed)
+}

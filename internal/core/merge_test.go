@@ -1,0 +1,197 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/kmeans"
+	"streamkm/internal/rng"
+	"streamkm/internal/vector"
+)
+
+// weightedParts fabricates p partial results, each holding centroids near
+// the same three latent locations. The first partition's centroids carry
+// the dominant weights — one per location — so heaviest-weight seeding
+// starts with one seed per latent cluster, the situation §3.3 argues the
+// weighting creates ("data points that are likely to represent
+// significant cluster centroids already").
+func weightedParts(t *testing.T, p int) []*dataset.WeightedSet {
+	t.Helper()
+	r := rng.New(21)
+	locs := []float64{-100, 0, 100}
+	parts := make([]*dataset.WeightedSet, p)
+	for i := range parts {
+		ws := dataset.MustNewWeightedSet(1)
+		for j, l := range locs {
+			w := 50 + 10*r.Float64()
+			if i == 0 {
+				w = 1000 + float64(j)
+			}
+			wp := dataset.WeightedPoint{
+				Vec:    vector.Of(l + r.NormFloat64()),
+				Weight: w,
+			}
+			if err := ws.Add(wp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		parts[i] = ws
+	}
+	return parts
+}
+
+func TestMergeValidation(t *testing.T) {
+	parts := weightedParts(t, 3)
+	if _, err := MergeKMeans(parts, MergeConfig{K: 0}, rng.New(1)); err == nil {
+		t.Fatal("K=0 should error")
+	}
+	if _, err := MergeKMeans(nil, MergeConfig{K: 3}, rng.New(1)); err == nil {
+		t.Fatal("no parts should error")
+	}
+	if _, err := MergeKMeans(parts, MergeConfig{K: 3, Mode: MergeMode(9)}, rng.New(1)); err == nil {
+		t.Fatal("unknown mode should error")
+	}
+	bad := append(append([]*dataset.WeightedSet{}, parts...), dataset.MustNewWeightedSet(2))
+	if _, err := MergeKMeans(bad, MergeConfig{K: 3}, rng.New(1)); err == nil {
+		t.Fatal("mixed dims should error")
+	}
+	if _, err := MergeKMeans(parts[:1], MergeConfig{K: 10}, rng.New(1)); err == nil {
+		t.Fatal("pool smaller than k should error")
+	}
+}
+
+func TestMergeCollectiveRecoversLocations(t *testing.T) {
+	parts := weightedParts(t, 5)
+	mr, err := MergeKMeans(parts, MergeConfig{K: 3}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mr.Centroids) != 3 {
+		t.Fatalf("got %d centroids", len(mr.Centroids))
+	}
+	if mr.Inputs != 15 {
+		t.Fatalf("Inputs = %d, want 15", mr.Inputs)
+	}
+	for _, loc := range []float64{-100, 0, 100} {
+		found := false
+		for _, c := range mr.Centroids {
+			if math.Abs(c[0]-loc) < 3 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no merged centroid near %g: %v", loc, mr.Centroids)
+		}
+	}
+	// Total merged weight equals total input weight.
+	var inW, outW float64
+	for _, p := range parts {
+		inW += p.TotalWeight()
+	}
+	for _, w := range mr.Weights {
+		outW += w
+	}
+	if math.Abs(inW-outW) > 1e-6 {
+		t.Fatalf("weight not conserved: in=%g out=%g", inW, outW)
+	}
+	if mr.Iterations <= 0 {
+		t.Fatal("no iterations recorded")
+	}
+}
+
+func TestMergeIncrementalProducesResult(t *testing.T) {
+	parts := weightedParts(t, 6)
+	mr, err := MergeKMeans(parts, MergeConfig{K: 3, Mode: MergeIncremental}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mr.Centroids) != 3 {
+		t.Fatalf("got %d centroids", len(mr.Centroids))
+	}
+	if mr.Inputs != 18 {
+		t.Fatalf("Inputs = %d", mr.Inputs)
+	}
+	for _, loc := range []float64{-100, 0, 100} {
+		found := false
+		for _, c := range mr.Centroids {
+			if math.Abs(c[0]-loc) < 5 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("incremental merge lost location %g: %v", loc, mr.Centroids)
+		}
+	}
+}
+
+func TestMergeIncrementalPoolsUntilK(t *testing.T) {
+	// Each part has 1 centroid; with K=3 the first two arrivals cannot
+	// trigger a merge and must pool instead.
+	parts := make([]*dataset.WeightedSet, 4)
+	for i := range parts {
+		ws := dataset.MustNewWeightedSet(1)
+		if err := ws.Add(dataset.WeightedPoint{Vec: vector.Of(float64(i * 10)), Weight: 1}); err != nil {
+			t.Fatal(err)
+		}
+		parts[i] = ws
+	}
+	mr, err := MergeKMeans(parts, MergeConfig{K: 3, Mode: MergeIncremental}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mr.Centroids) != 3 {
+		t.Fatalf("got %d centroids", len(mr.Centroids))
+	}
+}
+
+func TestMergeIncrementalNeverReachesKErrors(t *testing.T) {
+	ws := dataset.MustNewWeightedSet(1)
+	if err := ws.Add(dataset.WeightedPoint{Vec: vector.Of(1), Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeKMeans([]*dataset.WeightedSet{ws}, MergeConfig{K: 5, Mode: MergeIncremental}, rng.New(1)); err == nil {
+		t.Fatal("pool below k should error")
+	}
+}
+
+func TestMergeHeaviestSeedingIsDefault(t *testing.T) {
+	// With deterministic heaviest seeding and no RNG use, a nil RNG must
+	// work for the default config.
+	parts := weightedParts(t, 4)
+	if _, err := MergeKMeans(parts, MergeConfig{K: 3}, nil); err != nil {
+		t.Fatalf("default merge should not need RNG: %v", err)
+	}
+	// A random seeder without RNG must fail loudly.
+	if _, err := MergeKMeans(parts, MergeConfig{K: 3, Seeder: kmeans.RandomSeeder{}}, nil); err == nil {
+		t.Fatal("random-seeded merge without RNG should error")
+	}
+}
+
+func TestMergeOrderInsensitiveCollective(t *testing.T) {
+	parts := weightedParts(t, 5)
+	a, err := MergeKMeans(parts, MergeConfig{K: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev := make([]*dataset.WeightedSet, len(parts))
+	for i := range parts {
+		rev[i] = parts[len(parts)-1-i]
+	}
+	b, err := MergeKMeans(rev, MergeConfig{K: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.MSE-b.MSE) > 1e-9 {
+		t.Fatalf("collective merge MSE depends on arrival order: %g vs %g", a.MSE, b.MSE)
+	}
+}
+
+func TestMergeModeString(t *testing.T) {
+	if MergeCollective.String() != "collective" || MergeIncremental.String() != "incremental" {
+		t.Fatal("mode names wrong")
+	}
+	if MergeMode(7).String() == "" {
+		t.Fatal("unknown mode should stringify")
+	}
+}

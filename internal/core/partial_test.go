@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/rng"
+	"streamkm/internal/vector"
+)
+
+// blobCell builds a cell of nBlobs tight Gaussian blobs, n points total.
+func blobCell(t testing.TB, nBlobs, n int, seed uint64) *dataset.Set {
+	t.Helper()
+	spec := dataset.DefaultCellSpec()
+	spec.Clusters = nBlobs
+	spec.Dim = 3
+	spec.NoiseFrac = 0
+	spec.Separation = 30
+	spec.Spread = 0.5
+	s, err := dataset.GenerateCell(spec, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPartialConfigValidation(t *testing.T) {
+	chunk := blobCell(t, 4, 100, 1)
+	if _, err := PartialKMeans(chunk, PartialConfig{K: 0, Restarts: 1}, rng.New(1)); err == nil {
+		t.Fatal("K=0 should error")
+	}
+	if _, err := PartialKMeans(chunk, PartialConfig{K: 4, Restarts: 0}, rng.New(1)); err == nil {
+		t.Fatal("Restarts=0 should error")
+	}
+	if _, err := PartialKMeans(dataset.MustNewSet(3), PartialConfig{K: 4, Restarts: 1}, rng.New(1)); err == nil {
+		t.Fatal("empty chunk should error")
+	}
+	if _, err := PartialKMeans(chunk, PartialConfig{K: 101, Restarts: 1}, rng.New(1)); err == nil {
+		t.Fatal("K > chunk size should error")
+	}
+}
+
+func TestPartialKMeansWeightsSumToN(t *testing.T) {
+	chunk := blobCell(t, 4, 200, 2)
+	pr, err := PartialKMeans(chunk, PartialConfig{K: 4, Restarts: 3}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Points != 200 {
+		t.Fatalf("Points = %d", pr.Points)
+	}
+	if got := pr.Centroids.TotalWeight(); math.Abs(got-200) > 1e-9 {
+		t.Fatalf("sum of centroid weights = %g, want 200 (= N_j)", got)
+	}
+	if pr.Centroids.Len() == 0 || pr.Centroids.Len() > 4 {
+		t.Fatalf("centroid count = %d", pr.Centroids.Len())
+	}
+	if pr.Iterations <= 0 {
+		t.Fatalf("Iterations = %d", pr.Iterations)
+	}
+	if pr.MSE < 0 {
+		t.Fatalf("MSE = %g", pr.MSE)
+	}
+}
+
+func TestPartialKMeansRestartImproves(t *testing.T) {
+	// Over many restart comparisons, best-of-10 should never lose to
+	// best-of-1 given the identical first seed set; we verify the
+	// statistical direction over several cells rather than a single run.
+	wins, ties := 0, 0
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		chunk := blobCell(t, 8, 300, uint64(trial+10))
+		one, err := PartialKMeans(chunk, PartialConfig{K: 8, Restarts: 1}, rng.New(uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ten, err := PartialKMeans(chunk, PartialConfig{K: 8, Restarts: 10}, rng.New(uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ten.MSE < one.MSE-1e-12 {
+			wins++
+		} else if math.Abs(ten.MSE-one.MSE) <= 1e-12 {
+			ties++
+		}
+	}
+	if wins+ties < trials {
+		t.Fatalf("best-of-10 lost to best-of-1 on %d/%d cells", trials-wins-ties, trials)
+	}
+}
+
+func TestPartialKMeansDeterministic(t *testing.T) {
+	chunk := blobCell(t, 4, 150, 3)
+	a, err := PartialKMeans(chunk, PartialConfig{K: 4, Restarts: 2}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PartialKMeans(chunk, PartialConfig{K: 4, Restarts: 2}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MSE != b.MSE || a.Centroids.Len() != b.Centroids.Len() {
+		t.Fatal("same seed produced different partial results")
+	}
+	for i := 0; i < a.Centroids.Len(); i++ {
+		if !a.Centroids.At(i).Vec.Equal(b.Centroids.At(i).Vec) {
+			t.Fatalf("centroid %d differs", i)
+		}
+	}
+}
+
+func TestPartialFindsBlobCenters(t *testing.T) {
+	// A chunk with 3 well-separated blobs and k=3 should put one
+	// centroid near each blob mean.
+	s := dataset.MustNewSet(1)
+	r := rng.New(11)
+	means := []float64{-50, 0, 50}
+	for i := 0; i < 300; i++ {
+		m := means[i%3]
+		if err := s.Add(vector.Of(m + r.NormFloat64()*0.5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pr, err := PartialKMeans(s, PartialConfig{K: 3, Restarts: 10}, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := make([]bool, 3)
+	for i := 0; i < pr.Centroids.Len(); i++ {
+		c := pr.Centroids.At(i).Vec[0]
+		for j, m := range means {
+			if math.Abs(c-m) < 2 {
+				found[j] = true
+			}
+		}
+	}
+	for j, ok := range found {
+		if !ok {
+			t.Fatalf("no centroid near blob %d (mean %g): %v", j, means[j], pr.Centroids.Points())
+		}
+	}
+	// Each blob has ~100 points; weights should reflect that.
+	for i := 0; i < pr.Centroids.Len(); i++ {
+		w := pr.Centroids.At(i).Weight
+		if w < 80 || w > 120 {
+			t.Fatalf("centroid %d weight %g far from 100", i, w)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/kmeans"
+	"streamkm/internal/metrics"
+	"streamkm/internal/rng"
+	"streamkm/internal/stream"
+	"streamkm/internal/vector"
+)
+
+// Options configures a full partial/merge run over one grid cell.
+type Options struct {
+	// K is the number of clusters (paper: 40).
+	K int
+	// Restarts is the seed sets tried per partition and, for the serial
+	// baseline path, per cell (paper: 10).
+	Restarts int
+	// Splits is the number of partitions p (paper: 5 or 10). Exactly one
+	// of Splits and ChunkPoints must be positive.
+	Splits int
+	// ChunkPoints, when positive, sizes partitions by a memory budget
+	// (max points per chunk) instead of a fixed count — the engine's
+	// adaptive mode (§3.2: partitions sized to available RAM).
+	ChunkPoints int
+	// Strategy selects the slicing strategy (paper tests: random).
+	Strategy dataset.SplitStrategy
+	// MergeMode selects collective (paper) or incremental merging.
+	MergeMode MergeMode
+	// MergeSeeder overrides merge initialization (nil = heaviest-weight).
+	MergeSeeder kmeans.Seeder
+	// PartialSeeder overrides partial-stage initialization (nil =
+	// random, the paper's choice).
+	PartialSeeder kmeans.Seeder
+	// Epsilon is the ΔMSE convergence threshold (0 = paper's 1e-9).
+	Epsilon float64
+	// MaxIterations caps Lloyd iterations per run (0 = default).
+	MaxIterations int
+	// Seed derives all randomness for the run; equal seeds reproduce
+	// results exactly.
+	Seed uint64
+	// Parallelism is the number of partial-operator clones used by
+	// ClusterParallel (<=0 selects 1; Cluster ignores it).
+	Parallelism int
+	// QueueCapacity sizes the inter-operator queues in ClusterParallel
+	// (<=0 selects the stream default).
+	QueueCapacity int
+	// Accelerate selects Hamerly's bound-based Lloyd iteration in both
+	// the partial and merge steps.
+	Accelerate bool
+}
+
+func (o Options) validate() error {
+	if o.K <= 0 {
+		return fmt.Errorf("core: K must be positive, got %d", o.K)
+	}
+	if o.Restarts <= 0 {
+		return fmt.Errorf("core: Restarts must be positive, got %d", o.Restarts)
+	}
+	if (o.Splits > 0) == (o.ChunkPoints > 0) {
+		return errors.New("core: exactly one of Splits and ChunkPoints must be positive")
+	}
+	return nil
+}
+
+func (o Options) partialConfig() PartialConfig {
+	return PartialConfig{
+		K:             o.K,
+		Restarts:      o.Restarts,
+		Epsilon:       o.Epsilon,
+		MaxIterations: o.MaxIterations,
+		Accelerate:    o.Accelerate,
+		Seeder:        o.PartialSeeder,
+	}
+}
+
+func (o Options) mergeConfig() MergeConfig {
+	return MergeConfig{
+		K:             o.K,
+		Epsilon:       o.Epsilon,
+		MaxIterations: o.MaxIterations,
+		Seeder:        o.MergeSeeder,
+		Mode:          o.MergeMode,
+		Accelerate:    o.Accelerate,
+	}
+}
+
+// Result is the outcome of a full partial/merge run.
+type Result struct {
+	// Centroids are the final k cell centroids.
+	Centroids []vector.Vector
+	// Weights are the data weights merged into each centroid.
+	Weights []float64
+	// MergeMSE is the paper's E_pm-based MSE reported for partial/merge
+	// runs in Table 2 (weighted distance of partial centroids to final
+	// centroids).
+	MergeMSE float64
+	// PointMSE is the mean squared distance of the original points to
+	// the final centroids — the apples-to-apples quality number we add
+	// alongside the paper's metric.
+	PointMSE float64
+	// Partitions is the number of chunks p actually used.
+	Partitions int
+	// PartialTime sums wall-clock time across partial steps ("t C0-Ci"
+	// in Table 2; under ClusterParallel clones overlap, so the summed
+	// value is CPU-like while Elapsed is wall-clock).
+	PartialTime time.Duration
+	// MergeTime is the merge step's wall-clock time ("t merge").
+	MergeTime time.Duration
+	// Elapsed is end-to-end wall-clock time ("overall t").
+	Elapsed time.Duration
+	// PartialIterations and MergeIterations sum Lloyd iterations.
+	PartialIterations int
+	MergeIterations   int
+}
+
+// Cluster runs partial/merge k-means over one cell with all partial
+// steps executed serially on the calling goroutine — the configuration
+// the paper's Table 2 measures ("even if all partial k-means steps are
+// run serially on one machine").
+func Cluster(points *dataset.Set, opts Options) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	r := rng.New(opts.Seed)
+	chunks, err := splitForOptions(points, opts, r)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Partitions: len(chunks)}
+	parts := make([]*dataset.WeightedSet, len(chunks))
+	for i, chunk := range chunks {
+		pr, err := PartialKMeans(chunk, opts.partialConfig(), r.Split())
+		if err != nil {
+			return nil, fmt.Errorf("core: partition %d: %w", i, err)
+		}
+		parts[i] = pr.Centroids
+		res.PartialTime += pr.Elapsed
+		res.PartialIterations += pr.Iterations
+	}
+	if err := finishMerge(points, parts, opts, r, res); err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// ClusterParallel runs the same computation as a stream plan: a chunk
+// source feeding Parallelism clones of the partial operator, whose
+// weighted centroid sets fan in to the merge operator (Fig. 5). The
+// result is deterministic for a fixed Seed up to merge-input order;
+// collective merging with heaviest-weight seeding makes the final
+// centroids insensitive to arrival order, matching §3.3's argument.
+func ClusterParallel(ctx context.Context, points *dataset.Set, opts Options) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	r := rng.New(opts.Seed)
+	chunks, err := splitForOptions(points, opts, r)
+	if err != nil {
+		return nil, err
+	}
+	clones := opts.Parallelism
+	if clones < 1 {
+		clones = 1
+	}
+
+	type task struct {
+		index int
+		chunk *dataset.Set
+		rng   *rng.RNG
+	}
+	type partOut struct {
+		index int
+		res   *PartialResult
+	}
+
+	// Derive one RNG per chunk up front so results do not depend on
+	// which clone handles which chunk.
+	tasks := make([]task, len(chunks))
+	for i, c := range chunks {
+		tasks[i] = task{index: i, chunk: c, rng: r.Split()}
+	}
+
+	g, gctx := stream.NewGroup(ctx)
+	reg := stream.NewStatsRegistry()
+	chunkQ := stream.NewQueue[task]("chunks", opts.QueueCapacity)
+	partQ := stream.NewQueue[partOut]("partials", opts.QueueCapacity)
+
+	stream.RunSource(g, gctx, reg, "scan", func(ctx context.Context, emit stream.Emit[task]) error {
+		for _, t := range tasks {
+			if err := emit(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, chunkQ)
+
+	stream.RunTransform(g, gctx, reg, "partial-kmeans", clones,
+		func(ctx context.Context, t task, emit stream.Emit[partOut]) error {
+			pr, err := PartialKMeans(t.chunk, opts.partialConfig(), t.rng)
+			if err != nil {
+				return fmt.Errorf("partition %d: %w", t.index, err)
+			}
+			return emit(partOut{index: t.index, res: pr})
+		}, chunkQ, partQ)
+
+	collected := make([]*PartialResult, len(chunks))
+	stream.RunSink(g, gctx, reg, "collect-partials", 1,
+		func(ctx context.Context, p partOut) error {
+			collected[p.index] = p.res
+			return nil
+		}, partQ)
+
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+
+	res := &Result{Partitions: len(chunks)}
+	parts := make([]*dataset.WeightedSet, len(chunks))
+	for i, pr := range collected {
+		if pr == nil {
+			return nil, fmt.Errorf("core: partition %d produced no result", i)
+		}
+		parts[i] = pr.Centroids
+		res.PartialTime += pr.Elapsed
+		res.PartialIterations += pr.Iterations
+	}
+	if err := finishMerge(points, parts, opts, r, res); err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func splitForOptions(points *dataset.Set, opts Options, r *rng.RNG) ([]*dataset.Set, error) {
+	if opts.Splits > 0 {
+		return dataset.Split(points, opts.Splits, opts.Strategy, r)
+	}
+	return dataset.SplitByBudget(points, opts.ChunkPoints, opts.Strategy, r)
+}
+
+func finishMerge(points *dataset.Set, parts []*dataset.WeightedSet, opts Options, r *rng.RNG, res *Result) error {
+	mr, err := MergeKMeans(parts, opts.mergeConfig(), r.Split())
+	if err != nil {
+		return err
+	}
+	res.Centroids = mr.Centroids
+	res.Weights = mr.Weights
+	res.MergeMSE = mr.MSE
+	res.MergeTime = mr.Elapsed
+	res.MergeIterations = mr.Iterations
+	pm, err := metrics.MSE(points, mr.Centroids)
+	if err != nil {
+		return err
+	}
+	res.PointMSE = pm
+	return nil
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/rng"
+	"streamkm/internal/vector"
+)
+
+// Property: the pipeline conserves data mass end to end — the merged
+// weights always sum to N, for any split count, strategy, merge mode
+// and seed. This is the invariant that makes the compressed
+// representation trustworthy as a summary of the cell.
+func TestPipelineWeightConservationProperty(t *testing.T) {
+	f := func(seed uint16, splitsRaw, stratRaw, modeRaw uint8) bool {
+		r := rng.New(uint64(seed) + 1)
+		n := 150 + int(seed%200)
+		s := dataset.MustNewSet(2)
+		for i := 0; i < n; i++ {
+			v := vector.Of(r.NormFloat64()*20, r.NormFloat64()*20)
+			if s.Add(v) != nil {
+				return false
+			}
+		}
+		k := 5
+		maxSplits := n / k
+		if maxSplits > 8 {
+			maxSplits = 8
+		}
+		splits := int(splitsRaw)%maxSplits + 1
+		res, err := Cluster(s, Options{
+			K:         k,
+			Restarts:  1,
+			Splits:    splits,
+			Strategy:  dataset.SplitStrategy(stratRaw % 3),
+			MergeMode: MergeMode(modeRaw % 2),
+			Seed:      uint64(seed),
+		})
+		if err != nil {
+			return false
+		}
+		var total float64
+		for _, w := range res.Weights {
+			if w < 0 {
+				return false
+			}
+			total += w
+		}
+		return math.Abs(total-float64(n)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the final centroids always lie inside the data's bounding
+// box — weighted means of means of points cannot escape the convex hull,
+// and the box is an outer bound of the hull.
+func TestCentroidsInsideBoundingBoxProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		r := rng.New(uint64(seed) + 7)
+		s := dataset.MustNewSet(3)
+		for i := 0; i < 120; i++ {
+			v := vector.Of(r.NormFloat64()*9, r.Float64()*50, -r.Float64()*3)
+			if s.Add(v) != nil {
+				return false
+			}
+		}
+		res, err := Cluster(s, Options{K: 6, Restarts: 1, Splits: 3, Seed: uint64(seed)})
+		if err != nil {
+			return false
+		}
+		min, max, err := s.Bounds()
+		if err != nil {
+			return false
+		}
+		for _, c := range res.Centroids {
+			for d := range c {
+				if c[d] < min[d]-1e-9 || c[d] > max[d]+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: more splits never break the run as long as chunks can seed
+// k centroids, and the merge input count equals splits * (<= k).
+func TestSplitsFeasibilityProperty(t *testing.T) {
+	const n, k = 400, 4
+	cell := blobCell(t, 4, n, 77)
+	f := func(splitsRaw uint8) bool {
+		splits := int(splitsRaw)%(n/k) + 1
+		res, err := Cluster(cell, Options{K: k, Restarts: 1, Splits: splits, Seed: 3})
+		if err != nil {
+			return false
+		}
+		return res.Partitions == splits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MergeMSE is invariant to a global translation of the data
+// (k-means geometry is translation-equivariant; all randomness is
+// seed-pinned and operates on indices, not coordinates).
+func TestTranslationEquivarianceProperty(t *testing.T) {
+	f := func(seed uint16, shiftRaw int8) bool {
+		shift := float64(shiftRaw)
+		r := rng.New(uint64(seed) + 3)
+		a := dataset.MustNewSet(2)
+		b := dataset.MustNewSet(2)
+		for i := 0; i < 160; i++ {
+			x, y := r.NormFloat64()*15, r.NormFloat64()*15
+			if a.Add(vector.Of(x, y)) != nil {
+				return false
+			}
+			if b.Add(vector.Of(x+shift, y+shift)) != nil {
+				return false
+			}
+		}
+		opts := Options{K: 5, Restarts: 2, Splits: 4, Seed: uint64(seed)}
+		ra, err := Cluster(a, opts)
+		if err != nil {
+			return false
+		}
+		rb, err := Cluster(b, opts)
+		if err != nil {
+			return false
+		}
+		scale := 1e-6 * (1 + math.Abs(ra.MergeMSE))
+		return math.Abs(ra.MergeMSE-rb.MergeMSE) < scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/kmeans"
+	"streamkm/internal/rng"
+)
+
+// WindowedClusterer extends partial/merge k-means to the continuous-
+// query regime of the paper's closest related work (LOCALSEARCH, §2.2):
+// an unbounded stream is consumed chunk by chunk, but only the W most
+// recent chunk summaries are retained, so the clustering answers
+// "what does the stream look like *now*" instead of "overall". Because
+// chunks are reduced to weighted centroids, expiring a chunk is O(1) —
+// the collective merge is recomputed from the surviving summaries on
+// demand, preserving §3.3's fairness between all live chunks.
+type WindowedClusterer struct {
+	k        int
+	window   int
+	cfg      PartialConfig
+	merge    MergeConfig
+	dim      int
+	rng      *rng.RNG
+	buffer   *dataset.Set
+	chunkCap int
+	// ring of the W most recent chunk summaries
+	summaries []*dataset.WeightedSet
+	consumed  int
+	expired   int
+}
+
+// WindowConfig parameterizes a WindowedClusterer.
+type WindowConfig struct {
+	// K is the cluster count of every partial and merge step.
+	K int
+	// ChunkPoints is the memory budget per chunk.
+	ChunkPoints int
+	// WindowChunks is W, the number of recent chunks the clustering
+	// covers.
+	WindowChunks int
+	// Restarts, Epsilon, MaxIterations, Accelerate tune the inner
+	// k-means (Restarts 0 = 1).
+	Restarts      int
+	Epsilon       float64
+	MaxIterations int
+	Accelerate    bool
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// NewWindowedClusterer validates the configuration.
+func NewWindowedClusterer(dim int, cfg WindowConfig) (*WindowedClusterer, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("core: dim must be positive, got %d", dim)
+	}
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("core: K must be positive, got %d", cfg.K)
+	}
+	if cfg.ChunkPoints < cfg.K {
+		return nil, fmt.Errorf("core: ChunkPoints %d below K %d", cfg.ChunkPoints, cfg.K)
+	}
+	if cfg.WindowChunks <= 0 {
+		return nil, fmt.Errorf("core: WindowChunks must be positive, got %d", cfg.WindowChunks)
+	}
+	restarts := cfg.Restarts
+	if restarts <= 0 {
+		restarts = 1
+	}
+	buffer, err := dataset.NewSet(dim)
+	if err != nil {
+		return nil, err
+	}
+	return &WindowedClusterer{
+		k:      cfg.K,
+		window: cfg.WindowChunks,
+		cfg: PartialConfig{
+			K:             cfg.K,
+			Restarts:      restarts,
+			Epsilon:       cfg.Epsilon,
+			MaxIterations: cfg.MaxIterations,
+			Accelerate:    cfg.Accelerate,
+		},
+		merge: MergeConfig{
+			K:             cfg.K,
+			Epsilon:       cfg.Epsilon,
+			MaxIterations: cfg.MaxIterations,
+			Seeder:        kmeans.HeaviestSeeder{},
+			Accelerate:    cfg.Accelerate,
+		},
+		dim:      dim,
+		rng:      rng.New(cfg.Seed),
+		buffer:   buffer,
+		chunkCap: cfg.ChunkPoints,
+	}, nil
+}
+
+// Consumed returns the total number of points pushed.
+func (w *WindowedClusterer) Consumed() int { return w.consumed }
+
+// Expired returns the number of chunk summaries that have fallen out of
+// the window.
+func (w *WindowedClusterer) Expired() int { return w.expired }
+
+// LiveChunks returns the number of summaries currently in the window.
+func (w *WindowedClusterer) LiveChunks() int { return len(w.summaries) }
+
+// Push consumes one point; a full buffer becomes a chunk summary and the
+// oldest summary expires when the window overflows.
+func (w *WindowedClusterer) Push(point []float64) error {
+	if len(point) != w.dim {
+		return fmt.Errorf("core: point dim %d, want %d", len(point), w.dim)
+	}
+	p := make([]float64, w.dim)
+	copy(p, point)
+	if err := w.buffer.Add(p); err != nil {
+		return err
+	}
+	w.consumed++
+	if w.buffer.Len() >= w.chunkCap {
+		return w.rotate()
+	}
+	return nil
+}
+
+func (w *WindowedClusterer) rotate() error {
+	pr, err := PartialKMeans(w.buffer, w.cfg, w.rng.Split())
+	if err != nil {
+		return err
+	}
+	w.summaries = append(w.summaries, pr.Centroids)
+	if len(w.summaries) > w.window {
+		w.summaries = w.summaries[1:]
+		w.expired++
+	}
+	fresh, err := dataset.NewSet(w.dim)
+	if err != nil {
+		return err
+	}
+	w.buffer = fresh
+	return nil
+}
+
+// Snapshot merges the window's live summaries (plus any buffered tail
+// with at least one point, kept as unit-weight centroids so recent data
+// is never invisible) into the current clustering. The clusterer keeps
+// running; Snapshot can be called any number of times.
+func (w *WindowedClusterer) Snapshot() (*MergeResult, error) {
+	parts := make([]*dataset.WeightedSet, 0, len(w.summaries)+1)
+	parts = append(parts, w.summaries...)
+	if w.buffer.Len() > 0 {
+		parts = append(parts, dataset.Unweighted(w.buffer))
+	}
+	if len(parts) == 0 {
+		return nil, errors.New("core: window is empty")
+	}
+	total := 0
+	for _, p := range parts {
+		total += p.Len()
+	}
+	if total < w.k {
+		return nil, fmt.Errorf("core: window holds %d representatives, need at least k=%d", total, w.k)
+	}
+	// Snapshot must not perturb the ongoing stream's RNG sequence:
+	// derive a throwaway generator keyed on progress. (Heaviest seeding
+	// is deterministic anyway; the RNG covers custom seeders.)
+	snapRNG := rng.New(uint64(w.consumed)*0x9e3779b97f4a7c15 + 1)
+	return MergeKMeans(parts, w.merge, snapRNG)
+}

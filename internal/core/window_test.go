@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"streamkm/internal/rng"
+)
+
+func TestNewWindowedClustererValidation(t *testing.T) {
+	cases := []WindowConfig{
+		{K: 0, ChunkPoints: 10, WindowChunks: 2},
+		{K: 5, ChunkPoints: 4, WindowChunks: 2},
+		{K: 5, ChunkPoints: 10, WindowChunks: 0},
+	}
+	for i, cfg := range cases {
+		if _, err := NewWindowedClusterer(2, cfg); err == nil {
+			t.Errorf("case %d should be rejected: %+v", i, cfg)
+		}
+	}
+	if _, err := NewWindowedClusterer(0, WindowConfig{K: 2, ChunkPoints: 10, WindowChunks: 2}); err == nil {
+		t.Error("dim=0 should be rejected")
+	}
+}
+
+func TestWindowedClustererTracksDrift(t *testing.T) {
+	w, err := NewWindowedClusterer(1, WindowConfig{
+		K: 4, ChunkPoints: 100, WindowChunks: 3, Restarts: 3, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(9)
+	push := func(center float64, n int) {
+		for i := 0; i < n; i++ {
+			if err := w.Push([]float64{center + r.NormFloat64()}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Phase 1: 6 chunks around 0 — more than the window holds.
+	push(0, 600)
+	if w.LiveChunks() != 3 {
+		t.Fatalf("LiveChunks = %d, want window size 3", w.LiveChunks())
+	}
+	if w.Expired() != 3 {
+		t.Fatalf("Expired = %d, want 3", w.Expired())
+	}
+	snap1, err := w.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range snap1.Centroids {
+		if math.Abs(c[0]) > 5 {
+			t.Fatalf("phase-1 snapshot has centroid at %g, want near 0", c[0])
+		}
+	}
+	// Phase 2: the stream jumps to 1000; after 3 more chunks the old
+	// regime must have fully expired.
+	push(1000, 300)
+	if w.Expired() != 6 {
+		t.Fatalf("Expired = %d, want 6", w.Expired())
+	}
+	snap2, err := w.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range snap2.Centroids {
+		if math.Abs(c[0]-1000) > 5 {
+			t.Fatalf("phase-2 snapshot still remembers old regime: centroid at %g", c[0])
+		}
+	}
+}
+
+func TestWindowedSnapshotIncludesBufferedTail(t *testing.T) {
+	w, err := NewWindowedClusterer(1, WindowConfig{
+		K: 2, ChunkPoints: 100, WindowChunks: 2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fewer points than one chunk: snapshot must still work from the
+	// raw buffered tail.
+	r := rng.New(3)
+	for i := 0; i < 50; i++ {
+		x := float64(i%2) * 100
+		if err := w.Push([]float64{x + r.NormFloat64()*0.1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := w.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var near0, near100 bool
+	for _, c := range snap.Centroids {
+		if math.Abs(c[0]) < 5 {
+			near0 = true
+		}
+		if math.Abs(c[0]-100) < 5 {
+			near100 = true
+		}
+	}
+	if !near0 || !near100 {
+		t.Fatalf("tail-only snapshot missed structure: %v", snap.Centroids)
+	}
+}
+
+func TestWindowedSnapshotErrors(t *testing.T) {
+	w, err := NewWindowedClusterer(1, WindowConfig{K: 5, ChunkPoints: 10, WindowChunks: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Snapshot(); err == nil {
+		t.Fatal("empty window should error")
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Push([]float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := w.Snapshot(); err == nil {
+		t.Fatal("3 representatives with k=5 should error")
+	}
+	if err := w.Push([]float64{1, 2}); err == nil {
+		t.Fatal("wrong-dim push should error")
+	}
+}
+
+func TestWindowedSnapshotIsRepeatable(t *testing.T) {
+	w, err := NewWindowedClusterer(1, WindowConfig{K: 3, ChunkPoints: 60, WindowChunks: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(11)
+	for i := 0; i < 200; i++ {
+		if err := w.Push([]float64{r.NormFloat64() * 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := w.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MSE != b.MSE {
+		t.Fatalf("back-to-back snapshots differ: %g vs %g", a.MSE, b.MSE)
+	}
+	// Snapshot must not consume stream state.
+	if w.Consumed() != 200 {
+		t.Fatalf("Consumed = %d", w.Consumed())
+	}
+}

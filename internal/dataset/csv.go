@@ -1,0 +1,101 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"streamkm/internal/vector"
+)
+
+// CSVOptions controls CSV parsing for ReadCSV.
+type CSVOptions struct {
+	// Comma is the field separator (0 = ',').
+	Comma rune
+	// HasHeader skips the first record.
+	HasHeader bool
+	// Columns selects which fields form the point vector, in order;
+	// nil means every field.
+	Columns []int
+	// Comment, when non-zero, marks comment lines.
+	Comment rune
+}
+
+// ReadCSV loads a point set from CSV, a convenience for adopting the
+// library on real data. All selected fields must parse as float64 and
+// every row must yield the same dimensionality.
+func ReadCSV(r io.Reader, opts CSVOptions) (*Set, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	if opts.Comment != 0 {
+		cr.Comment = opts.Comment
+	}
+	cr.ReuseRecord = true
+	var set *Set
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv row %d: %w", row+1, err)
+		}
+		row++
+		if opts.HasHeader && row == 1 {
+			continue
+		}
+		cols := opts.Columns
+		if cols == nil {
+			cols = make([]int, len(rec))
+			for i := range cols {
+				cols[i] = i
+			}
+		}
+		p := vector.New(len(cols))
+		for i, c := range cols {
+			if c < 0 || c >= len(rec) {
+				return nil, fmt.Errorf("dataset: csv row %d: column %d out of range (%d fields)", row, c, len(rec))
+			}
+			v, err := strconv.ParseFloat(rec[c], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: csv row %d column %d: %w", row, c, err)
+			}
+			p[i] = v
+		}
+		if set == nil {
+			var err error
+			set, err = NewSet(len(p))
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := set.Add(p); err != nil {
+			return nil, fmt.Errorf("dataset: csv row %d: %w", row, err)
+		}
+	}
+	if set == nil {
+		return nil, fmt.Errorf("dataset: csv contained no data rows")
+	}
+	return set, nil
+}
+
+// WriteCSV serializes a point set as CSV (no header), the inverse of
+// ReadCSV for round-tripping results.
+func WriteCSV(w io.Writer, s *Set) error {
+	cw := csv.NewWriter(w)
+	rec := make([]string, s.Dim())
+	for _, p := range s.Points() {
+		for d, x := range p {
+			rec[d] = strconv.FormatFloat(x, 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

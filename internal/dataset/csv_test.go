@@ -1,0 +1,95 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"streamkm/internal/vector"
+)
+
+func TestReadCSVBasic(t *testing.T) {
+	in := "1,2,3\n4,5,6\n"
+	s, err := ReadCSV(strings.NewReader(in), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 || s.Dim() != 3 {
+		t.Fatalf("set = %dx%d", s.Len(), s.Dim())
+	}
+	if !s.At(1).Equal(vector.Of(4, 5, 6)) {
+		t.Fatalf("row 2 = %v", s.At(1))
+	}
+}
+
+func TestReadCSVHeaderAndColumns(t *testing.T) {
+	in := "id,x,y,label\n1,10,20,a\n2,30,40,b\n"
+	s, err := ReadCSV(strings.NewReader(in), CSVOptions{
+		HasHeader: true,
+		Columns:   []int{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 || s.Dim() != 2 {
+		t.Fatalf("set = %dx%d", s.Len(), s.Dim())
+	}
+	if !s.At(0).Equal(vector.Of(10, 20)) {
+		t.Fatalf("row 1 = %v", s.At(0))
+	}
+}
+
+func TestReadCSVSeparatorAndComment(t *testing.T) {
+	in := "# comment\n1;2\n3;4\n"
+	s, err := ReadCSV(strings.NewReader(in), CSVOptions{Comma: ';', Comment: '#'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 || s.Dim() != 2 {
+		t.Fatalf("set = %dx%d", s.Len(), s.Dim())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), CSVOptions{}); err == nil {
+		t.Fatal("empty input should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n"), CSVOptions{}); err == nil {
+		t.Fatal("non-numeric field should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2\n"), CSVOptions{Columns: []int{5}}); err == nil {
+		t.Fatal("out-of-range column should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("h1,h2\n"), CSVOptions{HasHeader: true}); err == nil {
+		t.Fatal("header-only input should error")
+	}
+	// ragged rows are a csv-level error
+	if _, err := ReadCSV(strings.NewReader("1,2\n3\n"), CSVOptions{}); err == nil {
+		t.Fatal("ragged rows should error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := MustNewSet(2)
+	for _, p := range []vector.Vector{vector.Of(1.5, -2.25), vector.Of(0.001, 1e9)} {
+		if err := s.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(bytes.NewReader(buf.Bytes()), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() {
+		t.Fatalf("round trip len %d", got.Len())
+	}
+	for i := 0; i < s.Len(); i++ {
+		if !got.At(i).Equal(s.At(i)) {
+			t.Fatalf("row %d: %v != %v", i, got.At(i), s.At(i))
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package dataset
+
+import (
+	"testing"
+
+	"streamkm/internal/rng"
+	"streamkm/internal/vector"
+)
+
+func TestNewSetValidation(t *testing.T) {
+	if _, err := NewSet(0); err == nil {
+		t.Fatal("NewSet(0) should error")
+	}
+	if _, err := NewSet(-1); err == nil {
+		t.Fatal("NewSet(-1) should error")
+	}
+	s, err := NewSet(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dim() != 3 || s.Len() != 0 {
+		t.Fatalf("fresh set dim=%d len=%d", s.Dim(), s.Len())
+	}
+}
+
+func TestSetAddDimCheck(t *testing.T) {
+	s := MustNewSet(2)
+	if err := s.Add(vector.Of(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(vector.Of(1, 2, 3)); err == nil {
+		t.Fatal("wrong-dimension Add should error")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after one valid add", s.Len())
+	}
+	if !s.At(0).Equal(vector.Of(1, 2)) {
+		t.Fatalf("At(0) = %v", s.At(0))
+	}
+}
+
+func TestFromPoints(t *testing.T) {
+	s, err := FromPoints(2, []Point{vector.Of(1, 2), vector.Of(3, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if _, err := FromPoints(2, []Point{vector.Of(1)}); err == nil {
+		t.Fatal("mismatched point should error")
+	}
+	if _, err := FromPoints(0, nil); err == nil {
+		t.Fatal("zero dim should error")
+	}
+}
+
+func TestSetClone(t *testing.T) {
+	s := MustNewSet(1)
+	if err := s.Add(vector.Of(1)); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Clone()
+	c.At(0)[0] = 42
+	if s.At(0)[0] != 1 {
+		t.Fatal("Clone aliases point storage")
+	}
+}
+
+func TestSetShufflePreservesMultiset(t *testing.T) {
+	s := MustNewSet(1)
+	for i := 0; i < 100; i++ {
+		if err := s.Add(vector.Of(float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Shuffle(rng.New(5))
+	seen := make([]bool, 100)
+	for i := 0; i < 100; i++ {
+		v := int(s.At(i)[0])
+		if seen[v] {
+			t.Fatalf("duplicate value %d after shuffle", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestBounds(t *testing.T) {
+	s := MustNewSet(2)
+	if _, _, err := s.Bounds(); err != ErrEmptySet {
+		t.Fatalf("Bounds of empty = %v, want ErrEmptySet", err)
+	}
+	for _, p := range []Point{vector.Of(1, 5), vector.Of(-3, 7)} {
+		if err := s.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	min, max, err := s.Bounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !min.Equal(vector.Of(-3, 5)) || !max.Equal(vector.Of(1, 7)) {
+		t.Fatalf("Bounds = [%v, %v]", min, max)
+	}
+}
+
+func TestWeightedSet(t *testing.T) {
+	if _, err := NewWeightedSet(0); err == nil {
+		t.Fatal("zero dim should error")
+	}
+	s := MustNewWeightedSet(2)
+	if err := s.Add(WeightedPoint{Vec: vector.Of(1, 2), Weight: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(WeightedPoint{Vec: vector.Of(1), Weight: 1}); err == nil {
+		t.Fatal("wrong dim should error")
+	}
+	if err := s.Add(WeightedPoint{Vec: vector.Of(1, 1), Weight: -1}); err == nil {
+		t.Fatal("negative weight should error")
+	}
+	if err := s.Add(WeightedPoint{Vec: vector.Of(0, 0), Weight: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if tw := s.TotalWeight(); tw != 5 {
+		t.Fatalf("TotalWeight = %g", tw)
+	}
+	if p := s.At(0); p.Weight != 3 {
+		t.Fatalf("At(0).Weight = %g", p.Weight)
+	}
+}
+
+func TestWeightedSetAppend(t *testing.T) {
+	a := MustNewWeightedSet(1)
+	b := MustNewWeightedSet(1)
+	if err := a.Add(WeightedPoint{Vec: vector.Of(1), Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(WeightedPoint{Vec: vector.Of(2), Weight: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Append(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 2 || a.TotalWeight() != 3 {
+		t.Fatalf("after append: len=%d weight=%g", a.Len(), a.TotalWeight())
+	}
+	c := MustNewWeightedSet(2)
+	if err := a.Append(c); err == nil {
+		t.Fatal("dim mismatch append should error")
+	}
+}
+
+func TestUnweighted(t *testing.T) {
+	s := MustNewSet(1)
+	for i := 0; i < 5; i++ {
+		if err := s.Add(vector.Of(float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := Unweighted(s)
+	if w.Len() != 5 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	if tw := w.TotalWeight(); tw != 5 {
+		t.Fatalf("TotalWeight = %g, want N", tw)
+	}
+}
+
+func TestWeightedPointClone(t *testing.T) {
+	p := WeightedPoint{Vec: vector.Of(1, 2), Weight: 4}
+	c := p.Clone()
+	c.Vec[0] = 9
+	if p.Vec[0] != 1 {
+		t.Fatal("Clone aliases vector")
+	}
+}

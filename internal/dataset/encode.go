@@ -1,0 +1,129 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Binary encoding for weighted sets — the on-disk form of partial-stage
+// summaries, used by stream-clusterer checkpoints (long-running queries
+// survive process migration, the property §4 credits to Conquest).
+//
+// Layout (little-endian):
+//
+//	magic   [4]byte "SKMW"
+//	version uint16
+//	dim     uint16
+//	count   uint64
+//	records count x { weight float64, vec dim x float64 }
+//	crc     uint32 (IEEE, over the records section)
+const (
+	weightedMagic      = "SKMW"
+	weightedVersion    = 1
+	weightedHeaderSize = 4 + 2 + 2 + 8
+)
+
+// ErrBadWeightedSet is wrapped by weighted-set decoding errors.
+var ErrBadWeightedSet = errors.New("dataset: malformed weighted-set encoding")
+
+// EncodeWeightedSet writes s to w.
+func EncodeWeightedSet(w io.Writer, s *WeightedSet) error {
+	if s.Dim() > math.MaxUint16 {
+		return fmt.Errorf("dataset: dimension %d too large for format", s.Dim())
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(weightedMagic); err != nil {
+		return err
+	}
+	for _, v := range []any{uint16(weightedVersion), uint16(s.Dim()), uint64(s.Len())} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	crc := crc32.NewIEEE()
+	out := io.MultiWriter(bw, crc)
+	buf := make([]byte, 8)
+	writeF := func(x float64) error {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(x))
+		_, err := out.Write(buf)
+		return err
+	}
+	for _, p := range s.Points() {
+		if err := writeF(p.Weight); err != nil {
+			return err
+		}
+		for _, x := range p.Vec {
+			if err := writeF(x); err != nil {
+				return err
+			}
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, crc.Sum32()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// DecodeWeightedSet reads a weighted set from r, validating structure,
+// checksum, and weight non-negativity.
+func DecodeWeightedSet(r io.Reader) (*WeightedSet, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, weightedHeaderSize)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadWeightedSet, err)
+	}
+	if string(head[:4]) != weightedMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadWeightedSet, head[:4])
+	}
+	if v := binary.LittleEndian.Uint16(head[4:6]); v != weightedVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadWeightedSet, v)
+	}
+	dim := int(binary.LittleEndian.Uint16(head[6:8]))
+	if dim == 0 {
+		return nil, fmt.Errorf("%w: zero dimension", ErrBadWeightedSet)
+	}
+	count := binary.LittleEndian.Uint64(head[8:16])
+	if count > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: implausible count %d", ErrBadWeightedSet, count)
+	}
+	set, err := NewWeightedSet(dim)
+	if err != nil {
+		return nil, err
+	}
+	crc := crc32.NewIEEE()
+	rec := make([]byte, 8*(dim+1))
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec); err != nil {
+			return nil, fmt.Errorf("%w: truncated at record %d: %v", ErrBadWeightedSet, i, err)
+		}
+		if _, err := crc.Write(rec); err != nil {
+			return nil, err
+		}
+		wp := WeightedPoint{
+			Weight: math.Float64frombits(binary.LittleEndian.Uint64(rec[0:])),
+			Vec:    make([]float64, dim),
+		}
+		for d := 0; d < dim; d++ {
+			wp.Vec[d] = math.Float64frombits(binary.LittleEndian.Uint64(rec[8+8*d:]))
+		}
+		if math.IsNaN(wp.Weight) || wp.Weight < 0 {
+			return nil, fmt.Errorf("%w: bad weight at record %d", ErrBadWeightedSet, i)
+		}
+		if err := set.Add(wp); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadWeightedSet, err)
+		}
+	}
+	var stored uint32
+	if err := binary.Read(br, binary.LittleEndian, &stored); err != nil {
+		return nil, fmt.Errorf("%w: missing checksum: %v", ErrBadWeightedSet, err)
+	}
+	if stored != crc.Sum32() {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadWeightedSet)
+	}
+	return set, nil
+}

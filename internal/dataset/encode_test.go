@@ -1,0 +1,100 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"streamkm/internal/vector"
+)
+
+func sampleWeighted(t *testing.T) *WeightedSet {
+	t.Helper()
+	s := MustNewWeightedSet(3)
+	for i := 0; i < 17; i++ {
+		wp := WeightedPoint{
+			Vec:    vector.Of(float64(i), float64(i*i), -float64(i)/3),
+			Weight: float64(i) + 0.5,
+		}
+		if err := s.Add(wp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestWeightedSetEncodeDecodeRoundTrip(t *testing.T) {
+	s := sampleWeighted(t)
+	var buf bytes.Buffer
+	if err := EncodeWeightedSet(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeWeightedSet(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() || got.Dim() != s.Dim() {
+		t.Fatalf("shape %dx%d", got.Len(), got.Dim())
+	}
+	for i := 0; i < s.Len(); i++ {
+		a, b := s.At(i), got.At(i)
+		if a.Weight != b.Weight || !a.Vec.Equal(b.Vec) {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestWeightedSetEncodeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeWeightedSet(&buf, MustNewWeightedSet(2)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeWeightedSet(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 || got.Dim() != 2 {
+		t.Fatalf("empty round trip: %dx%d", got.Len(), got.Dim())
+	}
+}
+
+func TestWeightedSetDecodeCorruption(t *testing.T) {
+	s := sampleWeighted(t)
+	var buf bytes.Buffer
+	if err := EncodeWeightedSet(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte("XXXX"), good[4:]...),
+		"bad version": func() []byte { b := append([]byte{}, good...); b[4] = 9; return b }(),
+		"zero dim":    func() []byte { b := append([]byte{}, good...); b[6], b[7] = 0, 0; return b }(),
+		"truncated":   good[:len(good)-6],
+		"flipped bit": func() []byte { b := append([]byte{}, good...); b[weightedHeaderSize+9] ^= 0x10; return b }(),
+		"no trailer":  good[:len(good)-4],
+	}
+	for name, data := range cases {
+		if _, err := DecodeWeightedSet(bytes.NewReader(data)); !errors.Is(err, ErrBadWeightedSet) {
+			t.Errorf("%s: err = %v, want ErrBadWeightedSet", name, err)
+		}
+	}
+}
+
+func TestWeightedSetDecodeRejectsNegativeWeight(t *testing.T) {
+	s := MustNewWeightedSet(1)
+	if err := s.Add(WeightedPoint{Vec: vector.Of(1), Weight: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeWeightedSet(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	// Flip the sign bit of the weight (first field of the first record);
+	// this also breaks the checksum, so the decoder must error either way.
+	bad := buf.Bytes()
+	bad[weightedHeaderSize+7] ^= 0x80
+	if _, err := DecodeWeightedSet(bytes.NewReader(bad)); err == nil {
+		t.Fatal("negative weight should be rejected")
+	}
+}

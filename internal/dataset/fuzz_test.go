@@ -1,0 +1,81 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"streamkm/internal/vector"
+)
+
+// FuzzReadCSV: arbitrary text must be rejected or parsed, never panic;
+// parsed sets must round-trip through WriteCSV/ReadCSV.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("1,2,3\n4,5,6\n")
+	f.Add("1;2\n")
+	f.Add("")
+	f.Add("a,b\n1,2\n")
+	f.Add("1,2\n3\n")
+	f.Add("1e308,-1e308\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		s, err := ReadCSV(strings.NewReader(data), CSVOptions{})
+		if err != nil {
+			return
+		}
+		if s.Len() == 0 || s.Dim() == 0 {
+			t.Fatal("ReadCSV accepted an empty set")
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, s); err != nil {
+			t.Fatalf("accepted set failed to write: %v", err)
+		}
+		got, err := ReadCSV(bytes.NewReader(buf.Bytes()), CSVOptions{})
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if got.Len() != s.Len() || got.Dim() != s.Dim() {
+			t.Fatalf("round trip changed shape: %dx%d vs %dx%d",
+				got.Len(), got.Dim(), s.Len(), s.Dim())
+		}
+	})
+}
+
+// FuzzDecodeWeightedSet: same contract for the binary weighted-set
+// decoder used in checkpoints.
+func FuzzDecodeWeightedSet(f *testing.F) {
+	s := MustNewWeightedSet(2)
+	for i := 0; i < 4; i++ {
+		if err := s.Add(WeightedPoint{Vec: vector.Of(float64(i), 1), Weight: float64(i + 1)}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := EncodeWeightedSet(&buf, s); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:10])
+	f.Add([]byte("SKMW"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeWeightedSet(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < got.Len(); i++ {
+			if got.At(i).Weight < 0 {
+				t.Fatal("decoder accepted a negative weight")
+			}
+		}
+		var out bytes.Buffer
+		if err := EncodeWeightedSet(&out, got); err != nil {
+			t.Fatalf("accepted set failed to re-encode: %v", err)
+		}
+		if _, err := DecodeWeightedSet(bytes.NewReader(out.Bytes())); err != nil {
+			t.Fatalf("re-encoded set failed to decode: %v", err)
+		}
+	})
+}

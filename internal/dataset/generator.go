@@ -1,0 +1,199 @@
+package dataset
+
+import (
+	"fmt"
+
+	"streamkm/internal/rng"
+	"streamkm/internal/vector"
+)
+
+// MixtureComponent is one Gaussian component of a synthetic grid cell:
+// an axis-aligned Gaussian with per-dimension standard deviations and a
+// mixing proportion.
+type MixtureComponent struct {
+	Mean   vector.Vector
+	StdDev vector.Vector
+	Weight float64 // relative mixing proportion, > 0
+}
+
+// Mixture is a Gaussian mixture model used to synthesize grid-cell data
+// with controllable cluster structure, standing in for the paper's
+// R-recreated MISR distributions.
+type Mixture struct {
+	dim        int
+	components []MixtureComponent
+	cum        []float64 // cumulative normalized weights for sampling
+}
+
+// NewMixture validates and builds a mixture. All components must share
+// the mixture dimensionality and have positive weight and non-negative
+// standard deviations.
+func NewMixture(d int, comps []MixtureComponent) (*Mixture, error) {
+	if d <= 0 {
+		return nil, fmt.Errorf("dataset: mixture dimension must be positive, got %d", d)
+	}
+	if len(comps) == 0 {
+		return nil, fmt.Errorf("dataset: mixture needs at least one component")
+	}
+	m := &Mixture{dim: d}
+	var total float64
+	for i, c := range comps {
+		if len(c.Mean) != d || len(c.StdDev) != d {
+			return nil, fmt.Errorf("dataset: component %d has wrong dimension", i)
+		}
+		if c.Weight <= 0 {
+			return nil, fmt.Errorf("dataset: component %d has non-positive weight %g", i, c.Weight)
+		}
+		for j, sd := range c.StdDev {
+			if sd < 0 {
+				return nil, fmt.Errorf("dataset: component %d has negative stddev in dim %d", i, j)
+			}
+		}
+		m.components = append(m.components, MixtureComponent{
+			Mean:   c.Mean.Clone(),
+			StdDev: c.StdDev.Clone(),
+			Weight: c.Weight,
+		})
+		total += c.Weight
+	}
+	m.cum = make([]float64, len(comps))
+	var acc float64
+	for i, c := range m.components {
+		acc += c.Weight / total
+		m.cum[i] = acc
+	}
+	m.cum[len(m.cum)-1] = 1 // guard against floating-point shortfall
+	return m, nil
+}
+
+// Dim returns the mixture dimensionality.
+func (m *Mixture) Dim() int { return m.dim }
+
+// NumComponents returns the number of Gaussian components.
+func (m *Mixture) NumComponents() int { return len(m.components) }
+
+// Component returns a copy of component i.
+func (m *Mixture) Component(i int) MixtureComponent {
+	c := m.components[i]
+	return MixtureComponent{Mean: c.Mean.Clone(), StdDev: c.StdDev.Clone(), Weight: c.Weight}
+}
+
+// Sample draws one point from the mixture.
+func (m *Mixture) Sample(r *rng.RNG) Point {
+	u := r.Float64()
+	idx := 0
+	for idx < len(m.cum)-1 && u >= m.cum[idx] {
+		idx++
+	}
+	c := m.components[idx]
+	p := vector.New(m.dim)
+	for j := 0; j < m.dim; j++ {
+		p[j] = c.Mean[j] + c.StdDev[j]*r.NormFloat64()
+	}
+	return p
+}
+
+// SampleSet draws n points into a fresh Set.
+func (m *Mixture) SampleSet(r *rng.RNG, n int) (*Set, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("dataset: negative sample count %d", n)
+	}
+	s, err := NewSet(m.dim)
+	if err != nil {
+		return nil, err
+	}
+	s.points = make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		s.points = append(s.points, m.Sample(r))
+	}
+	return s, nil
+}
+
+// CellSpec describes a synthetic MISR-like grid cell: the paper's tests
+// use D = 6 attributes and a fixed k = 40, with N varying per experiment.
+type CellSpec struct {
+	Dim         int     // attribute count, paper uses 6
+	Clusters    int     // latent cluster count in the cell
+	Spread      float64 // typical within-cluster stddev
+	Separation  float64 // typical between-cluster mean separation
+	WeightSkew  float64 // 0 = equal-sized clusters, 1 = strongly skewed
+	NoiseFrac   float64 // fraction of points drawn from broad background noise
+	NoiseSpread float64 // stddev of the background component
+}
+
+// DefaultCellSpec mirrors the paper's workload: 6-D points with enough
+// latent structure that k = 40 is a sensible choice.
+func DefaultCellSpec() CellSpec {
+	return CellSpec{
+		Dim:         6,
+		Clusters:    40,
+		Spread:      1.0,
+		Separation:  12.0,
+		WeightSkew:  0.5,
+		NoiseFrac:   0.02,
+		NoiseSpread: 30.0,
+	}
+}
+
+// NewCellMixture randomizes a mixture according to spec. Component means
+// are placed uniformly in a hypercube of side Separation*2 per dimension;
+// weights follow a geometric-ish skew controlled by WeightSkew; an
+// optional broad background component models sensor noise.
+func NewCellMixture(spec CellSpec, r *rng.RNG) (*Mixture, error) {
+	if spec.Dim <= 0 {
+		return nil, fmt.Errorf("dataset: CellSpec.Dim must be positive")
+	}
+	if spec.Clusters <= 0 {
+		return nil, fmt.Errorf("dataset: CellSpec.Clusters must be positive")
+	}
+	if spec.NoiseFrac < 0 || spec.NoiseFrac >= 1 {
+		return nil, fmt.Errorf("dataset: CellSpec.NoiseFrac must be in [0,1)")
+	}
+	comps := make([]MixtureComponent, 0, spec.Clusters+1)
+	w := 1.0
+	for i := 0; i < spec.Clusters; i++ {
+		mean := vector.New(spec.Dim)
+		sd := vector.New(spec.Dim)
+		for j := 0; j < spec.Dim; j++ {
+			mean[j] = (r.Float64()*2 - 1) * spec.Separation
+			// vary spread modestly per dimension for non-spherical clusters
+			sd[j] = spec.Spread * (0.5 + r.Float64())
+		}
+		comps = append(comps, MixtureComponent{Mean: mean, StdDev: sd, Weight: w})
+		// geometric decay of cluster sizes, interpolated by WeightSkew
+		w *= 1 - spec.WeightSkew*0.1
+	}
+	if spec.NoiseFrac > 0 {
+		var structured float64
+		for _, c := range comps {
+			structured += c.Weight
+		}
+		noiseW := structured * spec.NoiseFrac / (1 - spec.NoiseFrac)
+		sd := vector.New(spec.Dim)
+		for j := range sd {
+			sd[j] = spec.NoiseSpread
+		}
+		comps = append(comps, MixtureComponent{
+			Mean:   vector.New(spec.Dim),
+			StdDev: sd,
+			Weight: noiseW,
+		})
+	}
+	return NewMixture(spec.Dim, comps)
+}
+
+// GenerateCell synthesizes one grid cell of n points from spec, shuffled
+// into random arrival order as the paper's stream model requires.
+func GenerateCell(spec CellSpec, n int, seed uint64) (*Set, error) {
+	r := rng.New(seed)
+	mix, err := NewCellMixture(spec, r)
+	if err != nil {
+		return nil, err
+	}
+	s, err := mix.SampleSet(r, n)
+	if err != nil {
+		return nil, err
+	}
+	s.Shuffle(r)
+	return s, nil
+}

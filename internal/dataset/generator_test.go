@@ -1,0 +1,214 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"streamkm/internal/rng"
+	"streamkm/internal/vector"
+)
+
+func TestNewMixtureValidation(t *testing.T) {
+	good := MixtureComponent{Mean: vector.Of(0, 0), StdDev: vector.Of(1, 1), Weight: 1}
+	cases := []struct {
+		name  string
+		d     int
+		comps []MixtureComponent
+	}{
+		{"zero dim", 0, []MixtureComponent{good}},
+		{"no components", 2, nil},
+		{"wrong mean dim", 2, []MixtureComponent{{Mean: vector.Of(0), StdDev: vector.Of(1, 1), Weight: 1}}},
+		{"wrong sd dim", 2, []MixtureComponent{{Mean: vector.Of(0, 0), StdDev: vector.Of(1), Weight: 1}}},
+		{"zero weight", 2, []MixtureComponent{{Mean: vector.Of(0, 0), StdDev: vector.Of(1, 1), Weight: 0}}},
+		{"negative sd", 2, []MixtureComponent{{Mean: vector.Of(0, 0), StdDev: vector.Of(-1, 1), Weight: 1}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewMixture(tc.d, tc.comps); err == nil {
+				t.Fatalf("NewMixture should reject %s", tc.name)
+			}
+		})
+	}
+	if _, err := NewMixture(2, []MixtureComponent{good}); err != nil {
+		t.Fatalf("valid mixture rejected: %v", err)
+	}
+}
+
+func TestMixtureDoesNotAliasInput(t *testing.T) {
+	mean := vector.Of(1, 1)
+	m, err := NewMixture(2, []MixtureComponent{{Mean: mean, StdDev: vector.Of(1, 1), Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean[0] = 99
+	if got := m.Component(0).Mean[0]; got != 1 {
+		t.Fatalf("mixture aliases caller's mean: %g", got)
+	}
+}
+
+func TestMixtureSampleMoments(t *testing.T) {
+	m, err := NewMixture(2, []MixtureComponent{
+		{Mean: vector.Of(5, -5), StdDev: vector.Of(1, 2), Weight: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	stats := vector.NewRunningStats(2)
+	for i := 0; i < 50000; i++ {
+		if err := stats.Observe(m.Sample(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mean := stats.Mean()
+	if math.Abs(mean[0]-5) > 0.05 || math.Abs(mean[1]+5) > 0.1 {
+		t.Fatalf("sample mean = %v, want ~[5 -5]", mean)
+	}
+	sd := stats.StdDev()
+	if math.Abs(sd[0]-1) > 0.05 || math.Abs(sd[1]-2) > 0.1 {
+		t.Fatalf("sample sd = %v, want ~[1 2]", sd)
+	}
+}
+
+func TestMixtureComponentProportions(t *testing.T) {
+	// Two well-separated components with weights 1 and 3: about 25%/75%.
+	m, err := NewMixture(1, []MixtureComponent{
+		{Mean: vector.Of(-100), StdDev: vector.Of(1), Weight: 1},
+		{Mean: vector.Of(100), StdDev: vector.Of(1), Weight: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(4)
+	var right int
+	const n = 40000
+	for i := 0; i < n; i++ {
+		if m.Sample(r)[0] > 0 {
+			right++
+		}
+	}
+	frac := float64(right) / n
+	if math.Abs(frac-0.75) > 0.02 {
+		t.Fatalf("heavy-component fraction = %g, want ~0.75", frac)
+	}
+}
+
+func TestSampleSet(t *testing.T) {
+	m, err := NewMixture(3, []MixtureComponent{
+		{Mean: vector.Of(0, 0, 0), StdDev: vector.Of(1, 1, 1), Weight: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.SampleSet(rng.New(1), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 17 || s.Dim() != 3 {
+		t.Fatalf("SampleSet: len=%d dim=%d", s.Len(), s.Dim())
+	}
+	if _, err := m.SampleSet(rng.New(1), -1); err == nil {
+		t.Fatal("negative n should error")
+	}
+}
+
+func TestNewCellMixtureValidation(t *testing.T) {
+	spec := DefaultCellSpec()
+	spec.Dim = 0
+	if _, err := NewCellMixture(spec, rng.New(1)); err == nil {
+		t.Fatal("zero dim should error")
+	}
+	spec = DefaultCellSpec()
+	spec.Clusters = 0
+	if _, err := NewCellMixture(spec, rng.New(1)); err == nil {
+		t.Fatal("zero clusters should error")
+	}
+	spec = DefaultCellSpec()
+	spec.NoiseFrac = 1
+	if _, err := NewCellMixture(spec, rng.New(1)); err == nil {
+		t.Fatal("NoiseFrac=1 should error")
+	}
+}
+
+func TestNewCellMixtureStructure(t *testing.T) {
+	spec := DefaultCellSpec()
+	m, err := NewCellMixture(spec, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dim() != spec.Dim {
+		t.Fatalf("Dim = %d", m.Dim())
+	}
+	// clusters + 1 noise component
+	if got := m.NumComponents(); got != spec.Clusters+1 {
+		t.Fatalf("NumComponents = %d, want %d", got, spec.Clusters+1)
+	}
+	spec.NoiseFrac = 0
+	m2, err := NewCellMixture(spec, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.NumComponents(); got != spec.Clusters {
+		t.Fatalf("no-noise NumComponents = %d, want %d", got, spec.Clusters)
+	}
+}
+
+func TestGenerateCellDeterministic(t *testing.T) {
+	spec := DefaultCellSpec()
+	spec.Clusters = 5
+	a, err := GenerateCell(spec, 200, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateCell(spec, 200, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 200 || b.Len() != 200 {
+		t.Fatalf("lens = %d, %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if !a.At(i).Equal(b.At(i)) {
+			t.Fatalf("same seed produced different cells at point %d", i)
+		}
+	}
+	c, err := GenerateCell(spec, 200, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0).Equal(c.At(0)) && a.At(1).Equal(c.At(1)) {
+		t.Fatal("different seeds produced identical-looking cells")
+	}
+}
+
+func TestGenerateCellHasClusterStructure(t *testing.T) {
+	// With large separation and small spread, the within-point nearest
+	// neighbor distance should be far below the component separation —
+	// i.e. points actually arrive in tight groups.
+	spec := DefaultCellSpec()
+	spec.Clusters = 8
+	spec.Spread = 0.5
+	spec.Separation = 50
+	spec.NoiseFrac = 0
+	s, err := GenerateCell(spec, 400, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumNN float64
+	for i := 0; i < 50; i++ {
+		best := math.Inf(1)
+		for j := 0; j < s.Len(); j++ {
+			if j == i {
+				continue
+			}
+			if d := vector.SquaredDistance(s.At(i), s.At(j)); d < best {
+				best = d
+			}
+		}
+		sumNN += math.Sqrt(best)
+	}
+	avgNN := sumNN / 50
+	if avgNN > 10 {
+		t.Fatalf("average nearest-neighbor distance %g too large for clustered data", avgNN)
+	}
+}

@@ -1,0 +1,137 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"streamkm/internal/rng"
+)
+
+// SplitStrategy selects how a grid cell's points are sliced into the
+// partitions consumed by partial k-means. The paper's experiments use
+// random slicing ("the data points of a complete cell were randomly
+// distributed over 5 or 10 chunks"); its future-work section (§6)
+// proposes salami and spatially disjoint slicing, which we implement for
+// the A3 ablation.
+type SplitStrategy int
+
+const (
+	// SplitRandom distributes points uniformly at random across chunks;
+	// chunk extents overlap almost completely (>90% in the paper).
+	SplitRandom SplitStrategy = iota
+	// SplitSalami deals points round-robin in arrival order — thin
+	// "salami" slices of the stream.
+	SplitSalami
+	// SplitSpatial sorts points along the dimension of largest extent
+	// and cuts contiguous ranges — spatially (mostly) non-overlapping
+	// subcells.
+	SplitSpatial
+)
+
+// String returns the strategy name used in benchmark tables.
+func (s SplitStrategy) String() string {
+	switch s {
+	case SplitRandom:
+		return "random"
+	case SplitSalami:
+		return "salami"
+	case SplitSpatial:
+		return "spatial"
+	default:
+		return fmt.Sprintf("SplitStrategy(%d)", int(s))
+	}
+}
+
+// Split divides s into p near-equal-sized chunks using the given
+// strategy. Points are shared (not copied) with the source set. Every
+// chunk is non-empty when p <= s.Len().
+func Split(s *Set, p int, strategy SplitStrategy, r *rng.RNG) ([]*Set, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("dataset: split count must be positive, got %d", p)
+	}
+	if s.Len() == 0 {
+		return nil, ErrEmptySet
+	}
+	if p > s.Len() {
+		return nil, fmt.Errorf("dataset: cannot split %d points into %d chunks", s.Len(), p)
+	}
+	order := make([]int, s.Len())
+	for i := range order {
+		order[i] = i
+	}
+	switch strategy {
+	case SplitRandom:
+		if r == nil {
+			return nil, fmt.Errorf("dataset: random split requires an RNG")
+		}
+		r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	case SplitSalami:
+		// arrival order as-is; round-robin assignment below
+	case SplitSpatial:
+		dim, err := widestDimension(s)
+		if err != nil {
+			return nil, err
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return s.At(order[a])[dim] < s.At(order[b])[dim]
+		})
+	default:
+		return nil, fmt.Errorf("dataset: unknown split strategy %d", int(strategy))
+	}
+
+	chunks := make([]*Set, p)
+	for i := range chunks {
+		chunks[i] = &Set{dim: s.dim}
+	}
+	if strategy == SplitSalami {
+		for i, idx := range order {
+			c := chunks[i%p]
+			c.points = append(c.points, s.At(idx))
+		}
+		return chunks, nil
+	}
+	// contiguous equal ranges for random (post-shuffle) and spatial
+	base := s.Len() / p
+	rem := s.Len() % p
+	pos := 0
+	for i := range chunks {
+		size := base
+		if i < rem {
+			size++
+		}
+		for j := 0; j < size; j++ {
+			chunks[i].points = append(chunks[i].points, s.At(order[pos]))
+			pos++
+		}
+	}
+	return chunks, nil
+}
+
+// SplitByBudget divides s into the fewest chunks such that each chunk
+// holds at most maxPoints points — the engine's memory-budget-driven
+// chunking (each partition must fit in physical RAM per §3.2).
+func SplitByBudget(s *Set, maxPoints int, strategy SplitStrategy, r *rng.RNG) ([]*Set, error) {
+	if maxPoints <= 0 {
+		return nil, fmt.Errorf("dataset: chunk budget must be positive, got %d", maxPoints)
+	}
+	if s.Len() == 0 {
+		return nil, ErrEmptySet
+	}
+	p := (s.Len() + maxPoints - 1) / maxPoints
+	return Split(s, p, strategy, r)
+}
+
+// widestDimension returns the dimension index with the largest extent.
+func widestDimension(s *Set) (int, error) {
+	min, max, err := s.Bounds()
+	if err != nil {
+		return 0, err
+	}
+	best, bestExtent := 0, max[0]-min[0]
+	for d := 1; d < s.Dim(); d++ {
+		if e := max[d] - min[d]; e > bestExtent {
+			best, bestExtent = d, e
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,210 @@
+package dataset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"streamkm/internal/rng"
+	"streamkm/internal/vector"
+)
+
+func lineSet(t *testing.T, n int) *Set {
+	t.Helper()
+	s := MustNewSet(2)
+	for i := 0; i < n; i++ {
+		if err := s.Add(vector.Of(float64(i), float64(i%3))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestSplitValidation(t *testing.T) {
+	s := lineSet(t, 10)
+	if _, err := Split(s, 0, SplitRandom, rng.New(1)); err == nil {
+		t.Fatal("p=0 should error")
+	}
+	if _, err := Split(s, 11, SplitRandom, rng.New(1)); err == nil {
+		t.Fatal("p>N should error")
+	}
+	if _, err := Split(MustNewSet(2), 1, SplitRandom, rng.New(1)); err == nil {
+		t.Fatal("empty set should error")
+	}
+	if _, err := Split(s, 2, SplitRandom, nil); err == nil {
+		t.Fatal("random split without RNG should error")
+	}
+	if _, err := Split(s, 2, SplitStrategy(99), rng.New(1)); err == nil {
+		t.Fatal("unknown strategy should error")
+	}
+}
+
+func checkPartition(t *testing.T, src *Set, chunks []*Set, p int) {
+	t.Helper()
+	if len(chunks) != p {
+		t.Fatalf("got %d chunks, want %d", len(chunks), p)
+	}
+	total := 0
+	counts := map[float64]int{}
+	for _, c := range chunks {
+		if c.Len() == 0 {
+			t.Fatal("empty chunk")
+		}
+		total += c.Len()
+		for i := 0; i < c.Len(); i++ {
+			counts[c.At(i)[0]]++
+		}
+	}
+	if total != src.Len() {
+		t.Fatalf("chunks hold %d points, source has %d", total, src.Len())
+	}
+	for i := 0; i < src.Len(); i++ {
+		if counts[src.At(i)[0]] != 1 {
+			t.Fatalf("point %d appears %d times", i, counts[src.At(i)[0]])
+		}
+	}
+	// near-equal sizes: max-min <= 1
+	min, max := chunks[0].Len(), chunks[0].Len()
+	for _, c := range chunks[1:] {
+		if c.Len() < min {
+			min = c.Len()
+		}
+		if c.Len() > max {
+			max = c.Len()
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("chunk sizes unbalanced: min=%d max=%d", min, max)
+	}
+}
+
+func TestSplitRandomPartition(t *testing.T) {
+	s := lineSet(t, 103)
+	chunks, err := Split(s, 5, SplitRandom, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, s, chunks, 5)
+}
+
+func TestSplitSalamiPartition(t *testing.T) {
+	s := lineSet(t, 101)
+	chunks, err := Split(s, 10, SplitSalami, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, s, chunks, 10)
+	// salami: chunk j holds points j, j+p, j+2p, ...
+	if chunks[0].At(0)[0] != 0 || chunks[0].At(1)[0] != 10 {
+		t.Fatalf("salami chunk 0 starts %g, %g", chunks[0].At(0)[0], chunks[0].At(1)[0])
+	}
+	if chunks[3].At(0)[0] != 3 {
+		t.Fatalf("salami chunk 3 starts %g", chunks[3].At(0)[0])
+	}
+}
+
+func TestSplitSpatialPartition(t *testing.T) {
+	s := MustNewSet(2)
+	// widest dimension is 0 (range 0..99 vs 0..2)
+	for _, i := range rng.New(8).Perm(100) {
+		if err := s.Add(vector.Of(float64(i), float64(i%3))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	chunks, err := Split(s, 4, SplitSpatial, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, s, chunks, 4)
+	// spatial chunks are contiguous, non-overlapping ranges along dim 0
+	for ci := 0; ci+1 < len(chunks); ci++ {
+		maxHere := chunks[ci].At(0)[0]
+		for i := 0; i < chunks[ci].Len(); i++ {
+			if v := chunks[ci].At(i)[0]; v > maxHere {
+				maxHere = v
+			}
+		}
+		minNext := chunks[ci+1].At(0)[0]
+		for i := 0; i < chunks[ci+1].Len(); i++ {
+			if v := chunks[ci+1].At(i)[0]; v < minNext {
+				minNext = v
+			}
+		}
+		if maxHere > minNext {
+			t.Fatalf("spatial chunks %d and %d overlap: max=%g min=%g", ci, ci+1, maxHere, minNext)
+		}
+	}
+}
+
+func TestSplitByBudget(t *testing.T) {
+	s := lineSet(t, 100)
+	chunks, err := SplitByBudget(s, 30, SplitSalami, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) != 4 {
+		t.Fatalf("budget 30 over 100 points should give 4 chunks, got %d", len(chunks))
+	}
+	for i, c := range chunks {
+		if c.Len() > 30 {
+			t.Fatalf("chunk %d has %d points, budget 30", i, c.Len())
+		}
+	}
+	if _, err := SplitByBudget(s, 0, SplitSalami, nil); err == nil {
+		t.Fatal("zero budget should error")
+	}
+	if _, err := SplitByBudget(MustNewSet(2), 10, SplitSalami, nil); err == nil {
+		t.Fatal("empty set should error")
+	}
+	// budget >= N gives one chunk
+	one, err := SplitByBudget(s, 1000, SplitSalami, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || one[0].Len() != 100 {
+		t.Fatalf("oversized budget: %d chunks", len(one))
+	}
+}
+
+func TestSplitStrategyString(t *testing.T) {
+	if SplitRandom.String() != "random" || SplitSalami.String() != "salami" || SplitSpatial.String() != "spatial" {
+		t.Fatal("strategy names wrong")
+	}
+	if SplitStrategy(42).String() == "" {
+		t.Fatal("unknown strategy should still stringify")
+	}
+}
+
+// Property: for any n >= p >= 1 and any strategy, Split partitions the set.
+func TestSplitIsPartitionProperty(t *testing.T) {
+	f := func(nRaw, pRaw uint8, stratRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		p := int(pRaw)%n + 1
+		strat := SplitStrategy(stratRaw % 3)
+		s := MustNewSet(1)
+		for i := 0; i < n; i++ {
+			if s.Add(vector.Of(float64(i))) != nil {
+				return false
+			}
+		}
+		chunks, err := Split(s, p, strat, rng.New(uint64(nRaw)+1))
+		if err != nil {
+			return false
+		}
+		total := 0
+		seen := map[float64]bool{}
+		for _, c := range chunks {
+			total += c.Len()
+			for i := 0; i < c.Len(); i++ {
+				v := c.At(i)[0]
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+		}
+		return total == n && len(chunks) == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

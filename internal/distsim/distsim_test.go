@@ -1,0 +1,170 @@
+package distsim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"streamkm/internal/dataset"
+)
+
+func simCell(t testing.TB, n int) *dataset.Set {
+	t.Helper()
+	spec := dataset.DefaultCellSpec()
+	spec.Clusters = 10
+	spec.Dim = 4
+	spec.NoiseFrac = 0
+	s, err := dataset.GenerateCell(spec, n, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func baseConfig() Config {
+	return Config{
+		Machines:     4,
+		NetLatency:   100 * time.Microsecond,
+		NetBandwidth: 125e6, // gigabit
+		Splits:       8,
+		K:            10,
+		Restarts:     2,
+		Seed:         9,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cell := simCell(t, 400)
+	mutations := []func(*Config){
+		func(c *Config) { c.Machines = 0 },
+		func(c *Config) { c.NetLatency = -1 },
+		func(c *Config) { c.NetBandwidth = 0 },
+		func(c *Config) { c.Splits = 0 },
+		func(c *Config) { c.K = 0 },
+		func(c *Config) { c.Restarts = 0 },
+	}
+	for i, mut := range mutations {
+		cfg := baseConfig()
+		mut(&cfg)
+		if _, err := Run(cell, cfg); err == nil {
+			t.Errorf("mutation %d should be rejected", i)
+		}
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	cell := simCell(t, 2000)
+	rep, err := Run(cell, baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Makespan <= 0 || rep.ComputeTime <= 0 || rep.MergeTime <= 0 {
+		t.Fatalf("timings: %+v", rep)
+	}
+	// 8 chunks × 2 messages each.
+	if rep.Messages != 16 {
+		t.Fatalf("Messages = %d", rep.Messages)
+	}
+	if rep.BytesMoved <= int64(2000*4*8) {
+		t.Fatalf("BytesMoved = %d, must exceed the raw payload", rep.BytesMoved)
+	}
+	if len(rep.PerMachineBusy) != 4 {
+		t.Fatalf("PerMachineBusy = %v", rep.PerMachineBusy)
+	}
+	var busy time.Duration
+	for _, b := range rep.PerMachineBusy {
+		busy += b
+	}
+	if busy != rep.ComputeTime {
+		t.Fatalf("busy sum %v != compute %v", busy, rep.ComputeTime)
+	}
+	if rep.PointMSE <= 0 {
+		t.Fatalf("PointMSE = %g", rep.PointMSE)
+	}
+}
+
+func TestMoreMachinesIncreaseSpeedup(t *testing.T) {
+	// Each Run re-measures real per-chunk compute, so makespans from
+	// separate Run calls carry scheduler noise; Speedup (normalized
+	// within a run) is the stable quantity.
+	cell := simCell(t, 6000)
+	var prev float64
+	for i, machines := range []int{1, 2, 4} {
+		cfg := baseConfig()
+		cfg.Machines = machines
+		cfg.Splits = 8
+		rep, err := Run(cell, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && rep.Speedup() <= prev {
+			t.Fatalf("machines=%d speedup %g not above previous %g",
+				machines, rep.Speedup(), prev)
+		}
+		prev = rep.Speedup()
+		if machines == 1 {
+			// One machine: speedup relative to serial must be <= 1
+			// (transfers only add cost).
+			if s := rep.Speedup(); s > 1.0+1e-9 {
+				t.Fatalf("1-machine speedup %g > 1", s)
+			}
+		}
+	}
+}
+
+func TestSpeedupBoundedByMachinesAndChunks(t *testing.T) {
+	cell := simCell(t, 6000)
+	cfg := baseConfig()
+	cfg.Machines = 16 // more machines than chunks
+	cfg.Splits = 4
+	rep, err := Run(cell, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := rep.Speedup(); s > 4.5 {
+		t.Fatalf("speedup %g exceeds the chunk-count bound", s)
+	}
+}
+
+func TestSlowNetworkErodesSpeedup(t *testing.T) {
+	cell := simCell(t, 4000)
+	fast := baseConfig()
+	slow := baseConfig()
+	slow.NetBandwidth = 1e5 // 100 KB/s: transfers dominate
+	fastRep, err := Run(cell, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowRep, err := Run(cell, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slowRep.Speedup() >= fastRep.Speedup() {
+		t.Fatalf("slow network speedup %g not below fast %g",
+			slowRep.Speedup(), fastRep.Speedup())
+	}
+	if slowRep.TransferTime <= fastRep.TransferTime {
+		t.Fatalf("transfer time did not grow: %v vs %v",
+			slowRep.TransferTime, fastRep.TransferTime)
+	}
+}
+
+func TestResultQualityMatchesLocalRun(t *testing.T) {
+	// The simulation is a timing model; the clustering itself must be
+	// exactly what a local run with the same seed produces.
+	cell := simCell(t, 2000)
+	cfg := baseConfig()
+	a, err := Run(cell, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Machines = 1 // machine count is timing-only
+	b, err := Run(cell, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.MergeMSE-b.MergeMSE) > 1e-12 || math.Abs(a.PointMSE-b.PointMSE) > 1e-12 {
+		t.Fatalf("machine count changed the clustering: %g/%g vs %g/%g",
+			a.MergeMSE, a.PointMSE, b.MergeMSE, b.PointMSE)
+	}
+}

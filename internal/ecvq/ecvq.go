@@ -1,0 +1,182 @@
+// Package ecvq implements entropy-constrained vector quantization (Chou,
+// Lookabaugh & Gray 1989), the extension the paper's §3.3 Remarks propose
+// for choosing k per partition on the fly: instead of fixing k, ECVQ
+// starts from a maximum k and minimizes distortion plus a rate penalty
+// λ·len(j), where len(j) = -log2(p_j) is the code length of centroid j.
+// Cells assigned few points grow long code lengths, stop attracting
+// points ("some seeds might be starved"), and are discarded — the
+// surviving centroid count is the data-driven k.
+package ecvq
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/kmeans"
+	"streamkm/internal/rng"
+	"streamkm/internal/vector"
+)
+
+// Config parameterizes one ECVQ run.
+type Config struct {
+	// MaxK is the initial (maximum) codebook size.
+	MaxK int
+	// Lambda is the rate-distortion trade-off: 0 reduces to plain
+	// k-means with k = MaxK; larger values prune harder.
+	Lambda float64
+	// Epsilon is the relative cost-improvement convergence threshold
+	// (0 = 1e-9).
+	Epsilon float64
+	// MaxIterations caps the iteration count (0 = 500).
+	MaxIterations int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epsilon == 0 {
+		c.Epsilon = 1e-9
+	}
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 500
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.MaxK <= 0 {
+		return fmt.Errorf("ecvq: MaxK must be positive, got %d", c.MaxK)
+	}
+	if c.Lambda < 0 {
+		return fmt.Errorf("ecvq: Lambda must be non-negative, got %g", c.Lambda)
+	}
+	return nil
+}
+
+// Result is the quantizer ECVQ converged to.
+type Result struct {
+	// Centroids are the surviving codebook vectors (K of them).
+	Centroids []vector.Vector
+	// Weights is the data mass assigned to each centroid.
+	Weights []float64
+	// K is the surviving codebook size (len(Centroids)).
+	K int
+	// Distortion is the weighted mean squared quantization error.
+	Distortion float64
+	// Rate is the empirical entropy of the code in bits.
+	Rate float64
+	// Cost is Distortion + Lambda*Rate, the Lagrangian ECVQ minimizes.
+	Cost float64
+	// Iterations counts assignment/update rounds.
+	Iterations int
+	// Starved counts centroids discarded along the way.
+	Starved int
+}
+
+// Quantize runs ECVQ over a weighted point set.
+func Quantize(points *dataset.WeightedSet, cfg Config, r *rng.RNG) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if points.Len() == 0 {
+		return nil, errors.New("ecvq: empty input")
+	}
+	k := cfg.MaxK
+	if k > points.Len() {
+		k = points.Len()
+	}
+	centroids, err := (kmeans.RandomSeeder{}).Seed(points, k, r)
+	if err != nil {
+		return nil, err
+	}
+	total := points.TotalWeight()
+	if total <= 0 {
+		return nil, errors.New("ecvq: total weight is zero")
+	}
+	dim := points.Dim()
+
+	// Code lengths start uniform.
+	lengths := make([]float64, len(centroids))
+	uniform := math.Log2(float64(len(centroids)))
+	for j := range lengths {
+		lengths[j] = uniform
+	}
+
+	res := &Result{}
+	prevCost := math.Inf(1)
+	for iter := 1; iter <= cfg.MaxIterations; iter++ {
+		res.Iterations = iter
+		kNow := len(centroids)
+		sums := make([]vector.Vector, kNow)
+		for j := range sums {
+			sums[j] = vector.New(dim)
+		}
+		weights := make([]float64, kNow)
+		var distortion, rate float64
+		for i := 0; i < points.Len(); i++ {
+			p := points.At(i)
+			best, bestCost := -1, math.Inf(1)
+			var bestD float64
+			for j, c := range centroids {
+				d := vector.SquaredDistance(p.Vec, c)
+				cost := d + cfg.Lambda*lengths[j]
+				if cost < bestCost {
+					best, bestCost, bestD = j, cost, d
+				}
+			}
+			weights[best] += p.Weight
+			sums[best].AddScaled(p.Weight, p.Vec)
+			distortion += p.Weight * bestD
+			rate += p.Weight * lengths[best]
+		}
+		// Update step: drop starved centroids, recompute survivors and
+		// their code lengths.
+		var nextC []vector.Vector
+		var nextL []float64
+		var survivorW []float64
+		for j := range centroids {
+			if weights[j] == 0 {
+				res.Starved++
+				continue
+			}
+			m := sums[j]
+			m.Scale(1 / weights[j])
+			nextC = append(nextC, m)
+			nextL = append(nextL, -math.Log2(weights[j]/total))
+			survivorW = append(survivorW, weights[j])
+		}
+		if len(nextC) == 0 {
+			return nil, errors.New("ecvq: all centroids starved")
+		}
+		centroids, lengths = nextC, nextL
+		res.Centroids = centroids
+		res.Weights = survivorW
+		res.Distortion = distortion / total
+		res.Rate = rate / total
+		res.Cost = res.Distortion + cfg.Lambda*res.Rate
+		if iter > 1 && prevCost-res.Cost <= cfg.Epsilon*math.Max(1, math.Abs(prevCost)) {
+			break
+		}
+		prevCost = res.Cost
+	}
+	res.K = len(res.Centroids)
+	return res, nil
+}
+
+// WeightedCentroids exports the surviving codebook as a weighted set,
+// ready to feed the merge operator — the paper's suggestion that
+// "weighted centroids can [still] be used in the merge step" when ECVQ
+// picks k per partition.
+func (r *Result) WeightedCentroids(dim int) (*dataset.WeightedSet, error) {
+	out, err := dataset.NewWeightedSet(dim)
+	if err != nil {
+		return nil, err
+	}
+	for j, c := range r.Centroids {
+		if err := out.Add(dataset.WeightedPoint{Vec: c.Clone(), Weight: r.Weights[j]}); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,175 @@
+package ecvq
+
+import (
+	"math"
+	"testing"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/rng"
+	"streamkm/internal/vector"
+)
+
+// blobs builds nBlobs separated 1-D blobs with perBlob points each.
+func blobs(t *testing.T, nBlobs, perBlob int, seed uint64) *dataset.WeightedSet {
+	t.Helper()
+	r := rng.New(seed)
+	s := dataset.MustNewWeightedSet(1)
+	for b := 0; b < nBlobs; b++ {
+		center := float64(b) * 100
+		for i := 0; i < perBlob; i++ {
+			wp := dataset.WeightedPoint{Vec: vector.Of(center + r.NormFloat64()), Weight: 1}
+			if err := s.Add(wp); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return s
+}
+
+func TestQuantizeValidation(t *testing.T) {
+	s := blobs(t, 2, 10, 1)
+	if _, err := Quantize(s, Config{MaxK: 0}, rng.New(1)); err == nil {
+		t.Fatal("MaxK=0 should error")
+	}
+	if _, err := Quantize(s, Config{MaxK: 2, Lambda: -1}, rng.New(1)); err == nil {
+		t.Fatal("negative lambda should error")
+	}
+	if _, err := Quantize(dataset.MustNewWeightedSet(1), Config{MaxK: 2}, rng.New(1)); err == nil {
+		t.Fatal("empty input should error")
+	}
+}
+
+func TestLambdaZeroKeepsMaxK(t *testing.T) {
+	s := blobs(t, 3, 40, 2)
+	res, err := Quantize(s, Config{MaxK: 6, Lambda: 0}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With no rate penalty, pruning only happens via natural starvation;
+	// on well-spread random seeds most of MaxK survives.
+	if res.K < 3 {
+		t.Fatalf("lambda=0 kept only %d centroids", res.K)
+	}
+	if res.Cost != res.Distortion {
+		t.Fatalf("lambda=0 cost %g != distortion %g", res.Cost, res.Distortion)
+	}
+}
+
+func TestLargeLambdaPrunesCodebook(t *testing.T) {
+	s := blobs(t, 3, 50, 4)
+	small, err := Quantize(s, Config{MaxK: 30, Lambda: 0.1}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Quantize(s, Config{MaxK: 30, Lambda: 5000}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.K >= small.K {
+		t.Fatalf("larger lambda should prune more: %d vs %d", big.K, small.K)
+	}
+	if big.Starved == 0 {
+		t.Fatal("large lambda should starve seeds")
+	}
+}
+
+func TestQuantizeFindsBlobStructure(t *testing.T) {
+	// With moderate lambda, ECVQ should settle near 3 codewords at the
+	// blob centers — "finding an optimal k on the fly".
+	s := blobs(t, 3, 100, 6)
+	res, err := Quantize(s, Config{MaxK: 20, Lambda: 300}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K < 3 || res.K > 6 {
+		t.Fatalf("K = %d, want close to 3", res.K)
+	}
+	for _, want := range []float64{0, 100, 200} {
+		found := false
+		for _, c := range res.Centroids {
+			if math.Abs(c[0]-want) < 10 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no codeword near %g: %v", want, res.Centroids)
+		}
+	}
+	// Weight mass conserved.
+	var w float64
+	for _, x := range res.Weights {
+		w += x
+	}
+	if math.Abs(w-300) > 1e-9 {
+		t.Fatalf("weights sum to %g, want 300", w)
+	}
+}
+
+func TestQuantizeDeterministic(t *testing.T) {
+	s := blobs(t, 3, 50, 8)
+	a, err := Quantize(s, Config{MaxK: 10, Lambda: 100}, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Quantize(s, Config{MaxK: 10, Lambda: 100}, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K != b.K || a.Cost != b.Cost {
+		t.Fatal("same seed produced different quantizers")
+	}
+}
+
+func TestQuantizeMaxKAboveN(t *testing.T) {
+	s := blobs(t, 1, 5, 10)
+	res, err := Quantize(s, Config{MaxK: 50, Lambda: 0}, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K > 5 {
+		t.Fatalf("K = %d > N = 5", res.K)
+	}
+}
+
+func TestQuantizeZeroTotalWeight(t *testing.T) {
+	s := dataset.MustNewWeightedSet(1)
+	if err := s.Add(dataset.WeightedPoint{Vec: vector.Of(1), Weight: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Quantize(s, Config{MaxK: 1}, rng.New(1)); err == nil {
+		t.Fatal("zero total weight should error")
+	}
+}
+
+func TestWeightedCentroidsExport(t *testing.T) {
+	s := blobs(t, 2, 50, 12)
+	res, err := Quantize(s, Config{MaxK: 8, Lambda: 200}, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := res.WeightedCentroids(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Len() != res.K {
+		t.Fatalf("exported %d, K=%d", ws.Len(), res.K)
+	}
+	if math.Abs(ws.TotalWeight()-100) > 1e-9 {
+		t.Fatalf("exported weight %g, want 100", ws.TotalWeight())
+	}
+}
+
+func TestRateIsEntropyLike(t *testing.T) {
+	// Two equal blobs with two surviving codewords: rate ≈ 1 bit.
+	s := blobs(t, 2, 100, 14)
+	res, err := Quantize(s, Config{MaxK: 2, Lambda: 1}, rng.New(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 2 {
+		t.Skipf("codebook pruned to %d, entropy check needs 2", res.K)
+	}
+	if math.Abs(res.Rate-1) > 0.1 {
+		t.Fatalf("rate = %g bits, want ~1", res.Rate)
+	}
+}

@@ -1,0 +1,292 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"streamkm/internal/core"
+	"streamkm/internal/dataset"
+	"streamkm/internal/grid"
+	"streamkm/internal/histogram"
+	"streamkm/internal/metrics"
+	"streamkm/internal/rng"
+	"streamkm/internal/stream"
+	"streamkm/internal/trace"
+)
+
+// Cell is one unit of work for the executor: a keyed grid cell's points.
+type Cell struct {
+	Key    grid.CellKey
+	Points *dataset.Set
+}
+
+// CellResult is the executor's per-cell output.
+type CellResult struct {
+	Key grid.CellKey
+	// Partitions is the number of chunks the cell was sliced into.
+	Partitions int
+	// Centroids, Weights, MergeMSE mirror core.Result.
+	Result *core.MergeResult
+	// PointMSE is the quality against the cell's raw points.
+	PointMSE float64
+	// PartialTime sums the cell's partial-step durations.
+	PartialTime time.Duration
+	// Histogram is the cell's compressed representation; set only when
+	// Query.Compress is true.
+	Histogram *histogram.Histogram
+}
+
+// ExecStats summarizes a plan execution.
+type ExecStats struct {
+	// Registry exposes per-operator counters.
+	Registry *stream.StatsRegistry
+	// Trace records operator spans; render with Trace.Timeline.
+	Trace *trace.Tracer
+	// Elapsed is the end-to-end wall-clock time.
+	Elapsed time.Duration
+	// Cells and Chunks count the processed units.
+	Cells  int
+	Chunks int
+}
+
+// chunkTask is one partition of one cell queued for the partial operator.
+type chunkTask struct {
+	cellIdx  int
+	chunkIdx int
+	total    int
+	chunk    *dataset.Set
+	rng      *rng.RNG
+}
+
+// partialOut is a partial operator's output, keyed back to its cell.
+type partialOut struct {
+	cellIdx  int
+	chunkIdx int
+	total    int
+	res      *core.PartialResult
+}
+
+// prepareTasks slices every cell up front so per-chunk RNGs are stable
+// regardless of scheduling; the chunks themselves share the cells'
+// backing arrays, so this costs index slices, not data copies.
+func prepareTasks(cells []Cell, q Query, plan PhysicalPlan, master *rng.RNG) ([]chunkTask, []*rng.RNG, error) {
+	var tasks []chunkTask
+	for ci, cell := range cells {
+		if cell.Points == nil || cell.Points.Len() == 0 {
+			return nil, nil, fmt.Errorf("engine: cell %d (%v) is empty", ci, cell.Key)
+		}
+		splitRNG := master.Split()
+		chunks, err := dataset.SplitByBudget(cell.Points, plan.ChunkPoints, q.Strategy, splitRNG)
+		if err != nil {
+			return nil, nil, fmt.Errorf("engine: cell %v: %w", cell.Key, err)
+		}
+		for pi, c := range chunks {
+			tasks = append(tasks, chunkTask{
+				cellIdx:  ci,
+				chunkIdx: pi,
+				total:    len(chunks),
+				chunk:    c,
+				rng:      master.Split(),
+			})
+		}
+	}
+	mergeRNGs := make([]*rng.RNG, len(cells))
+	for i := range mergeRNGs {
+		mergeRNGs[i] = master.Split()
+	}
+	return tasks, mergeRNGs, nil
+}
+
+// mergeCollector returns the merge-operator sink: it groups partials by
+// cell and merges a cell the moment its last chunk arrives, plus a
+// finalize function validating that every cell completed.
+func mergeCollector(cells []Cell, q Query, mergeRNGs []*rng.RNG, tr *trace.Tracer) (stream.SinkFunc[partialOut], func() ([]CellResult, error)) {
+	var mu sync.Mutex
+	pending := make(map[int][]*core.PartialResult, len(cells))
+	results := make([]CellResult, len(cells))
+	completed := make([]bool, len(cells))
+
+	sink := func(_ context.Context, p partialOut) error {
+		mu.Lock()
+		bucket := pending[p.cellIdx]
+		if bucket == nil {
+			bucket = make([]*core.PartialResult, p.total)
+		}
+		bucket[p.chunkIdx] = p.res
+		pending[p.cellIdx] = bucket
+		ready := true
+		for _, pr := range bucket {
+			if pr == nil {
+				ready = false
+				break
+			}
+		}
+		mu.Unlock()
+		if !ready {
+			return nil
+		}
+		parts := make([]*dataset.WeightedSet, len(bucket))
+		var partialTime time.Duration
+		for i, pr := range bucket {
+			parts[i] = pr.Centroids
+			partialTime += pr.Elapsed
+		}
+		endSpan := tr.Span("merge-kmeans", fmt.Sprintf("%v", cells[p.cellIdx].Key))
+		mr, err := core.MergeKMeans(parts, q.mergeConfig(), mergeRNGs[p.cellIdx])
+		endSpan()
+		if err != nil {
+			return fmt.Errorf("cell %v merge: %w", cells[p.cellIdx].Key, err)
+		}
+		pm, err := metrics.MSE(cells[p.cellIdx].Points, mr.Centroids)
+		if err != nil {
+			return err
+		}
+		var hist *histogram.Histogram
+		if q.Compress {
+			endSpan := tr.Span("compress", fmt.Sprintf("%v", cells[p.cellIdx].Key))
+			hist, err = histogram.Build(cells[p.cellIdx].Points, mr.Centroids)
+			endSpan()
+			if err != nil {
+				return fmt.Errorf("cell %v compress: %w", cells[p.cellIdx].Key, err)
+			}
+		}
+		mu.Lock()
+		results[p.cellIdx] = CellResult{
+			Key:         cells[p.cellIdx].Key,
+			Partitions:  len(bucket),
+			Result:      mr,
+			PointMSE:    pm,
+			PartialTime: partialTime,
+			Histogram:   hist,
+		}
+		completed[p.cellIdx] = true
+		delete(pending, p.cellIdx)
+		mu.Unlock()
+		return nil
+	}
+	finalize := func() ([]CellResult, error) {
+		for i, done := range completed {
+			if !done {
+				return nil, fmt.Errorf("engine: cell %v never completed", cells[i].Key)
+			}
+		}
+		return results, nil
+	}
+	return sink, finalize
+}
+
+func validateExecArgs(cells []Cell, q Query, plan PhysicalPlan) error {
+	if err := q.validate(); err != nil {
+		return err
+	}
+	if len(cells) == 0 {
+		return fmt.Errorf("engine: no cells to execute")
+	}
+	if plan.ChunkPoints <= 0 {
+		return fmt.Errorf("engine: plan has non-positive chunk size %d", plan.ChunkPoints)
+	}
+	return nil
+}
+
+func partialTransform(cells []Cell, q Query, tr *trace.Tracer) stream.TransformFunc[chunkTask, partialOut] {
+	return func(_ context.Context, t chunkTask, emit stream.Emit[partialOut]) error {
+		end := tr.Span("partial-kmeans", fmt.Sprintf("%v/%d", cells[t.cellIdx].Key, t.chunkIdx))
+		pr, err := core.PartialKMeans(t.chunk, q.partialConfig(), t.rng)
+		end()
+		if err != nil {
+			return fmt.Errorf("cell %v chunk %d: %w", cells[t.cellIdx].Key, t.chunkIdx, err)
+		}
+		return emit(partialOut{cellIdx: t.cellIdx, chunkIdx: t.chunkIdx, total: t.total, res: pr})
+	}
+}
+
+func taskSource(tasks []chunkTask) stream.SourceFunc[chunkTask] {
+	return func(_ context.Context, emit stream.Emit[chunkTask]) error {
+		for _, t := range tasks {
+			if err := emit(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// Execute runs the physical plan over the cells as one pipelined stream:
+// a scan operator slices cells into chunks, PartialClones replicas of the
+// partial k-means operator consume chunks from the shared queue, and a
+// merge operator collects each cell's weighted centroids, merging as soon
+// as a cell is complete. Chunks of different cells interleave freely, so
+// partial work on later cells overlaps merge work on earlier ones —
+// inter-operator pipelining as in Fig. 5.
+func Execute(ctx context.Context, cells []Cell, q Query, plan PhysicalPlan) ([]CellResult, *ExecStats, error) {
+	if err := validateExecArgs(cells, q, plan); err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	master := rng.New(q.Seed)
+	tasks, mergeRNGs, err := prepareTasks(cells, q, plan, master)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	g, gctx := stream.NewGroup(ctx)
+	reg := stream.NewStatsRegistry()
+	tr := trace.New(0)
+	chunkQ := stream.NewQueue[chunkTask]("chunks", plan.QueueCapacity)
+	partQ := stream.NewQueue[partialOut]("partials", plan.QueueCapacity)
+
+	stream.RunSource(g, gctx, reg, "scan", taskSource(tasks), chunkQ)
+	stream.RunTransform(g, gctx, reg, "partial-kmeans", plan.PartialClones,
+		partialTransform(cells, q, tr), chunkQ, partQ)
+	sink, finalize := mergeCollector(cells, q, mergeRNGs, tr)
+	stream.RunSink(g, gctx, reg, "merge-kmeans", 1, sink, partQ)
+
+	if err := g.Wait(); err != nil {
+		return nil, nil, err
+	}
+	results, err := finalize()
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &ExecStats{
+		Registry: reg,
+		Trace:    tr,
+		Elapsed:  time.Since(start),
+		Cells:    len(cells),
+		Chunks:   len(tasks),
+	}
+	return results, stats, nil
+}
+
+// Run is the one-call convenience: optimize the query against the
+// resource model, then execute, returning results, the chosen plan, and
+// execution stats.
+func Run(ctx context.Context, cells []Cell, q Query, res Resources) ([]CellResult, PhysicalPlan, *ExecStats, error) {
+	if len(cells) == 0 {
+		return nil, PhysicalPlan{}, nil, fmt.Errorf("engine: no cells")
+	}
+	sizes := make([]int, len(cells))
+	dim := 0
+	for i, c := range cells {
+		if c.Points == nil {
+			return nil, PhysicalPlan{}, nil, fmt.Errorf("engine: cell %d has nil points", i)
+		}
+		sizes[i] = c.Points.Len()
+		if dim == 0 {
+			dim = c.Points.Dim()
+		} else if c.Points.Dim() != dim {
+			return nil, PhysicalPlan{}, nil, fmt.Errorf("engine: cell %d has dim %d, want %d", i, c.Points.Dim(), dim)
+		}
+	}
+	plan, err := Optimize(q, sizes, dim, res)
+	if err != nil {
+		return nil, PhysicalPlan{}, nil, err
+	}
+	results, stats, err := Execute(ctx, cells, q, plan)
+	if err != nil {
+		return nil, plan, nil, err
+	}
+	return results, plan, stats, nil
+}

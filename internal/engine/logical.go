@@ -1,0 +1,180 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file gives the clustering request its §3.4 form: "a data flow
+// query specified in the form of a dataflow diagram ... each leaf node
+// represents a collection of logical data objects, and non-leaf nodes
+// represent logical operations applied to streams of data items". The
+// optimizer's physical decisions (chunk size, clone counts) annotate the
+// logical tree for EXPLAIN output at both levels.
+
+// LogicalOp enumerates the logical operators of the clustering query.
+type LogicalOp int
+
+const (
+	// OpScan reads grid buckets and emits point streams (leaf).
+	OpScan LogicalOp = iota
+	// OpSplit slices a cell's stream into memory-sized partitions.
+	OpSplit
+	// OpPartial reduces one partition to k weighted centroids.
+	OpPartial
+	// OpMerge combines all weighted centroids into the final k.
+	OpMerge
+	// OpCompress builds the multivariate histogram (optional root).
+	OpCompress
+)
+
+// String names the operator.
+func (op LogicalOp) String() string {
+	switch op {
+	case OpScan:
+		return "Scan"
+	case OpSplit:
+		return "Split"
+	case OpPartial:
+		return "PartialKMeans"
+	case OpMerge:
+		return "MergeKMeans"
+	case OpCompress:
+		return "Compress"
+	default:
+		return fmt.Sprintf("LogicalOp(%d)", int(op))
+	}
+}
+
+// LogicalNode is one node of the dataflow tree. Data flows from the
+// leaves toward the root.
+type LogicalNode struct {
+	Op       LogicalOp
+	Props    map[string]string
+	Children []*LogicalNode
+}
+
+// LogicalFor builds the canonical partial/merge dataflow for a query
+// over nCells cells: Merge(Partial(Split(Scan))). withCompress appends
+// the histogram stage as the root.
+func LogicalFor(q Query, nCells int, withCompress bool) *LogicalNode {
+	scan := &LogicalNode{
+		Op:    OpScan,
+		Props: map[string]string{"cells": fmt.Sprintf("%d", nCells)},
+	}
+	split := &LogicalNode{
+		Op:       OpSplit,
+		Props:    map[string]string{"strategy": q.Strategy.String()},
+		Children: []*LogicalNode{scan},
+	}
+	partial := &LogicalNode{
+		Op: OpPartial,
+		Props: map[string]string{
+			"k":        fmt.Sprintf("%d", q.K),
+			"restarts": fmt.Sprintf("%d", q.Restarts),
+		},
+		Children: []*LogicalNode{split},
+	}
+	merge := &LogicalNode{
+		Op: OpMerge,
+		Props: map[string]string{
+			"k":    fmt.Sprintf("%d", q.K),
+			"mode": q.MergeMode.String(),
+		},
+		Children: []*LogicalNode{partial},
+	}
+	if !withCompress {
+		return merge
+	}
+	return &LogicalNode{Op: OpCompress, Children: []*LogicalNode{merge}}
+}
+
+// Validate checks the tree's structural rules: Scan must be a leaf,
+// every other operator has exactly one child, and the operator order
+// along each root-to-leaf path must be (Compress?) Merge, Partial,
+// Split, Scan.
+func (n *LogicalNode) Validate() error {
+	order := map[LogicalOp]int{OpScan: 0, OpSplit: 1, OpPartial: 2, OpMerge: 3, OpCompress: 4}
+	var walk func(node *LogicalNode) error
+	walk = func(node *LogicalNode) error {
+		if node == nil {
+			return fmt.Errorf("engine: nil logical node")
+		}
+		rank, ok := order[node.Op]
+		if !ok {
+			return fmt.Errorf("engine: unknown logical operator %v", node.Op)
+		}
+		if node.Op == OpScan {
+			if len(node.Children) != 0 {
+				return fmt.Errorf("engine: Scan must be a leaf, has %d children", len(node.Children))
+			}
+			return nil
+		}
+		if len(node.Children) != 1 {
+			return fmt.Errorf("engine: %v must have exactly one child, has %d", node.Op, len(node.Children))
+		}
+		child := node.Children[0]
+		childRank, ok := order[child.Op]
+		if !ok {
+			return fmt.Errorf("engine: unknown logical operator %v", child.Op)
+		}
+		if childRank != rank-1 {
+			return fmt.Errorf("engine: %v cannot consume from %v", node.Op, child.Op)
+		}
+		return walk(child)
+	}
+	return walk(n)
+}
+
+// String renders the tree root-first with indentation, properties in
+// sorted order.
+func (n *LogicalNode) String() string {
+	var b strings.Builder
+	var walk func(node *LogicalNode, depth int)
+	walk = func(node *LogicalNode, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(node.Op.String())
+		if len(node.Props) > 0 {
+			keys := make([]string, 0, len(node.Props))
+			for k := range node.Props {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			parts := make([]string, len(keys))
+			for i, k := range keys {
+				parts[i] = k + "=" + node.Props[k]
+			}
+			fmt.Fprintf(&b, "(%s)", strings.Join(parts, ", "))
+		}
+		b.WriteString("\n")
+		for _, c := range node.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(n, 0)
+	return b.String()
+}
+
+// AnnotatePhysical copies the tree and stamps the optimizer's physical
+// decisions onto the matching operators, producing the two-level
+// EXPLAIN the paper's Conquest workflow implies (logical query →
+// physical plan).
+func (n *LogicalNode) AnnotatePhysical(plan PhysicalPlan) *LogicalNode {
+	clone := &LogicalNode{Op: n.Op, Props: map[string]string{}}
+	for k, v := range n.Props {
+		clone.Props[k] = v
+	}
+	switch n.Op {
+	case OpSplit:
+		clone.Props["chunkPoints"] = fmt.Sprintf("%d", plan.ChunkPoints)
+	case OpPartial:
+		clone.Props["clones"] = fmt.Sprintf("%d", plan.PartialClones)
+	case OpMerge:
+		clone.Props["queue"] = fmt.Sprintf("%d", plan.QueueCapacity)
+	}
+	for _, c := range n.Children {
+		clone.Children = append(clone.Children, c.AnnotatePhysical(plan))
+	}
+	return clone
+}

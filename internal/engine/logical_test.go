@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"streamkm/internal/core"
+	"streamkm/internal/dataset"
+)
+
+func TestLogicalForAndValidate(t *testing.T) {
+	q := Query{K: 40, Restarts: 10, Strategy: dataset.SplitRandom, MergeMode: core.MergeCollective}
+	lp := LogicalFor(q, 3, false)
+	if err := lp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if lp.Op != OpMerge {
+		t.Fatalf("root = %v", lp.Op)
+	}
+	withC := LogicalFor(q, 3, true)
+	if err := withC.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if withC.Op != OpCompress {
+		t.Fatalf("root = %v", withC.Op)
+	}
+}
+
+func TestLogicalString(t *testing.T) {
+	q := Query{K: 40, Restarts: 10}
+	out := LogicalFor(q, 5, true).String()
+	for _, want := range []string{
+		"Compress",
+		"  MergeKMeans(k=40, mode=collective)",
+		"    PartialKMeans(k=40, restarts=10)",
+		"      Split(strategy=random)",
+		"        Scan(cells=5)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLogicalValidateRejectsMalformed(t *testing.T) {
+	scan := &LogicalNode{Op: OpScan}
+	cases := []struct {
+		name string
+		node *LogicalNode
+	}{
+		{"scan with child", &LogicalNode{Op: OpScan, Children: []*LogicalNode{scan}}},
+		{"merge with two children", &LogicalNode{Op: OpMerge, Children: []*LogicalNode{scan, scan}}},
+		{"merge over scan", &LogicalNode{Op: OpMerge, Children: []*LogicalNode{scan}}},
+		{"unknown op", &LogicalNode{Op: LogicalOp(99)}},
+		{"partial over partial", &LogicalNode{Op: OpPartial, Children: []*LogicalNode{
+			{Op: OpPartial, Children: []*LogicalNode{scan}},
+		}}},
+	}
+	for _, tc := range cases {
+		if err := tc.node.Validate(); err == nil {
+			t.Errorf("%s should be rejected", tc.name)
+		}
+	}
+}
+
+func TestAnnotatePhysical(t *testing.T) {
+	q := Query{K: 8, Restarts: 3}
+	lp := LogicalFor(q, 2, false)
+	plan := PhysicalPlan{ChunkPoints: 500, PartialClones: 4, QueueCapacity: 8}
+	annotated := lp.AnnotatePhysical(plan)
+	out := annotated.String()
+	for _, want := range []string{"clones=4", "chunkPoints=500", "queue=8"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("annotation missing %q:\n%s", want, out)
+		}
+	}
+	// Original untouched.
+	if strings.Contains(lp.String(), "clones=") {
+		t.Fatal("AnnotatePhysical mutated the original tree")
+	}
+	if err := annotated.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogicalOpString(t *testing.T) {
+	names := map[LogicalOp]string{
+		OpScan: "Scan", OpSplit: "Split", OpPartial: "PartialKMeans",
+		OpMerge: "MergeKMeans", OpCompress: "Compress",
+	}
+	for op, want := range names {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q", int(op), op.String())
+		}
+	}
+	if LogicalOp(42).String() == "" {
+		t.Error("unknown op should stringify")
+	}
+}

@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"streamkm/internal/rng"
+	"streamkm/internal/stream"
+	"streamkm/internal/trace"
+)
+
+// This file implements dynamic query re-optimization (§4: Conquest
+// "includes a query re-optimizer for dynamic adaptation of long running
+// queries, but we did not exploit this component in the tests" — here we
+// do). A monitor samples the chunk queue while the plan runs; sustained
+// backlog means the partial operator is the bottleneck, and the
+// re-optimizer responds by cloning another replica, up to the worker
+// budget.
+
+// ReoptPolicy tunes the monitor.
+type ReoptPolicy struct {
+	// SampleInterval is how often the monitor inspects the plan
+	// (0 = 5ms).
+	SampleInterval time.Duration
+	// BacklogFraction is the queue fill level treated as congestion
+	// (0 = 0.5).
+	BacklogFraction float64
+	// SustainedSamples is how many consecutive congested samples
+	// trigger a scale-up (0 = 2).
+	SustainedSamples int
+	// MaxClones caps the partial operator's replica count (0 = no
+	// scaling beyond the initial clone).
+	MaxClones int
+}
+
+func (p ReoptPolicy) withDefaults() ReoptPolicy {
+	if p.SampleInterval == 0 {
+		p.SampleInterval = 5 * time.Millisecond
+	}
+	if p.BacklogFraction == 0 {
+		p.BacklogFraction = 0.5
+	}
+	if p.SustainedSamples == 0 {
+		p.SustainedSamples = 2
+	}
+	return p
+}
+
+// ReoptEvent records one re-optimizer decision.
+type ReoptEvent struct {
+	// At is the offset from plan start.
+	At time.Duration
+	// Clones is the replica count after the decision.
+	Clones int
+	// Backlog is the chunk-queue depth that triggered it.
+	Backlog int
+}
+
+// ExecuteAdaptive runs the plan like Execute but starts the partial
+// operator at plan.PartialClones replicas and lets the re-optimizer add
+// replicas (up to policy.MaxClones) while the chunk queue stays
+// congested. It returns the re-optimization decisions along with the
+// results. Results are identical to Execute's for the same query
+// (per-chunk RNGs are pre-derived; the collective merge is order-
+// insensitive).
+func ExecuteAdaptive(ctx context.Context, cells []Cell, q Query, plan PhysicalPlan, policy ReoptPolicy) ([]CellResult, *ExecStats, []ReoptEvent, error) {
+	if err := validateExecArgs(cells, q, plan); err != nil {
+		return nil, nil, nil, err
+	}
+	policy = policy.withDefaults()
+	start := time.Now()
+	master := rng.New(q.Seed)
+	tasks, mergeRNGs, err := prepareTasks(cells, q, plan, master)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	g, gctx := stream.NewGroup(ctx)
+	reg := stream.NewStatsRegistry()
+	chunkQ := stream.NewQueue[chunkTask]("chunks", plan.QueueCapacity)
+	partQ := stream.NewQueue[partialOut]("partials", plan.QueueCapacity)
+
+	stream.RunSource(g, gctx, reg, "scan", taskSource(tasks), chunkQ)
+	tr := trace.New(0)
+	dt := stream.RunDynamicTransform(g, gctx, reg, "partial-kmeans", plan.PartialClones,
+		partialTransform(cells, q, tr), chunkQ, partQ)
+	sink, finalize := mergeCollector(cells, q, mergeRNGs, tr)
+	stream.RunSink(g, gctx, reg, "merge-kmeans", 1, sink, partQ)
+
+	// Monitor: sample the chunk queue until the partial stage drains.
+	var (
+		eventsMu sync.Mutex
+		events   []ReoptEvent
+	)
+	monitorDone := make(chan struct{})
+	g.Go("reoptimizer", func() error {
+		defer close(monitorDone)
+		congested := 0
+		ticker := time.NewTicker(policy.SampleInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-gctx.Done():
+				return nil
+			case <-ticker.C:
+			}
+			remaining := int64(len(tasks)) - dt.Stats().Processed()
+			if remaining <= 0 {
+				return nil
+			}
+			depth := chunkQ.Len()
+			if float64(depth) >= policy.BacklogFraction*float64(chunkQ.Cap()) {
+				congested++
+			} else {
+				congested = 0
+			}
+			if congested >= policy.SustainedSamples && dt.Clones() < policy.MaxClones {
+				if dt.AddClone() {
+					eventsMu.Lock()
+					events = append(events, ReoptEvent{
+						At:      time.Since(start),
+						Clones:  dt.Clones(),
+						Backlog: depth,
+					})
+					eventsMu.Unlock()
+				}
+				congested = 0
+			}
+		}
+	})
+
+	if err := g.Wait(); err != nil {
+		return nil, nil, nil, err
+	}
+	results, err := finalize()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	stats := &ExecStats{
+		Registry: reg,
+		Trace:    tr,
+		Elapsed:  time.Since(start),
+		Cells:    len(cells),
+		Chunks:   len(tasks),
+	}
+	return results, stats, events, nil
+}
+
+// String formats an event for logs.
+func (e ReoptEvent) String() string {
+	return fmt.Sprintf("t=%v clones->%d (backlog %d)", e.At.Round(time.Millisecond), e.Clones, e.Backlog)
+}

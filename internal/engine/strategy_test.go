@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"streamkm/internal/core"
+	"streamkm/internal/dataset"
+	"streamkm/internal/grid"
+)
+
+func TestExecuteAllStrategiesAndModes(t *testing.T) {
+	cells := []Cell{{Key: grid.CellKey{Lat: 2, Lon: 3}, Points: engineCell(t, 600, 51)}}
+	plan := PhysicalPlan{ChunkPoints: 150, PartialClones: 2, QueueCapacity: 4}
+	for _, strat := range []dataset.SplitStrategy{dataset.SplitRandom, dataset.SplitSalami, dataset.SplitSpatial} {
+		for _, mode := range []core.MergeMode{core.MergeCollective, core.MergeIncremental} {
+			q := Query{K: 8, Restarts: 2, Strategy: strat, MergeMode: mode, Seed: 5}
+			results, stats, err := Execute(context.Background(), cells, q, plan)
+			if err != nil {
+				t.Fatalf("strategy=%v mode=%v: %v", strat, mode, err)
+			}
+			if len(results) != 1 || stats.Chunks != 4 {
+				t.Fatalf("strategy=%v mode=%v: results=%d chunks=%d",
+					strat, mode, len(results), stats.Chunks)
+			}
+			var w float64
+			for _, x := range results[0].Result.Weights {
+				w += x
+			}
+			if math.Abs(w-600) > 1e-6 {
+				t.Fatalf("strategy=%v mode=%v: weight %g", strat, mode, w)
+			}
+		}
+	}
+}
+
+func TestExecutePartialErrorSurfacesCellContext(t *testing.T) {
+	// One cell small enough that chunking makes chunks below k.
+	small := dataset.MustNewSet(4)
+	for i := 0; i < 30; i++ {
+		if err := small.Add([]float64{float64(i), 0, 0, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cells := []Cell{{Key: grid.CellKey{Lat: 7, Lon: 8}, Points: small}}
+	q := Query{K: 20, Restarts: 1, Seed: 1}
+	plan := PhysicalPlan{ChunkPoints: 10, PartialClones: 1, QueueCapacity: 2}
+	_, _, err := Execute(context.Background(), cells, q, plan)
+	if err == nil {
+		t.Fatal("k > chunk size should fail")
+	}
+	if want := "N07E008"; !contains(err.Error(), want) {
+		t.Fatalf("error %q does not identify the failing cell %q", err, want)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

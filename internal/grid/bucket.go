@@ -1,0 +1,274 @@
+package grid
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/vector"
+)
+
+// Bucket file format (little-endian):
+//
+//	magic   [4]byte  "SKMB"
+//	version uint16   (currently 1)
+//	dim     uint16   attribute dimensionality
+//	lat     int16    cell south-west latitude
+//	lon     int16    cell south-west longitude
+//	count   uint64   number of points
+//	data    count*dim float64 attribute values
+//	crc     uint32   CRC-32 (IEEE) of the data section
+//
+// The format stores attributes only; the cell coordinates live in the
+// header, matching the paper's pre-bucketed binary files.
+const (
+	bucketMagic   = "SKMB"
+	bucketVersion = 1
+	headerSize    = 4 + 2 + 2 + 2 + 2 + 8
+)
+
+// ErrBadBucket is wrapped by all bucket-format corruption errors.
+var ErrBadBucket = errors.New("grid: malformed bucket file")
+
+// WriteBucket serializes a cell's points to w.
+func WriteBucket(w io.Writer, key CellKey, points *dataset.Set) error {
+	if !key.Valid() {
+		return fmt.Errorf("grid: invalid cell key %+v", key)
+	}
+	if points.Dim() > math.MaxUint16 {
+		return fmt.Errorf("grid: dimension %d too large for format", points.Dim())
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(bucketMagic); err != nil {
+		return err
+	}
+	for _, v := range []any{
+		uint16(bucketVersion),
+		uint16(points.Dim()),
+		int16(key.Lat),
+		int16(key.Lon),
+		uint64(points.Len()),
+	} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	crc := crc32.NewIEEE()
+	data := io.MultiWriter(bw, crc)
+	buf := make([]byte, 8)
+	for _, p := range points.Points() {
+		for _, x := range p {
+			binary.LittleEndian.PutUint64(buf, math.Float64bits(x))
+			if _, err := data.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, crc.Sum32()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteBucketFile writes a cell to path, creating parent directories.
+func WriteBucketFile(path string, key CellKey, points *dataset.Set) (err error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return WriteBucket(f, key, points)
+}
+
+// BucketHeader is the parsed fixed-size prefix of a bucket file.
+type BucketHeader struct {
+	Version int
+	Dim     int
+	Key     CellKey
+	Count   int
+}
+
+// BucketReader streams one bucket file point by point, honoring the
+// one-scan restriction of the stream model: callers get each point once,
+// in file order, without materializing the cell.
+type BucketReader struct {
+	r      *bufio.Reader
+	header BucketHeader
+	read   int
+	crc    uint32 // running CRC of the data section
+	buf    []byte
+}
+
+// NewBucketReader parses the header and prepares to stream points.
+func NewBucketReader(r io.Reader) (*BucketReader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, headerSize)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadBucket, err)
+	}
+	if string(head[:4]) != bucketMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadBucket, head[:4])
+	}
+	version := binary.LittleEndian.Uint16(head[4:6])
+	if version != bucketVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadBucket, version)
+	}
+	dim := int(binary.LittleEndian.Uint16(head[6:8]))
+	if dim == 0 {
+		return nil, fmt.Errorf("%w: zero dimension", ErrBadBucket)
+	}
+	key := CellKey{
+		Lat: int(int16(binary.LittleEndian.Uint16(head[8:10]))),
+		Lon: int(int16(binary.LittleEndian.Uint16(head[10:12]))),
+	}
+	if !key.Valid() {
+		return nil, fmt.Errorf("%w: invalid cell key %+v", ErrBadBucket, key)
+	}
+	count := binary.LittleEndian.Uint64(head[12:20])
+	if count > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: implausible count %d", ErrBadBucket, count)
+	}
+	return &BucketReader{
+		r: br,
+		header: BucketHeader{
+			Version: int(version),
+			Dim:     dim,
+			Key:     key,
+			Count:   int(count),
+		},
+		buf: make([]byte, 8*dim),
+	}, nil
+}
+
+// Header returns the parsed file header.
+func (b *BucketReader) Header() BucketHeader { return b.header }
+
+// Next returns the next point, or ok=false after the last point has been
+// returned and the trailing checksum verified.
+func (b *BucketReader) Next() (vector.Vector, bool, error) {
+	if b.read >= b.header.Count {
+		if b.read == b.header.Count {
+			b.read++ // verify the trailer exactly once
+			var stored uint32
+			if err := binary.Read(b.r, binary.LittleEndian, &stored); err != nil {
+				return nil, false, fmt.Errorf("%w: missing checksum: %v", ErrBadBucket, err)
+			}
+			if stored != b.crc {
+				return nil, false, fmt.Errorf("%w: checksum mismatch (stored %08x, computed %08x)",
+					ErrBadBucket, stored, b.crc)
+			}
+		}
+		return nil, false, nil
+	}
+	if _, err := io.ReadFull(b.r, b.buf); err != nil {
+		return nil, false, fmt.Errorf("%w: truncated data at point %d: %v", ErrBadBucket, b.read, err)
+	}
+	b.crc = crc32.Update(b.crc, crc32.IEEETable, b.buf)
+	p := vector.New(b.header.Dim)
+	for d := 0; d < b.header.Dim; d++ {
+		p[d] = math.Float64frombits(binary.LittleEndian.Uint64(b.buf[8*d:]))
+	}
+	b.read++
+	return p, true, nil
+}
+
+// ReadBucket loads an entire bucket into memory (the serial baseline's
+// access pattern).
+func ReadBucket(r io.Reader) (CellKey, *dataset.Set, error) {
+	br, err := NewBucketReader(r)
+	if err != nil {
+		return CellKey{}, nil, err
+	}
+	set, err := dataset.NewSet(br.Header().Dim)
+	if err != nil {
+		return CellKey{}, nil, err
+	}
+	for {
+		p, ok, err := br.Next()
+		if err != nil {
+			return CellKey{}, nil, err
+		}
+		if !ok {
+			break
+		}
+		if err := set.Add(p); err != nil {
+			return CellKey{}, nil, err
+		}
+	}
+	return br.Header().Key, set, nil
+}
+
+// ReadBucketFile loads a bucket file from disk.
+func ReadBucketFile(path string) (CellKey, *dataset.Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return CellKey{}, nil, err
+	}
+	defer f.Close()
+	return ReadBucket(f)
+}
+
+// BucketFileName returns the conventional file name for a cell,
+// e.g. "N34E118.skmb".
+func BucketFileName(key CellKey) string { return key.String() + ".skmb" }
+
+// IndexDir scans dir (non-recursively) for bucket files and returns the
+// cell → path index sorted by cell key for deterministic iteration.
+func IndexDir(dir string) ([]IndexEntry, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []IndexEntry
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".skmb") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		br, err := NewBucketReader(f)
+		closeErr := f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("grid: %s: %w", path, err)
+		}
+		if closeErr != nil {
+			return nil, closeErr
+		}
+		h := br.Header()
+		out = append(out, IndexEntry{Key: h.Key, Path: path, Count: h.Count, Dim: h.Dim})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.Lat != out[j].Key.Lat {
+			return out[i].Key.Lat < out[j].Key.Lat
+		}
+		return out[i].Key.Lon < out[j].Key.Lon
+	})
+	return out, nil
+}
+
+// IndexEntry is one cell's bucket file in a directory index.
+type IndexEntry struct {
+	Key   CellKey
+	Path  string
+	Count int
+	Dim   int
+}

@@ -1,0 +1,234 @@
+package grid
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/rng"
+	"streamkm/internal/vector"
+)
+
+func sampleSet(t *testing.T, n, dim int) *dataset.Set {
+	t.Helper()
+	r := rng.New(31)
+	s := dataset.MustNewSet(dim)
+	for i := 0; i < n; i++ {
+		p := vector.New(dim)
+		for d := range p {
+			p[d] = r.NormFloat64() * 10
+		}
+		if err := s.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestBucketRoundTrip(t *testing.T) {
+	key := CellKey{Lat: 34, Lon: -119}
+	s := sampleSet(t, 123, 6)
+	var buf bytes.Buffer
+	if err := WriteBucket(&buf, key, s); err != nil {
+		t.Fatal(err)
+	}
+	gotKey, gotSet, err := ReadBucket(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotKey != key {
+		t.Fatalf("key = %+v, want %+v", gotKey, key)
+	}
+	if gotSet.Len() != s.Len() || gotSet.Dim() != s.Dim() {
+		t.Fatalf("set = %dx%d, want %dx%d", gotSet.Len(), gotSet.Dim(), s.Len(), s.Dim())
+	}
+	for i := 0; i < s.Len(); i++ {
+		if !gotSet.At(i).Equal(s.At(i)) {
+			t.Fatalf("point %d differs", i)
+		}
+	}
+}
+
+func TestBucketEmptySetRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBucket(&buf, CellKey{0, 0}, dataset.MustNewSet(3)); err != nil {
+		t.Fatal(err)
+	}
+	_, s, err := ReadBucket(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 || s.Dim() != 3 {
+		t.Fatalf("empty round trip = %dx%d", s.Len(), s.Dim())
+	}
+}
+
+func TestBucketWriteInvalidKey(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBucket(&buf, CellKey{Lat: 90, Lon: 0}, sampleSet(t, 1, 2)); err == nil {
+		t.Fatal("invalid key should error")
+	}
+}
+
+func TestBucketReaderStreamsOnce(t *testing.T) {
+	key := CellKey{Lat: 1, Lon: 2}
+	s := sampleSet(t, 10, 4)
+	var buf bytes.Buffer
+	if err := WriteBucket(&buf, key, s); err != nil {
+		t.Fatal(err)
+	}
+	br, err := NewBucketReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := br.Header()
+	if h.Count != 10 || h.Dim != 4 || h.Key != key || h.Version != 1 {
+		t.Fatalf("header = %+v", h)
+	}
+	n := 0
+	for {
+		p, ok, err := br.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if !p.Equal(s.At(n)) {
+			t.Fatalf("streamed point %d differs", n)
+		}
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("streamed %d points", n)
+	}
+	// Next after exhaustion stays exhausted without error.
+	if _, ok, err := br.Next(); ok || err != nil {
+		t.Fatalf("post-exhaustion Next = (%v, %v)", ok, err)
+	}
+}
+
+func TestBucketCorruptionDetected(t *testing.T) {
+	key := CellKey{Lat: 5, Lon: 6}
+	s := sampleSet(t, 20, 3)
+	var buf bytes.Buffer
+	if err := WriteBucket(&buf, key, s); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte{}, good...)
+		bad[0] = 'X'
+		if _, err := NewBucketReader(bytes.NewReader(bad)); !errors.Is(err, ErrBadBucket) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		bad := append([]byte{}, good...)
+		bad[4] = 99
+		if _, err := NewBucketReader(bytes.NewReader(bad)); !errors.Is(err, ErrBadBucket) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("flipped data bit", func(t *testing.T) {
+		bad := append([]byte{}, good...)
+		bad[headerSize+5] ^= 0x40
+		_, _, err := ReadBucket(bytes.NewReader(bad))
+		if !errors.Is(err, ErrBadBucket) {
+			t.Fatalf("checksum did not catch corruption: %v", err)
+		}
+	})
+	t.Run("truncated data", func(t *testing.T) {
+		bad := good[:headerSize+7]
+		_, _, err := ReadBucket(bytes.NewReader(bad))
+		if !errors.Is(err, ErrBadBucket) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("missing trailer", func(t *testing.T) {
+		bad := good[:len(good)-4]
+		_, _, err := ReadBucket(bytes.NewReader(bad))
+		if !errors.Is(err, ErrBadBucket) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("short header", func(t *testing.T) {
+		if _, err := NewBucketReader(bytes.NewReader(good[:10])); !errors.Is(err, ErrBadBucket) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
+func TestBucketFileAndIndex(t *testing.T) {
+	dir := t.TempDir()
+	cells := []struct {
+		key CellKey
+		n   int
+	}{
+		{CellKey{10, 20}, 50},
+		{CellKey{-5, 100}, 30},
+		{CellKey{10, 19}, 10},
+	}
+	for _, c := range cells {
+		path := filepath.Join(dir, BucketFileName(c.key))
+		if err := WriteBucketFile(path, c.key, sampleSet(t, c.n, 6)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// a non-bucket file should be ignored
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := IndexDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 3 {
+		t.Fatalf("index has %d entries", len(idx))
+	}
+	// sorted by (lat, lon): (-5,100), (10,19), (10,20)
+	if idx[0].Key != (CellKey{-5, 100}) || idx[1].Key != (CellKey{10, 19}) || idx[2].Key != (CellKey{10, 20}) {
+		t.Fatalf("index order wrong: %+v", idx)
+	}
+	if idx[0].Count != 30 || idx[0].Dim != 6 {
+		t.Fatalf("entry meta wrong: %+v", idx[0])
+	}
+	key, set, err := ReadBucketFile(idx[2].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != (CellKey{10, 20}) || set.Len() != 50 {
+		t.Fatalf("read back %+v with %d points", key, set.Len())
+	}
+}
+
+func TestWriteBucketFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	// Parent "directory" is actually a file: MkdirAll must fail.
+	blocker := filepath.Join(dir, "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(blocker, "sub", "N00E000.skmb")
+	if err := WriteBucketFile(path, CellKey{0, 0}, sampleSet(t, 1, 2)); err == nil {
+		t.Fatal("writing under a file should error")
+	}
+	// Target path is a directory: Create must fail.
+	asDir := filepath.Join(dir, "N00E000.skmb")
+	if err := os.MkdirAll(asDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBucketFile(asDir, CellKey{0, 0}, sampleSet(t, 1, 2)); err == nil {
+		t.Fatal("writing onto a directory should error")
+	}
+}
+
+func TestIndexDirMissing(t *testing.T) {
+	if _, err := IndexDir(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing dir should error")
+	}
+}

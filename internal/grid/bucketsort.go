@@ -1,0 +1,257 @@
+package grid
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/vector"
+)
+
+// This file implements the offline step the paper assumes before
+// clustering (§3.1): "the data had been scanned once, and sorted into
+// one degree latitude and one degree longitude grid buckets that were
+// saved to disk as binary files". The sort is out-of-core: every swath
+// file is scanned exactly once, points accumulate in per-cell memory
+// buffers, and whenever the total buffered volume exceeds the memory
+// budget the largest buffers spill to per-cell append-only segment
+// files. A final pass converts each cell's spill into a checksummed
+// .skmb bucket.
+
+// BucketSortStats reports what the sort did.
+type BucketSortStats struct {
+	// PointsScanned counts the swath records read.
+	PointsScanned int
+	// CellsWritten counts the bucket files produced.
+	CellsWritten int
+	// Spills counts memory-pressure flushes to segment files.
+	Spills int
+}
+
+// SortSwathsToBuckets scans the swath files once each and writes one
+// .skmb bucket per touched grid cell into outDir. memBudgetPoints bounds
+// the points buffered in RAM at any time (the operator-state limit of
+// the stream model); a non-positive budget means unbounded.
+func SortSwathsToBuckets(swathPaths []string, outDir string, memBudgetPoints int) (*BucketSortStats, error) {
+	if len(swathPaths) == 0 {
+		return nil, fmt.Errorf("grid: no swath files")
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return nil, err
+	}
+	spillDir, err := os.MkdirTemp(outDir, "spill-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(spillDir)
+
+	stats := &BucketSortStats{}
+	buffers := map[CellKey][]vector.Vector{}
+	buffered := 0
+	dim := 0
+
+	spillCell := func(key CellKey) error {
+		pts := buffers[key]
+		if len(pts) == 0 {
+			return nil
+		}
+		f, err := os.OpenFile(filepath.Join(spillDir, key.String()+".seg"),
+			os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriter(f)
+		buf := make([]byte, 8)
+		for _, p := range pts {
+			for _, x := range p {
+				binary.LittleEndian.PutUint64(buf, math.Float64bits(x))
+				if _, err := bw.Write(buf); err != nil {
+					f.Close()
+					return err
+				}
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		buffered -= len(pts)
+		delete(buffers, key)
+		return nil
+	}
+
+	spillLargest := func() error {
+		stats.Spills++
+		// Spill the largest buffers until under half the budget, so
+		// spills amortize rather than thrash.
+		for buffered > memBudgetPoints/2 {
+			var largest CellKey
+			max := 0
+			for k, pts := range buffers {
+				if len(pts) > max {
+					largest, max = k, len(pts)
+				}
+			}
+			if max == 0 {
+				return nil
+			}
+			if err := spillCell(largest); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Phase 1: one scan of every swath file.
+	for _, path := range swathPaths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		sr, err := NewSwathReader(f)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("grid: %s: %w", path, err)
+		}
+		if dim == 0 {
+			dim = sr.Dim()
+		} else if sr.Dim() != dim {
+			f.Close()
+			return nil, fmt.Errorf("grid: %s has dim %d, want %d", path, sr.Dim(), dim)
+		}
+		for {
+			p, ok, err := sr.Next()
+			if err != nil {
+				f.Close()
+				return nil, fmt.Errorf("grid: %s: %w", path, err)
+			}
+			if !ok {
+				break
+			}
+			key, err := p.Cell()
+			if err != nil {
+				f.Close()
+				return nil, fmt.Errorf("grid: %s: %w", path, err)
+			}
+			buffers[key] = append(buffers[key], vector.Vector(p.Attrs))
+			buffered++
+			stats.PointsScanned++
+			if memBudgetPoints > 0 && buffered > memBudgetPoints {
+				if err := spillLargest(); err != nil {
+					f.Close()
+					return nil, err
+				}
+			}
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 2: flush every remaining buffer, then convert each cell's
+	// segment file into a bucket.
+	for k := range buffers {
+		if err := spillCell(k); err != nil {
+			return nil, err
+		}
+	}
+	entries, err := os.ReadDir(spillDir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		key, err := parseCellName(e.Name())
+		if err != nil {
+			return nil, err
+		}
+		set, err := readSegment(filepath.Join(spillDir, e.Name()), dim)
+		if err != nil {
+			return nil, err
+		}
+		out := filepath.Join(outDir, BucketFileName(key))
+		if err := WriteBucketFile(out, key, set); err != nil {
+			return nil, err
+		}
+		stats.CellsWritten++
+	}
+	return stats, nil
+}
+
+// parseCellName inverts CellKey.String()+".seg".
+func parseCellName(name string) (CellKey, error) {
+	base := name
+	if len(base) > 4 && base[len(base)-4:] == ".seg" {
+		base = base[:len(base)-4]
+	}
+	var k CellKey
+	// CellKey.String() yields 7 runes: [NS]DD[EW]DDD.
+	if len(base) != 7 {
+		return k, fmt.Errorf("grid: bad segment name %q", name)
+	}
+	var lat, lon int
+	if _, err := fmt.Sscanf(base[1:3], "%d", &lat); err != nil {
+		return k, fmt.Errorf("grid: bad segment name %q: %v", name, err)
+	}
+	if _, err := fmt.Sscanf(base[4:7], "%d", &lon); err != nil {
+		return k, fmt.Errorf("grid: bad segment name %q: %v", name, err)
+	}
+	switch base[0] {
+	case 'N':
+		k.Lat = lat
+	case 'S':
+		k.Lat = -lat
+	default:
+		return k, fmt.Errorf("grid: bad segment name %q", name)
+	}
+	switch base[3] {
+	case 'E':
+		k.Lon = lon
+	case 'W':
+		k.Lon = -lon
+	default:
+		return k, fmt.Errorf("grid: bad segment name %q", name)
+	}
+	if !k.Valid() {
+		return k, fmt.Errorf("grid: segment name %q decodes to invalid cell", name)
+	}
+	return k, nil
+}
+
+// readSegment loads a raw spill segment (dim float64s per point).
+func readSegment(path string, dim int) (*dataset.Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	set, err := dataset.NewSet(dim)
+	if err != nil {
+		return nil, err
+	}
+	br := bufio.NewReader(f)
+	buf := make([]byte, 8*dim)
+	for {
+		_, err := io.ReadFull(br, buf)
+		if err == io.EOF {
+			return set, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("grid: segment %s: %w", path, err)
+		}
+		p := vector.New(dim)
+		for d := 0; d < dim; d++ {
+			p[d] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*d:]))
+		}
+		if err := set.Add(p); err != nil {
+			return nil, err
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+
+	"streamkm/internal/vector"
+)
+
+func TestCellKeyValid(t *testing.T) {
+	valid := []CellKey{{-90, -180}, {89, 179}, {0, 0}, {34, -118}}
+	for _, k := range valid {
+		if !k.Valid() {
+			t.Errorf("%+v should be valid", k)
+		}
+	}
+	invalid := []CellKey{{-91, 0}, {90, 0}, {0, -181}, {0, 180}}
+	for _, k := range invalid {
+		if k.Valid() {
+			t.Errorf("%+v should be invalid", k)
+		}
+	}
+}
+
+func TestCellKeyString(t *testing.T) {
+	cases := map[CellKey]string{
+		{34, -118}:  "N34W118",
+		{-1, 90}:    "S01E090",
+		{0, 0}:      "N00E000",
+		{-90, -180}: "S90W180",
+		{89, 179}:   "N89E179",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%+v.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestCellOf(t *testing.T) {
+	cases := []struct {
+		lat, lon float64
+		want     CellKey
+	}{
+		{34.5, -118.2, CellKey{34, -119}},
+		{-0.5, 0.5, CellKey{-1, 0}},
+		{0, 0, CellKey{0, 0}},
+		{90, 180, CellKey{89, 179}}, // poles/antimeridian fold inward
+		{-90, -180, CellKey{-90, -180}},
+		{89.999, 179.999, CellKey{89, 179}},
+	}
+	for _, tc := range cases {
+		got, err := CellOf(tc.lat, tc.lon)
+		if err != nil {
+			t.Fatalf("CellOf(%g, %g): %v", tc.lat, tc.lon, err)
+		}
+		if got != tc.want {
+			t.Errorf("CellOf(%g, %g) = %+v, want %+v", tc.lat, tc.lon, got, tc.want)
+		}
+	}
+	if _, err := CellOf(91, 0); err == nil {
+		t.Fatal("lat 91 should error")
+	}
+	if _, err := CellOf(0, 181); err == nil {
+		t.Fatal("lon 181 should error")
+	}
+}
+
+// Property: CellOf always produces a valid key containing the coordinate.
+func TestCellOfAlwaysValid(t *testing.T) {
+	f := func(latRaw, lonRaw uint16) bool {
+		lat := float64(latRaw)/65535*180 - 90
+		lon := float64(lonRaw)/65535*360 - 180
+		k, err := CellOf(lat, lon)
+		if err != nil || !k.Valid() {
+			return false
+		}
+		// the cell must contain the coordinate (modulo edge folding)
+		latOK := float64(k.Lat) <= lat && lat <= float64(k.Lat)+1
+		lonOK := float64(k.Lon) <= lon && lon <= float64(k.Lon)+1
+		return latOK && lonOK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketize(t *testing.T) {
+	pts := []GeoPoint{
+		{Lat: 10.5, Lon: 20.5, Attrs: vector.Of(1, 2)},
+		{Lat: 10.7, Lon: 20.2, Attrs: vector.Of(3, 4)},
+		{Lat: -5.5, Lon: 100.1, Attrs: vector.Of(5, 6)},
+	}
+	cells, err := Bucketize(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	if got := len(cells[CellKey{10, 20}]); got != 2 {
+		t.Fatalf("cell (10,20) has %d points", got)
+	}
+	if got := len(cells[CellKey{-6, 100}]); got != 1 {
+		t.Fatalf("cell (-6,100) has %d points", got)
+	}
+}
+
+func TestBucketizeErrors(t *testing.T) {
+	if _, err := Bucketize([]GeoPoint{{Lat: 99, Lon: 0, Attrs: vector.Of(1)}}); err == nil {
+		t.Fatal("invalid coordinate should error")
+	}
+	mixed := []GeoPoint{
+		{Lat: 0, Lon: 0, Attrs: vector.Of(1)},
+		{Lat: 0, Lon: 0, Attrs: vector.Of(1, 2)},
+	}
+	if _, err := Bucketize(mixed); err == nil {
+		t.Fatal("mixed attribute dims should error")
+	}
+}

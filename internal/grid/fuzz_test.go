@@ -1,0 +1,96 @@
+package grid
+
+import (
+	"bytes"
+	"testing"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/vector"
+)
+
+// FuzzBucketReader feeds arbitrary bytes to the bucket decoder: it must
+// reject or decode, never panic or hang, and never accept data whose
+// round-trip differs.
+func FuzzBucketReader(f *testing.F) {
+	// Seed with a valid file and a few mutations.
+	set := dataset.MustNewSet(3)
+	for i := 0; i < 5; i++ {
+		if err := set.Add(vector.Of(float64(i), float64(i*i), -float64(i))); err != nil {
+			f.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteBucket(&buf, CellKey{Lat: 10, Lon: 20}, set); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add(valid[:headerSize])
+	f.Add([]byte("SKMB"))
+	f.Add([]byte{})
+	mutated := append([]byte{}, valid...)
+	mutated[headerSize+3] ^= 0xFF
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		key, set, err := ReadBucket(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted data must re-encode to a decodable bucket with the
+		// same contents.
+		var out bytes.Buffer
+		if err := WriteBucket(&out, key, set); err != nil {
+			t.Fatalf("accepted bucket failed to re-encode: %v", err)
+		}
+		key2, set2, err := ReadBucket(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded bucket failed to decode: %v", err)
+		}
+		if key2 != key || set2.Len() != set.Len() || set2.Dim() != set.Dim() {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}
+
+// FuzzSwathReader: same contract for the swath decoder.
+func FuzzSwathReader(f *testing.F) {
+	pts := []GeoPoint{
+		{Lat: 1, Lon: 2, Attrs: []float64{3, 4}},
+		{Lat: -5, Lon: 6, Attrs: []float64{7, 8}},
+	}
+	var buf bytes.Buffer
+	if err := WriteSwath(&buf, 2, pts); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:swathHeaderSize])
+	f.Add([]byte("SKMS"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sr, err := NewSwathReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		n := 0
+		for {
+			_, ok, err := sr.Next()
+			if err != nil {
+				return // corruption detected mid-stream is fine
+			}
+			if !ok {
+				break
+			}
+			n++
+			if n > 1<<20 {
+				t.Fatal("reader returned more records than any valid header allows")
+			}
+		}
+		if n != sr.Count() {
+			t.Fatalf("decoded %d records, header said %d", n, sr.Count())
+		}
+	})
+}

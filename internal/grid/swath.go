@@ -1,0 +1,165 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/rng"
+	"streamkm/internal/vector"
+)
+
+// SwathSpec describes a simulated polar-orbiting instrument like MISR
+// (Fig. 1): the instrument images a stripe of the earth per orbit while
+// the planet rotates underneath, so consecutive orbits cover westward-
+// shifted stripes and complete coverage takes many orbits.
+type SwathSpec struct {
+	// SwathWidthDeg is the across-track width of the imaged stripe in
+	// degrees of longitude at the equator (MISR: ~360 km ≈ 3.2°).
+	SwathWidthDeg float64
+	// Orbits is the number of orbits to simulate.
+	Orbits int
+	// PointsPerOrbit is the number of measurements sampled per orbit.
+	PointsPerOrbit int
+	// Dim is the attribute dimensionality of each measurement.
+	Dim int
+	// WestwardShiftDeg is the longitude shift between consecutive
+	// orbits caused by earth rotation (MISR: ~24.7° per ~99-min orbit).
+	WestwardShiftDeg float64
+	// MaxLatDeg bounds the orbit's latitude excursion (inclination
+	// proxy); MISR is near-polar, ~82°.
+	MaxLatDeg float64
+}
+
+// DefaultSwathSpec approximates the MISR orbit geometry.
+func DefaultSwathSpec() SwathSpec {
+	return SwathSpec{
+		SwathWidthDeg:    3.2,
+		Orbits:           16,
+		PointsPerOrbit:   2000,
+		Dim:              6,
+		WestwardShiftDeg: 24.7,
+		MaxLatDeg:        82,
+	}
+}
+
+func (s SwathSpec) validate() error {
+	if s.SwathWidthDeg <= 0 {
+		return fmt.Errorf("grid: swath width must be positive")
+	}
+	if s.Orbits <= 0 || s.PointsPerOrbit <= 0 {
+		return fmt.Errorf("grid: orbits and points per orbit must be positive")
+	}
+	if s.Dim <= 0 {
+		return fmt.Errorf("grid: dim must be positive")
+	}
+	if s.MaxLatDeg <= 0 || s.MaxLatDeg > 90 {
+		return fmt.Errorf("grid: MaxLatDeg must be in (0, 90]")
+	}
+	return nil
+}
+
+// AttributeModel synthesizes the attribute vector for a measurement at a
+// coordinate. Implementations stand in for the physical radiances the
+// real instrument records.
+type AttributeModel interface {
+	Attributes(lat, lon float64, r *rng.RNG) vector.Vector
+}
+
+// GeoGradientModel is a smooth attribute field plus Gaussian sensor
+// noise: attribute d responds to latitude and longitude with a
+// d-dependent phase, giving nearby points correlated attributes — the
+// "spatial clustering characteristics" of temporal-spatial phenomena the
+// paper's conclusion highlights.
+type GeoGradientModel struct {
+	// Dim is the attribute dimensionality.
+	Dim int
+	// Noise is the per-attribute Gaussian noise standard deviation.
+	Noise float64
+	// Scale multiplies the smooth field's amplitude.
+	Scale float64
+}
+
+// Attributes implements AttributeModel.
+func (m GeoGradientModel) Attributes(lat, lon float64, r *rng.RNG) vector.Vector {
+	v := vector.New(m.Dim)
+	latR := lat * math.Pi / 180
+	lonR := lon * math.Pi / 180
+	for d := 0; d < m.Dim; d++ {
+		phase := float64(d) * math.Pi / float64(m.Dim)
+		field := m.Scale * (math.Sin(latR*2+phase) + math.Cos(lonR*3-phase))
+		v[d] = field + m.Noise*r.NormFloat64()
+	}
+	return v
+}
+
+// SimulateSwaths generates the instrument's measurements in acquisition
+// order: stripe by stripe, exactly the "little control over the order of
+// incoming data items" regime of §3. Points for one grid cell are
+// therefore scattered across the stream (and across orbits).
+func SimulateSwaths(spec SwathSpec, model AttributeModel, seed uint64) ([]GeoPoint, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if model == nil {
+		return nil, fmt.Errorf("grid: nil attribute model")
+	}
+	r := rng.New(seed)
+	points := make([]GeoPoint, 0, spec.Orbits*spec.PointsPerOrbit)
+	for orbit := 0; orbit < spec.Orbits; orbit++ {
+		// Ground track: the sub-satellite longitude precesses westward
+		// each orbit; along one orbit latitude sweeps a full sine cycle.
+		baseLon := math.Mod(-float64(orbit)*spec.WestwardShiftDeg+180+3600, 360) - 180
+		for i := 0; i < spec.PointsPerOrbit; i++ {
+			t := float64(i) / float64(spec.PointsPerOrbit) // orbit phase [0,1)
+			lat := spec.MaxLatDeg * math.Sin(2*math.Pi*t)
+			// Earth keeps rotating during the orbit itself.
+			lon := normalizeLon(baseLon - spec.WestwardShiftDeg*t)
+			// Across-track jitter inside the swath.
+			lat += (r.Float64() - 0.5) * spec.SwathWidthDeg
+			lon = normalizeLon(lon + (r.Float64()-0.5)*spec.SwathWidthDeg)
+			if lat > 90 {
+				lat = 90
+			}
+			if lat < -90 {
+				lat = -90
+			}
+			points = append(points, GeoPoint{
+				Lat:   lat,
+				Lon:   lon,
+				Attrs: model.Attributes(lat, lon, r),
+			})
+		}
+	}
+	return points, nil
+}
+
+func normalizeLon(lon float64) float64 {
+	lon = math.Mod(lon+180, 360)
+	if lon < 0 {
+		lon += 360
+	}
+	return lon - 180
+}
+
+// BucketizeToSets converts a cell → geopoints map into cell → attribute
+// sets ready for clustering.
+func BucketizeToSets(cells map[CellKey][]GeoPoint) (map[CellKey]*dataset.Set, error) {
+	out := make(map[CellKey]*dataset.Set, len(cells))
+	for k, pts := range cells {
+		if len(pts) == 0 {
+			continue
+		}
+		set, err := dataset.NewSet(len(pts[0].Attrs))
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pts {
+			if err := set.Add(p.Attrs); err != nil {
+				return nil, fmt.Errorf("grid: cell %v: %w", k, err)
+			}
+		}
+		out[k] = set
+	}
+	return out, nil
+}

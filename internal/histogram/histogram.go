@@ -1,0 +1,350 @@
+// Package histogram implements the compression application that
+// motivates the paper (§1): each grid cell is compressed into a
+// multivariate histogram with non-equi-depth buckets whose "shapes,
+// sizes, and number ... adapt to the shape and complexity of the actual
+// data". Buckets are derived from a clustering: one bucket per centroid,
+// bounded by the extent of the points (or weighted centroids) assigned
+// to it, carrying the assigned mass as its count.
+package histogram
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/rng"
+	"streamkm/internal/vector"
+)
+
+// Bucket is one non-equi-depth histogram bucket: an axis-aligned box
+// with a representative centroid and the data mass it holds.
+type Bucket struct {
+	Centroid vector.Vector
+	Min      vector.Vector
+	Max      vector.Vector
+	Count    float64
+}
+
+// Contains reports whether p falls inside the (closed) bucket box.
+func (b Bucket) Contains(p vector.Vector) bool {
+	for d := range p {
+		if p[d] < b.Min[d] || p[d] > b.Max[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Volume returns the box volume (degenerate dimensions count as width 0).
+func (b Bucket) Volume() float64 {
+	v := 1.0
+	for d := range b.Min {
+		v *= b.Max[d] - b.Min[d]
+	}
+	return v
+}
+
+// Histogram is a multivariate non-equi-depth histogram for one grid cell.
+type Histogram struct {
+	dim     int
+	buckets []Bucket
+	total   float64
+}
+
+// Dim returns the attribute dimensionality.
+func (h *Histogram) Dim() int { return h.dim }
+
+// Buckets returns the bucket list (not a copy).
+func (h *Histogram) Buckets() []Bucket { return h.buckets }
+
+// Total returns the total data mass.
+func (h *Histogram) Total() float64 { return h.total }
+
+// Build assigns every point of the cell to its nearest centroid and
+// produces one bucket per non-empty centroid, bounded by the assigned
+// points' extent.
+func Build(points *dataset.Set, centroids []vector.Vector) (*Histogram, error) {
+	if len(centroids) == 0 {
+		return nil, errors.New("histogram: no centroids")
+	}
+	if points.Len() == 0 {
+		return nil, errors.New("histogram: empty cell")
+	}
+	dim := points.Dim()
+	for i, c := range centroids {
+		if len(c) != dim {
+			return nil, fmt.Errorf("histogram: centroid %d has dim %d, want %d", i, len(c), dim)
+		}
+	}
+	boxes := make([]*vector.BoundingBox, len(centroids))
+	counts := make([]float64, len(centroids))
+	for i := range boxes {
+		boxes[i] = vector.NewBoundingBox(dim)
+	}
+	for _, p := range points.Points() {
+		j, _ := vector.NearestIndex(p, centroids)
+		if err := boxes[j].Observe(p); err != nil {
+			return nil, err
+		}
+		counts[j]++
+	}
+	return assemble(dim, centroids, boxes, counts)
+}
+
+// BuildWeighted builds buckets from weighted representatives (e.g. the
+// partial stage's weighted centroids), the streaming path where the raw
+// points are no longer available.
+func BuildWeighted(points *dataset.WeightedSet, centroids []vector.Vector) (*Histogram, error) {
+	if len(centroids) == 0 {
+		return nil, errors.New("histogram: no centroids")
+	}
+	if points.Len() == 0 {
+		return nil, errors.New("histogram: empty weighted set")
+	}
+	dim := points.Dim()
+	for i, c := range centroids {
+		if len(c) != dim {
+			return nil, fmt.Errorf("histogram: centroid %d has dim %d, want %d", i, len(c), dim)
+		}
+	}
+	boxes := make([]*vector.BoundingBox, len(centroids))
+	counts := make([]float64, len(centroids))
+	for i := range boxes {
+		boxes[i] = vector.NewBoundingBox(dim)
+	}
+	for _, wp := range points.Points() {
+		j, _ := vector.NearestIndex(wp.Vec, centroids)
+		if err := boxes[j].Observe(wp.Vec); err != nil {
+			return nil, err
+		}
+		counts[j] += wp.Weight
+	}
+	return assemble(dim, centroids, boxes, counts)
+}
+
+func assemble(dim int, centroids []vector.Vector, boxes []*vector.BoundingBox, counts []float64) (*Histogram, error) {
+	h := &Histogram{dim: dim}
+	for j, c := range centroids {
+		if counts[j] == 0 {
+			continue
+		}
+		min, err := boxes[j].Min()
+		if err != nil {
+			return nil, err
+		}
+		max, err := boxes[j].Max()
+		if err != nil {
+			return nil, err
+		}
+		h.buckets = append(h.buckets, Bucket{
+			Centroid: c.Clone(),
+			Min:      min,
+			Max:      max,
+			Count:    counts[j],
+		})
+		h.total += counts[j]
+	}
+	if len(h.buckets) == 0 {
+		return nil, errors.New("histogram: all buckets empty")
+	}
+	return h, nil
+}
+
+// EstimateRange estimates the data mass inside the query box [lo, hi]
+// under the uniform-within-bucket assumption standard for histogram
+// selectivity estimation.
+func (h *Histogram) EstimateRange(lo, hi vector.Vector) (float64, error) {
+	if len(lo) != h.dim || len(hi) != h.dim {
+		return 0, vector.ErrDimensionMismatch
+	}
+	for d := 0; d < h.dim; d++ {
+		if lo[d] > hi[d] {
+			return 0, fmt.Errorf("histogram: query lo > hi in dim %d", d)
+		}
+	}
+	var est float64
+	for _, b := range h.buckets {
+		frac := 1.0
+		for d := 0; d < h.dim; d++ {
+			w := b.Max[d] - b.Min[d]
+			if w == 0 {
+				// Degenerate dimension: inside iff the plane intersects.
+				if b.Min[d] < lo[d] || b.Min[d] > hi[d] {
+					frac = 0
+					break
+				}
+				continue
+			}
+			overlap := math.Min(b.Max[d], hi[d]) - math.Max(b.Min[d], lo[d])
+			if overlap <= 0 {
+				frac = 0
+				break
+			}
+			frac *= overlap / w
+		}
+		est += frac * b.Count
+	}
+	return est, nil
+}
+
+// Mean returns the count-weighted mean of the bucket centroids — the
+// cell-level aggregate a climate researcher would read off the
+// compressed representation.
+func (h *Histogram) Mean() vector.Vector {
+	m := vector.New(h.dim)
+	for _, b := range h.buckets {
+		m.AddScaled(b.Count, b.Centroid)
+	}
+	m.Scale(1 / h.total)
+	return m
+}
+
+// Sample reconstructs n synthetic points from the histogram: buckets are
+// chosen proportional to count, points uniform within the bucket box.
+func (h *Histogram) Sample(r *rng.RNG, n int) (*dataset.Set, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("histogram: negative sample count %d", n)
+	}
+	out, err := dataset.NewSet(h.dim)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		target := r.Float64() * h.total
+		var acc float64
+		chosen := h.buckets[len(h.buckets)-1]
+		for _, b := range h.buckets {
+			acc += b.Count
+			if target < acc {
+				chosen = b
+				break
+			}
+		}
+		p := vector.New(h.dim)
+		for d := 0; d < h.dim; d++ {
+			p[d] = chosen.Min[d] + r.Float64()*(chosen.Max[d]-chosen.Min[d])
+		}
+		if err := out.Add(p); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// CompressedBytes is the storage footprint of the histogram: per bucket,
+// centroid + min + max (3*dim float64) and a count.
+func (h *Histogram) CompressedBytes() int {
+	return len(h.buckets) * (3*h.dim + 1) * 8
+}
+
+// CompressionRatio relates the raw cell size (n points of h.Dim()
+// float64 attributes) to the histogram footprint.
+func (h *Histogram) CompressionRatio(n int) float64 {
+	raw := float64(n * h.dim * 8)
+	return raw / float64(h.CompressedBytes())
+}
+
+// Binary encoding: "SKMH", version u16, dim u16, bucket count u32, then
+// per bucket centroid/min/max/count as float64s.
+const histMagic = "SKMH"
+
+// ErrBadHistogram is wrapped by decoding errors.
+var ErrBadHistogram = errors.New("histogram: malformed encoding")
+
+// Encode writes the histogram to w.
+func (h *Histogram) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(histMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(1)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(h.dim)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(h.buckets))); err != nil {
+		return err
+	}
+	for _, b := range h.buckets {
+		for _, vec := range []vector.Vector{b.Centroid, b.Min, b.Max} {
+			for _, x := range vec {
+				if err := binary.Write(bw, binary.LittleEndian, x); err != nil {
+					return err
+				}
+			}
+		}
+		if err := binary.Write(bw, binary.LittleEndian, b.Count); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a histogram from r.
+func Decode(r io.Reader) (*Histogram, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadHistogram, err)
+	}
+	if string(magic) != histMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadHistogram, magic)
+	}
+	var version, dim uint16
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadHistogram, err)
+	}
+	if version != 1 {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadHistogram, version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &dim); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadHistogram, err)
+	}
+	if dim == 0 {
+		return nil, fmt.Errorf("%w: zero dimension", ErrBadHistogram)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadHistogram, err)
+	}
+	if count == 0 {
+		return nil, fmt.Errorf("%w: zero buckets", ErrBadHistogram)
+	}
+	h := &Histogram{dim: int(dim)}
+	readVec := func() (vector.Vector, error) {
+		v := vector.New(int(dim))
+		for d := range v {
+			if err := binary.Read(br, binary.LittleEndian, &v[d]); err != nil {
+				return nil, fmt.Errorf("%w: truncated: %v", ErrBadHistogram, err)
+			}
+		}
+		return v, nil
+	}
+	for i := uint32(0); i < count; i++ {
+		var b Bucket
+		var err error
+		if b.Centroid, err = readVec(); err != nil {
+			return nil, err
+		}
+		if b.Min, err = readVec(); err != nil {
+			return nil, err
+		}
+		if b.Max, err = readVec(); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &b.Count); err != nil {
+			return nil, fmt.Errorf("%w: truncated count: %v", ErrBadHistogram, err)
+		}
+		if b.Count < 0 {
+			return nil, fmt.Errorf("%w: negative count", ErrBadHistogram)
+		}
+		h.buckets = append(h.buckets, b)
+		h.total += b.Count
+	}
+	return h, nil
+}

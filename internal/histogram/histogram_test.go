@@ -1,0 +1,271 @@
+package histogram
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/rng"
+	"streamkm/internal/vector"
+)
+
+// gridCell builds a 2-D cell with two tight square clusters of known
+// extent: 100 points in [0,1]^2 and 300 points in [10,11]^2.
+func gridCell(t *testing.T) *dataset.Set {
+	t.Helper()
+	r := rng.New(5)
+	s := dataset.MustNewSet(2)
+	for i := 0; i < 100; i++ {
+		if err := s.Add(vector.Of(r.Float64(), r.Float64())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		if err := s.Add(vector.Of(10+r.Float64(), 10+r.Float64())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func twoCentroids() []vector.Vector {
+	return []vector.Vector{vector.Of(0.5, 0.5), vector.Of(10.5, 10.5)}
+}
+
+func TestBuildBasics(t *testing.T) {
+	h, err := Build(gridCell(t), twoCentroids())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Dim() != 2 || len(h.Buckets()) != 2 {
+		t.Fatalf("dim=%d buckets=%d", h.Dim(), len(h.Buckets()))
+	}
+	if h.Total() != 400 {
+		t.Fatalf("total = %g", h.Total())
+	}
+	// counts are non-equi-depth: 100 and 300
+	c0, c1 := h.Buckets()[0].Count, h.Buckets()[1].Count
+	if !(c0 == 100 && c1 == 300) && !(c0 == 300 && c1 == 100) {
+		t.Fatalf("bucket counts = %g, %g", c0, c1)
+	}
+	for _, b := range h.Buckets() {
+		if b.Volume() <= 0 || b.Volume() > 1.1 {
+			t.Fatalf("bucket volume %g outside (0, 1.1]", b.Volume())
+		}
+		if !b.Contains(b.Centroid) {
+			t.Fatal("bucket does not contain its centroid")
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	cell := gridCell(t)
+	if _, err := Build(cell, nil); err == nil {
+		t.Fatal("no centroids should error")
+	}
+	if _, err := Build(dataset.MustNewSet(2), twoCentroids()); err == nil {
+		t.Fatal("empty cell should error")
+	}
+	if _, err := Build(cell, []vector.Vector{vector.Of(1)}); err == nil {
+		t.Fatal("dim mismatch should error")
+	}
+}
+
+func TestBuildSkipsEmptyBuckets(t *testing.T) {
+	cs := append(twoCentroids(), vector.Of(1000, 1000))
+	h, err := Build(gridCell(t), cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Buckets()) != 2 {
+		t.Fatalf("empty centroid produced a bucket: %d", len(h.Buckets()))
+	}
+}
+
+func TestBuildWeighted(t *testing.T) {
+	ws := dataset.MustNewWeightedSet(1)
+	for _, p := range []dataset.WeightedPoint{
+		{Vec: vector.Of(0), Weight: 10},
+		{Vec: vector.Of(1), Weight: 20},
+		{Vec: vector.Of(10), Weight: 5},
+	} {
+		if err := ws.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, err := BuildWeighted(ws, []vector.Vector{vector.Of(0.5), vector.Of(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 35 {
+		t.Fatalf("total = %g", h.Total())
+	}
+	if len(h.Buckets()) != 2 {
+		t.Fatalf("buckets = %d", len(h.Buckets()))
+	}
+}
+
+func TestEstimateRange(t *testing.T) {
+	h, err := Build(gridCell(t), twoCentroids())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// whole space: all mass
+	got, err := h.EstimateRange(vector.Of(-100, -100), vector.Of(100, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-400) > 1e-9 {
+		t.Fatalf("whole-space estimate = %g", got)
+	}
+	// only the first cluster's region
+	got, err = h.EstimateRange(vector.Of(-1, -1), vector.Of(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-100) > 1e-9 {
+		t.Fatalf("cluster-1 estimate = %g", got)
+	}
+	// half of the first cluster along dim 0: ~50 under uniformity
+	got, err = h.EstimateRange(vector.Of(-1, -1), vector.Of(0.5, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 30 || got > 70 {
+		t.Fatalf("half-cluster estimate = %g, want ~50", got)
+	}
+	// empty region
+	got, err = h.EstimateRange(vector.Of(4, 4), vector.Of(6, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("empty-region estimate = %g", got)
+	}
+	// validation
+	if _, err := h.EstimateRange(vector.Of(1), vector.Of(1, 2)); err == nil {
+		t.Fatal("dim mismatch should error")
+	}
+	if _, err := h.EstimateRange(vector.Of(2, 2), vector.Of(1, 1)); err == nil {
+		t.Fatal("lo > hi should error")
+	}
+}
+
+func TestMean(t *testing.T) {
+	h, err := Build(gridCell(t), twoCentroids())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := h.Mean()
+	// (100*0.5 + 300*10.5)/400 = 8.0 per dim, roughly (centroids are the
+	// buckets' representatives, actual means are close to them)
+	if math.Abs(m[0]-8) > 0.3 || math.Abs(m[1]-8) > 0.3 {
+		t.Fatalf("mean = %v, want ~[8 8]", m)
+	}
+}
+
+func TestSampleReconstruction(t *testing.T) {
+	h, err := Build(gridCell(t), twoCentroids())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample, err := h.Sample(rng.New(9), 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sample.Len() != 4000 {
+		t.Fatalf("sample len = %d", sample.Len())
+	}
+	// ~25% of mass in the low cluster, all samples within bucket boxes
+	low := 0
+	for _, p := range sample.Points() {
+		inSome := false
+		for _, b := range h.Buckets() {
+			if b.Contains(p) {
+				inSome = true
+			}
+		}
+		if !inSome {
+			t.Fatalf("sampled point %v outside all buckets", p)
+		}
+		if p[0] < 5 {
+			low++
+		}
+	}
+	frac := float64(low) / 4000
+	if math.Abs(frac-0.25) > 0.03 {
+		t.Fatalf("low-cluster fraction = %g, want ~0.25", frac)
+	}
+	if _, err := h.Sample(rng.New(1), -1); err == nil {
+		t.Fatal("negative n should error")
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	h, err := Build(gridCell(t), twoCentroids())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 buckets * (3*2+1)*8 = 112 bytes vs 400*2*8 = 6400 raw
+	if got := h.CompressedBytes(); got != 112 {
+		t.Fatalf("CompressedBytes = %d", got)
+	}
+	ratio := h.CompressionRatio(400)
+	if math.Abs(ratio-6400.0/112.0) > 1e-9 {
+		t.Fatalf("ratio = %g", ratio)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	h, err := Build(gridCell(t), twoCentroids())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := h.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim() != h.Dim() || got.Total() != h.Total() || len(got.Buckets()) != len(h.Buckets()) {
+		t.Fatalf("round trip changed shape")
+	}
+	for i, b := range got.Buckets() {
+		orig := h.Buckets()[i]
+		if !b.Centroid.Equal(orig.Centroid) || !b.Min.Equal(orig.Min) ||
+			!b.Max.Equal(orig.Max) || b.Count != orig.Count {
+			t.Fatalf("bucket %d differs after round trip", i)
+		}
+	}
+}
+
+func TestDecodeCorruption(t *testing.T) {
+	h, err := Build(gridCell(t), twoCentroids())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := h.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	if _, err := Decode(bytes.NewReader([]byte("XXXX"))); !errors.Is(err, ErrBadHistogram) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	bad := append([]byte{}, good...)
+	bad[4] = 9 // version
+	if _, err := Decode(bytes.NewReader(bad)); !errors.Is(err, ErrBadHistogram) {
+		t.Fatalf("bad version: %v", err)
+	}
+	if _, err := Decode(bytes.NewReader(good[:len(good)-4])); !errors.Is(err, ErrBadHistogram) {
+		t.Fatalf("truncation: %v", err)
+	}
+	if _, err := Decode(bytes.NewReader(good[:2])); !errors.Is(err, ErrBadHistogram) {
+		t.Fatalf("short header: %v", err)
+	}
+}

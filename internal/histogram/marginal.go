@@ -1,0 +1,104 @@
+package histogram
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"streamkm/internal/dataset"
+)
+
+// MarginalBucket is one interval of a 1-D marginal distribution.
+type MarginalBucket struct {
+	Lo, Hi float64
+	Count  float64
+}
+
+// Marginal projects the multivariate histogram onto dimension d: each
+// bucket contributes its full mass over its [Min[d], Max[d]] interval.
+// Intervals may overlap (buckets are independent boxes); the result is
+// sorted by Lo. Climate users read per-attribute distributions this way
+// without decompressing.
+func (h *Histogram) Marginal(d int) ([]MarginalBucket, error) {
+	if d < 0 || d >= h.dim {
+		return nil, fmt.Errorf("histogram: dimension %d out of range [0, %d)", d, h.dim)
+	}
+	out := make([]MarginalBucket, 0, len(h.buckets))
+	for _, b := range h.buckets {
+		out = append(out, MarginalBucket{Lo: b.Min[d], Hi: b.Max[d], Count: b.Count})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Lo != out[j].Lo {
+			return out[i].Lo < out[j].Lo
+		}
+		return out[i].Hi < out[j].Hi
+	})
+	return out, nil
+}
+
+// MarginalCDF evaluates the marginal cumulative distribution at x,
+// assuming uniform mass within each bucket interval. The result is the
+// estimated fraction of the cell's points with attribute d <= x.
+func (h *Histogram) MarginalCDF(d int, x float64) (float64, error) {
+	if d < 0 || d >= h.dim {
+		return 0, fmt.Errorf("histogram: dimension %d out of range [0, %d)", d, h.dim)
+	}
+	var mass float64
+	for _, b := range h.buckets {
+		lo, hi := b.Min[d], b.Max[d]
+		switch {
+		case x >= hi:
+			mass += b.Count
+		case x <= lo:
+			// nothing
+		default:
+			width := hi - lo
+			if width == 0 {
+				mass += b.Count
+			} else {
+				mass += b.Count * (x - lo) / width
+			}
+		}
+	}
+	return mass / h.total, nil
+}
+
+// KSDistance returns the Kolmogorov-Smirnov statistic between the
+// empirical marginal of points along dimension d and the histogram's
+// marginal CDF — the reconstruction-quality measure used to judge how
+// faithfully the compressed form preserves a per-attribute distribution
+// (0 = perfect, 1 = disjoint).
+func KSDistance(points *dataset.Set, h *Histogram, d int) (float64, error) {
+	if points.Len() == 0 {
+		return 0, fmt.Errorf("histogram: empty point set")
+	}
+	if points.Dim() != h.dim {
+		return 0, fmt.Errorf("histogram: point dim %d != histogram dim %d", points.Dim(), h.dim)
+	}
+	if d < 0 || d >= h.dim {
+		return 0, fmt.Errorf("histogram: dimension %d out of range [0, %d)", d, h.dim)
+	}
+	xs := make([]float64, points.Len())
+	for i, p := range points.Points() {
+		xs[i] = p[d]
+	}
+	sort.Float64s(xs)
+	n := float64(len(xs))
+	var worst float64
+	for i, x := range xs {
+		model, err := h.MarginalCDF(d, x)
+		if err != nil {
+			return 0, err
+		}
+		// Compare against the empirical CDF just before and at x.
+		empLo := float64(i) / n
+		empHi := float64(i+1) / n
+		if diff := math.Abs(model - empLo); diff > worst {
+			worst = diff
+		}
+		if diff := math.Abs(model - empHi); diff > worst {
+			worst = diff
+		}
+	}
+	return worst, nil
+}

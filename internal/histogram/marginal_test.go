@@ -1,0 +1,133 @@
+package histogram
+
+import (
+	"math"
+	"testing"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/rng"
+	"streamkm/internal/vector"
+)
+
+func TestMarginal(t *testing.T) {
+	h, err := Build(gridCell(t), twoCentroids())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := h.Marginal(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 {
+		t.Fatalf("marginal has %d intervals", len(m))
+	}
+	// Sorted by Lo: low cluster then high cluster.
+	if m[0].Lo >= m[1].Lo {
+		t.Fatalf("marginal not sorted: %+v", m)
+	}
+	if m[0].Count+m[1].Count != 400 {
+		t.Fatalf("marginal mass = %g", m[0].Count+m[1].Count)
+	}
+	if _, err := h.Marginal(2); err == nil {
+		t.Fatal("out-of-range dim should error")
+	}
+	if _, err := h.Marginal(-1); err == nil {
+		t.Fatal("negative dim should error")
+	}
+}
+
+func TestMarginalCDF(t *testing.T) {
+	h, err := Build(gridCell(t), twoCentroids())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Far left: 0. Between clusters: 0.25 (100 of 400). Far right: 1.
+	at := func(x float64) float64 {
+		v, err := h.MarginalCDF(0, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if got := at(-100); got != 0 {
+		t.Fatalf("CDF(-100) = %g", got)
+	}
+	if got := at(5); math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("CDF(5) = %g, want 0.25", got)
+	}
+	if got := at(100); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("CDF(100) = %g, want 1", got)
+	}
+	// Monotone non-decreasing on a sample of points.
+	prev := -1.0
+	for x := -2.0; x < 13; x += 0.5 {
+		v := at(x)
+		if v < prev-1e-12 {
+			t.Fatalf("CDF not monotone at %g: %g < %g", x, v, prev)
+		}
+		prev = v
+	}
+	if _, err := h.MarginalCDF(7, 0); err == nil {
+		t.Fatal("bad dim should error")
+	}
+}
+
+func TestKSDistanceSmallForFaithfulHistogram(t *testing.T) {
+	cell := gridCell(t)
+	h, err := Build(cell, twoCentroids())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := KSDistance(cell, h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform-box buckets over near-uniform clusters: KS should be
+	// small but not zero.
+	if ks > 0.1 {
+		t.Fatalf("KS = %g for a faithful histogram", ks)
+	}
+	if ks <= 0 {
+		t.Fatalf("KS = %g, expected a positive statistic", ks)
+	}
+}
+
+func TestKSDistanceLargeForWrongHistogram(t *testing.T) {
+	cell := gridCell(t)
+	// A histogram of completely different data.
+	other := dataset.MustNewSet(2)
+	r := rng.New(7)
+	for i := 0; i < 200; i++ {
+		if err := other.Add(vector.Of(100+r.Float64(), 100+r.Float64())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, err := Build(other, []vector.Vector{vector.Of(100.5, 100.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := KSDistance(cell, h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks < 0.9 {
+		t.Fatalf("KS = %g for a disjoint histogram, want ~1", ks)
+	}
+}
+
+func TestKSDistanceErrors(t *testing.T) {
+	cell := gridCell(t)
+	h, err := Build(cell, twoCentroids())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := KSDistance(dataset.MustNewSet(2), h, 0); err == nil {
+		t.Fatal("empty points should error")
+	}
+	if _, err := KSDistance(dataset.MustNewSet(3), h, 0); err == nil {
+		t.Fatal("dim mismatch should error")
+	}
+	if _, err := KSDistance(cell, h, 5); err == nil {
+		t.Fatal("bad dim should error")
+	}
+}

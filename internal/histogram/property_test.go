@@ -1,0 +1,112 @@
+package histogram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/rng"
+	"streamkm/internal/vector"
+)
+
+// Property: EstimateRange is monotone in the query box — enlarging the
+// box never decreases the estimate — and bounded by the total mass.
+func TestEstimateRangeMonotoneProperty(t *testing.T) {
+	h, err := Build(gridCell(t), twoCentroids())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(loRaw, hiRaw [2]int8, growRaw uint8) bool {
+		lo := vector.Of(float64(loRaw[0])/8, float64(loRaw[1])/8)
+		hi := lo.Clone()
+		for d := range hi {
+			span := float64(hiRaw[d])/8 + 16
+			if span < 0 {
+				span = 0
+			}
+			hi[d] += span
+		}
+		small, err := h.EstimateRange(lo, hi)
+		if err != nil {
+			return false
+		}
+		grow := float64(growRaw) / 8
+		lo2 := lo.Clone()
+		hi2 := hi.Clone()
+		for d := range lo2 {
+			lo2[d] -= grow
+			hi2[d] += grow
+		}
+		large, err := h.EstimateRange(lo2, hi2)
+		if err != nil {
+			return false
+		}
+		return small >= 0 && large >= small-1e-9 && large <= h.Total()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histograms built from a clustering always conserve mass and
+// contain every input point within some bucket's box.
+func TestBuildMassAndContainmentProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		r := rng.New(uint64(seed) + 1)
+		s := dataset.MustNewSet(2)
+		n := 50 + int(seed%100)
+		for i := 0; i < n; i++ {
+			if s.Add(vector.Of(r.NormFloat64()*10, r.NormFloat64()*10)) != nil {
+				return false
+			}
+		}
+		cs := []vector.Vector{vector.Of(-5, 0), vector.Of(5, 0), vector.Of(0, 8)}
+		h, err := Build(s, cs)
+		if err != nil {
+			return false
+		}
+		if h.Total() != float64(n) {
+			return false
+		}
+		for _, p := range s.Points() {
+			inSome := false
+			for _, b := range h.Buckets() {
+				if b.Contains(p) {
+					inSome = true
+					break
+				}
+			}
+			if !inSome {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MarginalCDF is within [0,1] and monotone along any scan.
+func TestMarginalCDFBoundsProperty(t *testing.T) {
+	h, err := Build(gridCell(t), twoCentroids())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(xRaw int16, dRaw uint8) bool {
+		d := int(dRaw) % h.Dim()
+		x := float64(xRaw) / 100
+		v, err := h.MarginalCDF(d, x)
+		if err != nil {
+			return false
+		}
+		v2, err := h.MarginalCDF(d, x+1)
+		if err != nil {
+			return false
+		}
+		return v >= -1e-12 && v <= 1+1e-12 && v2 >= v-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

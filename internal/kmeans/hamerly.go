@@ -1,0 +1,217 @@
+package kmeans
+
+import (
+	"math"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/vector"
+)
+
+// This file implements Hamerly's accelerated Lloyd iteration — the
+// "several improvements for step 2 that allow us to limit the number of
+// points that have to be re-sorted" the paper mentions (§2) but does not
+// implement. Each point keeps an upper bound u on the distance to its
+// assigned centroid and a lower bound l on the distance to every other
+// centroid; most points skip the full nearest-centroid scan in most
+// iterations. The algorithm runs to the assignment fixpoint (at which
+// the ΔMSE criterion is trivially satisfied) and produces the same
+// fixpoint Lloyd's iteration reaches from the same seeds.
+
+// runHamerly is the accelerated counterpart of runLloyd. centroids is
+// owned by the callee.
+func runHamerly(points *dataset.WeightedSet, centroids []vector.Vector, cfg Config) (*Result, error) {
+	n := points.Len()
+	dim := points.Dim()
+	k := len(centroids)
+
+	assign := make([]int, n)
+	upper := make([]float64, n)
+	lower := make([]float64, n)
+	weights := make([]float64, k)
+	sums := make([]vector.Vector, k)
+	for j := range sums {
+		sums[j] = vector.New(dim)
+	}
+	halfMinDist := make([]float64, k) // s[j] = 0.5 * min_{j' != j} dist(c_j, c_j')
+	oldCentroid := vector.New(dim)
+	move := make([]float64, k)
+
+	// initialize resets every bound, sum and assignment with one exact
+	// pass — used at start and after an empty-cluster reseed.
+	initialize := func() {
+		for j := 0; j < k; j++ {
+			weights[j] = 0
+			sums[j].Zero()
+		}
+		for i := 0; i < n; i++ {
+			p := points.At(i)
+			best, second := nearestTwo(p.Vec, centroids)
+			assign[i] = best.idx
+			upper[i] = best.dist
+			lower[i] = second.dist
+			weights[best.idx] += p.Weight
+			sums[best.idx].AddScaled(p.Weight, p.Vec)
+		}
+	}
+	initialize()
+
+	res := &Result{}
+	for iter := 1; iter <= cfg.MaxIterations; iter++ {
+		res.Iterations = iter
+
+		// Update centroids from the incrementally maintained sums.
+		empties := false
+		maxMove := 0.0
+		for j := 0; j < k; j++ {
+			if weights[j] == 0 {
+				empties = true
+				move[j] = 0
+				continue
+			}
+			oldCentroid.CopyFrom(centroids[j])
+			for d := 0; d < dim; d++ {
+				centroids[j][d] = sums[j][d] / weights[j]
+			}
+			move[j] = vector.Distance(oldCentroid, centroids[j])
+			if move[j] > maxMove {
+				maxMove = move[j]
+			}
+		}
+		if empties && cfg.EmptyPolicy == ReseedFarthest {
+			reseedEmpties(points, centroids, assign, weights)
+			initialize()
+			continue
+		}
+
+		// Maintain bounds under centroid movement.
+		for i := 0; i < n; i++ {
+			upper[i] += move[assign[i]]
+			lower[i] -= maxMove
+		}
+
+		// Precompute s[j].
+		for j := 0; j < k; j++ {
+			min := math.Inf(1)
+			for j2 := 0; j2 < k; j2++ {
+				if j2 == j {
+					continue
+				}
+				if d := vector.Distance(centroids[j], centroids[j2]); d < min {
+					min = d
+				}
+			}
+			halfMinDist[j] = min / 2
+		}
+
+		// Assignment with bound-based skipping.
+		changes := 0
+		for i := 0; i < n; i++ {
+			a := assign[i]
+			m := lower[i]
+			if halfMinDist[a] > m {
+				m = halfMinDist[a]
+			}
+			if upper[i] <= m {
+				continue // bound skip, no distance computed
+			}
+			p := points.At(i)
+			upper[i] = vector.Distance(p.Vec, centroids[a]) // tighten
+			if upper[i] <= m {
+				continue // tightened skip, one distance computed
+			}
+			best, second := nearestTwo(p.Vec, centroids)
+			lower[i] = second.dist
+			upper[i] = best.dist
+			if best.idx != a {
+				changes++
+				assign[i] = best.idx
+				weights[a] -= p.Weight
+				sums[a].AddScaled(-p.Weight, p.Vec)
+				weights[best.idx] += p.Weight
+				sums[best.idx].AddScaled(p.Weight, p.Vec)
+			}
+		}
+		if changes == 0 && maxMove == 0 {
+			res.Converged = true
+			break
+		}
+		if changes == 0 {
+			// One more centroid update from an unchanged assignment is
+			// a fixpoint: the means cannot move again.
+			res.Converged = true
+			res.Iterations = iter + 1
+			for j := 0; j < k; j++ {
+				if weights[j] > 0 {
+					for d := 0; d < dim; d++ {
+						centroids[j][d] = sums[j][d] / weights[j]
+					}
+				}
+			}
+			break
+		}
+	}
+
+	// Final exact pass (same shape as runLloyd's) so the reported MSE,
+	// assignments and counts describe one consistent state.
+	counts := make([]int, k)
+	for j := 0; j < k; j++ {
+		counts[j] = 0
+		weights[j] = 0
+	}
+	var sse float64
+	for i := 0; i < n; i++ {
+		p := points.At(i)
+		j, d := vector.NearestIndex(p.Vec, centroids)
+		assign[i] = j
+		counts[j]++
+		weights[j] += p.Weight
+		sse += d * p.Weight
+	}
+	total := points.TotalWeight()
+	res.Centroids = centroids
+	res.Assignments = assign
+	res.Counts = counts
+	res.Weights = weights
+	res.SSE = sse
+	res.MSE = sse / total
+	return res, nil
+}
+
+// twoNearest holds an index/distance pair for nearestTwo.
+type nearHit struct {
+	idx  int
+	dist float64
+}
+
+// nearestTwo returns the nearest and second-nearest centroids by
+// Euclidean (not squared) distance.
+func nearestTwo(x vector.Vector, cs []vector.Vector) (best, second nearHit) {
+	best = nearHit{idx: 0, dist: math.Inf(1)}
+	second = nearHit{idx: -1, dist: math.Inf(1)}
+	for j, c := range cs {
+		d := vector.SquaredDistance(x, c)
+		if d < best.dist {
+			second = best
+			best = nearHit{idx: j, dist: d}
+		} else if d < second.dist {
+			second = nearHit{idx: j, dist: d}
+		}
+	}
+	best.dist = math.Sqrt(best.dist)
+	second.dist = math.Sqrt(second.dist)
+	return best, second
+}
+
+// reseedEmpties moves each zero-weight centroid onto the globally
+// farthest point from its assigned centroid (exact pass; empties are
+// rare so the cost is acceptable).
+func reseedEmpties(points *dataset.WeightedSet, centroids []vector.Vector, assign []int, weights []float64) {
+	for j := range centroids {
+		if weights[j] != 0 {
+			continue
+		}
+		if idx := farthestPoint(points, centroids, assign); idx >= 0 {
+			centroids[j].CopyFrom(points.At(idx).Vec)
+		}
+	}
+}

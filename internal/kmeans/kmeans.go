@@ -1,0 +1,340 @@
+// Package kmeans implements the weighted Lloyd k-means iteration that
+// underlies every clustering variant in this repository: the paper's
+// serial k-means (unit weights), the partial k-means run per chunk, and
+// the merge k-means over weighted centroids. The algorithm follows §2 of
+// the paper: distance calculation, centroid recalculation, and
+// convergence when the MSE improvement between consecutive iterations
+// drops to (MSE(n-1) - MSE(n)) <= epsilon, with epsilon = 1e-9 in the
+// paper's experiments.
+package kmeans
+
+import (
+	"errors"
+	"fmt"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/rng"
+	"streamkm/internal/vector"
+)
+
+// DefaultEpsilon is the paper's convergence threshold (§2 step 4).
+const DefaultEpsilon = 1e-9
+
+// DefaultMaxIterations bounds a single Lloyd run. The paper does not
+// state a cap; we add one so adversarial inputs cannot loop forever.
+const DefaultMaxIterations = 500
+
+// EmptyClusterPolicy selects what to do when a cluster loses all its
+// points during an iteration (possible when seeds coincide or data is
+// degenerate).
+type EmptyClusterPolicy int
+
+const (
+	// ReseedFarthest moves an empty centroid onto the point currently
+	// farthest from its assigned centroid — the standard repair that
+	// keeps exactly k non-empty clusters.
+	ReseedFarthest EmptyClusterPolicy = iota
+	// DropEmpty keeps the stale centroid in place (it may re-acquire
+	// points later); the result can effectively have fewer clusters.
+	DropEmpty
+)
+
+// Config parameterizes one k-means run.
+type Config struct {
+	// K is the number of clusters; the paper fixes K = 40.
+	K int
+	// Epsilon is the ΔMSE convergence threshold; 0 means DefaultEpsilon.
+	Epsilon float64
+	// MaxIterations caps Lloyd iterations; 0 means DefaultMaxIterations.
+	MaxIterations int
+	// Seeder chooses initial centroids; nil means RandomSeeder.
+	Seeder Seeder
+	// EmptyPolicy selects the empty-cluster repair.
+	EmptyPolicy EmptyClusterPolicy
+	// Accelerate selects Hamerly's bound-based Lloyd iteration (§2's
+	// "improvements for step 2"): identical fixpoints, far fewer
+	// distance computations for large k. The accelerated path runs to
+	// the assignment fixpoint, at which the ΔMSE criterion holds
+	// trivially, so Epsilon is ignored.
+	Accelerate bool
+	// Workers, when >= 2, shards each naive Lloyd iteration's
+	// assignment pass across that many goroutines (§3.4's option 3:
+	// parallelizing SortDataPoint inside the operator). Results are
+	// deterministic per worker count; across counts they agree up to
+	// floating-point summation order. Ignored by the accelerated path.
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epsilon == 0 {
+		c.Epsilon = DefaultEpsilon
+	}
+	if c.MaxIterations == 0 {
+		c.MaxIterations = DefaultMaxIterations
+	}
+	if c.Seeder == nil {
+		c.Seeder = RandomSeeder{}
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.K <= 0 {
+		return fmt.Errorf("kmeans: K must be positive, got %d", c.K)
+	}
+	if c.Epsilon < 0 {
+		return fmt.Errorf("kmeans: Epsilon must be non-negative, got %g", c.Epsilon)
+	}
+	if c.MaxIterations < 0 {
+		return fmt.Errorf("kmeans: MaxIterations must be non-negative, got %d", c.MaxIterations)
+	}
+	return nil
+}
+
+// Result is the outcome of one k-means run.
+type Result struct {
+	// Centroids are the final cluster means.
+	Centroids []vector.Vector
+	// Assignments maps each input point index to its centroid index.
+	Assignments []int
+	// Counts[j] is the number of input points assigned to centroid j.
+	Counts []int
+	// Weights[j] is the total input weight assigned to centroid j; with
+	// unit weights it equals float64(Counts[j]).
+	Weights []float64
+	// MSE is the final weighted mean square error.
+	MSE float64
+	// SSE is the final weighted sum of squared errors (MSE * total
+	// weight) — the paper's E (unit weights) or E_pm (merge).
+	SSE float64
+	// Iterations is the number of Lloyd iterations executed.
+	Iterations int
+	// Converged reports whether the ΔMSE criterion was met before
+	// MaxIterations.
+	Converged bool
+}
+
+// WeightedCentroids packages the result as the partial operator's output:
+// each centroid weighted by its assigned count, the paper's
+// {(c_1j, w_1j) ... (c_kj, w_kj)}.
+func (res *Result) WeightedCentroids(dim int) (*dataset.WeightedSet, error) {
+	out, err := dataset.NewWeightedSet(dim)
+	if err != nil {
+		return nil, err
+	}
+	for j, c := range res.Centroids {
+		if res.Weights[j] == 0 {
+			// A starved centroid represents no data; emitting it would
+			// give the merge step a zero-weight phantom.
+			continue
+		}
+		if err := out.Add(dataset.WeightedPoint{Vec: c.Clone(), Weight: res.Weights[j]}); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Run executes weighted Lloyd k-means over points with the given config.
+// The paper's serial k-means is Run over Unweighted(points); the merge
+// k-means is Run over partial-stage centroids with HeaviestSeeder.
+func Run(points *dataset.WeightedSet, cfg Config, r *rng.RNG) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if points.Len() == 0 {
+		return nil, errors.New("kmeans: empty input")
+	}
+	centroids, err := cfg.Seeder.Seed(points, cfg.K, r)
+	if err != nil {
+		return nil, err
+	}
+	return runLloyd(points, centroids, cfg)
+}
+
+// RunFromCentroids executes Lloyd iterations from caller-provided initial
+// centroids (deep-copied), used by baselines and the incremental merge.
+func RunFromCentroids(points *dataset.WeightedSet, initial []vector.Vector, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(initial) != cfg.K {
+		return nil, fmt.Errorf("kmeans: %d initial centroids but K=%d", len(initial), cfg.K)
+	}
+	if points.Len() == 0 {
+		return nil, errors.New("kmeans: empty input")
+	}
+	centroids := make([]vector.Vector, len(initial))
+	for i, c := range initial {
+		if len(c) != points.Dim() {
+			return nil, vector.ErrDimensionMismatch
+		}
+		centroids[i] = c.Clone()
+	}
+	return runLloyd(points, centroids, cfg)
+}
+
+// runLloyd dispatches to the naive or accelerated iteration core.
+// centroids is owned by the callee.
+func runLloyd(points *dataset.WeightedSet, centroids []vector.Vector, cfg Config) (*Result, error) {
+	if points.TotalWeight() <= 0 {
+		return nil, errors.New("kmeans: total weight is zero")
+	}
+	if cfg.Accelerate {
+		return runHamerly(points, centroids, cfg)
+	}
+	return runNaive(points, centroids, cfg)
+}
+
+// runNaive is the textbook Lloyd iteration (§2 of the paper).
+func runNaive(points *dataset.WeightedSet, centroids []vector.Vector, cfg Config) (*Result, error) {
+	n := points.Len()
+	dim := points.Dim()
+	k := len(centroids)
+	assign := make([]int, n)
+	counts := make([]int, k)
+	weights := make([]float64, k)
+	sums := make([]vector.Vector, k)
+	for j := range sums {
+		sums[j] = vector.New(dim)
+	}
+
+	prevMSE := 0.0
+	res := &Result{}
+	totalWeight := points.TotalWeight()
+	if totalWeight <= 0 {
+		return nil, errors.New("kmeans: total weight is zero")
+	}
+
+	for iter := 1; iter <= cfg.MaxIterations; iter++ {
+		// Step 2: distance calculation / assignment, optionally sharded
+		// across workers (§3.4 option 3).
+		var sse float64
+		if cfg.Workers >= 2 {
+			counts, weights, sums, sse = parallelAssign(points, centroids, assign, cfg.Workers)
+		} else {
+			for j := 0; j < k; j++ {
+				counts[j] = 0
+				weights[j] = 0
+				sums[j].Zero()
+			}
+			for i := 0; i < n; i++ {
+				p := points.At(i)
+				j, d := vector.NearestIndex(p.Vec, centroids)
+				assign[i] = j
+				counts[j]++
+				weights[j] += p.Weight
+				sums[j].AddScaled(p.Weight, p.Vec)
+				sse += d * p.Weight
+			}
+		}
+
+		// Step 3: centroid recalculation (weighted mean jump).
+		for j := 0; j < k; j++ {
+			if weights[j] > 0 {
+				for d := 0; d < dim; d++ {
+					centroids[j][d] = sums[j][d] / weights[j]
+				}
+				continue
+			}
+			if cfg.EmptyPolicy == ReseedFarthest {
+				if idx := farthestPoint(points, centroids, assign); idx >= 0 {
+					centroids[j].CopyFrom(points.At(idx).Vec)
+				}
+			}
+			// DropEmpty: leave centroid where it is.
+		}
+
+		mse := sse / totalWeight
+		res.Iterations = iter
+		res.MSE = mse
+		res.SSE = sse
+
+		// Step 4: convergence on ΔMSE. The first iteration has no
+		// predecessor; subsequent iterations compare against prevMSE.
+		if iter > 1 && prevMSE-mse <= cfg.Epsilon {
+			res.Converged = true
+			break
+		}
+		prevMSE = mse
+	}
+
+	// Final consistent assignment against the final centroids, so the
+	// reported MSE, assignments, and counts all describe one state.
+	var sse float64
+	for j := 0; j < k; j++ {
+		counts[j] = 0
+		weights[j] = 0
+	}
+	for i := 0; i < n; i++ {
+		p := points.At(i)
+		j, d := vector.NearestIndex(p.Vec, centroids)
+		assign[i] = j
+		counts[j]++
+		weights[j] += p.Weight
+		sse += d * p.Weight
+	}
+	res.Centroids = centroids
+	res.Assignments = assign
+	res.Counts = counts
+	res.Weights = weights
+	res.SSE = sse
+	res.MSE = sse / totalWeight
+	return res, nil
+}
+
+// farthestPoint returns the index of the point with the largest weighted
+// squared distance to its assigned centroid, or -1 for empty input.
+func farthestPoint(points *dataset.WeightedSet, centroids []vector.Vector, assign []int) int {
+	best, bestD := -1, -1.0
+	for i := 0; i < points.Len(); i++ {
+		p := points.At(i)
+		if p.Weight == 0 {
+			continue
+		}
+		d := vector.SquaredDistance(p.Vec, centroids[assign[i]]) * p.Weight
+		if d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// RestartResult is the best run of a multi-restart execution, with
+// per-run diagnostics.
+type RestartResult struct {
+	// Best is the run with the minimum MSE.
+	Best *Result
+	// BestRun is the index of the winning run.
+	BestRun int
+	// MSEs records every run's final MSE.
+	MSEs []float64
+	// TotalIterations sums Lloyd iterations across runs.
+	TotalIterations int
+}
+
+// RunRestarts executes R independent k-means runs with different seed
+// sets and returns the representation with the minimal mean square error
+// — the paper's procedure for both serial (§5.2, R = 10) and partial
+// (§3.2) k-means.
+func RunRestarts(points *dataset.WeightedSet, cfg Config, restarts int, r *rng.RNG) (*RestartResult, error) {
+	if restarts <= 0 {
+		return nil, fmt.Errorf("kmeans: restarts must be positive, got %d", restarts)
+	}
+	out := &RestartResult{MSEs: make([]float64, 0, restarts)}
+	for run := 0; run < restarts; run++ {
+		res, err := Run(points, cfg, r)
+		if err != nil {
+			return nil, fmt.Errorf("kmeans: restart %d: %w", run, err)
+		}
+		out.MSEs = append(out.MSEs, res.MSE)
+		out.TotalIterations += res.Iterations
+		if out.Best == nil || res.MSE < out.Best.MSE {
+			out.Best = res
+			out.BestRun = run
+		}
+	}
+	return out, nil
+}

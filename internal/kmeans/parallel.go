@@ -1,0 +1,86 @@
+package kmeans
+
+import (
+	"sync"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/vector"
+)
+
+// This file implements §3.4's third parallelization option: breaking the
+// k-means operator into finer-grained pieces and parallelizing the
+// expensive one — "within the partial k-means, the SortDataPoint
+// [assignment] is the most expensive operation, and could be
+// parallelized". Each Lloyd iteration's assignment + partial-sum pass is
+// sharded across workers and reduced exactly (segment order is fixed, so
+// results are deterministic for a given worker count; across different
+// worker counts results agree up to floating-point summation order).
+
+// assignShard is one worker's partial reduction of one iteration.
+type assignShard struct {
+	counts  []int
+	weights []float64
+	sums    []vector.Vector
+	sse     float64
+}
+
+// parallelAssign performs the assignment step over points with the given
+// centroids using w workers, writing assignments into assign and
+// returning the reduced per-cluster statistics. w must be >= 2 and
+// len(assign) == points.Len().
+func parallelAssign(points *dataset.WeightedSet, centroids []vector.Vector, assign []int, w int) ([]int, []float64, []vector.Vector, float64) {
+	n := points.Len()
+	dim := points.Dim()
+	k := len(centroids)
+	if w > n {
+		w = n
+	}
+	shards := make([]assignShard, w)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for s := 0; s < w; s++ {
+		s := s
+		lo := n * s / w
+		hi := n * (s + 1) / w
+		go func() {
+			defer wg.Done()
+			sh := assignShard{
+				counts:  make([]int, k),
+				weights: make([]float64, k),
+				sums:    make([]vector.Vector, k),
+			}
+			for j := range sh.sums {
+				sh.sums[j] = vector.New(dim)
+			}
+			for i := lo; i < hi; i++ {
+				p := points.At(i)
+				j, d := vector.NearestIndex(p.Vec, centroids)
+				assign[i] = j
+				sh.counts[j]++
+				sh.weights[j] += p.Weight
+				sh.sums[j].AddScaled(p.Weight, p.Vec)
+				sh.sse += d * p.Weight
+			}
+			shards[s] = sh
+		}()
+	}
+	wg.Wait()
+	// Deterministic reduction in segment order.
+	counts := make([]int, k)
+	weights := make([]float64, k)
+	sums := make([]vector.Vector, k)
+	for j := range sums {
+		sums[j] = vector.New(dim)
+	}
+	var sse float64
+	for s := 0; s < w; s++ {
+		sh := shards[s]
+		for j := 0; j < k; j++ {
+			counts[j] += sh.counts[j]
+			weights[j] += sh.weights[j]
+			sums[j].Add(sh.sums[j])
+		}
+		sse += sh.sse
+	}
+	return counts, weights, sums, sse
+}

@@ -1,0 +1,134 @@
+package kmeans
+
+import (
+	"math"
+	"testing"
+
+	"streamkm/internal/rng"
+	"streamkm/internal/vector"
+)
+
+func TestParallelAssignMatchesSerial(t *testing.T) {
+	for _, workers := range []int{2, 3, 4, 7} {
+		s := randomWeighted(250, 11)
+		seeds, err := (RandomSeeder{}).Seed(s, 6, rng.New(12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := RunFromCentroids(s, seeds, Config{K: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := RunFromCentroids(s, seeds, Config{K: 6, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(serial.MSE-par.MSE) > 1e-9*(1+serial.MSE) {
+			t.Fatalf("workers=%d: MSE %.15f vs %.15f", workers, par.MSE, serial.MSE)
+		}
+		for i := range serial.Assignments {
+			if serial.Assignments[i] != par.Assignments[i] {
+				t.Fatalf("workers=%d: assignment %d differs", workers, i)
+			}
+		}
+		for j := range serial.Centroids {
+			if !serial.Centroids[j].ApproxEqual(par.Centroids[j], 1e-9) {
+				t.Fatalf("workers=%d: centroid %d differs", workers, j)
+			}
+		}
+	}
+}
+
+func TestParallelAssignDeterministicPerWorkerCount(t *testing.T) {
+	s := randomWeighted(300, 21)
+	seeds, err := (RandomSeeder{}).Seed(s, 5, rng.New(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RunFromCentroids(s, seeds, Config{K: 5, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFromCentroids(s, seeds, Config{K: 5, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MSE != b.MSE {
+		t.Fatalf("same worker count, different MSE: %v vs %v", a.MSE, b.MSE)
+	}
+	for j := range a.Centroids {
+		if !a.Centroids[j].Equal(b.Centroids[j]) {
+			t.Fatalf("same worker count, centroid %d differs bitwise", j)
+		}
+	}
+}
+
+func TestParallelAssignMoreWorkersThanPoints(t *testing.T) {
+	s := randomWeighted(3, 31)
+	seeds, err := (RandomSeeder{}).Seed(s, 2, rng.New(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunFromCentroids(s, seeds, Config{K: 2, Workers: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignments) != 3 {
+		t.Fatalf("assignments = %d", len(res.Assignments))
+	}
+}
+
+func TestParallelAssignDirect(t *testing.T) {
+	s := randomWeighted(100, 41)
+	centroids := []vector.Vector{
+		vector.Of(5, 5, 5),
+		vector.Of(-5, -5, -5),
+	}
+	assign := make([]int, s.Len())
+	counts, weights, sums, sse := parallelAssign(s, centroids, assign, 4)
+	// Recompute serially.
+	wantCounts := make([]int, 2)
+	var wantSSE float64
+	wantW := make([]float64, 2)
+	wantSums := []vector.Vector{vector.New(3), vector.New(3)}
+	for i := 0; i < s.Len(); i++ {
+		p := s.At(i)
+		j, d := vector.NearestIndex(p.Vec, centroids)
+		if assign[i] != j {
+			t.Fatalf("assignment %d wrong", i)
+		}
+		wantCounts[j]++
+		wantW[j] += p.Weight
+		wantSums[j].AddScaled(p.Weight, p.Vec)
+		wantSSE += d * p.Weight
+	}
+	for j := 0; j < 2; j++ {
+		if counts[j] != wantCounts[j] {
+			t.Fatalf("counts[%d] = %d, want %d", j, counts[j], wantCounts[j])
+		}
+		if math.Abs(weights[j]-wantW[j]) > 1e-9 {
+			t.Fatalf("weights[%d] = %g, want %g", j, weights[j], wantW[j])
+		}
+		if !sums[j].ApproxEqual(wantSums[j], 1e-9) {
+			t.Fatalf("sums[%d] differ", j)
+		}
+	}
+	if math.Abs(sse-wantSSE) > 1e-9*(1+wantSSE) {
+		t.Fatalf("sse = %g, want %g", sse, wantSSE)
+	}
+}
+
+func BenchmarkLloydParallel4Workers(b *testing.B) {
+	s := randomWeighted(5000, 1)
+	seeds, err := (RandomSeeder{}).Seed(s, 40, rng.New(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunFromCentroids(s, seeds, Config{K: 40, Workers: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

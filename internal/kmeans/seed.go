@@ -1,0 +1,166 @@
+package kmeans
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/rng"
+	"streamkm/internal/vector"
+)
+
+// Seeder selects k initial centroids from a weighted point set. The paper
+// uses uniform random seeds for serial and partial k-means (§2 step 1)
+// and largest-weight seeds for the merge step (§3.3 step 1).
+type Seeder interface {
+	// Seed returns k initial centroids (deep copies). It must return an
+	// error when k exceeds the number of points.
+	Seed(points *dataset.WeightedSet, k int, r *rng.RNG) ([]vector.Vector, error)
+	// Name identifies the strategy in benchmark tables.
+	Name() string
+}
+
+// ErrTooFewPoints is returned when a seeder is asked for more seeds than
+// there are points.
+var ErrTooFewPoints = errors.New("kmeans: fewer points than requested seeds")
+
+// RandomSeeder selects k distinct points uniformly at random — the
+// paper's "select a set of k initial cluster centroids randomly ... from
+// the existing data points".
+type RandomSeeder struct{}
+
+// Name implements Seeder.
+func (RandomSeeder) Name() string { return "random" }
+
+// Seed implements Seeder.
+func (RandomSeeder) Seed(points *dataset.WeightedSet, k int, r *rng.RNG) ([]vector.Vector, error) {
+	if err := checkSeedArgs(points, k); err != nil {
+		return nil, err
+	}
+	if r == nil {
+		return nil, errors.New("kmeans: RandomSeeder requires an RNG")
+	}
+	idx := r.SampleWithoutReplacement(points.Len(), k)
+	seeds := make([]vector.Vector, k)
+	for i, j := range idx {
+		seeds[i] = points.At(j).Vec.Clone()
+	}
+	return seeds, nil
+}
+
+// HeaviestSeeder selects the k points with the largest weights — the
+// merge operator's initialization, which "forces the algorithm to take
+// into account which data points are likely to represent significant
+// cluster centroids already" (§3.3). Ties are broken deterministically by
+// index so merge runs are reproducible.
+type HeaviestSeeder struct{}
+
+// Name implements Seeder.
+func (HeaviestSeeder) Name() string { return "heaviest" }
+
+// Seed implements Seeder.
+func (HeaviestSeeder) Seed(points *dataset.WeightedSet, k int, r *rng.RNG) ([]vector.Vector, error) {
+	if err := checkSeedArgs(points, k); err != nil {
+		return nil, err
+	}
+	order := make([]int, points.Len())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return points.At(order[a]).Weight > points.At(order[b]).Weight
+	})
+	seeds := make([]vector.Vector, k)
+	for i := 0; i < k; i++ {
+		seeds[i] = points.At(order[i]).Vec.Clone()
+	}
+	return seeds, nil
+}
+
+// PlusPlusSeeder implements weighted k-means++ (D^2 sampling): the first
+// seed is drawn proportional to weight, subsequent seeds proportional to
+// weight times squared distance to the nearest chosen seed. Not used by
+// the paper, provided as the improved-seeding ablation point.
+type PlusPlusSeeder struct{}
+
+// Name implements Seeder.
+func (PlusPlusSeeder) Name() string { return "kmeans++" }
+
+// Seed implements Seeder.
+func (PlusPlusSeeder) Seed(points *dataset.WeightedSet, k int, r *rng.RNG) ([]vector.Vector, error) {
+	if err := checkSeedArgs(points, k); err != nil {
+		return nil, err
+	}
+	if r == nil {
+		return nil, errors.New("kmeans: PlusPlusSeeder requires an RNG")
+	}
+	n := points.Len()
+	seeds := make([]vector.Vector, 0, k)
+	first, err := sampleProportional(points, r, nil)
+	if err != nil {
+		return nil, err
+	}
+	seeds = append(seeds, points.At(first).Vec.Clone())
+	// d2[i] tracks squared distance to the nearest chosen seed.
+	d2 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d2[i] = vector.SquaredDistance(points.At(i).Vec, seeds[0])
+	}
+	for len(seeds) < k {
+		idx, err := sampleProportional(points, r, d2)
+		if err != nil {
+			return nil, err
+		}
+		s := points.At(idx).Vec.Clone()
+		seeds = append(seeds, s)
+		for i := 0; i < n; i++ {
+			if d := vector.SquaredDistance(points.At(i).Vec, s); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return seeds, nil
+}
+
+// sampleProportional draws an index with probability proportional to
+// weight[i] * scale[i] (scale nil means 1). When the total mass is zero
+// (all remaining points coincide with chosen seeds) it falls back to a
+// uniform draw so seeding still succeeds on degenerate data.
+func sampleProportional(points *dataset.WeightedSet, r *rng.RNG, scale []float64) (int, error) {
+	n := points.Len()
+	var total float64
+	for i := 0; i < n; i++ {
+		m := points.At(i).Weight
+		if scale != nil {
+			m *= scale[i]
+		}
+		total += m
+	}
+	if total <= 0 {
+		return r.Intn(n), nil
+	}
+	target := r.Float64() * total
+	var acc float64
+	for i := 0; i < n; i++ {
+		m := points.At(i).Weight
+		if scale != nil {
+			m *= scale[i]
+		}
+		acc += m
+		if target < acc {
+			return i, nil
+		}
+	}
+	return n - 1, nil
+}
+
+func checkSeedArgs(points *dataset.WeightedSet, k int) error {
+	if k <= 0 {
+		return fmt.Errorf("kmeans: k must be positive, got %d", k)
+	}
+	if points.Len() < k {
+		return fmt.Errorf("%w: %d points, k=%d", ErrTooFewPoints, points.Len(), k)
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package kmeans
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/rng"
+	"streamkm/internal/vector"
+)
+
+func seedTestSet(t *testing.T) *dataset.WeightedSet {
+	t.Helper()
+	s := dataset.MustNewWeightedSet(2)
+	weights := []float64{1, 5, 2, 9, 3, 7, 4, 8, 6, 10}
+	for i, w := range weights {
+		p := dataset.WeightedPoint{Vec: vector.Of(float64(i), float64(i*i)), Weight: w}
+		if err := s.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestSeedersCommonValidation(t *testing.T) {
+	s := seedTestSet(t)
+	for _, sd := range []Seeder{RandomSeeder{}, HeaviestSeeder{}, PlusPlusSeeder{}} {
+		if _, err := sd.Seed(s, 0, rng.New(1)); err == nil {
+			t.Fatalf("%s: k=0 should error", sd.Name())
+		}
+		if _, err := sd.Seed(s, s.Len()+1, rng.New(1)); !errors.Is(err, ErrTooFewPoints) {
+			t.Fatalf("%s: k>N should give ErrTooFewPoints, got %v", sd.Name(), err)
+		}
+	}
+}
+
+func TestRandomSeederDistinctAndCopied(t *testing.T) {
+	s := seedTestSet(t)
+	seeds, err := (RandomSeeder{}).Seed(s, 5, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 5 {
+		t.Fatalf("len = %d", len(seeds))
+	}
+	for i := 0; i < len(seeds); i++ {
+		for j := i + 1; j < len(seeds); j++ {
+			if seeds[i].Equal(seeds[j]) {
+				t.Fatalf("seeds %d and %d coincide", i, j)
+			}
+		}
+	}
+	// mutating a seed must not corrupt the dataset
+	orig := make([]float64, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		orig[i] = s.At(i).Vec[0]
+	}
+	seeds[0][0] = 12345
+	for i := 0; i < s.Len(); i++ {
+		if s.At(i).Vec[0] != orig[i] {
+			t.Fatal("seed aliases dataset storage")
+		}
+	}
+}
+
+func TestRandomSeederNeedsRNG(t *testing.T) {
+	s := seedTestSet(t)
+	if _, err := (RandomSeeder{}).Seed(s, 2, nil); err == nil {
+		t.Fatal("nil RNG should error")
+	}
+	if _, err := (PlusPlusSeeder{}).Seed(s, 2, nil); err == nil {
+		t.Fatal("nil RNG should error for kmeans++")
+	}
+}
+
+func TestHeaviestSeederPicksTopWeights(t *testing.T) {
+	s := seedTestSet(t)
+	seeds, err := (HeaviestSeeder{}).Seed(s, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// weights 10, 9, 8 belong to points at indices 9, 3, 7
+	want := []vector.Vector{s.At(9).Vec, s.At(3).Vec, s.At(7).Vec}
+	for i := range seeds {
+		if !seeds[i].Equal(want[i]) {
+			t.Fatalf("heaviest seed %d = %v, want %v", i, seeds[i], want[i])
+		}
+	}
+}
+
+func TestHeaviestSeederDeterministicOnTies(t *testing.T) {
+	s := dataset.MustNewWeightedSet(1)
+	for i := 0; i < 6; i++ {
+		if err := s.Add(dataset.WeightedPoint{Vec: vector.Of(float64(i)), Weight: 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := (HeaviestSeeder{}).Seed(s, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (HeaviestSeeder{}).Seed(s, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatal("tie-breaking not deterministic")
+		}
+	}
+	// stable sort keeps original order: indices 0,1,2
+	for i := 0; i < 3; i++ {
+		if a[i][0] != float64(i) {
+			t.Fatalf("tie order wrong: seed %d = %v", i, a[i])
+		}
+	}
+}
+
+func TestPlusPlusSeederSpreadsSeeds(t *testing.T) {
+	// Two far blobs; with k=2, k-means++ should essentially always pick
+	// one seed per blob, whereas the blobs are 200 apart.
+	s := dataset.MustNewWeightedSet(1)
+	r := rng.New(3)
+	for i := 0; i < 50; i++ {
+		if err := s.Add(dataset.WeightedPoint{Vec: vector.Of(r.NormFloat64()), Weight: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Add(dataset.WeightedPoint{Vec: vector.Of(200 + r.NormFloat64()), Weight: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits := 0
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		seeds, err := (PlusPlusSeeder{}).Seed(s, 2, rng.New(uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lo, hi bool
+		for _, sd := range seeds {
+			if sd[0] < 100 {
+				lo = true
+			} else {
+				hi = true
+			}
+		}
+		if lo && hi {
+			hits++
+		}
+	}
+	if hits < trials-2 {
+		t.Fatalf("kmeans++ split blobs only %d/%d times", hits, trials)
+	}
+}
+
+func TestPlusPlusSeederDegenerateData(t *testing.T) {
+	// All points identical: D^2 mass is zero after the first seed; the
+	// seeder must still return k seeds rather than loop or error.
+	s := dataset.MustNewWeightedSet(1)
+	for i := 0; i < 5; i++ {
+		if err := s.Add(dataset.WeightedPoint{Vec: vector.Of(3), Weight: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seeds, err := (PlusPlusSeeder{}).Seed(s, 3, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 3 {
+		t.Fatalf("len = %d", len(seeds))
+	}
+}
+
+func TestSeederNames(t *testing.T) {
+	if (RandomSeeder{}).Name() != "random" {
+		t.Fatal("RandomSeeder name")
+	}
+	if (HeaviestSeeder{}).Name() != "heaviest" {
+		t.Fatal("HeaviestSeeder name")
+	}
+	if (PlusPlusSeeder{}).Name() != "kmeans++" {
+		t.Fatal("PlusPlusSeeder name")
+	}
+}
+
+func TestPlusPlusWeightBias(t *testing.T) {
+	// First seed is weight-proportional: a point with overwhelming
+	// weight should be chosen first nearly always.
+	s := dataset.MustNewWeightedSet(1)
+	if err := s.Add(dataset.WeightedPoint{Vec: vector.Of(0), Weight: 10000}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 10; i++ {
+		if err := s.Add(dataset.WeightedPoint{Vec: vector.Of(float64(i)), Weight: 0.001}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	heavyFirst := 0
+	for trial := 0; trial < 50; trial++ {
+		seeds, err := (PlusPlusSeeder{}).Seed(s, 1, rng.New(uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(seeds[0][0]) < 1e-12 {
+			heavyFirst++
+		}
+	}
+	if heavyFirst < 48 {
+		t.Fatalf("heavy point chosen first only %d/50 times", heavyFirst)
+	}
+}

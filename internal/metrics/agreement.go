@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file measures agreement between two clusterings of the same
+// points — the Rand index and its chance-adjusted form. MSE says how
+// tight a clustering is; agreement says whether two algorithms carve the
+// data the same way, which is the sharper question when comparing
+// partial/merge against serial k-means.
+
+// RandIndex returns the fraction of point pairs on which the two
+// labelings agree (same cluster in both, or different clusters in
+// both). 1 means identical partitions up to label permutation.
+func RandIndex(a, b []int) (float64, error) {
+	if err := checkLabelings(a, b); err != nil {
+		return 0, err
+	}
+	n := len(a)
+	if n < 2 {
+		return 1, nil
+	}
+	var agree, total float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sameA := a[i] == a[j]
+			sameB := b[i] == b[j]
+			if sameA == sameB {
+				agree++
+			}
+			total++
+		}
+	}
+	return agree / total, nil
+}
+
+// AdjustedRandIndex returns the Hubert-Arabie chance-corrected Rand
+// index: 0 expected for independent random labelings, 1 for identical
+// partitions. It is computed from the contingency table in O(n + |A||B|).
+func AdjustedRandIndex(a, b []int) (float64, error) {
+	if err := checkLabelings(a, b); err != nil {
+		return 0, err
+	}
+	n := len(a)
+	if n < 2 {
+		return 1, nil
+	}
+	// Contingency table with dense relabeling.
+	aIDs := map[int]int{}
+	bIDs := map[int]int{}
+	for _, x := range a {
+		if _, ok := aIDs[x]; !ok {
+			aIDs[x] = len(aIDs)
+		}
+	}
+	for _, x := range b {
+		if _, ok := bIDs[x]; !ok {
+			bIDs[x] = len(bIDs)
+		}
+	}
+	table := make([][]int, len(aIDs))
+	for i := range table {
+		table[i] = make([]int, len(bIDs))
+	}
+	rowSum := make([]int, len(aIDs))
+	colSum := make([]int, len(bIDs))
+	for i := 0; i < n; i++ {
+		r, c := aIDs[a[i]], bIDs[b[i]]
+		table[r][c]++
+		rowSum[r]++
+		colSum[c]++
+	}
+	choose2 := func(m int) float64 { return float64(m) * float64(m-1) / 2 }
+	var sumCells, sumRows, sumCols float64
+	for r := range table {
+		sumRows += choose2(rowSum[r])
+		for c := range table[r] {
+			sumCells += choose2(table[r][c])
+		}
+	}
+	for c := range colSum {
+		sumCols += choose2(colSum[c])
+	}
+	totalPairs := choose2(n)
+	expected := sumRows * sumCols / totalPairs
+	maxIndex := (sumRows + sumCols) / 2
+	if maxIndex == expected {
+		// Degenerate (e.g. both labelings put everything in one
+		// cluster): identical by convention.
+		return 1, nil
+	}
+	return (sumCells - expected) / (maxIndex - expected), nil
+}
+
+func checkLabelings(a, b []int) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("metrics: labelings have %d and %d points", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return errors.New("metrics: empty labelings")
+	}
+	return nil
+}

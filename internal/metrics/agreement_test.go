@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"streamkm/internal/rng"
+)
+
+func TestRandIndexIdentical(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2}
+	ri, err := RandIndex(a, a)
+	if err != nil || ri != 1 {
+		t.Fatalf("RandIndex(a, a) = %g, %v", ri, err)
+	}
+	// label permutation is still identical
+	b := []int{5, 5, 9, 9, 7}
+	ri, err = RandIndex(a, b)
+	if err != nil || ri != 1 {
+		t.Fatalf("permuted = %g, %v", ri, err)
+	}
+	ari, err := AdjustedRandIndex(a, b)
+	if err != nil || math.Abs(ari-1) > 1e-12 {
+		t.Fatalf("ARI permuted = %g, %v", ari, err)
+	}
+}
+
+func TestRandIndexDisagreement(t *testing.T) {
+	a := []int{0, 0, 1, 1}
+	b := []int{0, 1, 0, 1}
+	// pairs: (0,1) same/diff, (0,2) diff/same, (0,3) diff/diff agree,
+	// (1,2) diff/diff agree, (1,3) diff/same, (2,3) same/diff → 2/6
+	ri, err := RandIndex(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ri-2.0/6.0) > 1e-12 {
+		t.Fatalf("RandIndex = %g, want 1/3", ri)
+	}
+}
+
+func TestRandIndexErrors(t *testing.T) {
+	if _, err := RandIndex([]int{1}, []int{1, 2}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, err := RandIndex(nil, nil); err == nil {
+		t.Fatal("empty should error")
+	}
+	if _, err := AdjustedRandIndex([]int{1}, []int{1, 2}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestRandIndexSinglePoint(t *testing.T) {
+	ri, err := RandIndex([]int{3}, []int{8})
+	if err != nil || ri != 1 {
+		t.Fatalf("single point = %g, %v", ri, err)
+	}
+}
+
+func TestAdjustedRandIndexChanceLevel(t *testing.T) {
+	// Independent random labelings: ARI should hover near 0 while the
+	// raw Rand index sits well above it.
+	r := rng.New(5)
+	n := 600
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := range a {
+		a[i] = r.Intn(4)
+		b[i] = r.Intn(4)
+	}
+	ari, err := AdjustedRandIndex(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ari) > 0.05 {
+		t.Fatalf("ARI of independent labelings = %g, want ~0", ari)
+	}
+	ri, err := RandIndex(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri < 0.5 {
+		t.Fatalf("raw Rand of independent labelings = %g, expected > 0.5", ri)
+	}
+}
+
+func TestAdjustedRandIndexDegenerate(t *testing.T) {
+	// Everything in one cluster in both labelings.
+	a := []int{1, 1, 1, 1}
+	ari, err := AdjustedRandIndex(a, a)
+	if err != nil || ari != 1 {
+		t.Fatalf("degenerate ARI = %g, %v", ari, err)
+	}
+}
+
+func TestAgreementOnPartialPartitions(t *testing.T) {
+	// Merging two clusters of a partition lowers ARI below 1 but keeps
+	// it well above chance.
+	a := make([]int, 300)
+	b := make([]int, 300)
+	for i := range a {
+		a[i] = i % 3
+		if a[i] == 2 {
+			b[i] = 1 // cluster 2 merged into 1
+		} else {
+			b[i] = a[i]
+		}
+	}
+	ari, err := AdjustedRandIndex(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari <= 0.3 || ari >= 1 {
+		t.Fatalf("coarsened ARI = %g, want in (0.3, 1)", ari)
+	}
+}

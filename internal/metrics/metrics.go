@@ -1,0 +1,112 @@
+// Package metrics implements the clustering-quality and timing measures
+// the paper reports: the error function E (serial k-means, §2), the
+// weighted error function E_pm (partial/merge, §3.3), the mean square
+// error used in the convergence test, and a small stopwatch used by the
+// benchmark harness.
+package metrics
+
+import (
+	"errors"
+	"time"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/vector"
+)
+
+// ErrNoCentroids is returned when quality is requested against an empty
+// centroid set.
+var ErrNoCentroids = errors.New("metrics: no centroids")
+
+// SSE returns the paper's error function E: the sum over all points of
+// the squared Euclidean distance to the nearest centroid.
+func SSE(points *dataset.Set, centroids []vector.Vector) (float64, error) {
+	if len(centroids) == 0 {
+		return 0, ErrNoCentroids
+	}
+	var e float64
+	for _, p := range points.Points() {
+		_, d := vector.NearestIndex(p, centroids)
+		e += d
+	}
+	return e, nil
+}
+
+// WeightedSSE returns the paper's E_pm: the weighted sum over data items
+// of squared distance to the nearest centroid. With unit weights it
+// equals SSE.
+func WeightedSSE(points *dataset.WeightedSet, centroids []vector.Vector) (float64, error) {
+	if len(centroids) == 0 {
+		return 0, ErrNoCentroids
+	}
+	var e float64
+	for _, p := range points.Points() {
+		_, d := vector.NearestIndex(p.Vec, centroids)
+		e += d * p.Weight
+	}
+	return e, nil
+}
+
+// MSE returns SSE normalized by the number of points — the "mean square
+// error" the paper's convergence criterion and Table 2 report. An empty
+// point set has MSE 0 by convention.
+func MSE(points *dataset.Set, centroids []vector.Vector) (float64, error) {
+	if points.Len() == 0 {
+		return 0, nil
+	}
+	e, err := SSE(points, centroids)
+	if err != nil {
+		return 0, err
+	}
+	return e / float64(points.Len()), nil
+}
+
+// WeightedMSE returns WeightedSSE normalized by total weight. Because
+// partial k-means weights centroids by assigned-point counts, the merge
+// step's WeightedMSE is directly comparable to the serial MSE over the
+// same cell.
+func WeightedMSE(points *dataset.WeightedSet, centroids []vector.Vector) (float64, error) {
+	tw := points.TotalWeight()
+	if tw == 0 {
+		return 0, nil
+	}
+	e, err := WeightedSSE(points, centroids)
+	if err != nil {
+		return 0, err
+	}
+	return e / tw, nil
+}
+
+// Stopwatch measures wall-clock durations for the benchmark tables. The
+// zero value is ready to use.
+type Stopwatch struct {
+	start   time.Time
+	elapsed time.Duration
+	running bool
+}
+
+// Start begins (or resumes) timing.
+func (s *Stopwatch) Start() {
+	if !s.running {
+		s.start = time.Now()
+		s.running = true
+	}
+}
+
+// Stop pauses timing and accumulates the elapsed interval.
+func (s *Stopwatch) Stop() {
+	if s.running {
+		s.elapsed += time.Since(s.start)
+		s.running = false
+	}
+}
+
+// Elapsed returns the accumulated duration (including a running interval).
+func (s *Stopwatch) Elapsed() time.Duration {
+	if s.running {
+		return s.elapsed + time.Since(s.start)
+	}
+	return s.elapsed
+}
+
+// Reset zeroes the stopwatch.
+func (s *Stopwatch) Reset() { *s = Stopwatch{} }

@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/vector"
+)
+
+func TestSSEAndMSE(t *testing.T) {
+	s := dataset.MustNewSet(1)
+	for _, x := range []float64{0, 2, 10, 12} {
+		if err := s.Add(vector.Of(x)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := []vector.Vector{vector.Of(1), vector.Of(11)}
+	sse, err := SSE(s, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sse != 4 { // each point at distance 1 => 4 * 1
+		t.Fatalf("SSE = %g, want 4", sse)
+	}
+	mse, err := MSE(s, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse != 1 {
+		t.Fatalf("MSE = %g, want 1", mse)
+	}
+}
+
+func TestSSENoCentroids(t *testing.T) {
+	s := dataset.MustNewSet(1)
+	if err := s.Add(vector.Of(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SSE(s, nil); err != ErrNoCentroids {
+		t.Fatalf("want ErrNoCentroids, got %v", err)
+	}
+	if _, err := WeightedSSE(dataset.Unweighted(s), nil); err != ErrNoCentroids {
+		t.Fatalf("want ErrNoCentroids, got %v", err)
+	}
+}
+
+func TestMSEEmptySet(t *testing.T) {
+	mse, err := MSE(dataset.MustNewSet(2), []vector.Vector{vector.Of(0, 0)})
+	if err != nil || mse != 0 {
+		t.Fatalf("empty-set MSE = %g, %v", mse, err)
+	}
+	wm, err := WeightedMSE(dataset.MustNewWeightedSet(2), []vector.Vector{vector.Of(0, 0)})
+	if err != nil || wm != 0 {
+		t.Fatalf("empty weighted MSE = %g, %v", wm, err)
+	}
+}
+
+func TestWeightedSSE(t *testing.T) {
+	s := dataset.MustNewWeightedSet(1)
+	if err := s.Add(dataset.WeightedPoint{Vec: vector.Of(0), Weight: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(dataset.WeightedPoint{Vec: vector.Of(4), Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	cs := []vector.Vector{vector.Of(2)}
+	sse, err := WeightedSSE(s, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sse != 3*4+1*4 {
+		t.Fatalf("WeightedSSE = %g, want 16", sse)
+	}
+	mse, err := WeightedMSE(s, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse != 4 {
+		t.Fatalf("WeightedMSE = %g, want 4", mse)
+	}
+}
+
+func TestUnitWeightsEquivalence(t *testing.T) {
+	s := dataset.MustNewSet(2)
+	for i := 0; i < 20; i++ {
+		if err := s.Add(vector.Of(float64(i), float64(i%5))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := []vector.Vector{vector.Of(5, 2), vector.Of(15, 2)}
+	a, err := SSE(s, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := WeightedSSE(dataset.Unweighted(s), cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-b) > 1e-9 {
+		t.Fatalf("SSE %g != unit-weight WeightedSSE %g", a, b)
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	var sw Stopwatch
+	if sw.Elapsed() != 0 {
+		t.Fatal("fresh stopwatch should read 0")
+	}
+	sw.Start()
+	time.Sleep(10 * time.Millisecond)
+	sw.Stop()
+	first := sw.Elapsed()
+	if first < 5*time.Millisecond {
+		t.Fatalf("elapsed %v too small", first)
+	}
+	// Stop is idempotent
+	sw.Stop()
+	if sw.Elapsed() != first {
+		t.Fatal("Stop changed elapsed while stopped")
+	}
+	// resume accumulates
+	sw.Start()
+	sw.Start() // idempotent while running
+	time.Sleep(5 * time.Millisecond)
+	sw.Stop()
+	if sw.Elapsed() <= first {
+		t.Fatal("resume did not accumulate")
+	}
+	sw.Reset()
+	if sw.Elapsed() != 0 {
+		t.Fatal("Reset did not zero")
+	}
+}

@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/vector"
+)
+
+// This file adds clustering-quality measures beyond the paper's MSE:
+// the within/between scatter decomposition and the Davies-Bouldin index,
+// used by the evaluation discussion to compare representations that the
+// raw (k-dependent) MSE cannot rank fairly.
+
+// Scatter is the decomposition of total scatter into within-cluster and
+// between-cluster parts: Total = Within + Between (both weighted).
+type Scatter struct {
+	// Within is the weighted sum of squared distances of points to
+	// their assigned centroid (the paper's E / E_pm).
+	Within float64
+	// Between is the weighted sum of squared distances of centroids to
+	// the global mean.
+	Between float64
+	// Total is the weighted sum of squared distances of points to the
+	// global mean.
+	Total float64
+}
+
+// ExplainedVariance returns Between/Total — the fraction of scatter the
+// clustering explains, in [0, 1] up to rounding.
+func (s Scatter) ExplainedVariance() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return s.Between / s.Total
+}
+
+// ComputeScatter assigns each weighted point to its nearest centroid and
+// decomposes the scatter.
+func ComputeScatter(points *dataset.WeightedSet, centroids []vector.Vector) (Scatter, error) {
+	if len(centroids) == 0 {
+		return Scatter{}, ErrNoCentroids
+	}
+	if points.Len() == 0 {
+		return Scatter{}, errors.New("metrics: empty point set")
+	}
+	dim := points.Dim()
+	mean := vector.New(dim)
+	var total float64
+	for _, p := range points.Points() {
+		mean.AddScaled(p.Weight, p.Vec)
+		total += p.Weight
+	}
+	if total <= 0 {
+		return Scatter{}, errors.New("metrics: zero total weight")
+	}
+	mean.Scale(1 / total)
+
+	var s Scatter
+	clusterWeights := make([]float64, len(centroids))
+	for _, p := range points.Points() {
+		j, d := vector.NearestIndex(p.Vec, centroids)
+		s.Within += d * p.Weight
+		s.Total += vector.SquaredDistance(p.Vec, mean) * p.Weight
+		clusterWeights[j] += p.Weight
+	}
+	for j, c := range centroids {
+		s.Between += clusterWeights[j] * vector.SquaredDistance(c, mean)
+	}
+	return s, nil
+}
+
+// DaviesBouldin computes the Davies-Bouldin index over the clustering
+// induced by nearest-centroid assignment: the average over clusters of
+// the worst (σ_i + σ_j) / d(c_i, c_j) ratio, where σ is the weighted RMS
+// within-cluster distance. Lower is better. Clusters that receive no
+// points are skipped; an index over fewer than two non-empty clusters is
+// an error.
+func DaviesBouldin(points *dataset.WeightedSet, centroids []vector.Vector) (float64, error) {
+	if len(centroids) < 2 {
+		return 0, fmt.Errorf("metrics: Davies-Bouldin needs >= 2 centroids, got %d", len(centroids))
+	}
+	if points.Len() == 0 {
+		return 0, errors.New("metrics: empty point set")
+	}
+	k := len(centroids)
+	sumSq := make([]float64, k)
+	weights := make([]float64, k)
+	for _, p := range points.Points() {
+		j, d := vector.NearestIndex(p.Vec, centroids)
+		sumSq[j] += d * p.Weight
+		weights[j] += p.Weight
+	}
+	var live []int
+	sigma := make([]float64, k)
+	for j := 0; j < k; j++ {
+		if weights[j] > 0 {
+			sigma[j] = math.Sqrt(sumSq[j] / weights[j])
+			live = append(live, j)
+		}
+	}
+	if len(live) < 2 {
+		return 0, fmt.Errorf("metrics: only %d non-empty clusters", len(live))
+	}
+	var db float64
+	for _, i := range live {
+		worst := 0.0
+		for _, j := range live {
+			if i == j {
+				continue
+			}
+			d := vector.Distance(centroids[i], centroids[j])
+			if d == 0 {
+				return 0, fmt.Errorf("metrics: coincident centroids %d and %d", i, j)
+			}
+			if r := (sigma[i] + sigma[j]) / d; r > worst {
+				worst = r
+			}
+		}
+		db += worst
+	}
+	return db / float64(len(live)), nil
+}

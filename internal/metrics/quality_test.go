@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/rng"
+	"streamkm/internal/vector"
+)
+
+func twoClusterSet(t *testing.T) *dataset.WeightedSet {
+	t.Helper()
+	s := dataset.MustNewWeightedSet(1)
+	for _, x := range []float64{-10.5, -10, -9.5, 9.5, 10, 10.5} {
+		if err := s.Add(dataset.WeightedPoint{Vec: vector.Of(x), Weight: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestComputeScatterDecomposition(t *testing.T) {
+	s := twoClusterSet(t)
+	cs := []vector.Vector{vector.Of(-10), vector.Of(10)}
+	sc, err := ComputeScatter(s, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within: per cluster (0.25 + 0 + 0.25) = 0.5, two clusters → 1.0
+	if math.Abs(sc.Within-1.0) > 1e-9 {
+		t.Fatalf("Within = %g, want 1", sc.Within)
+	}
+	// Between: 6 points, each cluster weight 3 at distance 10 from the
+	// global mean 0 → 2 * 3 * 100 = 600
+	if math.Abs(sc.Between-600) > 1e-9 {
+		t.Fatalf("Between = %g, want 600", sc.Between)
+	}
+	if math.Abs(sc.Total-(sc.Within+sc.Between)) > 1e-9 {
+		t.Fatalf("decomposition broken: %g != %g + %g", sc.Total, sc.Within, sc.Between)
+	}
+	ev := sc.ExplainedVariance()
+	if ev < 0.99 || ev > 1 {
+		t.Fatalf("ExplainedVariance = %g for well-separated clusters", ev)
+	}
+}
+
+func TestComputeScatterErrors(t *testing.T) {
+	s := twoClusterSet(t)
+	if _, err := ComputeScatter(s, nil); err == nil {
+		t.Fatal("no centroids should error")
+	}
+	if _, err := ComputeScatter(dataset.MustNewWeightedSet(1), []vector.Vector{vector.Of(0)}); err == nil {
+		t.Fatal("empty set should error")
+	}
+	zero := dataset.MustNewWeightedSet(1)
+	if err := zero.Add(dataset.WeightedPoint{Vec: vector.Of(1), Weight: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ComputeScatter(zero, []vector.Vector{vector.Of(0)}); err == nil {
+		t.Fatal("zero weight should error")
+	}
+}
+
+// Property: Total == Within + Between for the nearest-centroid
+// assignment when centroids are the exact cluster means (Huygens'
+// theorem needs the assignment's means; we use k-means-style data where
+// centroids ARE per-cluster means).
+func TestScatterDecompositionProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		r := rng.New(uint64(seed))
+		s := dataset.MustNewWeightedSet(2)
+		for i := 0; i < 60; i++ {
+			v := vector.Of(r.NormFloat64()*5, r.NormFloat64()*5)
+			if s.Add(dataset.WeightedPoint{Vec: v, Weight: 1 + r.Float64()}) != nil {
+				return false
+			}
+		}
+		// Any centroids: decomposition only exactly holds when
+		// centroids are assignment means, so compute them in two passes.
+		initial := []vector.Vector{vector.Of(-1, 0), vector.Of(1, 0)}
+		sums := []vector.Vector{vector.New(2), vector.New(2)}
+		ws := make([]float64, 2)
+		for _, p := range s.Points() {
+			j, _ := vector.NearestIndex(p.Vec, initial)
+			sums[j].AddScaled(p.Weight, p.Vec)
+			ws[j] += p.Weight
+		}
+		means := make([]vector.Vector, 0, 2)
+		for j := range sums {
+			if ws[j] > 0 {
+				m := sums[j]
+				m.Scale(1 / ws[j])
+				means = append(means, m)
+			}
+		}
+		if len(means) == 0 {
+			return true
+		}
+		// One more assignment round against the means to make them the
+		// assignment's means (a fixpoint check would iterate; one round
+		// is enough for the tolerance below on most draws, so iterate a
+		// few times).
+		for round := 0; round < 20; round++ {
+			sums2 := make([]vector.Vector, len(means))
+			ws2 := make([]float64, len(means))
+			for j := range sums2 {
+				sums2[j] = vector.New(2)
+			}
+			for _, p := range s.Points() {
+				j, _ := vector.NearestIndex(p.Vec, means)
+				sums2[j].AddScaled(p.Weight, p.Vec)
+				ws2[j] += p.Weight
+			}
+			for j := range means {
+				if ws2[j] > 0 {
+					m := sums2[j].Clone()
+					m.Scale(1 / ws2[j])
+					means[j] = m
+				}
+			}
+		}
+		sc, err := ComputeScatter(s, means)
+		if err != nil {
+			return false
+		}
+		return math.Abs(sc.Total-(sc.Within+sc.Between)) <= 1e-6*(1+sc.Total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDaviesBouldin(t *testing.T) {
+	s := twoClusterSet(t)
+	good := []vector.Vector{vector.Of(-10), vector.Of(10)}
+	bad := []vector.Vector{vector.Of(-2), vector.Of(2)} // poorly placed
+	dbGood, err := DaviesBouldin(s, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbBad, err := DaviesBouldin(s, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dbGood >= dbBad {
+		t.Fatalf("DB index did not prefer the good clustering: %g vs %g", dbGood, dbBad)
+	}
+	if dbGood <= 0 {
+		t.Fatalf("DB = %g", dbGood)
+	}
+}
+
+func TestDaviesBouldinErrors(t *testing.T) {
+	s := twoClusterSet(t)
+	if _, err := DaviesBouldin(s, []vector.Vector{vector.Of(0)}); err == nil {
+		t.Fatal("k<2 should error")
+	}
+	if _, err := DaviesBouldin(dataset.MustNewWeightedSet(1), []vector.Vector{vector.Of(0), vector.Of(1)}); err == nil {
+		t.Fatal("empty set should error")
+	}
+	// all points on one centroid → only 1 non-empty cluster
+	one := dataset.MustNewWeightedSet(1)
+	if err := one.Add(dataset.WeightedPoint{Vec: vector.Of(0), Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DaviesBouldin(one, []vector.Vector{vector.Of(0), vector.Of(100)}); err == nil {
+		t.Fatal("single non-empty cluster should error")
+	}
+	// coincident centroids
+	if _, err := DaviesBouldin(s, []vector.Vector{vector.Of(-10), vector.Of(-10)}); err == nil {
+		t.Fatal("coincident centroids should error")
+	}
+}

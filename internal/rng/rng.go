@@ -1,0 +1,209 @@
+// Package rng provides a small, deterministic pseudo-random number
+// generator used by every stochastic component of the library (seeding,
+// data generation, partition shuffling). Experiments in the paper are run
+// R times with different seed sets; reproducibility of those runs requires
+// a generator whose sequence is stable across platforms and Go versions,
+// which math/rand does not guarantee across major versions. The core is
+// xoshiro256**, seeded through splitmix64 as its authors recommend.
+package rng
+
+import "math"
+
+// RNG is a deterministic xoshiro256** generator. It is not safe for
+// concurrent use; concurrent components each derive their own generator
+// via Split.
+type RNG struct {
+	s [4]uint64
+	// cached second Gaussian from Box-Muller
+	gauss    float64
+	hasGauss bool
+}
+
+// New returns a generator seeded from seed via splitmix64. Any seed,
+// including zero, yields a well-mixed state.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// Split returns a new generator deterministically derived from r's current
+// state. The child and parent sequences are decorrelated, letting each
+// cloned operator own an independent stream.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64() ^ 0xd3833e804f4c574b)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniformly random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation.
+	bound := uint64(n)
+	x := r.Uint64()
+	hi, lo := mul64(x, bound)
+	if lo < bound {
+		threshold := -bound % bound
+		for lo < threshold {
+			x = r.Uint64()
+			hi, lo = mul64(x, bound)
+		}
+	}
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	aLo, aHi := a&mask32, a>>32
+	bLo, bHi := b&mask32, b>>32
+	t := aHi*bLo + (aLo*bLo)>>32
+	lo = a * b
+	hi = aHi*bHi + (t >> 32) + (aLo*bHi+t&mask32)>>32
+	return hi, lo
+}
+
+// Float64 returns a uniformly random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal variate (Box-Muller, cached pair).
+func (r *RNG) NormFloat64() float64 {
+	if r.hasGauss {
+		r.hasGauss = false
+		return r.gauss
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(s) / s)
+	r.gauss = v * f
+	r.hasGauss = true
+	return u * f
+}
+
+// Perm returns a uniformly random permutation of [0, n) using
+// Fisher-Yates.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements via swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// MarshalBinary serializes the generator state (41 bytes), letting
+// long-running streaming jobs checkpoint and resume with an identical
+// random sequence.
+func (r *RNG) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 0, 41)
+	for _, s := range r.s {
+		out = appendUint64(out, s)
+	}
+	out = appendUint64(out, math.Float64bits(r.gauss))
+	if r.hasGauss {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary restores state written by MarshalBinary.
+func (r *RNG) UnmarshalBinary(data []byte) error {
+	if len(data) != 41 {
+		return errBadState
+	}
+	for i := range r.s {
+		r.s[i] = readUint64(data[8*i:])
+	}
+	r.gauss = math.Float64frombits(readUint64(data[32:]))
+	switch data[40] {
+	case 0:
+		r.hasGauss = false
+	case 1:
+		r.hasGauss = true
+	default:
+		return errBadState
+	}
+	return nil
+}
+
+type stateError string
+
+func (e stateError) Error() string { return string(e) }
+
+const errBadState = stateError("rng: invalid serialized state")
+
+func appendUint64(b []byte, v uint64) []byte {
+	return append(b,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func readUint64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// SampleWithoutReplacement returns k distinct uniformly random indices in
+// [0, n). It panics if k > n or either argument is negative: the paper's
+// seeding step always draws k <= N distinct points.
+func (r *RNG) SampleWithoutReplacement(n, k int) []int {
+	if k < 0 || n < 0 || k > n {
+		panic("rng: invalid sample size")
+	}
+	// Partial Fisher-Yates over an index array; O(n) space, O(k) swaps
+	// after setup, exact uniformity.
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p[:k]
+}

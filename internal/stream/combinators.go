@@ -1,0 +1,188 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// This file provides the plan-building combinators Conquest's optimizer
+// composed physical plans from (§4: "a variety of inter- and intra-
+// operator parallelism (e.g., pipelining, partitioning, multi-casting)"):
+// Map/Filter/Batch element adapters, hash/round-robin partitioning into
+// parallel sub-streams, multicast to several consumers, and union of
+// several producers.
+
+// Map runs a pure per-item function as a cloned transform stage.
+func Map[I, O any](g *Group, ctx context.Context, reg *StatsRegistry, name string, clones int, f func(I) (O, error), in *Queue[I], out *Queue[O]) *OpStats {
+	return RunTransform(g, ctx, reg, name, clones,
+		func(_ context.Context, item I, emit Emit[O]) error {
+			o, err := f(item)
+			if err != nil {
+				return err
+			}
+			return emit(o)
+		}, in, out)
+}
+
+// Filter forwards only items satisfying pred.
+func Filter[T any](g *Group, ctx context.Context, reg *StatsRegistry, name string, clones int, pred func(T) bool, in *Queue[T], out *Queue[T]) *OpStats {
+	return RunTransform(g, ctx, reg, name, clones,
+		func(_ context.Context, item T, emit Emit[T]) error {
+			if pred(item) {
+				return emit(item)
+			}
+			return nil
+		}, in, out)
+}
+
+// Batch groups consecutive items into slices of at most size elements,
+// flushing a partial batch at end of stream. It is how a scan operator
+// turns a point stream into memory-budget chunks.
+func Batch[T any](g *Group, ctx context.Context, reg *StatsRegistry, name string, size int, in *Queue[T], out *Queue[[]T]) (*OpStats, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("stream: batch size must be positive, got %d", size)
+	}
+	stats := reg.register(name, 1)
+	g.Go(name, func() error {
+		defer out.Close()
+		buf := make([]T, 0, size)
+		for {
+			item, ok, err := in.Get(ctx)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				if len(buf) > 0 {
+					if err := out.Put(ctx, buf); err != nil {
+						return err
+					}
+					stats.emitted.Add(1)
+				}
+				return nil
+			}
+			stats.processed.Add(1)
+			buf = append(buf, item)
+			if len(buf) == size {
+				if err := out.Put(ctx, buf); err != nil {
+					return err
+				}
+				stats.emitted.Add(1)
+				buf = make([]T, 0, size)
+			}
+		}
+	})
+	return stats, nil
+}
+
+// Partition distributes items across the output queues: by hash when
+// hash is non-nil (items with equal hash go to the same output — the
+// Fig. 2 Method C point-partitioning), round-robin otherwise. All
+// outputs are closed when the input is exhausted.
+func Partition[T any](g *Group, ctx context.Context, reg *StatsRegistry, name string, hash func(T) uint64, in *Queue[T], outs []*Queue[T]) (*OpStats, error) {
+	if len(outs) == 0 {
+		return nil, fmt.Errorf("stream: partition needs at least one output")
+	}
+	stats := reg.register(name, 1)
+	g.Go(name, func() error {
+		defer func() {
+			for _, o := range outs {
+				o.Close()
+			}
+		}()
+		next := 0
+		for {
+			item, ok, err := in.Get(ctx)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			stats.processed.Add(1)
+			var idx int
+			if hash != nil {
+				idx = int(hash(item) % uint64(len(outs)))
+			} else {
+				idx = next
+				next = (next + 1) % len(outs)
+			}
+			if err := outs[idx].Put(ctx, item); err != nil {
+				return err
+			}
+			stats.emitted.Add(1)
+		}
+	})
+	return stats, nil
+}
+
+// Multicast copies every input item to every output queue — Conquest's
+// multi-casting, e.g. broadcasting new centroids to all slaves. Outputs
+// close when the input is exhausted.
+func Multicast[T any](g *Group, ctx context.Context, reg *StatsRegistry, name string, in *Queue[T], outs []*Queue[T]) (*OpStats, error) {
+	if len(outs) == 0 {
+		return nil, fmt.Errorf("stream: multicast needs at least one output")
+	}
+	stats := reg.register(name, 1)
+	g.Go(name, func() error {
+		defer func() {
+			for _, o := range outs {
+				o.Close()
+			}
+		}()
+		for {
+			item, ok, err := in.Get(ctx)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			stats.processed.Add(1)
+			for _, o := range outs {
+				if err := o.Put(ctx, item); err != nil {
+					return err
+				}
+				stats.emitted.Add(1)
+			}
+		}
+	})
+	return stats, nil
+}
+
+// Union forwards items from all inputs into one output, closing it when
+// every input is exhausted — the fan-in mirror of Partition.
+func Union[T any](g *Group, ctx context.Context, reg *StatsRegistry, name string, ins []*Queue[T], out *Queue[T]) (*OpStats, error) {
+	if len(ins) == 0 {
+		return nil, fmt.Errorf("stream: union needs at least one input")
+	}
+	stats := reg.register(name, len(ins))
+	var live sync.WaitGroup
+	live.Add(len(ins))
+	for i, in := range ins {
+		in := in
+		g.Go(fmt.Sprintf("%s#%d", name, i), func() error {
+			defer live.Done()
+			for {
+				item, ok, err := in.Get(ctx)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				stats.processed.Add(1)
+				if err := out.Put(ctx, item); err != nil {
+					return err
+				}
+				stats.emitted.Add(1)
+			}
+		})
+	}
+	g.Go(name+".close", func() error {
+		live.Wait()
+		out.Close()
+		return nil
+	})
+	return stats, nil
+}

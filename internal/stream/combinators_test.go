@@ -1,0 +1,295 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"testing"
+)
+
+func TestMapCombinator(t *testing.T) {
+	g, ctx := NewGroup(context.Background())
+	in := NewQueue[int]("in", 4)
+	out := NewQueue[int]("out", 4)
+	RunSource(g, ctx, nil, "src", rangeSource(20), in)
+	Map(g, ctx, nil, "square", 3, func(x int) (int, error) { return x * x, nil }, in, out)
+	sink, snap := Collect[int]()
+	RunSink(g, ctx, nil, "sink", 1, sink, out)
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	got := snap()
+	sort.Ints(got)
+	if len(got) != 20 || got[19] != 19*19 {
+		t.Fatalf("map results wrong: %v", got)
+	}
+}
+
+func TestMapError(t *testing.T) {
+	g, ctx := NewGroup(context.Background())
+	in := NewQueue[int]("in", 4)
+	out := NewQueue[int]("out", 4)
+	RunSource(g, ctx, nil, "src", rangeSource(10), in)
+	boom := errors.New("bad")
+	Map(g, ctx, nil, "fail", 1, func(x int) (int, error) {
+		if x == 3 {
+			return 0, boom
+		}
+		return x, nil
+	}, in, out)
+	sink, _ := Collect[int]()
+	RunSink(g, ctx, nil, "sink", 1, sink, out)
+	if err := g.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v", err)
+	}
+}
+
+func TestFilterCombinator(t *testing.T) {
+	g, ctx := NewGroup(context.Background())
+	in := NewQueue[int]("in", 4)
+	out := NewQueue[int]("out", 4)
+	RunSource(g, ctx, nil, "src", rangeSource(100), in)
+	Filter(g, ctx, nil, "even", 2, func(x int) bool { return x%2 == 0 }, in, out)
+	sink, snap := Collect[int]()
+	RunSink(g, ctx, nil, "sink", 1, sink, out)
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	got := snap()
+	if len(got) != 50 {
+		t.Fatalf("filtered to %d items, want 50", len(got))
+	}
+	for _, v := range got {
+		if v%2 != 0 {
+			t.Fatalf("odd item %d passed the filter", v)
+		}
+	}
+}
+
+func TestBatchCombinator(t *testing.T) {
+	g, ctx := NewGroup(context.Background())
+	in := NewQueue[int]("in", 4)
+	out := NewQueue[[]int]("out", 4)
+	RunSource(g, ctx, nil, "src", rangeSource(10), in)
+	if _, err := Batch(g, ctx, nil, "batch", 3, in, out); err != nil {
+		t.Fatal(err)
+	}
+	sink, snap := Collect[[]int]()
+	RunSink(g, ctx, nil, "sink", 1, sink, out)
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	got := snap()
+	// 10 items in batches of 3: 3+3+3+1
+	if len(got) != 4 {
+		t.Fatalf("got %d batches", len(got))
+	}
+	total := 0
+	for i, b := range got {
+		if i < 3 && len(b) != 3 {
+			t.Fatalf("batch %d has %d items", i, len(b))
+		}
+		total += len(b)
+	}
+	if total != 10 {
+		t.Fatalf("batches hold %d items", total)
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	g, ctx := NewGroup(context.Background())
+	in := NewQueue[int]("in", 4)
+	out := NewQueue[[]int]("out", 4)
+	if _, err := Batch(g, ctx, nil, "batch", 0, in, out); err == nil {
+		t.Fatal("size=0 should error")
+	}
+	in.Close()
+	_ = g.Wait()
+}
+
+func TestPartitionRoundRobin(t *testing.T) {
+	g, ctx := NewGroup(context.Background())
+	in := NewQueue[int]("in", 4)
+	outs := []*Queue[int]{NewQueue[int]("o0", 8), NewQueue[int]("o1", 8), NewQueue[int]("o2", 8)}
+	RunSource(g, ctx, nil, "src", rangeSource(9), in)
+	if _, err := Partition(g, ctx, nil, "part", nil, in, outs); err != nil {
+		t.Fatal(err)
+	}
+	snaps := make([]func() []int, len(outs))
+	for i, o := range outs {
+		sink, snap := Collect[int]()
+		RunSink(g, ctx, nil, "sink", 1, sink, o)
+		snaps[i] = snap
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i, snap := range snaps {
+		got := snap()
+		if len(got) != 3 {
+			t.Fatalf("partition %d received %d items", i, len(got))
+		}
+	}
+}
+
+func TestPartitionByHash(t *testing.T) {
+	g, ctx := NewGroup(context.Background())
+	in := NewQueue[int]("in", 4)
+	outs := []*Queue[int]{NewQueue[int]("o0", 32), NewQueue[int]("o1", 32)}
+	RunSource(g, ctx, nil, "src", rangeSource(40), in)
+	if _, err := Partition(g, ctx, nil, "part", func(x int) uint64 { return uint64(x) }, in, outs); err != nil {
+		t.Fatal(err)
+	}
+	snaps := make([]func() []int, len(outs))
+	for i, o := range outs {
+		sink, snap := Collect[int]()
+		RunSink(g, ctx, nil, "sink", 1, sink, o)
+		snaps[i] = snap
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for parity, snap := range snaps {
+		for _, v := range snap() {
+			if v%2 != parity {
+				t.Fatalf("item %d routed to partition %d", v, parity)
+			}
+		}
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	g, ctx := NewGroup(context.Background())
+	in := NewQueue[int]("in", 4)
+	if _, err := Partition(g, ctx, nil, "part", nil, in, nil); err == nil {
+		t.Fatal("no outputs should error")
+	}
+	in.Close()
+	_ = g.Wait()
+}
+
+func TestMulticastDeliversToAll(t *testing.T) {
+	g, ctx := NewGroup(context.Background())
+	in := NewQueue[int]("in", 4)
+	outs := []*Queue[int]{NewQueue[int]("o0", 32), NewQueue[int]("o1", 32), NewQueue[int]("o2", 32)}
+	RunSource(g, ctx, nil, "src", rangeSource(15), in)
+	st, err := Multicast(g, ctx, nil, "mc", in, outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := make([]func() []int, len(outs))
+	for i, o := range outs {
+		sink, snap := Collect[int]()
+		RunSink(g, ctx, nil, "sink", 1, sink, o)
+		snaps[i] = snap
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i, snap := range snaps {
+		got := snap()
+		if len(got) != 15 {
+			t.Fatalf("consumer %d received %d items", i, len(got))
+		}
+		sort.Ints(got)
+		for j, v := range got {
+			if v != j {
+				t.Fatalf("consumer %d missing item %d", i, j)
+			}
+		}
+	}
+	if st.Emitted() != 45 {
+		t.Fatalf("multicast emitted %d, want 45", st.Emitted())
+	}
+}
+
+func TestMulticastValidation(t *testing.T) {
+	g, ctx := NewGroup(context.Background())
+	in := NewQueue[int]("in", 4)
+	if _, err := Multicast(g, ctx, nil, "mc", in, nil); err == nil {
+		t.Fatal("no outputs should error")
+	}
+	in.Close()
+	_ = g.Wait()
+}
+
+func TestUnionMergesAllInputs(t *testing.T) {
+	g, ctx := NewGroup(context.Background())
+	ins := []*Queue[int]{NewQueue[int]("i0", 4), NewQueue[int]("i1", 4)}
+	out := NewQueue[int]("out", 8)
+	RunSource(g, ctx, nil, "src0", rangeSource(10), ins[0])
+	RunSource(g, ctx, nil, "src1", func(ctx context.Context, emit Emit[int]) error {
+		for i := 100; i < 110; i++ {
+			if err := emit(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, ins[1])
+	if _, err := Union(g, ctx, nil, "union", ins, out); err != nil {
+		t.Fatal(err)
+	}
+	sink, snap := Collect[int]()
+	RunSink(g, ctx, nil, "sink", 1, sink, out)
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	got := snap()
+	if len(got) != 20 {
+		t.Fatalf("union delivered %d items", len(got))
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if seen[v] {
+			t.Fatalf("duplicate %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestUnionValidation(t *testing.T) {
+	g, ctx := NewGroup(context.Background())
+	out := NewQueue[int]("out", 4)
+	if _, err := Union(g, ctx, nil, "union", nil, out); err == nil {
+		t.Fatal("no inputs should error")
+	}
+	_ = g.Wait()
+}
+
+// Partition into parallel workers, then Union back: the classic
+// partitioned intra-operator parallelism shape, end to end.
+func TestPartitionProcessUnionPipeline(t *testing.T) {
+	g, ctx := NewGroup(context.Background())
+	in := NewQueue[int]("in", 8)
+	const workers = 4
+	mids := make([]*Queue[int], workers)
+	outs := make([]*Queue[int], workers)
+	for i := range mids {
+		mids[i] = NewQueue[int]("mid", 8)
+		outs[i] = NewQueue[int]("wout", 8)
+	}
+	merged := NewQueue[int]("merged", 8)
+	RunSource(g, ctx, nil, "src", rangeSource(200), in)
+	if _, err := Partition(g, ctx, nil, "part", nil, in, mids); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < workers; i++ {
+		Map(g, ctx, nil, "worker", 1, func(x int) (int, error) { return x + 1000, nil }, mids[i], outs[i])
+	}
+	if _, err := Union(g, ctx, nil, "union", outs, merged); err != nil {
+		t.Fatal(err)
+	}
+	sink, snap := Collect[int]()
+	RunSink(g, ctx, nil, "sink", 1, sink, merged)
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	got := snap()
+	if len(got) != 200 {
+		t.Fatalf("pipeline delivered %d items", len(got))
+	}
+	sort.Ints(got)
+	if got[0] != 1000 || got[199] != 1199 {
+		t.Fatalf("range wrong: %d..%d", got[0], got[199])
+	}
+}

@@ -1,0 +1,114 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// DynamicTransform is a transform stage whose clone count can grow while
+// the plan is running — the mechanism behind dynamic re-optimization
+// (§4: Conquest's re-optimizer adapts long-running queries). A
+// supervisor owns the clone lifecycle: AddClone spawns another replica
+// reading the shared input queue; the output queue closes only after the
+// input is exhausted and every replica has returned.
+type DynamicTransform[I, O any] struct {
+	name  string
+	fn    TransformFunc[I, O]
+	in    *Queue[I]
+	out   *Queue[O]
+	g     *Group
+	ctx   context.Context
+	stats *OpStats
+
+	mu     sync.Mutex
+	clones int
+	closed bool // input exhausted; no further clones may be added
+	live   sync.WaitGroup
+}
+
+// RunDynamicTransform starts the stage with initial clones (at least 1).
+// The returned handle adds clones at runtime and exposes the aggregate
+// stats.
+func RunDynamicTransform[I, O any](g *Group, ctx context.Context, reg *StatsRegistry, name string, initial int, fn TransformFunc[I, O], in *Queue[I], out *Queue[O]) *DynamicTransform[I, O] {
+	if initial < 1 {
+		initial = 1
+	}
+	d := &DynamicTransform[I, O]{
+		name:  name,
+		fn:    fn,
+		in:    in,
+		out:   out,
+		g:     g,
+		ctx:   ctx,
+		stats: reg.register(name, initial),
+	}
+	for i := 0; i < initial; i++ {
+		d.spawnLocked()
+	}
+	// Closer: when the input is exhausted every clone returns; after the
+	// last one, mark closed and close the output.
+	g.Go(name+".close", func() error {
+		d.live.Wait()
+		d.mu.Lock()
+		d.closed = true
+		d.mu.Unlock()
+		out.Close()
+		return nil
+	})
+	return d
+}
+
+// Stats returns the stage's aggregate counters.
+func (d *DynamicTransform[I, O]) Stats() *OpStats { return d.stats }
+
+// Clones returns the current replica count.
+func (d *DynamicTransform[I, O]) Clones() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.clones
+}
+
+// AddClone spawns one more replica. It reports false when the stage has
+// already drained its input (scaling up would be pointless).
+func (d *DynamicTransform[I, O]) AddClone() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return false
+	}
+	d.spawnLocked()
+	return true
+}
+
+// spawnLocked registers and starts one replica; d.mu must be held (or
+// the stage not yet shared).
+func (d *DynamicTransform[I, O]) spawnLocked() {
+	d.clones++
+	d.stats.clones = int32(d.clones)
+	d.live.Add(1)
+	id := d.clones
+	d.g.Go(fmt.Sprintf("%s#%d", d.name, id), func() error {
+		defer d.live.Done()
+		emit := func(v O) error {
+			if err := d.out.Put(d.ctx, v); err != nil {
+				return err
+			}
+			d.stats.emitted.Add(1)
+			return nil
+		}
+		for {
+			item, ok, err := d.in.Get(d.ctx)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			d.stats.processed.Add(1)
+			if err := d.fn(d.ctx, item, emit); err != nil {
+				return err
+			}
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Group manages a set of cooperating operator goroutines: the first error
+// cancels the shared context, and Wait collects the error after all
+// goroutines finish. It is a minimal errgroup built on the standard
+// library only.
+type Group struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	once   sync.Once
+	err    error
+}
+
+// NewGroup derives a cancellable context from parent and returns the
+// group plus that context; operators must use the returned context so
+// they observe group-wide cancellation.
+func NewGroup(parent context.Context) (*Group, context.Context) {
+	ctx, cancel := context.WithCancel(parent)
+	return &Group{ctx: ctx, cancel: cancel}, ctx
+}
+
+// Go runs f on a new goroutine. A panic inside f is converted to an error
+// so one faulty operator cannot crash the whole process; the name tags
+// the error with the operator identity.
+func (g *Group) Go(name string, f func() error) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				g.report(fmt.Errorf("stream: operator %q panicked: %v", name, r))
+			}
+		}()
+		if err := f(); err != nil {
+			g.report(fmt.Errorf("stream: operator %q: %w", name, err))
+		}
+	}()
+}
+
+func (g *Group) report(err error) {
+	g.once.Do(func() {
+		g.err = err
+		g.cancel()
+	})
+}
+
+// Wait blocks until every goroutine started with Go has returned, then
+// releases the context and returns the first error (or nil).
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.cancel()
+	return g.err
+}

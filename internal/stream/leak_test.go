@@ -1,0 +1,64 @@
+package stream
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// waitForGoroutines polls until the goroutine count drops back to the
+// baseline (scheduler cleanup is asynchronous).
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestPlanLeavesNoGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for round := 0; round < 5; round++ {
+		g, ctx := NewGroup(context.Background())
+		q1 := NewQueue[int]("a", 4)
+		q2 := NewQueue[int]("b", 4)
+		RunSource(g, ctx, nil, "src", rangeSource(200), q1)
+		Map(g, ctx, nil, "id", 4, func(x int) (int, error) { return x, nil }, q1, q2)
+		sink, _ := Collect[int]()
+		RunSink(g, ctx, nil, "sink", 2, sink, q2)
+		if err := g.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitForGoroutines(t, baseline)
+}
+
+func TestCancelledPlanLeavesNoGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for round := 0; round < 5; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		g, gctx := NewGroup(ctx)
+		q1 := NewQueue[int]("a", 1)
+		q2 := NewQueue[int]("b", 1)
+		RunSource(g, gctx, nil, "src", endlessSource(), q1)
+		dt := RunDynamicTransform(g, gctx, nil, "dyn", 2,
+			func(_ context.Context, x int, emit Emit[int]) error { return emit(x) }, q1, q2)
+		dt.AddClone()
+		// no consumer: the plan wedges, then gets cancelled
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+		_ = g.Wait()
+	}
+	waitForGoroutines(t, baseline)
+}

@@ -1,0 +1,227 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Emit delivers one output item downstream, blocking under backpressure.
+type Emit[T any] func(T) error
+
+// SourceFunc produces a stream of items by calling emit repeatedly; it
+// returns when the source is exhausted (the scan operators of §3.1).
+type SourceFunc[T any] func(ctx context.Context, emit Emit[T]) error
+
+// TransformFunc consumes one input item and emits zero or more output
+// items (the partial k-means operator consumes a chunk, emits a weighted
+// centroid set).
+type TransformFunc[I, O any] func(ctx context.Context, in I, emit Emit[O]) error
+
+// SinkFunc consumes one input item and produces no stream output (the
+// merge operator at the plan root feeds a result collector).
+type SinkFunc[I any] func(ctx context.Context, in I) error
+
+// OpStats reports one operator's lifetime counters. Clones of an operator
+// aggregate into a single OpStats.
+type OpStats struct {
+	name      string
+	clones    int32
+	processed atomic.Int64
+	emitted   atomic.Int64
+	busyNanos atomic.Int64
+}
+
+// Name returns the operator name.
+func (s *OpStats) Name() string { return s.name }
+
+// Clones returns the number of replicas the operator ran with.
+func (s *OpStats) Clones() int { return int(s.clones) }
+
+// Processed returns the number of input items consumed.
+func (s *OpStats) Processed() int64 { return s.processed.Load() }
+
+// Emitted returns the number of output items produced.
+func (s *OpStats) Emitted() int64 { return s.emitted.Load() }
+
+// Busy returns the cumulative time spent inside the operator function,
+// summed across clones (so with c clones Busy can exceed wall-clock).
+func (s *OpStats) Busy() time.Duration { return time.Duration(s.busyNanos.Load()) }
+
+// String formats the stats for logs and tables.
+func (s *OpStats) String() string {
+	return fmt.Sprintf("%s[x%d]: in=%d out=%d busy=%v",
+		s.name, s.Clones(), s.Processed(), s.Emitted(), s.Busy())
+}
+
+// StatsRegistry collects OpStats for every operator in a running plan.
+type StatsRegistry struct {
+	mu    sync.Mutex
+	stats []*OpStats
+}
+
+// NewStatsRegistry returns an empty registry.
+func NewStatsRegistry() *StatsRegistry { return &StatsRegistry{} }
+
+func (r *StatsRegistry) register(name string, clones int) *OpStats {
+	s := &OpStats{name: name, clones: int32(clones)}
+	if r != nil {
+		r.mu.Lock()
+		r.stats = append(r.stats, s)
+		r.mu.Unlock()
+	}
+	return s
+}
+
+// All returns the registered operator stats in registration order.
+func (r *StatsRegistry) All() []*OpStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*OpStats, len(r.stats))
+	copy(out, r.stats)
+	return out
+}
+
+// Lookup returns the stats for the named operator, or nil.
+func (r *StatsRegistry) Lookup(name string) *OpStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.stats {
+		if s.name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// RunSource starts fn on the group, emitting into out. The output queue
+// is closed when the source returns, propagating end-of-stream
+// downstream. reg may be nil.
+func RunSource[T any](g *Group, ctx context.Context, reg *StatsRegistry, name string, fn SourceFunc[T], out *Queue[T]) *OpStats {
+	stats := reg.register(name, 1)
+	g.Go(name, func() error {
+		defer out.Close()
+		start := time.Now()
+		defer func() { stats.busyNanos.Add(int64(time.Since(start))) }()
+		emit := func(v T) error {
+			if err := out.Put(ctx, v); err != nil {
+				return err
+			}
+			stats.emitted.Add(1)
+			return nil
+		}
+		return fn(ctx, emit)
+	})
+	return stats
+}
+
+// RunTransform starts clones replicas of fn on the group, all consuming
+// from in and emitting to out. The output queue closes only after every
+// clone finishes, which is the fan-in barrier that lets a downstream
+// consumer treat cloned operators as one logical operator (Fig. 3).
+// clones < 1 is treated as 1. reg may be nil.
+func RunTransform[I, O any](g *Group, ctx context.Context, reg *StatsRegistry, name string, clones int, fn TransformFunc[I, O], in *Queue[I], out *Queue[O]) *OpStats {
+	if clones < 1 {
+		clones = 1
+	}
+	stats := reg.register(name, clones)
+	var live sync.WaitGroup
+	live.Add(clones)
+	for c := 0; c < clones; c++ {
+		cloneName := name
+		if clones > 1 {
+			cloneName = fmt.Sprintf("%s#%d", name, c)
+		}
+		g.Go(cloneName, func() error {
+			defer live.Done()
+			emit := func(v O) error {
+				if err := out.Put(ctx, v); err != nil {
+					return err
+				}
+				stats.emitted.Add(1)
+				return nil
+			}
+			for {
+				item, ok, err := in.Get(ctx)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				stats.processed.Add(1)
+				start := time.Now()
+				err = fn(ctx, item, emit)
+				stats.busyNanos.Add(int64(time.Since(start)))
+				if err != nil {
+					return err
+				}
+			}
+		})
+	}
+	// Closer goroutine: close out once all clones drained the input.
+	g.Go(name+".close", func() error {
+		live.Wait()
+		out.Close()
+		return nil
+	})
+	return stats
+}
+
+// RunSink starts clones replicas of fn on the group, consuming from in.
+// clones < 1 is treated as 1. reg may be nil.
+func RunSink[I any](g *Group, ctx context.Context, reg *StatsRegistry, name string, clones int, fn SinkFunc[I], in *Queue[I]) *OpStats {
+	if clones < 1 {
+		clones = 1
+	}
+	stats := reg.register(name, clones)
+	for c := 0; c < clones; c++ {
+		cloneName := name
+		if clones > 1 {
+			cloneName = fmt.Sprintf("%s#%d", name, c)
+		}
+		g.Go(cloneName, func() error {
+			for {
+				item, ok, err := in.Get(ctx)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				stats.processed.Add(1)
+				start := time.Now()
+				err = fn(ctx, item)
+				stats.busyNanos.Add(int64(time.Since(start)))
+				if err != nil {
+					return err
+				}
+			}
+		})
+	}
+	return stats
+}
+
+// Collect is a convenience sink that appends every item into a slice
+// guarded by a mutex and returns an accessor. It is the result collector
+// at the root of test and example plans.
+func Collect[T any]() (SinkFunc[T], func() []T) {
+	var mu sync.Mutex
+	var items []T
+	sink := func(_ context.Context, v T) error {
+		mu.Lock()
+		items = append(items, v)
+		mu.Unlock()
+		return nil
+	}
+	snapshot := func() []T {
+		mu.Lock()
+		defer mu.Unlock()
+		out := make([]T, len(items))
+		copy(out, items)
+		return out
+	}
+	return sink, snapshot
+}

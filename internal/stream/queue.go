@@ -1,0 +1,142 @@
+// Package stream implements the data-stream operator model of §3 (Fig. 3):
+// operators consume items from an input queue, process them, and emit
+// items to an output queue consumed immediately by the next operator, so
+// the whole plan executes in a pipelined fashion. Producer and consumer
+// operators are connected by bounded "smart queues" that provide
+// backpressure (no buffer overflow) and block-on-empty (no underflow).
+// Operators can be cloned: several goroutine replicas share one input
+// queue and one output queue, which is the paper's mechanism for
+// parallelizing the expensive partial k-means operator.
+package stream
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrQueueClosed is returned by Put on a queue whose producers already
+// closed it.
+var ErrQueueClosed = errors.New("stream: queue closed")
+
+// DefaultQueueCapacity is used when a queue is created with a
+// non-positive capacity.
+const DefaultQueueCapacity = 64
+
+// Queue is a bounded, closable FIFO connecting a producer operator to a
+// consumer operator. All methods are safe for concurrent use by multiple
+// producers and consumers (cloned operators share queues).
+type Queue[T any] struct {
+	name     string
+	ch       chan T
+	done     chan struct{}
+	enqueued atomic.Int64
+	dequeued atomic.Int64
+	closed   atomic.Bool
+}
+
+// NewQueue returns a queue with the given diagnostic name and capacity.
+// Capacity <= 0 selects DefaultQueueCapacity.
+func NewQueue[T any](name string, capacity int) *Queue[T] {
+	if capacity <= 0 {
+		capacity = DefaultQueueCapacity
+	}
+	return &Queue[T]{
+		name: name,
+		ch:   make(chan T, capacity),
+		done: make(chan struct{}),
+	}
+}
+
+// Name returns the queue's diagnostic name.
+func (q *Queue[T]) Name() string { return q.name }
+
+// Cap returns the queue capacity.
+func (q *Queue[T]) Cap() int { return cap(q.ch) }
+
+// Len returns the number of buffered items at this instant.
+func (q *Queue[T]) Len() int { return len(q.ch) }
+
+// Enqueued returns the total number of items ever accepted.
+func (q *Queue[T]) Enqueued() int64 { return q.enqueued.Load() }
+
+// Dequeued returns the total number of items ever handed to consumers.
+func (q *Queue[T]) Dequeued() int64 { return q.dequeued.Load() }
+
+// Put blocks until the item is buffered, the context is cancelled, or the
+// queue is closed. Closing a queue while producers are still calling Put
+// is allowed: those Puts return ErrQueueClosed.
+func (q *Queue[T]) Put(ctx context.Context, v T) error {
+	if q.closed.Load() {
+		return ErrQueueClosed
+	}
+	select {
+	case q.ch <- v:
+		q.enqueued.Add(1)
+		return nil
+	case <-q.done:
+		return ErrQueueClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Get blocks until an item is available, the queue is closed and drained,
+// or the context is cancelled. ok is false exactly when the queue is
+// exhausted (closed and empty).
+func (q *Queue[T]) Get(ctx context.Context) (v T, ok bool, err error) {
+	var zero T
+	for {
+		select {
+		case item, open := <-q.ch:
+			if !open {
+				return zero, false, nil
+			}
+			q.dequeued.Add(1)
+			return item, true, nil
+		case <-q.done:
+			// Closed: drain remaining buffered items before reporting
+			// exhaustion.
+			select {
+			case item, open := <-q.ch:
+				if !open {
+					return zero, false, nil
+				}
+				q.dequeued.Add(1)
+				return item, true, nil
+			default:
+				return zero, false, nil
+			}
+		case <-ctx.Done():
+			return zero, false, ctx.Err()
+		}
+	}
+}
+
+// Close marks the queue as complete. It is idempotent. Consumers drain
+// buffered items and then observe exhaustion; blocked producers are
+// released with ErrQueueClosed.
+func (q *Queue[T]) Close() {
+	if q.closed.CompareAndSwap(false, true) {
+		close(q.done)
+	}
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool { return q.closed.Load() }
+
+// Drain consumes and discards remaining items until exhaustion or context
+// cancellation, returning the number discarded. Useful in teardown paths.
+func (q *Queue[T]) Drain(ctx context.Context) (int, error) {
+	n := 0
+	for {
+		_, ok, err := q.Get(ctx)
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			return n, nil
+		}
+		n++
+	}
+}

@@ -1,0 +1,246 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQueuePutGet(t *testing.T) {
+	q := NewQueue[int]("q", 4)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := q.Put(ctx, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for i := 0; i < 3; i++ {
+		v, ok, err := q.Get(ctx)
+		if err != nil || !ok || v != i {
+			t.Fatalf("Get = (%d, %v, %v), want (%d, true, nil)", v, ok, err, i)
+		}
+	}
+	if q.Enqueued() != 3 || q.Dequeued() != 3 {
+		t.Fatalf("counters: enq=%d deq=%d", q.Enqueued(), q.Dequeued())
+	}
+}
+
+func TestQueueDefaultsAndName(t *testing.T) {
+	q := NewQueue[int]("named", 0)
+	if q.Cap() != DefaultQueueCapacity {
+		t.Fatalf("Cap = %d", q.Cap())
+	}
+	if q.Name() != "named" {
+		t.Fatalf("Name = %q", q.Name())
+	}
+}
+
+func TestQueueCloseDrainsBufferedItems(t *testing.T) {
+	q := NewQueue[int]("q", 8)
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if err := q.Put(ctx, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+	if !q.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+	got := 0
+	for {
+		v, ok, err := q.Get(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if v != got {
+			t.Fatalf("FIFO violated: got %d want %d", v, got)
+		}
+		got++
+	}
+	if got != 5 {
+		t.Fatalf("drained %d items, want 5", got)
+	}
+}
+
+func TestQueuePutAfterClose(t *testing.T) {
+	q := NewQueue[int]("q", 1)
+	q.Close()
+	if err := q.Put(context.Background(), 1); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("Put after Close = %v, want ErrQueueClosed", err)
+	}
+	q.Close() // idempotent
+}
+
+func TestQueueBlockedPutReleasedByClose(t *testing.T) {
+	q := NewQueue[int]("q", 1)
+	ctx := context.Background()
+	if err := q.Put(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- q.Put(ctx, 2) }()
+	time.Sleep(20 * time.Millisecond)
+	q.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrQueueClosed) {
+			t.Fatalf("blocked Put = %v, want ErrQueueClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blocked Put not released by Close")
+	}
+}
+
+func TestQueueBlockedGetReleasedByClose(t *testing.T) {
+	q := NewQueue[int]("q", 1)
+	done := make(chan bool, 1)
+	go func() {
+		_, ok, err := q.Get(context.Background())
+		done <- ok || err != nil
+	}()
+	time.Sleep(20 * time.Millisecond)
+	q.Close()
+	select {
+	case bad := <-done:
+		if bad {
+			t.Fatal("Get on closed empty queue should report exhaustion")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blocked Get not released by Close")
+	}
+}
+
+func TestQueueContextCancellation(t *testing.T) {
+	q := NewQueue[int]("q", 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := q.Put(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	putDone := make(chan error, 1)
+	go func() { putDone <- q.Put(ctx, 2) }() // blocks: full
+	getDone := make(chan error, 1)
+	q2 := NewQueue[int]("q2", 1)
+	go func() {
+		_, _, err := q2.Get(ctx) // blocks: empty
+		getDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	for i, ch := range []chan error{putDone, getDone} {
+		select {
+		case err := <-ch:
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("op %d = %v, want context.Canceled", i, err)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("op %d not released by cancel", i)
+		}
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	q := NewQueue[int]("q", 2)
+	ctx := context.Background()
+	if err := q.Put(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Put(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	released := make(chan struct{})
+	go func() {
+		if err := q.Put(ctx, 3); err != nil {
+			t.Error(err)
+		}
+		close(released)
+	}()
+	select {
+	case <-released:
+		t.Fatal("Put on a full queue did not block")
+	case <-time.After(30 * time.Millisecond):
+	}
+	if _, _, err := q.Get(ctx); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-released:
+	case <-time.After(time.Second):
+		t.Fatal("Put not released after consumer made room")
+	}
+}
+
+func TestQueueConcurrentProducersConsumers(t *testing.T) {
+	q := NewQueue[int]("q", 8)
+	ctx := context.Background()
+	const producers, perProducer, consumers = 4, 500, 3
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := q.Put(ctx, p*perProducer+i); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	go func() {
+		wg.Wait()
+		q.Close()
+	}()
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	var cwg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				v, ok, err := q.Get(ctx)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !ok {
+					return
+				}
+				mu.Lock()
+				if seen[v] {
+					t.Errorf("duplicate delivery of %d", v)
+				}
+				seen[v] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	cwg.Wait()
+	if len(seen) != producers*perProducer {
+		t.Fatalf("delivered %d items, want %d", len(seen), producers*perProducer)
+	}
+}
+
+func TestQueueDrain(t *testing.T) {
+	q := NewQueue[int]("q", 8)
+	ctx := context.Background()
+	for i := 0; i < 6; i++ {
+		if err := q.Put(ctx, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+	n, err := q.Drain(ctx)
+	if err != nil || n != 6 {
+		t.Fatalf("Drain = (%d, %v), want (6, nil)", n, err)
+	}
+}

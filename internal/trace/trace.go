@@ -1,0 +1,134 @@
+// Package trace records operator spans during plan execution and renders
+// a text timeline — the observability a stream engine needs to explain
+// where a long-running query spent its time (and the evidence behind
+// re-optimization decisions: a congested operator shows up as a dense
+// span lane).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one operator's work on one item.
+type Span struct {
+	// Op is the operator name ("partial-kmeans").
+	Op string
+	// Item identifies the work unit ("cell N34W118 chunk 2").
+	Item string
+	// Start and End are offsets from the tracer's creation.
+	Start, End time.Duration
+}
+
+// Duration returns the span length.
+func (s Span) Duration() time.Duration { return s.End - s.Start }
+
+// Tracer collects spans concurrently with bounded memory: once the
+// capacity is reached, further spans are counted but dropped.
+type Tracer struct {
+	mu      sync.Mutex
+	epoch   time.Time
+	spans   []Span
+	cap     int
+	dropped int
+}
+
+// New returns a tracer holding at most capacity spans (<= 0 selects
+// 4096).
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Tracer{epoch: time.Now(), cap: capacity}
+}
+
+// Span starts a span and returns its closer; call the closer when the
+// work finishes.
+func (t *Tracer) Span(op, item string) func() {
+	start := time.Since(t.epoch)
+	return func() {
+		end := time.Since(t.epoch)
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		if len(t.spans) >= t.cap {
+			t.dropped++
+			return
+		}
+		t.spans = append(t.spans, Span{Op: op, Item: item, Start: start, End: end})
+	}
+}
+
+// Spans returns a copy of the recorded spans sorted by start time.
+func (t *Tracer) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Dropped returns how many spans were discarded after the capacity
+// filled.
+func (t *Tracer) Dropped() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Timeline renders the spans as a text gantt chart: one lane per
+// operator, '#' marking busy intervals, scaled to width columns.
+func (t *Tracer) Timeline(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	spans := t.Spans()
+	if len(spans) == 0 {
+		return "(no spans recorded)\n"
+	}
+	var horizon time.Duration
+	ops := map[string][]Span{}
+	var order []string
+	for _, s := range spans {
+		if s.End > horizon {
+			horizon = s.End
+		}
+		if _, seen := ops[s.Op]; !seen {
+			order = append(order, s.Op)
+		}
+		ops[s.Op] = append(ops[s.Op], s)
+	}
+	if horizon == 0 {
+		horizon = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline over %v (1 col = %v)\n", horizon.Round(time.Millisecond),
+		(horizon / time.Duration(width)).Round(time.Microsecond))
+	for _, op := range order {
+		lane := make([]byte, width)
+		for i := range lane {
+			lane[i] = '.'
+		}
+		var busy time.Duration
+		for _, s := range ops[op] {
+			busy += s.Duration()
+			lo := int(int64(s.Start) * int64(width) / int64(horizon))
+			hi := int(int64(s.End) * int64(width) / int64(horizon))
+			if hi >= width {
+				hi = width - 1
+			}
+			for i := lo; i <= hi; i++ {
+				lane[i] = '#'
+			}
+		}
+		fmt.Fprintf(&b, "%-16s |%s| %3d spans, busy %v\n", op, lane, len(ops[op]),
+			busy.Round(time.Millisecond))
+	}
+	if d := t.Dropped(); d > 0 {
+		fmt.Fprintf(&b, "(%d spans dropped beyond capacity)\n", d)
+	}
+	return b.String()
+}

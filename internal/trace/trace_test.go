@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanRecording(t *testing.T) {
+	tr := New(10)
+	end := tr.Span("op-a", "item-1")
+	time.Sleep(2 * time.Millisecond)
+	end()
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	s := spans[0]
+	if s.Op != "op-a" || s.Item != "item-1" {
+		t.Fatalf("span %+v", s)
+	}
+	if s.Duration() < time.Millisecond {
+		t.Fatalf("duration %v too small", s.Duration())
+	}
+	if s.End <= s.Start {
+		t.Fatalf("span times inverted: %+v", s)
+	}
+}
+
+func TestCapacityBound(t *testing.T) {
+	tr := New(3)
+	for i := 0; i < 10; i++ {
+		tr.Span("op", "x")()
+	}
+	if len(tr.Spans()) != 3 {
+		t.Fatalf("kept %d spans, cap 3", len(tr.Spans()))
+	}
+	if tr.Dropped() != 7 {
+		t.Fatalf("Dropped = %d", tr.Dropped())
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := New(1000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Span("worker", "item")()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Spans()) + tr.Dropped(); got != 800 {
+		t.Fatalf("spans+dropped = %d, want 800", got)
+	}
+}
+
+func TestSpansSortedByStart(t *testing.T) {
+	tr := New(100)
+	for i := 0; i < 20; i++ {
+		tr.Span("op", "x")()
+	}
+	spans := tr.Spans()
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start < spans[i-1].Start {
+			t.Fatal("spans not sorted by start")
+		}
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	tr := New(100)
+	endA := tr.Span("partial", "c0")
+	time.Sleep(time.Millisecond)
+	endA()
+	endB := tr.Span("merge", "cell")
+	time.Sleep(time.Millisecond)
+	endB()
+	out := tr.Timeline(40)
+	for _, want := range []string{"timeline over", "partial", "merge", "#"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	// tiny width is clamped, empty tracer renders a placeholder
+	if !strings.Contains(New(1).Timeline(1), "no spans") {
+		t.Fatal("empty tracer should render placeholder")
+	}
+}
+
+func TestTimelineReportsDropped(t *testing.T) {
+	tr := New(1)
+	tr.Span("op", "a")()
+	tr.Span("op", "b")()
+	if !strings.Contains(tr.Timeline(20), "dropped") {
+		t.Fatal("timeline should mention dropped spans")
+	}
+}

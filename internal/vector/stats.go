@@ -1,0 +1,161 @@
+package vector
+
+import (
+	"errors"
+	"math"
+)
+
+// RunningStats accumulates per-dimension mean and variance of a stream of
+// vectors in one pass using Welford's algorithm. It is the building block
+// stream operators use to summarize data they can see only once.
+type RunningStats struct {
+	n    int64
+	mean Vector
+	m2   Vector // sum of squared deviations from the running mean
+}
+
+// NewRunningStats returns stats for d-dimensional vectors.
+func NewRunningStats(d int) *RunningStats {
+	return &RunningStats{mean: New(d), m2: New(d)}
+}
+
+// Dim returns the dimensionality the stats were created with.
+func (s *RunningStats) Dim() int { return len(s.mean) }
+
+// N returns the number of vectors observed.
+func (s *RunningStats) N() int64 { return s.n }
+
+// Observe folds v into the running statistics.
+func (s *RunningStats) Observe(v Vector) error {
+	if len(v) != len(s.mean) {
+		return ErrDimensionMismatch
+	}
+	s.n++
+	for i, x := range v {
+		delta := x - s.mean[i]
+		s.mean[i] += delta / float64(s.n)
+		s.m2[i] += delta * (x - s.mean[i])
+	}
+	return nil
+}
+
+// Mean returns a copy of the current per-dimension mean. It is the zero
+// vector until the first observation.
+func (s *RunningStats) Mean() Vector { return s.mean.Clone() }
+
+// Variance returns a copy of the per-dimension sample variance
+// (denominator n-1). It returns zeros until two observations are made.
+func (s *RunningStats) Variance() Vector {
+	v := New(len(s.m2))
+	if s.n < 2 {
+		return v
+	}
+	for i, m2 := range s.m2 {
+		v[i] = m2 / float64(s.n-1)
+	}
+	return v
+}
+
+// StdDev returns the per-dimension sample standard deviation.
+func (s *RunningStats) StdDev() Vector {
+	v := s.Variance()
+	for i := range v {
+		v[i] = math.Sqrt(v[i])
+	}
+	return v
+}
+
+// Merge folds another RunningStats of the same dimension into s using the
+// parallel variant of Welford's update, so clones can each summarize a
+// partition and be combined.
+func (s *RunningStats) Merge(o *RunningStats) error {
+	if len(s.mean) != len(o.mean) {
+		return ErrDimensionMismatch
+	}
+	if o.n == 0 {
+		return nil
+	}
+	if s.n == 0 {
+		s.n = o.n
+		s.mean.CopyFrom(o.mean)
+		s.m2.CopyFrom(o.m2)
+		return nil
+	}
+	n := s.n + o.n
+	for i := range s.mean {
+		delta := o.mean[i] - s.mean[i]
+		s.m2[i] += o.m2[i] + delta*delta*float64(s.n)*float64(o.n)/float64(n)
+		s.mean[i] += delta * float64(o.n) / float64(n)
+	}
+	s.n = n
+	return nil
+}
+
+// BoundingBox tracks the per-dimension min and max of observed vectors.
+// The grid substrate uses it to size histogram buckets.
+type BoundingBox struct {
+	n   int64
+	min Vector
+	max Vector
+}
+
+// NewBoundingBox returns an empty bounding box for d dimensions.
+func NewBoundingBox(d int) *BoundingBox {
+	b := &BoundingBox{min: New(d), max: New(d)}
+	for i := 0; i < d; i++ {
+		b.min[i] = math.Inf(1)
+		b.max[i] = math.Inf(-1)
+	}
+	return b
+}
+
+// N returns the number of vectors observed.
+func (b *BoundingBox) N() int64 { return b.n }
+
+// Observe expands the box to include v.
+func (b *BoundingBox) Observe(v Vector) error {
+	if len(v) != len(b.min) {
+		return ErrDimensionMismatch
+	}
+	b.n++
+	for i, x := range v {
+		if x < b.min[i] {
+			b.min[i] = x
+		}
+		if x > b.max[i] {
+			b.max[i] = x
+		}
+	}
+	return nil
+}
+
+// Min returns a copy of the per-dimension minimum. An error is returned
+// when the box is empty.
+func (b *BoundingBox) Min() (Vector, error) {
+	if b.n == 0 {
+		return nil, errors.New("vector: empty bounding box")
+	}
+	return b.min.Clone(), nil
+}
+
+// Max returns a copy of the per-dimension maximum. An error is returned
+// when the box is empty.
+func (b *BoundingBox) Max() (Vector, error) {
+	if b.n == 0 {
+		return nil, errors.New("vector: empty bounding box")
+	}
+	return b.max.Clone(), nil
+}
+
+// Contains reports whether v lies inside the (closed) box.
+func (b *BoundingBox) Contains(v Vector) bool {
+	if b.n == 0 || len(v) != len(b.min) {
+		return false
+	}
+	for i, x := range v {
+		if x < b.min[i] || x > b.max[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,185 @@
+package vector
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningStatsBasic(t *testing.T) {
+	s := NewRunningStats(2)
+	if s.Dim() != 2 {
+		t.Fatalf("Dim = %d", s.Dim())
+	}
+	for _, v := range []Vector{Of(1, 10), Of(3, 20), Of(5, 30)} {
+		if err := s.Observe(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.N() != 3 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if m := s.Mean(); !m.ApproxEqual(Of(3, 20), 1e-12) {
+		t.Fatalf("Mean = %v", m)
+	}
+	// sample variance of {1,3,5} is 4; of {10,20,30} is 100
+	if v := s.Variance(); !v.ApproxEqual(Of(4, 100), 1e-9) {
+		t.Fatalf("Variance = %v", v)
+	}
+	if sd := s.StdDev(); !sd.ApproxEqual(Of(2, 10), 1e-9) {
+		t.Fatalf("StdDev = %v", sd)
+	}
+}
+
+func TestRunningStatsDimError(t *testing.T) {
+	s := NewRunningStats(2)
+	if err := s.Observe(Of(1)); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestRunningStatsFewObservations(t *testing.T) {
+	s := NewRunningStats(1)
+	if v := s.Variance(); v[0] != 0 {
+		t.Fatalf("variance of empty = %v", v)
+	}
+	if err := s.Observe(Of(5)); err != nil {
+		t.Fatal(err)
+	}
+	if v := s.Variance(); v[0] != 0 {
+		t.Fatalf("variance of single = %v", v)
+	}
+	if m := s.Mean(); m[0] != 5 {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+// Property: merging two partitions' stats equals observing all points in
+// one pass. This is exactly the guarantee cloned scan operators rely on.
+func TestRunningStatsMergeEquivalence(t *testing.T) {
+	f := func(a, b [7][3]float64) bool {
+		whole := NewRunningStats(3)
+		left := NewRunningStats(3)
+		right := NewRunningStats(3)
+		for _, p := range a {
+			v := Of(p[:]...)
+			if whole.Observe(v) != nil || left.Observe(v) != nil {
+				return false
+			}
+		}
+		for _, p := range b {
+			v := Of(p[:]...)
+			if whole.Observe(v) != nil || right.Observe(v) != nil {
+				return false
+			}
+		}
+		if err := left.Merge(right); err != nil {
+			return false
+		}
+		if left.N() != whole.N() {
+			return false
+		}
+		scale := 1e-7
+		return left.Mean().ApproxEqual(whole.Mean(), scale*(1+whole.Mean().Norm())) &&
+			left.Variance().ApproxEqual(whole.Variance(), scale*(1+whole.Variance().Norm()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunningStatsMergeEmptySides(t *testing.T) {
+	a := NewRunningStats(2)
+	b := NewRunningStats(2)
+	if err := b.Observe(Of(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != 1 || !a.Mean().Equal(Of(1, 2)) {
+		t.Fatalf("merge into empty: N=%d mean=%v", a.N(), a.Mean())
+	}
+	empty := NewRunningStats(2)
+	if err := a.Merge(empty); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != 1 {
+		t.Fatalf("merge of empty changed N to %d", a.N())
+	}
+	bad := NewRunningStats(3)
+	if err := a.Merge(bad); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	b := NewBoundingBox(2)
+	if _, err := b.Min(); err == nil {
+		t.Fatal("Min of empty box should error")
+	}
+	if _, err := b.Max(); err == nil {
+		t.Fatal("Max of empty box should error")
+	}
+	if b.Contains(Of(0, 0)) {
+		t.Fatal("empty box contains nothing")
+	}
+	for _, v := range []Vector{Of(1, 5), Of(-2, 3), Of(0, 9)} {
+		if err := b.Observe(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mn, err := b.Min()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx, err := b.Max()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mn.Equal(Of(-2, 3)) || !mx.Equal(Of(1, 9)) {
+		t.Fatalf("box = [%v, %v]", mn, mx)
+	}
+	if !b.Contains(Of(0, 5)) {
+		t.Fatal("box should contain interior point")
+	}
+	if b.Contains(Of(2, 5)) {
+		t.Fatal("box should not contain exterior point")
+	}
+	if b.Contains(Of(0, 5, 0)) {
+		t.Fatal("dimension mismatch is not contained")
+	}
+	if err := b.Observe(Of(1)); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	if b.N() != 3 {
+		t.Fatalf("N = %d", b.N())
+	}
+}
+
+// Property: every observed point is contained in the box.
+func TestBoundingBoxContainsObserved(t *testing.T) {
+	f := func(pts [9][2]float64) bool {
+		b := NewBoundingBox(2)
+		vs := make([]Vector, 0, len(pts))
+		for _, p := range pts {
+			if math.IsNaN(p[0]) || math.IsNaN(p[1]) {
+				continue
+			}
+			v := Of(p[:]...)
+			if b.Observe(v) != nil {
+				return false
+			}
+			vs = append(vs, v)
+		}
+		for _, v := range vs {
+			if !b.Contains(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,227 @@
+// Package vector provides dense float64 vector math used throughout the
+// library: Euclidean distances, means, weighted means, and running
+// statistics. All operations are allocation-conscious; hot-path functions
+// (SquaredDistance, AddScaled) never allocate.
+package vector
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDimensionMismatch is returned when two vectors of different lengths
+// are combined.
+var ErrDimensionMismatch = errors.New("vector: dimension mismatch")
+
+// Vector is a dense D-dimensional point with float64 components.
+type Vector []float64
+
+// New returns a zero vector of dimension d.
+func New(d int) Vector {
+	return make(Vector, d)
+}
+
+// Of returns a vector with the given components.
+func Of(xs ...float64) Vector {
+	v := make(Vector, len(xs))
+	copy(v, xs)
+	return v
+}
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	c := make(Vector, len(v))
+	copy(c, v)
+	return c
+}
+
+// Dim returns the dimensionality of v.
+func (v Vector) Dim() int { return len(v) }
+
+// Zero sets every component of v to zero.
+func (v Vector) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// CopyFrom copies src into v. Panics on dimension mismatch; the library
+// always pairs vectors of like dimension, so a mismatch is a programmer
+// error.
+func (v Vector) CopyFrom(src Vector) {
+	if len(v) != len(src) {
+		panic(ErrDimensionMismatch)
+	}
+	copy(v, src)
+}
+
+// Add adds u into v component-wise.
+func (v Vector) Add(u Vector) {
+	if len(v) != len(u) {
+		panic(ErrDimensionMismatch)
+	}
+	for i, x := range u {
+		v[i] += x
+	}
+}
+
+// Sub subtracts u from v component-wise.
+func (v Vector) Sub(u Vector) {
+	if len(v) != len(u) {
+		panic(ErrDimensionMismatch)
+	}
+	for i, x := range u {
+		v[i] -= x
+	}
+}
+
+// AddScaled adds s*u into v component-wise without allocating.
+func (v Vector) AddScaled(s float64, u Vector) {
+	if len(v) != len(u) {
+		panic(ErrDimensionMismatch)
+	}
+	for i, x := range u {
+		v[i] += s * x
+	}
+}
+
+// Scale multiplies every component of v by s.
+func (v Vector) Scale(s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// Dot returns the inner product of v and u.
+func (v Vector) Dot(u Vector) float64 {
+	if len(v) != len(u) {
+		panic(ErrDimensionMismatch)
+	}
+	var s float64
+	for i, x := range u {
+		s += v[i] * x
+	}
+	return s
+}
+
+// Norm returns the Euclidean (L2) norm of v.
+func (v Vector) Norm() float64 {
+	return math.Sqrt(v.Dot(v))
+}
+
+// Equal reports whether v and u have identical dimension and components.
+func (v Vector) Equal(u Vector) bool {
+	if len(v) != len(u) {
+		return false
+	}
+	for i, x := range u {
+		if v[i] != x {
+			return false
+		}
+	}
+	return true
+}
+
+// ApproxEqual reports whether v and u agree component-wise within tol.
+func (v Vector) ApproxEqual(u Vector, tol float64) bool {
+	if len(v) != len(u) {
+		return false
+	}
+	for i, x := range u {
+		if math.Abs(v[i]-x) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String formats v like "[1.5 2 3]".
+func (v Vector) String() string {
+	return fmt.Sprintf("%v", []float64(v))
+}
+
+// SquaredDistance returns the squared Euclidean distance between a and b.
+// This is the k-means hot path: squared distance preserves nearest-centroid
+// ordering and avoids the sqrt.
+func SquaredDistance(a, b Vector) float64 {
+	if len(a) != len(b) {
+		panic(ErrDimensionMismatch)
+	}
+	var s float64
+	for i, x := range a {
+		d := x - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Distance returns the Euclidean distance between a and b, the
+// dis(c_k, v_j) of the paper's step 2.
+func Distance(a, b Vector) float64 {
+	return math.Sqrt(SquaredDistance(a, b))
+}
+
+// Mean returns the component-wise mean of vs. It returns an error for an
+// empty input or mismatched dimensions.
+func Mean(vs []Vector) (Vector, error) {
+	if len(vs) == 0 {
+		return nil, errors.New("vector: mean of empty set")
+	}
+	m := New(len(vs[0]))
+	for _, v := range vs {
+		if len(v) != len(m) {
+			return nil, ErrDimensionMismatch
+		}
+		m.Add(v)
+	}
+	m.Scale(1 / float64(len(vs)))
+	return m, nil
+}
+
+// WeightedMean returns sum(w_i * v_i) / sum(w_i), the weighted centroid
+// recalculation of the paper's merge step 3. Weights must be non-negative
+// and not all zero.
+func WeightedMean(vs []Vector, ws []float64) (Vector, error) {
+	if len(vs) == 0 {
+		return nil, errors.New("vector: weighted mean of empty set")
+	}
+	if len(vs) != len(ws) {
+		return nil, fmt.Errorf("vector: %d vectors but %d weights", len(vs), len(ws))
+	}
+	m := New(len(vs[0]))
+	var total float64
+	for i, v := range vs {
+		if len(v) != len(m) {
+			return nil, ErrDimensionMismatch
+		}
+		w := ws[i]
+		if w < 0 {
+			return nil, fmt.Errorf("vector: negative weight %g at index %d", w, i)
+		}
+		m.AddScaled(w, v)
+		total += w
+	}
+	if total == 0 {
+		return nil, errors.New("vector: all weights zero")
+	}
+	m.Scale(1 / total)
+	return m, nil
+}
+
+// NearestIndex returns the index of the centroid in cs nearest to x (by
+// squared Euclidean distance) and that squared distance. It panics if cs
+// is empty: callers guarantee at least one centroid.
+func NearestIndex(x Vector, cs []Vector) (int, float64) {
+	if len(cs) == 0 {
+		panic("vector: NearestIndex with no centroids")
+	}
+	best := 0
+	bestD := SquaredDistance(x, cs[0])
+	for i := 1; i < len(cs); i++ {
+		if d := SquaredDistance(x, cs[i]); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}

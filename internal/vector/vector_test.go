@@ -1,0 +1,263 @@
+package vector
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOfAndClone(t *testing.T) {
+	v := Of(1, 2, 3)
+	if v.Dim() != 3 {
+		t.Fatalf("Dim = %d, want 3", v.Dim())
+	}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Fatalf("Clone aliases original: v[0] = %g", v[0])
+	}
+}
+
+func TestZero(t *testing.T) {
+	v := Of(1, 2, 3)
+	v.Zero()
+	for i, x := range v {
+		if x != 0 {
+			t.Fatalf("v[%d] = %g after Zero", i, x)
+		}
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	v := Of(1, 2)
+	v.Add(Of(3, 4))
+	if !v.Equal(Of(4, 6)) {
+		t.Fatalf("Add: got %v", v)
+	}
+	v.Sub(Of(1, 1))
+	if !v.Equal(Of(3, 5)) {
+		t.Fatalf("Sub: got %v", v)
+	}
+	v.Scale(2)
+	if !v.Equal(Of(6, 10)) {
+		t.Fatalf("Scale: got %v", v)
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	v := Of(1, 1)
+	v.AddScaled(0.5, Of(2, 4))
+	if !v.Equal(Of(2, 3)) {
+		t.Fatalf("AddScaled: got %v", v)
+	}
+}
+
+func TestDotNorm(t *testing.T) {
+	if d := Of(1, 2, 3).Dot(Of(4, 5, 6)); d != 32 {
+		t.Fatalf("Dot = %g, want 32", d)
+	}
+	if n := Of(3, 4).Norm(); n != 5 {
+		t.Fatalf("Norm = %g, want 5", n)
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"Add", func() { Of(1).Add(Of(1, 2)) }},
+		{"Sub", func() { Of(1).Sub(Of(1, 2)) }},
+		{"AddScaled", func() { Of(1).AddScaled(1, Of(1, 2)) }},
+		{"Dot", func() { Of(1).Dot(Of(1, 2)) }},
+		{"CopyFrom", func() { Of(1).CopyFrom(Of(1, 2)) }},
+		{"SquaredDistance", func() { SquaredDistance(Of(1), Of(1, 2)) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic on mismatch", tc.name)
+				}
+			}()
+			tc.f()
+		})
+	}
+}
+
+func TestSquaredDistance(t *testing.T) {
+	a, b := Of(0, 0), Of(3, 4)
+	if d := SquaredDistance(a, b); d != 25 {
+		t.Fatalf("SquaredDistance = %g, want 25", d)
+	}
+	if d := Distance(a, b); d != 5 {
+		t.Fatalf("Distance = %g, want 5", d)
+	}
+	if d := SquaredDistance(a, a); d != 0 {
+		t.Fatalf("self distance = %g, want 0", d)
+	}
+}
+
+func TestMean(t *testing.T) {
+	m, err := Mean([]Vector{Of(0, 0), Of(2, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(Of(1, 2)) {
+		t.Fatalf("Mean = %v, want [1 2]", m)
+	}
+	if _, err := Mean(nil); err == nil {
+		t.Fatal("Mean(nil) should error")
+	}
+	if _, err := Mean([]Vector{Of(1), Of(1, 2)}); err == nil {
+		t.Fatal("Mean with mixed dims should error")
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	m, err := WeightedMean([]Vector{Of(0), Of(10)}, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m[0]-7.5) > 1e-12 {
+		t.Fatalf("WeightedMean = %v, want 7.5", m)
+	}
+}
+
+func TestWeightedMeanErrors(t *testing.T) {
+	if _, err := WeightedMean(nil, nil); err == nil {
+		t.Fatal("empty input should error")
+	}
+	if _, err := WeightedMean([]Vector{Of(1)}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, err := WeightedMean([]Vector{Of(1)}, []float64{-1}); err == nil {
+		t.Fatal("negative weight should error")
+	}
+	if _, err := WeightedMean([]Vector{Of(1)}, []float64{0}); err == nil {
+		t.Fatal("all-zero weights should error")
+	}
+	if _, err := WeightedMean([]Vector{Of(1), Of(1, 2)}, []float64{1, 1}); err == nil {
+		t.Fatal("mixed dims should error")
+	}
+}
+
+func TestWeightedMeanEqualWeightsMatchesMean(t *testing.T) {
+	vs := []Vector{Of(1, 2), Of(3, 4), Of(5, 0)}
+	ws := []float64{2, 2, 2}
+	wm, err := WeightedMean(vs, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Mean(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wm.ApproxEqual(m, 1e-12) {
+		t.Fatalf("weighted mean %v != mean %v", wm, m)
+	}
+}
+
+func TestNearestIndex(t *testing.T) {
+	cs := []Vector{Of(0, 0), Of(10, 0), Of(0, 10)}
+	i, d := NearestIndex(Of(9, 1), cs)
+	if i != 1 {
+		t.Fatalf("NearestIndex = %d, want 1", i)
+	}
+	if d != 2 {
+		t.Fatalf("distance = %g, want 2", d)
+	}
+}
+
+func TestNearestIndexPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty centroid set")
+		}
+	}()
+	NearestIndex(Of(1), nil)
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !Of(1, 2).ApproxEqual(Of(1.0000001, 2), 1e-3) {
+		t.Fatal("should be approx equal")
+	}
+	if Of(1, 2).ApproxEqual(Of(1.1, 2), 1e-3) {
+		t.Fatal("should not be approx equal")
+	}
+	if Of(1).ApproxEqual(Of(1, 2), 1) {
+		t.Fatal("different dims are never equal")
+	}
+}
+
+// Property: distance is symmetric and non-negative, zero iff equal inputs.
+func TestSquaredDistanceProperties(t *testing.T) {
+	f := func(a, b [6]float64) bool {
+		va, vb := Of(a[:]...), Of(b[:]...)
+		d1 := SquaredDistance(va, vb)
+		d2 := SquaredDistance(vb, va)
+		return d1 == d2 && d1 >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the mean minimizes the sum of squared distances among the
+// candidates we test (it is the unique minimizer in R^d, so any perturbed
+// point must do at least as badly).
+func TestMeanMinimizesSSE(t *testing.T) {
+	f := func(pts [5][3]float64, shift [3]float64) bool {
+		vs := make([]Vector, len(pts))
+		for i := range pts {
+			vs[i] = Of(pts[i][:]...)
+		}
+		m, err := Mean(vs)
+		if err != nil {
+			return false
+		}
+		alt := m.Clone()
+		alt.Add(Of(shift[:]...))
+		var sseM, sseAlt float64
+		for _, v := range vs {
+			sseM += SquaredDistance(v, m)
+			sseAlt += SquaredDistance(v, alt)
+		}
+		return sseM <= sseAlt+1e-9*math.Max(1, math.Abs(sseAlt))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: triangle inequality for Euclidean distance.
+func TestTriangleInequality(t *testing.T) {
+	f := func(a, b, c [4]float64) bool {
+		va, vb, vc := Of(a[:]...), Of(b[:]...), Of(c[:]...)
+		return Distance(va, vc) <= Distance(va, vb)+Distance(vb, vc)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSquaredDistance6D(b *testing.B) {
+	x := Of(1, 2, 3, 4, 5, 6)
+	y := Of(6, 5, 4, 3, 2, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = SquaredDistance(x, y)
+	}
+}
+
+func BenchmarkNearestIndex40Centroids(b *testing.B) {
+	cs := make([]Vector, 40)
+	for i := range cs {
+		cs[i] = Of(float64(i), 0, 0, 0, 0, 0)
+	}
+	x := Of(17.3, 1, 1, 1, 1, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		NearestIndex(x, cs)
+	}
+}

@@ -1,0 +1,78 @@
+package streamkm
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestStreamClustererHeapStaysBounded is the memory-bottleneck claim
+// verified at the Go-heap level: streaming 400k 6-D points (≈19 MB of
+// raw attribute data, plus slice headers) through a 2 000-point budget
+// must not accumulate O(N) heap — retained state is the buffer plus
+// k weighted centroids per completed chunk.
+func TestStreamClustererHeapStaysBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	const (
+		n      = 400_000
+		dim    = 6
+		budget = 2_000
+		k      = 10
+	)
+	sc, err := NewStreamClusterer(dim, Options{
+		K: k, Restarts: 1, ChunkPoints: budget, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heapAfterGC := func() uint64 {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.HeapAlloc
+	}
+	base := heapAfterGC()
+
+	p := make([]float64, dim)
+	state := uint64(7)
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11)/(1<<53)*100 - 50
+	}
+	var peakGrowth uint64
+	for i := 0; i < n; i++ {
+		for d := range p {
+			p[d] = next()
+		}
+		if err := sc.Push(p); err != nil {
+			t.Fatal(err)
+		}
+		if i%100_000 == 99_999 {
+			if g := heapAfterGC() - base; g > peakGrowth {
+				peakGrowth = g
+			}
+		}
+	}
+	res, err := sc.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, w := range res.Weights {
+		total += w
+	}
+	if total != n {
+		t.Fatalf("weights sum %g, want %d", total, n)
+	}
+	// Raw data would be ~19 MB plus per-point slice overhead (~38 MB).
+	// Retained state is budget points + 200 chunks x k centroids; allow
+	// generous slack for allocator noise but stay far below O(N).
+	const limit = 8 << 20
+	if peakGrowth > limit {
+		t.Fatalf("heap grew by %d bytes mid-stream (limit %d): state is not O(chunk)",
+			peakGrowth, limit)
+	}
+	t.Logf("peak heap growth %d KiB over %d points (%d chunks)",
+		peakGrowth>>10, n, res.Partitions)
+}

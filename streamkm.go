@@ -1,0 +1,372 @@
+package streamkm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"streamkm/internal/core"
+	"streamkm/internal/dataset"
+	"streamkm/internal/kmeans"
+	"streamkm/internal/metrics"
+	"streamkm/internal/rng"
+)
+
+// Options configures a clustering run. The zero value is not runnable;
+// at minimum set K. Defaults: Restarts 10 (the paper's R), Splits chosen
+// from ChunkPoints or 5 when neither is set, random slicing, collective
+// merge.
+type Options struct {
+	// K is the number of clusters (the paper's experiments use 40).
+	K int
+	// Restarts is the number of random seed sets tried per partition
+	// (0 = 10, the paper's choice).
+	Restarts int
+	// Splits fixes the number of partitions p. Mutually exclusive with
+	// ChunkPoints; if both are zero, Splits defaults to 5.
+	Splits int
+	// ChunkPoints sizes partitions by a memory budget (maximum points
+	// per chunk) instead of a fixed count.
+	ChunkPoints int
+	// Parallelism is the number of partial-operator clones used by
+	// ClusterContext (0 = 1).
+	Parallelism int
+	// Strategy selects the slicing strategy: "random" (default),
+	// "salami", or "spatial".
+	Strategy string
+	// MergeMode selects "collective" (default) or "incremental".
+	MergeMode string
+	// Epsilon is the ΔMSE convergence threshold (0 = 1e-9).
+	Epsilon float64
+	// MaxIterations caps Lloyd iterations per run (0 = 500).
+	MaxIterations int
+	// Seed makes runs reproducible; equal seeds give equal results.
+	Seed uint64
+	// Accelerate selects Hamerly's bound-based Lloyd iteration: the
+	// same fixpoints with far fewer distance computations for large K.
+	Accelerate bool
+}
+
+// Result is the outcome of a clustering run.
+type Result struct {
+	// Centroids are the final k cluster centers.
+	Centroids [][]float64
+	// Weights is the number of points represented by each centroid.
+	Weights []float64
+	// MergeMSE is the paper's quality metric for partial/merge runs:
+	// the weighted MSE of the partial-stage centroids against the final
+	// centroids (E_pm normalized by total weight).
+	MergeMSE float64
+	// PointMSE is the mean squared distance of the original points to
+	// the final centroids. Only set when the raw points were available
+	// (HasPointMSE).
+	PointMSE    float64
+	HasPointMSE bool
+	// Partitions is the number of chunks used.
+	Partitions int
+	// PartialTime, MergeTime, Elapsed break down the run's wall time.
+	PartialTime time.Duration
+	MergeTime   time.Duration
+	Elapsed     time.Duration
+}
+
+// ParseStrategy maps a strategy name to the internal constant.
+func ParseStrategy(s string) (dataset.SplitStrategy, error) {
+	switch s {
+	case "", "random":
+		return dataset.SplitRandom, nil
+	case "salami":
+		return dataset.SplitSalami, nil
+	case "spatial":
+		return dataset.SplitSpatial, nil
+	default:
+		return 0, fmt.Errorf("streamkm: unknown strategy %q (want random, salami, or spatial)", s)
+	}
+}
+
+// ParseMergeMode maps a merge-mode name to the internal constant.
+func ParseMergeMode(s string) (core.MergeMode, error) {
+	switch s {
+	case "", "collective":
+		return core.MergeCollective, nil
+	case "incremental":
+		return core.MergeIncremental, nil
+	default:
+		return 0, fmt.Errorf("streamkm: unknown merge mode %q (want collective or incremental)", s)
+	}
+}
+
+func (o Options) toCore() (core.Options, error) {
+	if o.K <= 0 {
+		return core.Options{}, fmt.Errorf("streamkm: K must be positive, got %d", o.K)
+	}
+	if o.Splits > 0 && o.ChunkPoints > 0 {
+		return core.Options{}, errors.New("streamkm: set Splits or ChunkPoints, not both")
+	}
+	strat, err := ParseStrategy(o.Strategy)
+	if err != nil {
+		return core.Options{}, err
+	}
+	mode, err := ParseMergeMode(o.MergeMode)
+	if err != nil {
+		return core.Options{}, err
+	}
+	opts := core.Options{
+		K:             o.K,
+		Restarts:      o.Restarts,
+		Splits:        o.Splits,
+		ChunkPoints:   o.ChunkPoints,
+		Strategy:      strat,
+		MergeMode:     mode,
+		Epsilon:       o.Epsilon,
+		MaxIterations: o.MaxIterations,
+		Seed:          o.Seed,
+		Parallelism:   o.Parallelism,
+		Accelerate:    o.Accelerate,
+	}
+	if opts.Restarts == 0 {
+		opts.Restarts = 10
+	}
+	if opts.Splits == 0 && opts.ChunkPoints == 0 {
+		opts.Splits = 5
+	}
+	return opts, nil
+}
+
+func toSet(points [][]float64) (*dataset.Set, error) {
+	if len(points) == 0 {
+		return nil, errors.New("streamkm: no points")
+	}
+	dim := len(points[0])
+	set, err := dataset.NewSet(dim)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("streamkm: point %d has dim %d, want %d", i, len(p), dim)
+		}
+		if err := set.Add(p); err != nil {
+			return nil, err
+		}
+	}
+	return set, nil
+}
+
+func fromCore(res *core.Result) *Result {
+	out := &Result{
+		Weights:     res.Weights,
+		MergeMSE:    res.MergeMSE,
+		PointMSE:    res.PointMSE,
+		HasPointMSE: true,
+		Partitions:  res.Partitions,
+		PartialTime: res.PartialTime,
+		MergeTime:   res.MergeTime,
+		Elapsed:     res.Elapsed,
+	}
+	out.Centroids = make([][]float64, len(res.Centroids))
+	for i, c := range res.Centroids {
+		out.Centroids[i] = c
+	}
+	return out
+}
+
+// Cluster runs partial/merge k-means over the points with all partial
+// steps executed serially.
+func Cluster(points [][]float64, opts Options) (*Result, error) {
+	copts, err := opts.toCore()
+	if err != nil {
+		return nil, err
+	}
+	set, err := toSet(points)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Cluster(set, copts)
+	if err != nil {
+		return nil, err
+	}
+	return fromCore(res), nil
+}
+
+// ClusterContext runs partial/merge k-means with Parallelism cloned
+// partial operators on a stream plan, honoring ctx cancellation. The
+// result is identical to Cluster for the same Options.
+func ClusterContext(ctx context.Context, points [][]float64, opts Options) (*Result, error) {
+	copts, err := opts.toCore()
+	if err != nil {
+		return nil, err
+	}
+	set, err := toSet(points)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.ClusterParallel(ctx, set, copts)
+	if err != nil {
+		return nil, err
+	}
+	return fromCore(res), nil
+}
+
+// StreamClusterer clusters an unbounded stream under a fixed memory
+// budget: points are buffered up to ChunkPoints, each full buffer is
+// reduced to k weighted centroids by partial k-means and discarded (the
+// "one look" regime), and Finish merges all retained centroids into the
+// final representation. State is O(k * chunks), never O(N).
+type StreamClusterer struct {
+	opts     Options
+	copts    core.Options
+	dim      int
+	buffer   *dataset.Set
+	parts    []*dataset.WeightedSet
+	rng      *rng.RNG
+	pushed   int
+	partialT time.Duration
+	finished bool
+}
+
+// NewStreamClusterer returns a clusterer for dim-dimensional points.
+// ChunkPoints must be set (it is the memory budget) and at least K.
+func NewStreamClusterer(dim int, opts Options) (*StreamClusterer, error) {
+	if opts.Splits > 0 {
+		return nil, errors.New("streamkm: StreamClusterer uses ChunkPoints, not Splits")
+	}
+	if opts.ChunkPoints <= 0 {
+		return nil, errors.New("streamkm: StreamClusterer requires ChunkPoints > 0")
+	}
+	if opts.ChunkPoints < opts.K {
+		return nil, fmt.Errorf("streamkm: ChunkPoints %d below K %d", opts.ChunkPoints, opts.K)
+	}
+	copts, err := opts.toCore()
+	if err != nil {
+		return nil, err
+	}
+	buffer, err := dataset.NewSet(dim)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamClusterer{
+		opts:   opts,
+		copts:  copts,
+		dim:    dim,
+		buffer: buffer,
+		rng:    rng.New(opts.Seed),
+	}, nil
+}
+
+// Pushed returns the number of points consumed so far.
+func (s *StreamClusterer) Pushed() int { return s.pushed }
+
+// Partials returns the number of chunk reductions performed so far.
+func (s *StreamClusterer) Partials() int { return len(s.parts) }
+
+// Push consumes one point. When the buffer reaches ChunkPoints it is
+// reduced to weighted centroids and released.
+func (s *StreamClusterer) Push(point []float64) error {
+	if s.finished {
+		return errors.New("streamkm: Push after Finish")
+	}
+	if len(point) != s.dim {
+		return fmt.Errorf("streamkm: point dim %d, want %d", len(point), s.dim)
+	}
+	p := make([]float64, s.dim)
+	copy(p, point)
+	if err := s.buffer.Add(p); err != nil {
+		return err
+	}
+	s.pushed++
+	if s.buffer.Len() >= s.opts.ChunkPoints {
+		return s.flush()
+	}
+	return nil
+}
+
+func (s *StreamClusterer) flush() error {
+	pr, err := core.PartialKMeans(s.buffer, core.PartialConfig{
+		K:             s.copts.K,
+		Restarts:      s.copts.Restarts,
+		Epsilon:       s.copts.Epsilon,
+		MaxIterations: s.copts.MaxIterations,
+		Accelerate:    s.copts.Accelerate,
+	}, s.rng.Split())
+	if err != nil {
+		return err
+	}
+	s.parts = append(s.parts, pr.Centroids)
+	s.partialT += pr.Elapsed
+	fresh, err := dataset.NewSet(s.dim)
+	if err != nil {
+		return err
+	}
+	s.buffer = fresh
+	return nil
+}
+
+// Finish flushes any buffered tail and merges all weighted centroids
+// into the final clustering. The clusterer cannot be reused afterwards.
+// PointMSE is not available (the raw points were discarded), so
+// HasPointMSE is false.
+func (s *StreamClusterer) Finish() (*Result, error) {
+	if s.finished {
+		return nil, errors.New("streamkm: Finish called twice")
+	}
+	s.finished = true
+	start := time.Now()
+	if s.buffer.Len() > 0 {
+		if s.buffer.Len() >= s.copts.K {
+			if err := s.flush(); err != nil {
+				return nil, err
+			}
+		} else if len(s.parts) == 0 {
+			return nil, fmt.Errorf("streamkm: only %d points pushed, need at least K=%d", s.pushed, s.copts.K)
+		} else {
+			// Tail smaller than k: keep the raw points as unit-weight
+			// centroids so no data is dropped.
+			tail := dataset.Unweighted(s.buffer)
+			s.parts = append(s.parts, tail)
+		}
+	}
+	if len(s.parts) == 0 {
+		return nil, errors.New("streamkm: no data pushed")
+	}
+	mr, err := core.MergeKMeans(s.parts, core.MergeConfig{
+		K:             s.copts.K,
+		Epsilon:       s.copts.Epsilon,
+		MaxIterations: s.copts.MaxIterations,
+		Seeder:        kmeans.HeaviestSeeder{},
+		Mode:          s.copts.MergeMode,
+		Accelerate:    s.copts.Accelerate,
+	}, s.rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Weights:     mr.Weights,
+		MergeMSE:    mr.MSE,
+		Partitions:  len(s.parts),
+		PartialTime: s.partialT,
+		MergeTime:   mr.Elapsed,
+		Elapsed:     s.partialT + time.Since(start),
+	}
+	out.Centroids = make([][]float64, len(mr.Centroids))
+	for i, c := range mr.Centroids {
+		out.Centroids[i] = c
+	}
+	return out, nil
+}
+
+// MSEOf computes the mean squared distance from points to their nearest
+// centroid — a convenience for callers that kept (a sample of) the raw
+// data and want the apples-to-apples quality number.
+func MSEOf(points [][]float64, centroids [][]float64) (float64, error) {
+	set, err := toSet(points)
+	if err != nil {
+		return 0, err
+	}
+	cs := make([]dataset.Point, len(centroids))
+	for i, c := range centroids {
+		cs[i] = c
+	}
+	return metrics.MSE(set, cs)
+}

@@ -1,0 +1,80 @@
+package streamkm
+
+import (
+	"streamkm/internal/core"
+)
+
+// WindowedClusterer clusters the W most recent memory-budget chunks of
+// an unbounded stream, answering "what does the stream look like now"
+// snapshots at any time — the continuous-query regime of the paper's
+// related work (§2.2), built from the same partial/merge operators.
+type WindowedClusterer struct {
+	inner *core.WindowedClusterer
+}
+
+// WindowedOptions configures a windowed clusterer.
+type WindowedOptions struct {
+	// K is the cluster count (per chunk and per snapshot).
+	K int
+	// ChunkPoints is the per-chunk memory budget; must be >= K.
+	ChunkPoints int
+	// WindowChunks is how many recent chunks a snapshot covers.
+	WindowChunks int
+	// Restarts is the seed sets per chunk reduction (0 = 1).
+	Restarts int
+	// Epsilon, MaxIterations, Accelerate tune the inner k-means.
+	Epsilon       float64
+	MaxIterations int
+	Accelerate    bool
+	// Seed makes the stream reproducible.
+	Seed uint64
+}
+
+// NewWindowedClusterer returns a windowed clusterer for dim-dimensional
+// points.
+func NewWindowedClusterer(dim int, opts WindowedOptions) (*WindowedClusterer, error) {
+	inner, err := core.NewWindowedClusterer(dim, core.WindowConfig{
+		K:             opts.K,
+		ChunkPoints:   opts.ChunkPoints,
+		WindowChunks:  opts.WindowChunks,
+		Restarts:      opts.Restarts,
+		Epsilon:       opts.Epsilon,
+		MaxIterations: opts.MaxIterations,
+		Accelerate:    opts.Accelerate,
+		Seed:          opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &WindowedClusterer{inner: inner}, nil
+}
+
+// Push consumes one point (the slice is copied).
+func (w *WindowedClusterer) Push(point []float64) error { return w.inner.Push(point) }
+
+// Consumed returns the total points pushed; Expired the chunks that fell
+// out of the window; LiveChunks the summaries currently covered.
+func (w *WindowedClusterer) Consumed() int   { return w.inner.Consumed() }
+func (w *WindowedClusterer) Expired() int    { return w.inner.Expired() }
+func (w *WindowedClusterer) LiveChunks() int { return w.inner.LiveChunks() }
+
+// Snapshot merges the live window into the current clustering without
+// disturbing the stream; it can be called repeatedly.
+func (w *WindowedClusterer) Snapshot() (*Result, error) {
+	mr, err := w.inner.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Weights:    mr.Weights,
+		MergeMSE:   mr.MSE,
+		Partitions: w.inner.LiveChunks(),
+		MergeTime:  mr.Elapsed,
+		Elapsed:    mr.Elapsed,
+	}
+	out.Centroids = make([][]float64, len(mr.Centroids))
+	for i, c := range mr.Centroids {
+		out.Centroids[i] = c
+	}
+	return out, nil
+}

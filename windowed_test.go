@@ -1,0 +1,52 @@
+package streamkm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWindowedClustererFacade(t *testing.T) {
+	w, err := NewWindowedClusterer(2, WindowedOptions{
+		K: 4, ChunkPoints: 60, WindowChunks: 3, Restarts: 3, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := blobPoints(600) // three blobs, round-robin
+	for _, p := range pts {
+		if err := w.Push(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Consumed() != 600 {
+		t.Fatalf("Consumed = %d", w.Consumed())
+	}
+	// 600/60 = 10 chunks, window 3 → 7 expired.
+	if w.Expired() != 7 || w.LiveChunks() != 3 {
+		t.Fatalf("Expired = %d, LiveChunks = %d", w.Expired(), w.LiveChunks())
+	}
+	snap, err := w.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Centroids) != 4 {
+		t.Fatalf("centroids = %d", len(snap.Centroids))
+	}
+	// window of 3 chunks x 60 points = 180 points represented
+	var total float64
+	for _, x := range snap.Weights {
+		total += x
+	}
+	if math.Abs(total-180) > 1e-6 {
+		t.Fatalf("snapshot weight %g, want 180", total)
+	}
+	if snap.Partitions != 3 {
+		t.Fatalf("Partitions = %d", snap.Partitions)
+	}
+}
+
+func TestWindowedClustererFacadeValidation(t *testing.T) {
+	if _, err := NewWindowedClusterer(2, WindowedOptions{K: 0, ChunkPoints: 10, WindowChunks: 1}); err == nil {
+		t.Fatal("bad config should error")
+	}
+}
