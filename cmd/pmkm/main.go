@@ -6,6 +6,12 @@
 // Example:
 //
 //	pmkm -data data/ -k 40 -restarts 10 -mem 64MB -workers 4
+//
+// Robustness flags: -max-retries N runs the plan under the supervised
+// executor, retrying failed chunks with exponential backoff and
+// restarting the plan from its execution journal after a crash;
+// -salvage reads damaged bucket files for their valid prefix (warning
+// on stderr) instead of aborting on the first corrupt byte.
 package main
 
 import (
@@ -13,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -20,22 +28,25 @@ import (
 	"streamkm/internal/dataset"
 	"streamkm/internal/engine"
 	"streamkm/internal/grid"
+	"streamkm/internal/stream"
 )
 
 func main() {
 	var (
-		data      = flag.String("data", "data", "directory of .skmb bucket files")
-		k         = flag.Int("k", 40, "clusters per cell")
-		restarts  = flag.Int("restarts", 10, "seed sets per partition")
-		mem       = flag.String("mem", "8MB", "memory budget for one partial operator (e.g. 512KB, 8MB)")
-		workers   = flag.Int("workers", 4, "worker budget for cloned operators")
-		strategy  = flag.String("strategy", "random", "slicing strategy: random, salami, spatial")
-		merge     = flag.String("merge", "collective", "merge mode: collective or incremental")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		explain   = flag.Bool("explain", false, "print the logical and physical plans and exit")
-		adaptive  = flag.Bool("adaptive", false, "start with 1 partial clone and let the re-optimizer scale up under backlog")
-		csvPath   = flag.String("csv", "", "cluster a single CSV file of numeric columns instead of a bucket directory")
-		showTrace = flag.Bool("trace", false, "print the operator-span timeline after execution")
+		data       = flag.String("data", "data", "directory of .skmb bucket files")
+		k          = flag.Int("k", 40, "clusters per cell")
+		restarts   = flag.Int("restarts", 10, "seed sets per partition")
+		mem        = flag.String("mem", "8MB", "memory budget for one partial operator (e.g. 512KB, 8MB)")
+		workers    = flag.Int("workers", 4, "worker budget for cloned operators")
+		strategy   = flag.String("strategy", "random", "slicing strategy: random, salami, spatial")
+		merge      = flag.String("merge", "collective", "merge mode: collective or incremental")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		explain    = flag.Bool("explain", false, "print the logical and physical plans and exit")
+		adaptive   = flag.Bool("adaptive", false, "start with 1 partial clone and let the re-optimizer scale up under backlog")
+		csvPath    = flag.String("csv", "", "cluster a single CSV file of numeric columns instead of a bucket directory")
+		showTrace  = flag.Bool("trace", false, "print the operator-span timeline after execution")
+		maxRetries = flag.Int("max-retries", 0, "run supervised: retry each failed chunk up to N times and restart the plan from its journal after a crash")
+		salvage    = flag.Bool("salvage", false, "recover the valid prefix of damaged bucket files instead of aborting")
 	)
 	flag.Parse()
 	if *csvPath != "" {
@@ -45,7 +56,13 @@ func main() {
 		}
 		return
 	}
-	if err := run(*data, *k, *restarts, *mem, *workers, *strategy, *merge, *seed, *explain, *adaptive, *showTrace); err != nil {
+	cfg := runConfig{
+		data: *data, mem: *mem, strategy: *strategy, merge: *merge,
+		k: *k, restarts: *restarts, workers: *workers, seed: *seed,
+		explain: *explain, adaptive: *adaptive, trace: *showTrace,
+		maxRetries: *maxRetries, salvage: *salvage,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "pmkm:", err)
 		os.Exit(1)
 	}
@@ -117,49 +134,128 @@ func parseBytes(s string) (int64, error) {
 	return n * mult, nil
 }
 
-func run(data string, k, restarts int, mem string, workers int, strategy, merge string, seed uint64, explain, adaptive, showTrace bool) error {
-	budget, err := parseBytes(mem)
+// runConfig carries the bucket-directory invocation's flags.
+type runConfig struct {
+	data, mem, strategy, merge string
+	k, restarts, workers       int
+	seed                       uint64
+	explain, adaptive, trace   bool
+	maxRetries                 int
+	salvage                    bool
+}
+
+// salvageIndex indexes a bucket directory file by file, warning about
+// and skipping files whose headers are unreadable instead of failing
+// the whole directory the way IndexDir does.
+func salvageIndex(dir string) ([]grid.IndexEntry, error) {
+	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	strat, err := streamkm.ParseStrategy(strategy)
-	if err != nil {
-		return err
+	var out []grid.IndexEntry
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".skmb") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		single, err := grid.IndexFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pmkm: %s: unreadable header, skipping cell: %v\n", path, err)
+			continue
+		}
+		out = append(out, single)
 	}
-	mode, err := streamkm.ParseMergeMode(merge)
-	if err != nil {
-		return err
-	}
-	index, err := grid.IndexDir(data)
-	if err != nil {
-		return err
-	}
-	if len(index) == 0 {
-		return fmt.Errorf("no bucket files in %s (run datagen first)", data)
-	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.Lat != out[j].Key.Lat {
+			return out[i].Key.Lat < out[j].Key.Lat
+		}
+		return out[i].Key.Lon < out[j].Key.Lon
+	})
+	return out, nil
+}
+
+// loadCells reads every indexed bucket. With salvage enabled, damaged
+// files contribute their valid prefix (warning on stderr) and files with
+// nothing recoverable are skipped instead of failing the run.
+func loadCells(index []grid.IndexEntry, salvage bool) ([]engine.Cell, error) {
 	var cells []engine.Cell
 	for _, entry := range index {
-		key, set, err := grid.ReadBucketFile(entry.Path)
-		if err != nil {
-			return err
+		var (
+			key grid.CellKey
+			set *dataset.Set
+			err error
+		)
+		if salvage {
+			key, set, err = grid.SalvageBucketFile(entry.Path)
+			if err != nil {
+				if set == nil || set.Len() == 0 {
+					fmt.Fprintf(os.Stderr, "pmkm: %s: nothing salvageable, skipping cell: %v\n", entry.Path, err)
+					continue
+				}
+				fmt.Fprintf(os.Stderr, "pmkm: %s: salvaged %d of %d points: %v\n",
+					entry.Path, set.Len(), entry.Count, err)
+			}
+		} else {
+			key, set, err = grid.ReadBucketFile(entry.Path)
+			if err != nil {
+				return nil, err
+			}
 		}
 		cells = append(cells, engine.Cell{Key: key, Points: set})
 	}
+	return cells, nil
+}
+
+func run(cfg runConfig) error {
+	budget, err := parseBytes(cfg.mem)
+	if err != nil {
+		return err
+	}
+	strat, err := streamkm.ParseStrategy(cfg.strategy)
+	if err != nil {
+		return err
+	}
+	mode, err := streamkm.ParseMergeMode(cfg.merge)
+	if err != nil {
+		return err
+	}
+	index, err := grid.IndexDir(cfg.data)
+	if err != nil {
+		// Indexing reads every header up front, so one unreadable file
+		// would otherwise veto a salvage run before loadCells gets a
+		// chance to skip it. Fall back to indexing file by file.
+		if !cfg.salvage {
+			return err
+		}
+		index, err = salvageIndex(cfg.data)
+		if err != nil {
+			return err
+		}
+	}
+	if len(index) == 0 {
+		return fmt.Errorf("no bucket files in %s (run datagen first)", cfg.data)
+	}
+	cells, err := loadCells(index, cfg.salvage)
+	if err != nil {
+		return err
+	}
+	if len(cells) == 0 {
+		return fmt.Errorf("no usable bucket files in %s", cfg.data)
+	}
 	q := engine.Query{
-		K:         k,
-		Restarts:  restarts,
+		K:         cfg.k,
+		Restarts:  cfg.restarts,
 		Strategy:  strat,
 		MergeMode: mode,
-		Seed:      seed,
+		Seed:      cfg.seed,
 	}
-	if explain {
-		sizes := make([]int, len(cells))
-		for i, c := range cells {
-			sizes[i] = c.Points.Len()
-		}
-		plan, err := engine.Optimize(q, sizes, cells[0].Points.Dim(), engine.Resources{
-			MemoryBytes: budget, Workers: workers,
-		})
+	res := engine.Resources{MemoryBytes: budget, Workers: cfg.workers}
+	sizes := make([]int, len(cells))
+	for i, c := range cells {
+		sizes[i] = c.Points.Len()
+	}
+	if cfg.explain {
+		plan, err := engine.Optimize(q, sizes, cells[0].Points.Dim(), res)
 		if err != nil {
 			return err
 		}
@@ -177,24 +273,27 @@ func run(data string, k, restarts int, mem string, workers int, strategy, merge 
 		stats   *engine.ExecStats
 		events  []engine.ReoptEvent
 	)
-	if adaptive {
-		sizes := make([]int, len(cells))
-		for i, c := range cells {
-			sizes[i] = c.Points.Len()
-		}
-		plan, err = engine.Optimize(q, sizes, cells[0].Points.Dim(), engine.Resources{
-			MemoryBytes: budget, Workers: workers,
-		})
+	switch {
+	case cfg.adaptive:
+		plan, err = engine.Optimize(q, sizes, cells[0].Points.Dim(), res)
 		if err != nil {
 			return err
 		}
 		plan.PartialClones = 1 // start minimal; the re-optimizer scales up
 		results, stats, events, err = engine.ExecuteAdaptive(context.Background(), cells, q, plan,
-			engine.ReoptPolicy{MaxClones: workers})
-	} else {
-		results, plan, stats, err = engine.Run(context.Background(), cells, q, engine.Resources{
-			MemoryBytes: budget, Workers: workers,
-		})
+			engine.ReoptPolicy{MaxClones: cfg.workers})
+	case cfg.maxRetries > 0:
+		plan, err = engine.Optimize(q, sizes, cells[0].Points.Dim(), res)
+		if err != nil {
+			return err
+		}
+		results, stats, err = engine.ExecuteSupervised(context.Background(), cells, q, plan,
+			engine.Supervision{
+				Retry:       stream.RetryPolicy{MaxRetries: cfg.maxRetries},
+				MaxRestarts: 1,
+			})
+	default:
+		results, plan, stats, err = engine.Run(context.Background(), cells, q, res)
 	}
 	if err != nil {
 		return err
@@ -211,10 +310,13 @@ func run(data string, k, restarts int, mem string, workers int, strategy, merge 
 			r.PartialTime.Milliseconds())
 	}
 	fmt.Printf("\nprocessed %d cells / %d chunks in %v\n", stats.Cells, stats.Chunks, stats.Elapsed)
+	if stats.Restarts > 0 {
+		fmt.Printf("recovered from %d plan crash(es) via the execution journal\n", stats.Restarts)
+	}
 	for _, op := range stats.Registry.All() {
 		fmt.Println(" ", op)
 	}
-	if showTrace {
+	if cfg.trace {
 		fmt.Println()
 		fmt.Print(stats.Trace.Timeline(72))
 	}

@@ -28,33 +28,95 @@ func writeTestData(t *testing.T) string {
 	return dir
 }
 
+// baseConfig returns a working invocation against dir.
+func baseConfig(dir string) runConfig {
+	return runConfig{
+		data: dir, mem: "8KB", strategy: "random", merge: "collective",
+		k: 5, restarts: 2, workers: 2, seed: 1,
+	}
+}
+
 func TestRunHappyPath(t *testing.T) {
 	dir := writeTestData(t)
-	if err := run(dir, 5, 2, "8KB", 2, "random", "collective", 1, false, false, true); err != nil {
+	cfg := baseConfig(dir)
+	cfg.trace = true
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
 	// explain-only path
-	if err := run(dir, 5, 2, "8KB", 2, "random", "collective", 1, true, false, false); err != nil {
+	cfg = baseConfig(dir)
+	cfg.explain = true
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
 	// adaptive path
-	if err := run(dir, 5, 2, "8KB", 2, "random", "collective", 1, false, true, false); err != nil {
+	cfg = baseConfig(dir)
+	cfg.adaptive = true
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
+	}
+	// supervised path
+	cfg = baseConfig(dir)
+	cfg.maxRetries = 3
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSalvagesDamagedBucket(t *testing.T) {
+	dir := writeTestData(t)
+	// Truncate one bucket mid-record.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := filepath.Join(dir, entries[0].Name())
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(victim, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Default read aborts on the damage; -salvage completes.
+	if err := run(baseConfig(dir)); err == nil {
+		t.Fatal("damaged bucket should fail a strict run")
+	}
+	cfg := baseConfig(dir)
+	cfg.salvage = true
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Clobber another bucket's header entirely: indexing can't read it,
+	// so a salvage run must skip the cell rather than abort the
+	// directory.
+	victim2 := filepath.Join(dir, entries[1].Name())
+	if err := os.WriteFile(victim2, []byte("GARBAGE!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(cfg); err != nil {
+		t.Fatalf("salvage run should skip the unindexable cell: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	dir := writeTestData(t)
-	if err := run(dir, 5, 2, "bogus", 2, "random", "collective", 1, false, false, false); err == nil {
+	cfg := baseConfig(dir)
+	cfg.mem = "bogus"
+	if err := run(cfg); err == nil {
 		t.Fatal("bad mem should error")
 	}
-	if err := run(dir, 5, 2, "8KB", 2, "zigzag", "collective", 1, false, false, false); err == nil {
+	cfg = baseConfig(dir)
+	cfg.strategy = "zigzag"
+	if err := run(cfg); err == nil {
 		t.Fatal("bad strategy should error")
 	}
-	if err := run(dir, 5, 2, "8KB", 2, "random", "eager", 1, false, false, false); err == nil {
+	cfg = baseConfig(dir)
+	cfg.merge = "eager"
+	if err := run(cfg); err == nil {
 		t.Fatal("bad merge mode should error")
 	}
-	if err := run(t.TempDir(), 5, 2, "8KB", 2, "random", "collective", 1, false, false, false); err == nil {
+	if err := run(baseConfig(t.TempDir())); err == nil {
 		t.Fatal("empty data dir should error")
 	}
 }

@@ -5,7 +5,11 @@
 //
 //	swathsort -swaths 'orbits/*.skms' -out data -budget 100000
 //
-// Raw swath files come from `datagen -mode rawswaths`.
+// Raw swath files come from `datagen -mode rawswaths`. By default the
+// sort is lenient: records it cannot use — non-finite or out-of-range
+// coordinates, or the unreadable tail of a truncated file — are skipped
+// and counted on stderr rather than aborting the whole run. Pass
+// -strict to fail on the first bad record instead.
 package main
 
 import (
@@ -22,15 +26,16 @@ func main() {
 		pattern = flag.String("swaths", "orbits/*.skms", "glob of swath files to sort")
 		out     = flag.String("out", "data", "output directory for .skmb buckets")
 		budget  = flag.Int("budget", 100000, "max points buffered in memory (0 = unbounded)")
+		strict  = flag.Bool("strict", false, "abort on the first unusable swath record instead of skipping it")
 	)
 	flag.Parse()
-	if err := run(*pattern, *out, *budget); err != nil {
+	if err := run(*pattern, *out, *budget, *strict); err != nil {
 		fmt.Fprintln(os.Stderr, "swathsort:", err)
 		os.Exit(1)
 	}
 }
 
-func run(pattern, out string, budget int) error {
+func run(pattern, out string, budget int, strict bool) error {
 	paths, err := filepath.Glob(pattern)
 	if err != nil {
 		return err
@@ -38,9 +43,17 @@ func run(pattern, out string, budget int) error {
 	if len(paths) == 0 {
 		return fmt.Errorf("no files match %q", pattern)
 	}
-	stats, err := grid.SortSwathsToBuckets(paths, out, budget)
+	stats, err := grid.SortSwathsToBucketsOpt(paths, out, budget, grid.SortOptions{
+		Lenient: !strict,
+		OnSkip: func(path string, records int, err error) {
+			fmt.Fprintf(os.Stderr, "swathsort: %s: skipped %d record(s): %v\n", path, records, err)
+		},
+	})
 	if err != nil {
 		return err
+	}
+	if stats.RecordsSkipped > 0 {
+		fmt.Fprintf(os.Stderr, "swathsort: skipped %d unusable record(s) in total\n", stats.RecordsSkipped)
 	}
 	fmt.Printf("scanned %d points from %d swath files -> %d cell buckets (%d memory spills) in %s\n",
 		stats.PointsScanned, len(paths), stats.CellsWritten, stats.Spills, out)

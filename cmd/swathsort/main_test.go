@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math"
 	"path/filepath"
 	"testing"
 
@@ -27,7 +28,7 @@ func TestRunSortsSwaths(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := filepath.Join(dir, "buckets")
-	if err := run(filepath.Join(dir, "*.skms"), out, 50); err != nil {
+	if err := run(filepath.Join(dir, "*.skms"), out, 50, false); err != nil {
 		t.Fatal(err)
 	}
 	index, err := grid.IndexDir(out)
@@ -44,7 +45,43 @@ func TestRunSortsSwaths(t *testing.T) {
 }
 
 func TestRunNoMatches(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "*.skms"), t.TempDir(), 0); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "*.skms"), t.TempDir(), 0, false); err == nil {
 		t.Fatal("no matches should error")
+	}
+}
+
+func TestRunSkipsPoisonRecords(t *testing.T) {
+	dir := t.TempDir()
+	r := rng.New(4)
+	pts := make([]grid.GeoPoint, 50)
+	for i := range pts {
+		pts[i] = grid.GeoPoint{
+			Lat:   r.Float64()*160 - 80,
+			Lon:   r.Float64()*340 - 170,
+			Attrs: vector.Of(r.NormFloat64(), r.NormFloat64()),
+		}
+	}
+	pts[7].Lat = math.NaN() // poison record
+	if err := grid.WriteSwathFile(filepath.Join(dir, "a.skms"), 2, pts); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "buckets")
+	// Strict mode aborts; the default skips and counts.
+	if err := run(filepath.Join(dir, "*.skms"), filepath.Join(dir, "strict"), 0, true); err == nil {
+		t.Fatal("strict run should abort on the poison record")
+	}
+	if err := run(filepath.Join(dir, "*.skms"), out, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	index, err := grid.IndexDir(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, e := range index {
+		total += e.Count
+	}
+	if total != 49 {
+		t.Fatalf("buckets hold %d points, want 49", total)
 	}
 }

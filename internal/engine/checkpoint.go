@@ -1,0 +1,238 @@
+package engine
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"streamkm/internal/dataset"
+)
+
+// The execution journal is the engine's answer to Conquest's query
+// migration (§4): it records every completed partial-operator output
+// keyed by (cell, chunk), so a crashed physical plan can restart — in
+// this process or, via Encode/Decode, in another one — re-running only
+// the chunks whose results were lost in flight. Merges are *not*
+// journaled: they are deterministic given the journaled partials (each
+// cell's merge RNG is pre-derived from the query seed), so recovery
+// re-derives them, keeping the snapshot small and the format simple.
+//
+// Layout (little-endian):
+//
+//	magic   [4]byte "SKMJ"
+//	version uint16
+//	entries uint32
+//	entry   entries x { cell uint32, chunk uint32, total uint32,
+//	                    elapsedNs int64, weighted-set block }
+const (
+	journalMagic   = "SKMJ"
+	journalVersion = 1
+)
+
+// ErrBadJournal is wrapped by journal decoding errors.
+var ErrBadJournal = errors.New("engine: malformed execution journal")
+
+type journalKey struct{ cell, chunk int }
+
+type journalEntry struct {
+	total     int
+	elapsed   time.Duration
+	centroids *dataset.WeightedSet
+}
+
+// Journal accumulates completed partial outputs during a supervised
+// execution. It is safe for concurrent use.
+type Journal struct {
+	mu    sync.Mutex
+	parts map[journalKey]journalEntry
+}
+
+// NewJournal returns an empty journal.
+func NewJournal() *Journal {
+	return &Journal{parts: map[journalKey]journalEntry{}}
+}
+
+// record stores one completed partial output (idempotently).
+func (j *Journal) record(p partialOut) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	k := journalKey{p.cellIdx, p.chunkIdx}
+	if _, ok := j.parts[k]; ok {
+		return
+	}
+	j.parts[k] = journalEntry{
+		total:     p.total,
+		elapsed:   p.res.Elapsed,
+		centroids: p.res.Centroids,
+	}
+}
+
+// has reports whether the chunk's output is journaled.
+func (j *Journal) has(cell, chunk int) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, ok := j.parts[journalKey{cell, chunk}]
+	return ok
+}
+
+// Chunks returns the number of journaled partial outputs.
+func (j *Journal) Chunks() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.parts)
+}
+
+// CellProgress returns how many of the cell's chunks are journaled and
+// the cell's total chunk count (0, 0 when nothing is journaled for it).
+func (j *Journal) CellProgress(cell int) (done, total int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for k, e := range j.parts {
+		if k.cell == cell {
+			done++
+			total = e.total
+		}
+	}
+	return done, total
+}
+
+// cellParts returns the cell's partial results in chunk order, or
+// ok=false when the cell is not yet complete.
+func (j *Journal) cellParts(cell int) (parts []*dataset.WeightedSet, elapsed time.Duration, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	total := -1
+	found := 0
+	for k, e := range j.parts {
+		if k.cell == cell {
+			total = e.total
+			found++
+		}
+	}
+	if total < 0 || found < total {
+		return nil, 0, false
+	}
+	parts = make([]*dataset.WeightedSet, total)
+	for c := 0; c < total; c++ {
+		e, have := j.parts[journalKey{cell, c}]
+		if !have {
+			return nil, 0, false
+		}
+		parts[c] = e.centroids
+		elapsed += e.elapsed
+	}
+	return parts, elapsed, true
+}
+
+// Encode serializes the journal — the engine's migration checkpoint.
+// Entries are written in (cell, chunk) order so equal journals produce
+// identical bytes.
+func (j *Journal) Encode(w io.Writer) error {
+	j.mu.Lock()
+	keys := make([]journalKey, 0, len(j.parts))
+	for k := range j.parts {
+		keys = append(keys, k)
+	}
+	entries := make(map[journalKey]journalEntry, len(j.parts))
+	for k, e := range j.parts {
+		entries[k] = e
+	}
+	j.mu.Unlock()
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].cell != keys[b].cell {
+			return keys[a].cell < keys[b].cell
+		}
+		return keys[a].chunk < keys[b].chunk
+	})
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(journalMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(journalVersion)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(keys))); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		e := entries[k]
+		for _, v := range []any{
+			uint32(k.cell),
+			uint32(k.chunk),
+			uint32(e.total),
+			int64(e.elapsed),
+		} {
+			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		if err := dataset.EncodeWeightedSet(bw, e.centroids); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeJournal reconstructs a journal from its serialized form.
+func DecodeJournal(r io.Reader) (*Journal, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadJournal, err)
+	}
+	if string(magic) != journalMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadJournal, magic)
+	}
+	var version uint16
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadJournal, err)
+	}
+	if version != journalVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadJournal, version)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadJournal, err)
+	}
+	if count > 1<<24 {
+		return nil, fmt.Errorf("%w: implausible entry count %d", ErrBadJournal, count)
+	}
+	j := NewJournal()
+	for i := uint32(0); i < count; i++ {
+		var cell, chunk, total uint32
+		var elapsedNs int64
+		for _, v := range []any{&cell, &chunk, &total} {
+			if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+				return nil, fmt.Errorf("%w: entry %d: %v", ErrBadJournal, i, err)
+			}
+		}
+		if err := binary.Read(br, binary.LittleEndian, &elapsedNs); err != nil {
+			return nil, fmt.Errorf("%w: entry %d: %v", ErrBadJournal, i, err)
+		}
+		if cell > math.MaxInt32 || chunk > math.MaxInt32 || total > math.MaxInt32 || chunk >= total {
+			return nil, fmt.Errorf("%w: entry %d has implausible indices (cell %d chunk %d total %d)",
+				ErrBadJournal, i, cell, chunk, total)
+		}
+		set, err := dataset.DecodeWeightedSet(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: entry %d: %v", ErrBadJournal, i, err)
+		}
+		k := journalKey{int(cell), int(chunk)}
+		if _, dup := j.parts[k]; dup {
+			return nil, fmt.Errorf("%w: duplicate entry for cell %d chunk %d", ErrBadJournal, cell, chunk)
+		}
+		j.parts[k] = journalEntry{
+			total:     int(total),
+			elapsed:   time.Duration(elapsedNs),
+			centroids: set,
+		}
+	}
+	return j, nil
+}

@@ -49,6 +49,9 @@ type ExecStats struct {
 	// Cells and Chunks count the processed units.
 	Cells  int
 	Chunks int
+	// Restarts counts plan-level recoveries performed by
+	// ExecuteSupervised (0 for the plain executor).
+	Restarts int
 }
 
 // chunkTask is one partition of one cell queued for the partial operator.
@@ -134,7 +137,11 @@ func mergeCollector(cells []Cell, q Query, mergeRNGs []*rng.RNG, tr *trace.Trace
 			partialTime += pr.Elapsed
 		}
 		endSpan := tr.Span("merge-kmeans", fmt.Sprintf("%v", cells[p.cellIdx].Key))
-		mr, err := core.MergeKMeans(parts, q.mergeConfig(), mergeRNGs[p.cellIdx])
+		// Merge with a copy of the cell's pre-derived RNG: the prepared
+		// state stays pristine, so a supervised re-merge after a crash
+		// replays the identical random sequence.
+		mergeRNG := *mergeRNGs[p.cellIdx]
+		mr, err := core.MergeKMeans(parts, q.mergeConfig(), &mergeRNG)
 		endSpan()
 		if err != nil {
 			return fmt.Errorf("cell %v merge: %w", cells[p.cellIdx].Key, err)
@@ -193,7 +200,10 @@ func validateExecArgs(cells []Cell, q Query, plan PhysicalPlan) error {
 func partialTransform(cells []Cell, q Query, tr *trace.Tracer) stream.TransformFunc[chunkTask, partialOut] {
 	return func(_ context.Context, t chunkTask, emit stream.Emit[partialOut]) error {
 		end := tr.Span("partial-kmeans", fmt.Sprintf("%v/%d", cells[t.cellIdx].Key, t.chunkIdx))
-		pr, err := core.PartialKMeans(t.chunk, q.partialConfig(), t.rng)
+		// Work on a copy of the task's pre-derived RNG so a retried or
+		// restarted chunk replays the identical random sequence.
+		taskRNG := *t.rng
+		pr, err := core.PartialKMeans(t.chunk, q.partialConfig(), &taskRNG)
 		end()
 		if err != nil {
 			return fmt.Errorf("cell %v chunk %d: %w", cells[t.cellIdx].Key, t.chunkIdx, err)

@@ -110,7 +110,11 @@ func ExecuteAdaptive(ctx context.Context, cells []Cell, q Query, plan PhysicalPl
 			if remaining <= 0 {
 				return nil
 			}
-			depth := chunkQ.Len()
+			// High-water depth since the last sample, not instantaneous
+			// Len: the monitor tends to get scheduled exactly when the
+			// partial operator has just drained the queue, which would
+			// hide congestion entirely (most acutely on one CPU).
+			depth := chunkQ.HighWater()
 			if float64(depth) >= policy.BacklogFraction*float64(chunkQ.Cap()) {
 				congested++
 			} else {

@@ -1,0 +1,185 @@
+// Package fault provides deterministic, RNG-seeded fault injection for
+// exercising the stream engine's supervision and recovery paths. The
+// paper's Conquest engine claims long-running queries survive operator
+// failures (§4); reproducing that claim requires failures that are
+// themselves reproducible, so every injector decision is drawn from a
+// seeded generator rather than wall-clock entropy. An injector is placed
+// in front of an operator function and, per invocation, may return an
+// error, panic, or sleep — at configured rates or at an exact invocation
+// index.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamkm/internal/rng"
+)
+
+// ErrInjected is the base error of every injected (non-panic) fault, so
+// supervisors and tests can recognize synthetic failures with errors.Is.
+var ErrInjected = errors.New("fault: injected error")
+
+// InjectedPanic is the value an injector panics with, letting recovery
+// code (and tests) distinguish synthetic panics from real ones.
+type InjectedPanic struct {
+	// Op is the operator name passed to Invoke.
+	Op string
+	// N is the 1-based invocation index that panicked.
+	N int64
+}
+
+func (p InjectedPanic) String() string {
+	return fmt.Sprintf("fault: injected panic in %q (invocation %d)", p.Op, p.N)
+}
+
+// Config tunes an Injector. Rates are probabilities in [0, 1] evaluated
+// independently per invocation (panic first, then error, then slowdown).
+type Config struct {
+	// Seed derives the decision stream; equal seeds and call sequences
+	// give equal faults.
+	Seed uint64
+	// PanicRate is the probability an invocation panics with
+	// InjectedPanic.
+	PanicRate float64
+	// ErrorRate is the probability an invocation returns an error
+	// wrapping ErrInjected.
+	ErrorRate float64
+	// SlowRate is the probability an invocation sleeps SlowDur before
+	// returning nil.
+	SlowRate float64
+	// SlowDur is the injected slowdown duration (0 = 1ms).
+	SlowDur time.Duration
+	// PanicNth, if positive, forces exactly the Nth invocation (1-based)
+	// to panic, independent of the rates.
+	PanicNth int64
+	// ErrorNth, if positive, forces exactly the Nth invocation (1-based)
+	// to return an error, independent of the rates.
+	ErrorNth int64
+	// MaxFaults caps the total number of injected panics+errors
+	// (0 = unlimited); after the cap, Invoke is a no-op. It bounds how
+	// long a retry loop has to out-wait the injector.
+	MaxFaults int64
+}
+
+// Injector injects faults into operator invocations. The zero of the
+// pointer type is valid: a nil *Injector never faults, so production
+// paths pass nil with no branching at call sites. All methods are safe
+// for concurrent use by cloned operators.
+type Injector struct {
+	cfg Config
+
+	mu sync.Mutex
+	r  *rng.RNG
+
+	invocations atomic.Int64
+	panics      atomic.Int64
+	errors      atomic.Int64
+	slowdowns   atomic.Int64
+}
+
+// New returns an injector for the config.
+func New(cfg Config) *Injector {
+	if cfg.SlowDur <= 0 {
+		cfg.SlowDur = time.Millisecond
+	}
+	return &Injector{cfg: cfg, r: rng.New(cfg.Seed)}
+}
+
+// ErrorNth returns an injector whose nth invocation (1-based) fails with
+// ErrInjected and which otherwise never faults — a precise one-shot kill
+// for recovery tests.
+func ErrorNth(n int64) *Injector { return New(Config{ErrorNth: n}) }
+
+// PanicNth returns an injector whose nth invocation (1-based) panics and
+// which otherwise never faults.
+func PanicNth(n int64) *Injector { return New(Config{PanicNth: n}) }
+
+// Invocations returns the number of Invoke calls observed.
+func (i *Injector) Invocations() int64 {
+	if i == nil {
+		return 0
+	}
+	return i.invocations.Load()
+}
+
+// Panics returns the number of injected panics.
+func (i *Injector) Panics() int64 {
+	if i == nil {
+		return 0
+	}
+	return i.panics.Load()
+}
+
+// Errors returns the number of injected errors.
+func (i *Injector) Errors() int64 {
+	if i == nil {
+		return 0
+	}
+	return i.errors.Load()
+}
+
+// Slowdowns returns the number of injected slowdowns.
+func (i *Injector) Slowdowns() int64 {
+	if i == nil {
+		return 0
+	}
+	return i.slowdowns.Load()
+}
+
+// Faults returns the total injected panics plus errors.
+func (i *Injector) Faults() int64 { return i.Panics() + i.Errors() }
+
+// Invoke decides one invocation's fate for the named operator: it may
+// panic with InjectedPanic, return an error wrapping ErrInjected, sleep,
+// or (usually) do nothing and return nil. Safe on a nil receiver.
+func (i *Injector) Invoke(op string) error {
+	if i == nil {
+		return nil
+	}
+	n := i.invocations.Add(1)
+
+	if i.cfg.PanicNth > 0 && n == i.cfg.PanicNth {
+		i.panics.Add(1)
+		panic(InjectedPanic{Op: op, N: n})
+	}
+	if i.cfg.ErrorNth > 0 && n == i.cfg.ErrorNth {
+		i.errors.Add(1)
+		return fmt.Errorf("%w: %s (invocation %d)", ErrInjected, op, n)
+	}
+
+	if i.cfg.PanicRate <= 0 && i.cfg.ErrorRate <= 0 && i.cfg.SlowRate <= 0 {
+		return nil
+	}
+	if i.cfg.MaxFaults > 0 && i.panics.Load()+i.errors.Load() >= i.cfg.MaxFaults {
+		return nil
+	}
+	i.mu.Lock()
+	p, e, s := i.r.Float64(), i.r.Float64(), i.r.Float64()
+	i.mu.Unlock()
+	if p < i.cfg.PanicRate {
+		i.panics.Add(1)
+		panic(InjectedPanic{Op: op, N: n})
+	}
+	if e < i.cfg.ErrorRate {
+		i.errors.Add(1)
+		return fmt.Errorf("%w: %s (invocation %d)", ErrInjected, op, n)
+	}
+	if s < i.cfg.SlowRate {
+		i.slowdowns.Add(1)
+		time.Sleep(i.cfg.SlowDur)
+	}
+	return nil
+}
+
+// String summarizes the injector's activity.
+func (i *Injector) String() string {
+	if i == nil {
+		return "fault: disabled"
+	}
+	return fmt.Sprintf("fault: %d invocations, %d panics, %d errors, %d slowdowns",
+		i.Invocations(), i.Panics(), i.Errors(), i.Slowdowns())
+}

@@ -1,0 +1,131 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var i *Injector
+	for n := 0; n < 100; n++ {
+		if err := i.Invoke("op"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if i.Invocations() != 0 || i.Faults() != 0 {
+		t.Fatal("nil injector recorded activity")
+	}
+}
+
+func TestErrorRateIsDeterministic(t *testing.T) {
+	run := func() []int {
+		inj := New(Config{Seed: 42, ErrorRate: 0.1})
+		var failed []int
+		for n := 0; n < 1000; n++ {
+			if err := inj.Invoke("op"); err != nil {
+				if !errors.Is(err, ErrInjected) {
+					t.Fatalf("injected error is not ErrInjected: %v", err)
+				}
+				failed = append(failed, n)
+			}
+		}
+		return failed
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("10% rate over 1000 invocations injected nothing")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("runs differ: %d vs %d faults", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault %d at invocation %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestErrorNthAndPanicNth(t *testing.T) {
+	inj := ErrorNth(3)
+	for n := 1; n <= 5; n++ {
+		err := inj.Invoke("op")
+		if (n == 3) != (err != nil) {
+			t.Fatalf("invocation %d: err=%v", n, err)
+		}
+	}
+	if inj.Errors() != 1 {
+		t.Fatalf("Errors() = %d", inj.Errors())
+	}
+
+	pinj := PanicNth(2)
+	if err := pinj.Invoke("op"); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			r := recover()
+			ip, ok := r.(InjectedPanic)
+			if !ok {
+				t.Fatalf("recovered %v, want InjectedPanic", r)
+			}
+			if ip.Op != "op" || ip.N != 2 {
+				t.Fatalf("panic payload %+v", ip)
+			}
+		}()
+		pinj.Invoke("op")
+		t.Fatal("second invocation should panic")
+	}()
+	if pinj.Panics() != 1 {
+		t.Fatalf("Panics() = %d", pinj.Panics())
+	}
+}
+
+func TestMaxFaultsCapsInjection(t *testing.T) {
+	inj := New(Config{Seed: 7, ErrorRate: 1, MaxFaults: 5})
+	fails := 0
+	for n := 0; n < 100; n++ {
+		if inj.Invoke("op") != nil {
+			fails++
+		}
+	}
+	if fails != 5 {
+		t.Fatalf("injected %d errors, cap was 5", fails)
+	}
+}
+
+func TestSlowdownSleeps(t *testing.T) {
+	inj := New(Config{Seed: 1, SlowRate: 1, SlowDur: 5 * time.Millisecond})
+	start := time.Now()
+	if err := inj.Invoke("op"); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("slowdown did not sleep")
+	}
+	if inj.Slowdowns() != 1 {
+		t.Fatalf("Slowdowns() = %d", inj.Slowdowns())
+	}
+}
+
+func TestConcurrentInvokeIsSafe(t *testing.T) {
+	inj := New(Config{Seed: 3, ErrorRate: 0.05, SlowRate: 0.01, SlowDur: time.Microsecond})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 500; n++ {
+				inj.Invoke("op")
+			}
+		}()
+	}
+	wg.Wait()
+	if inj.Invocations() != 8*500 {
+		t.Fatalf("Invocations() = %d", inj.Invocations())
+	}
+	if inj.Errors() == 0 {
+		t.Fatal("no errors injected across 4000 invocations at 5%")
+	}
+}

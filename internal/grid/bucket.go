@@ -20,27 +20,53 @@ import (
 // Bucket file format (little-endian):
 //
 //	magic   [4]byte  "SKMB"
-//	version uint16   (currently 1)
+//	version uint16   (1 or 2)
 //	dim     uint16   attribute dimensionality
 //	lat     int16    cell south-west latitude
 //	lon     int16    cell south-west longitude
 //	count   uint64   number of points
-//	data    count*dim float64 attribute values
-//	crc     uint32   CRC-32 (IEEE) of the data section
+//	record  count x { dim float64 attribute values,
+//	                  crc uint32 (version 2 only) }
+//	crc     uint32   CRC-32 (IEEE) of the attribute values
+//
+// Version 2 adds a CRC-32 after every record so corruption is detected
+// at the damaged point rather than only at the file trailer, which is
+// what makes salvage possible: every record before the damage has
+// already proven itself. The trailing whole-file checksum covers the
+// attribute values only (not the per-record CRCs) in both versions.
 //
 // The format stores attributes only; the cell coordinates live in the
 // header, matching the paper's pre-bucketed binary files.
 const (
-	bucketMagic   = "SKMB"
-	bucketVersion = 1
-	headerSize    = 4 + 2 + 2 + 2 + 2 + 8
+	bucketMagic     = "SKMB"
+	bucketVersion   = 2
+	bucketVersionV1 = 1
+	headerSize      = 4 + 2 + 2 + 2 + 2 + 8
 )
 
 // ErrBadBucket is wrapped by all bucket-format corruption errors.
 var ErrBadBucket = errors.New("grid: malformed bucket file")
 
-// WriteBucket serializes a cell's points to w.
+// ErrTruncated marks a bucket whose body ends before the header's
+// promised point count (or before the trailing checksum). It wraps
+// ErrBadBucket, so existing errors.Is(err, ErrBadBucket) checks keep
+// firing; salvage-aware callers can test for ErrTruncated specifically
+// and keep the valid prefix (see SalvageBucket).
+var ErrTruncated = fmt.Errorf("%w (truncated)", ErrBadBucket)
+
+// WriteBucket serializes a cell's points to w in the current (v2)
+// format, with a CRC-32 after every record.
 func WriteBucket(w io.Writer, key CellKey, points *dataset.Set) error {
+	return writeBucket(w, key, points, bucketVersion)
+}
+
+// WriteBucketV1 serializes a cell in the legacy v1 format (no per-record
+// checksums) for interoperability with older tooling.
+func WriteBucketV1(w io.Writer, key CellKey, points *dataset.Set) error {
+	return writeBucket(w, key, points, bucketVersionV1)
+}
+
+func writeBucket(w io.Writer, key CellKey, points *dataset.Set, version int) error {
 	if !key.Valid() {
 		return fmt.Errorf("grid: invalid cell key %+v", key)
 	}
@@ -52,7 +78,7 @@ func WriteBucket(w io.Writer, key CellKey, points *dataset.Set) error {
 		return err
 	}
 	for _, v := range []any{
-		uint16(bucketVersion),
+		uint16(version),
 		uint16(points.Dim()),
 		int16(key.Lat),
 		int16(key.Lon),
@@ -63,12 +89,17 @@ func WriteBucket(w io.Writer, key CellKey, points *dataset.Set) error {
 		}
 	}
 	crc := crc32.NewIEEE()
-	data := io.MultiWriter(bw, crc)
-	buf := make([]byte, 8)
+	rec := make([]byte, 8*points.Dim())
 	for _, p := range points.Points() {
-		for _, x := range p {
-			binary.LittleEndian.PutUint64(buf, math.Float64bits(x))
-			if _, err := data.Write(buf); err != nil {
+		for d, x := range p {
+			binary.LittleEndian.PutUint64(rec[8*d:], math.Float64bits(x))
+		}
+		crc.Write(rec)
+		if _, err := bw.Write(rec); err != nil {
+			return err
+		}
+		if version >= 2 {
+			if err := binary.Write(bw, binary.LittleEndian, crc32.ChecksumIEEE(rec)); err != nil {
 				return err
 			}
 		}
@@ -126,7 +157,7 @@ func NewBucketReader(r io.Reader) (*BucketReader, error) {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrBadBucket, head[:4])
 	}
 	version := binary.LittleEndian.Uint16(head[4:6])
-	if version != bucketVersion {
+	if version != bucketVersionV1 && version != bucketVersion {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadBucket, version)
 	}
 	dim := int(binary.LittleEndian.Uint16(head[6:8]))
@@ -167,7 +198,7 @@ func (b *BucketReader) Next() (vector.Vector, bool, error) {
 			b.read++ // verify the trailer exactly once
 			var stored uint32
 			if err := binary.Read(b.r, binary.LittleEndian, &stored); err != nil {
-				return nil, false, fmt.Errorf("%w: missing checksum: %v", ErrBadBucket, err)
+				return nil, false, fmt.Errorf("%w: missing trailing checksum: %v", ErrTruncated, err)
 			}
 			if stored != b.crc {
 				return nil, false, fmt.Errorf("%w: checksum mismatch (stored %08x, computed %08x)",
@@ -177,7 +208,19 @@ func (b *BucketReader) Next() (vector.Vector, bool, error) {
 		return nil, false, nil
 	}
 	if _, err := io.ReadFull(b.r, b.buf); err != nil {
-		return nil, false, fmt.Errorf("%w: truncated data at point %d: %v", ErrBadBucket, b.read, err)
+		return nil, false, fmt.Errorf("%w: data ends at point %d of %d: %v",
+			ErrTruncated, b.read, b.header.Count, err)
+	}
+	if b.header.Version >= 2 {
+		var rec [4]byte
+		if _, err := io.ReadFull(b.r, rec[:]); err != nil {
+			return nil, false, fmt.Errorf("%w: record %d checksum missing: %v", ErrTruncated, b.read, err)
+		}
+		stored := binary.LittleEndian.Uint32(rec[:])
+		if got := crc32.ChecksumIEEE(b.buf); got != stored {
+			return nil, false, fmt.Errorf("%w: record %d checksum mismatch (stored %08x, computed %08x)",
+				ErrBadBucket, b.read, stored, got)
+		}
 	}
 	b.crc = crc32.Update(b.crc, crc32.IEEETable, b.buf)
 	p := vector.New(b.header.Dim)
@@ -224,12 +267,73 @@ func ReadBucketFile(path string) (CellKey, *dataset.Set, error) {
 	return ReadBucket(f)
 }
 
+// SalvageBucket reads as much of a damaged bucket as can be trusted: it
+// returns every record before the first truncation or corruption point,
+// along with the error that ended the scan (nil when the file is fully
+// intact, in which case this is just ReadBucket). Callers that opt into
+// degraded operation check errors.Is(err, ErrTruncated) — or
+// ErrBadBucket for any damage — and keep the partial set. In a v2 file
+// each salvaged record has passed its own checksum; in a legacy v1 file
+// the prefix is complete but unverified (the only checksum is the
+// trailer, which a truncated file never reaches).
+func SalvageBucket(r io.Reader) (CellKey, *dataset.Set, error) {
+	br, err := NewBucketReader(r)
+	if err != nil {
+		return CellKey{}, nil, err // header unusable: nothing to salvage
+	}
+	set, err := dataset.NewSet(br.Header().Dim)
+	if err != nil {
+		return CellKey{}, nil, err
+	}
+	key := br.Header().Key
+	for {
+		p, ok, err := br.Next()
+		if err != nil {
+			return key, set, err
+		}
+		if !ok {
+			return key, set, nil
+		}
+		if err := set.Add(p); err != nil {
+			return key, set, err
+		}
+	}
+}
+
+// SalvageBucketFile is SalvageBucket over a file on disk.
+func SalvageBucketFile(path string) (CellKey, *dataset.Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return CellKey{}, nil, err
+	}
+	defer f.Close()
+	return SalvageBucket(f)
+}
+
 // BucketFileName returns the conventional file name for a cell,
 // e.g. "N34E118.skmb".
 func BucketFileName(key CellKey) string { return key.String() + ".skmb" }
 
 // IndexDir scans dir (non-recursively) for bucket files and returns the
 // cell → path index sorted by cell key for deterministic iteration.
+// IndexFile reads one bucket file's header into an index entry.
+func IndexFile(path string) (IndexEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return IndexEntry{}, err
+	}
+	br, err := NewBucketReader(f)
+	closeErr := f.Close()
+	if err != nil {
+		return IndexEntry{}, fmt.Errorf("grid: %s: %w", path, err)
+	}
+	if closeErr != nil {
+		return IndexEntry{}, closeErr
+	}
+	h := br.Header()
+	return IndexEntry{Key: h.Key, Path: path, Count: h.Count, Dim: h.Dim}, nil
+}
+
 func IndexDir(dir string) ([]IndexEntry, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -240,21 +344,11 @@ func IndexDir(dir string) ([]IndexEntry, error) {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".skmb") {
 			continue
 		}
-		path := filepath.Join(dir, e.Name())
-		f, err := os.Open(path)
+		entry, err := IndexFile(filepath.Join(dir, e.Name()))
 		if err != nil {
 			return nil, err
 		}
-		br, err := NewBucketReader(f)
-		closeErr := f.Close()
-		if err != nil {
-			return nil, fmt.Errorf("grid: %s: %w", path, err)
-		}
-		if closeErr != nil {
-			return nil, closeErr
-		}
-		h := br.Header()
-		out = append(out, IndexEntry{Key: h.Key, Path: path, Count: h.Count, Dim: h.Dim})
+		out = append(out, entry)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Key.Lat != out[j].Key.Lat {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"streamkm/internal/dataset"
@@ -85,7 +86,7 @@ func TestBucketReaderStreamsOnce(t *testing.T) {
 		t.Fatal(err)
 	}
 	h := br.Header()
-	if h.Count != 10 || h.Dim != 4 || h.Key != key || h.Version != 1 {
+	if h.Count != 10 || h.Dim != 4 || h.Key != key || h.Version != bucketVersion {
 		t.Fatalf("header = %+v", h)
 	}
 	n := 0
@@ -161,6 +162,168 @@ func TestBucketCorruptionDetected(t *testing.T) {
 			t.Fatalf("err = %v", err)
 		}
 	})
+}
+
+func TestBucketV1BackCompat(t *testing.T) {
+	key := CellKey{Lat: 7, Lon: 8}
+	s := sampleSet(t, 40, 5)
+	var buf bytes.Buffer
+	if err := WriteBucketV1(&buf, key, s); err != nil {
+		t.Fatal(err)
+	}
+	br, err := NewBucketReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Header().Version != 1 {
+		t.Fatalf("header = %+v", br.Header())
+	}
+	gotKey, gotSet, err := ReadBucket(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("v1 file must still read: %v", err)
+	}
+	if gotKey != key || gotSet.Len() != s.Len() {
+		t.Fatalf("v1 round trip = %+v, %d points", gotKey, gotSet.Len())
+	}
+	for i := 0; i < s.Len(); i++ {
+		if !gotSet.At(i).Equal(s.At(i)) {
+			t.Fatalf("point %d differs", i)
+		}
+	}
+	// v1 carries no per-record checksums, so it is strictly smaller.
+	var v2 bytes.Buffer
+	if err := WriteBucket(&v2, key, s); err != nil {
+		t.Fatal(err)
+	}
+	if want := v2.Len() - 4*s.Len(); buf.Len() != want {
+		t.Fatalf("v1 size %d, want %d", buf.Len(), want)
+	}
+}
+
+func TestBucketV2FlippedByteNamesRecord(t *testing.T) {
+	key := CellKey{Lat: 3, Lon: 4}
+	s := sampleSet(t, 20, 3)
+	var buf bytes.Buffer
+	if err := WriteBucket(&buf, key, s); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte inside record 5's payload: v2 must reject it at that
+	// record, not at the file trailer.
+	recSize := 8*3 + 4
+	bad := append([]byte{}, buf.Bytes()...)
+	bad[headerSize+5*recSize+9] ^= 0x01
+	br, err := NewBucketReader(bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for {
+		_, ok, err := br.Next()
+		if err != nil {
+			if !errors.Is(err, ErrBadBucket) || errors.Is(err, ErrTruncated) {
+				t.Fatalf("err = %v", err)
+			}
+			if !strings.Contains(err.Error(), "record 5") {
+				t.Fatalf("corruption not pinned to record 5: %v", err)
+			}
+			break
+		}
+		if !ok {
+			t.Fatal("flipped byte went undetected")
+		}
+		seen++
+	}
+	if seen != 5 {
+		t.Fatalf("read %d records before detection, want 5", seen)
+	}
+}
+
+func TestBucketTruncationIsTyped(t *testing.T) {
+	key := CellKey{Lat: 1, Lon: 1}
+	s := sampleSet(t, 10, 2)
+	var buf bytes.Buffer
+	if err := WriteBucket(&buf, key, s); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	recSize := 8*2 + 4
+	cases := map[string][]byte{
+		"mid-record":      good[:headerSize+3*recSize+7],
+		"mid-crc":         good[:headerSize+3*recSize+8*2+1],
+		"missing trailer": good[:len(good)-4],
+	}
+	for name, bad := range cases {
+		_, _, err := ReadBucket(bytes.NewReader(bad))
+		if !errors.Is(err, ErrTruncated) {
+			t.Errorf("%s: err = %v, want ErrTruncated", name, err)
+		}
+		if !errors.Is(err, ErrBadBucket) {
+			t.Errorf("%s: ErrTruncated must wrap ErrBadBucket, got %v", name, err)
+		}
+	}
+	// A checksum mismatch is damage, not truncation.
+	bad := append([]byte{}, good...)
+	bad[headerSize] ^= 0x80
+	if _, _, err := ReadBucket(bytes.NewReader(bad)); errors.Is(err, ErrTruncated) {
+		t.Errorf("corruption misreported as truncation: %v", err)
+	}
+}
+
+func TestSalvageBucketRecoversPrefix(t *testing.T) {
+	key := CellKey{Lat: 12, Lon: -40}
+	s := sampleSet(t, 30, 4)
+	dir := t.TempDir()
+	path := filepath.Join(dir, BucketFileName(key))
+	if err := WriteBucketFile(path, key, s); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop the file mid-way through record 17.
+	recSize := 8*4 + 4
+	cut := filepath.Join(dir, "cut.skmb")
+	if err := os.WriteFile(cut, good[:headerSize+17*recSize+11], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gotKey, part, err := SalvageBucketFile(cut)
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	if gotKey != key {
+		t.Fatalf("key = %+v", gotKey)
+	}
+	if part == nil || part.Len() != 17 {
+		t.Fatalf("salvaged %v points, want 17", part.Len())
+	}
+	for i := 0; i < 17; i++ {
+		if !part.At(i).Equal(s.At(i)) {
+			t.Fatalf("salvaged point %d differs", i)
+		}
+	}
+	// An intact file salvages completely with no error.
+	_, whole, err := SalvageBucketFile(path)
+	if err != nil || whole.Len() != 30 {
+		t.Fatalf("intact salvage = %d points, %v", whole.Len(), err)
+	}
+}
+
+func TestSalvageBucketV1Truncated(t *testing.T) {
+	key := CellKey{Lat: 2, Lon: 3}
+	s := sampleSet(t, 12, 2)
+	var buf bytes.Buffer
+	if err := WriteBucketV1(&buf, key, s); err != nil {
+		t.Fatal(err)
+	}
+	bad := buf.Bytes()[:headerSize+5*8*2+3]
+	_, part, err := SalvageBucket(bytes.NewReader(bad))
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v", err)
+	}
+	if part.Len() != 5 {
+		t.Fatalf("salvaged %d v1 points, want 5", part.Len())
+	}
 }
 
 func TestBucketFileAndIndex(t *testing.T) {

@@ -31,13 +31,37 @@ type BucketSortStats struct {
 	CellsWritten int
 	// Spills counts memory-pressure flushes to segment files.
 	Spills int
+	// RecordsSkipped counts unusable swath records dropped in lenient
+	// mode: records whose coordinates decode to no valid grid cell, and
+	// the unreadable remainder of a truncated file.
+	RecordsSkipped int
+}
+
+// SortOptions tunes SortSwathsToBucketsOpt.
+type SortOptions struct {
+	// Lenient makes the sort skip-and-count records it cannot use
+	// instead of aborting the whole run: a record whose coordinates are
+	// non-finite or out of range is dropped, and a swath file that ends
+	// mid-record loses only its unread remainder. Damage is reported in
+	// BucketSortStats.RecordsSkipped either way.
+	Lenient bool
+	// OnSkip, when non-nil, observes each lenient skip: the file, the
+	// number of records skipped by this event, and the reason.
+	OnSkip func(path string, records int, err error)
 }
 
 // SortSwathsToBuckets scans the swath files once each and writes one
 // .skmb bucket per touched grid cell into outDir. memBudgetPoints bounds
 // the points buffered in RAM at any time (the operator-state limit of
-// the stream model); a non-positive budget means unbounded.
+// the stream model); a non-positive budget means unbounded. Any
+// unusable input record aborts the sort; see SortSwathsToBucketsOpt for
+// the lenient variant.
 func SortSwathsToBuckets(swathPaths []string, outDir string, memBudgetPoints int) (*BucketSortStats, error) {
+	return SortSwathsToBucketsOpt(swathPaths, outDir, memBudgetPoints, SortOptions{})
+}
+
+// SortSwathsToBucketsOpt is SortSwathsToBuckets with explicit options.
+func SortSwathsToBucketsOpt(swathPaths []string, outDir string, memBudgetPoints int, opts SortOptions) (*BucketSortStats, error) {
 	if len(swathPaths) == 0 {
 		return nil, fmt.Errorf("grid: no swath files")
 	}
@@ -130,6 +154,16 @@ func SortSwathsToBuckets(swathPaths []string, outDir string, memBudgetPoints int
 		for {
 			p, ok, err := sr.Next()
 			if err != nil {
+				// Fixed-size records cannot be re-synced after a short
+				// read, so a truncated file forfeits its unread tail.
+				if opts.Lenient {
+					lost := sr.Count() - sr.Read()
+					stats.RecordsSkipped += lost
+					if opts.OnSkip != nil {
+						opts.OnSkip(path, lost, err)
+					}
+					break
+				}
 				f.Close()
 				return nil, fmt.Errorf("grid: %s: %w", path, err)
 			}
@@ -138,6 +172,13 @@ func SortSwathsToBuckets(swathPaths []string, outDir string, memBudgetPoints int
 			}
 			key, err := p.Cell()
 			if err != nil {
+				if opts.Lenient {
+					stats.RecordsSkipped++
+					if opts.OnSkip != nil {
+						opts.OnSkip(path, 1, err)
+					}
+					continue
+				}
 				f.Close()
 				return nil, fmt.Errorf("grid: %s: %w", path, err)
 			}

@@ -9,6 +9,7 @@ package grid
 
 import (
 	"fmt"
+	"math"
 
 	"streamkm/internal/vector"
 )
@@ -42,6 +43,11 @@ func (k CellKey) String() string {
 // longitude 180 fold into the north/east-most cells so every point on
 // the sphere maps to a valid key.
 func CellOf(lat, lon float64) (CellKey, error) {
+	// Range checks alone would let NaN through (every comparison with
+	// NaN is false) and int(NaN) is a platform-defined garbage key.
+	if math.IsNaN(lat) || math.IsInf(lat, 0) || math.IsNaN(lon) || math.IsInf(lon, 0) {
+		return CellKey{}, fmt.Errorf("grid: non-finite coordinate (%g, %g)", lat, lon)
+	}
 	if lat < -90 || lat > 90 {
 		return CellKey{}, fmt.Errorf("grid: latitude %g out of [-90, 90]", lat)
 	}

@@ -127,6 +127,9 @@ func (s *SwathReader) Dim() int { return s.dim }
 // Count returns the record count from the header.
 func (s *SwathReader) Count() int { return s.count }
 
+// Read returns how many records have been returned so far.
+func (s *SwathReader) Read() int { return s.read }
+
 // Next returns the next measurement, or ok=false at end of file.
 func (s *SwathReader) Next() (GeoPoint, bool, error) {
 	if s.read >= s.count {

@@ -2,6 +2,7 @@ package grid
 
 import (
 	"bytes"
+	"math"
 	"errors"
 	"os"
 	"path/filepath"
@@ -249,5 +250,61 @@ func TestSortSwathsErrors(t *testing.T) {
 	}
 	if _, err := SortSwathsToBuckets([]string{c}, filepath.Join(dir, "out2"), 0); err == nil {
 		t.Fatal("corrupt swath should error")
+	}
+}
+
+func TestSortSwathsLenientSkipsPoison(t *testing.T) {
+	dir := t.TempDir()
+	pts := swathPoints(t, 30, 3, 9)
+	// Poison two records: a NaN latitude and an out-of-range longitude.
+	pts[4].Lat = math.NaN()
+	pts[11].Lon = 512
+	swath := filepath.Join(dir, "a.skms")
+	if err := WriteSwathFile(swath, 3, pts); err != nil {
+		t.Fatal(err)
+	}
+	// A second swath truncated mid-way through record 6 of 10.
+	pts2 := swathPoints(t, 10, 3, 10)
+	var buf bytes.Buffer
+	if err := WriteSwath(&buf, 3, pts2); err != nil {
+		t.Fatal(err)
+	}
+	cut := filepath.Join(dir, "b.skms")
+	recSize := 8 * (3 + 2)
+	if err := os.WriteFile(cut, buf.Bytes()[:swathHeaderSize+6*recSize+9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Strict mode aborts on the first poison record.
+	if _, err := SortSwathsToBuckets([]string{swath, cut}, filepath.Join(dir, "strict"), 0); err == nil {
+		t.Fatal("strict sort should abort on poison records")
+	}
+
+	var skipped int
+	stats, err := SortSwathsToBucketsOpt([]string{swath, cut}, filepath.Join(dir, "out"), 0, SortOptions{
+		Lenient: true,
+		OnSkip:  func(_ string, n int, err error) { skipped += n },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 poison records + 4 lost to truncation (records 6..9 of file b).
+	if stats.RecordsSkipped != 6 || skipped != 6 {
+		t.Fatalf("RecordsSkipped = %d (callback saw %d), want 6", stats.RecordsSkipped, skipped)
+	}
+	if stats.PointsScanned != 28+6 {
+		t.Fatalf("PointsScanned = %d, want 34", stats.PointsScanned)
+	}
+	// Every surviving record landed in a bucket.
+	idx, err := IndexDir(filepath.Join(dir, "out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, e := range idx {
+		total += e.Count
+	}
+	if total != 34 {
+		t.Fatalf("buckets hold %d points, want 34", total)
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+
+	"streamkm/internal/rng"
 )
 
 // DynamicTransform is a transform stage whose clone count can grow while
@@ -20,6 +22,7 @@ type DynamicTransform[I, O any] struct {
 	g     *Group
 	ctx   context.Context
 	stats *OpStats
+	sup   *Supervisor[I] // nil = unsupervised
 
 	mu     sync.Mutex
 	clones int
@@ -31,10 +34,19 @@ type DynamicTransform[I, O any] struct {
 // The returned handle adds clones at runtime and exposes the aggregate
 // stats.
 func RunDynamicTransform[I, O any](g *Group, ctx context.Context, reg *StatsRegistry, name string, initial int, fn TransformFunc[I, O], in *Queue[I], out *Queue[O]) *DynamicTransform[I, O] {
+	return RunSupervisedDynamicTransform(g, ctx, reg, name, initial, nil, fn, in, out)
+}
+
+// RunSupervisedDynamicTransform is RunDynamicTransform with operator
+// supervision (see RunSupervisedTransform): every replica — including
+// ones added later by the re-optimizer — recovers panics, retries per
+// the policy, and quarantines poison items. sup may be nil.
+func RunSupervisedDynamicTransform[I, O any](g *Group, ctx context.Context, reg *StatsRegistry, name string, initial int, sup *Supervisor[I], fn TransformFunc[I, O], in *Queue[I], out *Queue[O]) *DynamicTransform[I, O] {
 	if initial < 1 {
 		initial = 1
 	}
 	d := &DynamicTransform[I, O]{
+		sup: sup,
 		name:  name,
 		fn:    fn,
 		in:    in,
@@ -88,7 +100,39 @@ func (d *DynamicTransform[I, O]) spawnLocked() {
 	d.stats.clones = int32(d.clones)
 	d.live.Add(1)
 	id := d.clones
-	d.g.Go(fmt.Sprintf("%s#%d", d.name, id), func() error {
+	cloneName := fmt.Sprintf("%s#%d", d.name, id)
+	if d.sup != nil {
+		jr := rng.New(d.sup.JitterSeed + uint64(id)*0x9e3779b97f4a7c15)
+		d.g.Go(cloneName, func() error {
+			defer d.live.Done()
+			var buf []O
+			for {
+				item, ok, err := d.in.Get(d.ctx)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				d.stats.processed.Add(1)
+				ok, err = superviseItem(d.ctx, cloneName, d.sup, jr, d.stats, d.fn, item, &buf)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+				for _, v := range buf {
+					if err := d.out.Put(d.ctx, v); err != nil {
+						return err
+					}
+					d.stats.emitted.Add(1)
+				}
+			}
+		})
+		return
+	}
+	d.g.Go(cloneName, func() error {
 		defer d.live.Done()
 		emit := func(v O) error {
 			if err := d.out.Put(d.ctx, v); err != nil {

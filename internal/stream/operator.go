@@ -32,6 +32,10 @@ type OpStats struct {
 	processed atomic.Int64
 	emitted   atomic.Int64
 	busyNanos atomic.Int64
+	// Fault-tolerance counters, maintained by the supervised runners.
+	retries     atomic.Int64
+	quarantined atomic.Int64
+	dropped     atomic.Int64
 }
 
 // Name returns the operator name.
@@ -50,10 +54,26 @@ func (s *OpStats) Emitted() int64 { return s.emitted.Load() }
 // summed across clones (so with c clones Busy can exceed wall-clock).
 func (s *OpStats) Busy() time.Duration { return time.Duration(s.busyNanos.Load()) }
 
+// Retries returns the number of item-level retry attempts performed by a
+// supervised runner (0 for unsupervised operators).
+func (s *OpStats) Retries() int64 { return s.retries.Load() }
+
+// Quarantined returns the number of poison items diverted to the
+// dead-letter queue after exhausting their retry budget.
+func (s *OpStats) Quarantined() int64 { return s.quarantined.Load() }
+
+// Dropped returns the number of poison items lost because the dead-letter
+// queue was full.
+func (s *OpStats) Dropped() int64 { return s.dropped.Load() }
+
 // String formats the stats for logs and tables.
 func (s *OpStats) String() string {
-	return fmt.Sprintf("%s[x%d]: in=%d out=%d busy=%v",
+	base := fmt.Sprintf("%s[x%d]: in=%d out=%d busy=%v",
 		s.name, s.Clones(), s.Processed(), s.Emitted(), s.Busy())
+	if r, q, d := s.Retries(), s.Quarantined(), s.Dropped(); r > 0 || q > 0 || d > 0 {
+		base += fmt.Sprintf(" retries=%d quarantined=%d dropped=%d", r, q, d)
+	}
+	return base
 }
 
 // StatsRegistry collects OpStats for every operator in a running plan.

@@ -32,6 +32,7 @@ type Queue[T any] struct {
 	done     chan struct{}
 	enqueued atomic.Int64
 	dequeued atomic.Int64
+	maxLen   atomic.Int64
 	closed   atomic.Bool
 }
 
@@ -57,6 +58,18 @@ func (q *Queue[T]) Cap() int { return cap(q.ch) }
 // Len returns the number of buffered items at this instant.
 func (q *Queue[T]) Len() int { return len(q.ch) }
 
+// HighWater returns the deepest the queue has been since the previous
+// call (resetting the mark to the instantaneous depth). Monitors should
+// prefer this over Len: on a loaded or single-CPU machine a sampler
+// tends to get scheduled exactly when a consumer has just drained the
+// queue, so instantaneous depth reads as zero even while producers spend
+// most of their time blocked on a full buffer. The mark is recorded by
+// Put at the moment each item lands, so congestion is visible no matter
+// when the monitor runs.
+func (q *Queue[T]) HighWater() int {
+	return int(q.maxLen.Swap(int64(len(q.ch))))
+}
+
 // Enqueued returns the total number of items ever accepted.
 func (q *Queue[T]) Enqueued() int64 { return q.enqueued.Load() }
 
@@ -73,6 +86,13 @@ func (q *Queue[T]) Put(ctx context.Context, v T) error {
 	select {
 	case q.ch <- v:
 		q.enqueued.Add(1)
+		n := int64(len(q.ch))
+		for {
+			cur := q.maxLen.Load()
+			if n <= cur || q.maxLen.CompareAndSwap(cur, n) {
+				break
+			}
+		}
 		return nil
 	case <-q.done:
 		return ErrQueueClosed

@@ -1,0 +1,344 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"streamkm/internal/rng"
+)
+
+// This file adds operator supervision to the stream model: the paper's
+// Conquest engine keeps long-running queries alive across operator
+// failures (§4), so the reproduction's operators need more survival
+// skills than "first error cancels the plan". A supervised operator
+// recovers panics into typed errors, retries a failing item with
+// exponential backoff plus deterministic jitter, and after the retry
+// budget is exhausted quarantines the poison item into a bounded
+// dead-letter queue instead of wedging the pipeline. Retry, quarantine,
+// and drop counts are surfaced through OpStats.
+
+// PanicError is an operator panic recovered into a typed error, so
+// supervisors and callers can distinguish crashes from ordinary failures.
+type PanicError struct {
+	// Op is the operator (clone) name that panicked.
+	Op string
+	// Value is the recovered panic value.
+	Value any
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("stream: operator %q panicked: %v", e.Op, e.Value)
+}
+
+// RetryPolicy bounds how a supervised operator retries one failing item.
+// The zero value means "no retries": the first failure is final.
+type RetryPolicy struct {
+	// MaxRetries is the number of re-attempts after the first failure;
+	// an item is tried at most MaxRetries+1 times.
+	MaxRetries int
+	// BaseBackoff is the delay before the first retry (0 = 1ms); each
+	// further retry doubles it up to MaxBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (0 = 64 * BaseBackoff).
+	MaxBackoff time.Duration
+	// Jitter is the fraction of the backoff randomized away, in [0, 1]
+	// (0 = no jitter). Jittered delays decorrelate cloned operators
+	// retrying simultaneously after a shared-resource hiccup.
+	Jitter float64
+}
+
+// backoff returns the delay before retry number attempt (1-based), drawing
+// jitter from r.
+func (p RetryPolicy) backoff(attempt int, r *rng.RNG) time.Duration {
+	base := p.BaseBackoff
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	max := p.MaxBackoff
+	if max <= 0 {
+		max = 64 * base
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if p.Jitter > 0 {
+		j := p.Jitter
+		if j > 1 {
+			j = 1
+		}
+		// Uniform in [1-j, 1] of the computed delay.
+		d = time.Duration(float64(d) * (1 - j*r.Float64()))
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// sleep waits for d or until ctx is cancelled.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// DeadLetter records one quarantined item: the poison input, the operator
+// that gave up on it, how many attempts it survived, and the final error.
+type DeadLetter[I any] struct {
+	Item     I
+	Op       string
+	Attempts int
+	Err      error
+}
+
+// DeadLetterQueue is a bounded, concurrency-safe quarantine for poison
+// items. When full, further items are counted as dropped rather than
+// retained, so a flood of bad input cannot re-create the unbounded-state
+// problem the stream model exists to avoid.
+type DeadLetterQueue[I any] struct {
+	mu      sync.Mutex
+	cap     int
+	items   []DeadLetter[I]
+	dropped int64
+}
+
+// DefaultDeadLetterCapacity is used when a queue is created with a
+// non-positive capacity.
+const DefaultDeadLetterCapacity = 64
+
+// NewDeadLetterQueue returns a quarantine holding at most capacity items
+// (<= 0 selects DefaultDeadLetterCapacity).
+func NewDeadLetterQueue[I any](capacity int) *DeadLetterQueue[I] {
+	if capacity <= 0 {
+		capacity = DefaultDeadLetterCapacity
+	}
+	return &DeadLetterQueue[I]{cap: capacity}
+}
+
+// add quarantines d, reporting false when the queue was full and the item
+// was dropped instead.
+func (q *DeadLetterQueue[I]) add(d DeadLetter[I]) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) >= q.cap {
+		q.dropped++
+		return false
+	}
+	q.items = append(q.items, d)
+	return true
+}
+
+// Len returns the number of quarantined items.
+func (q *DeadLetterQueue[I]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Dropped returns the number of items lost to overflow.
+func (q *DeadLetterQueue[I]) Dropped() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.dropped
+}
+
+// Items returns a snapshot of the quarantined records.
+func (q *DeadLetterQueue[I]) Items() []DeadLetter[I] {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]DeadLetter[I], len(q.items))
+	copy(out, q.items)
+	return out
+}
+
+// Supervisor configures a supervised operator: how it retries and where
+// poison items go. A nil DLQ with a non-nil Supervisor means exhausted
+// items fail the plan (retry-only supervision).
+type Supervisor[I any] struct {
+	// Retry bounds per-item re-attempts.
+	Retry RetryPolicy
+	// DLQ, when non-nil, receives items that exhausted their retries
+	// instead of failing the plan.
+	DLQ *DeadLetterQueue[I]
+	// OnQuarantine, when non-nil, is invoked for every item diverted to
+	// the DLQ (after it was added or dropped). It must be safe for
+	// concurrent use by cloned operators.
+	OnQuarantine func(DeadLetter[I])
+	// JitterSeed derives the deterministic backoff jitter stream.
+	JitterSeed uint64
+}
+
+// attemptTransform runs fn once with panic recovery, buffering emissions
+// so a failing attempt emits nothing downstream (retries would otherwise
+// duplicate output).
+func attemptTransform[I, O any](ctx context.Context, op string, fn TransformFunc[I, O], item I, buf *[]O) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Op: op, Value: r}
+		}
+	}()
+	*buf = (*buf)[:0]
+	emit := func(v O) error {
+		*buf = append(*buf, v)
+		return nil
+	}
+	return fn(ctx, item, emit)
+}
+
+// superviseItem pushes one item through fn under the supervisor's policy.
+// It returns the buffered emissions on success; ok=false means the item
+// was quarantined (or dropped) and the caller should continue with the
+// next item; a non-nil error fails the operator.
+func superviseItem[I, O any](ctx context.Context, op string, sup *Supervisor[I], jr *rng.RNG, stats *OpStats, fn TransformFunc[I, O], item I, buf *[]O) (ok bool, err error) {
+	attempts := 0
+	for {
+		attempts++
+		err = attemptTransform(ctx, op, fn, item, buf)
+		if err == nil {
+			return true, nil
+		}
+		// Cancellation and queue teardown are plan-lifecycle signals, not
+		// item failures: never retry or quarantine them.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, ErrQueueClosed) {
+			return false, err
+		}
+		if attempts <= sup.Retry.MaxRetries {
+			stats.retries.Add(1)
+			if serr := sleep(ctx, sup.Retry.backoff(attempts, jr)); serr != nil {
+				return false, serr
+			}
+			continue
+		}
+		if sup.DLQ == nil {
+			return false, fmt.Errorf("stream: %s: item failed %d attempts: %w", op, attempts, err)
+		}
+		d := DeadLetter[I]{Item: item, Op: op, Attempts: attempts, Err: err}
+		if sup.DLQ.add(d) {
+			stats.quarantined.Add(1)
+		} else {
+			stats.dropped.Add(1)
+		}
+		if sup.OnQuarantine != nil {
+			sup.OnQuarantine(d)
+		}
+		return false, nil
+	}
+}
+
+// RunSupervisedTransform starts clones replicas of fn like RunTransform,
+// but under supervision: panics become typed errors, failing items are
+// retried per the policy, and poison items are quarantined to the DLQ
+// (when configured) instead of cancelling the plan. Emissions of a
+// failing attempt are discarded, so retries never duplicate output.
+// A nil supervisor degrades to RunTransform semantics.
+func RunSupervisedTransform[I, O any](g *Group, ctx context.Context, reg *StatsRegistry, name string, clones int, sup *Supervisor[I], fn TransformFunc[I, O], in *Queue[I], out *Queue[O]) *OpStats {
+	if sup == nil {
+		return RunTransform(g, ctx, reg, name, clones, fn, in, out)
+	}
+	if clones < 1 {
+		clones = 1
+	}
+	stats := reg.register(name, clones)
+	var live sync.WaitGroup
+	live.Add(clones)
+	for c := 0; c < clones; c++ {
+		cloneName := name
+		if clones > 1 {
+			cloneName = fmt.Sprintf("%s#%d", name, c)
+		}
+		jr := rng.New(sup.JitterSeed + uint64(c)*0x9e3779b97f4a7c15)
+		g.Go(cloneName, func() error {
+			defer live.Done()
+			var buf []O
+			for {
+				item, ok, err := in.Get(ctx)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				stats.processed.Add(1)
+				start := time.Now()
+				ok, err = superviseItem(ctx, cloneName, sup, jr, stats, fn, item, &buf)
+				stats.busyNanos.Add(int64(time.Since(start)))
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue // quarantined; move on to the next item
+				}
+				for _, v := range buf {
+					if err := out.Put(ctx, v); err != nil {
+						return err
+					}
+					stats.emitted.Add(1)
+				}
+			}
+		})
+	}
+	g.Go(name+".close", func() error {
+		live.Wait()
+		out.Close()
+		return nil
+	})
+	return stats
+}
+
+// RunSupervisedSink starts clones replicas of fn like RunSink, under the
+// same supervision semantics as RunSupervisedTransform.
+func RunSupervisedSink[I any](g *Group, ctx context.Context, reg *StatsRegistry, name string, clones int, sup *Supervisor[I], fn SinkFunc[I], in *Queue[I]) *OpStats {
+	if sup == nil {
+		return RunSink(g, ctx, reg, name, clones, fn, in)
+	}
+	asTransform := func(ctx context.Context, item I, _ Emit[struct{}]) error {
+		return fn(ctx, item)
+	}
+	if clones < 1 {
+		clones = 1
+	}
+	stats := reg.register(name, clones)
+	for c := 0; c < clones; c++ {
+		cloneName := name
+		if clones > 1 {
+			cloneName = fmt.Sprintf("%s#%d", name, c)
+		}
+		jr := rng.New(sup.JitterSeed + uint64(c)*0x9e3779b97f4a7c15)
+		g.Go(cloneName, func() error {
+			var buf []struct{}
+			for {
+				item, ok, err := in.Get(ctx)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				stats.processed.Add(1)
+				start := time.Now()
+				_, err = superviseItem(ctx, cloneName, sup, jr, stats, asTransform, item, &buf)
+				stats.busyNanos.Add(int64(time.Since(start)))
+				if err != nil {
+					return err
+				}
+			}
+		})
+	}
+	return stats
+}

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Full pre-merge check: vet, build, and the complete test suite under
+# the race detector. Slower than the tier-1 verify in ROADMAP.md
+# (go build ./... && go test ./...) but catches data races in the
+# pipelined/supervised executors that a plain `go test` can miss.
+set -eux
+cd "$(dirname "$0")/.."
+go vet ./...
+go build ./...
+go test -race ./...

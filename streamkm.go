@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"streamkm/internal/core"
@@ -46,6 +47,48 @@ type Options struct {
 	// Accelerate selects Hamerly's bound-based Lloyd iteration: the
 	// same fixpoints with far fewer distance computations for large K.
 	Accelerate bool
+	// Retry, when non-nil, makes StreamClusterer re-attempt a failed
+	// chunk reduction instead of surfacing the first error. Each attempt
+	// replays the chunk's own pre-derived random state, so a run that
+	// needed retries produces centroids bit-identical to one that did
+	// not.
+	Retry *RetryPolicy
+	// OnDroppedRecord, when non-nil, turns StreamClusterer.Push into a
+	// lenient boundary: points with the wrong dimensionality or
+	// non-finite coordinates are dropped, counted (see Dropped), and
+	// reported here instead of failing the stream. Nil keeps the strict
+	// behavior of rejecting wrong-dimension points with an error.
+	OnDroppedRecord func(point []float64, err error)
+}
+
+// RetryPolicy bounds re-attempts of a failed operation. The zero value
+// never retries.
+type RetryPolicy struct {
+	// MaxRetries is the number of re-attempts after the first failure.
+	MaxRetries int
+	// BaseBackoff is the first retry's delay, doubling each attempt
+	// (0 = retry immediately).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the delay (0 = 64x BaseBackoff).
+	MaxBackoff time.Duration
+}
+
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	if p.BaseBackoff <= 0 {
+		return 0
+	}
+	max := p.MaxBackoff
+	if max <= 0 {
+		max = 64 * p.BaseBackoff
+	}
+	d := p.BaseBackoff
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
 }
 
 // Result is the outcome of a clustering run.
@@ -222,8 +265,13 @@ type StreamClusterer struct {
 	parts    []*dataset.WeightedSet
 	rng      *rng.RNG
 	pushed   int
+	dropped  int
+	retries  int
 	partialT time.Duration
 	finished bool
+	// faultHook, when non-nil, runs before each chunk reduction attempt
+	// (in-package fault-injection tests only).
+	faultHook func(attempt int) error
 }
 
 // NewStreamClusterer returns a clusterer for dim-dimensional points.
@@ -261,14 +309,37 @@ func (s *StreamClusterer) Pushed() int { return s.pushed }
 // Partials returns the number of chunk reductions performed so far.
 func (s *StreamClusterer) Partials() int { return len(s.parts) }
 
+// Dropped returns the number of records discarded by the lenient input
+// boundary (always 0 unless Options.OnDroppedRecord is set).
+func (s *StreamClusterer) Dropped() int { return s.dropped }
+
+// Retries returns the number of chunk-reduction re-attempts performed
+// under Options.Retry.
+func (s *StreamClusterer) Retries() int { return s.retries }
+
 // Push consumes one point. When the buffer reaches ChunkPoints it is
-// reduced to weighted centroids and released.
+// reduced to weighted centroids and released. With
+// Options.OnDroppedRecord set, malformed points (wrong dimension or
+// non-finite coordinates) are dropped and reported instead of erroring.
 func (s *StreamClusterer) Push(point []float64) error {
 	if s.finished {
 		return errors.New("streamkm: Push after Finish")
 	}
 	if len(point) != s.dim {
-		return fmt.Errorf("streamkm: point dim %d, want %d", len(point), s.dim)
+		err := fmt.Errorf("streamkm: point dim %d, want %d", len(point), s.dim)
+		if s.opts.OnDroppedRecord != nil {
+			s.drop(point, err)
+			return nil
+		}
+		return err
+	}
+	if s.opts.OnDroppedRecord != nil {
+		for d, x := range point {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				s.drop(point, fmt.Errorf("streamkm: non-finite value %g in dimension %d", x, d))
+				return nil
+			}
+		}
 	}
 	p := make([]float64, s.dim)
 	copy(p, point)
@@ -282,16 +353,52 @@ func (s *StreamClusterer) Push(point []float64) error {
 	return nil
 }
 
+func (s *StreamClusterer) drop(point []float64, err error) {
+	s.dropped++
+	cp := make([]float64, len(point))
+	copy(cp, point)
+	s.opts.OnDroppedRecord(cp, err)
+}
+
+// flush reduces the buffered chunk to weighted centroids, retrying per
+// Options.Retry. The chunk's RNG is split from the stream's generator
+// exactly once, then copied per attempt, so retried runs replay the
+// identical random sequence and the final centroids stay bit-identical
+// to a fault-free run.
 func (s *StreamClusterer) flush() error {
-	pr, err := core.PartialKMeans(s.buffer, core.PartialConfig{
-		K:             s.copts.K,
-		Restarts:      s.copts.Restarts,
-		Epsilon:       s.copts.Epsilon,
-		MaxIterations: s.copts.MaxIterations,
-		Accelerate:    s.copts.Accelerate,
-	}, s.rng.Split())
-	if err != nil {
-		return err
+	chunkRNG := s.rng.Split()
+	var maxRetries int
+	var policy RetryPolicy
+	if s.opts.Retry != nil {
+		policy = *s.opts.Retry
+		maxRetries = policy.MaxRetries
+	}
+	var pr *core.PartialResult
+	for attempt := 1; ; attempt++ {
+		attemptRNG := *chunkRNG
+		err := error(nil)
+		if s.faultHook != nil {
+			err = s.faultHook(attempt)
+		}
+		if err == nil {
+			pr, err = core.PartialKMeans(s.buffer, core.PartialConfig{
+				K:             s.copts.K,
+				Restarts:      s.copts.Restarts,
+				Epsilon:       s.copts.Epsilon,
+				MaxIterations: s.copts.MaxIterations,
+				Accelerate:    s.copts.Accelerate,
+			}, &attemptRNG)
+		}
+		if err == nil {
+			break
+		}
+		if attempt > maxRetries {
+			return err
+		}
+		s.retries++
+		if d := policy.backoff(attempt); d > 0 {
+			time.Sleep(d)
+		}
 	}
 	s.parts = append(s.parts, pr.Centroids)
 	s.partialT += pr.Elapsed
