@@ -7,9 +7,12 @@
 //
 //	pmkm -data data/ -k 40 -restarts 10 -mem 64MB -workers 4
 //
-// Robustness flags: -max-retries N runs the plan under the supervised
-// executor, retrying failed chunks with exponential backoff and
-// restarting the plan from its execution journal after a crash;
+// Engine features compose on one executor, so the flags stack:
+// -max-retries N supervises the plan, retrying failed chunks with
+// exponential backoff and restarting the plan from its execution
+// journal after a crash; -adaptive starts with one partial clone and
+// lets the re-optimizer scale up under backlog (combining both gives a
+// supervised adaptive run); -trace prints the operator-span timeline;
 // -salvage reads damaged bucket files for their valid prefix (warning
 // on stderr) instead of aborting on the first corrupt byte.
 package main
@@ -267,39 +270,28 @@ func run(cfg runConfig) error {
 		fmt.Print(plan.Explain())
 		return nil
 	}
-	var (
-		results []engine.CellResult
-		plan    engine.PhysicalPlan
-		stats   *engine.ExecStats
-		events  []engine.ReoptEvent
-	)
-	switch {
-	case cfg.adaptive:
-		plan, err = engine.Optimize(q, sizes, cells[0].Points.Dim(), res)
-		if err != nil {
-			return err
-		}
-		plan.PartialClones = 1 // start minimal; the re-optimizer scales up
-		results, stats, events, err = engine.ExecuteAdaptive(context.Background(), cells, q, plan,
-			engine.ReoptPolicy{MaxClones: cfg.workers})
-	case cfg.maxRetries > 0:
-		plan, err = engine.Optimize(q, sizes, cells[0].Points.Dim(), res)
-		if err != nil {
-			return err
-		}
-		results, stats, err = engine.ExecuteSupervised(context.Background(), cells, q, plan,
-			engine.Supervision{
-				Retry:       stream.RetryPolicy{MaxRetries: cfg.maxRetries},
-				MaxRestarts: 1,
-			})
-	default:
-		results, plan, stats, err = engine.Run(context.Background(), cells, q, res)
+	plan, err := engine.Optimize(q, sizes, cells[0].Points.Dim(), res)
+	if err != nil {
+		return err
 	}
+	// Features compose on the one executor: -adaptive and -max-retries
+	// are independent options, not mutually exclusive modes.
+	var opts []engine.ExecOption
+	if cfg.adaptive {
+		plan.PartialClones = 1 // start minimal; the re-optimizer scales up
+		opts = append(opts, engine.WithReopt(engine.ReoptPolicy{MaxClones: cfg.workers}))
+	}
+	if cfg.maxRetries > 0 {
+		opts = append(opts,
+			engine.WithRetry(stream.RetryPolicy{MaxRetries: cfg.maxRetries}),
+			engine.WithRestarts(1))
+	}
+	results, stats, err := engine.NewExec(q, plan, opts...).Execute(context.Background(), cells)
 	if err != nil {
 		return err
 	}
 	fmt.Print(plan.Explain())
-	for _, e := range events {
+	for _, e := range stats.ReoptEvents {
 		fmt.Println("  reopt:", e)
 	}
 	fmt.Printf("\n%-10s %8s %6s %14s %14s %14s\n",

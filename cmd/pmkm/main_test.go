@@ -63,6 +63,21 @@ func TestRunHappyPath(t *testing.T) {
 	}
 }
 
+// TestRunComposedFeatures covers the flag combination the CLI used to
+// reject structurally: -adaptive and -max-retries are independent
+// executor options now, so one run can be supervised, adaptive, and
+// traced at once.
+func TestRunComposedFeatures(t *testing.T) {
+	dir := writeTestData(t)
+	cfg := baseConfig(dir)
+	cfg.adaptive = true
+	cfg.maxRetries = 2
+	cfg.trace = true
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunSalvagesDamagedBucket(t *testing.T) {
 	dir := writeTestData(t)
 	// Truncate one bucket mid-record.

@@ -68,7 +68,10 @@ func (o Options) validate() error {
 	return nil
 }
 
-func (o Options) partialConfig() PartialConfig {
+// PartialConfig derives the partial-stage configuration from the
+// options — the one place the mapping is written down, shared by the
+// serial and parallel pipelines and the streamkm facade.
+func (o Options) PartialConfig() PartialConfig {
 	return PartialConfig{
 		K:             o.K,
 		Restarts:      o.Restarts,
@@ -79,7 +82,9 @@ func (o Options) partialConfig() PartialConfig {
 	}
 }
 
-func (o Options) mergeConfig() MergeConfig {
+// MergeConfig derives the merge-stage configuration from the options
+// (a nil Seeder lets MergeKMeans default to the heaviest-point seeder).
+func (o Options) MergeConfig() MergeConfig {
 	return MergeConfig{
 		K:             o.K,
 		Epsilon:       o.Epsilon,
@@ -136,7 +141,7 @@ func Cluster(points *dataset.Set, opts Options) (*Result, error) {
 	res := &Result{Partitions: len(chunks)}
 	parts := make([]*dataset.WeightedSet, len(chunks))
 	for i, chunk := range chunks {
-		pr, err := PartialKMeans(chunk, opts.partialConfig(), r.Split())
+		pr, err := PartialKMeans(chunk, opts.PartialConfig(), r.Split())
 		if err != nil {
 			return nil, fmt.Errorf("core: partition %d: %w", i, err)
 		}
@@ -205,7 +210,7 @@ func ClusterParallel(ctx context.Context, points *dataset.Set, opts Options) (*R
 
 	stream.RunTransform(g, gctx, reg, "partial-kmeans", clones,
 		func(ctx context.Context, t task, emit stream.Emit[partOut]) error {
-			pr, err := PartialKMeans(t.chunk, opts.partialConfig(), t.rng)
+			pr, err := PartialKMeans(t.chunk, opts.PartialConfig(), t.rng)
 			if err != nil {
 				return fmt.Errorf("partition %d: %w", t.index, err)
 			}
@@ -248,7 +253,7 @@ func splitForOptions(points *dataset.Set, opts Options, r *rng.RNG) ([]*dataset.
 }
 
 func finishMerge(points *dataset.Set, parts []*dataset.WeightedSet, opts Options, r *rng.RNG, res *Result) error {
-	mr, err := MergeKMeans(parts, opts.mergeConfig(), r.Split())
+	mr, err := MergeKMeans(parts, opts.MergeConfig(), r.Split())
 	if err != nil {
 		return err
 	}

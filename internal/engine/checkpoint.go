@@ -46,31 +46,62 @@ type journalEntry struct {
 	centroids *dataset.WeightedSet
 }
 
-// Journal accumulates completed partial outputs during a supervised
-// execution. It is safe for concurrent use.
+// Journal accumulates completed partial outputs during an execution.
+// It is safe for concurrent use. Every execution records through a
+// journal (the unified executor merges cells straight out of it); a
+// per-cell done/total index keeps the readiness check O(1) per record
+// instead of a scan over all journaled chunks.
 type Journal struct {
-	mu    sync.Mutex
-	parts map[journalKey]journalEntry
+	mu     sync.Mutex
+	parts  map[journalKey]journalEntry
+	done   map[int]int // cell -> journaled chunk count
+	totals map[int]int // cell -> total chunk count
 }
 
 // NewJournal returns an empty journal.
 func NewJournal() *Journal {
-	return &Journal{parts: map[journalKey]journalEntry{}}
+	return &Journal{
+		parts:  map[journalKey]journalEntry{},
+		done:   map[int]int{},
+		totals: map[int]int{},
+	}
+}
+
+// put stores one entry and maintains the per-cell index; j.mu must be
+// held. It reports false for a duplicate key (nothing stored).
+func (j *Journal) put(k journalKey, e journalEntry) bool {
+	if _, ok := j.parts[k]; ok {
+		return false
+	}
+	j.parts[k] = e
+	j.done[k.cell]++
+	j.totals[k.cell] = e.total
+	return true
 }
 
 // record stores one completed partial output (idempotently).
 func (j *Journal) record(p partialOut) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	k := journalKey{p.cellIdx, p.chunkIdx}
-	if _, ok := j.parts[k]; ok {
-		return
-	}
-	j.parts[k] = journalEntry{
+	j.put(journalKey{p.cellIdx, p.chunkIdx}, journalEntry{
 		total:     p.total,
 		elapsed:   p.res.Elapsed,
 		centroids: p.res.Centroids,
+	})
+}
+
+// dropCell forgets a cell's journaled chunks — called after the cell is
+// merged when the journal is internal to one execution, so a plain run
+// doesn't accumulate every partial result for the whole plan.
+func (j *Journal) dropCell(cell int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	total := j.totals[cell]
+	for c := 0; c < total; c++ {
+		delete(j.parts, journalKey{cell, c})
 	}
+	delete(j.done, cell)
+	delete(j.totals, cell)
 }
 
 // has reports whether the chunk's output is journaled.
@@ -93,13 +124,7 @@ func (j *Journal) Chunks() int {
 func (j *Journal) CellProgress(cell int) (done, total int) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	for k, e := range j.parts {
-		if k.cell == cell {
-			done++
-			total = e.total
-		}
-	}
-	return done, total
+	return j.done[cell], j.totals[cell]
 }
 
 // cellParts returns the cell's partial results in chunk order, or
@@ -107,15 +132,8 @@ func (j *Journal) CellProgress(cell int) (done, total int) {
 func (j *Journal) cellParts(cell int) (parts []*dataset.WeightedSet, elapsed time.Duration, ok bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	total := -1
-	found := 0
-	for k, e := range j.parts {
-		if k.cell == cell {
-			total = e.total
-			found++
-		}
-	}
-	if total < 0 || found < total {
+	total, have := j.totals[cell]
+	if !have || j.done[cell] < total {
 		return nil, 0, false
 	}
 	parts = make([]*dataset.WeightedSet, total)
@@ -225,13 +243,12 @@ func DecodeJournal(r io.Reader) (*Journal, error) {
 			return nil, fmt.Errorf("%w: entry %d: %v", ErrBadJournal, i, err)
 		}
 		k := journalKey{int(cell), int(chunk)}
-		if _, dup := j.parts[k]; dup {
-			return nil, fmt.Errorf("%w: duplicate entry for cell %d chunk %d", ErrBadJournal, cell, chunk)
-		}
-		j.parts[k] = journalEntry{
+		if !j.put(k, journalEntry{
 			total:     int(total),
 			elapsed:   time.Duration(elapsedNs),
 			centroids: set,
+		}) {
+			return nil, fmt.Errorf("%w: duplicate entry for cell %d chunk %d", ErrBadJournal, cell, chunk)
 		}
 	}
 	return j, nil

@@ -1,0 +1,276 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"streamkm/internal/fault"
+	"streamkm/internal/rng"
+	"streamkm/internal/stream"
+	"streamkm/internal/trace"
+)
+
+// This file is the engine's single execution core. The paper's Conquest
+// engine layers supervision, re-optimization, and query migration as
+// *services* over one operator pipeline (§4); accordingly there is
+// exactly one pipeline-assembly path here — scan → partial-kmeans →
+// merge-kmeans — and every engine feature is an independently
+// toggleable option on it:
+//
+//	supervision     WithRetry / WithRestarts / WithSupervision
+//	journaling      WithJournal (migration checkpoint in/out)
+//	re-optimization WithReopt (+ WithOnReoptEvent)
+//	fault injection WithFaultInjection
+//	tracing         WithTracer
+//	compression     WithCompression
+//
+// Any combination composes: an adaptive run can retry chunks and
+// restart from its journal; a journaled run can scale up under
+// backlog. Determinism holds across all of them because every chunk
+// and merge draws from a pre-derived RNG that is copied before use, so
+// the final centroids are bit-identical regardless of which features
+// are enabled (the equivalence test suite pins this down).
+
+// ExecOption toggles one engine service on an Exec.
+type ExecOption func(*Exec)
+
+// Exec is the composed executor for one query and physical plan: a
+// specification of the pipeline plus the engine services enabled on
+// it. Build with NewExec, run with Execute.
+type Exec struct {
+	q    Query
+	plan PhysicalPlan
+
+	retry       stream.RetryPolicy
+	maxRestarts int
+	journal     *Journal
+	inject      *fault.Injector
+	onRestart   func(restart int, err error)
+	reopt       *ReoptPolicy
+	onReopt     func(ReoptEvent)
+	tracer      *trace.Tracer
+	compress    *bool
+	supervised  bool
+}
+
+// NewExec builds an executor for q under plan with the given features
+// enabled. With no options it behaves exactly like the plain executor.
+func NewExec(q Query, plan PhysicalPlan, opts ...ExecOption) *Exec {
+	e := &Exec{q: q, plan: plan}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// WithRetry supervises the partial operator: panics become typed
+// errors and each failing chunk is retried per the policy before it
+// can fail the plan.
+func WithRetry(p stream.RetryPolicy) ExecOption {
+	return func(e *Exec) {
+		e.retry = p
+		e.supervised = true
+	}
+}
+
+// WithRestarts allows up to max plan-level recoveries: after a crash
+// the pipeline is rebuilt and re-run, skipping every chunk whose
+// output the journal already holds.
+func WithRestarts(max int) ExecOption {
+	return func(e *Exec) {
+		e.maxRestarts = max
+		e.supervised = true
+	}
+}
+
+// WithJournal seeds the execution from a prior run's checkpoint (query
+// migration) and keeps recording into it, so the caller can Encode it
+// at any time after a failure. Without this option the executor uses
+// an internal journal pruned cell by cell as merges complete.
+func WithJournal(j *Journal) ExecOption {
+	return func(e *Exec) {
+		e.journal = j
+		e.supervised = true
+	}
+}
+
+// WithFaultInjection injects faults in front of every partial-operator
+// invocation (testing and chaos drills). Orthogonal to supervision:
+// without retries or restarts an injected fault simply fails the plan.
+func WithFaultInjection(inj *fault.Injector) ExecOption {
+	return func(e *Exec) { e.inject = inj }
+}
+
+// WithOnRestart observes each plan-level recovery: the restart ordinal
+// (1-based) and the error that killed the previous attempt.
+func WithOnRestart(fn func(restart int, err error)) ExecOption {
+	return func(e *Exec) { e.onRestart = fn }
+}
+
+// WithSupervision enables the whole supervision bundle at once — the
+// legacy ExecuteSupervised configuration surface.
+func WithSupervision(sup Supervision) ExecOption {
+	return func(e *Exec) {
+		e.retry = sup.Retry
+		e.maxRestarts = sup.MaxRestarts
+		e.inject = sup.Inject
+		e.journal = sup.Journal
+		e.onRestart = sup.OnRestart
+		e.supervised = true
+	}
+}
+
+// WithReopt runs the dynamic re-optimizer alongside the plan: a
+// monitor samples the chunk queue and clones additional partial
+// replicas (up to policy.MaxClones) while the queue stays congested.
+// Decisions are reported in ExecStats.ReoptEvents.
+func WithReopt(policy ReoptPolicy) ExecOption {
+	return func(e *Exec) {
+		p := policy
+		e.reopt = &p
+	}
+}
+
+// WithOnReoptEvent observes each re-optimizer decision as it happens
+// (in addition to ExecStats.ReoptEvents).
+func WithOnReoptEvent(fn func(ReoptEvent)) ExecOption {
+	return func(e *Exec) { e.onReopt = fn }
+}
+
+// WithTracer records operator spans into tr instead of an internal
+// tracer, letting a caller aggregate spans across executions.
+func WithTracer(tr *trace.Tracer) ExecOption {
+	return func(e *Exec) { e.tracer = tr }
+}
+
+// WithCompression overrides Query.Compress for this execution.
+func WithCompression(on bool) ExecOption {
+	return func(e *Exec) { e.compress = &on }
+}
+
+// newExecStats assembles the execution summary — previously built
+// once per executor, now in exactly one place.
+func newExecStats(reg *stream.StatsRegistry, tr *trace.Tracer, start time.Time, cells, chunks, restarts int, events []ReoptEvent) *ExecStats {
+	return &ExecStats{
+		Registry:    reg,
+		Trace:       tr,
+		Elapsed:     time.Since(start),
+		Cells:       cells,
+		Chunks:      chunks,
+		Restarts:    restarts,
+		ReoptEvents: events,
+	}
+}
+
+// Execute runs the plan over the cells as one pipelined stream: a scan
+// operator feeds pre-sliced chunks, PartialClones replicas of the
+// partial k-means operator consume them from the shared queue, and the
+// merge operator finalizes each cell the moment its last chunk
+// arrives. Chunks of different cells interleave freely, so partial
+// work on later cells overlaps merge work on earlier ones —
+// inter-operator pipelining as in Fig. 5. Enabled features wrap this
+// same pipeline rather than forking a different executor.
+func (e *Exec) Execute(ctx context.Context, cells []Cell) ([]CellResult, *ExecStats, error) {
+	if err := validateExecArgs(cells, e.q, e.plan); err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	master := rng.New(e.q.Seed)
+	tasks, mergeRNGs, err := prepareTasks(cells, e.q, e.plan, master)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	tr := e.tracer
+	if tr == nil {
+		tr = trace.New(0)
+	}
+	journal := e.journal
+	retain := journal != nil
+	if journal == nil {
+		journal = NewJournal()
+	}
+	compress := e.q.Compress
+	if e.compress != nil {
+		compress = *e.compress
+	}
+	merger := newCellMerger(cells, e.q, compress, mergeRNGs, tr, journal, retain)
+
+	// One registry for the whole execution: operator counters
+	// (processed/retries/quarantined/...) aggregate across restart
+	// attempts instead of reporting only the last attempt's pipeline.
+	reg := stream.NewStatsRegistry()
+
+	work := partialTransform(cells, e.q, tr)
+	if e.inject != nil {
+		base, inj := work, e.inject
+		work = func(ctx context.Context, t chunkTask, emit stream.Emit[partialOut]) error {
+			if err := inj.Invoke("partial-kmeans"); err != nil {
+				return err
+			}
+			return base(ctx, t, emit)
+		}
+	}
+	var sup *stream.Supervisor[chunkTask]
+	if e.supervised {
+		sup = &stream.Supervisor[chunkTask]{Retry: e.retry, JitterSeed: e.q.Seed}
+	}
+
+	var events []ReoptEvent
+	restarts := 0
+	for {
+		// Finalize cells the journal already completes (covers resume
+		// from a decoded checkpoint and merges interrupted by a crash).
+		if err := merger.mergeReady(); err != nil {
+			return nil, nil, err
+		}
+		var remaining []chunkTask
+		for _, t := range tasks {
+			if !merger.done(t.cellIdx) && !journal.has(t.cellIdx, t.chunkIdx) {
+				remaining = append(remaining, t)
+			}
+		}
+		if len(remaining) == 0 {
+			break
+		}
+
+		g, gctx := stream.NewGroup(ctx)
+		chunkQ := stream.NewQueue[chunkTask]("chunks", e.plan.QueueCapacity)
+		partQ := stream.NewQueue[partialOut]("partials", e.plan.QueueCapacity)
+
+		stream.RunSource(g, gctx, reg, "scan", taskSource(remaining), chunkQ)
+		st := stream.RunStage(g, gctx, reg,
+			stream.StageConfig[chunkTask]{Name: "partial-kmeans", Clones: e.plan.PartialClones, Sup: sup},
+			work, chunkQ, partQ)
+		stream.RunSink(g, gctx, reg, "merge-kmeans", 1, merger.sink, partQ)
+		if e.reopt != nil {
+			e.runReoptMonitor(g, gctx, st, chunkQ, len(remaining), start, &events)
+		}
+
+		err := g.Wait()
+		if err == nil {
+			continue // loop re-checks: merges done in sink, remaining empties
+		}
+		if ctx.Err() != nil {
+			// The caller cancelled; restarting would spin on a dead context.
+			return nil, nil, err
+		}
+		if !e.supervised {
+			return nil, nil, err
+		}
+		if restarts >= e.maxRestarts {
+			return nil, nil, fmt.Errorf("engine: plan failed after %d restart(s): %w", restarts, err)
+		}
+		restarts++
+		if e.onRestart != nil {
+			e.onRestart(restarts, err)
+		}
+	}
+
+	results, err := merger.finalize()
+	if err != nil {
+		return nil, nil, err
+	}
+	return results, newExecStats(reg, tr, start, len(cells), len(tasks), restarts, events), nil
+}

@@ -3,14 +3,12 @@ package engine
 import (
 	"context"
 	"fmt"
-	"sync"
 	"time"
 
 	"streamkm/internal/core"
 	"streamkm/internal/dataset"
 	"streamkm/internal/grid"
 	"streamkm/internal/histogram"
-	"streamkm/internal/metrics"
 	"streamkm/internal/rng"
 	"streamkm/internal/stream"
 	"streamkm/internal/trace"
@@ -49,9 +47,12 @@ type ExecStats struct {
 	// Cells and Chunks count the processed units.
 	Cells  int
 	Chunks int
-	// Restarts counts plan-level recoveries performed by
-	// ExecuteSupervised (0 for the plain executor).
+	// Restarts counts plan-level recoveries (0 unless restarts were
+	// enabled and a crash occurred).
 	Restarts int
+	// ReoptEvents records the dynamic re-optimizer's decisions (empty
+	// unless the adaptive feature was enabled).
+	ReoptEvents []ReoptEvent
 }
 
 // chunkTask is one partition of one cell queued for the partial operator.
@@ -102,88 +103,6 @@ func prepareTasks(cells []Cell, q Query, plan PhysicalPlan, master *rng.RNG) ([]
 	return tasks, mergeRNGs, nil
 }
 
-// mergeCollector returns the merge-operator sink: it groups partials by
-// cell and merges a cell the moment its last chunk arrives, plus a
-// finalize function validating that every cell completed.
-func mergeCollector(cells []Cell, q Query, mergeRNGs []*rng.RNG, tr *trace.Tracer) (stream.SinkFunc[partialOut], func() ([]CellResult, error)) {
-	var mu sync.Mutex
-	pending := make(map[int][]*core.PartialResult, len(cells))
-	results := make([]CellResult, len(cells))
-	completed := make([]bool, len(cells))
-
-	sink := func(_ context.Context, p partialOut) error {
-		mu.Lock()
-		bucket := pending[p.cellIdx]
-		if bucket == nil {
-			bucket = make([]*core.PartialResult, p.total)
-		}
-		bucket[p.chunkIdx] = p.res
-		pending[p.cellIdx] = bucket
-		ready := true
-		for _, pr := range bucket {
-			if pr == nil {
-				ready = false
-				break
-			}
-		}
-		mu.Unlock()
-		if !ready {
-			return nil
-		}
-		parts := make([]*dataset.WeightedSet, len(bucket))
-		var partialTime time.Duration
-		for i, pr := range bucket {
-			parts[i] = pr.Centroids
-			partialTime += pr.Elapsed
-		}
-		endSpan := tr.Span("merge-kmeans", fmt.Sprintf("%v", cells[p.cellIdx].Key))
-		// Merge with a copy of the cell's pre-derived RNG: the prepared
-		// state stays pristine, so a supervised re-merge after a crash
-		// replays the identical random sequence.
-		mergeRNG := *mergeRNGs[p.cellIdx]
-		mr, err := core.MergeKMeans(parts, q.mergeConfig(), &mergeRNG)
-		endSpan()
-		if err != nil {
-			return fmt.Errorf("cell %v merge: %w", cells[p.cellIdx].Key, err)
-		}
-		pm, err := metrics.MSE(cells[p.cellIdx].Points, mr.Centroids)
-		if err != nil {
-			return err
-		}
-		var hist *histogram.Histogram
-		if q.Compress {
-			endSpan := tr.Span("compress", fmt.Sprintf("%v", cells[p.cellIdx].Key))
-			hist, err = histogram.Build(cells[p.cellIdx].Points, mr.Centroids)
-			endSpan()
-			if err != nil {
-				return fmt.Errorf("cell %v compress: %w", cells[p.cellIdx].Key, err)
-			}
-		}
-		mu.Lock()
-		results[p.cellIdx] = CellResult{
-			Key:         cells[p.cellIdx].Key,
-			Partitions:  len(bucket),
-			Result:      mr,
-			PointMSE:    pm,
-			PartialTime: partialTime,
-			Histogram:   hist,
-		}
-		completed[p.cellIdx] = true
-		delete(pending, p.cellIdx)
-		mu.Unlock()
-		return nil
-	}
-	finalize := func() ([]CellResult, error) {
-		for i, done := range completed {
-			if !done {
-				return nil, fmt.Errorf("engine: cell %v never completed", cells[i].Key)
-			}
-		}
-		return results, nil
-	}
-	return sink, finalize
-}
-
 func validateExecArgs(cells []Cell, q Query, plan PhysicalPlan) error {
 	if err := q.validate(); err != nil {
 		return err
@@ -223,51 +142,11 @@ func taskSource(tasks []chunkTask) stream.SourceFunc[chunkTask] {
 	}
 }
 
-// Execute runs the physical plan over the cells as one pipelined stream:
-// a scan operator slices cells into chunks, PartialClones replicas of the
-// partial k-means operator consume chunks from the shared queue, and a
-// merge operator collects each cell's weighted centroids, merging as soon
-// as a cell is complete. Chunks of different cells interleave freely, so
-// partial work on later cells overlaps merge work on earlier ones —
-// inter-operator pipelining as in Fig. 5.
+// Execute runs the physical plan over the cells with no engine
+// services enabled — a thin wrapper over the composable executor; see
+// Exec.Execute for the pipeline description.
 func Execute(ctx context.Context, cells []Cell, q Query, plan PhysicalPlan) ([]CellResult, *ExecStats, error) {
-	if err := validateExecArgs(cells, q, plan); err != nil {
-		return nil, nil, err
-	}
-	start := time.Now()
-	master := rng.New(q.Seed)
-	tasks, mergeRNGs, err := prepareTasks(cells, q, plan, master)
-	if err != nil {
-		return nil, nil, err
-	}
-
-	g, gctx := stream.NewGroup(ctx)
-	reg := stream.NewStatsRegistry()
-	tr := trace.New(0)
-	chunkQ := stream.NewQueue[chunkTask]("chunks", plan.QueueCapacity)
-	partQ := stream.NewQueue[partialOut]("partials", plan.QueueCapacity)
-
-	stream.RunSource(g, gctx, reg, "scan", taskSource(tasks), chunkQ)
-	stream.RunTransform(g, gctx, reg, "partial-kmeans", plan.PartialClones,
-		partialTransform(cells, q, tr), chunkQ, partQ)
-	sink, finalize := mergeCollector(cells, q, mergeRNGs, tr)
-	stream.RunSink(g, gctx, reg, "merge-kmeans", 1, sink, partQ)
-
-	if err := g.Wait(); err != nil {
-		return nil, nil, err
-	}
-	results, err := finalize()
-	if err != nil {
-		return nil, nil, err
-	}
-	stats := &ExecStats{
-		Registry: reg,
-		Trace:    tr,
-		Elapsed:  time.Since(start),
-		Cells:    len(cells),
-		Chunks:   len(tasks),
-	}
-	return results, stats, nil
+	return NewExec(q, plan).Execute(ctx, cells)
 }
 
 // Run is the one-call convenience: optimize the query against the

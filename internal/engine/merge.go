@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"streamkm/internal/core"
+	"streamkm/internal/histogram"
+	"streamkm/internal/metrics"
+	"streamkm/internal/rng"
+	"streamkm/internal/trace"
+)
+
+// cellMerger is the one merge stage shared by every executor
+// configuration: it consumes partial outputs through the execution
+// journal and finalizes a cell the moment its last chunk is present.
+// Merging always draws from a copy of the cell's pre-derived RNG, so a
+// re-merge after a retry, a plan restart, or a resume in another
+// process (via DecodeJournal) replays the identical random sequence —
+// the invariant behind the bit-identical equivalence guarantees.
+type cellMerger struct {
+	cells     []Cell
+	q         Query
+	compress  bool
+	mergeRNGs []*rng.RNG
+	tr        *trace.Tracer
+	journal   *Journal
+	// retain keeps merged cells' chunks in the journal. It is set when
+	// the journal outlives the execution (a caller-provided migration
+	// checkpoint); an internal journal is pruned cell by cell instead.
+	retain bool
+
+	mu        sync.Mutex
+	results   []CellResult
+	completed []bool
+}
+
+func newCellMerger(cells []Cell, q Query, compress bool, mergeRNGs []*rng.RNG, tr *trace.Tracer, journal *Journal, retain bool) *cellMerger {
+	return &cellMerger{
+		cells:     cells,
+		q:         q,
+		compress:  compress,
+		mergeRNGs: mergeRNGs,
+		tr:        tr,
+		journal:   journal,
+		retain:    retain,
+		results:   make([]CellResult, len(cells)),
+		completed: make([]bool, len(cells)),
+	}
+}
+
+// sink is the merge operator's SinkFunc: journal the partial output,
+// then merge its cell if that completed it.
+func (m *cellMerger) sink(_ context.Context, p partialOut) error {
+	m.journal.record(p)
+	return m.mergeCell(p.cellIdx)
+}
+
+// done reports whether the cell has been merged.
+func (m *cellMerger) done(ci int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.completed[ci]
+}
+
+// mergeReady finalizes every cell the journal already completes —
+// covers resume from a decoded checkpoint and merges interrupted by a
+// crash.
+func (m *cellMerger) mergeReady() error {
+	for ci := range m.cells {
+		if err := m.mergeCell(ci); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeCell finalizes one cell from the journal once all its chunks are
+// present; incomplete cells and already-merged cells are no-ops.
+func (m *cellMerger) mergeCell(ci int) error {
+	m.mu.Lock()
+	if m.completed[ci] {
+		m.mu.Unlock()
+		return nil
+	}
+	m.mu.Unlock()
+	parts, partialTime, ok := m.journal.cellParts(ci)
+	if !ok {
+		return nil
+	}
+	key := m.cells[ci].Key
+	endSpan := m.tr.Span("merge-kmeans", fmt.Sprintf("%v", key))
+	mergeRNG := *m.mergeRNGs[ci]
+	mr, err := core.MergeKMeans(parts, m.q.mergeConfig(), &mergeRNG)
+	endSpan()
+	if err != nil {
+		return fmt.Errorf("cell %v merge: %w", key, err)
+	}
+	pm, err := metrics.MSE(m.cells[ci].Points, mr.Centroids)
+	if err != nil {
+		return err
+	}
+	var hist *histogram.Histogram
+	if m.compress {
+		endSpan := m.tr.Span("compress", fmt.Sprintf("%v", key))
+		hist, err = histogram.Build(m.cells[ci].Points, mr.Centroids)
+		endSpan()
+		if err != nil {
+			return fmt.Errorf("cell %v compress: %w", key, err)
+		}
+	}
+	m.mu.Lock()
+	m.results[ci] = CellResult{
+		Key:         key,
+		Partitions:  len(parts),
+		Result:      mr,
+		PointMSE:    pm,
+		PartialTime: partialTime,
+		Histogram:   hist,
+	}
+	m.completed[ci] = true
+	m.mu.Unlock()
+	if !m.retain {
+		m.journal.dropCell(ci)
+	}
+	return nil
+}
+
+// finalize validates that every cell completed and returns the results.
+func (m *cellMerger) finalize() ([]CellResult, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for ci, done := range m.completed {
+		if !done {
+			return nil, fmt.Errorf("engine: cell %v never completed", m.cells[ci].Key)
+		}
+	}
+	return m.results, nil
+}

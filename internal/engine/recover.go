@@ -2,31 +2,23 @@ package engine
 
 import (
 	"context"
-	"fmt"
-	"time"
 
-	"streamkm/internal/core"
 	"streamkm/internal/fault"
-	"streamkm/internal/histogram"
-	"streamkm/internal/metrics"
-	"streamkm/internal/rng"
 	"streamkm/internal/stream"
-	"streamkm/internal/trace"
 )
 
-// This file implements the fault-tolerant executor: the paper's Conquest
-// engine keeps long-running stream queries alive by restarting failed
-// operators and migrating queries (§4). ExecuteSupervised runs the same
-// physical plan as Execute, but (a) the partial operator is supervised —
-// panics become typed errors and failing chunks are retried with
-// exponential backoff — and (b) when the plan still dies, the executor
-// restarts it from the execution journal, re-running only chunks whose
-// outputs were lost in flight. Because every chunk and merge draws from a
-// pre-derived RNG that is copied before use, a recovered run produces
-// final centroids bit-identical to an undisturbed one.
+// Fault tolerance in the engine follows the paper's Conquest design:
+// the engine keeps long-running stream queries alive by restarting
+// failed operators and migrating queries (§4). These are services of
+// the one composable executor (see exec.go): supervision retries
+// failing chunks with exponential backoff, plan restarts replay only
+// the chunks the execution journal lost in flight, and — because every
+// chunk and merge draws from a pre-derived RNG that is copied before
+// use — a recovered run produces final centroids bit-identical to an
+// undisturbed one.
 
-// Supervision configures the fault-tolerant executor. The zero value
-// runs the plan with panic recovery only (no retries, no restarts).
+// Supervision bundles the fault-tolerance options. The zero value runs
+// the plan with panic recovery only (no retries, no restarts).
 type Supervision struct {
 	// Retry bounds per-chunk re-attempts inside a running plan.
 	Retry stream.RetryPolicy
@@ -45,153 +37,16 @@ type Supervision struct {
 	OnRestart func(restart int, err error)
 }
 
-// ExecuteSupervised runs the physical plan like Execute but under
-// supervision and journaled recovery. Chunks that already completed —
-// in a previous attempt, or in a previous process via sup.Journal — are
-// not re-run. Results are bit-identical to Execute's for the same query
-// and plan.
+// ExecuteSupervised runs the physical plan under supervision and
+// journaled recovery. Chunks that already completed — in a previous
+// attempt, or in a previous process via sup.Journal — are not re-run.
+// Results are bit-identical to Execute's for the same query and plan.
+//
+// Deprecated: compose the same behaviour with
+// NewExec(q, plan, WithSupervision(sup)).Execute, which also combines
+// with the adaptive and tracing options. This wrapper is kept for the
+// engine's own use and tests; scripts/check.sh rejects new callers
+// outside internal/engine.
 func ExecuteSupervised(ctx context.Context, cells []Cell, q Query, plan PhysicalPlan, sup Supervision) ([]CellResult, *ExecStats, error) {
-	if err := validateExecArgs(cells, q, plan); err != nil {
-		return nil, nil, err
-	}
-	start := time.Now()
-	master := rng.New(q.Seed)
-	tasks, mergeRNGs, err := prepareTasks(cells, q, plan, master)
-	if err != nil {
-		return nil, nil, err
-	}
-	journal := sup.Journal
-	if journal == nil {
-		journal = NewJournal()
-	}
-
-	tr := trace.New(0)
-	results := make([]CellResult, len(cells))
-	completed := make([]bool, len(cells))
-
-	// mergeCell finalizes one cell from the journal once all its chunks
-	// are present. Deterministic: the merge RNG is a copy of the cell's
-	// pre-derived generator, so re-merging after a crash (or in another
-	// process after DecodeJournal) replays the identical sequence.
-	mergeCell := func(ci int) error {
-		if completed[ci] {
-			return nil
-		}
-		parts, partialTime, ok := journal.cellParts(ci)
-		if !ok {
-			return nil
-		}
-		endSpan := tr.Span("merge-kmeans", fmt.Sprintf("%v", cells[ci].Key))
-		mergeRNG := *mergeRNGs[ci]
-		mr, err := core.MergeKMeans(parts, q.mergeConfig(), &mergeRNG)
-		endSpan()
-		if err != nil {
-			return fmt.Errorf("cell %v merge: %w", cells[ci].Key, err)
-		}
-		pm, err := metrics.MSE(cells[ci].Points, mr.Centroids)
-		if err != nil {
-			return err
-		}
-		var hist *histogram.Histogram
-		if q.Compress {
-			endSpan := tr.Span("compress", fmt.Sprintf("%v", cells[ci].Key))
-			hist, err = histogram.Build(cells[ci].Points, mr.Centroids)
-			endSpan()
-			if err != nil {
-				return fmt.Errorf("cell %v compress: %w", cells[ci].Key, err)
-			}
-		}
-		results[ci] = CellResult{
-			Key:         cells[ci].Key,
-			Partitions:  len(parts),
-			Result:      mr,
-			PointMSE:    pm,
-			PartialTime: partialTime,
-			Histogram:   hist,
-		}
-		completed[ci] = true
-		return nil
-	}
-
-	base := partialTransform(cells, q, tr)
-	work := base
-	if sup.Inject != nil {
-		inj := sup.Inject
-		work = func(ctx context.Context, t chunkTask, emit stream.Emit[partialOut]) error {
-			if err := inj.Invoke("partial-kmeans"); err != nil {
-				return err
-			}
-			return base(ctx, t, emit)
-		}
-	}
-
-	var reg *stream.StatsRegistry
-	restarts := 0
-	for {
-		// Finalize cells the journal already completes (covers resume
-		// from a decoded checkpoint and merges interrupted by a crash).
-		for ci := range cells {
-			if err := mergeCell(ci); err != nil {
-				return nil, nil, err
-			}
-		}
-		var remaining []chunkTask
-		for _, t := range tasks {
-			if !completed[t.cellIdx] && !journal.has(t.cellIdx, t.chunkIdx) {
-				remaining = append(remaining, t)
-			}
-		}
-		if len(remaining) == 0 {
-			break
-		}
-
-		g, gctx := stream.NewGroup(ctx)
-		reg = stream.NewStatsRegistry()
-		chunkQ := stream.NewQueue[chunkTask]("chunks", plan.QueueCapacity)
-		partQ := stream.NewQueue[partialOut]("partials", plan.QueueCapacity)
-
-		stream.RunSource(g, gctx, reg, "scan", taskSource(remaining), chunkQ)
-		stream.RunSupervisedTransform(g, gctx, reg, "partial-kmeans", plan.PartialClones,
-			&stream.Supervisor[chunkTask]{Retry: sup.Retry, JitterSeed: q.Seed},
-			work, chunkQ, partQ)
-		sink := func(_ context.Context, p partialOut) error {
-			journal.record(p)
-			return mergeCell(p.cellIdx)
-		}
-		stream.RunSink(g, gctx, reg, "merge-kmeans", 1, sink, partQ)
-
-		err := g.Wait()
-		if err == nil {
-			continue // loop re-checks: merges done in sink, remaining empties
-		}
-		if ctx.Err() != nil {
-			// The caller cancelled; restarting would spin on a dead context.
-			return nil, nil, err
-		}
-		if restarts >= sup.MaxRestarts {
-			return nil, nil, fmt.Errorf("engine: plan failed after %d restart(s): %w", restarts, err)
-		}
-		restarts++
-		if sup.OnRestart != nil {
-			sup.OnRestart(restarts, err)
-		}
-	}
-
-	for ci, done := range completed {
-		if !done {
-			return nil, nil, fmt.Errorf("engine: cell %v never completed", cells[ci].Key)
-		}
-	}
-	if reg == nil {
-		reg = stream.NewStatsRegistry() // fully resumed from checkpoint
-	}
-	stats := &ExecStats{
-		Registry: reg,
-		Trace:    tr,
-		Elapsed:  time.Since(start),
-		Cells:    len(cells),
-		Chunks:   len(tasks),
-		Restarts: restarts,
-	}
-	return results, stats, nil
+	return NewExec(q, plan, WithSupervision(sup)).Execute(ctx, cells)
 }

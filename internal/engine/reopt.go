@@ -3,12 +3,9 @@ package engine
 import (
 	"context"
 	"fmt"
-	"sync"
 	"time"
 
-	"streamkm/internal/rng"
 	"streamkm/internal/stream"
-	"streamkm/internal/trace"
 )
 
 // This file implements dynamic query re-optimization (§4: Conquest
@@ -17,7 +14,9 @@ import (
 // do). A monitor samples the chunk queue while the plan runs; sustained
 // backlog means the partial operator is the bottleneck, and the
 // re-optimizer responds by cloning another replica, up to the worker
-// budget.
+// budget. It is a service of the composable executor (WithReopt in
+// exec.go), so it stacks with supervision: scaled-up replicas of a
+// supervised stage retry and quarantine just like the initial ones.
 
 // ReoptPolicy tunes the monitor.
 type ReoptPolicy struct {
@@ -58,45 +57,21 @@ type ReoptEvent struct {
 	Backlog int
 }
 
-// ExecuteAdaptive runs the plan like Execute but starts the partial
-// operator at plan.PartialClones replicas and lets the re-optimizer add
-// replicas (up to policy.MaxClones) while the chunk queue stays
-// congested. It returns the re-optimization decisions along with the
-// results. Results are identical to Execute's for the same query
-// (per-chunk RNGs are pre-derived; the collective merge is order-
-// insensitive).
-func ExecuteAdaptive(ctx context.Context, cells []Cell, q Query, plan PhysicalPlan, policy ReoptPolicy) ([]CellResult, *ExecStats, []ReoptEvent, error) {
-	if err := validateExecArgs(cells, q, plan); err != nil {
-		return nil, nil, nil, err
-	}
-	policy = policy.withDefaults()
-	start := time.Now()
-	master := rng.New(q.Seed)
-	tasks, mergeRNGs, err := prepareTasks(cells, q, plan, master)
-	if err != nil {
-		return nil, nil, nil, err
-	}
+// String formats an event for logs.
+func (e ReoptEvent) String() string {
+	return fmt.Sprintf("t=%v clones->%d (backlog %d)", e.At.Round(time.Millisecond), e.Clones, e.Backlog)
+}
 
-	g, gctx := stream.NewGroup(ctx)
-	reg := stream.NewStatsRegistry()
-	chunkQ := stream.NewQueue[chunkTask]("chunks", plan.QueueCapacity)
-	partQ := stream.NewQueue[partialOut]("partials", plan.QueueCapacity)
-
-	stream.RunSource(g, gctx, reg, "scan", taskSource(tasks), chunkQ)
-	tr := trace.New(0)
-	dt := stream.RunDynamicTransform(g, gctx, reg, "partial-kmeans", plan.PartialClones,
-		partialTransform(cells, q, tr), chunkQ, partQ)
-	sink, finalize := mergeCollector(cells, q, mergeRNGs, tr)
-	stream.RunSink(g, gctx, reg, "merge-kmeans", 1, sink, partQ)
-
-	// Monitor: sample the chunk queue until the partial stage drains.
-	var (
-		eventsMu sync.Mutex
-		events   []ReoptEvent
-	)
-	monitorDone := make(chan struct{})
+// runReoptMonitor starts the re-optimizer on the plan's group: it
+// samples the chunk queue until this attempt's tasks drain, appending
+// scale-up decisions to events. Restart-safe: the stage's processed
+// counter aggregates across attempts, so progress is measured as a
+// delta from this attempt's start against the attempt's own task
+// count.
+func (e *Exec) runReoptMonitor(g *stream.Group, gctx context.Context, st *stream.Stage[chunkTask, partialOut], chunkQ *stream.Queue[chunkTask], total int, start time.Time, events *[]ReoptEvent) {
+	policy := e.reopt.withDefaults()
+	processedStart := st.Stats().Processed()
 	g.Go("reoptimizer", func() error {
-		defer close(monitorDone)
 		congested := 0
 		ticker := time.NewTicker(policy.SampleInterval)
 		defer ticker.Stop()
@@ -106,8 +81,7 @@ func ExecuteAdaptive(ctx context.Context, cells []Cell, q Query, plan PhysicalPl
 				return nil
 			case <-ticker.C:
 			}
-			remaining := int64(len(tasks)) - dt.Stats().Processed()
-			if remaining <= 0 {
+			if st.Stats().Processed()-processedStart >= int64(total) {
 				return nil
 			}
 			// High-water depth since the last sample, not instantaneous
@@ -120,39 +94,44 @@ func ExecuteAdaptive(ctx context.Context, cells []Cell, q Query, plan PhysicalPl
 			} else {
 				congested = 0
 			}
-			if congested >= policy.SustainedSamples && dt.Clones() < policy.MaxClones {
-				if dt.AddClone() {
-					eventsMu.Lock()
-					events = append(events, ReoptEvent{
+			if congested >= policy.SustainedSamples && st.Clones() < policy.MaxClones {
+				if st.AddClone() {
+					// Only this goroutine appends, and the executor reads
+					// events after g.Wait returns, so no lock is needed.
+					ev := ReoptEvent{
 						At:      time.Since(start),
-						Clones:  dt.Clones(),
+						Clones:  st.Clones(),
 						Backlog: depth,
-					})
-					eventsMu.Unlock()
+					}
+					*events = append(*events, ev)
+					if e.onReopt != nil {
+						e.onReopt(ev)
+					}
 				}
 				congested = 0
 			}
 		}
 	})
+}
 
-	if err := g.Wait(); err != nil {
-		return nil, nil, nil, err
-	}
-	results, err := finalize()
+// ExecuteAdaptive runs the plan like Execute but starts the partial
+// operator at plan.PartialClones replicas and lets the re-optimizer add
+// replicas (up to policy.MaxClones) while the chunk queue stays
+// congested. It returns the re-optimization decisions along with the
+// results. Results are identical to Execute's for the same query
+// (per-chunk RNGs are pre-derived; the collective merge is order-
+// insensitive).
+//
+// Deprecated: compose the same behaviour with
+// NewExec(q, plan, WithReopt(policy)).Execute and read
+// ExecStats.ReoptEvents, which also combines with the supervision and
+// journaling options. This wrapper is kept for the engine's own use
+// and tests; scripts/check.sh rejects new callers outside
+// internal/engine.
+func ExecuteAdaptive(ctx context.Context, cells []Cell, q Query, plan PhysicalPlan, policy ReoptPolicy) ([]CellResult, *ExecStats, []ReoptEvent, error) {
+	results, stats, err := NewExec(q, plan, WithReopt(policy)).Execute(ctx, cells)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	stats := &ExecStats{
-		Registry: reg,
-		Trace:    tr,
-		Elapsed:  time.Since(start),
-		Cells:    len(cells),
-		Chunks:   len(tasks),
-	}
-	return results, stats, events, nil
-}
-
-// String formats an event for logs.
-func (e ReoptEvent) String() string {
-	return fmt.Sprintf("t=%v clones->%d (backlog %d)", e.At.Round(time.Millisecond), e.Clones, e.Backlog)
+	return results, stats, stats.ReoptEvents, nil
 }

@@ -25,10 +25,13 @@ type TransformFunc[I, O any] func(ctx context.Context, in I, emit Emit[O]) error
 type SinkFunc[I any] func(ctx context.Context, in I) error
 
 // OpStats reports one operator's lifetime counters. Clones of an operator
-// aggregate into a single OpStats.
+// aggregate into a single OpStats, and so do restart attempts of the
+// same plan: re-registering an operator name in a registry returns the
+// existing entry, so counters accumulate across every attempt instead
+// of reporting only the last one.
 type OpStats struct {
 	name      string
-	clones    int32
+	clones    atomic.Int32
 	processed atomic.Int64
 	emitted   atomic.Int64
 	busyNanos atomic.Int64
@@ -41,8 +44,19 @@ type OpStats struct {
 // Name returns the operator name.
 func (s *OpStats) Name() string { return s.name }
 
-// Clones returns the number of replicas the operator ran with.
-func (s *OpStats) Clones() int { return int(s.clones) }
+// Clones returns the high-water replica count the operator ran with.
+func (s *OpStats) Clones() int { return int(s.clones.Load()) }
+
+// growClones raises the recorded replica count to n (never lowers it),
+// so a stage scaled up by the re-optimizer reports its peak.
+func (s *OpStats) growClones(n int32) {
+	for {
+		cur := s.clones.Load()
+		if n <= cur || s.clones.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
 
 // Processed returns the number of input items consumed.
 func (s *OpStats) Processed() int64 { return s.processed.Load() }
@@ -85,13 +99,27 @@ type StatsRegistry struct {
 // NewStatsRegistry returns an empty registry.
 func NewStatsRegistry() *StatsRegistry { return &StatsRegistry{} }
 
+// register returns the stats slot for name, creating it on first use.
+// Re-registering an existing name (a restarted plan rebuilding its
+// pipeline) returns the same slot so counters aggregate across
+// attempts rather than resetting.
 func (r *StatsRegistry) register(name string, clones int) *OpStats {
-	s := &OpStats{name: name, clones: int32(clones)}
-	if r != nil {
-		r.mu.Lock()
-		r.stats = append(r.stats, s)
-		r.mu.Unlock()
+	if r == nil {
+		s := &OpStats{name: name}
+		s.growClones(int32(clones))
+		return s
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.stats {
+		if s.name == name {
+			s.growClones(int32(clones))
+			return s
+		}
+	}
+	s := &OpStats{name: name}
+	s.growClones(int32(clones))
+	r.stats = append(r.stats, s)
 	return s
 }
 
@@ -143,85 +171,13 @@ func RunSource[T any](g *Group, ctx context.Context, reg *StatsRegistry, name st
 // consumer treat cloned operators as one logical operator (Fig. 3).
 // clones < 1 is treated as 1. reg may be nil.
 func RunTransform[I, O any](g *Group, ctx context.Context, reg *StatsRegistry, name string, clones int, fn TransformFunc[I, O], in *Queue[I], out *Queue[O]) *OpStats {
-	if clones < 1 {
-		clones = 1
-	}
-	stats := reg.register(name, clones)
-	var live sync.WaitGroup
-	live.Add(clones)
-	for c := 0; c < clones; c++ {
-		cloneName := name
-		if clones > 1 {
-			cloneName = fmt.Sprintf("%s#%d", name, c)
-		}
-		g.Go(cloneName, func() error {
-			defer live.Done()
-			emit := func(v O) error {
-				if err := out.Put(ctx, v); err != nil {
-					return err
-				}
-				stats.emitted.Add(1)
-				return nil
-			}
-			for {
-				item, ok, err := in.Get(ctx)
-				if err != nil {
-					return err
-				}
-				if !ok {
-					return nil
-				}
-				stats.processed.Add(1)
-				start := time.Now()
-				err = fn(ctx, item, emit)
-				stats.busyNanos.Add(int64(time.Since(start)))
-				if err != nil {
-					return err
-				}
-			}
-		})
-	}
-	// Closer goroutine: close out once all clones drained the input.
-	g.Go(name+".close", func() error {
-		live.Wait()
-		out.Close()
-		return nil
-	})
-	return stats
+	return RunStage(g, ctx, reg, StageConfig[I]{Name: name, Clones: clones}, fn, in, out).Stats()
 }
 
 // RunSink starts clones replicas of fn on the group, consuming from in.
 // clones < 1 is treated as 1. reg may be nil.
 func RunSink[I any](g *Group, ctx context.Context, reg *StatsRegistry, name string, clones int, fn SinkFunc[I], in *Queue[I]) *OpStats {
-	if clones < 1 {
-		clones = 1
-	}
-	stats := reg.register(name, clones)
-	for c := 0; c < clones; c++ {
-		cloneName := name
-		if clones > 1 {
-			cloneName = fmt.Sprintf("%s#%d", name, c)
-		}
-		g.Go(cloneName, func() error {
-			for {
-				item, ok, err := in.Get(ctx)
-				if err != nil {
-					return err
-				}
-				if !ok {
-					return nil
-				}
-				stats.processed.Add(1)
-				start := time.Now()
-				err = fn(ctx, item)
-				stats.busyNanos.Add(int64(time.Since(start)))
-				if err != nil {
-					return err
-				}
-			}
-		})
-	}
-	return stats
+	return sinkStage(g, ctx, reg, StageConfig[I]{Name: name, Clones: clones}, fn, in).Stats()
 }
 
 // Collect is a convenience sink that appends every item into a slice

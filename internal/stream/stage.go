@@ -1,0 +1,207 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"streamkm/internal/rng"
+)
+
+// This file holds the single stage runner behind every transform-shaped
+// operator. The paper's Conquest engine layers its services —
+// supervision, re-optimization, migration — over one operator pipeline
+// (§4) rather than forking a dedicated executor per service, and the
+// runner mirrors that: supervision (retry/backoff, panic capture,
+// dead-lettering) and dynamic scaling (AddClone while the plan runs)
+// are orthogonal capabilities of the same clone loop, so an adaptive
+// plan can grow replicas of a supervised operator. RunTransform,
+// RunSupervisedTransform, RunDynamicTransform, RunSink, and
+// RunSupervisedSink are all thin wrappers over RunStage.
+
+// StageConfig selects a stage's optional capabilities.
+type StageConfig[I any] struct {
+	// Name tags goroutines, error messages, and stats.
+	Name string
+	// Clones is the initial replica count (< 1 is treated as 1).
+	Clones int
+	// Sup, when non-nil, supervises every replica — including ones
+	// added later through AddClone: panics become typed errors,
+	// failing items are retried per the policy, and poison items are
+	// quarantined to the DLQ (when configured) instead of cancelling
+	// the plan. Emissions of a failing attempt are discarded, so
+	// retries never duplicate output.
+	Sup *Supervisor[I]
+}
+
+// Stage is a running transform (or sink) stage. All replicas consume
+// the shared input queue; the output queue closes only after the input
+// is exhausted and every replica has returned — the fan-in barrier
+// that lets a downstream consumer treat cloned operators as one
+// logical operator (Fig. 3).
+type Stage[I, O any] struct {
+	name  string
+	fn    TransformFunc[I, O]
+	in    *Queue[I]
+	out   *Queue[O] // nil for sink stages
+	g     *Group
+	ctx   context.Context
+	stats *OpStats
+	sup   *Supervisor[I] // nil = unsupervised
+
+	mu      sync.Mutex
+	initial int
+	clones  int
+	closed  bool // input exhausted; no further clones may be added
+	live    sync.WaitGroup
+}
+
+// RunStage starts a stage on the group. A nil out makes it a sink
+// stage (fn's emissions, if any, are rejected by the nil queue — sink
+// adapters simply never emit). reg may be nil.
+func RunStage[I, O any](g *Group, ctx context.Context, reg *StatsRegistry, cfg StageConfig[I], fn TransformFunc[I, O], in *Queue[I], out *Queue[O]) *Stage[I, O] {
+	initial := cfg.Clones
+	if initial < 1 {
+		initial = 1
+	}
+	s := &Stage[I, O]{
+		name:    cfg.Name,
+		fn:      fn,
+		in:      in,
+		out:     out,
+		g:       g,
+		ctx:     ctx,
+		stats:   reg.register(cfg.Name, initial),
+		sup:     cfg.Sup,
+		initial: initial,
+	}
+	for i := 0; i < initial; i++ {
+		s.spawnLocked()
+	}
+	// Closer: when the input is exhausted every clone returns; after
+	// the last one, mark closed and propagate end-of-stream.
+	g.Go(cfg.Name+".close", func() error {
+		s.live.Wait()
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		if s.out != nil {
+			s.out.Close()
+		}
+		return nil
+	})
+	return s
+}
+
+// Stats returns the stage's aggregate counters.
+func (s *Stage[I, O]) Stats() *OpStats { return s.stats }
+
+// Clones returns the current replica count.
+func (s *Stage[I, O]) Clones() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.clones
+}
+
+// AddClone spawns one more replica — the re-optimizer's scale-up
+// primitive. It reports false when the stage has already drained its
+// input (scaling up would be pointless).
+func (s *Stage[I, O]) AddClone() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.spawnLocked()
+	return true
+}
+
+// spawnLocked registers and starts one replica; s.mu must be held (or
+// the stage not yet shared).
+func (s *Stage[I, O]) spawnLocked() {
+	idx := s.clones
+	s.clones++
+	s.stats.growClones(int32(s.clones))
+	// A single-replica stage keeps the bare operator name (so errors
+	// read "partial-kmeans", not "partial-kmeans#0"); replicas of a
+	// multi-clone or scaled-up stage are numbered.
+	cloneName := s.name
+	if !(idx == 0 && s.initial == 1) {
+		cloneName = fmt.Sprintf("%s#%d", s.name, idx)
+	}
+	var jr *rng.RNG
+	if s.sup != nil {
+		jr = rng.New(s.sup.JitterSeed + uint64(idx)*0x9e3779b97f4a7c15)
+	}
+	s.live.Add(1)
+	s.g.Go(cloneName, func() error {
+		defer s.live.Done()
+		var buf []O
+		emit := func(v O) error {
+			if err := s.out.Put(s.ctx, v); err != nil {
+				return err
+			}
+			s.stats.emitted.Add(1)
+			return nil
+		}
+		for {
+			item, ok, err := s.in.Get(s.ctx)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			s.stats.processed.Add(1)
+			start := time.Now()
+			if s.sup == nil {
+				err = s.fn(s.ctx, item, emit)
+				s.stats.busyNanos.Add(int64(time.Since(start)))
+				if err != nil {
+					return err
+				}
+				continue
+			}
+			ok, err = superviseItem(s.ctx, cloneName, s.sup, jr, s.stats, s.fn, item, &buf)
+			s.stats.busyNanos.Add(int64(time.Since(start)))
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue // quarantined; move on to the next item
+			}
+			for _, v := range buf {
+				if err := emit(v); err != nil {
+					return err
+				}
+			}
+		}
+	})
+}
+
+// sinkStage adapts a SinkFunc and runs it as a stage with no output
+// queue, for the RunSink/RunSupervisedSink wrappers.
+func sinkStage[I any](g *Group, ctx context.Context, reg *StatsRegistry, cfg StageConfig[I], fn SinkFunc[I], in *Queue[I]) *Stage[I, struct{}] {
+	asTransform := func(ctx context.Context, item I, _ Emit[struct{}]) error {
+		return fn(ctx, item)
+	}
+	return RunStage(g, ctx, reg, cfg, asTransform, in, (*Queue[struct{}])(nil))
+}
+
+// RunDynamicTransform starts a stage whose clone count can grow while
+// the plan is running — the mechanism behind dynamic re-optimization
+// (§4: Conquest's re-optimizer adapts long-running queries). The
+// returned handle adds clones at runtime and exposes the aggregate
+// stats. initial < 1 is treated as 1. reg may be nil.
+func RunDynamicTransform[I, O any](g *Group, ctx context.Context, reg *StatsRegistry, name string, initial int, fn TransformFunc[I, O], in *Queue[I], out *Queue[O]) *Stage[I, O] {
+	return RunStage(g, ctx, reg, StageConfig[I]{Name: name, Clones: initial}, fn, in, out)
+}
+
+// RunSupervisedDynamicTransform is RunDynamicTransform with operator
+// supervision (see StageConfig.Sup): every replica — including ones
+// added later by the re-optimizer — recovers panics, retries per the
+// policy, and quarantines poison items. sup may be nil.
+func RunSupervisedDynamicTransform[I, O any](g *Group, ctx context.Context, reg *StatsRegistry, name string, initial int, sup *Supervisor[I], fn TransformFunc[I, O], in *Queue[I], out *Queue[O]) *Stage[I, O] {
+	return RunStage(g, ctx, reg, StageConfig[I]{Name: name, Clones: initial, Sup: sup}, fn, in, out)
+}

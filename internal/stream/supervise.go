@@ -40,7 +40,8 @@ type RetryPolicy struct {
 	// MaxRetries is the number of re-attempts after the first failure;
 	// an item is tried at most MaxRetries+1 times.
 	MaxRetries int
-	// BaseBackoff is the delay before the first retry (0 = 1ms); each
+	// BaseBackoff is the delay before the first retry (0 = 1ms,
+	// negative = retry immediately with no backoff at all); each
 	// further retry doubles it up to MaxBackoff.
 	BaseBackoff time.Duration
 	// MaxBackoff caps the exponential growth (0 = 64 * BaseBackoff).
@@ -51,11 +52,14 @@ type RetryPolicy struct {
 	Jitter float64
 }
 
-// backoff returns the delay before retry number attempt (1-based), drawing
-// jitter from r.
-func (p RetryPolicy) backoff(attempt int, r *rng.RNG) time.Duration {
+// Backoff returns the delay before retry number attempt (1-based),
+// drawing jitter from r (nil = no jitter).
+func (p RetryPolicy) Backoff(attempt int, r *rng.RNG) time.Duration {
+	if p.BaseBackoff < 0 {
+		return 0
+	}
 	base := p.BaseBackoff
-	if base <= 0 {
+	if base == 0 {
 		base = time.Millisecond
 	}
 	max := p.MaxBackoff
@@ -69,7 +73,7 @@ func (p RetryPolicy) backoff(attempt int, r *rng.RNG) time.Duration {
 	if d > max {
 		d = max
 	}
-	if p.Jitter > 0 {
+	if p.Jitter > 0 && r != nil {
 		j := p.Jitter
 		if j > 1 {
 			j = 1
@@ -81,6 +85,41 @@ func (p RetryPolicy) backoff(attempt int, r *rng.RNG) time.Duration {
 		d = 0
 	}
 	return d
+}
+
+// retryAbort reports whether err is a plan-lifecycle signal —
+// cancellation, deadline expiry, or queue teardown — that must abort a
+// retry loop immediately: they are not item failures.
+func retryAbort(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, ErrQueueClosed)
+}
+
+// Attempts drives fn under the policy: fn is called with the 1-based
+// attempt number until it returns nil or the retry budget is
+// exhausted, with Backoff-shaped sleeps (jitter from r, nil = none)
+// separating attempts. onRetry, when non-nil, observes each re-attempt
+// before its backoff sleep. Lifecycle errors (see retryAbort) abort
+// immediately. It returns the number of attempts made and fn's final
+// error. This is the one retry loop shared by supervised operators and
+// the streamkm facade's flush path.
+func (p RetryPolicy) Attempts(ctx context.Context, r *rng.RNG, onRetry func(attempt int, err error), fn func(attempt int) error) (int, error) {
+	attempt := 0
+	for {
+		attempt++
+		err := fn(attempt)
+		if err == nil {
+			return attempt, nil
+		}
+		if retryAbort(err) || attempt > p.MaxRetries {
+			return attempt, err
+		}
+		if onRetry != nil {
+			onRetry(attempt, err)
+		}
+		if serr := sleep(ctx, p.Backoff(attempt, r)); serr != nil {
+			return attempt, serr
+		}
+	}
 }
 
 // sleep waits for d or until ctx is cancelled.
@@ -206,39 +245,28 @@ func attemptTransform[I, O any](ctx context.Context, op string, fn TransformFunc
 // was quarantined (or dropped) and the caller should continue with the
 // next item; a non-nil error fails the operator.
 func superviseItem[I, O any](ctx context.Context, op string, sup *Supervisor[I], jr *rng.RNG, stats *OpStats, fn TransformFunc[I, O], item I, buf *[]O) (ok bool, err error) {
-	attempts := 0
-	for {
-		attempts++
-		err = attemptTransform(ctx, op, fn, item, buf)
-		if err == nil {
-			return true, nil
-		}
-		// Cancellation and queue teardown are plan-lifecycle signals, not
-		// item failures: never retry or quarantine them.
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, ErrQueueClosed) {
-			return false, err
-		}
-		if attempts <= sup.Retry.MaxRetries {
-			stats.retries.Add(1)
-			if serr := sleep(ctx, sup.Retry.backoff(attempts, jr)); serr != nil {
-				return false, serr
-			}
-			continue
-		}
-		if sup.DLQ == nil {
-			return false, fmt.Errorf("stream: %s: item failed %d attempts: %w", op, attempts, err)
-		}
-		d := DeadLetter[I]{Item: item, Op: op, Attempts: attempts, Err: err}
-		if sup.DLQ.add(d) {
-			stats.quarantined.Add(1)
-		} else {
-			stats.dropped.Add(1)
-		}
-		if sup.OnQuarantine != nil {
-			sup.OnQuarantine(d)
-		}
-		return false, nil
+	attempts, err := sup.Retry.Attempts(ctx, jr,
+		func(int, error) { stats.retries.Add(1) },
+		func(int) error { return attemptTransform(ctx, op, fn, item, buf) })
+	if err == nil {
+		return true, nil
 	}
+	if retryAbort(err) {
+		return false, err
+	}
+	if sup.DLQ == nil {
+		return false, fmt.Errorf("stream: %s: item failed %d attempts: %w", op, attempts, err)
+	}
+	d := DeadLetter[I]{Item: item, Op: op, Attempts: attempts, Err: err}
+	if sup.DLQ.add(d) {
+		stats.quarantined.Add(1)
+	} else {
+		stats.dropped.Add(1)
+	}
+	if sup.OnQuarantine != nil {
+		sup.OnQuarantine(d)
+	}
+	return false, nil
 }
 
 // RunSupervisedTransform starts clones replicas of fn like RunTransform,
@@ -248,97 +276,11 @@ func superviseItem[I, O any](ctx context.Context, op string, sup *Supervisor[I],
 // failing attempt are discarded, so retries never duplicate output.
 // A nil supervisor degrades to RunTransform semantics.
 func RunSupervisedTransform[I, O any](g *Group, ctx context.Context, reg *StatsRegistry, name string, clones int, sup *Supervisor[I], fn TransformFunc[I, O], in *Queue[I], out *Queue[O]) *OpStats {
-	if sup == nil {
-		return RunTransform(g, ctx, reg, name, clones, fn, in, out)
-	}
-	if clones < 1 {
-		clones = 1
-	}
-	stats := reg.register(name, clones)
-	var live sync.WaitGroup
-	live.Add(clones)
-	for c := 0; c < clones; c++ {
-		cloneName := name
-		if clones > 1 {
-			cloneName = fmt.Sprintf("%s#%d", name, c)
-		}
-		jr := rng.New(sup.JitterSeed + uint64(c)*0x9e3779b97f4a7c15)
-		g.Go(cloneName, func() error {
-			defer live.Done()
-			var buf []O
-			for {
-				item, ok, err := in.Get(ctx)
-				if err != nil {
-					return err
-				}
-				if !ok {
-					return nil
-				}
-				stats.processed.Add(1)
-				start := time.Now()
-				ok, err = superviseItem(ctx, cloneName, sup, jr, stats, fn, item, &buf)
-				stats.busyNanos.Add(int64(time.Since(start)))
-				if err != nil {
-					return err
-				}
-				if !ok {
-					continue // quarantined; move on to the next item
-				}
-				for _, v := range buf {
-					if err := out.Put(ctx, v); err != nil {
-						return err
-					}
-					stats.emitted.Add(1)
-				}
-			}
-		})
-	}
-	g.Go(name+".close", func() error {
-		live.Wait()
-		out.Close()
-		return nil
-	})
-	return stats
+	return RunStage(g, ctx, reg, StageConfig[I]{Name: name, Clones: clones, Sup: sup}, fn, in, out).Stats()
 }
 
 // RunSupervisedSink starts clones replicas of fn like RunSink, under the
 // same supervision semantics as RunSupervisedTransform.
 func RunSupervisedSink[I any](g *Group, ctx context.Context, reg *StatsRegistry, name string, clones int, sup *Supervisor[I], fn SinkFunc[I], in *Queue[I]) *OpStats {
-	if sup == nil {
-		return RunSink(g, ctx, reg, name, clones, fn, in)
-	}
-	asTransform := func(ctx context.Context, item I, _ Emit[struct{}]) error {
-		return fn(ctx, item)
-	}
-	if clones < 1 {
-		clones = 1
-	}
-	stats := reg.register(name, clones)
-	for c := 0; c < clones; c++ {
-		cloneName := name
-		if clones > 1 {
-			cloneName = fmt.Sprintf("%s#%d", name, c)
-		}
-		jr := rng.New(sup.JitterSeed + uint64(c)*0x9e3779b97f4a7c15)
-		g.Go(cloneName, func() error {
-			var buf []struct{}
-			for {
-				item, ok, err := in.Get(ctx)
-				if err != nil {
-					return err
-				}
-				if !ok {
-					return nil
-				}
-				stats.processed.Add(1)
-				start := time.Now()
-				_, err = superviseItem(ctx, cloneName, sup, jr, stats, asTransform, item, &buf)
-				stats.busyNanos.Add(int64(time.Since(start)))
-				if err != nil {
-					return err
-				}
-			}
-		})
-	}
-	return stats
+	return sinkStage(g, ctx, reg, StageConfig[I]{Name: name, Clones: clones, Sup: sup}, fn, in).Stats()
 }

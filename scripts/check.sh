@@ -1,10 +1,22 @@
 #!/bin/sh
-# Full pre-merge check: vet, build, and the complete test suite under
-# the race detector. Slower than the tier-1 verify in ROADMAP.md
-# (go build ./... && go test ./...) but catches data races in the
-# pipelined/supervised executors that a plain `go test` can miss.
+# Full pre-merge check: forbidden-API scan, vet, build, and the
+# complete test suite under the race detector. Slower than the tier-1
+# verify in ROADMAP.md (go build ./... && go test ./...) but catches
+# data races in the pipelined/supervised executors that a plain
+# `go test` can miss.
 set -eux
 cd "$(dirname "$0")/.."
+
+# The legacy executors survive only as deprecated wrappers for old
+# callers; new code must compose engine.NewExec options instead
+# (docs/ARCHITECTURE.md). Fail if anything outside internal/engine
+# calls them.
+if grep -rn --include='*.go' -E 'engine\.Execute(Supervised|Adaptive)\(' . \
+    | grep -v '^\./internal/engine/'; then
+  echo "error: ExecuteSupervised/ExecuteAdaptive are deprecated outside internal/engine; use engine.NewExec with options" >&2
+  exit 1
+fi
+
 go vet ./...
 go build ./...
 go test -race ./...

@@ -9,7 +9,7 @@ import (
 
 	"streamkm/internal/core"
 	"streamkm/internal/dataset"
-	"streamkm/internal/kmeans"
+	"streamkm/internal/stream"
 	"streamkm/internal/metrics"
 	"streamkm/internal/rng"
 )
@@ -73,22 +73,23 @@ type RetryPolicy struct {
 	MaxBackoff time.Duration
 }
 
-func (p RetryPolicy) backoff(attempt int) time.Duration {
+// stream converts the facade policy to the engine's retry policy. The
+// facade documents BaseBackoff 0 as "retry immediately", which the
+// stream policy expresses as a negative base (its own zero means 1ms).
+func (p RetryPolicy) stream() stream.RetryPolicy {
+	sp := stream.RetryPolicy{
+		MaxRetries:  p.MaxRetries,
+		BaseBackoff: p.BaseBackoff,
+		MaxBackoff:  p.MaxBackoff,
+	}
 	if p.BaseBackoff <= 0 {
-		return 0
+		sp.BaseBackoff = -1
 	}
-	max := p.MaxBackoff
-	if max <= 0 {
-		max = 64 * p.BaseBackoff
-	}
-	d := p.BaseBackoff
-	for i := 1; i < attempt && d < max; i++ {
-		d *= 2
-	}
-	if d > max {
-		d = max
-	}
-	return d
+	return sp
+}
+
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	return p.stream().Backoff(attempt, nil)
 }
 
 // Result is the outcome of a clustering run.
@@ -367,38 +368,26 @@ func (s *StreamClusterer) drop(point []float64, err error) {
 // to a fault-free run.
 func (s *StreamClusterer) flush() error {
 	chunkRNG := s.rng.Split()
-	var maxRetries int
 	var policy RetryPolicy
 	if s.opts.Retry != nil {
 		policy = *s.opts.Retry
-		maxRetries = policy.MaxRetries
 	}
 	var pr *core.PartialResult
-	for attempt := 1; ; attempt++ {
-		attemptRNG := *chunkRNG
-		err := error(nil)
-		if s.faultHook != nil {
-			err = s.faultHook(attempt)
-		}
-		if err == nil {
-			pr, err = core.PartialKMeans(s.buffer, core.PartialConfig{
-				K:             s.copts.K,
-				Restarts:      s.copts.Restarts,
-				Epsilon:       s.copts.Epsilon,
-				MaxIterations: s.copts.MaxIterations,
-				Accelerate:    s.copts.Accelerate,
-			}, &attemptRNG)
-		}
-		if err == nil {
-			break
-		}
-		if attempt > maxRetries {
+	_, err := policy.stream().Attempts(context.Background(), nil,
+		func(int, error) { s.retries++ },
+		func(attempt int) error {
+			attemptRNG := *chunkRNG
+			if s.faultHook != nil {
+				if err := s.faultHook(attempt); err != nil {
+					return err
+				}
+			}
+			var err error
+			pr, err = core.PartialKMeans(s.buffer, s.copts.PartialConfig(), &attemptRNG)
 			return err
-		}
-		s.retries++
-		if d := policy.backoff(attempt); d > 0 {
-			time.Sleep(d)
-		}
+		})
+	if err != nil {
+		return err
 	}
 	s.parts = append(s.parts, pr.Centroids)
 	s.partialT += pr.Elapsed
@@ -437,14 +426,9 @@ func (s *StreamClusterer) Finish() (*Result, error) {
 	if len(s.parts) == 0 {
 		return nil, errors.New("streamkm: no data pushed")
 	}
-	mr, err := core.MergeKMeans(s.parts, core.MergeConfig{
-		K:             s.copts.K,
-		Epsilon:       s.copts.Epsilon,
-		MaxIterations: s.copts.MaxIterations,
-		Seeder:        kmeans.HeaviestSeeder{},
-		Mode:          s.copts.MergeMode,
-		Accelerate:    s.copts.Accelerate,
-	}, s.rng.Split())
+	// MergeConfig leaves the Seeder nil; MergeKMeans defaults it to the
+	// heaviest-point seeder, exactly what this path always used.
+	mr, err := core.MergeKMeans(s.parts, s.copts.MergeConfig(), s.rng.Split())
 	if err != nil {
 		return nil, err
 	}
