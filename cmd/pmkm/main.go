@@ -41,6 +41,7 @@ func main() {
 		restarts   = flag.Int("restarts", 10, "seed sets per partition")
 		mem        = flag.String("mem", "8MB", "memory budget for one partial operator (e.g. 512KB, 8MB)")
 		workers    = flag.Int("workers", 4, "worker budget for cloned operators")
+		rworkers   = flag.Int("restart-workers", 0, "goroutines fanning one chunk's restarts (0/1 = serial; any value is bit-identical)")
 		strategy   = flag.String("strategy", "random", "slicing strategy: random, salami, spatial")
 		merge      = flag.String("merge", "collective", "merge mode: collective or incremental")
 		seed       = flag.Uint64("seed", 1, "random seed")
@@ -53,7 +54,7 @@ func main() {
 	)
 	flag.Parse()
 	if *csvPath != "" {
-		if err := runCSV(*csvPath, *k, *restarts, *mem, *workers, *strategy, *merge, *seed); err != nil {
+		if err := runCSV(*csvPath, *k, *restarts, *mem, *workers, *rworkers, *strategy, *merge, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "pmkm:", err)
 			os.Exit(1)
 		}
@@ -61,7 +62,7 @@ func main() {
 	}
 	cfg := runConfig{
 		data: *data, mem: *mem, strategy: *strategy, merge: *merge,
-		k: *k, restarts: *restarts, workers: *workers, seed: *seed,
+		k: *k, restarts: *restarts, workers: *workers, restartWorkers: *rworkers, seed: *seed,
 		explain: *explain, adaptive: *adaptive, trace: *showTrace,
 		maxRetries: *maxRetries, salvage: *salvage,
 	}
@@ -73,7 +74,7 @@ func main() {
 
 // runCSV clusters a single CSV file as one "cell" through the engine,
 // letting the library be tried on arbitrary numeric data.
-func runCSV(path string, k, restarts int, mem string, workers int, strategy, merge string, seed uint64) error {
+func runCSV(path string, k, restarts int, mem string, workers, restartWorkers int, strategy, merge string, seed uint64) error {
 	budget, err := parseBytes(mem)
 	if err != nil {
 		return err
@@ -99,7 +100,7 @@ func runCSV(path string, k, restarts int, mem string, workers int, strategy, mer
 		return closeErr
 	}
 	cells := []engine.Cell{{Key: grid.CellKey{}, Points: set}}
-	q := engine.Query{K: k, Restarts: restarts, Strategy: strat, MergeMode: mode, Seed: seed}
+	q := engine.Query{K: k, Restarts: restarts, Strategy: strat, MergeMode: mode, Seed: seed, Workers: restartWorkers}
 	results, plan, stats, err := engine.Run(context.Background(), cells, q, engine.Resources{
 		MemoryBytes: budget, Workers: workers,
 	})
@@ -141,6 +142,7 @@ func parseBytes(s string) (int64, error) {
 type runConfig struct {
 	data, mem, strategy, merge string
 	k, restarts, workers       int
+	restartWorkers             int
 	seed                       uint64
 	explain, adaptive, trace   bool
 	maxRetries                 int
@@ -251,6 +253,7 @@ func run(cfg runConfig) error {
 		Strategy:  strat,
 		MergeMode: mode,
 		Seed:      cfg.seed,
+		Workers:   cfg.restartWorkers,
 	}
 	res := engine.Resources{MemoryBytes: budget, Workers: cfg.workers}
 	sizes := make([]int, len(cells))

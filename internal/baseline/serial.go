@@ -46,10 +46,13 @@ type SerialConfig struct {
 	MaxIterations int
 	// Seed drives the random seed selection.
 	Seed uint64
+	// Workers, when >= 2, fans the Restarts across that many goroutines;
+	// results are bit-identical to serial execution for any value.
+	Workers int
 }
 
 func (c SerialConfig) kmeansConfig() kmeans.Config {
-	return kmeans.Config{K: c.K, Epsilon: c.Epsilon, MaxIterations: c.MaxIterations}
+	return kmeans.Config{K: c.K, Epsilon: c.Epsilon, MaxIterations: c.MaxIterations, Parallel: c.Workers}
 }
 
 // Serial runs the paper's serial k-means baseline over one cell.

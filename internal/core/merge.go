@@ -54,6 +54,10 @@ type MergeConfig struct {
 	Mode MergeMode
 	// Accelerate selects Hamerly's bound-based Lloyd iteration.
 	Accelerate bool
+	// Workers, when >= 2, shards each merge Lloyd iteration's assignment
+	// sweep across that many goroutines. Deterministic per worker count;
+	// across counts results agree up to floating-point summation order.
+	Workers int
 }
 
 func (c MergeConfig) validate() error {
@@ -74,6 +78,7 @@ func (c MergeConfig) kmeansConfig() kmeans.Config {
 		MaxIterations: c.MaxIterations,
 		Seeder:        seeder,
 		Accelerate:    c.Accelerate,
+		Workers:       c.Workers,
 	}
 }
 

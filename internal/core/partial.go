@@ -34,6 +34,10 @@ type PartialConfig struct {
 	Seeder kmeans.Seeder
 	// Accelerate selects Hamerly's bound-based Lloyd iteration.
 	Accelerate bool
+	// Workers, when >= 2, fans the Restarts runs across that many
+	// goroutines (§3.4's option 2 applied inside one partial operator).
+	// Results are bit-identical to serial execution for any value.
+	Workers int
 }
 
 func (c PartialConfig) validate() error {
@@ -53,6 +57,7 @@ func (c PartialConfig) kmeansConfig() kmeans.Config {
 		MaxIterations: c.MaxIterations,
 		Seeder:        c.Seeder,
 		Accelerate:    c.Accelerate,
+		Parallel:      c.Workers,
 	}
 }
 

@@ -53,6 +53,12 @@ type Options struct {
 	// Accelerate selects Hamerly's bound-based Lloyd iteration in both
 	// the partial and merge steps.
 	Accelerate bool
+	// Workers, when >= 2, fans each partial operator's Restarts across
+	// that many goroutines. Orthogonal to Parallelism (operator clones):
+	// Parallelism spreads chunks over clones, Workers spreads one
+	// chunk's restarts over cores. Results stay bit-identical to serial
+	// execution for any value.
+	Workers int
 }
 
 func (o Options) validate() error {
@@ -79,6 +85,7 @@ func (o Options) PartialConfig() PartialConfig {
 		MaxIterations: o.MaxIterations,
 		Accelerate:    o.Accelerate,
 		Seeder:        o.PartialSeeder,
+		Workers:       o.Workers,
 	}
 }
 

@@ -8,6 +8,12 @@
 // data; per DESIGN.md we substitute a Gaussian mixture per cell, which the
 // paper itself approximated when it "used the R statistical package to
 // recreate the files with the same distribution".
+//
+// Memory layout: both containers store their points in a single strided
+// []float64 slab (point i occupies data[i*dim:(i+1)*dim]); WeightedSet
+// keeps weights in a parallel column. At returns zero-copy views into the
+// slab — see docs/ARCHITECTURE.md "Memory layout & hot path" for the
+// aliasing rules.
 package dataset
 
 import (
@@ -34,11 +40,12 @@ func (w WeightedPoint) Clone() WeightedPoint {
 	return WeightedPoint{Vec: w.Vec.Clone(), Weight: w.Weight}
 }
 
-// Set is an in-memory collection of points of a single dimensionality.
-// The zero value is unusable; use NewSet.
+// Set is an in-memory collection of points of a single dimensionality,
+// stored contiguously. Adding a point copies its components into the flat
+// slab. The zero value is unusable; use NewSet.
 type Set struct {
-	dim    int
-	points []Point
+	dim  int
+	data []float64 // strided point storage, Len()*dim long
 }
 
 // NewSet returns an empty set for d-dimensional points. d must be
@@ -60,11 +67,13 @@ func MustNewSet(d int) *Set {
 }
 
 // FromPoints builds a set from existing points, validating dimensions.
+// Point contents are copied; the set does not alias the inputs.
 func FromPoints(d int, pts []Point) (*Set, error) {
 	s, err := NewSet(d)
 	if err != nil {
 		return nil, err
 	}
+	s.Grow(len(pts))
 	for _, p := range pts {
 		if err := s.Add(p); err != nil {
 			return nil, err
@@ -77,37 +86,82 @@ func FromPoints(d int, pts []Point) (*Set, error) {
 func (s *Set) Dim() int { return s.dim }
 
 // Len returns the number of points.
-func (s *Set) Len() int { return len(s.points) }
+func (s *Set) Len() int { return len(s.data) / s.dim }
 
-// Add appends a point; it rejects dimension mismatches.
+// Grow reserves capacity for n additional points.
+func (s *Set) Grow(n int) {
+	need := len(s.data) + n*s.dim
+	if cap(s.data) >= need {
+		return
+	}
+	grown := make([]float64, len(s.data), need)
+	copy(grown, s.data)
+	s.data = grown
+}
+
+// Add appends a copy of p; it rejects dimension mismatches.
 func (s *Set) Add(p Point) error {
 	if len(p) != s.dim {
 		return fmt.Errorf("dataset: point dim %d != set dim %d", len(p), s.dim)
 	}
-	s.points = append(s.points, p)
+	s.data = append(s.data, p...)
 	return nil
 }
 
-// At returns the i-th point (not a copy; callers must not mutate).
-func (s *Set) At(i int) Point { return s.points[i] }
+// AppendFlat bulk-appends points already laid out as consecutive
+// dim-length runs of vals — the zero-conversion path for decoders that
+// fill a flat buffer directly.
+func (s *Set) AppendFlat(vals []float64) error {
+	if len(vals)%s.dim != 0 {
+		return fmt.Errorf("dataset: flat append of %d values is not a multiple of dim %d", len(vals), s.dim)
+	}
+	s.data = append(s.data, vals...)
+	return nil
+}
 
-// Points returns the backing slice (not a copy; callers must not mutate).
-func (s *Set) Points() []Point { return s.points }
+// At returns the i-th point as a zero-copy view into the flat slab.
+// Callers must not mutate it, and the view's contents change if the set
+// is shuffled (views are positional).
+func (s *Set) At(i int) Point {
+	off := i * s.dim
+	return Point(s.data[off : off+s.dim : off+s.dim])
+}
+
+// Data returns the backing flat slab (Len()*Dim() values, point i at
+// [i*dim:(i+1)*dim]). Read-only for callers; this is the hot-path input
+// of the flat Lloyd kernels.
+func (s *Set) Data() []float64 { return s.data }
+
+// Points materializes per-point views into the flat slab. The returned
+// slice is fresh on every call, but the views alias the set's storage:
+// read-only, and stale after the set is appended to.
+func (s *Set) Points() []Point {
+	n := s.Len()
+	views := make([]Point, n)
+	for i := range views {
+		views[i] = s.At(i)
+	}
+	return views
+}
 
 // Clone returns a deep copy of the set.
 func (s *Set) Clone() *Set {
-	c := &Set{dim: s.dim, points: make([]Point, len(s.points))}
-	for i, p := range s.points {
-		c.points[i] = p.Clone()
-	}
+	c := &Set{dim: s.dim, data: make([]float64, len(s.data))}
+	copy(c.data, s.data)
 	return c
 }
 
 // Shuffle randomizes point order in place. The paper assumes points of a
-// grid cell "arrive sequentially, and in random order".
+// grid cell "arrive sequentially, and in random order". The permutation
+// consumes the RNG exactly as rng.Shuffle over Len() elements.
 func (s *Set) Shuffle(r *rng.RNG) {
-	r.Shuffle(len(s.points), func(i, j int) {
-		s.points[i], s.points[j] = s.points[j], s.points[i]
+	tmp := make([]float64, s.dim)
+	r.Shuffle(s.Len(), func(i, j int) {
+		a := s.data[i*s.dim : (i+1)*s.dim]
+		b := s.data[j*s.dim : (j+1)*s.dim]
+		copy(tmp, a)
+		copy(a, b)
+		copy(b, tmp)
 	})
 }
 
@@ -120,8 +174,8 @@ func (s *Set) Bounds() (min, max vector.Vector, err error) {
 		return nil, nil, ErrEmptySet
 	}
 	box := vector.NewBoundingBox(s.dim)
-	for _, p := range s.points {
-		if err := box.Observe(p); err != nil {
+	for i, n := 0, s.Len(); i < n; i++ {
+		if err := box.Observe(s.At(i)); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -137,10 +191,12 @@ func (s *Set) Bounds() (min, max vector.Vector, err error) {
 }
 
 // WeightedSet is a collection of weighted points of one dimensionality,
-// the unit of exchange between the partial and merge operators.
+// the unit of exchange between the partial and merge operators. Points
+// live in a strided flat slab with a parallel weight column.
 type WeightedSet struct {
-	dim    int
-	points []WeightedPoint
+	dim     int
+	data    []float64 // strided point storage, Len()*dim long
+	weights []float64 // weight column, Len() long
 }
 
 // NewWeightedSet returns an empty weighted set for d dimensions.
@@ -164,9 +220,24 @@ func MustNewWeightedSet(d int) *WeightedSet {
 func (s *WeightedSet) Dim() int { return s.dim }
 
 // Len returns the number of weighted points.
-func (s *WeightedSet) Len() int { return len(s.points) }
+func (s *WeightedSet) Len() int { return len(s.weights) }
 
-// Add appends a weighted point, validating dimension and weight.
+// Grow reserves capacity for n additional weighted points.
+func (s *WeightedSet) Grow(n int) {
+	if need := len(s.data) + n*s.dim; cap(s.data) < need {
+		grown := make([]float64, len(s.data), need)
+		copy(grown, s.data)
+		s.data = grown
+	}
+	if need := len(s.weights) + n; cap(s.weights) < need {
+		grown := make([]float64, len(s.weights), need)
+		copy(grown, s.weights)
+		s.weights = grown
+	}
+}
+
+// Add appends a copy of the weighted point, validating dimension and
+// weight.
 func (s *WeightedSet) Add(p WeightedPoint) error {
 	if len(p.Vec) != s.dim {
 		return fmt.Errorf("dataset: point dim %d != set dim %d", len(p.Vec), s.dim)
@@ -174,41 +245,92 @@ func (s *WeightedSet) Add(p WeightedPoint) error {
 	if p.Weight < 0 {
 		return fmt.Errorf("dataset: negative weight %g", p.Weight)
 	}
-	s.points = append(s.points, p)
+	s.data = append(s.data, p.Vec...)
+	s.weights = append(s.weights, p.Weight)
 	return nil
 }
 
-// At returns the i-th weighted point.
-func (s *WeightedSet) At(i int) WeightedPoint { return s.points[i] }
+// AppendFlat bulk-appends points laid out as consecutive dim-length runs
+// of vals with one weight per point — the decoder fast path.
+func (s *WeightedSet) AppendFlat(vals []float64, weights []float64) error {
+	if len(vals) != len(weights)*s.dim {
+		return fmt.Errorf("dataset: flat append of %d values does not match %d weights at dim %d",
+			len(vals), len(weights), s.dim)
+	}
+	for i, w := range weights {
+		if w < 0 {
+			return fmt.Errorf("dataset: negative weight %g at index %d", w, i)
+		}
+	}
+	s.data = append(s.data, vals...)
+	s.weights = append(s.weights, weights...)
+	return nil
+}
 
-// Points returns the backing slice (not a copy).
-func (s *WeightedSet) Points() []WeightedPoint { return s.points }
+// At returns the i-th weighted point; its Vec is a zero-copy view into
+// the flat slab (read-only for callers).
+func (s *WeightedSet) At(i int) WeightedPoint {
+	return WeightedPoint{Vec: s.VecAt(i), Weight: s.weights[i]}
+}
+
+// VecAt returns the i-th point vector as a zero-copy view.
+func (s *WeightedSet) VecAt(i int) vector.Vector {
+	off := i * s.dim
+	return vector.Vector(s.data[off : off+s.dim : off+s.dim])
+}
+
+// WeightAt returns the i-th weight.
+func (s *WeightedSet) WeightAt(i int) float64 { return s.weights[i] }
+
+// Data returns the backing flat point slab (read-only for callers).
+func (s *WeightedSet) Data() []float64 { return s.data }
+
+// Weights returns the backing weight column (read-only for callers).
+func (s *WeightedSet) Weights() []float64 { return s.weights }
+
+// Points materializes per-point views into the flat storage. Fresh slice
+// per call; Vec fields alias the set's slab (read-only, stale after
+// append).
+func (s *WeightedSet) Points() []WeightedPoint {
+	views := make([]WeightedPoint, s.Len())
+	for i := range views {
+		views[i] = s.At(i)
+	}
+	return views
+}
 
 // TotalWeight returns the sum of all weights. For partial k-means output
 // this equals the number of points in the source partition.
 func (s *WeightedSet) TotalWeight() float64 {
 	var t float64
-	for _, p := range s.points {
-		t += p.Weight
+	for _, w := range s.weights {
+		t += w
 	}
 	return t
 }
 
-// Append adds all points of o into s.
+// Append adds copies of all points of o into s.
 func (s *WeightedSet) Append(o *WeightedSet) error {
 	if o.dim != s.dim {
 		return fmt.Errorf("dataset: cannot append dim %d into dim %d", o.dim, s.dim)
 	}
-	s.points = append(s.points, o.points...)
+	s.data = append(s.data, o.data...)
+	s.weights = append(s.weights, o.weights...)
 	return nil
 }
 
 // Unweighted converts a plain set into a weighted set with unit weights,
 // so serial k-means and merge k-means share one weighted implementation.
+// The point slab is copied, so the two sets do not alias.
 func Unweighted(s *Set) *WeightedSet {
-	w := &WeightedSet{dim: s.dim, points: make([]WeightedPoint, s.Len())}
-	for i, p := range s.points {
-		w.points[i] = WeightedPoint{Vec: p, Weight: 1}
+	w := &WeightedSet{
+		dim:     s.dim,
+		data:    make([]float64, len(s.data)),
+		weights: make([]float64, s.Len()),
+	}
+	copy(w.data, s.data)
+	for i := range w.weights {
+		w.weights[i] = 1
 	}
 	return w
 }

@@ -177,3 +177,140 @@ func TestWeightedPointClone(t *testing.T) {
 		t.Fatal("Clone aliases vector")
 	}
 }
+
+// --- flat-layout contract tests ---
+
+func TestSetFlatLayout(t *testing.T) {
+	s := MustNewSet(3)
+	s.Grow(2)
+	if err := s.Add(vector.Of(1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendFlat([]float64{4, 5, 6, 7, 8, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	want := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	data := s.Data()
+	for i, v := range want {
+		if data[i] != v {
+			t.Fatalf("Data[%d] = %g, want %g", i, data[i], v)
+		}
+	}
+	if err := s.AppendFlat([]float64{1, 2}); err == nil {
+		t.Fatal("AppendFlat with non-multiple length should error")
+	}
+}
+
+func TestSetAtIsZeroCopyView(t *testing.T) {
+	s := MustNewSet(2)
+	_ = s.Add(vector.Of(1, 2))
+	_ = s.Add(vector.Of(3, 4))
+	v := s.At(1)
+	if v[0] != 3 || v[1] != 4 {
+		t.Fatalf("At(1) = %v", v)
+	}
+	// The view aliases the slab: a write through it is visible via Data.
+	// (Callers must not do this; the test pins the zero-copy contract.)
+	v[0] = 30
+	if s.Data()[2] != 30 {
+		t.Fatal("At is not a view into the flat slab")
+	}
+	// The view is capped: appending to it cannot clobber the next point.
+	grown := append(v[:1:1], 99)
+	_ = grown
+	if s.Data()[3] != 4 {
+		t.Fatal("append through a view clobbered the neighbor")
+	}
+}
+
+func TestSetAddCopies(t *testing.T) {
+	s := MustNewSet(2)
+	p := vector.Of(1, 2)
+	_ = s.Add(p)
+	p[0] = 77
+	if s.At(0)[0] != 1 {
+		t.Fatal("Add must copy the point, not alias it")
+	}
+}
+
+func TestWeightedSetFlatLayout(t *testing.T) {
+	s := MustNewWeightedSet(2)
+	s.Grow(2)
+	_ = s.Add(WeightedPoint{Vec: vector.Of(1, 2), Weight: 3})
+	if err := s.AppendFlat([]float64{4, 5}, []float64{6}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.WeightAt(1); got != 6 {
+		t.Fatalf("WeightAt(1) = %g", got)
+	}
+	if v := s.VecAt(1); v[0] != 4 || v[1] != 5 {
+		t.Fatalf("VecAt(1) = %v", v)
+	}
+	if w := s.Weights(); len(w) != 2 || w[0] != 3 {
+		t.Fatalf("Weights = %v", w)
+	}
+	if err := s.AppendFlat([]float64{1, 2}, []float64{1, 1}); err == nil {
+		t.Fatal("mismatched flat append should error")
+	}
+	if err := s.AppendFlat([]float64{1, 2}, []float64{-1}); err == nil {
+		t.Fatal("negative weight in flat append should error")
+	}
+}
+
+func TestUnweightedDoesNotAlias(t *testing.T) {
+	s := MustNewSet(2)
+	_ = s.Add(vector.Of(1, 2))
+	w := Unweighted(s)
+	s.Shuffle(rng.New(1)) // in-place content moves must not leak into w
+	s.Data()[0] = 99
+	if w.VecAt(0)[0] != 1 || w.VecAt(0)[1] != 2 {
+		t.Fatalf("Unweighted aliases the source slab: %v", w.VecAt(0))
+	}
+}
+
+func TestShufflePermutesWholePoints(t *testing.T) {
+	s := MustNewSet(2)
+	for i := 0; i < 8; i++ {
+		_ = s.Add(vector.Of(float64(i), float64(i)+0.5))
+	}
+	s.Shuffle(rng.New(42))
+	seen := map[float64]bool{}
+	for i := 0; i < s.Len(); i++ {
+		p := s.At(i)
+		if p[1] != p[0]+0.5 {
+			t.Fatalf("point %d torn by shuffle: %v", i, p)
+		}
+		seen[p[0]] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("shuffle lost points: %d distinct", len(seen))
+	}
+}
+
+func BenchmarkFlatScan6D(b *testing.B) {
+	s := MustNewSet(6)
+	s.Grow(4096)
+	row := make([]float64, 6)
+	for i := 0; i < 4096; i++ {
+		for d := range row {
+			row[d] = float64(i + d)
+		}
+		_ = s.AppendFlat(row)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		data := s.Data()
+		for off := 0; off+6 <= len(data); off += 6 {
+			acc += data[off]
+		}
+	}
+	_ = acc
+}

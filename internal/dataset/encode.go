@@ -97,6 +97,9 @@ func DecodeWeightedSet(r io.Reader) (*WeightedSet, error) {
 	}
 	crc := crc32.NewIEEE()
 	rec := make([]byte, 8*(dim+1))
+	// Decode straight into the set's flat slab: one reserved slab, no
+	// per-record vector allocations.
+	set.Grow(int(count))
 	for i := uint64(0); i < count; i++ {
 		if _, err := io.ReadFull(br, rec); err != nil {
 			return nil, fmt.Errorf("%w: truncated at record %d: %v", ErrBadWeightedSet, i, err)
@@ -104,19 +107,14 @@ func DecodeWeightedSet(r io.Reader) (*WeightedSet, error) {
 		if _, err := crc.Write(rec); err != nil {
 			return nil, err
 		}
-		wp := WeightedPoint{
-			Weight: math.Float64frombits(binary.LittleEndian.Uint64(rec[0:])),
-			Vec:    make([]float64, dim),
-		}
-		for d := 0; d < dim; d++ {
-			wp.Vec[d] = math.Float64frombits(binary.LittleEndian.Uint64(rec[8+8*d:]))
-		}
-		if math.IsNaN(wp.Weight) || wp.Weight < 0 {
+		weight := math.Float64frombits(binary.LittleEndian.Uint64(rec[0:]))
+		if math.IsNaN(weight) || weight < 0 {
 			return nil, fmt.Errorf("%w: bad weight at record %d", ErrBadWeightedSet, i)
 		}
-		if err := set.Add(wp); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadWeightedSet, err)
+		for d := 0; d < dim; d++ {
+			set.data = append(set.data, math.Float64frombits(binary.LittleEndian.Uint64(rec[8+8*d:])))
 		}
+		set.weights = append(set.weights, weight)
 	}
 	var stored uint32
 	if err := binary.Read(br, binary.LittleEndian, &stored); err != nil {

@@ -80,17 +80,24 @@ func (m *Mixture) Component(i int) MixtureComponent {
 
 // Sample draws one point from the mixture.
 func (m *Mixture) Sample(r *rng.RNG) Point {
+	p := vector.New(m.dim)
+	m.SampleInto(r, p)
+	return p
+}
+
+// SampleInto draws one point from the mixture into dst (len m.Dim()),
+// the allocation-free path used to fill flat buffers directly. It
+// consumes the RNG exactly as Sample.
+func (m *Mixture) SampleInto(r *rng.RNG, dst []float64) {
 	u := r.Float64()
 	idx := 0
 	for idx < len(m.cum)-1 && u >= m.cum[idx] {
 		idx++
 	}
 	c := m.components[idx]
-	p := vector.New(m.dim)
 	for j := 0; j < m.dim; j++ {
-		p[j] = c.Mean[j] + c.StdDev[j]*r.NormFloat64()
+		dst[j] = c.Mean[j] + c.StdDev[j]*r.NormFloat64()
 	}
-	return p
 }
 
 // SampleSet draws n points into a fresh Set.
@@ -102,9 +109,11 @@ func (m *Mixture) SampleSet(r *rng.RNG, n int) (*Set, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.points = make([]Point, 0, n)
+	// Fill the flat slab directly: one slab allocation, no per-point
+	// vectors.
+	s.data = make([]float64, n*m.dim)
 	for i := 0; i < n; i++ {
-		s.points = append(s.points, m.Sample(r))
+		m.SampleInto(r, s.data[i*m.dim:(i+1)*m.dim])
 	}
 	return s, nil
 }

@@ -43,8 +43,9 @@ func (s SplitStrategy) String() string {
 }
 
 // Split divides s into p near-equal-sized chunks using the given
-// strategy. Points are shared (not copied) with the source set. Every
-// chunk is non-empty when p <= s.Len().
+// strategy. Each chunk owns a contiguous copy of its points, so partial
+// k-means scans each partition sequentially in memory. Every chunk is
+// non-empty when p <= s.Len().
 func Split(s *Set, p int, strategy SplitStrategy, r *rng.RNG) ([]*Set, error) {
 	if p <= 0 {
 		return nil, fmt.Errorf("dataset: split count must be positive, got %d", p)
@@ -86,7 +87,7 @@ func Split(s *Set, p int, strategy SplitStrategy, r *rng.RNG) ([]*Set, error) {
 	if strategy == SplitSalami {
 		for i, idx := range order {
 			c := chunks[i%p]
-			c.points = append(c.points, s.At(idx))
+			c.data = append(c.data, s.At(idx)...)
 		}
 		return chunks, nil
 	}
@@ -99,8 +100,9 @@ func Split(s *Set, p int, strategy SplitStrategy, r *rng.RNG) ([]*Set, error) {
 		if i < rem {
 			size++
 		}
+		chunks[i].data = make([]float64, 0, size*s.dim)
 		for j := 0; j < size; j++ {
-			chunks[i].points = append(chunks[i].points, s.At(order[pos]))
+			chunks[i].data = append(chunks[i].data, s.At(order[pos])...)
 			pos++
 		}
 	}

@@ -149,6 +149,14 @@ func WithCompression(on bool) ExecOption {
 	return func(e *Exec) { e.compress = &on }
 }
 
+// WithWorkers overrides Query.Workers for this execution: each partial
+// operator fans its Restarts across n goroutines. Because the restart
+// fan-out is bit-identical to serial execution for any worker count,
+// this composes with every other option without perturbing results.
+func WithWorkers(n int) ExecOption {
+	return func(e *Exec) { e.q.Workers = n }
+}
+
 // newExecStats assembles the execution summary — previously built
 // once per executor, now in exactly one place.
 func newExecStats(reg *stream.StatsRegistry, tr *trace.Tracer, start time.Time, cells, chunks, restarts int, events []ReoptEvent) *ExecStats {

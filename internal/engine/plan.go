@@ -37,6 +37,11 @@ type Query struct {
 	// Accelerate selects Hamerly's bound-based Lloyd in both operator
 	// kinds.
 	Accelerate bool
+	// Workers, when >= 2, fans each partial operator's Restarts across
+	// that many goroutines (§3.4 option 2, inside one operator).
+	// Orthogonal to the optimizer's clone count, and bit-identical to
+	// serial execution for any value.
+	Workers int
 	// Compress appends the histogram stage (§1's compression product):
 	// each CellResult carries a multivariate histogram built from the
 	// cell's points and final centroids.
@@ -168,6 +173,7 @@ func (q Query) partialConfig() core.PartialConfig {
 		Epsilon:       q.Epsilon,
 		MaxIterations: q.MaxIterations,
 		Accelerate:    q.Accelerate,
+		Workers:       q.Workers,
 	}
 }
 

@@ -193,42 +193,52 @@ func (b *BucketReader) Header() BucketHeader { return b.header }
 // Next returns the next point, or ok=false after the last point has been
 // returned and the trailing checksum verified.
 func (b *BucketReader) Next() (vector.Vector, bool, error) {
+	p := vector.New(b.header.Dim)
+	ok, err := b.NextInto(p)
+	if !ok || err != nil {
+		return nil, ok, err
+	}
+	return p, true, nil
+}
+
+// NextInto decodes the next point into dst (len Header().Dim), the
+// allocation-free variant of Next used to fill flat set slabs directly.
+func (b *BucketReader) NextInto(dst []float64) (bool, error) {
 	if b.read >= b.header.Count {
 		if b.read == b.header.Count {
 			b.read++ // verify the trailer exactly once
 			var stored uint32
 			if err := binary.Read(b.r, binary.LittleEndian, &stored); err != nil {
-				return nil, false, fmt.Errorf("%w: missing trailing checksum: %v", ErrTruncated, err)
+				return false, fmt.Errorf("%w: missing trailing checksum: %v", ErrTruncated, err)
 			}
 			if stored != b.crc {
-				return nil, false, fmt.Errorf("%w: checksum mismatch (stored %08x, computed %08x)",
+				return false, fmt.Errorf("%w: checksum mismatch (stored %08x, computed %08x)",
 					ErrBadBucket, stored, b.crc)
 			}
 		}
-		return nil, false, nil
+		return false, nil
 	}
 	if _, err := io.ReadFull(b.r, b.buf); err != nil {
-		return nil, false, fmt.Errorf("%w: data ends at point %d of %d: %v",
+		return false, fmt.Errorf("%w: data ends at point %d of %d: %v",
 			ErrTruncated, b.read, b.header.Count, err)
 	}
 	if b.header.Version >= 2 {
 		var rec [4]byte
 		if _, err := io.ReadFull(b.r, rec[:]); err != nil {
-			return nil, false, fmt.Errorf("%w: record %d checksum missing: %v", ErrTruncated, b.read, err)
+			return false, fmt.Errorf("%w: record %d checksum missing: %v", ErrTruncated, b.read, err)
 		}
 		stored := binary.LittleEndian.Uint32(rec[:])
 		if got := crc32.ChecksumIEEE(b.buf); got != stored {
-			return nil, false, fmt.Errorf("%w: record %d checksum mismatch (stored %08x, computed %08x)",
+			return false, fmt.Errorf("%w: record %d checksum mismatch (stored %08x, computed %08x)",
 				ErrBadBucket, b.read, stored, got)
 		}
 	}
 	b.crc = crc32.Update(b.crc, crc32.IEEETable, b.buf)
-	p := vector.New(b.header.Dim)
 	for d := 0; d < b.header.Dim; d++ {
-		p[d] = math.Float64frombits(binary.LittleEndian.Uint64(b.buf[8*d:]))
+		dst[d] = math.Float64frombits(binary.LittleEndian.Uint64(b.buf[8*d:]))
 	}
 	b.read++
-	return p, true, nil
+	return true, nil
 }
 
 // ReadBucket loads an entire bucket into memory (the serial baseline's
@@ -242,15 +252,19 @@ func ReadBucket(r io.Reader) (CellKey, *dataset.Set, error) {
 	if err != nil {
 		return CellKey{}, nil, err
 	}
+	// Decode record-by-record into one scratch row and bulk-append into
+	// the set's flat slab: no per-point vector allocations.
+	set.Grow(br.Header().Count)
+	row := make([]float64, br.Header().Dim)
 	for {
-		p, ok, err := br.Next()
+		ok, err := br.NextInto(row)
 		if err != nil {
 			return CellKey{}, nil, err
 		}
 		if !ok {
 			break
 		}
-		if err := set.Add(p); err != nil {
+		if err := set.AppendFlat(row); err != nil {
 			return CellKey{}, nil, err
 		}
 	}
@@ -286,15 +300,16 @@ func SalvageBucket(r io.Reader) (CellKey, *dataset.Set, error) {
 		return CellKey{}, nil, err
 	}
 	key := br.Header().Key
+	row := make([]float64, br.Header().Dim)
 	for {
-		p, ok, err := br.Next()
+		ok, err := br.NextInto(row)
 		if err != nil {
 			return key, set, err
 		}
 		if !ok {
 			return key, set, nil
 		}
-		if err := set.Add(p); err != nil {
+		if err := set.AppendFlat(row); err != nil {
 			return key, set, err
 		}
 	}

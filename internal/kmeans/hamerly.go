@@ -17,40 +17,42 @@ import (
 // the ΔMSE criterion is trivially satisfied) and produces the same
 // fixpoint Lloyd's iteration reaches from the same seeds.
 
-// runHamerly is the accelerated counterpart of runLloyd. centroids is
-// owned by the callee.
-func runHamerly(points *dataset.WeightedSet, centroids []vector.Vector, cfg Config) (*Result, error) {
+// runHamerly is the accelerated counterpart of runNaive. centroids is
+// owned by the callee; sc follows the runNaive contract (nil or a
+// reusable scratch of matching shape).
+func runHamerly(points *dataset.WeightedSet, centroids []vector.Vector, cfg Config, sc *scratch) (*Result, error) {
 	n := points.Len()
 	dim := points.Dim()
 	k := len(centroids)
-
-	assign := make([]int, n)
-	upper := make([]float64, n)
-	lower := make([]float64, n)
-	weights := make([]float64, k)
-	sums := make([]vector.Vector, k)
-	for j := range sums {
-		sums[j] = vector.New(dim)
+	if sc == nil || sc.n != n || sc.k != k || sc.dim != dim {
+		sc = newScratch(n, k, dim)
+		defer sc.release()
 	}
-	halfMinDist := make([]float64, k) // s[j] = 0.5 * min_{j' != j} dist(c_j, c_j')
-	oldCentroid := vector.New(dim)
-	move := make([]float64, k)
+	sc.ensureHamerly()
+	data, wts := points.Data(), points.Weights()
+	sc.loadCentroids(centroids)
+	cent := sc.cent
 
 	// initialize resets every bound, sum and assignment with one exact
 	// pass — used at start and after an empty-cluster reseed.
 	initialize := func() {
 		for j := 0; j < k; j++ {
-			weights[j] = 0
-			sums[j].Zero()
+			sc.weights[j] = 0
 		}
+		zeroFloats(sc.sums)
 		for i := 0; i < n; i++ {
-			p := points.At(i)
-			best, second := nearestTwo(p.Vec, centroids)
-			assign[i] = best.idx
-			upper[i] = best.dist
-			lower[i] = second.dist
-			weights[best.idx] += p.Weight
-			sums[best.idx].AddScaled(p.Weight, p.Vec)
+			off := i * dim
+			x := data[off : off+dim : off+dim]
+			best, bd, sd := nearestTwoFlat(x, cent, k, dim)
+			sc.assign[i] = best
+			sc.upper[i] = bd
+			sc.lower[i] = sd
+			w := wts[i]
+			sc.weights[best] += w
+			row := sc.sums[best*dim : (best+1)*dim]
+			for t, xv := range x {
+				row[t] += w * xv
+			}
 		}
 	}
 	initialize()
@@ -63,72 +65,90 @@ func runHamerly(points *dataset.WeightedSet, centroids []vector.Vector, cfg Conf
 		empties := false
 		maxMove := 0.0
 		for j := 0; j < k; j++ {
-			if weights[j] == 0 {
+			if sc.weights[j] == 0 {
 				empties = true
-				move[j] = 0
+				sc.move[j] = 0
 				continue
 			}
-			oldCentroid.CopyFrom(centroids[j])
+			row := cent[j*dim : (j+1)*dim]
+			copy(sc.oldCent, row)
+			srow := sc.sums[j*dim : (j+1)*dim]
 			for d := 0; d < dim; d++ {
-				centroids[j][d] = sums[j][d] / weights[j]
+				row[d] = srow[d] / sc.weights[j]
 			}
-			move[j] = vector.Distance(oldCentroid, centroids[j])
-			if move[j] > maxMove {
-				maxMove = move[j]
+			sc.move[j] = math.Sqrt(vector.SquaredDistanceFloats(sc.oldCent, row))
+			if sc.move[j] > maxMove {
+				maxMove = sc.move[j]
 			}
 		}
 		if empties && cfg.EmptyPolicy == ReseedFarthest {
-			reseedEmpties(points, centroids, assign, weights)
+			// One exact pass refreshes the distance cache; each empty
+			// cluster then repairs from it without rescanning.
+			sc.exactDistances(data)
+			for j := 0; j < k; j++ {
+				if sc.weights[j] == 0 {
+					sc.reseedEmpty(data, wts, j)
+				}
+			}
 			initialize()
 			continue
 		}
 
 		// Maintain bounds under centroid movement.
 		for i := 0; i < n; i++ {
-			upper[i] += move[assign[i]]
-			lower[i] -= maxMove
+			sc.upper[i] += sc.move[sc.assign[i]]
+			sc.lower[i] -= maxMove
 		}
 
-		// Precompute s[j].
+		// Precompute s[j] = 0.5 * min_{j' != j} dist(c_j, c_j').
 		for j := 0; j < k; j++ {
 			min := math.Inf(1)
+			row := cent[j*dim : (j+1)*dim]
 			for j2 := 0; j2 < k; j2++ {
 				if j2 == j {
 					continue
 				}
-				if d := vector.Distance(centroids[j], centroids[j2]); d < min {
+				if d := math.Sqrt(vector.SquaredDistanceFloats(row, cent[j2*dim:(j2+1)*dim])); d < min {
 					min = d
 				}
 			}
-			halfMinDist[j] = min / 2
+			sc.halfMin[j] = min / 2
 		}
 
 		// Assignment with bound-based skipping.
 		changes := 0
 		for i := 0; i < n; i++ {
-			a := assign[i]
-			m := lower[i]
-			if halfMinDist[a] > m {
-				m = halfMinDist[a]
+			a := sc.assign[i]
+			m := sc.lower[i]
+			if sc.halfMin[a] > m {
+				m = sc.halfMin[a]
 			}
-			if upper[i] <= m {
+			if sc.upper[i] <= m {
 				continue // bound skip, no distance computed
 			}
-			p := points.At(i)
-			upper[i] = vector.Distance(p.Vec, centroids[a]) // tighten
-			if upper[i] <= m {
+			off := i * dim
+			x := data[off : off+dim : off+dim]
+			sc.upper[i] = math.Sqrt(vector.SquaredDistanceFloats(x, cent[a*dim:(a+1)*dim])) // tighten
+			if sc.upper[i] <= m {
 				continue // tightened skip, one distance computed
 			}
-			best, second := nearestTwo(p.Vec, centroids)
-			lower[i] = second.dist
-			upper[i] = best.dist
-			if best.idx != a {
+			best, bd, sd := nearestTwoFlat(x, cent, k, dim)
+			sc.lower[i] = sd
+			sc.upper[i] = bd
+			if best != a {
 				changes++
-				assign[i] = best.idx
-				weights[a] -= p.Weight
-				sums[a].AddScaled(-p.Weight, p.Vec)
-				weights[best.idx] += p.Weight
-				sums[best.idx].AddScaled(p.Weight, p.Vec)
+				sc.assign[i] = best
+				w := wts[i]
+				sc.weights[a] -= w
+				rowA := sc.sums[a*dim : (a+1)*dim]
+				for t, xv := range x {
+					rowA[t] += -w * xv
+				}
+				sc.weights[best] += w
+				rowB := sc.sums[best*dim : (best+1)*dim]
+				for t, xv := range x {
+					rowB[t] += w * xv
+				}
 			}
 		}
 		if changes == 0 && maxMove == 0 {
@@ -141,9 +161,11 @@ func runHamerly(points *dataset.WeightedSet, centroids []vector.Vector, cfg Conf
 			res.Converged = true
 			res.Iterations = iter + 1
 			for j := 0; j < k; j++ {
-				if weights[j] > 0 {
+				if sc.weights[j] > 0 {
+					row := cent[j*dim : (j+1)*dim]
+					srow := sc.sums[j*dim : (j+1)*dim]
 					for d := 0; d < dim; d++ {
-						centroids[j][d] = sums[j][d] / weights[j]
+						row[d] = srow[d] / sc.weights[j]
 					}
 				}
 			}
@@ -151,67 +173,15 @@ func runHamerly(points *dataset.WeightedSet, centroids []vector.Vector, cfg Conf
 		}
 	}
 
-	// Final exact pass (same shape as runLloyd's) so the reported MSE,
-	// assignments and counts describe one consistent state.
-	counts := make([]int, k)
-	for j := 0; j < k; j++ {
-		counts[j] = 0
-		weights[j] = 0
-	}
-	var sse float64
-	for i := 0; i < n; i++ {
-		p := points.At(i)
-		j, d := vector.NearestIndex(p.Vec, centroids)
-		assign[i] = j
-		counts[j]++
-		weights[j] += p.Weight
-		sse += d * p.Weight
-	}
-	total := points.TotalWeight()
-	res.Centroids = centroids
-	res.Assignments = assign
-	res.Counts = counts
-	res.Weights = weights
-	res.SSE = sse
-	res.MSE = sse / total
+	sc.finishResult(res, data, wts, points.TotalWeight())
 	return res, nil
 }
 
-// twoNearest holds an index/distance pair for nearestTwo.
-type nearHit struct {
-	idx  int
-	dist float64
-}
-
-// nearestTwo returns the nearest and second-nearest centroids by
-// Euclidean (not squared) distance.
-func nearestTwo(x vector.Vector, cs []vector.Vector) (best, second nearHit) {
-	best = nearHit{idx: 0, dist: math.Inf(1)}
-	second = nearHit{idx: -1, dist: math.Inf(1)}
-	for j, c := range cs {
-		d := vector.SquaredDistance(x, c)
-		if d < best.dist {
-			second = best
-			best = nearHit{idx: j, dist: d}
-		} else if d < second.dist {
-			second = nearHit{idx: j, dist: d}
-		}
-	}
-	best.dist = math.Sqrt(best.dist)
-	second.dist = math.Sqrt(second.dist)
-	return best, second
-}
-
-// reseedEmpties moves each zero-weight centroid onto the globally
-// farthest point from its assigned centroid (exact pass; empties are
-// rare so the cost is acceptable).
-func reseedEmpties(points *dataset.WeightedSet, centroids []vector.Vector, assign []int, weights []float64) {
-	for j := range centroids {
-		if weights[j] != 0 {
-			continue
-		}
-		if idx := farthestPoint(points, centroids, assign); idx >= 0 {
-			centroids[j].CopyFrom(points.At(idx).Vec)
-		}
-	}
+// nearestTwoFlat returns the nearest centroid's row index and the
+// Euclidean (not squared) distances to the nearest and second-nearest
+// rows of the flat k x dim centroid matrix. With a single centroid the
+// second distance is +Inf.
+func nearestTwoFlat(x, flat []float64, k, dim int) (int, float64, float64) {
+	best, bestD, secondD := vector.NearestTwoFlat(x, flat, k, dim)
+	return best, math.Sqrt(bestD), math.Sqrt(secondD)
 }

@@ -115,19 +115,19 @@ func TestHamerlyWeightedMean(t *testing.T) {
 	}
 }
 
-func TestNearestTwo(t *testing.T) {
-	cs := []vector.Vector{vector.Of(0), vector.Of(10), vector.Of(3)}
-	best, second := nearestTwo(vector.Of(2), cs)
-	if best.idx != 2 || math.Abs(best.dist-1) > 1e-12 {
-		t.Fatalf("best = %+v", best)
+func TestNearestTwoFlat(t *testing.T) {
+	flat := []float64{0, 10, 3} // three 1-D centroids
+	best, bd, sd := nearestTwoFlat([]float64{2}, flat, 3, 1)
+	if best != 2 || math.Abs(bd-1) > 1e-12 {
+		t.Fatalf("best = %d dist %g", best, bd)
 	}
-	if second.idx != 0 || math.Abs(second.dist-2) > 1e-12 {
-		t.Fatalf("second = %+v", second)
+	if math.Abs(sd-2) > 1e-12 {
+		t.Fatalf("second dist = %g", sd)
 	}
 	// single centroid: second is infinite
-	b1, s1 := nearestTwo(vector.Of(2), cs[:1])
-	if b1.idx != 0 || !math.IsInf(s1.dist, 1) {
-		t.Fatalf("single-centroid: %+v %+v", b1, s1)
+	b1, _, s1 := nearestTwoFlat([]float64{2}, flat[:1], 1, 1)
+	if b1 != 0 || !math.IsInf(s1, 1) {
+		t.Fatalf("single-centroid: %d %g", b1, s1)
 	}
 }
 

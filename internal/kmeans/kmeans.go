@@ -11,6 +11,7 @@ package kmeans
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"streamkm/internal/dataset"
 	"streamkm/internal/rng"
@@ -63,6 +64,13 @@ type Config struct {
 	// deterministic per worker count; across counts they agree up to
 	// floating-point summation order. Ignored by the accelerated path.
 	Workers int
+	// Parallel, when >= 2, fans RunRestarts' independent runs across
+	// that many worker goroutines (§3.4's option 2: running the restarts
+	// of one partial k-means concurrently). Seed sets are pre-derived
+	// from the caller's RNG serially, so every run and the best-of-R
+	// winner are bit-identical to serial execution for any worker count.
+	// Ignored by single runs.
+	Parallel int
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +95,9 @@ func (c Config) validate() error {
 	}
 	if c.MaxIterations < 0 {
 		return fmt.Errorf("kmeans: MaxIterations must be non-negative, got %d", c.MaxIterations)
+	}
+	if c.Parallel < 0 {
+		return fmt.Errorf("kmeans: Parallel must be non-negative, got %d", c.Parallel)
 	}
 	return nil
 }
@@ -150,7 +161,7 @@ func Run(points *dataset.WeightedSet, cfg Config, r *rng.RNG) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return runLloyd(points, centroids, cfg)
+	return runLloyd(points, centroids, cfg, nil)
 }
 
 // RunFromCentroids executes Lloyd iterations from caller-provided initial
@@ -173,76 +184,63 @@ func RunFromCentroids(points *dataset.WeightedSet, initial []vector.Vector, cfg 
 		}
 		centroids[i] = c.Clone()
 	}
-	return runLloyd(points, centroids, cfg)
+	return runLloyd(points, centroids, cfg, nil)
 }
 
 // runLloyd dispatches to the naive or accelerated iteration core.
-// centroids is owned by the callee.
-func runLloyd(points *dataset.WeightedSet, centroids []vector.Vector, cfg Config) (*Result, error) {
+// centroids is owned by the callee. sc may be nil (a private scratch is
+// used) or a reusable scratch sized for points and cfg.K — RunRestarts
+// passes one per worker so consecutive runs allocate nothing.
+func runLloyd(points *dataset.WeightedSet, centroids []vector.Vector, cfg Config, sc *scratch) (*Result, error) {
 	if points.TotalWeight() <= 0 {
 		return nil, errors.New("kmeans: total weight is zero")
 	}
 	if cfg.Accelerate {
-		return runHamerly(points, centroids, cfg)
+		return runHamerly(points, centroids, cfg, sc)
 	}
-	return runNaive(points, centroids, cfg)
+	return runNaive(points, centroids, cfg, sc)
 }
 
-// runNaive is the textbook Lloyd iteration (§2 of the paper).
-func runNaive(points *dataset.WeightedSet, centroids []vector.Vector, cfg Config) (*Result, error) {
+// runNaive is the textbook Lloyd iteration (§2 of the paper), executed
+// over the flat point slab with every mutable buffer owned by sc: after
+// the scratch warms up, iterations perform zero heap allocations.
+func runNaive(points *dataset.WeightedSet, centroids []vector.Vector, cfg Config, sc *scratch) (*Result, error) {
 	n := points.Len()
 	dim := points.Dim()
 	k := len(centroids)
-	assign := make([]int, n)
-	counts := make([]int, k)
-	weights := make([]float64, k)
-	sums := make([]vector.Vector, k)
-	for j := range sums {
-		sums[j] = vector.New(dim)
+	if sc == nil || sc.n != n || sc.k != k || sc.dim != dim {
+		sc = newScratch(n, k, dim)
+		defer sc.release()
 	}
+	data, wts := points.Data(), points.Weights()
+	sc.loadCentroids(centroids)
+	totalWeight := points.TotalWeight()
 
 	prevMSE := 0.0
 	res := &Result{}
-	totalWeight := points.TotalWeight()
-	if totalWeight <= 0 {
-		return nil, errors.New("kmeans: total weight is zero")
-	}
-
 	for iter := 1; iter <= cfg.MaxIterations; iter++ {
 		// Step 2: distance calculation / assignment, optionally sharded
-		// across workers (§3.4 option 3).
+		// across workers (§3.4 option 3). The sweep also caches each
+		// point's squared distance to its centroid in sc.dists.
 		var sse float64
 		if cfg.Workers >= 2 {
-			counts, weights, sums, sse = parallelAssign(points, centroids, assign, cfg.Workers)
+			sse = sc.assignParallel(data, wts, cfg.Workers)
 		} else {
-			for j := 0; j < k; j++ {
-				counts[j] = 0
-				weights[j] = 0
-				sums[j].Zero()
-			}
-			for i := 0; i < n; i++ {
-				p := points.At(i)
-				j, d := vector.NearestIndex(p.Vec, centroids)
-				assign[i] = j
-				counts[j]++
-				weights[j] += p.Weight
-				sums[j].AddScaled(p.Weight, p.Vec)
-				sse += d * p.Weight
-			}
+			sse = sc.assignSerial(data, wts)
 		}
 
 		// Step 3: centroid recalculation (weighted mean jump).
 		for j := 0; j < k; j++ {
-			if weights[j] > 0 {
+			if sc.weights[j] > 0 {
+				row := sc.cent[j*dim : (j+1)*dim]
+				srow := sc.sums[j*dim : (j+1)*dim]
 				for d := 0; d < dim; d++ {
-					centroids[j][d] = sums[j][d] / weights[j]
+					row[d] = srow[d] / sc.weights[j]
 				}
 				continue
 			}
 			if cfg.EmptyPolicy == ReseedFarthest {
-				if idx := farthestPoint(points, centroids, assign); idx >= 0 {
-					centroids[j].CopyFrom(points.At(idx).Vec)
-				}
+				sc.reseedEmpty(data, wts, j)
 			}
 			// DropEmpty: leave centroid where it is.
 		}
@@ -261,45 +259,8 @@ func runNaive(points *dataset.WeightedSet, centroids []vector.Vector, cfg Config
 		prevMSE = mse
 	}
 
-	// Final consistent assignment against the final centroids, so the
-	// reported MSE, assignments, and counts all describe one state.
-	var sse float64
-	for j := 0; j < k; j++ {
-		counts[j] = 0
-		weights[j] = 0
-	}
-	for i := 0; i < n; i++ {
-		p := points.At(i)
-		j, d := vector.NearestIndex(p.Vec, centroids)
-		assign[i] = j
-		counts[j]++
-		weights[j] += p.Weight
-		sse += d * p.Weight
-	}
-	res.Centroids = centroids
-	res.Assignments = assign
-	res.Counts = counts
-	res.Weights = weights
-	res.SSE = sse
-	res.MSE = sse / totalWeight
+	sc.finishResult(res, data, wts, totalWeight)
 	return res, nil
-}
-
-// farthestPoint returns the index of the point with the largest weighted
-// squared distance to its assigned centroid, or -1 for empty input.
-func farthestPoint(points *dataset.WeightedSet, centroids []vector.Vector, assign []int) int {
-	best, bestD := -1, -1.0
-	for i := 0; i < points.Len(); i++ {
-		p := points.At(i)
-		if p.Weight == 0 {
-			continue
-		}
-		d := vector.SquaredDistance(p.Vec, centroids[assign[i]]) * p.Weight
-		if d > bestD {
-			best, bestD = i, d
-		}
-	}
-	return best
 }
 
 // RestartResult is the best run of a multi-restart execution, with
@@ -319,16 +280,72 @@ type RestartResult struct {
 // sets and returns the representation with the minimal mean square error
 // — the paper's procedure for both serial (§5.2, R = 10) and partial
 // (§3.2) k-means.
+//
+// When cfg.Parallel >= 2 the runs fan out across a worker pool. All R
+// seed sets are derived from r serially up front (Lloyd iterations
+// consume no randomness), so the RNG stream, every per-run result, and
+// the best-of-R winner — ties broken by the lowest run index via strict
+// < comparison in run order — are bit-identical to serial execution for
+// every worker count.
 func RunRestarts(points *dataset.WeightedSet, cfg Config, restarts int, r *rng.RNG) (*RestartResult, error) {
 	if restarts <= 0 {
 		return nil, fmt.Errorf("kmeans: restarts must be positive, got %d", restarts)
 	}
-	out := &RestartResult{MSEs: make([]float64, 0, restarts)}
-	for run := 0; run < restarts; run++ {
-		res, err := Run(points, cfg, r)
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, fmt.Errorf("kmeans: restart 0: %w", err)
+	}
+	if points.Len() == 0 {
+		return nil, errors.New("kmeans: restart 0: kmeans: empty input")
+	}
+	seedSets := make([][]vector.Vector, restarts)
+	for run := range seedSets {
+		seeds, err := cfg.Seeder.Seed(points, cfg.K, r)
 		if err != nil {
 			return nil, fmt.Errorf("kmeans: restart %d: %w", run, err)
 		}
+		seedSets[run] = seeds
+	}
+
+	results := make([]*Result, restarts)
+	errs := make([]error, restarts)
+	workers := cfg.Parallel
+	if workers > restarts {
+		workers = restarts
+	}
+	if workers < 2 {
+		sc := newScratch(points.Len(), cfg.K, points.Dim())
+		defer sc.release()
+		for run := 0; run < restarts; run++ {
+			results[run], errs[run] = runLloyd(points, seedSets[run], cfg, sc)
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				sc := newScratch(points.Len(), cfg.K, points.Dim())
+				defer sc.release()
+				for run := range next {
+					results[run], errs[run] = runLloyd(points, seedSets[run], cfg, sc)
+				}
+			}()
+		}
+		for run := 0; run < restarts; run++ {
+			next <- run
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	out := &RestartResult{MSEs: make([]float64, 0, restarts)}
+	for run := 0; run < restarts; run++ {
+		if errs[run] != nil {
+			return nil, fmt.Errorf("kmeans: restart %d: %w", run, errs[run])
+		}
+		res := results[run]
 		out.MSEs = append(out.MSEs, res.MSE)
 		out.TotalIterations += res.Iterations
 		if out.Best == nil || res.MSE < out.Best.MSE {

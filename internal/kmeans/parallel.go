@@ -3,7 +3,6 @@ package kmeans
 import (
 	"sync"
 
-	"streamkm/internal/dataset"
 	"streamkm/internal/vector"
 )
 
@@ -12,75 +11,108 @@ import (
 // expensive one — "within the partial k-means, the SortDataPoint
 // [assignment] is the most expensive operation, and could be
 // parallelized". Each Lloyd iteration's assignment + partial-sum pass is
-// sharded across workers and reduced exactly (segment order is fixed, so
-// results are deterministic for a given worker count; across different
-// worker counts results agree up to floating-point summation order).
+// sharded across a persistent worker pool and reduced exactly (segment
+// order is fixed, so results are deterministic for a given worker count;
+// across different worker counts results agree up to floating-point
+// summation order). The pool and its shard slabs live for the whole run
+// — workers are started once and signalled per sweep, so the steady
+// state neither spawns goroutines nor allocates.
 
-// assignShard is one worker's partial reduction of one iteration.
+// assignShard is one worker's partial reduction of one sweep.
 type assignShard struct {
 	counts  []int
 	weights []float64
-	sums    []vector.Vector
+	sums    []float64 // k*dim, flat
 	sse     float64
 }
 
-// parallelAssign performs the assignment step over points with the given
-// centroids using w workers, writing assignments into assign and
-// returning the reduced per-cluster statistics. w must be >= 2 and
-// len(assign) == points.Len().
-func parallelAssign(points *dataset.WeightedSet, centroids []vector.Vector, assign []int, w int) ([]int, []float64, []vector.Vector, float64) {
-	n := points.Len()
-	dim := points.Dim()
-	k := len(centroids)
-	if w > n {
-		w = n
+// assignPool is a persistent pool of assignment workers. Sweep inputs
+// are published into the struct fields before the per-worker start
+// signal; the channel send/receive pair provides the happens-before
+// edge, and wg.Wait orders every shard write before the reduction.
+type assignPool struct {
+	w, n, k, dim int
+	shards       []assignShard
+	start        []chan struct{}
+	wg           sync.WaitGroup
+	quit         chan struct{}
+
+	// per-sweep inputs
+	data, wts, cent []float64
+	assign          []int
+	dists           []float64
+}
+
+func newAssignPool(w, n, k, dim int) *assignPool {
+	p := &assignPool{
+		w: w, n: n, k: k, dim: dim,
+		shards: make([]assignShard, w),
+		start:  make([]chan struct{}, w),
+		quit:   make(chan struct{}),
 	}
-	shards := make([]assignShard, w)
-	var wg sync.WaitGroup
-	wg.Add(w)
 	for s := 0; s < w; s++ {
-		s := s
-		lo := n * s / w
-		hi := n * (s + 1) / w
-		go func() {
-			defer wg.Done()
-			sh := assignShard{
-				counts:  make([]int, k),
-				weights: make([]float64, k),
-				sums:    make([]vector.Vector, k),
-			}
-			for j := range sh.sums {
-				sh.sums[j] = vector.New(dim)
-			}
-			for i := lo; i < hi; i++ {
-				p := points.At(i)
-				j, d := vector.NearestIndex(p.Vec, centroids)
-				assign[i] = j
-				sh.counts[j]++
-				sh.weights[j] += p.Weight
-				sh.sums[j].AddScaled(p.Weight, p.Vec)
-				sh.sse += d * p.Weight
-			}
-			shards[s] = sh
-		}()
-	}
-	wg.Wait()
-	// Deterministic reduction in segment order.
-	counts := make([]int, k)
-	weights := make([]float64, k)
-	sums := make([]vector.Vector, k)
-	for j := range sums {
-		sums[j] = vector.New(dim)
-	}
-	var sse float64
-	for s := 0; s < w; s++ {
-		sh := shards[s]
-		for j := 0; j < k; j++ {
-			counts[j] += sh.counts[j]
-			weights[j] += sh.weights[j]
-			sums[j].Add(sh.sums[j])
+		p.shards[s] = assignShard{
+			counts:  make([]int, k),
+			weights: make([]float64, k),
+			sums:    make([]float64, k*dim),
 		}
-		sse += sh.sse
+		p.start[s] = make(chan struct{})
+		go p.worker(s)
 	}
-	return counts, weights, sums, sse
+	return p
+}
+
+// worker processes the fixed segment [n*s/w, n*(s+1)/w) on every sweep
+// — the same segment bounds as the pre-pool implementation, so the
+// reduction sees identical shard contents.
+func (p *assignPool) worker(s int) {
+	lo := p.n * s / p.w
+	hi := p.n * (s + 1) / p.w
+	for {
+		select {
+		case <-p.quit:
+			return
+		case <-p.start[s]:
+		}
+		sh := &p.shards[s]
+		k, dim := p.k, p.dim
+		for j := 0; j < k; j++ {
+			sh.counts[j] = 0
+			sh.weights[j] = 0
+		}
+		zeroFloats(sh.sums)
+		sh.sse = 0
+		for i := lo; i < hi; i++ {
+			off := i * dim
+			x := p.data[off : off+dim : off+dim]
+			j, d := vector.NearestIndexFlat(x, p.cent, k, dim)
+			p.assign[i] = j
+			p.dists[i] = d
+			w := p.wts[i]
+			sh.counts[j]++
+			sh.weights[j] += w
+			row := sh.sums[j*dim : (j+1)*dim]
+			for t, xv := range x {
+				row[t] += w * xv
+			}
+			sh.sse += d * w
+		}
+		p.wg.Done()
+	}
+}
+
+// sweep runs one sharded assignment pass and blocks until every worker
+// has filled its shard.
+func (p *assignPool) sweep(data, wts, cent []float64, assign []int, dists []float64) {
+	p.data, p.wts, p.cent, p.assign, p.dists = data, wts, cent, assign, dists
+	p.wg.Add(p.w)
+	for s := 0; s < p.w; s++ {
+		p.start[s] <- struct{}{}
+	}
+	p.wg.Wait()
+}
+
+// stop terminates the workers. The pool must not be swept afterwards.
+func (p *assignPool) stop() {
+	close(p.quit)
 }

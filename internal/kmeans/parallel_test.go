@@ -84,8 +84,10 @@ func TestParallelAssignDirect(t *testing.T) {
 		vector.Of(5, 5, 5),
 		vector.Of(-5, -5, -5),
 	}
-	assign := make([]int, s.Len())
-	counts, weights, sums, sse := parallelAssign(s, centroids, assign, 4)
+	sc := newScratch(s.Len(), 2, 3)
+	defer sc.release()
+	sc.loadCentroids(centroids)
+	sse := sc.assignParallel(s.Data(), s.Weights(), 4)
 	// Recompute serially.
 	wantCounts := make([]int, 2)
 	var wantSSE float64
@@ -94,8 +96,11 @@ func TestParallelAssignDirect(t *testing.T) {
 	for i := 0; i < s.Len(); i++ {
 		p := s.At(i)
 		j, d := vector.NearestIndex(p.Vec, centroids)
-		if assign[i] != j {
+		if sc.assign[i] != j {
 			t.Fatalf("assignment %d wrong", i)
+		}
+		if sc.dists[i] != d {
+			t.Fatalf("cached distance %d = %g, want %g", i, sc.dists[i], d)
 		}
 		wantCounts[j]++
 		wantW[j] += p.Weight
@@ -103,18 +108,43 @@ func TestParallelAssignDirect(t *testing.T) {
 		wantSSE += d * p.Weight
 	}
 	for j := 0; j < 2; j++ {
-		if counts[j] != wantCounts[j] {
-			t.Fatalf("counts[%d] = %d, want %d", j, counts[j], wantCounts[j])
+		if sc.counts[j] != wantCounts[j] {
+			t.Fatalf("counts[%d] = %d, want %d", j, sc.counts[j], wantCounts[j])
 		}
-		if math.Abs(weights[j]-wantW[j]) > 1e-9 {
-			t.Fatalf("weights[%d] = %g, want %g", j, weights[j], wantW[j])
+		if math.Abs(sc.weights[j]-wantW[j]) > 1e-9 {
+			t.Fatalf("weights[%d] = %g, want %g", j, sc.weights[j], wantW[j])
 		}
-		if !sums[j].ApproxEqual(wantSums[j], 1e-9) {
+		got := vector.Vector(sc.sums[j*3 : (j+1)*3])
+		if !got.ApproxEqual(wantSums[j], 1e-9) {
 			t.Fatalf("sums[%d] differ", j)
 		}
 	}
 	if math.Abs(sse-wantSSE) > 1e-9*(1+wantSSE) {
 		t.Fatalf("sse = %g, want %g", sse, wantSSE)
+	}
+}
+
+func TestParallelAssignPoolResizes(t *testing.T) {
+	// The persistent pool must rebuild itself when the requested worker
+	// count changes between sweeps on the same scratch.
+	s := randomWeighted(120, 43)
+	seeds, err := (RandomSeeder{}).Seed(s, 4, rng.New(44))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := newScratch(s.Len(), 4, 3)
+	defer sc.release()
+	sc.loadCentroids(seeds)
+	first := sc.assignParallel(s.Data(), s.Weights(), 2)
+	if sc.pool.w != 2 {
+		t.Fatalf("pool width = %d, want 2", sc.pool.w)
+	}
+	again := sc.assignParallel(s.Data(), s.Weights(), 3)
+	if sc.pool.w != 3 {
+		t.Fatalf("pool width = %d, want 3", sc.pool.w)
+	}
+	if math.Abs(first-again) > 1e-9*(1+first) {
+		t.Fatalf("sse differs across worker counts beyond FP order: %g vs %g", first, again)
 	}
 }
 

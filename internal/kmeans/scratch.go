@@ -1,0 +1,241 @@
+package kmeans
+
+import (
+	"streamkm/internal/vector"
+)
+
+// scratch owns every mutable buffer a Lloyd run needs, so steady-state
+// iterations allocate nothing: assignments, the per-point distance cache,
+// per-cluster statistics, the flat centroid matrix, Hamerly's bounds, and
+// (when assignment sharding is on) the persistent worker pool. One
+// scratch serves one run at a time; RunRestarts gives each restart worker
+// its own and reuses it across that worker's runs. A run's Result copies
+// out of the scratch, so reuse cannot clobber earlier results.
+type scratch struct {
+	n, k, dim int
+
+	assign []int
+	// dists[i] is the squared distance from point i to its assigned
+	// centroid, cached by the assignment sweep. The empty-cluster reseed
+	// reads it instead of re-scanning all points per empty cluster.
+	dists   []float64
+	counts  []int
+	weights []float64
+	sums    []float64 // k*dim, flat
+	cent    []float64 // k*dim, flat centroid matrix
+
+	// Hamerly bound state, allocated on first accelerated run.
+	upper   []float64
+	lower   []float64
+	halfMin []float64
+	move    []float64
+	oldCent []float64 // dim
+
+	// pool shards the assignment sweep when Config.Workers >= 2; started
+	// lazily, reused across iterations and runs, stopped by release.
+	pool *assignPool
+}
+
+func newScratch(n, k, dim int) *scratch {
+	return &scratch{
+		n:       n,
+		k:       k,
+		dim:     dim,
+		assign:  make([]int, n),
+		dists:   make([]float64, n),
+		counts:  make([]int, k),
+		weights: make([]float64, k),
+		sums:    make([]float64, k*dim),
+		cent:    make([]float64, k*dim),
+	}
+}
+
+// ensureHamerly allocates the bound buffers used only by the accelerated
+// iteration.
+func (sc *scratch) ensureHamerly() {
+	if sc.upper != nil {
+		return
+	}
+	sc.upper = make([]float64, sc.n)
+	sc.lower = make([]float64, sc.n)
+	sc.halfMin = make([]float64, sc.k)
+	sc.move = make([]float64, sc.k)
+	sc.oldCent = make([]float64, sc.dim)
+}
+
+// release stops the worker pool, if one was started. The slabs themselves
+// are garbage-collected with the scratch.
+func (sc *scratch) release() {
+	if sc.pool != nil {
+		sc.pool.stop()
+		sc.pool = nil
+	}
+}
+
+func zeroFloats(s []float64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// loadCentroids copies the seed centroids into the flat matrix.
+func (sc *scratch) loadCentroids(centroids []vector.Vector) {
+	for j, c := range centroids {
+		copy(sc.cent[j*sc.dim:(j+1)*sc.dim], c)
+	}
+}
+
+// assignSerial runs one exact assignment sweep: nearest centroid, cached
+// distance, and per-cluster count/weight/sum accumulation, returning the
+// weighted SSE. Accumulation order matches the pre-flat implementation
+// component for component, so results are bit-identical to it.
+func (sc *scratch) assignSerial(data, wts []float64) float64 {
+	k, dim, n := sc.k, sc.dim, sc.n
+	for j := 0; j < k; j++ {
+		sc.counts[j] = 0
+		sc.weights[j] = 0
+	}
+	zeroFloats(sc.sums)
+	var sse float64
+	for i := 0; i < n; i++ {
+		off := i * dim
+		x := data[off : off+dim : off+dim]
+		j, d := vector.NearestIndexFlat(x, sc.cent, k, dim)
+		sc.assign[i] = j
+		sc.dists[i] = d
+		w := wts[i]
+		sc.counts[j]++
+		sc.weights[j] += w
+		row := sc.sums[j*dim : (j+1)*dim]
+		for t, xv := range x {
+			row[t] += w * xv
+		}
+		sse += d * w
+	}
+	return sse
+}
+
+// assignParallel shards the assignment sweep across workers via the
+// persistent pool and reduces the shard statistics in fixed segment
+// order — the same reduction order as the pre-pool parallelAssign, so
+// results are bit-identical per worker count.
+func (sc *scratch) assignParallel(data, wts []float64, workers int) float64 {
+	w := workers
+	if w > sc.n {
+		w = sc.n
+	}
+	if sc.pool == nil || sc.pool.w != w {
+		if sc.pool != nil {
+			sc.pool.stop()
+		}
+		sc.pool = newAssignPool(w, sc.n, sc.k, sc.dim)
+	}
+	sc.pool.sweep(data, wts, sc.cent, sc.assign, sc.dists)
+
+	k, dim := sc.k, sc.dim
+	for j := 0; j < k; j++ {
+		sc.counts[j] = 0
+		sc.weights[j] = 0
+	}
+	zeroFloats(sc.sums)
+	var sse float64
+	for s := 0; s < w; s++ {
+		sh := &sc.pool.shards[s]
+		for j := 0; j < k; j++ {
+			sc.counts[j] += sh.counts[j]
+			sc.weights[j] += sh.weights[j]
+			row := sc.sums[j*dim : (j+1)*dim]
+			srow := sh.sums[j*dim : (j+1)*dim]
+			for t := range row {
+				row[t] += srow[t]
+			}
+		}
+		sse += sh.sse
+	}
+	return sse
+}
+
+// exactDistances refreshes the distance cache against the current
+// centroids in one O(n) pass — used by the accelerated path before a
+// reseed, where the cached bounds are not exact distances.
+func (sc *scratch) exactDistances(data []float64) {
+	dim, n := sc.dim, sc.n
+	for i := 0; i < n; i++ {
+		off := i * dim
+		sc.dists[i] = vector.SquaredDistanceFloats(data[off:off+dim], sc.cent[sc.assign[i]*dim:(sc.assign[i]+1)*dim])
+	}
+}
+
+// farthestCached returns the index of the point with the largest cached
+// weighted squared distance to its assigned centroid, or -1 when every
+// point has zero weight. Callers zero the winner's cache entry after
+// consuming it so consecutive empty clusters reseed onto distinct points.
+func (sc *scratch) farthestCached(wts []float64) int {
+	best, bestD := -1, -1.0
+	for i, d := range sc.dists[:sc.n] {
+		if wts[i] == 0 {
+			continue
+		}
+		if dw := d * wts[i]; dw > bestD {
+			best, bestD = i, dw
+		}
+	}
+	return best
+}
+
+// reseedEmpty repairs one empty cluster from the distance cache: move
+// centroid j onto the point with the largest cached weighted squared
+// distance, then fold distances to the relocated centroid back into the
+// cache. The fold keeps successive empty-cluster repairs honest — a
+// point right next to a just-placed centroid no longer looks far away,
+// so consecutive reseeds land on well-separated points.
+func (sc *scratch) reseedEmpty(data, wts []float64, j int) {
+	idx := sc.farthestCached(wts)
+	if idx < 0 {
+		return
+	}
+	dim := sc.dim
+	c := sc.cent[j*dim : (j+1)*dim : (j+1)*dim]
+	copy(c, data[idx*dim:(idx+1)*dim])
+	sc.dists[idx] = 0
+	for i := 0; i < sc.n; i++ {
+		off := i * dim
+		if d := vector.SquaredDistanceFloats(data[off:off+dim], c); d < sc.dists[i] {
+			sc.dists[i] = d
+		}
+	}
+}
+
+// finishResult runs the final consistent assignment against the final
+// centroids — so the reported MSE, assignments, and counts all describe
+// one state — and copies every output buffer out of the scratch, so the
+// Result survives scratch reuse by later runs.
+func (sc *scratch) finishResult(res *Result, data, wts []float64, totalWeight float64) {
+	k, dim, n := sc.k, sc.dim, sc.n
+	for j := 0; j < k; j++ {
+		sc.counts[j] = 0
+		sc.weights[j] = 0
+	}
+	var sse float64
+	for i := 0; i < n; i++ {
+		off := i * dim
+		x := data[off : off+dim : off+dim]
+		j, d := vector.NearestIndexFlat(x, sc.cent, k, dim)
+		sc.assign[i] = j
+		sc.counts[j]++
+		sc.weights[j] += wts[i]
+		sse += d * wts[i]
+	}
+	centOut := make([]float64, k*dim)
+	copy(centOut, sc.cent)
+	cents := make([]vector.Vector, k)
+	for j := range cents {
+		cents[j] = vector.Vector(centOut[j*dim : (j+1)*dim : (j+1)*dim])
+	}
+	res.Centroids = cents
+	res.Assignments = append([]int(nil), sc.assign...)
+	res.Counts = append([]int(nil), sc.counts...)
+	res.Weights = append([]float64(nil), sc.weights...)
+	res.SSE = sse
+	res.MSE = sse / totalWeight
+}

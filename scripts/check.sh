@@ -20,3 +20,8 @@ fi
 go vet ./...
 go build ./...
 go test -race ./...
+
+# Benchmark smoke: one 10-iteration pass over the hot-path kernels so a
+# change that panics or deadlocks only under -bench (e.g. the restart
+# worker pool) fails the check without costing real benchmark time.
+go test -run='^$' -bench=. -benchtime=10x ./internal/kmeans ./internal/vector

@@ -33,6 +33,11 @@ type Options struct {
 	// Parallelism is the number of partial-operator clones used by
 	// ClusterContext (0 = 1).
 	Parallelism int
+	// Workers, when >= 2, fans each partial step's Restarts across that
+	// many goroutines. Orthogonal to Parallelism (which spreads chunks
+	// over operator clones): Workers speeds up one chunk's restarts.
+	// Results are bit-identical to serial execution for any value.
+	Workers int
 	// Strategy selects the slicing strategy: "random" (default),
 	// "salami", or "spatial".
 	Strategy string
@@ -168,6 +173,7 @@ func (o Options) toCore() (core.Options, error) {
 		Seed:          o.Seed,
 		Parallelism:   o.Parallelism,
 		Accelerate:    o.Accelerate,
+		Workers:       o.Workers,
 	}
 	if opts.Restarts == 0 {
 		opts.Restarts = 10
