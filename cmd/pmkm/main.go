@@ -15,6 +15,14 @@
 // supervised adaptive run); -trace prints the operator-span timeline;
 // -salvage reads damaged bucket files for their valid prefix (warning
 // on stderr) instead of aborting on the first corrupt byte.
+//
+// The resource governor adds hard bounds: -deadline caps wall-clock
+// time, -progress-timeout arms a stall watchdog that cancels and
+// retries a wedged stage, and -mem-budget shrinks chunk size and
+// fan-out until the in-flight working set fits. With -allow-degraded a
+// run that exhausts a bound returns the clustering of every surviving
+// partition, prints a one-line structured quality summary on stderr,
+// and exits with status 3 (instead of 1 for a hard failure).
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"streamkm"
 	"streamkm/internal/dataset"
@@ -33,6 +42,11 @@ import (
 	"streamkm/internal/grid"
 	"streamkm/internal/stream"
 )
+
+// exitDegraded is pmkm's exit status for a run that completed with a
+// degraded (partial) result — distinct from 1, the hard-failure status,
+// so scripts can tell "partial answer" from "no answer".
+const exitDegraded = 3
 
 func main() {
 	var (
@@ -51,6 +65,11 @@ func main() {
 		showTrace  = flag.Bool("trace", false, "print the operator-span timeline after execution")
 		maxRetries = flag.Int("max-retries", 0, "run supervised: retry each failed chunk up to N times and restart the plan from its journal after a crash")
 		salvage    = flag.Bool("salvage", false, "recover the valid prefix of damaged bucket files instead of aborting")
+
+		deadline     = flag.Duration("deadline", 0, "wall-clock bound for the whole run (0 = unlimited)")
+		progressTO   = flag.Duration("progress-timeout", 0, "stall watchdog: cancel a stage that holds pending work but makes no progress for this long (0 = off)")
+		memBudget    = flag.String("mem-budget", "0", "runtime memory budget for in-flight point data (e.g. 512KB); shrinks chunk size and fan-out to fit (0 = unlimited)")
+		allowDegrade = flag.Bool("allow-degraded", false, "on deadline/stall/permanent chunk failure, return the surviving partitions as a degraded result (exit status 3) instead of failing")
 	)
 	flag.Parse()
 	if *csvPath != "" {
@@ -65,10 +84,19 @@ func main() {
 		k: *k, restarts: *restarts, workers: *workers, restartWorkers: *rworkers, seed: *seed,
 		explain: *explain, adaptive: *adaptive, trace: *showTrace,
 		maxRetries: *maxRetries, salvage: *salvage,
+		deadline: *deadline, progressTimeout: *progressTO,
+		memBudget: *memBudget, allowDegraded: *allowDegrade,
 	}
-	if err := run(cfg); err != nil {
+	degraded, err := run(cfg)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmkm:", err)
 		os.Exit(1)
+	}
+	if degraded != nil {
+		// One structured line for scripts, on stderr so the result table
+		// on stdout stays clean, then the distinct degraded exit status.
+		fmt.Fprintf(os.Stderr, "pmkm: %s\n", degraded)
+		os.Exit(exitDegraded)
 	}
 }
 
@@ -147,6 +175,10 @@ type runConfig struct {
 	explain, adaptive, trace   bool
 	maxRetries                 int
 	salvage                    bool
+	deadline                   time.Duration
+	progressTimeout            time.Duration
+	memBudget                  string
+	allowDegraded              bool
 }
 
 // salvageIndex indexes a bucket directory file by file, warning about
@@ -211,18 +243,28 @@ func loadCells(index []grid.IndexEntry, salvage bool) ([]engine.Cell, error) {
 	return cells, nil
 }
 
-func run(cfg runConfig) error {
+// run executes the bucket-directory invocation. A nil error with a
+// non-nil DegradedResult means the run answered partially under
+// -allow-degraded; main turns that into the distinct exit status.
+func run(cfg runConfig) (*engine.DegradedResult, error) {
 	budget, err := parseBytes(cfg.mem)
 	if err != nil {
-		return err
+		return nil, err
+	}
+	var runtimeBudget int64
+	if cfg.memBudget != "" {
+		runtimeBudget, err = parseBytes(cfg.memBudget)
+		if err != nil {
+			return nil, err
+		}
 	}
 	strat, err := streamkm.ParseStrategy(cfg.strategy)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	mode, err := streamkm.ParseMergeMode(cfg.merge)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	index, err := grid.IndexDir(cfg.data)
 	if err != nil {
@@ -230,22 +272,22 @@ func run(cfg runConfig) error {
 		// would otherwise veto a salvage run before loadCells gets a
 		// chance to skip it. Fall back to indexing file by file.
 		if !cfg.salvage {
-			return err
+			return nil, err
 		}
 		index, err = salvageIndex(cfg.data)
 		if err != nil {
-			return err
+			return nil, err
 		}
 	}
 	if len(index) == 0 {
-		return fmt.Errorf("no bucket files in %s (run datagen first)", cfg.data)
+		return nil, fmt.Errorf("no bucket files in %s (run datagen first)", cfg.data)
 	}
 	cells, err := loadCells(index, cfg.salvage)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if len(cells) == 0 {
-		return fmt.Errorf("no usable bucket files in %s", cfg.data)
+		return nil, fmt.Errorf("no usable bucket files in %s", cfg.data)
 	}
 	q := engine.Query{
 		K:         cfg.k,
@@ -263,7 +305,7 @@ func run(cfg runConfig) error {
 	if cfg.explain {
 		plan, err := engine.Optimize(q, sizes, cells[0].Points.Dim(), res)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		logical := engine.LogicalFor(q, len(cells), false)
 		fmt.Println("LogicalPlan:")
@@ -271,14 +313,15 @@ func run(cfg runConfig) error {
 		fmt.Println("Annotated:")
 		fmt.Print(logical.AnnotatePhysical(plan).String())
 		fmt.Print(plan.Explain())
-		return nil
+		return nil, nil
 	}
 	plan, err := engine.Optimize(q, sizes, cells[0].Points.Dim(), res)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	// Features compose on the one executor: -adaptive and -max-retries
-	// are independent options, not mutually exclusive modes.
+	// Features compose on the one executor: -adaptive, -max-retries and
+	// the governor flags are independent options, not mutually exclusive
+	// modes.
 	var opts []engine.ExecOption
 	if cfg.adaptive {
 		plan.PartialClones = 1 // start minimal; the re-optimizer scales up
@@ -289,24 +332,48 @@ func run(cfg runConfig) error {
 			engine.WithRetry(stream.RetryPolicy{MaxRetries: cfg.maxRetries}),
 			engine.WithRestarts(1))
 	}
+	if cfg.deadline > 0 {
+		opts = append(opts, engine.WithDeadline(cfg.deadline))
+	}
+	if cfg.progressTimeout > 0 {
+		opts = append(opts, engine.WithProgressTimeout(cfg.progressTimeout))
+	}
+	if runtimeBudget > 0 {
+		opts = append(opts, engine.WithMemoryBudget(runtimeBudget))
+	}
+	if cfg.allowDegraded {
+		opts = append(opts, engine.WithDegradedResults())
+	}
 	results, stats, err := engine.NewExec(q, plan, opts...).Execute(context.Background(), cells)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Print(plan.Explain())
+	if adm := stats.Admission; adm != nil && adm.Constrained() {
+		fmt.Println("  governor:", adm)
+	}
 	for _, e := range stats.ReoptEvents {
 		fmt.Println("  reopt:", e)
 	}
-	fmt.Printf("\n%-10s %8s %6s %14s %14s %14s\n",
-		"cell", "points", "chunks", "merge MSE", "point MSE", "partial (ms)")
-	for i, r := range results {
-		fmt.Printf("%-10s %8d %6d %14.2f %14.2f %14d\n",
-			r.Key, cells[i].Points.Len(), r.Partitions, r.Result.MSE, r.PointMSE,
+	// A degraded run may return fewer results than cells, so look points
+	// up by key instead of pairing results with cells positionally.
+	pointsByKey := make(map[grid.CellKey]int, len(cells))
+	for _, c := range cells {
+		pointsByKey[c.Key] = c.Points.Len()
+	}
+	fmt.Printf("\n%-10s %8s %6s %6s %14s %14s %14s\n",
+		"cell", "points", "chunks", "lost", "merge MSE", "point MSE", "partial (ms)")
+	for _, r := range results {
+		fmt.Printf("%-10s %8d %6d %6d %14.2f %14.2f %14d\n",
+			r.Key, pointsByKey[r.Key], r.Partitions, r.LostChunks, r.Result.MSE, r.PointMSE,
 			r.PartialTime.Milliseconds())
 	}
 	fmt.Printf("\nprocessed %d cells / %d chunks in %v\n", stats.Cells, stats.Chunks, stats.Elapsed)
 	if stats.Restarts > 0 {
 		fmt.Printf("recovered from %d plan crash(es) via the execution journal\n", stats.Restarts)
+	}
+	if stats.Stalls > 0 {
+		fmt.Printf("stall watchdog cancelled %d wedged attempt(s)\n", stats.Stalls)
 	}
 	for _, op := range stats.Registry.All() {
 		fmt.Println(" ", op)
@@ -315,5 +382,5 @@ func run(cfg runConfig) error {
 		fmt.Println()
 		fmt.Print(stats.Trace.Timeline(72))
 	}
-	return nil
+	return stats.Degraded, nil
 }

@@ -3,7 +3,9 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"streamkm/internal/dataset"
 	"streamkm/internal/grid"
@@ -36,31 +38,35 @@ func baseConfig(dir string) runConfig {
 	}
 }
 
+// runOK asserts a run completes without error or degradation.
+func runOK(t *testing.T, cfg runConfig) {
+	t.Helper()
+	degraded, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded != nil {
+		t.Fatalf("unexpected degraded result: %v", degraded)
+	}
+}
+
 func TestRunHappyPath(t *testing.T) {
 	dir := writeTestData(t)
 	cfg := baseConfig(dir)
 	cfg.trace = true
-	if err := run(cfg); err != nil {
-		t.Fatal(err)
-	}
+	runOK(t, cfg)
 	// explain-only path
 	cfg = baseConfig(dir)
 	cfg.explain = true
-	if err := run(cfg); err != nil {
-		t.Fatal(err)
-	}
+	runOK(t, cfg)
 	// adaptive path
 	cfg = baseConfig(dir)
 	cfg.adaptive = true
-	if err := run(cfg); err != nil {
-		t.Fatal(err)
-	}
+	runOK(t, cfg)
 	// supervised path
 	cfg = baseConfig(dir)
 	cfg.maxRetries = 3
-	if err := run(cfg); err != nil {
-		t.Fatal(err)
-	}
+	runOK(t, cfg)
 }
 
 // TestRunComposedFeatures covers the flag combination the CLI used to
@@ -73,9 +79,7 @@ func TestRunComposedFeatures(t *testing.T) {
 	cfg.adaptive = true
 	cfg.maxRetries = 2
 	cfg.trace = true
-	if err := run(cfg); err != nil {
-		t.Fatal(err)
-	}
+	runOK(t, cfg)
 }
 
 func TestRunSalvagesDamagedBucket(t *testing.T) {
@@ -94,14 +98,12 @@ func TestRunSalvagesDamagedBucket(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Default read aborts on the damage; -salvage completes.
-	if err := run(baseConfig(dir)); err == nil {
+	if _, err := run(baseConfig(dir)); err == nil {
 		t.Fatal("damaged bucket should fail a strict run")
 	}
 	cfg := baseConfig(dir)
 	cfg.salvage = true
-	if err := run(cfg); err != nil {
-		t.Fatal(err)
-	}
+	runOK(t, cfg)
 	// Clobber another bucket's header entirely: indexing can't read it,
 	// so a salvage run must skip the cell rather than abort the
 	// directory.
@@ -109,7 +111,7 @@ func TestRunSalvagesDamagedBucket(t *testing.T) {
 	if err := os.WriteFile(victim2, []byte("GARBAGE!"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(cfg); err != nil {
+	if _, err := run(cfg); err != nil {
 		t.Fatalf("salvage run should skip the unindexable cell: %v", err)
 	}
 }
@@ -118,22 +120,89 @@ func TestRunErrors(t *testing.T) {
 	dir := writeTestData(t)
 	cfg := baseConfig(dir)
 	cfg.mem = "bogus"
-	if err := run(cfg); err == nil {
+	if _, err := run(cfg); err == nil {
 		t.Fatal("bad mem should error")
 	}
 	cfg = baseConfig(dir)
 	cfg.strategy = "zigzag"
-	if err := run(cfg); err == nil {
+	if _, err := run(cfg); err == nil {
 		t.Fatal("bad strategy should error")
 	}
 	cfg = baseConfig(dir)
 	cfg.merge = "eager"
-	if err := run(cfg); err == nil {
+	if _, err := run(cfg); err == nil {
 		t.Fatal("bad merge mode should error")
 	}
-	if err := run(baseConfig(t.TempDir())); err == nil {
+	cfg = baseConfig(dir)
+	cfg.memBudget = "bogus"
+	if _, err := run(cfg); err == nil {
+		t.Fatal("bad mem-budget should error")
+	}
+	if _, err := run(baseConfig(t.TempDir())); err == nil {
 		t.Fatal("empty data dir should error")
 	}
+}
+
+// TestRunGovernedHappyPath arms every governor bound generously: the
+// run must complete exactly like an ungoverned one, with no degraded
+// report.
+func TestRunGovernedHappyPath(t *testing.T) {
+	dir := writeTestData(t)
+	cfg := baseConfig(dir)
+	cfg.deadline = time.Minute
+	cfg.progressTimeout = 10 * time.Second
+	cfg.memBudget = "1MB"
+	cfg.allowDegraded = true
+	runOK(t, cfg)
+}
+
+// TestRunMemoryBudgetConstrains squeezes the runtime budget far below
+// the planned working set; the run must still complete (smaller chunks,
+// not dropped data).
+func TestRunMemoryBudgetConstrains(t *testing.T) {
+	dir := writeTestData(t)
+	cfg := baseConfig(dir)
+	// dim-4 points cost 4*8+48 = 80 bytes in the governor's model; 4KB
+	// holds ~50 points, well under the optimizer's chunk size.
+	cfg.memBudget = "4KB"
+	runOK(t, cfg)
+}
+
+func TestRunDegradedOnDeadline(t *testing.T) {
+	dir := writeTestData(t)
+	cfg := baseConfig(dir)
+	cfg.deadline = time.Nanosecond
+	cfg.allowDegraded = true
+	degraded, err := run(cfg)
+	if err != nil {
+		t.Fatalf("degraded run must not error: %v", err)
+	}
+	if degraded == nil {
+		t.Fatal("an instant deadline must yield a degraded result")
+	}
+	if !degraded.DeadlineExceeded {
+		t.Fatalf("report %+v does not blame the deadline", degraded)
+	}
+	// The stderr summary line main prints is the report's String; keep
+	// its structured fields stable for scripts.
+	for _, field := range []string{"degraded:", "deadline=true", "points_lost="} {
+		if !strings.Contains(degraded.String(), field) {
+			t.Fatalf("summary %q lacks %q", degraded, field)
+		}
+	}
+	// The degraded exit status must be nonzero and distinct from the
+	// hard-failure status 1.
+	if exitDegraded == 0 || exitDegraded == 1 {
+		t.Fatalf("exitDegraded = %d, want a distinct nonzero status", exitDegraded)
+	}
+
+	t.Run("without -allow-degraded the deadline is a hard error", func(t *testing.T) {
+		loud := baseConfig(dir)
+		loud.deadline = time.Nanosecond
+		if _, err := run(loud); err == nil {
+			t.Fatal("deadline without -allow-degraded should fail the run")
+		}
+	})
 }
 
 func TestRunCSVHappyPath(t *testing.T) {

@@ -1,0 +1,148 @@
+package streamkm
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"streamkm/internal/fault"
+)
+
+func sameCentroids(t *testing.T, a, b *Result) {
+	t.Helper()
+	if len(a.Centroids) != len(b.Centroids) {
+		t.Fatalf("centroid counts differ: %d vs %d", len(a.Centroids), len(b.Centroids))
+	}
+	for i := range a.Centroids {
+		if a.Weights[i] != b.Weights[i] {
+			t.Fatalf("centroid %d: weight %v != %v", i, a.Weights[i], b.Weights[i])
+		}
+		for d := range a.Centroids[i] {
+			if a.Centroids[i][d] != b.Centroids[i][d] {
+				t.Fatalf("centroid %d dim %d: %v != %v", i, d, a.Centroids[i][d], b.Centroids[i][d])
+			}
+		}
+	}
+}
+
+func TestClusterGovernedHealthyRun(t *testing.T) {
+	pts := blobPoints(600)
+	opts := Options{
+		K: 3, Restarts: 5, ChunkPoints: 150, Seed: 9,
+		Deadline:        time.Minute,
+		ProgressTimeout: 10 * time.Second,
+		MemoryBudget:    1 << 30,
+		AllowDegraded:   true,
+	}
+	res, err := ClusterGoverned(context.Background(), pts, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded != nil {
+		t.Fatalf("healthy run degraded: %v", res.Degraded)
+	}
+	if len(res.Centroids) != 3 || res.Partitions != 4 || !res.HasPointMSE {
+		t.Fatalf("unexpected result shape: %+v", res)
+	}
+	// Governed runs must be deterministic for a fixed seed and budgets.
+	again, err := ClusterGoverned(context.Background(), pts, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCentroids(t, res, again)
+}
+
+func TestClusterGovernedDegradesOnPermanentFailure(t *testing.T) {
+	pts := blobPoints(600)
+	opts := Options{K: 3, Restarts: 5, ChunkPoints: 150, Seed: 9, AllowDegraded: true}
+	opts.inject = fault.ErrorNth(2)
+	res, err := ClusterGoverned(context.Background(), pts, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded == nil {
+		t.Fatal("no degradation report despite a permanently failed partition")
+	}
+	if res.Degraded.DroppedPartitions != 1 || res.Degraded.PointsLost != 150 {
+		t.Fatalf("report = %+v, want 1 partition / 150 points lost", res.Degraded)
+	}
+	if res.Partitions != 3 {
+		t.Fatalf("Partitions = %d, want the 3 survivors", res.Partitions)
+	}
+	if !strings.Contains(res.Degraded.String(), "dropped_partitions=1") {
+		t.Fatalf("summary %q lacks the dropped count", res.Degraded)
+	}
+
+	t.Run("without AllowDegraded the same failure is loud", func(t *testing.T) {
+		loud := opts
+		loud.AllowDegraded = false
+		loud.inject = fault.ErrorNth(2)
+		if _, err := ClusterGoverned(context.Background(), pts, loud); !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("err = %v, want the injected failure", err)
+		}
+	})
+}
+
+func TestClusterGovernedMemoryBudgetStillCompletes(t *testing.T) {
+	pts := blobPoints(600)
+	base := Options{K: 3, Restarts: 5, ChunkPoints: 300, Seed: 9}
+	full, err := ClusterGoverned(context.Background(), pts, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight := base
+	// dim=2 points cost 2*8+48 = 64 bytes in the governor's model; this
+	// budget holds half a planned chunk, so chunks must shrink.
+	tight.MemoryBudget = 150 * 64
+	got, err := ClusterGoverned(context.Background(), pts, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Degraded != nil {
+		t.Fatalf("memory pressure alone must not degrade the answer: %v", got.Degraded)
+	}
+	if got.Partitions <= full.Partitions {
+		t.Fatalf("governed run used %d partitions, unbudgeted %d; smaller chunks should mean more",
+			got.Partitions, full.Partitions)
+	}
+	again, err := ClusterGoverned(context.Background(), pts, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCentroids(t, got, again)
+}
+
+func TestClusterGovernedStallRecovery(t *testing.T) {
+	pts := blobPoints(600)
+	opts := Options{
+		K: 3, Restarts: 5, ChunkPoints: 150, Seed: 9,
+		ProgressTimeout: 80 * time.Millisecond,
+		Retry:           &RetryPolicy{MaxRetries: 1},
+		AllowDegraded:   true,
+	}
+	opts.inject = fault.StallNth(2)
+	res, err := ClusterGoverned(context.Background(), pts, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wedged partition is cancelled by the watchdog; under
+	// AllowDegraded the run answers either completely (stall recovered
+	// by a retry of the plan) or degraded — never hangs, never errors.
+	if res.Degraded != nil && res.Degraded.Stalls == 0 {
+		t.Fatalf("degraded without a recorded stall: %+v", res.Degraded)
+	}
+	if len(res.Centroids) != 3 {
+		t.Fatalf("centroids = %d, want 3", len(res.Centroids))
+	}
+}
+
+func TestClusterGovernedValidation(t *testing.T) {
+	if _, err := ClusterGoverned(context.Background(), blobPoints(10), Options{}); err == nil {
+		t.Fatal("K=0 must fail")
+	}
+	if _, err := ClusterGoverned(context.Background(), nil, Options{K: 3}); err == nil {
+		t.Fatal("no points must fail")
+	}
+}

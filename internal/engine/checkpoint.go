@@ -148,6 +148,26 @@ func (j *Journal) cellParts(cell int) (parts []*dataset.WeightedSet, elapsed tim
 	return parts, elapsed, true
 }
 
+// availableParts returns whichever of the cell's partial results the
+// journal holds, in chunk order, plus the chunk indices that are
+// missing — the degraded finalizer's view of a cell that will never
+// complete. total is the cell's planned chunk count (the journal may
+// not know it when no chunk ever landed).
+func (j *Journal) availableParts(cell, total int) (parts []*dataset.WeightedSet, elapsed time.Duration, missing []int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for c := 0; c < total; c++ {
+		e, have := j.parts[journalKey{cell, c}]
+		if !have {
+			missing = append(missing, c)
+			continue
+		}
+		parts = append(parts, e.centroids)
+		elapsed += e.elapsed
+	}
+	return parts, elapsed, missing
+}
+
 // Encode serializes the journal — the engine's migration checkpoint.
 // Entries are written in (cell, chunk) order so equal journals produce
 // identical bytes.

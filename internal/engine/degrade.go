@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"streamkm/internal/grid"
+)
+
+// This file carries the engine's anytime contract: a governed query
+// that runs out of resources — a partition that permanently fails, a
+// stage the watchdog gives up on, a wall-clock deadline — degrades to a
+// typed partial answer instead of hanging or aborting. Streaming
+// k-means systems are expected to answer anytime with a bounded-quality
+// summary; here the summary is the merge over every surviving weighted
+// centroid set, and DegradedResult is the quality report that makes the
+// degradation auditable: exactly which partitions were dropped, how
+// many points they held, and which cells are therefore partial.
+
+// ChunkRef names one partition of one cell in a quality report.
+type ChunkRef struct {
+	// Cell is the owning cell's key; CellIndex its position in the
+	// executed cell slice.
+	Cell      grid.CellKey
+	CellIndex int
+	// Chunk is the partition index within the cell.
+	Chunk int
+	// Points is how many input points the partition held.
+	Points int
+}
+
+// String formats the reference for logs.
+func (c ChunkRef) String() string {
+	return fmt.Sprintf("%v/%d (%d points)", c.Cell, c.Chunk, c.Points)
+}
+
+// DegradedResult is the quality report of a governed execution that
+// returned a partial answer. It accompanies the surviving CellResults
+// in ExecStats.Degraded; a nil report means the answer is complete.
+type DegradedResult struct {
+	// DroppedChunks lists every partition missing from the answer —
+	// quarantined after exhausting its retries, or never processed
+	// before the deadline or a terminal stall.
+	DroppedChunks []ChunkRef
+	// DroppedCells lists cells with no surviving partition at all;
+	// they have no CellResult.
+	DroppedCells []grid.CellKey
+	// PartialCells lists cells merged over a strict subset of their
+	// partitions; their CellResults carry LostChunks > 0.
+	PartialCells []grid.CellKey
+	// PointsLost sums the input points of all dropped partitions.
+	PointsLost int
+	// DeadlineExceeded reports that the wall-clock deadline forced the
+	// degradation.
+	DeadlineExceeded bool
+	// Stalls counts watchdog-cancelled attempts over the whole run.
+	Stalls int
+}
+
+// String renders the report as the one-line structured summary scripts
+// parse from pmkm's stderr.
+func (d *DegradedResult) String() string {
+	return fmt.Sprintf("degraded: deadline=%t stalls=%d dropped_chunks=%d dropped_cells=%d partial_cells=%d points_lost=%d",
+		d.DeadlineExceeded, d.Stalls, len(d.DroppedChunks), len(d.DroppedCells), len(d.PartialCells), d.PointsLost)
+}
+
+// failedSet records partitions that permanently failed (quarantined by
+// the supervisor after exhausting their retries), so the scheduler
+// stops re-queuing them and the degraded finalizer knows what was lost.
+// Safe for concurrent use by cloned operators.
+type failedSet struct {
+	mu     sync.Mutex
+	chunks map[journalKey]struct{}
+}
+
+func newFailedSet() *failedSet {
+	return &failedSet{chunks: map[journalKey]struct{}{}}
+}
+
+func (f *failedSet) add(t chunkTask) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.chunks[journalKey{t.cellIdx, t.chunkIdx}] = struct{}{}
+}
+
+func (f *failedSet) has(cell, chunk int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	_, ok := f.chunks[journalKey{cell, chunk}]
+	return ok
+}
+
+// finalizeDegraded completes a governed execution: cells the journal
+// completes keep their normal results, incomplete cells are merged over
+// their surviving partitions (bit-identical to running partial/merge
+// over only those partitions), and the report names everything lost.
+// It returns a nil report when nothing was lost — the answer is
+// complete and callers need not treat it specially.
+func (m *cellMerger) finalizeDegraded(tasks []chunkTask, deadlineHit bool, stalls int) ([]CellResult, *DegradedResult, error) {
+	// A deadline or stall can interrupt the pipeline between a cell's
+	// last journal record and its merge; finish those cells normally
+	// first so only genuinely incomplete cells degrade.
+	if err := m.mergeReady(); err != nil {
+		return nil, nil, err
+	}
+	totals := make([]int, len(m.cells))
+	chunkPoints := make([][]int, len(m.cells))
+	for _, t := range tasks {
+		if chunkPoints[t.cellIdx] == nil {
+			totals[t.cellIdx] = t.total
+			chunkPoints[t.cellIdx] = make([]int, t.total)
+		}
+		chunkPoints[t.cellIdx][t.chunkIdx] = t.chunk.Len()
+	}
+	report := &DegradedResult{DeadlineExceeded: deadlineHit, Stalls: stalls}
+	for ci := range m.cells {
+		if m.done(ci) {
+			continue
+		}
+		missing, err := m.mergePartial(ci, totals[ci])
+		if err != nil {
+			return nil, nil, err
+		}
+		key := m.cells[ci].Key
+		for _, c := range missing {
+			pts := chunkPoints[ci][c]
+			report.DroppedChunks = append(report.DroppedChunks, ChunkRef{
+				Cell: key, CellIndex: ci, Chunk: c, Points: pts,
+			})
+			report.PointsLost += pts
+		}
+		if len(missing) == totals[ci] {
+			report.DroppedCells = append(report.DroppedCells, key)
+		} else {
+			report.PartialCells = append(report.PartialCells, key)
+		}
+	}
+	m.mu.Lock()
+	results := make([]CellResult, 0, len(m.cells))
+	for ci, done := range m.completed {
+		if done {
+			results = append(results, m.results[ci])
+		}
+	}
+	m.mu.Unlock()
+	if len(report.DroppedChunks) == 0 && len(report.DroppedCells) == 0 {
+		report = nil // nothing lost: the answer is complete
+	}
+	return results, report, nil
+}

@@ -2,10 +2,12 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
 	"streamkm/internal/fault"
+	"streamkm/internal/govern"
 	"streamkm/internal/rng"
 	"streamkm/internal/stream"
 	"streamkm/internal/trace"
@@ -24,6 +26,8 @@ import (
 //	fault injection WithFaultInjection
 //	tracing         WithTracer
 //	compression     WithCompression
+//	governing       WithDeadline / WithMemoryBudget / WithProgressTimeout / WithBudget
+//	degradation     WithDegradedResults
 //
 // Any combination composes: an adaptive run can retry chunks and
 // restart from its journal; a journaled run can scale up under
@@ -52,6 +56,8 @@ type Exec struct {
 	tracer      *trace.Tracer
 	compress    *bool
 	supervised  bool
+	budget      govern.Budget
+	degraded    bool
 }
 
 // NewExec builds an executor for q under plan with the given features
@@ -157,6 +163,51 @@ func WithWorkers(n int) ExecOption {
 	return func(e *Exec) { e.q.Workers = n }
 }
 
+// WithBudget enforces a whole resource envelope at once — the
+// piecewise equivalent of WithDeadline + WithMemoryBudget +
+// WithProgressTimeout (zero fields stay unenforced).
+func WithBudget(b govern.Budget) ExecOption {
+	return func(e *Exec) { e.budget = b }
+}
+
+// WithDeadline bounds the execution's wall-clock time. When the
+// deadline fires the run fails with context.DeadlineExceeded — or, with
+// WithDegradedResults, returns whatever has been computed so far as a
+// degraded answer.
+func WithDeadline(d time.Duration) ExecOption {
+	return func(e *Exec) { e.budget.Deadline = d }
+}
+
+// WithMemoryBudget caps the execution's working-set estimate at bytes:
+// before the pipeline starts, the governor deterministically shrinks the
+// plan's chunk size and the partial/restart fan-out until the in-flight
+// point data fits the budget (recorded in ExecStats.Admission). The
+// shrink changes scheduling, not semantics — results for a given
+// admitted plan are deterministic for a fixed seed.
+func WithMemoryBudget(bytes int64) ExecOption {
+	return func(e *Exec) { e.budget.MemoryBytes = bytes }
+}
+
+// WithProgressTimeout arms the stall watchdog: a sidecar samples every
+// stage's heartbeat and queue counters, and if a stage holds pending
+// work while making no progress for d, the attempt is cancelled with a
+// typed *govern.StallError. A stall consumes a plan restart when
+// WithRestarts allows one; otherwise it fails the plan — or degrades it
+// under WithDegradedResults.
+func WithProgressTimeout(d time.Duration) ExecOption {
+	return func(e *Exec) { e.budget.ProgressTimeout = d }
+}
+
+// WithDegradedResults opts into the anytime contract: when a chunk
+// permanently fails (retries exhausted), the deadline fires, or a stall
+// outlives the restart budget, the execution returns the merge over
+// every surviving partition plus a DegradedResult quality report in
+// ExecStats.Degraded, instead of an error. Without this option those
+// conditions fail the plan loudly.
+func WithDegradedResults() ExecOption {
+	return func(e *Exec) { e.degraded = true }
+}
+
 // newExecStats assembles the execution summary — previously built
 // once per executor, now in exactly one place.
 func newExecStats(reg *stream.StatsRegistry, tr *trace.Tracer, start time.Time, cells, chunks, restarts int, events []ReoptEvent) *ExecStats {
@@ -184,8 +235,32 @@ func (e *Exec) Execute(ctx context.Context, cells []Cell) ([]CellResult, *ExecSt
 		return nil, nil, err
 	}
 	start := time.Now()
-	master := rng.New(e.q.Seed)
-	tasks, mergeRNGs, err := prepareTasks(cells, e.q, e.plan, master)
+
+	// The governor first fits the plan to the memory budget — a pure,
+	// deterministic shrink of chunk size and fan-out — then arms the
+	// wall-clock deadline. Admission must precede task preparation so
+	// the chunk slicing (and thus the RNG derivation) reflects the
+	// admitted plan.
+	q, plan := e.q, e.plan
+	var admission *govern.Admission
+	if e.budget.MemoryBytes > 0 {
+		dim := 0
+		if cells[0].Points != nil {
+			dim = cells[0].Points.Dim()
+		}
+		a := govern.Admit(e.budget.MemoryBytes, pointBytes(dim),
+			2*q.K, plan.ChunkPoints, plan.PartialClones, q.Workers)
+		plan.ChunkPoints, plan.PartialClones, q.Workers = a.ChunkPoints, a.Clones, a.Workers
+		admission = &a
+	}
+	if e.budget.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.budget.Deadline)
+		defer cancel()
+	}
+
+	master := rng.New(q.Seed)
+	tasks, mergeRNGs, err := prepareTasks(cells, q, plan, master)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -199,34 +274,45 @@ func (e *Exec) Execute(ctx context.Context, cells []Cell) ([]CellResult, *ExecSt
 	if journal == nil {
 		journal = NewJournal()
 	}
-	compress := e.q.Compress
+	compress := q.Compress
 	if e.compress != nil {
 		compress = *e.compress
 	}
-	merger := newCellMerger(cells, e.q, compress, mergeRNGs, tr, journal, retain)
+	merger := newCellMerger(cells, q, compress, mergeRNGs, tr, journal, retain)
 
 	// One registry for the whole execution: operator counters
 	// (processed/retries/quarantined/...) aggregate across restart
 	// attempts instead of reporting only the last attempt's pipeline.
 	reg := stream.NewStatsRegistry()
 
-	work := partialTransform(cells, e.q, tr)
+	work := partialTransform(cells, q, tr)
 	if e.inject != nil {
 		base, inj := work, e.inject
 		work = func(ctx context.Context, t chunkTask, emit stream.Emit[partialOut]) error {
-			if err := inj.Invoke("partial-kmeans"); err != nil {
+			if err := inj.InvokeContext(ctx, "partial-kmeans"); err != nil {
 				return err
 			}
 			return base(ctx, t, emit)
 		}
 	}
 	var sup *stream.Supervisor[chunkTask]
-	if e.supervised {
-		sup = &stream.Supervisor[chunkTask]{Retry: e.retry, JitterSeed: e.q.Seed}
+	var failed *failedSet
+	if e.supervised || e.degraded {
+		sup = &stream.Supervisor[chunkTask]{Retry: e.retry, JitterSeed: q.Seed}
+	}
+	if e.degraded {
+		// Graceful degradation rides on quarantine: a chunk that
+		// exhausts its retries is recorded as permanently failed instead
+		// of killing the plan, and the final merge proceeds over the
+		// survivors.
+		failed = newFailedSet()
+		sup.DLQ = stream.NewDeadLetterQueue[chunkTask](len(tasks))
+		sup.OnQuarantine = func(d stream.DeadLetter[chunkTask]) { failed.add(d.Item) }
 	}
 
 	var events []ReoptEvent
-	restarts := 0
+	restarts, stalls := 0, 0
+	deadlineHit := false
 	for {
 		// Finalize cells the journal already completes (covers resume
 		// from a decoded checkpoint and merges interrupted by a crash).
@@ -235,34 +321,110 @@ func (e *Exec) Execute(ctx context.Context, cells []Cell) ([]CellResult, *ExecSt
 		}
 		var remaining []chunkTask
 		for _, t := range tasks {
-			if !merger.done(t.cellIdx) && !journal.has(t.cellIdx, t.chunkIdx) {
-				remaining = append(remaining, t)
+			if merger.done(t.cellIdx) || journal.has(t.cellIdx, t.chunkIdx) {
+				continue
 			}
+			if failed != nil && failed.has(t.cellIdx, t.chunkIdx) {
+				continue // permanently failed: the degraded finalize reports it
+			}
+			remaining = append(remaining, t)
 		}
 		if len(remaining) == 0 {
 			break
 		}
 
-		g, gctx := stream.NewGroup(ctx)
-		chunkQ := stream.NewQueue[chunkTask]("chunks", e.plan.QueueCapacity)
-		partQ := stream.NewQueue[partialOut]("partials", e.plan.QueueCapacity)
+		// Under a progress timeout each attempt gets its own cancellable
+		// context so the watchdog can kill just this attempt, recording
+		// the StallError as the cancellation cause.
+		attemptCtx := ctx
+		var cancelAttempt context.CancelCauseFunc
+		var hbPartial, hbMerge *govern.Heartbeat
+		if e.budget.ProgressTimeout > 0 {
+			attemptCtx, cancelAttempt = context.WithCancelCause(ctx)
+			hbPartial, hbMerge = new(govern.Heartbeat), new(govern.Heartbeat)
+		}
+
+		g, gctx := stream.NewGroup(attemptCtx)
+		chunkQ := stream.NewQueue[chunkTask]("chunks", plan.QueueCapacity)
+		partQ := stream.NewQueue[partialOut]("partials", plan.QueueCapacity)
 
 		stream.RunSource(g, gctx, reg, "scan", taskSource(remaining), chunkQ)
-		st := stream.RunStage(g, gctx, reg,
-			stream.StageConfig[chunkTask]{Name: "partial-kmeans", Clones: e.plan.PartialClones, Sup: sup},
-			work, chunkQ, partQ)
-		stream.RunSink(g, gctx, reg, "merge-kmeans", 1, merger.sink, partQ)
+		pcfg := stream.StageConfig[chunkTask]{Name: "partial-kmeans", Clones: plan.PartialClones, Sup: sup}
+		mcfg := stream.StageConfig[partialOut]{Name: "merge-kmeans", Clones: 1}
+		if hbPartial != nil {
+			// Assign only when armed: a typed-nil *Heartbeat in the
+			// interface field would read as "hook present".
+			pcfg.Beat, mcfg.Beat = hbPartial, hbMerge
+		}
+		st := stream.RunStage(g, gctx, reg, pcfg, work, chunkQ, partQ)
+		stream.RunStage(g, gctx, reg, mcfg,
+			func(ctx context.Context, p partialOut, _ stream.Emit[struct{}]) error {
+				return merger.sink(ctx, p)
+			}, partQ, (*stream.Queue[struct{}])(nil))
 		if e.reopt != nil {
 			e.runReoptMonitor(g, gctx, st, chunkQ, len(remaining), start, &events)
 		}
 
+		// The watchdog runs as a sidecar, not a group member: it must
+		// not hold g.Wait open on a healthy attempt, and it must be able
+		// to cancel the very group it watches. Stage heartbeats and
+		// queue dequeue counters together form the progress signal;
+		// in-flight items plus queue backlog form the pending signal.
+		var wdStop, wdDone chan struct{}
+		if hbPartial != nil {
+			wd := govern.NewWatchdog(e.budget.ProgressTimeout,
+				govern.Probe{
+					Name:     "partial-kmeans",
+					Progress: func() int64 { return hbPartial.Beats() + chunkQ.Dequeued() },
+					Pending:  func() int64 { return hbPartial.InFlight() + int64(chunkQ.Len()) },
+				},
+				govern.Probe{
+					Name:     "merge-kmeans",
+					Progress: func() int64 { return hbMerge.Beats() + partQ.Dequeued() },
+					Pending:  func() int64 { return hbMerge.InFlight() + int64(partQ.Len()) },
+				})
+			wdStop, wdDone = make(chan struct{}), make(chan struct{})
+			go func() {
+				defer close(wdDone)
+				wd.Watch(wdStop, func(err error) { cancelAttempt(err) })
+			}()
+		}
+
 		err := g.Wait()
+		if wdStop != nil {
+			close(wdStop)
+			<-wdDone
+		}
+		stalled := false
+		if cancelAttempt != nil {
+			// Release the attempt context (a no-op if the watchdog
+			// already cancelled it), then recover the true failure: the
+			// group surfaces a watchdog kill as a bare cancellation, but
+			// the context cause carries the StallError.
+			cancelAttempt(nil)
+			if cause := context.Cause(attemptCtx); err != nil && ctx.Err() == nil && errors.Is(cause, govern.ErrStalled) {
+				stalls++
+				stalled = true
+				err = cause
+			}
+		}
 		if err == nil {
 			continue // loop re-checks: merges done in sink, remaining empties
 		}
 		if ctx.Err() != nil {
+			if e.degraded && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				// Out of wall-clock: degrade to what has been journaled.
+				deadlineHit = true
+				break
+			}
 			// The caller cancelled; restarting would spin on a dead context.
 			return nil, nil, err
+		}
+		if stalled && !(e.supervised && restarts < e.maxRestarts) {
+			if e.degraded {
+				break // terminal stall: degrade instead of failing
+			}
+			return nil, nil, fmt.Errorf("engine: plan stalled after %d restart(s): %w", restarts, err)
 		}
 		if !e.supervised {
 			return nil, nil, err
@@ -276,9 +438,20 @@ func (e *Exec) Execute(ctx context.Context, cells []Cell) ([]CellResult, *ExecSt
 		}
 	}
 
+	if e.degraded {
+		results, report, err := merger.finalizeDegraded(tasks, deadlineHit, stalls)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats := newExecStats(reg, tr, start, len(cells), len(tasks), restarts, events)
+		stats.Admission, stats.Stalls, stats.Degraded = admission, stalls, report
+		return results, stats, nil
+	}
 	results, err := merger.finalize()
 	if err != nil {
 		return nil, nil, err
 	}
-	return results, newExecStats(reg, tr, start, len(cells), len(tasks), restarts, events), nil
+	stats := newExecStats(reg, tr, start, len(cells), len(tasks), restarts, events)
+	stats.Admission, stats.Stalls = admission, stalls
+	return results, stats, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"streamkm/internal/core"
 	"streamkm/internal/dataset"
+	"streamkm/internal/govern"
 	"streamkm/internal/grid"
 	"streamkm/internal/histogram"
 	"streamkm/internal/rng"
@@ -23,8 +24,14 @@ type Cell struct {
 // CellResult is the executor's per-cell output.
 type CellResult struct {
 	Key grid.CellKey
-	// Partitions is the number of chunks the cell was sliced into.
+	// Partitions is the number of chunks that contributed to the cell's
+	// merge — its planned chunk count, minus LostChunks on a degraded
+	// execution.
 	Partitions int
+	// LostChunks counts partitions missing from this cell's merge —
+	// always 0 for a complete cell; positive only when a governed
+	// execution degraded (see ExecStats.Degraded).
+	LostChunks int
 	// Centroids, Weights, MergeMSE mirror core.Result.
 	Result *core.MergeResult
 	// PointMSE is the quality against the cell's raw points.
@@ -53,6 +60,14 @@ type ExecStats struct {
 	// ReoptEvents records the dynamic re-optimizer's decisions (empty
 	// unless the adaptive feature was enabled).
 	ReoptEvents []ReoptEvent
+	// Admission records the memory governor's plan-fitting decision
+	// (nil when no memory budget was set).
+	Admission *govern.Admission
+	// Stalls counts attempts the stall watchdog cancelled.
+	Stalls int
+	// Degraded is the quality report of a governed run that returned a
+	// partial answer; nil means the results are complete.
+	Degraded *DegradedResult
 }
 
 // chunkTask is one partition of one cell queued for the partial operator.

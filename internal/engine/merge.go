@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"streamkm/internal/core"
+	"streamkm/internal/dataset"
 	"streamkm/internal/histogram"
 	"streamkm/internal/metrics"
 	"streamkm/internal/rng"
@@ -89,6 +91,33 @@ func (m *cellMerger) mergeCell(ci int) error {
 	if !ok {
 		return nil
 	}
+	return m.finishCell(ci, parts, partialTime, 0)
+}
+
+// mergePartial finalizes one incomplete cell over whichever of its
+// partitions survived, returning the chunk indices that were lost. A
+// cell with no surviving partition is left unmerged (the caller reports
+// it dropped). Only the degraded finalizer calls this, after the
+// pipeline has fully stopped.
+func (m *cellMerger) mergePartial(ci, total int) (missing []int, err error) {
+	parts, partialTime, missing := m.journal.availableParts(ci, total)
+	if len(missing) == 0 {
+		// The journal actually completes the cell; merge it normally.
+		return nil, m.mergeCell(ci)
+	}
+	if len(parts) == 0 {
+		return missing, nil
+	}
+	return missing, m.finishCell(ci, parts, partialTime, len(missing))
+}
+
+// finishCell runs the merge phase for one cell over the given partial
+// results and records its CellResult. Both the complete and the
+// degraded path land here, and both draw from a copy of the cell's
+// pre-derived merge RNG — which is why a degraded cell's output is
+// bit-identical to executing partial/merge over only its surviving
+// partitions.
+func (m *cellMerger) finishCell(ci int, parts []*dataset.WeightedSet, partialTime time.Duration, lost int) error {
 	key := m.cells[ci].Key
 	endSpan := m.tr.Span("merge-kmeans", fmt.Sprintf("%v", key))
 	mergeRNG := *m.mergeRNGs[ci]
@@ -114,6 +143,7 @@ func (m *cellMerger) mergeCell(ci int) error {
 	m.results[ci] = CellResult{
 		Key:         key,
 		Partitions:  len(parts),
+		LostChunks:  lost,
 		Result:      mr,
 		PointMSE:    pm,
 		PartialTime: partialTime,

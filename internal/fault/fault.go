@@ -10,6 +10,7 @@
 package fault
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -59,6 +60,19 @@ type Config struct {
 	// ErrorNth, if positive, forces exactly the Nth invocation (1-based)
 	// to return an error, independent of the rates.
 	ErrorNth int64
+	// StallNth, if positive, makes exactly the Nth invocation (1-based)
+	// block until its context is cancelled, then return the context's
+	// error — a wedged operator for exercising the stall watchdog. Only
+	// InvokeContext observes the cancellation; a stall reached through
+	// plain Invoke would block forever, so stall-injected operators must
+	// pass their stage context.
+	StallNth int64
+	// DelayNth, if positive, makes exactly the Nth invocation (1-based)
+	// sleep DelayDur (honoring context cancellation) before proceeding —
+	// a latency fault that is slow but not dead.
+	DelayNth int64
+	// DelayDur is the DelayNth sleep (0 = 50ms).
+	DelayDur time.Duration
 	// MaxFaults caps the total number of injected panics+errors
 	// (0 = unlimited); after the cap, Invoke is a no-op. It bounds how
 	// long a retry loop has to out-wait the injector.
@@ -79,12 +93,17 @@ type Injector struct {
 	panics      atomic.Int64
 	errors      atomic.Int64
 	slowdowns   atomic.Int64
+	stalls      atomic.Int64
+	delays      atomic.Int64
 }
 
 // New returns an injector for the config.
 func New(cfg Config) *Injector {
 	if cfg.SlowDur <= 0 {
 		cfg.SlowDur = time.Millisecond
+	}
+	if cfg.DelayDur <= 0 {
+		cfg.DelayDur = 50 * time.Millisecond
 	}
 	return &Injector{cfg: cfg, r: rng.New(cfg.Seed)}
 }
@@ -97,6 +116,17 @@ func ErrorNth(n int64) *Injector { return New(Config{ErrorNth: n}) }
 // PanicNth returns an injector whose nth invocation (1-based) panics and
 // which otherwise never faults.
 func PanicNth(n int64) *Injector { return New(Config{PanicNth: n}) }
+
+// StallNth returns an injector whose nth invocation (1-based) blocks
+// until its context is cancelled — a wedged operator for watchdog
+// tests. Use with InvokeContext; see Config.StallNth.
+func StallNth(n int64) *Injector { return New(Config{StallNth: n}) }
+
+// DelayNth returns an injector whose nth invocation (1-based) sleeps d
+// before proceeding and which otherwise never faults.
+func DelayNth(n int64, d time.Duration) *Injector {
+	return New(Config{DelayNth: n, DelayDur: d})
+}
 
 // Invocations returns the number of Invoke calls observed.
 func (i *Injector) Invocations() int64 {
@@ -133,10 +163,34 @@ func (i *Injector) Slowdowns() int64 {
 // Faults returns the total injected panics plus errors.
 func (i *Injector) Faults() int64 { return i.Panics() + i.Errors() }
 
-// Invoke decides one invocation's fate for the named operator: it may
-// panic with InjectedPanic, return an error wrapping ErrInjected, sleep,
-// or (usually) do nothing and return nil. Safe on a nil receiver.
+// Stalls returns the number of injected stalls.
+func (i *Injector) Stalls() int64 {
+	if i == nil {
+		return 0
+	}
+	return i.stalls.Load()
+}
+
+// Delays returns the number of injected delays.
+func (i *Injector) Delays() int64 {
+	if i == nil {
+		return 0
+	}
+	return i.delays.Load()
+}
+
+// Invoke decides one invocation's fate with no cancellation signal; a
+// stall fault reached through it would block forever, so stall-injected
+// operators must use InvokeContext. Safe on a nil receiver.
 func (i *Injector) Invoke(op string) error {
+	return i.InvokeContext(context.Background(), op)
+}
+
+// InvokeContext decides one invocation's fate for the named operator:
+// it may panic with InjectedPanic, return an error wrapping ErrInjected,
+// stall until ctx is cancelled, sleep, or (usually) do nothing and
+// return nil. Safe on a nil receiver.
+func (i *Injector) InvokeContext(ctx context.Context, op string) error {
 	if i == nil {
 		return nil
 	}
@@ -149,6 +203,21 @@ func (i *Injector) Invoke(op string) error {
 	if i.cfg.ErrorNth > 0 && n == i.cfg.ErrorNth {
 		i.errors.Add(1)
 		return fmt.Errorf("%w: %s (invocation %d)", ErrInjected, op, n)
+	}
+	if i.cfg.StallNth > 0 && n == i.cfg.StallNth {
+		i.stalls.Add(1)
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	if i.cfg.DelayNth > 0 && n == i.cfg.DelayNth {
+		i.delays.Add(1)
+		t := time.NewTimer(i.cfg.DelayDur)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
 
 	if i.cfg.PanicRate <= 0 && i.cfg.ErrorRate <= 0 && i.cfg.SlowRate <= 0 {
@@ -180,6 +249,6 @@ func (i *Injector) String() string {
 	if i == nil {
 		return "fault: disabled"
 	}
-	return fmt.Sprintf("fault: %d invocations, %d panics, %d errors, %d slowdowns",
-		i.Invocations(), i.Panics(), i.Errors(), i.Slowdowns())
+	return fmt.Sprintf("fault: %d invocations, %d panics, %d errors, %d slowdowns, %d stalls, %d delays",
+		i.Invocations(), i.Panics(), i.Errors(), i.Slowdowns(), i.Stalls(), i.Delays())
 }

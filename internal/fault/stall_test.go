@@ -1,0 +1,79 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestStallNthBlocksUntilCancel(t *testing.T) {
+	inj := StallNth(2)
+	if err := inj.InvokeContext(context.Background(), "op"); err != nil {
+		t.Fatalf("invocation 1 faulted: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- inj.InvokeContext(ctx, "op") }()
+	select {
+	case err := <-done:
+		t.Fatalf("stalled invocation returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("stall returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stalled invocation did not release on cancel")
+	}
+	if inj.Stalls() != 1 {
+		t.Fatalf("Stalls() = %d, want 1", inj.Stalls())
+	}
+	if err := inj.InvokeContext(context.Background(), "op"); err != nil {
+		t.Fatalf("invocation after the stall faulted: %v", err)
+	}
+}
+
+func TestDelayNthSleepsThenProceeds(t *testing.T) {
+	inj := DelayNth(1, 30*time.Millisecond)
+	start := time.Now()
+	if err := inj.InvokeContext(context.Background(), "op"); err != nil {
+		t.Fatalf("delayed invocation errored: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("delay returned after %v, want >= 30ms", elapsed)
+	}
+	if inj.Delays() != 1 {
+		t.Fatalf("Delays() = %d, want 1", inj.Delays())
+	}
+}
+
+func TestDelayNthHonorsCancellation(t *testing.T) {
+	inj := DelayNth(1, 10*time.Second)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- inj.InvokeContext(ctx, "op") }()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled delay returned %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled delay never returned")
+	}
+}
+
+func TestNilInjectorNewMethods(t *testing.T) {
+	var inj *Injector
+	if inj.Stalls() != 0 || inj.Delays() != 0 {
+		t.Fatal("nil injector reports activity")
+	}
+	if err := inj.InvokeContext(context.Background(), "op"); err != nil {
+		t.Fatalf("nil injector faulted: %v", err)
+	}
+}

@@ -1,0 +1,82 @@
+package govern
+
+import "fmt"
+
+// Admission is the memory governor's plan-fitting decision: the chunk
+// size and fan-out actually admitted under the byte budget, plus which
+// of them had to shrink. It is the optimizer's resource decision (§3.2,
+// §3.4) re-made at execution time against the budget the query was
+// actually granted.
+type Admission struct {
+	// Budget is the byte budget the decision was made against.
+	Budget int64
+	// ChunkPoints is the admitted partition size.
+	ChunkPoints int
+	// Clones is the admitted partial-operator replica count.
+	Clones int
+	// Workers is the admitted per-chunk restart fan-out.
+	Workers int
+	// ChunkShrunk, ClonesShrunk, WorkersShrunk record which knobs the
+	// governor had to reduce from the optimizer's plan.
+	ChunkShrunk   bool
+	ClonesShrunk  bool
+	WorkersShrunk bool
+}
+
+// Constrained reports whether the budget forced any reduction.
+func (a Admission) Constrained() bool {
+	return a.ChunkShrunk || a.ClonesShrunk || a.WorkersShrunk
+}
+
+// String formats the decision for logs and EXPLAIN output.
+func (a Admission) String() string {
+	return fmt.Sprintf("govern: budget %dB admits chunk=%d clones=%d workers=%d (shrunk: chunk=%t clones=%t workers=%t)",
+		a.Budget, a.ChunkPoints, a.Clones, a.Workers, a.ChunkShrunk, a.ClonesShrunk, a.WorkersShrunk)
+}
+
+// Admit fits a plan's chunk size and fan-out under budget bytes, given
+// the per-point footprint. minChunk floors the shrink (below it the
+// partial step cannot seed k centroids), so a budget smaller than one
+// viable chunk still admits a minimum-size serial plan rather than
+// nothing. The decision is a pure function of its inputs, keeping
+// governed runs deterministic for a fixed seed.
+func Admit(budget, bytesPerPoint int64, minChunk, chunkPoints, clones, workers int) Admission {
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	if clones < 1 {
+		clones = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	a := Admission{Budget: budget, ChunkPoints: chunkPoints, Clones: clones, Workers: workers}
+	if budget <= 0 || bytesPerPoint <= 0 {
+		return a
+	}
+	capPoints := int(budget / bytesPerPoint)
+	if capPoints < minChunk {
+		capPoints = minChunk
+	}
+	if a.ChunkPoints > capPoints {
+		a.ChunkPoints = capPoints
+		a.ChunkShrunk = true
+	}
+	// Each concurrent chunk-holder (partial clone) and each restart
+	// worker's scratch costs about one chunk; bound both so the working
+	// set stays within budget.
+	perChunk := int64(a.ChunkPoints) * bytesPerPoint
+	maxConcurrent := 1
+	if perChunk > 0 && budget/perChunk > 1 {
+		maxConcurrent = int(budget / perChunk)
+	}
+	if a.Clones > maxConcurrent {
+		a.Clones = maxConcurrent
+		a.ClonesShrunk = true
+	}
+	if a.Workers > maxConcurrent {
+		a.Workers = maxConcurrent
+		a.WorkersShrunk = true
+	}
+	return a
+}

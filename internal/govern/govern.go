@@ -1,0 +1,100 @@
+// Package govern is the engine's resource governor: the runtime
+// counterpart of the query optimizer's admission decision. The paper's
+// optimizer picks the number of partial-k-means clones "depending on
+// the available resources (memory, CPU)" once, before execution; a
+// long-running stream query also needs that decision *enforced* while
+// it runs. This package supplies the three enforcement primitives:
+//
+//   - Budget, the per-query resource envelope (wall-clock deadline,
+//     per-stage progress timeout, byte budget);
+//   - Heartbeat + Watchdog, per-stage liveness: stages beat as they
+//     make progress, and the watchdog cancels an attempt whose stages
+//     hold work without beating for the progress timeout;
+//   - Admit, the memory governor: it re-fits chunk size and fan-out to
+//     a byte budget at execution time, the optimizer's decision made
+//     again under the resources actually available.
+//
+// The governor never decides *what* a degraded answer contains — that
+// is the engine's job (it merges whatever partitions survived); govern
+// only decides *when* to stop waiting.
+package govern
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Budget is a query's resource envelope. Zero fields are unenforced, so
+// the zero Budget governs nothing.
+type Budget struct {
+	// Deadline bounds the query's end-to-end wall-clock time. When it
+	// expires the engine either fails or, with degraded results enabled,
+	// answers from the partitions completed so far.
+	Deadline time.Duration
+	// ProgressTimeout arms the stall watchdog: a stage holding work
+	// without making progress for this long is cancelled.
+	ProgressTimeout time.Duration
+	// MemoryBytes caps the execution's working set; the governor shrinks
+	// chunk size and fan-out until the plan fits (see Admit).
+	MemoryBytes int64
+}
+
+// Enforced reports whether any component of the envelope is set.
+func (b Budget) Enforced() bool {
+	return b.Deadline > 0 || b.ProgressTimeout > 0 || b.MemoryBytes > 0
+}
+
+// ErrStalled is the base error of every watchdog cancellation, so
+// callers can recognize stall-induced failures with errors.Is.
+var ErrStalled = errors.New("govern: stage stalled")
+
+// StallError reports which stage the watchdog gave up on and how long
+// it had been silent. It wraps ErrStalled.
+type StallError struct {
+	// Stage is the probe name that stopped progressing.
+	Stage string
+	// Quiet is how long the stage held pending work without a beat.
+	Quiet time.Duration
+}
+
+// Error implements error.
+func (e *StallError) Error() string {
+	return fmt.Sprintf("govern: stage %q made no progress for %v: stalled", e.Stage, e.Quiet.Round(time.Millisecond))
+}
+
+// Unwrap lets errors.Is(err, ErrStalled) recognize watchdog kills.
+func (e *StallError) Unwrap() error { return ErrStalled }
+
+// Heartbeat is an atomic per-stage liveness counter. A stage brackets
+// every item with Begin/End (both count as beats) and may Beat from
+// inside a long computation; the watchdog reads Beats and InFlight. The
+// zero value is ready to use, and all methods are safe for concurrent
+// use by cloned operators.
+type Heartbeat struct {
+	beats    atomic.Int64
+	inflight atomic.Int64
+}
+
+// Begin records that one item was picked up.
+func (h *Heartbeat) Begin() {
+	h.inflight.Add(1)
+	h.beats.Add(1)
+}
+
+// End records that the picked-up item fully completed (including its
+// downstream emissions).
+func (h *Heartbeat) End() {
+	h.beats.Add(1)
+	h.inflight.Add(-1)
+}
+
+// Beat records intermediate progress inside one item.
+func (h *Heartbeat) Beat() { h.beats.Add(1) }
+
+// Beats returns the total progress count.
+func (h *Heartbeat) Beats() int64 { return h.beats.Load() }
+
+// InFlight returns the number of items begun but not ended.
+func (h *Heartbeat) InFlight() int64 { return h.inflight.Load() }

@@ -1,0 +1,151 @@
+package govern
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHeartbeatCounters(t *testing.T) {
+	var h Heartbeat
+	if h.Beats() != 0 || h.InFlight() != 0 {
+		t.Fatalf("zero heartbeat reports beats=%d inflight=%d", h.Beats(), h.InFlight())
+	}
+	h.Begin()
+	if h.Beats() != 1 || h.InFlight() != 1 {
+		t.Fatalf("after Begin: beats=%d inflight=%d", h.Beats(), h.InFlight())
+	}
+	h.Beat()
+	h.End()
+	if h.Beats() != 3 || h.InFlight() != 0 {
+		t.Fatalf("after Beat+End: beats=%d inflight=%d", h.Beats(), h.InFlight())
+	}
+}
+
+func TestWatchdogTripsOnStalledProbe(t *testing.T) {
+	var h Heartbeat
+	h.Begin() // one item picked up, never finished
+	wd := NewWatchdog(20*time.Millisecond, Probe{
+		Name:     "wedged",
+		Progress: h.Beats,
+		Pending:  h.InFlight,
+	})
+	stop := make(chan struct{})
+	defer close(stop)
+	tripped := make(chan error, 1)
+	start := time.Now()
+	go wd.Watch(stop, func(err error) { tripped <- err })
+	select {
+	case err := <-tripped:
+		if !errors.Is(err, ErrStalled) {
+			t.Fatalf("trip error %v does not wrap ErrStalled", err)
+		}
+		var se *StallError
+		if !errors.As(err, &se) || se.Stage != "wedged" {
+			t.Fatalf("trip error %v does not name the stalled stage", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("watchdog never tripped on a wedged probe")
+	}
+	// Detection should land near the progress timeout, not multiples of it.
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("stall detected only after %v", elapsed)
+	}
+}
+
+func TestWatchdogIgnoresIdleAndProgressingProbes(t *testing.T) {
+	var idle Heartbeat // pending 0 forever: quiescent, not stalled
+	var busy Heartbeat
+	busy.Begin()
+	var mu sync.Mutex
+	beating := true
+	go func() {
+		for {
+			mu.Lock()
+			ok := beating
+			mu.Unlock()
+			if !ok {
+				return
+			}
+			busy.Beat()
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	defer func() { mu.Lock(); beating = false; mu.Unlock() }()
+
+	wd := NewWatchdog(25*time.Millisecond,
+		Probe{Name: "idle", Progress: idle.Beats, Pending: idle.InFlight},
+		Probe{Name: "busy", Progress: busy.Beats, Pending: busy.InFlight},
+	)
+	stop := make(chan struct{})
+	tripped := make(chan error, 1)
+	go wd.Watch(stop, func(err error) { tripped <- err })
+	select {
+	case err := <-tripped:
+		t.Fatalf("watchdog tripped on healthy probes: %v", err)
+	case <-time.After(150 * time.Millisecond):
+	}
+	close(stop)
+}
+
+func TestBudgetEnforced(t *testing.T) {
+	if (Budget{}).Enforced() {
+		t.Fatal("zero budget reports enforced")
+	}
+	for _, b := range []Budget{
+		{Deadline: time.Second},
+		{ProgressTimeout: time.Second},
+		{MemoryBytes: 1},
+	} {
+		if !b.Enforced() {
+			t.Fatalf("budget %+v not enforced", b)
+		}
+	}
+}
+
+func TestAdmitFitsBudget(t *testing.T) {
+	const bpp = 80 // bytes per point
+	t.Run("generous budget changes nothing", func(t *testing.T) {
+		a := Admit(1<<20, bpp, 10, 500, 4, 8)
+		if a.Constrained() {
+			t.Fatalf("generous budget constrained the plan: %+v", a)
+		}
+		if a.ChunkPoints != 500 || a.Clones != 4 || a.Workers != 8 {
+			t.Fatalf("generous budget altered the plan: %+v", a)
+		}
+	})
+	t.Run("halved budget shrinks chunk and fan-out", func(t *testing.T) {
+		full := Admit(80*1000, bpp, 10, 1000, 4, 4)
+		half := Admit(80*500, bpp, 10, 1000, 4, 4)
+		if !half.Constrained() {
+			t.Fatalf("halved budget not constrained: %+v", half)
+		}
+		if half.ChunkPoints >= full.ChunkPoints {
+			t.Fatalf("halved budget did not shrink chunk: full=%d half=%d", full.ChunkPoints, half.ChunkPoints)
+		}
+		if half.Clones > full.Clones || half.Workers > full.Workers {
+			t.Fatalf("halved budget grew fan-out: full=%+v half=%+v", full, half)
+		}
+	})
+	t.Run("budget below one viable chunk floors at minChunk", func(t *testing.T) {
+		a := Admit(bpp, bpp, 20, 1000, 4, 4)
+		if a.ChunkPoints != 20 {
+			t.Fatalf("chunk fell below the viability floor: %+v", a)
+		}
+		if a.Clones != 1 || a.Workers != 1 {
+			t.Fatalf("tiny budget should serialize: %+v", a)
+		}
+	})
+	t.Run("zero budget is a no-op", func(t *testing.T) {
+		a := Admit(0, bpp, 10, 300, 2, 2)
+		if a.Constrained() || a.ChunkPoints != 300 || a.Clones != 2 || a.Workers != 2 {
+			t.Fatalf("unenforced budget altered the plan: %+v", a)
+		}
+	})
+	t.Run("deterministic", func(t *testing.T) {
+		if Admit(12345, bpp, 10, 777, 3, 5) != Admit(12345, bpp, 10, 777, 3, 5) {
+			t.Fatal("Admit is not a pure function of its inputs")
+		}
+	})
+}

@@ -1,0 +1,79 @@
+package govern
+
+import (
+	"time"
+)
+
+// Probe is one progress signal the watchdog samples: a monotonically
+// increasing counter plus a gauge of outstanding work. A stage is
+// stalled exactly when Pending reports outstanding work while Progress
+// stays flat for the whole timeout — an idle stage (Pending 0) is
+// quiescent, not stalled, no matter how long it sits.
+type Probe struct {
+	// Name identifies the stage in the StallError.
+	Name string
+	// Progress returns a counter that advances whenever the stage does
+	// anything (heartbeats plus, typically, queue dequeue counts).
+	Progress func() int64
+	// Pending returns how much work is outstanding: items in flight
+	// plus items buffered in the stage's input queue.
+	Pending func() int64
+}
+
+// Watchdog samples a set of probes and trips when any of them holds
+// pending work without progress for the timeout. One watchdog covers
+// one execution attempt; make a fresh one per attempt.
+type Watchdog struct {
+	timeout  time.Duration
+	interval time.Duration
+	probes   []Probe
+}
+
+// NewWatchdog returns a watchdog with the given progress timeout. The
+// sampling interval is derived from the timeout (an eighth, at least
+// one millisecond) so detection lands within roughly one timeout of
+// the stall beginning.
+func NewWatchdog(timeout time.Duration, probes ...Probe) *Watchdog {
+	interval := timeout / 8
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	return &Watchdog{timeout: timeout, interval: interval, probes: probes}
+}
+
+// Watch samples until stop is closed or a stall is detected; a stall
+// invokes trip with a *StallError and ends the watch. Run it on its own
+// goroutine and close stop (then join) once the attempt finishes, so
+// the watchdog never outlives the pipeline it observes.
+func (w *Watchdog) Watch(stop <-chan struct{}, trip func(error)) {
+	type probeState struct {
+		progress int64
+		since    time.Time
+	}
+	states := make([]probeState, len(w.probes))
+	now := time.Now()
+	for i, p := range w.probes {
+		states[i] = probeState{progress: p.Progress(), since: now}
+	}
+	ticker := time.NewTicker(w.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		now = time.Now()
+		for i, p := range w.probes {
+			cur := p.Progress()
+			if cur != states[i].progress || p.Pending() == 0 {
+				states[i] = probeState{progress: cur, since: now}
+				continue
+			}
+			if quiet := now.Sub(states[i].since); quiet >= w.timeout {
+				trip(&StallError{Stage: p.Name, Quiet: quiet})
+				return
+			}
+		}
+	}
+}

@@ -309,6 +309,104 @@ func TestSalvageBucketRecoversPrefix(t *testing.T) {
 	}
 }
 
+// TestSalvageBucketTailEdges pins salvage behaviour at the awkward cut
+// points around the end of a v2 file, where "how much survives" depends
+// on exactly which checksum the truncation lands in.
+func TestSalvageBucketTailEdges(t *testing.T) {
+	key := CellKey{Lat: 7, Lon: 9}
+	const n, dim = 10, 3
+	s := sampleSet(t, n, dim)
+	var buf bytes.Buffer
+	if err := WriteBucket(&buf, key, s); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	const recSize = 8*dim + 4
+
+	salvage := func(t *testing.T, cut int) (*dataset.Set, error) {
+		t.Helper()
+		_, part, err := SalvageBucket(bytes.NewReader(good[:cut]))
+		return part, err
+	}
+
+	t.Run("truncation inside the trailing checksum", func(t *testing.T) {
+		// Every record is intact; 2 of the whole-file trailer's 4 bytes
+		// survive. All n records have proven themselves and are kept.
+		part, err := salvage(t, len(good)-2)
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("err = %v, want ErrTruncated", err)
+		}
+		if part.Len() != n {
+			t.Fatalf("salvaged %d points, want all %d", part.Len(), n)
+		}
+	})
+
+	t.Run("truncation inside a record checksum", func(t *testing.T) {
+		// Record 6's data bytes are all present but its own CRC is cut
+		// short, so the record cannot prove itself: salvage keeps 6.
+		part, err := salvage(t, headerSize+6*recSize+8*dim+2)
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("err = %v, want ErrTruncated", err)
+		}
+		if part.Len() != 6 {
+			t.Fatalf("salvaged %d points, want the 6 verified records", part.Len())
+		}
+	})
+
+	t.Run("file ends exactly at the last record boundary", func(t *testing.T) {
+		// The final record's CRC is the last byte in the file — only the
+		// whole-file trailer is missing. Everything salvages, including
+		// the boundary record, decoded bit-exactly.
+		part, err := salvage(t, len(good)-4)
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("err = %v, want ErrTruncated", err)
+		}
+		if part.Len() != n {
+			t.Fatalf("salvaged %d points, want all %d", part.Len(), n)
+		}
+		if !part.At(n - 1).Equal(s.At(n - 1)) {
+			t.Fatal("boundary record decoded differently")
+		}
+	})
+
+	t.Run("file ends exactly at the header boundary", func(t *testing.T) {
+		// The header promises n records but not one data byte follows:
+		// salvage reports truncation with an empty (not nil) set, so
+		// callers can distinguish "nothing recoverable" from "no header".
+		part, err := salvage(t, headerSize)
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("err = %v, want ErrTruncated", err)
+		}
+		if part == nil || part.Len() != 0 {
+			t.Fatalf("salvaged %v, want an empty set", part)
+		}
+	})
+}
+
+// TestSalvageBucketZeroLengthRecord covers a header declaring dim 0:
+// every record would be zero bytes long, so a reader that accepted it
+// could "verify" an unbounded stream of empty records. It must be
+// rejected as damage, with nothing salvaged.
+func TestSalvageBucketZeroLengthRecord(t *testing.T) {
+	s := sampleSet(t, 4, 2)
+	var buf bytes.Buffer
+	if err := WriteBucket(&buf, CellKey{Lat: 1, Lon: 1}, s); err != nil {
+		t.Fatal(err)
+	}
+	bad := buf.Bytes()
+	bad[6], bad[7] = 0, 0 // dim := 0
+	_, part, err := SalvageBucket(bytes.NewReader(bad))
+	if !errors.Is(err, ErrBadBucket) {
+		t.Fatalf("err = %v, want ErrBadBucket", err)
+	}
+	if errors.Is(err, ErrTruncated) {
+		t.Fatal("a zero-dimension header is damage, not truncation")
+	}
+	if part != nil {
+		t.Fatal("salvaged a set from an unusable header")
+	}
+}
+
 func TestSalvageBucketV1Truncated(t *testing.T) {
 	key := CellKey{Lat: 2, Lon: 3}
 	s := sampleSet(t, 12, 2)

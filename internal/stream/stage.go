@@ -20,6 +20,18 @@ import (
 // RunSupervisedTransform, RunDynamicTransform, RunSink, and
 // RunSupervisedSink are all thin wrappers over RunStage.
 
+// Heartbeat is the liveness hook a stage notifies as its replicas
+// work; the resource governor's stall watchdog samples it. Begin fires
+// after an item is dequeued, End after that item fully completes —
+// including its downstream emissions — so a replica wedged inside the
+// transform, a retry loop, or a blocked Put all show as a begun-but-
+// unfinished item. Implementations must be safe for concurrent use by
+// cloned operators (govern.Heartbeat is the canonical one).
+type Heartbeat interface {
+	Begin()
+	End()
+}
+
 // StageConfig selects a stage's optional capabilities.
 type StageConfig[I any] struct {
 	// Name tags goroutines, error messages, and stats.
@@ -33,6 +45,11 @@ type StageConfig[I any] struct {
 	// the plan. Emissions of a failing attempt are discarded, so
 	// retries never duplicate output.
 	Sup *Supervisor[I]
+	// Beat, when non-nil, brackets every item each replica processes,
+	// giving the stall watchdog a per-stage progress signal. Orthogonal
+	// to supervision: a supervised item beats once per item, not per
+	// retry attempt.
+	Beat Heartbeat
 }
 
 // Stage is a running transform (or sink) stage. All replicas consume
@@ -49,6 +66,7 @@ type Stage[I, O any] struct {
 	ctx   context.Context
 	stats *OpStats
 	sup   *Supervisor[I] // nil = unsupervised
+	beat  Heartbeat      // nil = no liveness hook
 
 	mu      sync.Mutex
 	initial int
@@ -74,6 +92,7 @@ func RunStage[I, O any](g *Group, ctx context.Context, reg *StatsRegistry, cfg S
 		ctx:     ctx,
 		stats:   reg.register(cfg.Name, initial),
 		sup:     cfg.Sup,
+		beat:    cfg.Beat,
 		initial: initial,
 	}
 	for i := 0; i < initial; i++ {
@@ -154,30 +173,38 @@ func (s *Stage[I, O]) spawnLocked() {
 				return nil
 			}
 			s.stats.processed.Add(1)
-			start := time.Now()
-			if s.sup == nil {
-				err = s.fn(s.ctx, item, emit)
-				s.stats.busyNanos.Add(int64(time.Since(start)))
-				if err != nil {
-					return err
-				}
-				continue
-			}
-			ok, err = superviseItem(s.ctx, cloneName, s.sup, jr, s.stats, s.fn, item, &buf)
-			s.stats.busyNanos.Add(int64(time.Since(start)))
-			if err != nil {
+			if err := s.processOne(cloneName, jr, item, &buf, emit); err != nil {
 				return err
-			}
-			if !ok {
-				continue // quarantined; move on to the next item
-			}
-			for _, v := range buf {
-				if err := emit(v); err != nil {
-					return err
-				}
 			}
 		}
 	})
+}
+
+// processOne pushes one item through the operator function (supervised
+// or not), bracketed by the heartbeat hook so the stall watchdog sees
+// the item as in flight until its emissions land downstream. A
+// quarantined item completes the bracket and returns nil — from the
+// governor's perspective giving up on an item is progress too.
+func (s *Stage[I, O]) processOne(cloneName string, jr *rng.RNG, item I, buf *[]O, emit func(O) error) error {
+	if s.beat != nil {
+		s.beat.Begin()
+		defer s.beat.End()
+	}
+	start := time.Now()
+	defer func() { s.stats.busyNanos.Add(int64(time.Since(start))) }()
+	if s.sup == nil {
+		return s.fn(s.ctx, item, emit)
+	}
+	ok, err := superviseItem(s.ctx, cloneName, s.sup, jr, s.stats, s.fn, item, buf)
+	if err != nil || !ok {
+		return err // failed, or quarantined (ok=false, err=nil)
+	}
+	for _, v := range *buf {
+		if err := emit(v); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // sinkStage adapts a SinkFunc and runs it as a stage with no output

@@ -21,6 +21,14 @@ go vet ./...
 go build ./...
 go test -race ./...
 
+# Stall-fault soak: wedge the partial stage at several invocation
+# indices (fault.StallNth) and require the governor's watchdog to
+# cancel, retry, and still produce the bit-identical answer under the
+# race detector. The explicit -timeout is the test's own deadline: if
+# the watchdog ever fails to fire, this hangs, and the bound turns the
+# hang into a failure instead of a stuck CI job.
+go test -race -run 'TestGovernorStallSoak' -count=1 -timeout 120s ./internal/engine
+
 # Benchmark smoke: one 10-iteration pass over the hot-path kernels so a
 # change that panics or deadlocks only under -bench (e.g. the restart
 # worker pool) fails the check without costing real benchmark time.

@@ -9,9 +9,13 @@ import (
 
 	"streamkm/internal/core"
 	"streamkm/internal/dataset"
-	"streamkm/internal/stream"
+	"streamkm/internal/engine"
+	"streamkm/internal/fault"
+	"streamkm/internal/govern"
+	"streamkm/internal/grid"
 	"streamkm/internal/metrics"
 	"streamkm/internal/rng"
+	"streamkm/internal/stream"
 )
 
 // Options configures a clustering run. The zero value is not runnable;
@@ -64,6 +68,30 @@ type Options struct {
 	// reported here instead of failing the stream. Nil keeps the strict
 	// behavior of rejecting wrong-dimension points with an error.
 	OnDroppedRecord func(point []float64, err error)
+
+	// Deadline bounds a ClusterGoverned run's wall-clock time. When it
+	// fires the run fails with context.DeadlineExceeded — or, with
+	// AllowDegraded, returns the work completed so far (0 = unlimited).
+	Deadline time.Duration
+	// ProgressTimeout arms ClusterGoverned's stall watchdog: a pipeline
+	// stage holding pending work while making no progress for this long
+	// is cancelled and retried, then failed — or degraded under
+	// AllowDegraded (0 = no watchdog).
+	ProgressTimeout time.Duration
+	// MemoryBudget caps ClusterGoverned's in-flight working set in
+	// bytes: the governor deterministically shrinks the chunk size and
+	// operator fan-out until the point data in flight fits (0 =
+	// unlimited).
+	MemoryBudget int64
+	// AllowDegraded opts ClusterGoverned into the anytime contract: a
+	// permanently failing partition, an expired deadline, or a terminal
+	// stall yields the clustering of every surviving partition plus a
+	// Result.Degraded quality report, instead of an error.
+	AllowDegraded bool
+
+	// inject places a fault injector in front of every governed partial
+	// step (in-package governor tests only).
+	inject *fault.Injector
 }
 
 // RetryPolicy bounds re-attempts of a failed operation. The zero value
@@ -118,6 +146,32 @@ type Result struct {
 	PartialTime time.Duration
 	MergeTime   time.Duration
 	Elapsed     time.Duration
+	// Degraded is non-nil when a ClusterGoverned run with AllowDegraded
+	// returned a partial answer; it reports exactly what was lost. Nil
+	// means the result is complete.
+	Degraded *Degraded
+}
+
+// Degraded is the quality report attached to a partial result: how much
+// input the answer is missing and why the run degraded. The centroids
+// it accompanies are exactly the clustering of the surviving
+// partitions — bit-identical to a run over only those partitions.
+type Degraded struct {
+	// DroppedPartitions counts partitions missing from the answer.
+	DroppedPartitions int
+	// PointsLost is the number of input points in those partitions.
+	PointsLost int
+	// DeadlineExceeded reports that the wall-clock deadline forced the
+	// degradation.
+	DeadlineExceeded bool
+	// Stalls counts pipeline attempts cancelled by the stall watchdog.
+	Stalls int
+}
+
+// String renders the report as a one-line structured summary.
+func (d *Degraded) String() string {
+	return fmt.Sprintf("degraded: deadline=%t stalls=%d dropped_partitions=%d points_lost=%d",
+		d.DeadlineExceeded, d.Stalls, d.DroppedPartitions, d.PointsLost)
 }
 
 // ParseStrategy maps a strategy name to the internal constant.
@@ -257,6 +311,106 @@ func ClusterContext(ctx context.Context, points [][]float64, opts Options) (*Res
 		return nil, err
 	}
 	return fromCore(res), nil
+}
+
+// ClusterGoverned runs partial/merge k-means through the query engine
+// under the resource governor: Options.Deadline, ProgressTimeout, and
+// MemoryBudget bound the run's time, liveness, and memory, and
+// AllowDegraded lets it return a typed partial result instead of an
+// error when a bound is hit (see Result.Degraded). Options.Retry
+// supervises individual partitions. For a fixed Seed and fixed budgets
+// the result is deterministic; it is computed by the engine's pipelined
+// executor, so it is not guaranteed to equal Cluster's output for the
+// same Options.
+func ClusterGoverned(ctx context.Context, points [][]float64, opts Options) (*Result, error) {
+	copts, err := opts.toCore()
+	if err != nil {
+		return nil, err
+	}
+	set, err := toSet(points)
+	if err != nil {
+		return nil, err
+	}
+	chunk := copts.ChunkPoints
+	if chunk <= 0 {
+		// Splits p expresses the same partitioning as a per-chunk budget.
+		chunk = (set.Len() + copts.Splits - 1) / copts.Splits
+	}
+	if chunk < copts.K {
+		chunk = copts.K
+	}
+	clones := opts.Parallelism
+	if clones < 1 {
+		clones = 1
+	}
+	queueCap := 2 * clones
+	if queueCap < 4 {
+		queueCap = 4
+	}
+	q := engine.Query{
+		K:             copts.K,
+		Restarts:      copts.Restarts,
+		Epsilon:       copts.Epsilon,
+		MaxIterations: copts.MaxIterations,
+		Strategy:      copts.Strategy,
+		MergeMode:     copts.MergeMode,
+		Seed:          copts.Seed,
+		Accelerate:    copts.Accelerate,
+		Workers:       copts.Workers,
+	}
+	plan := engine.PhysicalPlan{
+		ChunkPoints:   chunk,
+		PartialClones: clones,
+		QueueCapacity: queueCap,
+		Rationale:     "facade governed run",
+	}
+	eopts := []engine.ExecOption{engine.WithBudget(govern.Budget{
+		Deadline:        opts.Deadline,
+		ProgressTimeout: opts.ProgressTimeout,
+		MemoryBytes:     opts.MemoryBudget,
+	})}
+	if opts.Retry != nil {
+		eopts = append(eopts, engine.WithRetry(opts.Retry.stream()))
+	}
+	if opts.AllowDegraded {
+		eopts = append(eopts, engine.WithDegradedResults())
+	}
+	if opts.inject != nil {
+		eopts = append(eopts, engine.WithFaultInjection(opts.inject))
+	}
+	cells := []engine.Cell{{Key: grid.CellKey{}, Points: set}}
+	results, stats, err := engine.NewExec(q, plan, eopts...).Execute(ctx, cells)
+	if err != nil {
+		return nil, err
+	}
+	if len(results) == 0 {
+		// Even an anytime answer needs at least one surviving partition.
+		return nil, fmt.Errorf("streamkm: %s: every partition was lost", stats.Degraded)
+	}
+	r := results[0]
+	out := &Result{
+		Weights:     r.Result.Weights,
+		MergeMSE:    r.Result.MSE,
+		PointMSE:    r.PointMSE,
+		HasPointMSE: true,
+		Partitions:  r.Partitions,
+		PartialTime: r.PartialTime,
+		MergeTime:   r.Result.Elapsed,
+		Elapsed:     stats.Elapsed,
+	}
+	out.Centroids = make([][]float64, len(r.Result.Centroids))
+	for i, c := range r.Result.Centroids {
+		out.Centroids[i] = c
+	}
+	if rep := stats.Degraded; rep != nil {
+		out.Degraded = &Degraded{
+			DroppedPartitions: len(rep.DroppedChunks),
+			PointsLost:        rep.PointsLost,
+			DeadlineExceeded:  rep.DeadlineExceeded,
+			Stalls:            rep.Stalls,
+		}
+	}
+	return out, nil
 }
 
 // StreamClusterer clusters an unbounded stream under a fixed memory
