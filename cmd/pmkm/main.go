@@ -23,23 +23,38 @@
 // run that exhausts a bound returns the clustering of every surviving
 // partition, prints a one-line structured quality summary on stderr,
 // and exits with status 3 (instead of 1 for a hard failure).
+//
+// Observability: -report out.json writes the engine's unified run
+// report (schema streamkm.run-report/v1) with per-stage counters,
+// latency histograms, and governor decisions; -progress prints a live
+// one-line ticker to stderr (chunks/cells done, ETA, degraded count);
+// -cpuprofile and -memprofile write pprof profiles, and -pprof ADDR
+// serves net/http/pprof for the run's duration.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"streamkm"
 	"streamkm/internal/dataset"
 	"streamkm/internal/engine"
 	"streamkm/internal/grid"
+	"streamkm/internal/obs"
 	"streamkm/internal/stream"
 )
 
@@ -49,6 +64,13 @@ import (
 const exitDegraded = 3
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain runs the command and returns its exit status, so deferred
+// teardown (stopping the CPU profiler, writing the heap profile) runs
+// before the process exits.
+func realMain() int {
 	var (
 		data       = flag.String("data", "data", "directory of .skmb bucket files")
 		k          = flag.Int("k", 40, "clusters per cell")
@@ -70,14 +92,26 @@ func main() {
 		progressTO   = flag.Duration("progress-timeout", 0, "stall watchdog: cancel a stage that holds pending work but makes no progress for this long (0 = off)")
 		memBudget    = flag.String("mem-budget", "0", "runtime memory budget for in-flight point data (e.g. 512KB); shrinks chunk size and fan-out to fit (0 = unlimited)")
 		allowDegrade = flag.Bool("allow-degraded", false, "on deadline/stall/permanent chunk failure, return the surviving partitions as a degraded result (exit status 3) instead of failing")
+
+		reportPath = flag.String("report", "", "write the unified JSON run report (schema streamkm.run-report/v1) to this file")
+		progress   = flag.Bool("progress", false, "print a live progress line (chunks/cells done, ETA, degraded count) to stderr every second")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
 	)
 	flag.Parse()
+	stopProfiling, err := startProfiling(*cpuProfile, *memProfile, *pprofAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmkm:", err)
+		return 1
+	}
+	defer stopProfiling()
 	if *csvPath != "" {
 		if err := runCSV(*csvPath, *k, *restarts, *mem, *workers, *rworkers, *strategy, *merge, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "pmkm:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	cfg := runConfig{
 		data: *data, mem: *mem, strategy: *strategy, merge: *merge,
@@ -86,18 +120,73 @@ func main() {
 		maxRetries: *maxRetries, salvage: *salvage,
 		deadline: *deadline, progressTimeout: *progressTO,
 		memBudget: *memBudget, allowDegraded: *allowDegrade,
+		report: *reportPath, progress: *progress,
 	}
 	degraded, err := run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmkm:", err)
-		os.Exit(1)
+		return 1
 	}
 	if degraded != nil {
 		// One structured line for scripts, on stderr so the result table
 		// on stdout stays clean, then the distinct degraded exit status.
 		fmt.Fprintf(os.Stderr, "pmkm: %s\n", degraded)
-		os.Exit(exitDegraded)
+		return exitDegraded
 	}
+	return 0
+}
+
+// startProfiling arms the requested profiling hooks and returns the
+// teardown that stops the CPU profile and writes the heap profile.
+func startProfiling(cpuPath, memPath, pprofAddr string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	if pprofAddr != "" {
+		// The blank net/http/pprof import registered its handlers on the
+		// default mux. Listen synchronously so a bad address fails fast.
+		ln, err := net.Listen("tcp", pprofAddr)
+		if err != nil {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "pmkm: pprof server on http://%s/debug/pprof/\n", ln.Addr())
+		go func() { _ = http.Serve(ln, nil) }()
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "pmkm: cpuprofile:", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pmkm: memprofile:", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "pmkm: memprofile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "pmkm: memprofile:", err)
+			}
+		}
+	}, nil
 }
 
 // runCSV clusters a single CSV file as one "cell" through the engine,
@@ -179,6 +268,62 @@ type runConfig struct {
 	progressTimeout            time.Duration
 	memBudget                  string
 	allowDegraded              bool
+	report                     string
+	progress                   bool
+}
+
+// startProgress prints a one-line status to w every interval, read live
+// from the engine's metrics registry, until the returned stop function
+// is called. The ETA extrapolates from the observed chunk rate.
+func startProgress(reg *obs.Registry, w io.Writer, interval time.Duration) func() {
+	start := time.Now()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				fmt.Fprintln(w, progressLine(reg, time.Since(start)))
+			}
+		}
+	}()
+	return func() { close(done); wg.Wait() }
+}
+
+// progressLine renders one ticker line from the live registry.
+func progressLine(reg *obs.Registry, elapsed time.Duration) string {
+	chunksDone := reg.Counter(obs.EngineChunksDone, "").Value()
+	chunksTotal := reg.Counter(obs.EngineChunksTotal, "").Value()
+	cellsMerged := reg.Counter(obs.EngineCellsMerged, "").Value()
+	cellsTotal := reg.Counter(obs.EngineCellsTotal, "").Value()
+	line := fmt.Sprintf("pmkm: %7s  chunks %d/%d  cells %d/%d",
+		elapsed.Round(100*time.Millisecond), chunksDone, chunksTotal, cellsMerged, cellsTotal)
+	if chunksDone > 0 && chunksDone < chunksTotal {
+		eta := time.Duration(float64(elapsed) / float64(chunksDone) * float64(chunksTotal-chunksDone))
+		line += fmt.Sprintf("  eta %s", eta.Round(100*time.Millisecond))
+	}
+	if degraded := reg.Counter(obs.EngineDegradedChunks, "").Value(); degraded > 0 {
+		line += fmt.Sprintf("  degraded %d", degraded)
+	}
+	return line
+}
+
+// writeReport renders the execution's unified run report to path.
+func writeReport(path string, stats *engine.ExecStats) error {
+	b, err := stats.Report().JSON()
+	if err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	return nil
 }
 
 // salvageIndex indexes a bucket directory file by file, warning about
@@ -344,9 +489,25 @@ func run(cfg runConfig) (*engine.DegradedResult, error) {
 	if cfg.allowDegraded {
 		opts = append(opts, engine.WithDegradedResults())
 	}
+	// pmkm owns the metrics registry so the progress ticker can read
+	// counters while the engine is still writing them.
+	reg := obs.NewRegistry()
+	opts = append(opts, engine.WithObserver(reg))
+	var stopProgress func()
+	if cfg.progress {
+		stopProgress = startProgress(reg, os.Stderr, time.Second)
+	}
 	results, stats, err := engine.NewExec(q, plan, opts...).Execute(context.Background(), cells)
+	if stopProgress != nil {
+		stopProgress()
+	}
 	if err != nil {
 		return nil, err
+	}
+	if cfg.report != "" {
+		if err := writeReport(cfg.report, stats); err != nil {
+			return nil, err
+		}
 	}
 	fmt.Print(plan.Explain())
 	if adm := stats.Admission; adm != nil && adm.Constrained() {

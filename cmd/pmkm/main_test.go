@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,6 +10,7 @@ import (
 
 	"streamkm/internal/dataset"
 	"streamkm/internal/grid"
+	"streamkm/internal/obs"
 )
 
 // writeTestData creates a bucket directory with two small cells.
@@ -247,5 +249,107 @@ func TestParseBytes(t *testing.T) {
 		if _, err := parseBytes(bad); err == nil {
 			t.Errorf("parseBytes(%q) should error", bad)
 		}
+	}
+}
+
+// TestRunWritesReport runs -report (with the -progress ticker armed)
+// and asserts the emitted document parses, carries the literal schema
+// identifier, and contains the per-stage counters and histograms the
+// observability layer promises. The schema string is asserted verbatim
+// on purpose: changing it breaks downstream consumers, so the test must
+// not track the constant.
+func TestRunWritesReport(t *testing.T) {
+	dir := writeTestData(t)
+	cfg := baseConfig(dir)
+	cfg.report = filepath.Join(t.TempDir(), "report.json")
+	cfg.progress = true
+	runOK(t, cfg)
+	b, err := os.ReadFile(cfg.report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Schema  string `json:"schema"`
+		Cells   int    `json:"cells"`
+		Chunks  int    `json:"chunks"`
+		Metrics struct {
+			Counters []struct {
+				Name  string `json:"name"`
+				Stage string `json:"stage"`
+				Value int64  `json:"value"`
+			} `json:"counters"`
+			Histograms []struct {
+				Name  string `json:"name"`
+				Stage string `json:"stage"`
+				Count int64  `json:"count"`
+			} `json:"histograms"`
+		} `json:"metrics"`
+		Trace []struct {
+			Op    string `json:"op"`
+			Spans int    `json:"spans"`
+		} `json:"trace"`
+	}
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Schema != "streamkm.run-report/v1" {
+		t.Fatalf("schema = %q, want streamkm.run-report/v1", rep.Schema)
+	}
+	if rep.Cells != 2 || rep.Chunks == 0 {
+		t.Fatalf("cells/chunks = %d/%d, want 2 cells and nonzero chunks", rep.Cells, rep.Chunks)
+	}
+	counter := func(name, stage string) int64 {
+		for _, c := range rep.Metrics.Counters {
+			if c.Name == name && c.Stage == stage {
+				return c.Value
+			}
+		}
+		return -1
+	}
+	if got := counter("engine_cells_merged", ""); got != 2 {
+		t.Errorf("engine_cells_merged = %d, want 2", got)
+	}
+	if got := counter("stream_items_in", "partial-kmeans"); got != int64(rep.Chunks) {
+		t.Errorf("stream_items_in{partial-kmeans} = %d, want %d", got, rep.Chunks)
+	}
+	var latency bool
+	for _, h := range rep.Metrics.Histograms {
+		if h.Name == "stage_seconds" && h.Stage == "partial-kmeans" && h.Count > 0 {
+			latency = true
+		}
+	}
+	if !latency {
+		t.Error("no populated stage_seconds histogram for partial-kmeans")
+	}
+	var traced bool
+	for _, op := range rep.Trace {
+		if op.Op == "partial-kmeans" && op.Spans == rep.Chunks {
+			traced = true
+		}
+	}
+	if !traced {
+		t.Errorf("trace section %+v lacks partial-kmeans with %d spans", rep.Trace, rep.Chunks)
+	}
+}
+
+func TestProgressLine(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter(obs.EngineChunksTotal, "").Add(8)
+	reg.Counter(obs.EngineChunksDone, "").Add(2)
+	reg.Counter(obs.EngineCellsTotal, "").Add(2)
+	line := progressLine(reg, 2*time.Second)
+	for _, want := range []string{"chunks 2/8", "cells 0/2", "eta 6s"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("progress line %q missing %q", line, want)
+		}
+	}
+	reg.Counter(obs.EngineDegradedChunks, "").Add(1)
+	if line := progressLine(reg, time.Second); !strings.Contains(line, "degraded 1") {
+		t.Errorf("progress line %q missing degraded count", line)
+	}
+	// Completed runs drop the ETA.
+	reg.Counter(obs.EngineChunksDone, "").Add(6)
+	if line := progressLine(reg, time.Second); strings.Contains(line, "eta") {
+		t.Errorf("finished run still shows an ETA: %q", line)
 	}
 }

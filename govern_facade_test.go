@@ -46,6 +46,19 @@ func TestClusterGovernedHealthyRun(t *testing.T) {
 	if len(res.Centroids) != 3 || res.Partitions != 4 || !res.HasPointMSE {
 		t.Fatalf("unexpected result shape: %+v", res)
 	}
+	// The facade surfaces the engine's unified run report.
+	if res.Report == nil {
+		t.Fatal("governed result has no observability report")
+	}
+	if res.Report.Schema != "streamkm.run-report/v1" {
+		t.Fatalf("report schema = %q", res.Report.Schema)
+	}
+	if res.Report.Cells != 1 || res.Report.Chunks != 4 {
+		t.Fatalf("report cells/chunks = %d/%d, want 1/4", res.Report.Cells, res.Report.Chunks)
+	}
+	if got := res.Report.Metrics.Counter("engine_chunks_done", ""); got != 4 {
+		t.Fatalf("engine_chunks_done = %d, want 4", got)
+	}
 	// Governed runs must be deterministic for a fixed seed and budgets.
 	again, err := ClusterGoverned(context.Background(), pts, opts)
 	if err != nil {

@@ -71,6 +71,14 @@ type PartialResult struct {
 	MSE float64
 	// Iterations sums Lloyd iterations across all restarts.
 	Iterations int
+	// Restarts is the number of seed-set restarts executed (cfg.Restarts).
+	Restarts int
+	// Converged counts the restarts whose run met the ΔMSE criterion
+	// before MaxIterations.
+	Converged int
+	// DeltaMSE is the winning run's final MSE improvement — the
+	// residual its convergence criterion accepted (see kmeans.Result).
+	DeltaMSE float64
 	// Points is the partition size N_j.
 	Points int
 	// Elapsed is the wall-clock time of the partial step.
@@ -105,6 +113,9 @@ func PartialKMeans(chunk *dataset.Set, cfg PartialConfig, r *rng.RNG) (*PartialR
 		Centroids:  wc,
 		MSE:        rr.Best.MSE,
 		Iterations: rr.TotalIterations,
+		Restarts:   cfg.Restarts,
+		Converged:  rr.Converged,
+		DeltaMSE:   rr.Best.DeltaMSE,
 		Points:     chunk.Len(),
 		Elapsed:    time.Since(start),
 	}, nil

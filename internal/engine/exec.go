@@ -8,6 +8,7 @@ import (
 
 	"streamkm/internal/fault"
 	"streamkm/internal/govern"
+	"streamkm/internal/obs"
 	"streamkm/internal/rng"
 	"streamkm/internal/stream"
 	"streamkm/internal/trace"
@@ -58,6 +59,7 @@ type Exec struct {
 	supervised  bool
 	budget      govern.Budget
 	degraded    bool
+	obsReg      *obs.Registry
 }
 
 // NewExec builds an executor for q under plan with the given features
@@ -210,10 +212,11 @@ func WithDegradedResults() ExecOption {
 
 // newExecStats assembles the execution summary — previously built
 // once per executor, now in exactly one place.
-func newExecStats(reg *stream.StatsRegistry, tr *trace.Tracer, start time.Time, cells, chunks, restarts int, events []ReoptEvent) *ExecStats {
+func newExecStats(reg *stream.StatsRegistry, tr *trace.Tracer, ob *execObs, start time.Time, cells, chunks, restarts int, events []ReoptEvent) *ExecStats {
 	return &ExecStats{
 		Registry:    reg,
 		Trace:       tr,
+		Obs:         ob.reg,
 		Elapsed:     time.Since(start),
 		Cells:       cells,
 		Chunks:      chunks,
@@ -265,6 +268,19 @@ func (e *Exec) Execute(ctx context.Context, cells []Cell) ([]CellResult, *ExecSt
 		return nil, nil, err
 	}
 
+	// One metrics registry per execution (the caller's under
+	// WithObserver, so live counters are watchable while the plan runs).
+	obsReg := e.obsReg
+	if obsReg == nil {
+		obsReg = obs.NewRegistry()
+	}
+	ob := newExecObs(obsReg)
+	ob.cellsTotal.Add(int64(len(cells)))
+	ob.chunksTotal.Add(int64(len(tasks)))
+	if admission != nil && admission.Constrained() {
+		ob.admissionRefit.Inc()
+	}
+
 	tr := e.tracer
 	if tr == nil {
 		tr = trace.New(0)
@@ -278,18 +294,18 @@ func (e *Exec) Execute(ctx context.Context, cells []Cell) ([]CellResult, *ExecSt
 	if e.compress != nil {
 		compress = *e.compress
 	}
-	merger := newCellMerger(cells, q, compress, mergeRNGs, tr, journal, retain)
+	merger := newCellMerger(cells, q, compress, mergeRNGs, tr, journal, retain, ob)
 
 	// One registry for the whole execution: operator counters
 	// (processed/retries/quarantined/...) aggregate across restart
 	// attempts instead of reporting only the last attempt's pipeline.
 	reg := stream.NewStatsRegistry()
 
-	work := partialTransform(cells, q, tr)
+	work := partialTransform(cells, q, tr, ob)
 	if e.inject != nil {
 		base, inj := work, e.inject
 		work = func(ctx context.Context, t chunkTask, emit stream.Emit[partialOut]) error {
-			if err := inj.InvokeContext(ctx, "partial-kmeans"); err != nil {
+			if err := inj.InvokeContext(ctx, opPartial); err != nil {
 				return err
 			}
 			return base(ctx, t, emit)
@@ -345,12 +361,14 @@ func (e *Exec) Execute(ctx context.Context, cells []Cell) ([]CellResult, *ExecSt
 		}
 
 		g, gctx := stream.NewGroup(attemptCtx)
-		chunkQ := stream.NewQueue[chunkTask]("chunks", plan.QueueCapacity)
-		partQ := stream.NewQueue[partialOut]("partials", plan.QueueCapacity)
+		chunkQ := stream.NewQueue[chunkTask](queueChunks, plan.QueueCapacity)
+		partQ := stream.NewQueue[partialOut](queuePartials, plan.QueueCapacity)
 
-		stream.RunSource(g, gctx, reg, "scan", taskSource(remaining), chunkQ)
-		pcfg := stream.StageConfig[chunkTask]{Name: "partial-kmeans", Clones: plan.PartialClones, Sup: sup}
-		mcfg := stream.StageConfig[partialOut]{Name: "merge-kmeans", Clones: 1}
+		stream.RunSource(g, gctx, reg, opScan, taskSource(remaining), chunkQ)
+		pcfg := stream.StageConfig[chunkTask]{Name: opPartial, Clones: plan.PartialClones, Sup: sup,
+			Observe: ob.partialSeconds.ObserveDuration}
+		mcfg := stream.StageConfig[partialOut]{Name: opMerge, Clones: 1,
+			Observe: ob.mergeSeconds.ObserveDuration}
 		if hbPartial != nil {
 			// Assign only when armed: a typed-nil *Heartbeat in the
 			// interface field would read as "hook present".
@@ -374,12 +392,12 @@ func (e *Exec) Execute(ctx context.Context, cells []Cell) ([]CellResult, *ExecSt
 		if hbPartial != nil {
 			wd := govern.NewWatchdog(e.budget.ProgressTimeout,
 				govern.Probe{
-					Name:     "partial-kmeans",
+					Name:     opPartial,
 					Progress: func() int64 { return hbPartial.Beats() + chunkQ.Dequeued() },
 					Pending:  func() int64 { return hbPartial.InFlight() + int64(chunkQ.Len()) },
 				},
 				govern.Probe{
-					Name:     "merge-kmeans",
+					Name:     opMerge,
 					Progress: func() int64 { return hbMerge.Beats() + partQ.Dequeued() },
 					Pending:  func() int64 { return hbMerge.InFlight() + int64(partQ.Len()) },
 				})
@@ -395,6 +413,9 @@ func (e *Exec) Execute(ctx context.Context, cells []Cell) ([]CellResult, *ExecSt
 			close(wdStop)
 			<-wdDone
 		}
+		// Queues are rebuilt per attempt; fold this attempt's counters
+		// into the registry before they go out of scope.
+		ob.absorbQueues(summarizeQueue(chunkQ), summarizeQueue(partQ))
 		stalled := false
 		if cancelAttempt != nil {
 			// Release the attempt context (a no-op if the watchdog
@@ -404,6 +425,7 @@ func (e *Exec) Execute(ctx context.Context, cells []Cell) ([]CellResult, *ExecSt
 			cancelAttempt(nil)
 			if cause := context.Cause(attemptCtx); err != nil && ctx.Err() == nil && errors.Is(cause, govern.ErrStalled) {
 				stalls++
+				ob.stalls.Inc()
 				stalled = true
 				err = cause
 			}
@@ -433,6 +455,7 @@ func (e *Exec) Execute(ctx context.Context, cells []Cell) ([]CellResult, *ExecSt
 			return nil, nil, fmt.Errorf("engine: plan failed after %d restart(s): %w", restarts, err)
 		}
 		restarts++
+		ob.restarts.Inc()
 		if e.onRestart != nil {
 			e.onRestart(restarts, err)
 		}
@@ -443,7 +466,11 @@ func (e *Exec) Execute(ctx context.Context, cells []Cell) ([]CellResult, *ExecSt
 		if err != nil {
 			return nil, nil, err
 		}
-		stats := newExecStats(reg, tr, start, len(cells), len(tasks), restarts, events)
+		if report != nil {
+			ob.degradedChunks.Add(int64(len(report.DroppedChunks)))
+			ob.degradedPoints.Add(int64(report.PointsLost))
+		}
+		stats := newExecStats(reg, tr, ob, start, len(cells), len(tasks), restarts, events)
 		stats.Admission, stats.Stalls, stats.Degraded = admission, stalls, report
 		return results, stats, nil
 	}
@@ -451,7 +478,7 @@ func (e *Exec) Execute(ctx context.Context, cells []Cell) ([]CellResult, *ExecSt
 	if err != nil {
 		return nil, nil, err
 	}
-	stats := newExecStats(reg, tr, start, len(cells), len(tasks), restarts, events)
+	stats := newExecStats(reg, tr, ob, start, len(cells), len(tasks), restarts, events)
 	stats.Admission, stats.Stalls = admission, stalls
 	return results, stats, nil
 }

@@ -10,9 +10,22 @@ import (
 	"streamkm/internal/govern"
 	"streamkm/internal/grid"
 	"streamkm/internal/histogram"
+	"streamkm/internal/obs"
 	"streamkm/internal/rng"
 	"streamkm/internal/stream"
 	"streamkm/internal/trace"
+)
+
+// Stage names: pipeline operators, trace timeline lanes, and obs metric
+// stage labels all use the same vocabulary, so a lane in the timeline
+// cross-references a stage label in the JSON run report.
+const (
+	opScan    = "scan"
+	opPartial = "partial-kmeans"
+	opMerge   = "merge-kmeans"
+
+	queueChunks   = "chunks"
+	queuePartials = "partials"
 )
 
 // Cell is one unit of work for the executor: a keyed grid cell's points.
@@ -68,6 +81,10 @@ type ExecStats struct {
 	// Degraded is the quality report of a governed run that returned a
 	// partial answer; nil means the results are complete.
 	Degraded *DegradedResult
+	// Obs is the unified metrics registry the execution recorded into
+	// (the caller's, under WithObserver, else an internal one). Render
+	// it with Report.
+	Obs *obs.Registry
 }
 
 // chunkTask is one partition of one cell queued for the partial operator.
@@ -131,17 +148,32 @@ func validateExecArgs(cells []Cell, q Query, plan PhysicalPlan) error {
 	return nil
 }
 
-func partialTransform(cells []Cell, q Query, tr *trace.Tracer) stream.TransformFunc[chunkTask, partialOut] {
+func partialTransform(cells []Cell, q Query, tr *trace.Tracer, ob *execObs) stream.TransformFunc[chunkTask, partialOut] {
 	return func(_ context.Context, t chunkTask, emit stream.Emit[partialOut]) error {
-		end := tr.Span("partial-kmeans", fmt.Sprintf("%v/%d", cells[t.cellIdx].Key, t.chunkIdx))
+		key := cells[t.cellIdx].Key
+		end := tr.SpanL(opPartial, fmt.Sprintf("%v/%d", key, t.chunkIdx),
+			trace.Label{Key: "stage", Value: opPartial},
+			trace.Label{Key: "cell", Value: fmt.Sprintf("%v", key)},
+			trace.Label{Key: "chunk", Value: fmt.Sprintf("%d", t.chunkIdx)})
+		// Every invocation is one attempt (retries of a supervised chunk
+		// re-enter here); chunk-level metrics update at this granularity
+		// so the Lloyd loop itself carries no instrumentation.
+		ob.chunkAttempts.Inc()
+		ob.points.Add(int64(t.chunk.Len()))
+		ob.bytes.Add(int64(t.chunk.Len()) * pointBytes(t.chunk.Dim()))
+		ob.chunkPoints.Observe(float64(t.chunk.Len()))
 		// Work on a copy of the task's pre-derived RNG so a retried or
 		// restarted chunk replays the identical random sequence.
 		taskRNG := *t.rng
 		pr, err := core.PartialKMeans(t.chunk, q.partialConfig(), &taskRNG)
 		end()
 		if err != nil {
-			return fmt.Errorf("cell %v chunk %d: %w", cells[t.cellIdx].Key, t.chunkIdx, err)
+			return fmt.Errorf("cell %v chunk %d: %w", key, t.chunkIdx, err)
 		}
+		ob.kmIterPartial.Add(int64(pr.Iterations))
+		ob.kmRestarts.Add(int64(pr.Restarts))
+		ob.kmConvPartial.Add(int64(pr.Converged))
+		ob.kmDeltaMSE.Set(pr.DeltaMSE)
 		return emit(partialOut{cellIdx: t.cellIdx, chunkIdx: t.chunkIdx, total: t.total, res: pr})
 	}
 }

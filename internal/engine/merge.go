@@ -32,13 +32,14 @@ type cellMerger struct {
 	// the journal outlives the execution (a caller-provided migration
 	// checkpoint); an internal journal is pruned cell by cell instead.
 	retain bool
+	ob     *execObs
 
 	mu        sync.Mutex
 	results   []CellResult
 	completed []bool
 }
 
-func newCellMerger(cells []Cell, q Query, compress bool, mergeRNGs []*rng.RNG, tr *trace.Tracer, journal *Journal, retain bool) *cellMerger {
+func newCellMerger(cells []Cell, q Query, compress bool, mergeRNGs []*rng.RNG, tr *trace.Tracer, journal *Journal, retain bool, ob *execObs) *cellMerger {
 	return &cellMerger{
 		cells:     cells,
 		q:         q,
@@ -47,6 +48,7 @@ func newCellMerger(cells []Cell, q Query, compress bool, mergeRNGs []*rng.RNG, t
 		tr:        tr,
 		journal:   journal,
 		retain:    retain,
+		ob:        ob,
 		results:   make([]CellResult, len(cells)),
 		completed: make([]bool, len(cells)),
 	}
@@ -56,6 +58,7 @@ func newCellMerger(cells []Cell, q Query, compress bool, mergeRNGs []*rng.RNG, t
 // then merge its cell if that completed it.
 func (m *cellMerger) sink(_ context.Context, p partialOut) error {
 	m.journal.record(p)
+	m.ob.chunksDone.Inc()
 	return m.mergeCell(p.cellIdx)
 }
 
@@ -119,13 +122,17 @@ func (m *cellMerger) mergePartial(ci, total int) (missing []int, err error) {
 // partitions.
 func (m *cellMerger) finishCell(ci int, parts []*dataset.WeightedSet, partialTime time.Duration, lost int) error {
 	key := m.cells[ci].Key
-	endSpan := m.tr.Span("merge-kmeans", fmt.Sprintf("%v", key))
+	endSpan := m.tr.SpanL(opMerge, fmt.Sprintf("%v", key),
+		trace.Label{Key: "stage", Value: opMerge},
+		trace.Label{Key: "cell", Value: fmt.Sprintf("%v", key)})
 	mergeRNG := *m.mergeRNGs[ci]
 	mr, err := core.MergeKMeans(parts, m.q.mergeConfig(), &mergeRNG)
 	endSpan()
 	if err != nil {
 		return fmt.Errorf("cell %v merge: %w", key, err)
 	}
+	m.ob.cellsMerged.Inc()
+	m.ob.kmIterMerge.Add(int64(mr.Iterations))
 	pm, err := metrics.MSE(m.cells[ci].Points, mr.Centroids)
 	if err != nil {
 		return err

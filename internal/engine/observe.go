@@ -1,0 +1,187 @@
+package engine
+
+import (
+	"streamkm/internal/obs"
+	"streamkm/internal/stream"
+)
+
+// This file wires the engine into the obs metrics core. The paper's
+// Conquest engine adapts long-running queries from runtime resource
+// evidence (§4); PRs 1–4 grew that evidence organically — OpStats
+// counters, queue high-water marks, governor heartbeats, degraded-run
+// audits — each visible only through its own struct. Here every signal
+// lands in one obs.Registry under a fixed vocabulary (obs/names.go), so
+// ExecStats.Report() can render a single schema-stable JSON document
+// per run.
+//
+// Granularity contract: counters and gauges are atomic and may be
+// bumped anywhere; histograms are observed once per chunk or per merge,
+// never per point, so the Lloyd hot loop stays allocation-free and
+// instrumentation-free.
+
+// WithObserver records the execution's metrics into reg instead of an
+// internal registry, letting a caller watch counters live (pmkm's
+// -progress ticker) or aggregate across executions. The registry is
+// also reachable afterwards through ExecStats.Obs.
+func WithObserver(reg *obs.Registry) ExecOption {
+	return func(e *Exec) { e.obsReg = reg }
+}
+
+// execObs caches the engine's live instruments so hot paths touch
+// atomics, not the registry's map lock.
+type execObs struct {
+	reg *obs.Registry
+
+	chunksTotal    *obs.Counter
+	chunksDone     *obs.Counter
+	chunkAttempts  *obs.Counter
+	cellsTotal     *obs.Counter
+	cellsMerged    *obs.Counter
+	points         *obs.Counter
+	bytes          *obs.Counter
+	restarts       *obs.Counter
+	stalls         *obs.Counter
+	admissionRefit *obs.Counter
+	degradedChunks *obs.Counter
+	degradedPoints *obs.Counter
+
+	partialSeconds *obs.Histogram
+	mergeSeconds   *obs.Histogram
+	chunkPoints    *obs.Histogram
+
+	kmIterPartial *obs.Counter
+	kmRestarts    *obs.Counter
+	kmConvPartial *obs.Counter
+	kmIterMerge   *obs.Counter
+	kmDeltaMSE    *obs.FloatGauge
+}
+
+func newExecObs(reg *obs.Registry) *execObs {
+	return &execObs{
+		reg:            reg,
+		chunksTotal:    reg.Counter(obs.EngineChunksTotal, ""),
+		chunksDone:     reg.Counter(obs.EngineChunksDone, ""),
+		chunkAttempts:  reg.Counter(obs.EngineChunkAttempts, ""),
+		cellsTotal:     reg.Counter(obs.EngineCellsTotal, ""),
+		cellsMerged:    reg.Counter(obs.EngineCellsMerged, ""),
+		points:         reg.Counter(obs.EnginePoints, ""),
+		bytes:          reg.Counter(obs.EngineBytes, ""),
+		restarts:       reg.Counter(obs.EngineRestarts, ""),
+		stalls:         reg.Counter(obs.GovernWatchdogCancels, ""),
+		admissionRefit: reg.Counter(obs.GovernAdmissionRefits, ""),
+		degradedChunks: reg.Counter(obs.EngineDegradedChunks, ""),
+		degradedPoints: reg.Counter(obs.EngineDegradedPoints, ""),
+
+		partialSeconds: reg.Histogram(obs.StageSeconds, opPartial, obs.LatencyBuckets()),
+		mergeSeconds:   reg.Histogram(obs.StageSeconds, opMerge, obs.LatencyBuckets()),
+		chunkPoints:    reg.Histogram(obs.ChunkPoints, opPartial, obs.SizeBuckets()),
+
+		kmIterPartial: reg.Counter(obs.KMeansIterations, opPartial),
+		kmRestarts:    reg.Counter(obs.KMeansRestarts, opPartial),
+		kmConvPartial: reg.Counter(obs.KMeansConverged, opPartial),
+		kmIterMerge:   reg.Counter(obs.KMeansIterations, opMerge),
+		kmDeltaMSE:    reg.FloatGauge(obs.KMeansLastDeltaMSE, opPartial),
+	}
+}
+
+// absorbQueues folds one attempt's queue counters into the registry.
+// Queues are rebuilt per attempt, so totals Add and high-water marks
+// SetMax — the registry accumulates across restarts just like OpStats.
+func (o *execObs) absorbQueues(qs ...queueCounters) {
+	for _, q := range qs {
+		o.reg.Gauge(obs.QueueHighWater, q.name).SetMax(int64(q.highWater))
+		o.reg.Counter(obs.QueueEnqueued, q.name).Add(q.enqueued)
+		o.reg.Counter(obs.QueueDequeued, q.name).Add(q.dequeued)
+	}
+}
+
+// queueCounters is the absorbable summary of one stream.Queue.
+type queueCounters struct {
+	name      string
+	highWater int
+	enqueued  int64
+	dequeued  int64
+}
+
+func summarizeQueue[T any](q *stream.Queue[T]) queueCounters {
+	return queueCounters{
+		name:      q.Name(),
+		highWater: q.HighWater(),
+		enqueued:  q.Enqueued(),
+		dequeued:  q.Dequeued(),
+	}
+}
+
+// streamSnapshots synthesizes the stream_* metric families from the
+// operator stats registry. They are synthesized at snapshot time rather
+// than double-counted into live counters: OpStats already aggregates
+// across clones and restart attempts, so its values are authoritative.
+func streamSnapshots(reg *stream.StatsRegistry, snap *obs.Snapshot) {
+	if reg == nil {
+		return
+	}
+	for _, op := range reg.All() {
+		stage := op.Name()
+		snap.Counters = append(snap.Counters,
+			obs.CounterSnapshot{Name: obs.StreamItemsIn, Stage: stage, Value: op.Processed()},
+			obs.CounterSnapshot{Name: obs.StreamItemsOut, Stage: stage, Value: op.Emitted()},
+			obs.CounterSnapshot{Name: obs.StreamRetries, Stage: stage, Value: op.Retries()},
+			obs.CounterSnapshot{Name: obs.StreamQuarantined, Stage: stage, Value: op.Quarantined()},
+			obs.CounterSnapshot{Name: obs.StreamDropped, Stage: stage, Value: op.Dropped()},
+			obs.CounterSnapshot{Name: obs.StreamPanics, Stage: stage, Value: op.Panics()},
+		)
+		snap.Gauges = append(snap.Gauges,
+			obs.GaugeSnapshot{Name: obs.StreamClones, Stage: stage, Value: float64(op.Clones())},
+			obs.GaugeSnapshot{Name: obs.StreamBusySeconds, Stage: stage, Value: op.Busy().Seconds()},
+		)
+	}
+}
+
+// Report renders the execution as the schema-stable JSON run report:
+// run-level facts, the governor's admission and degradation record, the
+// unified metrics snapshot (engine instruments plus the absorbed
+// stream_* families), and the trace cross-reference, whose op names
+// equal the metric stage labels.
+func (s *ExecStats) Report() *obs.Report {
+	rep := &obs.Report{
+		Schema:         obs.ReportSchema,
+		ElapsedSeconds: s.Elapsed.Seconds(),
+		Cells:          s.Cells,
+		Chunks:         s.Chunks,
+		Restarts:       s.Restarts,
+		Stalls:         s.Stalls,
+	}
+	if a := s.Admission; a != nil {
+		rep.Admission = &obs.AdmissionReport{
+			BudgetBytes: a.Budget,
+			ChunkPoints: a.ChunkPoints,
+			Clones:      a.Clones,
+			Workers:     a.Workers,
+			Constrained: a.Constrained(),
+		}
+	}
+	if d := s.Degraded; d != nil {
+		rep.Degraded = &obs.DegradedReport{
+			DroppedChunks:    len(d.DroppedChunks),
+			DroppedCells:     len(d.DroppedCells),
+			PartialCells:     len(d.PartialCells),
+			PointsLost:       d.PointsLost,
+			DeadlineExceeded: d.DeadlineExceeded,
+			Stalls:           d.Stalls,
+		}
+	}
+	var snap obs.Snapshot
+	if s.Obs != nil {
+		snap = s.Obs.Snapshot()
+	}
+	streamSnapshots(s.Registry, &snap)
+	snap.Sort()
+	rep.Metrics = snap
+	if s.Trace != nil {
+		for _, o := range s.Trace.Summary() {
+			rep.Trace = append(rep.Trace, obs.TraceOp{Op: o.Op, Spans: o.Spans, BusySeconds: o.Busy.Seconds()})
+		}
+		rep.DroppedSpans = s.Trace.Dropped()
+	}
+	return rep
+}

@@ -2,8 +2,8 @@ package grid
 
 import (
 	"bytes"
-	"math"
 	"errors"
+	"math"
 	"os"
 	"path/filepath"
 	"testing"

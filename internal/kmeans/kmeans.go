@@ -123,6 +123,12 @@ type Result struct {
 	// Converged reports whether the ΔMSE criterion was met before
 	// MaxIterations.
 	Converged bool
+	// DeltaMSE is the final iteration's MSE improvement (MSE(n-1) -
+	// MSE(n)) — at convergence, the residual the Epsilon criterion
+	// accepted. It is 0 when fewer than two iterations ran and on the
+	// accelerated path, which iterates to the assignment fixpoint where
+	// the criterion holds trivially.
+	DeltaMSE float64
 }
 
 // WeightedCentroids packages the result as the partial operator's output:
@@ -252,9 +258,12 @@ func runNaive(points *dataset.WeightedSet, centroids []vector.Vector, cfg Config
 
 		// Step 4: convergence on ΔMSE. The first iteration has no
 		// predecessor; subsequent iterations compare against prevMSE.
-		if iter > 1 && prevMSE-mse <= cfg.Epsilon {
-			res.Converged = true
-			break
+		if iter > 1 {
+			res.DeltaMSE = prevMSE - mse
+			if res.DeltaMSE <= cfg.Epsilon {
+				res.Converged = true
+				break
+			}
 		}
 		prevMSE = mse
 	}
@@ -274,6 +283,9 @@ type RestartResult struct {
 	MSEs []float64
 	// TotalIterations sums Lloyd iterations across runs.
 	TotalIterations int
+	// Converged counts the runs that met the ΔMSE criterion before
+	// MaxIterations.
+	Converged int
 }
 
 // RunRestarts executes R independent k-means runs with different seed
@@ -348,6 +360,9 @@ func RunRestarts(points *dataset.WeightedSet, cfg Config, restarts int, r *rng.R
 		res := results[run]
 		out.MSEs = append(out.MSEs, res.MSE)
 		out.TotalIterations += res.Iterations
+		if res.Converged {
+			out.Converged++
+		}
 		if out.Best == nil || res.MSE < out.Best.MSE {
 			out.Best = res
 			out.BestRun = run

@@ -1,0 +1,55 @@
+package obs
+
+// Metric family names. Every producer and consumer (engine wiring,
+// pmkm's progress ticker, the report tests) refers to these constants,
+// so the JSON report's vocabulary is defined in exactly one place.
+//
+// Stage labels: stream_* and stage_* families are labeled with the
+// operator name ("scan", "partial-kmeans", "merge-kmeans" — the same
+// names the trace timeline uses); kmeans_* families are labeled with
+// the phase that ran Lloyd ("partial-kmeans", "merge-kmeans");
+// queue_* families are labeled with the queue name ("chunks",
+// "partials"); engine_* and govern_* families are run-global (no
+// label).
+const (
+	// Stream-stage families, absorbed from stream.OpStats.
+	StreamItemsIn     = "stream_items_in"     // items consumed by the stage
+	StreamItemsOut    = "stream_items_out"    // items emitted downstream
+	StreamRetries     = "stream_retries"      // supervised re-attempts
+	StreamQuarantined = "stream_quarantined"  // poison items diverted to the DLQ
+	StreamDropped     = "stream_dropped"      // poison items lost to DLQ overflow
+	StreamPanics      = "stream_panics"       // operator panics recovered by supervision
+	StreamClones      = "stream_clones"       // gauge: peak replica count
+	StreamBusySeconds = "stream_busy_seconds" // gauge: cumulative in-operator time
+
+	// Queue families, absorbed from stream.Queue counters.
+	QueueHighWater = "queue_highwater" // gauge: deepest observed backlog
+	QueueEnqueued  = "queue_enqueued"
+	QueueDequeued  = "queue_dequeued"
+
+	// Engine families (run-global), updated live during execution.
+	EngineChunksTotal    = "engine_chunks_total"    // planned partitions
+	EngineChunksDone     = "engine_chunks_done"     // partitions journaled (completed)
+	EngineChunkAttempts  = "engine_chunk_attempts"  // partial invocations incl. retries
+	EngineCellsTotal     = "engine_cells_total"     // planned cells
+	EngineCellsMerged    = "engine_cells_merged"    // cells finalized by the merge stage
+	EnginePoints         = "engine_points"          // input points entering partial steps
+	EngineBytes          = "engine_bytes"           // those points' in-memory bytes
+	EngineRestarts       = "engine_restarts"        // plan-level recoveries
+	EngineDegradedChunks = "engine_degraded_chunks" // partitions missing from the answer
+	EngineDegradedPoints = "engine_degraded_points" // points in those partitions
+
+	// Governor families (run-global).
+	GovernAdmissionRefits = "govern_admission_refits" // memory admissions that shrank the plan
+	GovernWatchdogCancels = "govern_watchdog_cancels" // attempts cancelled by the stall watchdog
+
+	// Per-stage distributions (updated once per chunk, never per point).
+	StageSeconds = "stage_seconds" // histogram: per-item stage latency
+	ChunkPoints  = "chunk_points"  // histogram: partition sizes
+
+	// K-means families, labeled by the phase that ran Lloyd.
+	KMeansIterations   = "kmeans_iterations"     // Lloyd iterations summed over runs
+	KMeansRestarts     = "kmeans_restarts"       // seed-set restarts executed
+	KMeansConverged    = "kmeans_converged"      // runs meeting the ΔMSE criterion
+	KMeansLastDeltaMSE = "kmeans_last_delta_mse" // float gauge: winning run's final ΔMSE
+)

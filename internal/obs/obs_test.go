@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Tests for the metrics core's two load-bearing promises: instruments
+// stay correct under concurrent writers (the executors bump them from
+// cloned operators), and snapshots are internally consistent and
+// byte-stable even while writers are still running.
+
+func TestCounterGaugeConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c", "s")
+	g := reg.Gauge("g", "s")
+	f := reg.FloatGauge("f", "s")
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				c.Add(2)
+				g.SetMax(int64(w*perWorker + i))
+				f.Set(float64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker*3 {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker*3)
+	}
+	if got := g.Value(); got != workers*perWorker-1 {
+		t.Fatalf("gauge high-water = %d, want %d", got, workers*perWorker-1)
+	}
+	if got := f.Value(); got < 0 || got >= perWorker {
+		t.Fatalf("float gauge = %g, want a written value", got)
+	}
+}
+
+func TestCounterIgnoresNegativeDeltas(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	c.Add(0)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5 (negative and zero deltas ignored)", c.Value())
+	}
+}
+
+func TestHistogramBucketSemantics(t *testing.T) {
+	h := NewHistogram([]float64{1, 10})
+	for _, v := range []float64{0.5, 1, 1.5, 10, 11} {
+		h.Observe(v)
+	}
+	s := h.snapshot("lat", "stage")
+	if s.Count != 5 || s.Overflow != 1 {
+		t.Fatalf("count = %d overflow = %d, want 5 and 1", s.Count, s.Overflow)
+	}
+	// v <= bound lands in the bucket: 0.5 and exactly 1 in the first,
+	// 1.5 and exactly 10 in the second, 11 overflows.
+	if s.Buckets[0].Count != 2 || s.Buckets[1].Count != 2 {
+		t.Fatalf("buckets = %+v, want counts [2 2]", s.Buckets)
+	}
+	if s.Min != 0.5 || s.Max != 11 {
+		t.Fatalf("min/max = %g/%g, want 0.5/11", s.Min, s.Max)
+	}
+	if want := 0.5 + 1 + 1.5 + 10 + 11; s.Sum != want {
+		t.Fatalf("sum = %g, want %g", s.Sum, want)
+	}
+	if h.Count() != 5 || h.Sum() != 24 {
+		t.Fatalf("Count()/Sum() = %d/%g", h.Count(), h.Sum())
+	}
+	h.ObserveDuration(2 * time.Second)
+	if h.Count() != 6 || h.Sum() != 26 {
+		t.Fatalf("ObserveDuration did not record 2s: count %d sum %g", h.Count(), h.Sum())
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Counter("c", "a") != reg.Counter("c", "a") {
+		t.Fatal("same (name, stage) must return the same counter")
+	}
+	if reg.Counter("c", "a") == reg.Counter("c", "b") {
+		t.Fatal("different stages must get distinct counters")
+	}
+	h1 := reg.Histogram("h", "", []float64{1, 2})
+	h2 := reg.Histogram("h", "", []float64{99})
+	if h1 != h2 {
+		t.Fatal("same histogram key must return the same instrument")
+	}
+	if len(h1.snapshot("h", "").Buckets) != 2 {
+		t.Fatal("second Histogram call must not rebucket the instrument")
+	}
+}
+
+// TestSnapshotWhileWriting hammers every instrument kind from several
+// goroutines while snapshotting continuously; under -race this is the
+// concurrency test, and each histogram snapshot must be internally
+// consistent (bucket sum plus overflow equals the count) because the
+// copy happens under the instrument's lock.
+func TestSnapshotWhileWriting(t *testing.T) {
+	reg := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := reg.Counter("items", "partial")
+			h := reg.Histogram("latency", "partial", LatencyBuckets())
+			g := reg.Gauge("depth", "chunks")
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				h.Observe(float64(i%200) * 1e-3)
+				g.SetMax(int64(i % 64))
+			}
+		}(w)
+	}
+	deadline := time.Now().Add(100 * time.Millisecond)
+	snaps := 0
+	for time.Now().Before(deadline) {
+		s := reg.Snapshot()
+		for _, h := range s.Histograms {
+			var inBuckets int64
+			for _, b := range h.Buckets {
+				inBuckets += b.Count
+			}
+			if inBuckets+h.Overflow != h.Count {
+				t.Fatalf("torn histogram snapshot: buckets %d + overflow %d != count %d",
+					inBuckets, h.Overflow, h.Count)
+			}
+		}
+		snaps++
+	}
+	close(stop)
+	wg.Wait()
+	if snaps == 0 {
+		t.Fatal("no snapshots taken while writing")
+	}
+	final := reg.Snapshot()
+	if got := final.Counter("items", "partial"); got == 0 {
+		t.Fatal("final snapshot lost the counter writes")
+	}
+}
+
+// TestSnapshotDeterministicJSON registers identical metrics in two
+// different orders and requires byte-identical marshaled snapshots —
+// the schema-stability contract behind diffable pmkm -report output.
+func TestSnapshotDeterministicJSON(t *testing.T) {
+	build := func(order []string) Snapshot {
+		reg := NewRegistry()
+		for _, stage := range order {
+			reg.Counter("items", stage).Add(3)
+			reg.Gauge("depth", stage).Set(2)
+			reg.Histogram("latency", stage, []float64{1, 10}).Observe(0.5)
+		}
+		return reg.Snapshot()
+	}
+	a, err := json.Marshal(build([]string{"scan", "partial-kmeans", "merge-kmeans"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(build([]string{"merge-kmeans", "scan", "partial-kmeans"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("registration order leaked into the document:\n%s\n%s", a, b)
+	}
+}
+
+func TestSnapshotLookupHelpers(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(EngineChunksDone, "").Add(7)
+	reg.Histogram(StageSeconds, "partial-kmeans", LatencyBuckets()).Observe(0.01)
+	s := reg.Snapshot()
+	if got := s.Counter(EngineChunksDone, ""); got != 7 {
+		t.Fatalf("Counter lookup = %d, want 7", got)
+	}
+	if got := s.Counter("absent", ""); got != 0 {
+		t.Fatalf("absent counter = %d, want 0", got)
+	}
+	h := s.Histogram(StageSeconds, "partial-kmeans")
+	if h == nil || h.Count != 1 {
+		t.Fatalf("Histogram lookup = %+v, want count 1", h)
+	}
+	if s.Histogram(StageSeconds, "merge-kmeans") != nil {
+		t.Fatal("absent histogram must be nil")
+	}
+}
+
+func TestReportJSONStable(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(EngineCellsMerged, "").Add(2)
+	rep := &Report{Schema: ReportSchema, Cells: 2, Metrics: reg.Snapshot()}
+	a, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("Report.JSON is not deterministic")
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(a, &parsed); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if parsed["schema"] != "streamkm.run-report/v1" {
+		t.Fatalf("schema = %v, want streamkm.run-report/v1", parsed["schema"])
+	}
+}

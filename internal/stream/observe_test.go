@@ -1,0 +1,96 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Tests for the stage's observability hooks: the per-item latency hook
+// the engine feeds into obs histograms, and the panic counter absorbed
+// into the stream_panics metric family.
+
+// TestStageObserveFiresOncePerItem runs a supervised stage where one
+// item fails its first attempt: the Observe hook must fire once per
+// item (after the item fully completes, retries included), never per
+// attempt, because the engine files it into a per-chunk histogram.
+func TestStageObserveFiresOncePerItem(t *testing.T) {
+	const items = 12
+	var observed, negative atomic.Int64
+	var failedOnce atomic.Bool
+	g, ctx := NewGroup(context.Background())
+	reg := NewStatsRegistry()
+	in := NewQueue[int]("in", 4)
+	out := NewQueue[int]("out", items)
+	fn := func(_ context.Context, x int, emit Emit[int]) error {
+		if x == 5 && !failedOnce.Swap(true) {
+			return errors.New("transient")
+		}
+		return emit(x)
+	}
+	sup := &Supervisor[int]{Retry: RetryPolicy{MaxRetries: 2, BaseBackoff: -1}}
+	RunSource(g, ctx, reg, "src", rangeSource(items), in)
+	st := RunStage(g, ctx, reg, StageConfig[int]{
+		Name: "work", Clones: 2, Sup: sup,
+		Observe: func(d time.Duration) {
+			observed.Add(1)
+			if d < 0 {
+				negative.Add(1)
+			}
+		},
+	}, fn, in, out)
+	sink, snap := Collect[int]()
+	RunSink(g, ctx, reg, "sink", 1, sink, out)
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap()) != items {
+		t.Fatalf("delivered %d items, want %d", len(snap()), items)
+	}
+	if got := observed.Load(); got != items {
+		t.Fatalf("Observe fired %d times, want %d (once per item)", got, items)
+	}
+	if negative.Load() != 0 {
+		t.Fatalf("%d observations had negative duration", negative.Load())
+	}
+	if st.Stats().Retries() != 1 {
+		t.Fatalf("retries = %d, want 1", st.Stats().Retries())
+	}
+}
+
+// TestOpStatsCountsPanics recovers a transient panic under supervision
+// and requires it on the panic counter — the signal behind the
+// stream_panics metric family — without also counting plain errors.
+func TestOpStatsCountsPanics(t *testing.T) {
+	var panicked, errored atomic.Bool
+	fn := func(_ context.Context, v int, emit Emit[int]) error {
+		if v == 3 && !panicked.Swap(true) {
+			panic("transient poison")
+		}
+		if v == 4 && !errored.Swap(true) {
+			return errors.New("plain failure")
+		}
+		return emit(v)
+	}
+	sup := &Supervisor[int]{Retry: RetryPolicy{MaxRetries: 2, BaseBackoff: -1}}
+	got, stats, err := runSupervisedInts(t, sup, 2, fn, []int{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatalf("supervised run failed: %v", err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("delivered %d items, want 5", len(got))
+	}
+	if stats.Panics() != 1 {
+		t.Fatalf("Panics() = %d, want 1 (the plain error must not count)", stats.Panics())
+	}
+	if stats.Retries() != 2 {
+		t.Fatalf("Retries() = %d, want 2", stats.Retries())
+	}
+	if s := fmt.Sprint(stats); !strings.Contains(s, "panics=1") {
+		t.Fatalf("String() %q does not report the panic", s)
+	}
+}

@@ -39,6 +39,7 @@ type OpStats struct {
 	retries     atomic.Int64
 	quarantined atomic.Int64
 	dropped     atomic.Int64
+	panics      atomic.Int64
 }
 
 // Name returns the operator name.
@@ -80,12 +81,16 @@ func (s *OpStats) Quarantined() int64 { return s.quarantined.Load() }
 // queue was full.
 func (s *OpStats) Dropped() int64 { return s.dropped.Load() }
 
+// Panics returns the number of operator panics recovered by supervision
+// (0 for unsupervised operators, whose panics kill the plan instead).
+func (s *OpStats) Panics() int64 { return s.panics.Load() }
+
 // String formats the stats for logs and tables.
 func (s *OpStats) String() string {
 	base := fmt.Sprintf("%s[x%d]: in=%d out=%d busy=%v",
 		s.name, s.Clones(), s.Processed(), s.Emitted(), s.Busy())
-	if r, q, d := s.Retries(), s.Quarantined(), s.Dropped(); r > 0 || q > 0 || d > 0 {
-		base += fmt.Sprintf(" retries=%d quarantined=%d dropped=%d", r, q, d)
+	if r, q, d, p := s.Retries(), s.Quarantined(), s.Dropped(), s.Panics(); r > 0 || q > 0 || d > 0 || p > 0 {
+		base += fmt.Sprintf(" retries=%d quarantined=%d dropped=%d panics=%d", r, q, d, p)
 	}
 	return base
 }

@@ -50,6 +50,13 @@ type StageConfig[I any] struct {
 	// to supervision: a supervised item beats once per item, not per
 	// retry attempt.
 	Beat Heartbeat
+	// Observe, when non-nil, receives each item's processing duration
+	// after the item fully completes (including downstream emissions) —
+	// the metrics layer's per-stage latency hook. Like Beat it fires
+	// once per item, not per retry attempt, and must be safe for
+	// concurrent use by cloned operators (an obs.Histogram updated per
+	// chunk is the canonical implementation).
+	Observe func(d time.Duration)
 }
 
 // Stage is a running transform (or sink) stage. All replicas consume
@@ -58,15 +65,16 @@ type StageConfig[I any] struct {
 // that lets a downstream consumer treat cloned operators as one
 // logical operator (Fig. 3).
 type Stage[I, O any] struct {
-	name  string
-	fn    TransformFunc[I, O]
-	in    *Queue[I]
-	out   *Queue[O] // nil for sink stages
-	g     *Group
-	ctx   context.Context
-	stats *OpStats
-	sup   *Supervisor[I] // nil = unsupervised
-	beat  Heartbeat      // nil = no liveness hook
+	name    string
+	fn      TransformFunc[I, O]
+	in      *Queue[I]
+	out     *Queue[O] // nil for sink stages
+	g       *Group
+	ctx     context.Context
+	stats   *OpStats
+	sup     *Supervisor[I]      // nil = unsupervised
+	beat    Heartbeat           // nil = no liveness hook
+	observe func(time.Duration) // nil = no latency hook
 
 	mu      sync.Mutex
 	initial int
@@ -93,6 +101,7 @@ func RunStage[I, O any](g *Group, ctx context.Context, reg *StatsRegistry, cfg S
 		stats:   reg.register(cfg.Name, initial),
 		sup:     cfg.Sup,
 		beat:    cfg.Beat,
+		observe: cfg.Observe,
 		initial: initial,
 	}
 	for i := 0; i < initial; i++ {
@@ -191,7 +200,13 @@ func (s *Stage[I, O]) processOne(cloneName string, jr *rng.RNG, item I, buf *[]O
 		defer s.beat.End()
 	}
 	start := time.Now()
-	defer func() { s.stats.busyNanos.Add(int64(time.Since(start))) }()
+	defer func() {
+		d := time.Since(start)
+		s.stats.busyNanos.Add(int64(d))
+		if s.observe != nil {
+			s.observe(d)
+		}
+	}()
 	if s.sup == nil {
 		return s.fn(s.ctx, item, emit)
 	}

@@ -247,7 +247,14 @@ func attemptTransform[I, O any](ctx context.Context, op string, fn TransformFunc
 func superviseItem[I, O any](ctx context.Context, op string, sup *Supervisor[I], jr *rng.RNG, stats *OpStats, fn TransformFunc[I, O], item I, buf *[]O) (ok bool, err error) {
 	attempts, err := sup.Retry.Attempts(ctx, jr,
 		func(int, error) { stats.retries.Add(1) },
-		func(int) error { return attemptTransform(ctx, op, fn, item, buf) })
+		func(int) error {
+			err := attemptTransform(ctx, op, fn, item, buf)
+			var pe *PanicError
+			if errors.As(err, &pe) {
+				stats.panics.Add(1)
+			}
+			return err
+		})
 	if err == nil {
 		return true, nil
 	}

@@ -13,14 +13,35 @@ import (
 	"time"
 )
 
+// Label is one key=value annotation on a span. The engine labels every
+// span with the metric stage it feeds ("stage" → "partial-kmeans"), so
+// the text timeline and the obs JSON report cross-reference: a lane in
+// one is a stage label in the other.
+type Label struct {
+	Key, Value string
+}
+
 // Span is one operator's work on one item.
 type Span struct {
 	// Op is the operator name ("partial-kmeans").
 	Op string
 	// Item identifies the work unit ("cell N34W118 chunk 2").
 	Item string
+	// Labels carries the span's metric annotations (nil when recorded
+	// through the plain Span method).
+	Labels []Label
 	// Start and End are offsets from the tracer's creation.
 	Start, End time.Duration
+}
+
+// Label returns the value of the labeled key, or "".
+func (s Span) Label(key string) string {
+	for _, l := range s.Labels {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
 }
 
 // Duration returns the span length.
@@ -48,6 +69,13 @@ func New(capacity int) *Tracer {
 // Span starts a span and returns its closer; call the closer when the
 // work finishes.
 func (t *Tracer) Span(op, item string) func() {
+	return t.SpanL(op, item)
+}
+
+// SpanL is Span with metric labels attached: the engine uses it to tag
+// each span with the stage label its metrics are filed under, so the
+// timeline and the JSON run report name the same stages.
+func (t *Tracer) SpanL(op, item string, labels ...Label) func() {
 	start := time.Since(t.epoch)
 	return func() {
 		end := time.Since(t.epoch)
@@ -57,8 +85,39 @@ func (t *Tracer) Span(op, item string) func() {
 			t.dropped++
 			return
 		}
-		t.spans = append(t.spans, Span{Op: op, Item: item, Start: start, End: end})
+		t.spans = append(t.spans, Span{Op: op, Item: item, Labels: labels, Start: start, End: end})
 	}
+}
+
+// OpSummary aggregates every recorded span of one operator.
+type OpSummary struct {
+	// Op is the operator (and metric stage) name.
+	Op string
+	// Spans is the number of recorded spans.
+	Spans int
+	// Busy is the summed span duration across clones.
+	Busy time.Duration
+}
+
+// Summary aggregates the recorded spans per operator, sorted by name —
+// the trace section of the obs run report. Dropped spans are not
+// included (see Dropped).
+func (t *Tracer) Summary() []OpSummary {
+	spans := t.Spans()
+	idx := map[string]int{}
+	var out []OpSummary
+	for _, s := range spans {
+		i, ok := idx[s.Op]
+		if !ok {
+			i = len(out)
+			idx[s.Op] = i
+			out = append(out, OpSummary{Op: s.Op})
+		}
+		out[i].Spans++
+		out[i].Busy += s.Duration()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Op < out[j].Op })
+	return out
 }
 
 // Spans returns a copy of the recorded spans sorted by start time.

@@ -100,3 +100,79 @@ func TestTimelineReportsDropped(t *testing.T) {
 		t.Fatal("timeline should mention dropped spans")
 	}
 }
+
+func TestSpanLabelsRecorded(t *testing.T) {
+	tr := New(16)
+	end := tr.SpanL("partial-kmeans", "cell0/1",
+		Label{Key: "stage", Value: "partial-kmeans"},
+		Label{Key: "chunk", Value: "1"})
+	end()
+	tr.Span("merge-kmeans", "cell0")()
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("recorded %d spans, want 2", len(spans))
+	}
+	if got := spans[0].Label("stage"); got != "partial-kmeans" {
+		t.Fatalf(`Label("stage") = %q`, got)
+	}
+	if got := spans[0].Label("chunk"); got != "1" {
+		t.Fatalf(`Label("chunk") = %q`, got)
+	}
+	if got := spans[0].Label("absent"); got != "" {
+		t.Fatalf(`absent label = %q, want ""`, got)
+	}
+	if spans[1].Labels != nil {
+		t.Fatalf("plain Span recorded labels %v", spans[1].Labels)
+	}
+}
+
+func TestSummaryAggregatesPerOp(t *testing.T) {
+	tr := New(16)
+	for i := 0; i < 3; i++ {
+		end := tr.SpanL("partial-kmeans", "x", Label{Key: "stage", Value: "partial-kmeans"})
+		time.Sleep(time.Millisecond)
+		end()
+	}
+	tr.Span("merge-kmeans", "y")()
+	sum := tr.Summary()
+	if len(sum) != 2 {
+		t.Fatalf("summary has %d ops, want 2: %+v", len(sum), sum)
+	}
+	// Sorted by op name: merge-kmeans before partial-kmeans.
+	if sum[0].Op != "merge-kmeans" || sum[1].Op != "partial-kmeans" {
+		t.Fatalf("summary order %q, %q", sum[0].Op, sum[1].Op)
+	}
+	if sum[1].Spans != 3 {
+		t.Fatalf("partial spans = %d, want 3", sum[1].Spans)
+	}
+	if sum[1].Busy <= 0 {
+		t.Fatalf("partial busy = %v, want > 0", sum[1].Busy)
+	}
+}
+
+// TestLabeledSpanDropConcurrent closes many labeled spans at once
+// against a tiny capacity: exactly cap spans survive, the rest are
+// counted dropped, and Summary sees only the retained ones.
+func TestLabeledSpanDropConcurrent(t *testing.T) {
+	const capacity, total = 8, 64
+	tr := New(capacity)
+	var wg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr.SpanL("partial-kmeans", "item", Label{Key: "stage", Value: "partial-kmeans"})()
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != capacity {
+		t.Fatalf("retained %d spans, want %d", got, capacity)
+	}
+	if got := tr.Dropped(); got != total-capacity {
+		t.Fatalf("dropped = %d, want %d", got, total-capacity)
+	}
+	sum := tr.Summary()
+	if len(sum) != 1 || sum[0].Spans != capacity {
+		t.Fatalf("summary %+v, want %d spans of one op", sum, capacity)
+	}
+}

@@ -39,9 +39,9 @@ func TestStreamClustererDropsMalformedRecords(t *testing.T) {
 		t.Fatal(err)
 	}
 	pts := streamPoints(200)
-	pts[10] = []float64{1, 2}                       // wrong dimension
-	pts[40] = []float64{1, math.NaN(), 3}           // NaN attribute
-	pts[90] = []float64{math.Inf(1), 0, 0}          // infinite attribute
+	pts[10] = []float64{1, 2}              // wrong dimension
+	pts[40] = []float64{1, math.NaN(), 3}  // NaN attribute
+	pts[90] = []float64{math.Inf(1), 0, 0} // infinite attribute
 	res := finishStream(t, s, pts)
 	if s.Dropped() != 3 || len(seen) != 3 {
 		t.Fatalf("Dropped() = %d, callback saw %d", s.Dropped(), len(seen))

@@ -1,20 +1,36 @@
 #!/bin/sh
-# Benchmark the flat-memory hot path and record the results next to the
-# pre-optimization baselines in BENCH_PR3.json.
+# Benchmark the hot-path kernels and record the results as JSON.
 #
-# The baselines below were measured on the pre-flat-storage tree (row
-# slices per point, per-sweep goroutine spawning, no scratch reuse) with
-# the same harness: Intel Xeon @ 2.70GHz, go test -bench -benchtime=10x.
-# Each current number is the best of -count=N runs because the shared
-# benchmark machines swing 30-40% run to run; best-of is the stablest
-# estimator of the achievable time.
+# Baselines come from the most recent previous BENCH_*.json in the repo
+# root: each PR's current_ns_op becomes the next PR's baseline_ns_op,
+# so the chain of committed reports tracks per-PR deltas without
+# hardcoded constants. Override the choice with BENCH_BASELINE=path.
 #
-# Usage: scripts/bench.sh [count]     (default count: 3)
+# Each current number is the best (minimum) of -count=N runs because
+# shared benchmark machines swing 30-40% run to run; best-of is the
+# stablest estimator of the achievable time.
+#
+# Usage: scripts/bench.sh [count] [out.json]
+#   count    runs per benchmark (default 3)
+#   out.json output report path (default BENCH_PR5.json)
 set -eu
 cd "$(dirname "$0")/.."
 
 COUNT="${1:-3}"
-OUT="BENCH_PR3.json"
+OUT="${2:-BENCH_PR5.json}"
+
+# Pick the baseline report: the newest committed BENCH_*.json that is
+# not the output file itself (version sort, so PR10 follows PR9).
+BASE="${BENCH_BASELINE:-}"
+if [ -z "$BASE" ]; then
+  BASE="$(ls BENCH_*.json 2>/dev/null | grep -vx "$OUT" | sort -V | tail -n 1 || true)"
+fi
+if [ -z "$BASE" ] || [ ! -f "$BASE" ]; then
+  echo "error: no baseline BENCH_*.json found (set BENCH_BASELINE=path)" >&2
+  exit 1
+fi
+echo "baselines from $BASE" >&2
+
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -25,8 +41,20 @@ go test -run='^$' -bench='SquaredDistance6D|NearestIndex40Centroids' \
   -count="$COUNT" ./internal/vector | tee -a "$RAW" >&2
 
 # Reduce each benchmark to its best (minimum) ns/op across runs, then
-# join with the hardcoded baselines into a JSON report.
-awk '
+# join with the baseline report: its current_ns_op is our baseline.
+awk -v basefile="$BASE" '
+BEGIN {
+    # Each benchmark entry in a BENCH_*.json report is one line:
+    #   {"name": "X", ..., "current_ns_op": N, ...}
+    while ((getline line < basefile) > 0) {
+        if (match(line, /"name": "[^"]*"/)) {
+            name = substr(line, RSTART + 9, RLENGTH - 10)
+            if (match(line, /"current_ns_op": [0-9.eE+-]*/))
+                base[name] = substr(line, RSTART + 17, RLENGTH - 17) + 0
+        }
+    }
+    close(basefile)
+}
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
@@ -35,34 +63,24 @@ awk '
     if (!(name in best) || ns < best[name]) best[name] = ns
 }
 END {
-    base["LloydNaiveK40"]          = 54418216
-    base["LloydHamerlyK40"]        = 21010214
-    base["LloydParallel4Workers"]  = 56082121
-    base["SquaredDistance6D"]      = 5.207
-    base["NearestIndex40Centroids"] = 311.0
-    balloc["LloydNaiveK40"]         = 86
-    balloc["LloydHamerlyK40"]       = 91
-    balloc["LloydParallel4Workers"] = 10252
-
     n = split("LloydNaiveK40 LloydHamerlyK40 LloydParallel4Workers SquaredDistance6D NearestIndex40Centroids", order, " ")
     printf "{\n"
-    printf "  \"note\": \"baseline_ns_op measured pre-PR3 (row-slice storage, per-sweep goroutines); current_ns_op is best-of-count on the same machine\",\n"
+    printf "  \"note\": \"baseline_ns_op from the previous BENCH report; current_ns_op is best-of-count on this machine\",\n"
     printf "  \"benchmarks\": [\n"
     for (i = 1; i <= n; i++) {
         name = order[i]
         if (!(name in best)) { missing = missing " " name; continue }
-        printf "    {\"name\": \"%s\", \"baseline_ns_op\": %s, \"current_ns_op\": %s, \"speedup\": %.2f",
-            name, base[name], best[name], base[name] / best[name]
-        if (name in balloc) printf ", \"baseline_allocs_op\": %d", balloc[name]
-        printf "}%s\n", (i < n ? "," : "")
+        if (!(name in base)) { missing = missing " " name "(no baseline)"; continue }
+        printf "    {\"name\": \"%s\", \"baseline_ns_op\": %s, \"current_ns_op\": %s, \"speedup\": %.2f}%s\n",
+            name, base[name], best[name], base[name] / best[name], (i < n ? "," : "")
     }
     printf "  ]\n}\n"
     if (missing != "") {
-        printf "error: benchmarks missing from output:%s\n", missing > "/dev/stderr"
+        printf "error: benchmarks missing:%s\n", missing > "/dev/stderr"
         exit 1
     }
 }
 ' "$RAW" > "$OUT"
 
-echo "wrote $OUT" >&2
+echo "wrote $OUT (baseline: $BASE)" >&2
 cat "$OUT"

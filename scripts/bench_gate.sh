@@ -1,0 +1,53 @@
+#!/bin/sh
+# Compare a bench report against a baseline report, failing when any
+# benchmark's current_ns_op exceeds the baseline's current_ns_op by
+# more than THRESHOLD times. Noise-tolerant by design: shared CI
+# runners swing 30-40% run to run, so the default 2.5x threshold
+# catches order-of-magnitude regressions (an accidental quadratic loop,
+# a lost fast path), not percent-level drift.
+#
+# Usage: scripts/bench_gate.sh current.json baseline.json [threshold]
+set -eu
+
+CUR="${1:?usage: bench_gate.sh current.json baseline.json [threshold]}"
+BASE="${2:?usage: bench_gate.sh current.json baseline.json [threshold]}"
+THRESHOLD="${3:-2.5}"
+
+awk -v curfile="$CUR" -v basefile="$BASE" -v thr="$THRESHOLD" '
+function parse(file, into,   line, name) {
+    while ((getline line < file) > 0) {
+        if (match(line, /"name": "[^"]*"/)) {
+            name = substr(line, RSTART + 9, RLENGTH - 10)
+            order[++norder] = name
+            if (match(line, /"current_ns_op": [0-9.eE+-]*/))
+                into[name] = substr(line, RSTART + 17, RLENGTH - 17) + 0
+        }
+    }
+    close(file)
+}
+BEGIN {
+    parse(basefile, base)
+    nbase = norder
+    parse(curfile, current)
+    status = 0
+    for (i = 1; i <= nbase; i++) {
+        name = order[i]
+        if (!(name in current)) {
+            printf "MISSING  %-26s (in baseline, absent from current report)\n", name
+            status = 1
+            continue
+        }
+        ratio = current[name] / base[name]
+        verdict = (ratio > thr) ? "REGRESS" : "ok"
+        printf "%-8s %-26s baseline %14.3f ns/op   current %14.3f ns/op   ratio %5.2fx (limit %.1fx)\n",
+            verdict, name, base[name], current[name], ratio, thr
+        if (ratio > thr) status = 1
+    }
+    if (nbase == 0) {
+        print "error: no benchmarks found in " basefile > "/dev/stderr"
+        status = 1
+    }
+    print (status ? "bench gate: FAIL" : "bench gate: ok")
+    exit status
+}
+'

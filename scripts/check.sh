@@ -17,6 +17,15 @@ if grep -rn --include='*.go' -E 'engine\.Execute(Supervised|Adaptive)\(' . \
   exit 1
 fi
 
+# Formatting gate: the tree must be gofmt-clean (CI enforces the same
+# gate in its tier-1 job).
+UNFORMATTED="$(gofmt -l .)"
+if [ -n "$UNFORMATTED" ]; then
+  echo "error: gofmt needed on:" >&2
+  echo "$UNFORMATTED" >&2
+  exit 1
+fi
+
 go vet ./...
 go build ./...
 go test -race ./...

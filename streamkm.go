@@ -14,6 +14,7 @@ import (
 	"streamkm/internal/govern"
 	"streamkm/internal/grid"
 	"streamkm/internal/metrics"
+	"streamkm/internal/obs"
 	"streamkm/internal/rng"
 	"streamkm/internal/stream"
 )
@@ -150,6 +151,11 @@ type Result struct {
 	// returned a partial answer; it reports exactly what was lost. Nil
 	// means the result is complete.
 	Degraded *Degraded
+	// Report is the engine's unified observability report — per-stage
+	// counters, latency histograms, governor decisions — rendered as a
+	// schema-stable document (obs.ReportSchema). Only ClusterGoverned
+	// sets it: the other entry points bypass the instrumented engine.
+	Report *obs.Report
 }
 
 // Degraded is the quality report attached to a partial result: how much
@@ -402,6 +408,7 @@ func ClusterGoverned(ctx context.Context, points [][]float64, opts Options) (*Re
 	for i, c := range r.Result.Centroids {
 		out.Centroids[i] = c
 	}
+	out.Report = stats.Report()
 	if rep := stats.Degraded; rep != nil {
 		out.Degraded = &Degraded{
 			DroppedPartitions: len(rep.DroppedChunks),
