@@ -52,6 +52,7 @@ import (
 
 	"streamkm"
 	"streamkm/internal/dataset"
+	"streamkm/internal/dist"
 	"streamkm/internal/engine"
 	"streamkm/internal/grid"
 	"streamkm/internal/obs"
@@ -87,6 +88,7 @@ func realMain() int {
 		showTrace  = flag.Bool("trace", false, "print the operator-span timeline after execution")
 		maxRetries = flag.Int("max-retries", 0, "run supervised: retry each failed chunk up to N times and restart the plan from its journal after a crash")
 		salvage    = flag.Bool("salvage", false, "recover the valid prefix of damaged bucket files instead of aborting")
+		remote     = flag.String("remote", "", "comma-separated streamkm-worker addresses (host:port,...): ship each chunk to a remote worker and merge centrally")
 
 		deadline     = flag.Duration("deadline", 0, "wall-clock bound for the whole run (0 = unlimited)")
 		progressTO   = flag.Duration("progress-timeout", 0, "stall watchdog: cancel a stage that holds pending work but makes no progress for this long (0 = off)")
@@ -117,7 +119,7 @@ func realMain() int {
 		data: *data, mem: *mem, strategy: *strategy, merge: *merge,
 		k: *k, restarts: *restarts, workers: *workers, restartWorkers: *rworkers, seed: *seed,
 		explain: *explain, adaptive: *adaptive, trace: *showTrace,
-		maxRetries: *maxRetries, salvage: *salvage,
+		maxRetries: *maxRetries, salvage: *salvage, remote: *remote,
 		deadline: *deadline, progressTimeout: *progressTO,
 		memBudget: *memBudget, allowDegraded: *allowDegrade,
 		report: *reportPath, progress: *progress,
@@ -264,6 +266,7 @@ type runConfig struct {
 	explain, adaptive, trace   bool
 	maxRetries                 int
 	salvage                    bool
+	remote                     string
 	deadline                   time.Duration
 	progressTimeout            time.Duration
 	memBudget                  string
@@ -493,6 +496,34 @@ func run(cfg runConfig) (*engine.DegradedResult, error) {
 	// counters while the engine is still writing them.
 	reg := obs.NewRegistry()
 	opts = append(opts, engine.WithObserver(reg))
+	var workerAddrs []string
+	if cfg.remote != "" {
+		for _, a := range strings.Split(cfg.remote, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				workerAddrs = append(workerAddrs, a)
+			}
+		}
+		// A chunk should survive the loss of every worker but one, so the
+		// re-lease budget defaults to the worker count when -max-retries
+		// doesn't raise it.
+		leaseRetries := cfg.maxRetries
+		if leaseRetries < len(workerAddrs) {
+			leaseRetries = len(workerAddrs)
+		}
+		pool, err := dist.NewPool(context.Background(), dist.PoolConfig{
+			Addrs:           workerAddrs,
+			Retry:           stream.RetryPolicy{MaxRetries: leaseRetries},
+			ProgressTimeout: cfg.progressTimeout,
+			Seed:            cfg.seed,
+			Obs:             reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer pool.Close()
+		fmt.Fprintf(os.Stderr, "pmkm: distributing chunks across %d remote worker(s)\n", pool.Live())
+		opts = append(opts, engine.WithRemoteWorkers(pool))
+	}
 	var stopProgress func()
 	if cfg.progress {
 		stopProgress = startProgress(reg, os.Stderr, time.Second)
@@ -538,6 +569,19 @@ func run(cfg runConfig) (*engine.DegradedResult, error) {
 	}
 	for _, op := range stats.Registry.All() {
 		fmt.Println(" ", op)
+	}
+	if len(workerAddrs) > 0 {
+		fmt.Printf("\n%-22s %8s %8s %8s %6s %12s %12s\n",
+			"worker", "chunks", "retries", "dups", "evict", "sent (B)", "recv (B)")
+		for _, addr := range workerAddrs {
+			fmt.Printf("%-22s %8d %8d %8d %6d %12d %12d\n", addr,
+				reg.Counter(obs.DistChunksDone, addr).Value(),
+				reg.Counter(obs.DistRetries, addr).Value(),
+				reg.Counter(obs.DistDupResults, addr).Value(),
+				reg.Counter(obs.DistEvictions, addr).Value(),
+				reg.Counter(obs.DistBytesSent, addr).Value(),
+				reg.Counter(obs.DistBytesRecv, addr).Value())
+		}
 	}
 	if cfg.trace {
 		fmt.Println()

@@ -1,0 +1,63 @@
+// Command streamkm-worker is the remote end of pmkm's distributed
+// execution (the paper's §3.4 option-1 scale-up): it listens for a
+// coordinator, computes partial k-means over each chunk it is leased,
+// and returns the weighted centroids. It is stateless — all planning,
+// journaling, and merging stay on the coordinator — so any number of
+// workers can be pointed at by pmkm -remote, and a worker that dies
+// simply has its chunks re-leased to the survivors.
+//
+// Two-terminal quickstart:
+//
+//	streamkm-worker -listen :7601          # terminal 1 (repeat per worker)
+//	pmkm -data data/ -remote :7601,:7602   # terminal 2
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"streamkm/internal/dist"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	var (
+		listen = flag.String("listen", ":7601", "address to serve coordinators on (host:port)")
+		quiet  = flag.Bool("quiet", false, "suppress per-connection log lines")
+	)
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streamkm-worker:", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "streamkm-worker: serving on %s\n", ln.Addr())
+
+	// SIGINT/SIGTERM drain the worker: the listener closes, live
+	// conversations are torn down, and Serve returns once every
+	// connection handler has exited.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := dist.WorkerConfig{}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	if err := dist.Serve(ctx, ln, cfg); err != nil && ctx.Err() == nil {
+		fmt.Fprintln(os.Stderr, "streamkm-worker:", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "streamkm-worker: shut down")
+	return 0
+}

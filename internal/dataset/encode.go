@@ -26,6 +26,13 @@ const (
 	weightedMagic      = "SKMW"
 	weightedVersion    = 1
 	weightedHeaderSize = 4 + 2 + 2 + 8
+
+	// maxPreallocBytes bounds how much a decoder will reserve on the
+	// word of an unverified header count: a corrupt (or hostile, on the
+	// distributed wire) count×dim must not allocate before the first
+	// record has a chance to fail its read. Larger valid inputs still
+	// decode — append growth takes over past the hint.
+	maxPreallocBytes = 16 << 20
 )
 
 // ErrBadWeightedSet is wrapped by weighted-set decoding errors.
@@ -98,8 +105,13 @@ func DecodeWeightedSet(r io.Reader) (*WeightedSet, error) {
 	crc := crc32.NewIEEE()
 	rec := make([]byte, 8*(dim+1))
 	// Decode straight into the set's flat slab: one reserved slab, no
-	// per-record vector allocations.
-	set.Grow(int(count))
+	// per-record vector allocations. The reservation is bounded — the
+	// header count is not yet checksum-verified.
+	grow := int(count)
+	if limit := maxPreallocBytes / (8 * (dim + 1)); grow > limit {
+		grow = limit
+	}
+	set.Grow(grow)
 	for i := uint64(0); i < count; i++ {
 		if _, err := io.ReadFull(br, rec); err != nil {
 			return nil, fmt.Errorf("%w: truncated at record %d: %v", ErrBadWeightedSet, i, err)

@@ -1,0 +1,340 @@
+package dist
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"streamkm/internal/engine"
+	"streamkm/internal/fault"
+	"streamkm/internal/obs"
+)
+
+// The loopback chaos suite: real TCP workers on 127.0.0.1 with the
+// frame-layer fault injector between them and the coordinator. Every
+// fault scenario must converge to centroids bit-identical to the
+// single-process engine — faults may cost retries, re-leases, and
+// evictions, never precision — and the journal must never double-count
+// a chunk no matter how many duplicate results the wire delivers.
+//
+// Each injector mixes a deterministic Nth fault (guaranteed to fire)
+// with seeded rate faults capped by MaxFaults, so the retry budget
+// always out-waits the injector and the suite cannot flake on a
+// fault-free draw.
+
+// chaosTimeouts are aggressive so injected losses cost tens of
+// milliseconds, not the production default of seconds.
+const (
+	chaosDialTimeout    = 300 * time.Millisecond
+	chaosRequestTimeout = 600 * time.Millisecond
+	chaosAckTimeout     = 100 * time.Millisecond
+)
+
+// writeChaosReport writes the run report JSON for one scenario when
+// DIST_CHAOS_REPORT names a directory — the artifact the CI chaos job
+// uploads.
+func writeChaosReport(t *testing.T, name string, stats *engine.ExecStats) {
+	t.Helper()
+	dir := os.Getenv("DIST_CHAOS_REPORT")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatalf("chaos report dir: %v", err)
+	}
+	data, err := stats.Report().JSON()
+	if err != nil {
+		t.Fatalf("chaos report marshal: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name+".json"), data, 0o644); err != nil {
+		t.Fatalf("chaos report write: %v", err)
+	}
+}
+
+// runChaos executes the canonical scenario against loopback workers
+// under the given injectors and asserts the distributed answer is
+// bit-identical to the local engine with no journal double-counting.
+func runChaos(t *testing.T, name string, coordInj, workerInj *fault.NetInjector, failureLimit int) {
+	t.Helper()
+	cells, q, plan := distScenario(t)
+	want := localResults(t, cells, q, plan)
+
+	addrs, stop := startWorkers(t, 3, WorkerConfig{
+		AckTimeout: chaosAckTimeout,
+		Inject:     workerInj,
+	})
+	defer stop()
+	reg := obs.NewRegistry()
+	pool, err := NewPool(context.Background(), PoolConfig{
+		Addrs:          addrs,
+		Retry:          quickRetry(8),
+		DialTimeout:    chaosDialTimeout,
+		RequestTimeout: chaosRequestTimeout,
+		FailureLimit:   failureLimit,
+		Seed:           q.Seed,
+		Obs:            reg,
+		Inject:         coordInj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	got, stats, err := engine.NewExec(q, plan,
+		engine.WithRemoteWorkers(pool),
+		engine.WithRetry(quickRetry(4)),
+		engine.WithObserver(reg)).
+		Execute(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, got, want)
+
+	if coordInj.Faults()+workerInj.Faults() == 0 {
+		t.Fatal("injectors fired no faults; scenario exercised nothing")
+	}
+	// Exactly-once accounting: the journal admitted each chunk once; any
+	// duplicate delivery shows up only in the dedup counters.
+	if v := reg.Counter(obs.EngineChunksDone, "").Value(); v != int64(stats.Chunks) {
+		t.Fatalf("journal admitted %d chunks, want exactly %d", v, stats.Chunks)
+	}
+	// The lease ledger covers every chunk: at least one record each, the
+	// last one clean.
+	last := map[[2]int]engine.LeaseRecord{}
+	for _, l := range stats.Leases {
+		last[[2]int{l.Cell, l.Chunk}] = l
+	}
+	if len(last) != stats.Chunks {
+		t.Fatalf("lease ledger covers %d chunks, want %d", len(last), stats.Chunks)
+	}
+	for id, l := range last {
+		if l.Err != "" {
+			t.Fatalf("chunk %v final lease failed: %+v", id, l)
+		}
+	}
+	t.Logf("%s: coord %v; worker %v; leases=%d", name, coordInj, workerInj, len(stats.Leases))
+	writeChaosReport(t, name, stats)
+}
+
+func TestChaosFrameDrop(t *testing.T) {
+	runChaos(t, "frame-drop",
+		fault.NewNet(fault.NetConfig{Seed: 101, DropRate: 0.08, DropNth: 2, MaxFaults: 4}),
+		nil, 0)
+}
+
+func TestChaosFrameDup(t *testing.T) {
+	runChaos(t, "frame-dup",
+		fault.NewNet(fault.NetConfig{Seed: 102, DupRate: 0.12, DupNth: 6, MaxFaults: 5}),
+		nil, 0)
+}
+
+func TestChaosFrameDelay(t *testing.T) {
+	runChaos(t, "frame-delay",
+		fault.NewNet(fault.NetConfig{Seed: 103, DelayRate: 0.15, DelayNth: 4, DelayDur: 15 * time.Millisecond, MaxFaults: 6}),
+		nil, 0)
+}
+
+func TestChaosDisconnect(t *testing.T) {
+	// FailureLimit 3 with MaxFaults 2 means no worker can be evicted —
+	// the scenario is pure mid-conversation recovery.
+	runChaos(t, "disconnect",
+		fault.NewNet(fault.NetConfig{Seed: 104, DisconnectRate: 0.05, DisconnectNth: 5, MaxFaults: 2}),
+		nil, 3)
+}
+
+func TestChaosLostResults(t *testing.T) {
+	// Worker-side drops hit Welcome/Result frames: the coordinator times
+	// out and re-leases, or the worker's ACK wait expires and it resends
+	// into the dedup path.
+	runChaos(t, "lost-results", nil,
+		fault.NewNet(fault.NetConfig{Seed: 105, DropRate: 0.08, DropNth: 3, MaxFaults: 4}), 0)
+}
+
+// TestChaosWorkerDeath partitions one worker permanently mid-run: its
+// leases time out until it is evicted, and the survivors absorb its
+// chunks with no loss of precision.
+func TestChaosWorkerDeath(t *testing.T) {
+	cells, q, plan := distScenario(t)
+	want := localResults(t, cells, q, plan)
+
+	addrs, stop := startWorkers(t, 3, WorkerConfig{AckTimeout: chaosAckTimeout})
+	defer stop()
+	inj := fault.NewNet(fault.NetConfig{})
+	reg := obs.NewRegistry()
+	pool, err := NewPool(context.Background(), PoolConfig{
+		Addrs:          addrs,
+		Retry:          quickRetry(8),
+		DialTimeout:    chaosDialTimeout,
+		RequestTimeout: chaosRequestTimeout,
+		FailureLimit:   1, // first timeout evicts: the survivors may finish fast
+		Seed:           q.Seed,
+		Obs:            reg,
+		Inject:         inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	inj.Partition(addrs[0]) // dies after the handshake, before any lease
+
+	got, stats, err := engine.NewExec(q, plan,
+		engine.WithRemoteWorkers(pool),
+		engine.WithRetry(quickRetry(4)),
+		engine.WithObserver(reg)).
+		Execute(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, got, want)
+	if pool.Live() != 2 {
+		t.Fatalf("live workers = %d, want 2 after the partitioned worker's eviction", pool.Live())
+	}
+	if v := reg.Counter(obs.DistEvictions, addrs[0]).Value(); v != 1 {
+		t.Fatalf("evictions for dead worker = %d, want 1", v)
+	}
+	// Its failed leases are in the ledger, attributed to the dead worker.
+	var deadLeases int
+	for _, l := range stats.Leases {
+		if l.Worker == addrs[0] {
+			if l.Err == "" {
+				t.Fatalf("partitioned worker recorded a successful lease: %+v", l)
+			}
+			deadLeases++
+		}
+	}
+	if deadLeases == 0 {
+		t.Fatal("no failed leases attributed to the dead worker")
+	}
+	if v := reg.Counter(obs.EngineChunksDone, "").Value(); v != int64(stats.Chunks) {
+		t.Fatalf("journal admitted %d chunks, want %d", v, stats.Chunks)
+	}
+	writeChaosReport(t, "worker-death", stats)
+}
+
+// TestChaosPartitionHeal cuts one worker off and heals the partition
+// mid-run; whether the worker rejoins or its chunks all fail over, the
+// answer is bit-identical.
+func TestChaosPartitionHeal(t *testing.T) {
+	cells, q, plan := distScenario(t)
+	want := localResults(t, cells, q, plan)
+
+	addrs, stop := startWorkers(t, 3, WorkerConfig{AckTimeout: chaosAckTimeout})
+	defer stop()
+	inj := fault.NewNet(fault.NetConfig{})
+	pool, err := NewPool(context.Background(), PoolConfig{
+		Addrs:          addrs,
+		Retry:          quickRetry(8),
+		DialTimeout:    chaosDialTimeout,
+		RequestTimeout: chaosRequestTimeout,
+		FailureLimit:   20, // survive the partition window
+		Seed:           q.Seed,
+		Inject:         inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	inj.Partition(addrs[1])
+	heal := time.AfterFunc(150*time.Millisecond, func() { inj.Heal(addrs[1]) })
+	defer heal.Stop()
+
+	got, _, err := engine.NewExec(q, plan,
+		engine.WithRemoteWorkers(pool),
+		engine.WithRetry(quickRetry(4))).
+		Execute(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, got, want)
+	if pool.Live() != 3 {
+		t.Fatalf("live workers = %d, want 3 (FailureLimit should outlast the partition)", pool.Live())
+	}
+}
+
+// TestChaosAllWorkersLost drives the pool to total loss after exactly
+// one completed chunk and checks the engine's graceful degradation: a
+// survivor-only answer plus a DegradedResult audit naming every dropped
+// partition, with the journal still admitting exactly the work that
+// finished.
+func TestChaosAllWorkersLost(t *testing.T) {
+	cells, q, plan := distScenario(t)
+
+	addrs, stop := startWorkers(t, 1, WorkerConfig{AckTimeout: chaosAckTimeout})
+	defer stop()
+	// The single worker's frame sequence is serial: 1 Hello, 2 Chunk,
+	// 3 Ack, 4 Chunk. Disconnecting at frame 4 completes exactly one
+	// chunk, then FailureLimit 1 evicts the only worker.
+	inj := fault.NetDisconnectNth(4)
+	reg := obs.NewRegistry()
+	pool, err := NewPool(context.Background(), PoolConfig{
+		Addrs:          addrs,
+		Retry:          quickRetry(2),
+		DialTimeout:    chaosDialTimeout,
+		RequestTimeout: chaosRequestTimeout,
+		FailureLimit:   1,
+		Seed:           q.Seed,
+		Obs:            reg,
+		Inject:         inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	results, stats, err := engine.NewExec(q, plan,
+		engine.WithRemoteWorkers(pool),
+		engine.WithRetry(quickRetry(1)),
+		engine.WithDegradedResults(),
+		engine.WithObserver(reg)).
+		Execute(context.Background(), cells)
+	if err != nil {
+		t.Fatalf("degraded mode must answer, not fail: %v", err)
+	}
+	if pool.Live() != 0 {
+		t.Fatalf("live workers = %d, want 0", pool.Live())
+	}
+	d := stats.Degraded
+	if d == nil {
+		t.Fatal("expected a DegradedResult audit")
+	}
+	// 7 chunks total (600/150 + 450/150); exactly one completed.
+	if stats.Chunks != 7 {
+		t.Fatalf("plan sliced %d chunks, want 7", stats.Chunks)
+	}
+	if len(d.DroppedChunks) != 6 {
+		t.Fatalf("audit dropped %d chunks, want 6: %v", len(d.DroppedChunks), d.DroppedChunks)
+	}
+	if d.PointsLost != 900 {
+		t.Fatalf("audit points lost = %d, want 900", d.PointsLost)
+	}
+	// The surviving chunk keeps its cell partial; the other cell is gone.
+	if len(results) != 1 || len(d.PartialCells) != 1 || len(d.DroppedCells) != 1 {
+		t.Fatalf("got %d results, %d partial cells, %d dropped cells; want 1/1/1",
+			len(results), len(d.PartialCells), len(d.DroppedCells))
+	}
+	if results[0].LostChunks == 0 {
+		t.Fatal("surviving cell result should record its lost chunks")
+	}
+	// Exactly-once: the journal admitted only the one finished chunk.
+	if v := reg.Counter(obs.EngineChunksDone, "").Value(); v != 1 {
+		t.Fatalf("journal admitted %d chunks, want 1", v)
+	}
+	if v := reg.Counter(obs.DistEvictions, addrs[0]).Value(); v != 1 {
+		t.Fatalf("evictions = %d, want 1", v)
+	}
+	// The ledger shows the eviction trail: the clean lease plus failures.
+	var clean, failed int
+	for _, l := range stats.Leases {
+		if l.Err == "" {
+			clean++
+		} else {
+			failed++
+		}
+	}
+	if clean != 1 || failed == 0 {
+		t.Fatalf("lease ledger: %d clean, %d failed; want exactly 1 clean and some failures", clean, failed)
+	}
+	writeChaosReport(t, "all-workers-lost", stats)
+}

@@ -1,0 +1,145 @@
+// Package dist is the real implementation of the paper's §3.4 option-1
+// scale-up: "clone the partial k-means to as many machines as possible
+// … the data for one data partition has to be sent to one machine
+// only". A coordinator-side Pool implements engine.RemotePartial by
+// shipping each chunk — points, pre-derived RNG state, and partial
+// configuration — to one of N workers over TCP and collecting the
+// weighted centroids; the engine keeps ownership of planning,
+// journaling, and the central merge. Robustness is the contract, not an
+// afterthought: chunks leased to a dead worker are re-leased to
+// survivors, duplicate centroid returns (a worker retrying after a lost
+// ACK) are deduplicated by chunk identity, per-worker liveness rides on
+// internal/govern's heartbeat/watchdog machinery, and when every worker
+// is lost the engine's graceful-degradation path takes over unchanged.
+// Because the worker runs the same core.PartialKMeans code path over
+// the exact RNG state and bit-exact float64 encodings, a distributed
+// run's centroids are bit-identical to the single-process engine's.
+package dist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"time"
+
+	"streamkm/internal/fault"
+)
+
+// The wire is a sequence of length-prefixed frames reusing the bucket
+// format's defensive habits — magic, explicit length, trailing CRC-32 —
+// so a torn or corrupted delivery is detected at the frame boundary
+// instead of desynchronizing the whole connection.
+//
+// Layout (little-endian):
+//
+//	magic   [4]byte "SKMF"
+//	type    uint8
+//	length  uint32  (payload bytes)
+//	payload length bytes
+//	crc     uint32  CRC-32 (IEEE) over type byte + payload
+const (
+	frameMagic      = "SKMF"
+	frameHeaderSize = 4 + 1 + 4
+
+	// maxFramePayload bounds a frame so a corrupted length field cannot
+	// drive an allocation attack; 1 GiB comfortably covers the largest
+	// admissible chunk.
+	maxFramePayload = 1 << 30
+)
+
+// Frame types.
+const (
+	frameHello byte = iota + 1
+	frameWelcome
+	frameChunk
+	frameResult
+	frameFail
+	frameAck
+)
+
+// ErrBadFrame is wrapped by all frame-layer corruption errors.
+var ErrBadFrame = errors.New("dist: malformed protocol frame")
+
+// errInjectedDisconnect marks a connection torn down by the network
+// fault injector — the chaos suite's abrupt worker death.
+var errInjectedDisconnect = errors.New("dist: injected disconnect")
+
+// encodeFrame assembles one complete frame into a fresh byte slice, so
+// a send is a single Write and the fault injector's verdicts (drop,
+// duplicate) apply to whole frames.
+func encodeFrame(typ byte, payload []byte) []byte {
+	buf := make([]byte, 0, frameHeaderSize+len(payload)+4)
+	buf = append(buf, frameMagic...)
+	buf = append(buf, typ)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	crc := crc32.NewIEEE()
+	crc.Write([]byte{typ})
+	crc.Write(payload)
+	buf = binary.LittleEndian.AppendUint32(buf, crc.Sum32())
+	return buf
+}
+
+// sendFrame writes one frame to conn, first asking the injector (nil =
+// never faults) for a verdict: a dropped frame is silently not sent (the
+// peer sees a timeout, exactly like a lost packet), a duplicated frame
+// is sent twice, a delayed frame is sent after the injected latency, and
+// a disconnect closes the connection mid-conversation. It returns the
+// bytes actually written.
+func sendFrame(conn net.Conn, inj *fault.NetInjector, peer string, typ byte, payload []byte) (int64, error) {
+	buf := encodeFrame(typ, payload)
+	switch inj.Frame(peer) {
+	case fault.NetDrop:
+		return 0, nil
+	case fault.NetDup:
+		n1, err := conn.Write(buf)
+		if err != nil {
+			return int64(n1), err
+		}
+		n2, err := conn.Write(buf)
+		return int64(n1 + n2), err
+	case fault.NetDelay:
+		// A blocking sleep is fine here: the peer's read deadline still
+		// bounds the exchange, which is the behavior under test.
+		time.Sleep(inj.Delay())
+	case fault.NetDisconnect:
+		conn.Close()
+		return 0, errInjectedDisconnect
+	}
+	n, err := conn.Write(buf)
+	return int64(n), err
+}
+
+// readFrame reads one frame from r, validating magic, length, and CRC.
+// It returns the frame type, its payload, and the bytes consumed.
+func readFrame(r io.Reader) (byte, []byte, int64, error) {
+	head := make([]byte, frameHeaderSize)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return 0, nil, 0, err
+	}
+	if string(head[:4]) != frameMagic {
+		return 0, nil, int64(len(head)), fmt.Errorf("%w: bad magic %q", ErrBadFrame, head[:4])
+	}
+	typ := head[4]
+	length := binary.LittleEndian.Uint32(head[5:9])
+	if length > maxFramePayload {
+		return 0, nil, int64(len(head)), fmt.Errorf("%w: implausible payload length %d", ErrBadFrame, length)
+	}
+	body := make([]byte, int(length)+4)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, int64(len(head)), err
+	}
+	payload := body[:length]
+	want := binary.LittleEndian.Uint32(body[length:])
+	crc := crc32.NewIEEE()
+	crc.Write([]byte{typ})
+	crc.Write(payload)
+	n := int64(len(head) + len(body))
+	if got := crc.Sum32(); got != want {
+		return 0, nil, n, fmt.Errorf("%w: checksum mismatch (got %08x want %08x)", ErrBadFrame, got, want)
+	}
+	return typ, payload, n, nil
+}

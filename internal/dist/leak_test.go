@@ -1,0 +1,178 @@
+package dist
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"streamkm/internal/core"
+	"streamkm/internal/engine"
+	"streamkm/internal/fault"
+	"streamkm/internal/rng"
+)
+
+// Goroutine-leak coverage for the coordinator: every abnormal ending —
+// a worker dying mid-chunk-send, dying while a centroid return is in
+// flight, or the caller cancelling a deadline mid-request — must unwind
+// the lease's cancel-watcher, the pool's watchdogs, and the worker's
+// connection handlers completely.
+
+// waitForGoroutines polls until the goroutine count drops back to the
+// baseline (scheduler cleanup is asynchronous).
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// leakChunk builds a small standalone work unit for direct Partial calls.
+func leakChunk(t *testing.T, cell int) engine.RemoteChunk {
+	t.Helper()
+	return engine.RemoteChunk{
+		Cell: cell, Chunk: 0, Total: 1,
+		Points: distCell(t, 120, uint64(cell)+1),
+		RNG:    rng.New(uint64(cell)),
+		Config: core.PartialConfig{K: 4, Restarts: 1},
+	}
+}
+
+// TestLeakWorkerDiesMidChunkSend: the coordinator's chunk frame hits an
+// injected disconnect (the worker vanishes as the send happens); the
+// lease fails over and everything unwinds.
+func TestLeakWorkerDiesMidChunkSend(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for round := 0; round < 3; round++ {
+		addrs, stop := startWorkers(t, 2, WorkerConfig{AckTimeout: chaosAckTimeout})
+		// Frames 1-2 are the dials' Hellos; frame 3 is the first chunk.
+		inj := fault.NetDisconnectNth(3)
+		pool, err := NewPool(context.Background(), PoolConfig{
+			Addrs:          addrs,
+			Retry:          quickRetry(4),
+			DialTimeout:    chaosDialTimeout,
+			RequestTimeout: chaosRequestTimeout,
+			Seed:           uint64(round),
+			Inject:         inj,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, trail, err := pool.Partial(context.Background(), leakChunk(t, round)); err != nil {
+			t.Fatal(err)
+		} else if len(trail) < 2 {
+			t.Fatalf("disconnect should have forced a re-lease, trail: %+v", trail)
+		}
+		pool.Close()
+		stop()
+	}
+	waitForGoroutines(t, baseline)
+}
+
+// TestLeakWorkerDiesMidResultReturn: the worker computes the chunk but
+// its result frame hits an injected disconnect — death between compute
+// and delivery. The lease times out, fails over, and unwinds.
+func TestLeakWorkerDiesMidResultReturn(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for round := 0; round < 3; round++ {
+		// Worker-side frames: 1-2 the Welcomes, 3 the first result.
+		inj := fault.NetDisconnectNth(3)
+		addrs, stop := startWorkers(t, 2, WorkerConfig{AckTimeout: chaosAckTimeout, Inject: inj})
+		pool, err := NewPool(context.Background(), PoolConfig{
+			Addrs:          addrs,
+			Retry:          quickRetry(4),
+			DialTimeout:    chaosDialTimeout,
+			RequestTimeout: chaosRequestTimeout,
+			Seed:           uint64(round),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, trail, err := pool.Partial(context.Background(), leakChunk(t, round)); err != nil {
+			t.Fatal(err)
+		} else if len(trail) < 2 {
+			t.Fatalf("lost result should have forced a re-lease, trail: %+v", trail)
+		}
+		pool.Close()
+		stop()
+	}
+	waitForGoroutines(t, baseline)
+}
+
+// TestLeakDeadlineCancelMidRequest: the caller's deadline fires while a
+// lease is blocked reading a result that will never come (the worker is
+// partitioned). The cancel-watcher must close the connection, unblock
+// the read, and unwind with everything else.
+func TestLeakDeadlineCancelMidRequest(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for round := 0; round < 3; round++ {
+		addrs, stop := startWorkers(t, 1, WorkerConfig{AckTimeout: chaosAckTimeout})
+		inj := fault.NewNet(fault.NetConfig{})
+		pool, err := NewPool(context.Background(), PoolConfig{
+			Addrs:          addrs,
+			Retry:          quickRetry(8),
+			DialTimeout:    chaosDialTimeout,
+			RequestTimeout: 10 * time.Second, // far beyond the deadline: the ctx must do the cancelling
+			Seed:           uint64(round),
+			Inject:         inj,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inj.Partition(addrs[0]) // chunks vanish; the lease blocks on the read
+		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+		if _, _, err := pool.Partial(ctx, leakChunk(t, round)); err == nil {
+			t.Fatal("partial against a partitioned worker should fail at the deadline")
+		}
+		cancel()
+		pool.Close()
+		stop()
+	}
+	waitForGoroutines(t, baseline)
+}
+
+// TestLeakEngineRunLeavesNoGoroutines runs the whole distributed engine
+// loop — including an eviction — and checks nothing outlives Close.
+func TestLeakEngineRunLeavesNoGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for round := 0; round < 2; round++ {
+		cells, q, plan := distScenario(t)
+		addrs, stop := startWorkers(t, 3, WorkerConfig{AckTimeout: chaosAckTimeout})
+		inj := fault.NewNet(fault.NetConfig{})
+		pool, err := NewPool(context.Background(), PoolConfig{
+			Addrs:           addrs,
+			Retry:           quickRetry(8),
+			DialTimeout:     chaosDialTimeout,
+			RequestTimeout:  chaosRequestTimeout,
+			FailureLimit:    1,
+			ProgressTimeout: 5 * time.Second, // arm the per-worker watchdogs too
+			Seed:            q.Seed,
+			Inject:          inj,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inj.Partition(addrs[2])
+		_, _, err = engine.NewExec(q, plan,
+			engine.WithRemoteWorkers(pool),
+			engine.WithRetry(quickRetry(4))).
+			Execute(context.Background(), cells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.Close()
+		stop()
+	}
+	waitForGoroutines(t, baseline)
+}

@@ -1,0 +1,205 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"streamkm/internal/core"
+	"streamkm/internal/dataset"
+	"streamkm/internal/engine"
+	"streamkm/internal/grid"
+	"streamkm/internal/rng"
+)
+
+// Payload encodings for each frame type. The point block inside a chunk
+// frame is bucket format v2 (per-record CRC-32s) and the centroid block
+// inside a result frame is the weighted-set encoding — the same
+// checksummed formats the repo already trusts on disk now travel the
+// wire, so a bit flipped in flight is caught by the same decoders the
+// fuzz targets hammer. Every float64 crosses as its exact bit pattern
+// (math.Float64bits), which is half of the bit-identical guarantee; the
+// other half is the 41-byte RNG state snapshot that makes the worker's
+// draw sequence equal the local one.
+
+// protoVersion is the handshake version; a worker refuses a coordinator
+// it cannot serve rather than mis-decoding its frames.
+const protoVersion = 1
+
+// rngStateSize is the serialized size of an rng.RNG (see
+// rng.MarshalBinary).
+const rngStateSize = 41
+
+// chunkHeaderSize is the fixed prefix of a chunk payload before the RNG
+// state and point block.
+const chunkHeaderSize = 4*7 + 1 + 8
+
+// encodeHello builds the handshake payload (both directions).
+func encodeHello() []byte {
+	return binary.LittleEndian.AppendUint16(nil, protoVersion)
+}
+
+// decodeHello validates a handshake payload.
+func decodeHello(payload []byte) error {
+	if len(payload) != 2 {
+		return fmt.Errorf("%w: hello payload length %d", ErrBadFrame, len(payload))
+	}
+	if v := binary.LittleEndian.Uint16(payload); v != protoVersion {
+		return fmt.Errorf("%w: protocol version %d (want %d)", ErrBadFrame, v, protoVersion)
+	}
+	return nil
+}
+
+// encodeChunk serializes one work unit: plan identity, partial
+// configuration, RNG state, then the points as a bucket-v2 block.
+func encodeChunk(c engine.RemoteChunk) ([]byte, error) {
+	var b bytes.Buffer
+	for _, v := range []uint32{
+		uint32(c.Cell), uint32(c.Chunk), uint32(c.Total),
+		uint32(c.Config.K), uint32(c.Config.Restarts),
+		uint32(c.Config.MaxIterations), uint32(c.Config.Workers),
+	} {
+		b.Write(binary.LittleEndian.AppendUint32(nil, v))
+	}
+	if c.Config.Accelerate {
+		b.WriteByte(1)
+	} else {
+		b.WriteByte(0)
+	}
+	b.Write(binary.LittleEndian.AppendUint64(nil, math.Float64bits(c.Config.Epsilon)))
+	state, err := c.RNG.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	b.Write(state)
+	// The cell key inside the block is a placeholder — the chunk's real
+	// identity is (Cell, Chunk) in the header; the block only carries
+	// the checksummed points.
+	if err := grid.WriteBucket(&b, grid.CellKey{}, c.Points); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// decodeChunk reconstructs a work unit from its payload.
+func decodeChunk(payload []byte) (engine.RemoteChunk, error) {
+	if len(payload) < chunkHeaderSize+rngStateSize {
+		return engine.RemoteChunk{}, fmt.Errorf("%w: short chunk payload (%d bytes)", ErrBadFrame, len(payload))
+	}
+	u32 := func(off int) int { return int(binary.LittleEndian.Uint32(payload[off:])) }
+	c := engine.RemoteChunk{
+		Cell:  u32(0),
+		Chunk: u32(4),
+		Total: u32(8),
+		Config: core.PartialConfig{
+			K:             u32(12),
+			Restarts:      u32(16),
+			MaxIterations: u32(20),
+			Workers:       u32(24),
+			Accelerate:    payload[28] != 0,
+			Epsilon:       math.Float64frombits(binary.LittleEndian.Uint64(payload[29:])),
+		},
+	}
+	c.RNG = new(rng.RNG)
+	if err := c.RNG.UnmarshalBinary(payload[chunkHeaderSize : chunkHeaderSize+rngStateSize]); err != nil {
+		return engine.RemoteChunk{}, fmt.Errorf("%w: rng state: %v", ErrBadFrame, err)
+	}
+	_, points, err := grid.ReadBucket(bytes.NewReader(payload[chunkHeaderSize+rngStateSize:]))
+	if err != nil {
+		return engine.RemoteChunk{}, fmt.Errorf("dist: chunk point block: %w", err)
+	}
+	c.Points = points
+	return c, nil
+}
+
+// resultHeaderSize is the fixed prefix of a result payload before the
+// centroid block.
+const resultHeaderSize = 4*6 + 8 + 8 + 8 + 8
+
+// chunkResult is a decoded result frame: the chunk's identity plus the
+// reconstructed PartialResult.
+type chunkResult struct {
+	cell, chunk, total int
+	res                *core.PartialResult
+}
+
+// encodeResult serializes a completed chunk's partial result.
+func encodeResult(cell, chunk, total int, pr *core.PartialResult) ([]byte, error) {
+	var b bytes.Buffer
+	for _, v := range []uint32{
+		uint32(cell), uint32(chunk), uint32(total),
+		uint32(pr.Iterations), uint32(pr.Restarts), uint32(pr.Converged),
+	} {
+		b.Write(binary.LittleEndian.AppendUint32(nil, v))
+	}
+	b.Write(binary.LittleEndian.AppendUint64(nil, uint64(pr.Points)))
+	b.Write(binary.LittleEndian.AppendUint64(nil, math.Float64bits(pr.MSE)))
+	b.Write(binary.LittleEndian.AppendUint64(nil, math.Float64bits(pr.DeltaMSE)))
+	b.Write(binary.LittleEndian.AppendUint64(nil, uint64(pr.Elapsed.Nanoseconds())))
+	if err := dataset.EncodeWeightedSet(&b, pr.Centroids); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// decodeResult reconstructs a chunk result from its payload.
+func decodeResult(payload []byte) (chunkResult, error) {
+	if len(payload) < resultHeaderSize {
+		return chunkResult{}, fmt.Errorf("%w: short result payload (%d bytes)", ErrBadFrame, len(payload))
+	}
+	u32 := func(off int) int { return int(binary.LittleEndian.Uint32(payload[off:])) }
+	u64 := func(off int) uint64 { return binary.LittleEndian.Uint64(payload[off:]) }
+	set, err := dataset.DecodeWeightedSet(bytes.NewReader(payload[resultHeaderSize:]))
+	if err != nil {
+		return chunkResult{}, fmt.Errorf("dist: result centroid block: %w", err)
+	}
+	return chunkResult{
+		cell:  u32(0),
+		chunk: u32(4),
+		total: u32(8),
+		res: &core.PartialResult{
+			Iterations: u32(12),
+			Restarts:   u32(16),
+			Converged:  u32(20),
+			Points:     int(u64(24)),
+			MSE:        math.Float64frombits(u64(32)),
+			DeltaMSE:   math.Float64frombits(u64(40)),
+			Elapsed:    time.Duration(u64(48)),
+			Centroids:  set,
+		},
+	}, nil
+}
+
+// encodeFail serializes a remote compute failure for one chunk.
+func encodeFail(cell, chunk int, msg string) []byte {
+	if len(msg) > math.MaxUint16 {
+		msg = msg[:math.MaxUint16]
+	}
+	b := make([]byte, 0, 10+len(msg))
+	b = binary.LittleEndian.AppendUint32(b, uint32(cell))
+	b = binary.LittleEndian.AppendUint32(b, uint32(chunk))
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(msg)))
+	return append(b, msg...)
+}
+
+// decodeFail reconstructs a failure report.
+func decodeFail(payload []byte) (cell, chunk int, msg string, err error) {
+	if len(payload) < 10 {
+		return 0, 0, "", fmt.Errorf("%w: short fail payload (%d bytes)", ErrBadFrame, len(payload))
+	}
+	n := int(binary.LittleEndian.Uint16(payload[8:10]))
+	if len(payload) != 10+n {
+		return 0, 0, "", fmt.Errorf("%w: fail payload length mismatch", ErrBadFrame)
+	}
+	return int(binary.LittleEndian.Uint32(payload[0:])),
+		int(binary.LittleEndian.Uint32(payload[4:])),
+		string(payload[10:]), nil
+}
+
+// encodeAck serializes the acknowledgment of one chunk's result.
+func encodeAck(cell, chunk int) []byte {
+	b := binary.LittleEndian.AppendUint32(nil, uint32(cell))
+	return binary.LittleEndian.AppendUint32(b, uint32(chunk))
+}

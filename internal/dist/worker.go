@@ -1,0 +1,228 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"streamkm/internal/core"
+	"streamkm/internal/fault"
+)
+
+// The worker side of the protocol: a stateless compute server. Each
+// connection is a serial conversation — the coordinator keeps at most
+// one chunk in flight per connection — so the worker needs no queues,
+// no scheduler, and no knowledge of the plan: it decodes a chunk, runs
+// the identical core.PartialKMeans the local engine would, and returns
+// the weighted centroids.
+//
+// Delivery is at-least-once from the worker's point of view: after
+// sending a result it waits for the coordinator's ACK and resends on
+// timeout (the result frame, not the computation), because a result
+// whose ACK was lost may or may not have arrived. A new chunk frame
+// acts as an implicit ACK — the coordinator never pipelines, so fresh
+// work proves the previous result landed (or was abandoned, in which
+// case the coordinator's dedup absorbs the orphan).
+
+// WorkerConfig tunes a worker.
+type WorkerConfig struct {
+	// AckTimeout is how long the worker waits for a result's ACK before
+	// resending it (0 = 2s).
+	AckTimeout time.Duration
+	// Resends caps result retransmissions per chunk (0 = 2; negative =
+	// never resend).
+	Resends int
+	// Inject, when non-nil, injects faults into the worker's outgoing
+	// frames — the chaos suite's lost-result and dead-worker scenarios.
+	Inject *fault.NetInjector
+	// Logf, when non-nil, receives one line per connection event.
+	Logf func(format string, args ...any)
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = 2 * time.Second
+	}
+	if c.Resends == 0 {
+		c.Resends = 2
+	}
+	return c
+}
+
+func (c WorkerConfig) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// Serve accepts coordinator connections on ln until ctx is cancelled
+// (or the listener fails) and serves each on its own goroutine. It
+// closes the listener and every live connection on cancellation and
+// returns after all connection handlers have exited — no goroutine
+// outlives it.
+func Serve(ctx context.Context, ln net.Listener, cfg WorkerConfig) error {
+	cfg = cfg.withDefaults()
+	var (
+		mu    sync.Mutex
+		conns = map[net.Conn]struct{}{}
+		wg    sync.WaitGroup
+	)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-done:
+		}
+		ln.Close()
+		mu.Lock()
+		for c := range conns {
+			c.Close()
+		}
+		mu.Unlock()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			wg.Wait()
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		mu.Lock()
+		conns[conn] = struct{}{}
+		mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				conn.Close()
+				mu.Lock()
+				delete(conns, conn)
+				mu.Unlock()
+			}()
+			if err := serveConn(conn, cfg); err != nil && !isConnDone(err) {
+				cfg.logf("dist: worker conn %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// isConnDone reports whether err is an ordinary end of conversation
+// (peer closed, listener torn down) rather than a protocol failure.
+func isConnDone(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, errInjectedDisconnect)
+}
+
+// serveConn runs one coordinator conversation to completion.
+func serveConn(conn net.Conn, cfg WorkerConfig) error {
+	peer := conn.RemoteAddr().String()
+	typ, payload, _, err := readFrame(conn)
+	if err != nil {
+		return err
+	}
+	if typ != frameHello {
+		return fmt.Errorf("%w: expected hello, got frame type %d", ErrBadFrame, typ)
+	}
+	if err := decodeHello(payload); err != nil {
+		return err
+	}
+	if _, err := sendFrame(conn, cfg.Inject, peer, frameWelcome, encodeHello()); err != nil {
+		return err
+	}
+
+	// next holds a chunk payload that arrived while awaiting an ACK —
+	// the implicit-ACK case — and is consumed before reading the socket.
+	var next []byte
+	for {
+		payload := next
+		next = nil
+		if payload == nil {
+			typ, pl, _, err := readFrame(conn)
+			if err != nil {
+				return err
+			}
+			switch typ {
+			case frameChunk:
+				payload = pl
+			case frameAck:
+				continue // stray ACK for an already-settled result
+			default:
+				return fmt.Errorf("%w: expected chunk, got frame type %d", ErrBadFrame, typ)
+			}
+		}
+
+		respType, respPayload, err := computeChunk(payload)
+		if err != nil {
+			return err
+		}
+		next, err = deliver(conn, cfg, peer, respType, respPayload)
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// computeChunk decodes one chunk payload and runs the partial k-means,
+// producing the response frame. A malformed chunk or failed computation
+// becomes a fail frame; only transport-level problems return an error.
+func computeChunk(payload []byte) (byte, []byte, error) {
+	c, err := decodeChunk(payload)
+	if err != nil {
+		// The identity may be unreadable; report what we can.
+		return frameFail, encodeFail(c.Cell, c.Chunk, err.Error()), nil
+	}
+	pr, err := core.PartialKMeans(c.Points, c.Config, c.RNG)
+	if err != nil {
+		return frameFail, encodeFail(c.Cell, c.Chunk, err.Error()), nil
+	}
+	resp, err := encodeResult(c.Cell, c.Chunk, c.Total, pr)
+	if err != nil {
+		return 0, nil, err
+	}
+	return frameResult, resp, nil
+}
+
+// deliver sends the response and, for results, awaits the ACK —
+// resending up to cfg.Resends times on timeout. It returns a chunk
+// payload if one arrived in place of the ACK (the implicit-ACK case).
+func deliver(conn net.Conn, cfg WorkerConfig, peer string, respType byte, respPayload []byte) (nextChunk []byte, err error) {
+	for attempt := 0; ; attempt++ {
+		if _, err := sendFrame(conn, cfg.Inject, peer, respType, respPayload); err != nil {
+			return nil, err
+		}
+		if respType != frameResult {
+			return nil, nil // fail frames are not acknowledged
+		}
+		conn.SetReadDeadline(time.Now().Add(cfg.AckTimeout))
+		typ, pl, _, err := readFrame(conn)
+		conn.SetReadDeadline(time.Time{})
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				if attempt < cfg.Resends {
+					continue // the result (or its ACK) may be lost: resend
+				}
+				// Resends exhausted: park and let the coordinator drive —
+				// its next frame (a retry of this chunk or fresh work)
+				// restarts the conversation.
+				return nil, nil
+			}
+			return nil, err
+		}
+		switch typ {
+		case frameAck:
+			return nil, nil
+		case frameChunk:
+			return pl, nil // implicit ACK plus new work
+		default:
+			return nil, fmt.Errorf("%w: expected ack, got frame type %d", ErrBadFrame, typ)
+		}
+	}
+}

@@ -12,7 +12,6 @@ package distsim
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"streamkm/internal/core"
@@ -93,13 +92,73 @@ func (r *Report) Speedup() float64 {
 	return float64(serial) / float64(r.Makespan)
 }
 
-// chunkJob is one unit of simulated work.
-type chunkJob struct {
-	compute  time.Duration // measured partial k-means time
-	outBytes int64         // chunk payload sent to the worker
-	inBytes  int64         // weighted centroids sent back
-	part     *dataset.WeightedSet
-	elapsed  time.Duration
+// Job is one schedulable unit of distributed work: its measured (or
+// estimated) compute time plus the modeled transfer payloads in each
+// direction.
+type Job struct {
+	// Compute is the job's processing time on whichever worker runs it.
+	Compute time.Duration
+	// OutBytes is the payload shipped coordinator → worker (the chunk).
+	OutBytes int64
+	// InBytes is the payload shipped worker → coordinator (the
+	// weighted centroids).
+	InBytes int64
+}
+
+// Timeline is the outcome of scheduling jobs on the modeled cluster.
+type Timeline struct {
+	// AllArrived is when the last job's result reaches the coordinator —
+	// the makespan before any coordinator-side merge.
+	AllArrived time.Duration
+	// PerMachineBusy is each worker's total compute time.
+	PerMachineBusy []time.Duration
+	// TransferTime is the total modeled network time (serialized).
+	TransferTime time.Duration
+	// BytesMoved is the total modeled payload volume.
+	BytesMoved int64
+	// Messages counts network messages (one out, one back per job).
+	Messages int
+}
+
+// Schedule runs the event-driven timing model on its own: the
+// coordinator dispatches jobs in order over a shared link (sends
+// serialize at the coordinator NIC), each worker processes its jobs
+// sequentially, and results return as soon as compute finishes. It is
+// the exact model Run uses internally, exported so other suites — the
+// loopback distributed runtime in particular — can compare a real run's
+// makespan against the model's prediction for the same job set.
+func Schedule(machines int, latency time.Duration, bandwidth float64, jobs []Job) Timeline {
+	transfer := func(bytes int64) time.Duration {
+		return latency + time.Duration(float64(bytes)/bandwidth*float64(time.Second))
+	}
+	workerFree := make([]time.Duration, machines)
+	linkFree := time.Duration(0)
+	tl := Timeline{PerMachineBusy: make([]time.Duration, machines)}
+	for _, job := range jobs {
+		// Pick the worker that would start the job earliest.
+		best := 0
+		for m := 1; m < machines; m++ {
+			if workerFree[m] < workerFree[best] {
+				best = m
+			}
+		}
+		// The job leaves the coordinator when the shared link is free.
+		sendDone := linkFree + transfer(job.OutBytes)
+		linkFree = sendDone
+		start := maxDur(sendDone, workerFree[best])
+		finish := start + job.Compute
+		workerFree[best] = finish
+		tl.PerMachineBusy[best] += job.Compute
+		// The result returns immediately after compute (worker NICs are
+		// uncontended toward the coordinator in this model).
+		if at := finish + transfer(job.InBytes); at > tl.AllArrived {
+			tl.AllArrived = at
+		}
+		tl.BytesMoved += job.OutBytes + job.InBytes
+		tl.Messages += 2
+		tl.TransferTime += transfer(job.OutBytes) + transfer(job.InBytes)
+	}
+	return tl
 }
 
 // Run simulates clustering one cell on the configured cluster. The
@@ -118,7 +177,8 @@ func Run(cell *dataset.Set, cfg Config) (*Report, error) {
 	pointBytes := int64(dim) * 8
 
 	// Execute every chunk's partial k-means for real, measuring compute.
-	jobs := make([]chunkJob, len(chunks))
+	jobs := make([]Job, len(chunks))
+	parts := make([]*dataset.WeightedSet, len(chunks))
 	var computeTotal time.Duration
 	for i, chunk := range chunks {
 		pr, err := core.PartialKMeans(chunk, core.PartialConfig{
@@ -127,61 +187,25 @@ func Run(cell *dataset.Set, cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("distsim: chunk %d: %w", i, err)
 		}
-		jobs[i] = chunkJob{
-			compute:  pr.Elapsed,
-			outBytes: int64(chunk.Len()) * pointBytes,
-			inBytes:  int64(pr.Centroids.Len()) * (pointBytes + 8),
-			part:     pr.Centroids,
+		jobs[i] = Job{
+			Compute:  pr.Elapsed,
+			OutBytes: int64(chunk.Len()) * pointBytes,
+			InBytes:  int64(pr.Centroids.Len()) * (pointBytes + 8),
 		}
+		parts[i] = pr.Centroids
 		computeTotal += pr.Elapsed
 	}
 
-	// Event-driven schedule: the coordinator dispatches chunks in order
-	// over a shared link (sends serialize at the coordinator NIC); each
-	// worker processes its chunks sequentially; result transfers also
-	// serialize at the coordinator on receipt order.
-	transfer := func(bytes int64) time.Duration {
-		return cfg.NetLatency + time.Duration(float64(bytes)/cfg.NetBandwidth*float64(time.Second))
+	tl := Schedule(cfg.Machines, cfg.NetLatency, cfg.NetBandwidth, jobs)
+	report := &Report{
+		PerMachineBusy: tl.PerMachineBusy,
+		TransferTime:   tl.TransferTime,
+		BytesMoved:     tl.BytesMoved,
+		Messages:       tl.Messages,
 	}
-	workerFree := make([]time.Duration, cfg.Machines)
-	linkFree := time.Duration(0)
-	report := &Report{PerMachineBusy: make([]time.Duration, cfg.Machines)}
-	type arrival struct {
-		at  time.Duration
-		idx int
-	}
-	arrivals := make([]arrival, len(jobs))
-	for i, job := range jobs {
-		// Pick the worker that would start the job earliest.
-		best := 0
-		for m := 1; m < cfg.Machines; m++ {
-			if workerFree[m] < workerFree[best] {
-				best = m
-			}
-		}
-		// Chunk leaves the coordinator when the shared link is free.
-		sendDone := linkFree + transfer(job.outBytes)
-		linkFree = sendDone
-		start := maxDur(sendDone, workerFree[best])
-		finish := start + job.compute
-		workerFree[best] = finish
-		report.PerMachineBusy[best] += job.compute
-		// Result returns immediately after compute (worker NICs are
-		// uncontended toward the coordinator in this model).
-		arrivals[i] = arrival{at: finish + transfer(job.inBytes), idx: i}
-		report.BytesMoved += job.outBytes + job.inBytes
-		report.Messages += 2
-		report.TransferTime += transfer(job.outBytes) + transfer(job.inBytes)
-	}
-	sort.Slice(arrivals, func(a, b int) bool { return arrivals[a].at < arrivals[b].at })
-	allArrived := arrivals[len(arrivals)-1].at
 
 	// Coordinator merge, measured for real, in deterministic chunk order
 	// (collective merging is arrival-order insensitive anyway).
-	parts := make([]*dataset.WeightedSet, len(jobs))
-	for i := range jobs {
-		parts[i] = jobs[i].part
-	}
 	mr, err := core.MergeKMeans(parts, core.MergeConfig{K: cfg.K}, r.Split())
 	if err != nil {
 		return nil, err
@@ -192,7 +216,7 @@ func Run(cell *dataset.Set, cfg Config) (*Report, error) {
 	}
 	report.ComputeTime = computeTotal
 	report.MergeTime = mr.Elapsed
-	report.Makespan = allArrived + mr.Elapsed
+	report.Makespan = tl.AllArrived + mr.Elapsed
 	report.MergeMSE = mr.MSE
 	report.PointMSE = pm
 	return report, nil

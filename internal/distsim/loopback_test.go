@@ -1,0 +1,127 @@
+package distsim_test
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"streamkm/internal/core"
+	"streamkm/internal/dataset"
+	"streamkm/internal/dist"
+	"streamkm/internal/distsim"
+	"streamkm/internal/engine"
+	"streamkm/internal/grid"
+	"streamkm/internal/rng"
+	"streamkm/internal/stream"
+)
+
+// TestScheduleArithmetic pins the event-driven model with a
+// hand-computed timeline: 2 workers, 1ms latency, 1 MB/s link, two
+// 10ms jobs of 1000 bytes out / 100 bytes back.
+//
+//	transfer(1000) = 1ms + 1ms = 2ms; transfer(100) = 1ms + 0.1ms
+//	job0: link free at 2ms → runs 2..12ms on w0 → arrives 13.1ms
+//	job1: link free at 4ms → runs 4..14ms on w1 → arrives 15.1ms
+func TestScheduleArithmetic(t *testing.T) {
+	jobs := []distsim.Job{
+		{Compute: 10 * time.Millisecond, OutBytes: 1000, InBytes: 100},
+		{Compute: 10 * time.Millisecond, OutBytes: 1000, InBytes: 100},
+	}
+	tl := distsim.Schedule(2, time.Millisecond, 1e6, jobs)
+	if want := 15100 * time.Microsecond; tl.AllArrived != want {
+		t.Fatalf("AllArrived = %v, want %v", tl.AllArrived, want)
+	}
+	if tl.Messages != 4 || tl.BytesMoved != 2200 {
+		t.Fatalf("Messages=%d BytesMoved=%d", tl.Messages, tl.BytesMoved)
+	}
+	if tl.PerMachineBusy[0] != 10*time.Millisecond || tl.PerMachineBusy[1] != 10*time.Millisecond {
+		t.Fatalf("PerMachineBusy = %v", tl.PerMachineBusy)
+	}
+	// transfer sums: 2×(2ms + 1.1ms)
+	if want := 6200 * time.Microsecond; tl.TransferTime != want {
+		t.Fatalf("TransferTime = %v, want %v", tl.TransferTime, want)
+	}
+}
+
+// TestScheduleMatchesLoopback validates the model against the real
+// distributed runtime: a loopback coordinator/worker run's measured
+// makespan must land in the same (generous) envelope as the model's
+// prediction for the equivalent job set. The envelope is deliberately
+// wide — scheduler noise, -race overhead, and loopback TCP all perturb
+// wall-clock — but it still catches a model that is off by orders of
+// magnitude or a runtime that serializes what should be parallel.
+func TestScheduleMatchesLoopback(t *testing.T) {
+	spec := dataset.DefaultCellSpec()
+	spec.Clusters = 5
+	spec.Dim = 4
+	spec.NoiseFrac = 0
+	cell, err := dataset.GenerateCell(spec, 1200, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, chunkPoints = 2, 300
+	q := engine.Query{K: 5, Restarts: 2, Seed: 77}
+	plan := engine.PhysicalPlan{ChunkPoints: chunkPoints, PartialClones: workers, QueueCapacity: 4}
+	cells := []engine.Cell{{Key: grid.CellKey{Lat: 1, Lon: 1}, Points: cell}}
+
+	// Model side: measure each chunk's real compute locally and feed the
+	// measured jobs through the schedule with loopback-ish link numbers.
+	r := rng.New(q.Seed)
+	chunks, err := dataset.Split(cell, 1200/chunkPoints, dataset.SplitSalami, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pointBytes := int64(cell.Dim()) * 8
+	jobs := make([]distsim.Job, len(chunks))
+	for i, chunk := range chunks {
+		pr, err := core.PartialKMeans(chunk, core.PartialConfig{K: q.K, Restarts: q.Restarts}, r.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = distsim.Job{
+			Compute:  pr.Elapsed,
+			OutBytes: int64(chunk.Len()) * pointBytes,
+			InBytes:  int64(pr.Centroids.Len()) * (pointBytes + 8),
+		}
+	}
+	predicted := distsim.Schedule(workers, 500*time.Microsecond, 1e9, jobs).AllArrived
+
+	// Runtime side: the same plan against real loopback workers.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrs := make([]string, workers)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		go dist.Serve(ctx, ln, dist.WorkerConfig{})
+	}
+	pool, err := dist.NewPool(ctx, dist.PoolConfig{
+		Addrs: addrs,
+		Retry: stream.RetryPolicy{MaxRetries: 3, BaseBackoff: time.Millisecond},
+		Seed:  q.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	start := time.Now()
+	_, _, err = engine.NewExec(q, plan, engine.WithRemoteWorkers(pool)).Execute(ctx, cells)
+	measured := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const slack = 2 * time.Second
+	if measured > 50*predicted+slack {
+		t.Fatalf("loopback makespan %v far above model prediction %v", measured, predicted)
+	}
+	if predicted > 50*measured+slack {
+		t.Fatalf("model prediction %v far above loopback makespan %v", predicted, measured)
+	}
+	t.Logf("predicted %v, measured %v", predicted, measured)
+}

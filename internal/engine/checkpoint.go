@@ -30,9 +30,24 @@ import (
 //	entries uint32
 //	entry   entries x { cell uint32, chunk uint32, total uint32,
 //	                    elapsedNs int64, weighted-set block }
+//
+// Version 2 (written only when the journal holds lease records —
+// distributed executions) appends after the entries:
+//
+//	leases  uint32
+//	lease   leases x { cell uint32, chunk uint32, attempt uint32,
+//	                   workerLen uint16, worker bytes,
+//	                   errLen uint16, err bytes }
+//
+// A journal with no leases still encodes as version 1, so local
+// checkpoints remain byte-identical to PR 2's format and old readers
+// keep working on them.
 const (
-	journalMagic   = "SKMJ"
-	journalVersion = 1
+	journalMagic      = "SKMJ"
+	journalVersion    = 1
+	journalVersionV2  = 2
+	journalMaxStrLen  = 1 << 12
+	journalMaxEntries = 1 << 24
 )
 
 // ErrBadJournal is wrapped by journal decoding errors.
@@ -46,6 +61,20 @@ type journalEntry struct {
 	centroids *dataset.WeightedSet
 }
 
+// LeaseRecord audits one assignment of a chunk to a remote worker: the
+// exactly-once ledger of a distributed execution. A chunk computed on
+// the first try has one record with an empty Err; a chunk re-leased
+// after a worker death has one record per failed lease (Err set)
+// followed by the surviving worker's completing record. Attempt is the
+// 1-based position in the chunk's assignment trail.
+type LeaseRecord struct {
+	Cell, Chunk int
+	Worker      string
+	Attempt     int
+	// Err is the failure that ended the lease ("" = completed).
+	Err string
+}
+
 // Journal accumulates completed partial outputs during an execution.
 // It is safe for concurrent use. Every execution records through a
 // journal (the unified executor merges cells straight out of it); a
@@ -56,6 +85,7 @@ type Journal struct {
 	parts  map[journalKey]journalEntry
 	done   map[int]int // cell -> journaled chunk count
 	totals map[int]int // cell -> total chunk count
+	leases []LeaseRecord
 }
 
 // NewJournal returns an empty journal.
@@ -79,14 +109,62 @@ func (j *Journal) put(k journalKey, e journalEntry) bool {
 	return true
 }
 
-// record stores one completed partial output (idempotently).
-func (j *Journal) record(p partialOut) {
+// record stores one completed partial output. It reports false for a
+// duplicate (cell, chunk) — an already-journaled chunk delivered again,
+// e.g. by an at-least-once network retry — which is counted but never
+// stored twice: the journal is the last line of defense against
+// double-counting a chunk into a merge.
+func (j *Journal) record(p partialOut) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	j.put(journalKey{p.cellIdx, p.chunkIdx}, journalEntry{
+	return j.put(journalKey{p.cellIdx, p.chunkIdx}, journalEntry{
 		total:     p.total,
 		elapsed:   p.res.Elapsed,
 		centroids: p.res.Centroids,
+	})
+}
+
+// recordLeases appends a chunk's assignment trail — one record per
+// worker that held its lease, in order — to the lease ledger.
+func (j *Journal) recordLeases(cell, chunk int, trail []Assignment) {
+	if len(trail) == 0 {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for i, a := range trail {
+		j.leases = append(j.leases, LeaseRecord{
+			Cell: cell, Chunk: chunk, Worker: a.Worker, Attempt: i + 1, Err: a.Err,
+		})
+	}
+}
+
+// Leases returns a snapshot of the lease ledger in deterministic
+// (cell, chunk, attempt) order.
+func (j *Journal) Leases() []LeaseRecord {
+	j.mu.Lock()
+	out := make([]LeaseRecord, len(j.leases))
+	copy(out, j.leases)
+	j.mu.Unlock()
+	sortLeases(out)
+	return out
+}
+
+// sortLeases orders records by (cell, chunk, attempt, worker) — the
+// canonical order for Encode and Leases, making equal ledgers compare
+// (and serialize) identically even though clones append concurrently.
+func sortLeases(ls []LeaseRecord) {
+	sort.Slice(ls, func(a, b int) bool {
+		if ls[a].Cell != ls[b].Cell {
+			return ls[a].Cell < ls[b].Cell
+		}
+		if ls[a].Chunk != ls[b].Chunk {
+			return ls[a].Chunk < ls[b].Chunk
+		}
+		if ls[a].Attempt != ls[b].Attempt {
+			return ls[a].Attempt < ls[b].Attempt
+		}
+		return ls[a].Worker < ls[b].Worker
 	})
 }
 
@@ -181,6 +259,8 @@ func (j *Journal) Encode(w io.Writer) error {
 	for k, e := range j.parts {
 		entries[k] = e
 	}
+	leases := make([]LeaseRecord, len(j.leases))
+	copy(leases, j.leases)
 	j.mu.Unlock()
 	sort.Slice(keys, func(a, b int) bool {
 		if keys[a].cell != keys[b].cell {
@@ -188,12 +268,21 @@ func (j *Journal) Encode(w io.Writer) error {
 		}
 		return keys[a].chunk < keys[b].chunk
 	})
+	sortLeases(leases)
+
+	// A lease-free journal writes version 1 — byte-identical to the
+	// pre-distributed format — so only distributed checkpoints carry the
+	// new section.
+	version := uint16(journalVersion)
+	if len(leases) > 0 {
+		version = journalVersionV2
+	}
 
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(journalMagic); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint16(journalVersion)); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, version); err != nil {
 		return err
 	}
 	if err := binary.Write(bw, binary.LittleEndian, uint32(len(keys))); err != nil {
@@ -215,7 +304,53 @@ func (j *Journal) Encode(w io.Writer) error {
 			return err
 		}
 	}
+	if version == journalVersionV2 {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(leases))); err != nil {
+			return err
+		}
+		for _, l := range leases {
+			for _, v := range []any{uint32(l.Cell), uint32(l.Chunk), uint32(l.Attempt)} {
+				if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+					return err
+				}
+			}
+			if err := writeJournalString(bw, l.Worker); err != nil {
+				return err
+			}
+			if err := writeJournalString(bw, l.Err); err != nil {
+				return err
+			}
+		}
+	}
 	return bw.Flush()
+}
+
+// writeJournalString writes a length-prefixed string (uint16 length).
+func writeJournalString(w io.Writer, s string) error {
+	if len(s) > journalMaxStrLen {
+		s = s[:journalMaxStrLen]
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+// readJournalString reads a string written by writeJournalString.
+func readJournalString(r io.Reader) (string, error) {
+	var n uint16
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if int(n) > journalMaxStrLen {
+		return "", fmt.Errorf("implausible string length %d", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
 }
 
 // DecodeJournal reconstructs a journal from its serialized form.
@@ -232,14 +367,14 @@ func DecodeJournal(r io.Reader) (*Journal, error) {
 	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadJournal, err)
 	}
-	if version != journalVersion {
+	if version != journalVersion && version != journalVersionV2 {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadJournal, version)
 	}
 	var count uint32
 	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadJournal, err)
 	}
-	if count > 1<<24 {
+	if count > journalMaxEntries {
 		return nil, fmt.Errorf("%w: implausible entry count %d", ErrBadJournal, count)
 	}
 	j := NewJournal()
@@ -269,6 +404,38 @@ func DecodeJournal(r io.Reader) (*Journal, error) {
 			centroids: set,
 		}) {
 			return nil, fmt.Errorf("%w: duplicate entry for cell %d chunk %d", ErrBadJournal, cell, chunk)
+		}
+	}
+	if version == journalVersionV2 {
+		var leases uint32
+		if err := binary.Read(br, binary.LittleEndian, &leases); err != nil {
+			return nil, fmt.Errorf("%w: lease count: %v", ErrBadJournal, err)
+		}
+		if leases > journalMaxEntries {
+			return nil, fmt.Errorf("%w: implausible lease count %d", ErrBadJournal, leases)
+		}
+		for i := uint32(0); i < leases; i++ {
+			var cell, chunk, attempt uint32
+			for _, v := range []any{&cell, &chunk, &attempt} {
+				if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+					return nil, fmt.Errorf("%w: lease %d: %v", ErrBadJournal, i, err)
+				}
+			}
+			if cell > math.MaxInt32 || chunk > math.MaxInt32 || attempt > math.MaxInt32 {
+				return nil, fmt.Errorf("%w: lease %d has implausible indices", ErrBadJournal, i)
+			}
+			worker, err := readJournalString(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: lease %d worker: %v", ErrBadJournal, i, err)
+			}
+			leaseErr, err := readJournalString(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: lease %d err: %v", ErrBadJournal, i, err)
+			}
+			j.leases = append(j.leases, LeaseRecord{
+				Cell: int(cell), Chunk: int(chunk), Attempt: int(attempt),
+				Worker: worker, Err: leaseErr,
+			})
 		}
 	}
 	return j, nil

@@ -60,6 +60,7 @@ type Exec struct {
 	budget      govern.Budget
 	degraded    bool
 	obsReg      *obs.Registry
+	remote      RemotePartial
 }
 
 // NewExec builds an executor for q under plan with the given features
@@ -301,7 +302,7 @@ func (e *Exec) Execute(ctx context.Context, cells []Cell) ([]CellResult, *ExecSt
 	// attempts instead of reporting only the last attempt's pipeline.
 	reg := stream.NewStatsRegistry()
 
-	work := partialTransform(cells, q, tr, ob)
+	work := partialTransform(cells, q, tr, ob, e.remote, journal)
 	if e.inject != nil {
 		base, inj := work, e.inject
 		work = func(ctx context.Context, t chunkTask, emit stream.Emit[partialOut]) error {
@@ -314,7 +315,13 @@ func (e *Exec) Execute(ctx context.Context, cells []Cell) ([]CellResult, *ExecSt
 	var sup *stream.Supervisor[chunkTask]
 	var failed *failedSet
 	if e.supervised || e.degraded {
-		sup = &stream.Supervisor[chunkTask]{Retry: e.retry, JitterSeed: q.Seed}
+		// Each chunk's backoff schedule is keyed by its (cell, chunk)
+		// identity, so retry timing is reproducible per chunk no matter
+		// which clone picks it up or in what order failures land.
+		sup = &stream.Supervisor[chunkTask]{Retry: e.retry, JitterSeed: q.Seed,
+			ItemSeed: func(t chunkTask) uint64 {
+				return uint64(t.cellIdx)*0x9e3779b97f4a7c15 ^ uint64(t.chunkIdx)*0xbf58476d1ce4e5b9
+			}}
 	}
 	if e.degraded {
 		// Graceful degradation rides on quarantine: a chunk that
@@ -472,6 +479,7 @@ func (e *Exec) Execute(ctx context.Context, cells []Cell) ([]CellResult, *ExecSt
 		}
 		stats := newExecStats(reg, tr, ob, start, len(cells), len(tasks), restarts, events)
 		stats.Admission, stats.Stalls, stats.Degraded = admission, stalls, report
+		stats.Leases = journal.Leases()
 		return results, stats, nil
 	}
 	results, err := merger.finalize()
@@ -480,5 +488,6 @@ func (e *Exec) Execute(ctx context.Context, cells []Cell) ([]CellResult, *ExecSt
 	}
 	stats := newExecStats(reg, tr, ob, start, len(cells), len(tasks), restarts, events)
 	stats.Admission, stats.Stalls = admission, stalls
+	stats.Leases = journal.Leases()
 	return results, stats, nil
 }

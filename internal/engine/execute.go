@@ -81,6 +81,10 @@ type ExecStats struct {
 	// Degraded is the quality report of a governed run that returned a
 	// partial answer; nil means the results are complete.
 	Degraded *DegradedResult
+	// Leases is the distributed execution's assignment ledger — one
+	// record per (chunk, worker) lease, in (cell, chunk, attempt) order.
+	// Empty for local executions.
+	Leases []LeaseRecord
 	// Obs is the unified metrics registry the execution recorded into
 	// (the caller's, under WithObserver, else an internal one). Render
 	// it with Report.
@@ -148,8 +152,8 @@ func validateExecArgs(cells []Cell, q Query, plan PhysicalPlan) error {
 	return nil
 }
 
-func partialTransform(cells []Cell, q Query, tr *trace.Tracer, ob *execObs) stream.TransformFunc[chunkTask, partialOut] {
-	return func(_ context.Context, t chunkTask, emit stream.Emit[partialOut]) error {
+func partialTransform(cells []Cell, q Query, tr *trace.Tracer, ob *execObs, remote RemotePartial, journal *Journal) stream.TransformFunc[chunkTask, partialOut] {
+	return func(ctx context.Context, t chunkTask, emit stream.Emit[partialOut]) error {
 		key := cells[t.cellIdx].Key
 		end := tr.SpanL(opPartial, fmt.Sprintf("%v/%d", key, t.chunkIdx),
 			trace.Label{Key: "stage", Value: opPartial},
@@ -163,9 +167,21 @@ func partialTransform(cells []Cell, q Query, tr *trace.Tracer, ob *execObs) stre
 		ob.bytes.Add(int64(t.chunk.Len()) * pointBytes(t.chunk.Dim()))
 		ob.chunkPoints.Observe(float64(t.chunk.Len()))
 		// Work on a copy of the task's pre-derived RNG so a retried or
-		// restarted chunk replays the identical random sequence.
+		// restarted chunk replays the identical random sequence — locally
+		// or on a remote worker, which receives this exact state.
 		taskRNG := *t.rng
-		pr, err := core.PartialKMeans(t.chunk, q.partialConfig(), &taskRNG)
+		var pr *core.PartialResult
+		var err error
+		if remote != nil {
+			var trail []Assignment
+			pr, trail, err = remote.Partial(ctx, RemoteChunk{
+				Cell: t.cellIdx, Chunk: t.chunkIdx, Total: t.total,
+				Points: t.chunk, RNG: &taskRNG, Config: q.partialConfig(),
+			})
+			journal.recordLeases(t.cellIdx, t.chunkIdx, trail)
+		} else {
+			pr, err = core.PartialKMeans(t.chunk, q.partialConfig(), &taskRNG)
+		}
 		end()
 		if err != nil {
 			return fmt.Errorf("cell %v chunk %d: %w", key, t.chunkIdx, err)

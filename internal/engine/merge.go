@@ -55,10 +55,15 @@ func newCellMerger(cells []Cell, q Query, compress bool, mergeRNGs []*rng.RNG, t
 }
 
 // sink is the merge operator's SinkFunc: journal the partial output,
-// then merge its cell if that completed it.
+// then merge its cell if that completed it. A chunk the journal already
+// holds — a duplicate delivery from an at-least-once transport — is
+// counted as a dup and contributes nothing to the merge.
 func (m *cellMerger) sink(_ context.Context, p partialOut) error {
-	m.journal.record(p)
-	m.ob.chunksDone.Inc()
+	if m.journal.record(p) {
+		m.ob.chunksDone.Inc()
+	} else {
+		m.ob.dupChunks.Inc()
+	}
 	return m.mergeCell(p.cellIdx)
 }
 

@@ -35,6 +35,7 @@ type execObs struct {
 	chunksTotal    *obs.Counter
 	chunksDone     *obs.Counter
 	chunkAttempts  *obs.Counter
+	dupChunks      *obs.Counter
 	cellsTotal     *obs.Counter
 	cellsMerged    *obs.Counter
 	points         *obs.Counter
@@ -62,6 +63,7 @@ func newExecObs(reg *obs.Registry) *execObs {
 		chunksTotal:    reg.Counter(obs.EngineChunksTotal, ""),
 		chunksDone:     reg.Counter(obs.EngineChunksDone, ""),
 		chunkAttempts:  reg.Counter(obs.EngineChunkAttempts, ""),
+		dupChunks:      reg.Counter(obs.EngineDupChunks, ""),
 		cellsTotal:     reg.Counter(obs.EngineCellsTotal, ""),
 		cellsMerged:    reg.Counter(obs.EngineCellsMerged, ""),
 		points:         reg.Counter(obs.EnginePoints, ""),

@@ -1,0 +1,69 @@
+package engine
+
+import (
+	"context"
+
+	"streamkm/internal/core"
+	"streamkm/internal/dataset"
+	"streamkm/internal/rng"
+)
+
+// This file is the engine's seam for §3.4 option-1 scale-up: "clone the
+// partial k-means to as many machines as possible". The engine stays
+// the single owner of planning, chunk slicing, RNG derivation,
+// journaling, and merging; a RemotePartial merely computes one chunk's
+// partial k-means somewhere else. Because the chunk carries its
+// pre-derived RNG state and the remote side runs the same
+// core.PartialKMeans code path, the returned centroids are bit-identical
+// to local execution — every engine guarantee (retry, restart, journal
+// resume, degraded merge) composes with remoting unchanged.
+
+// RemoteChunk is one partial-k-means work unit handed to a remote
+// executor: the chunk's points, its identity within the plan, the
+// pre-derived RNG whose state travels with it (so the remote draw
+// sequence equals the local one), and the partial configuration. Config
+// is always transferable: Query carries no Seeder, so the remote side
+// reconstructs the exact configuration from scalar fields alone.
+type RemoteChunk struct {
+	Cell, Chunk, Total int
+	Points             *dataset.Set
+	RNG                *rng.RNG
+	Config             core.PartialConfig
+}
+
+// Assignment audits one attempt to run a chunk on a worker: which
+// worker held the lease and, if the attempt failed, why. A successful
+// trail ends with an Assignment whose Err is empty.
+type Assignment struct {
+	// Worker is the worker's address.
+	Worker string
+	// Err is the failure that ended this lease ("" = the lease
+	// completed and produced the chunk's result).
+	Err string
+}
+
+// RemotePartial computes one chunk's partial k-means on a remote
+// executor. Partial returns the result plus the assignment trail — every
+// worker that held the chunk's lease, in order — which the engine
+// journals for the exactly-once audit. Implementations must be safe for
+// concurrent use by cloned partial operators, and must return results
+// bit-identical to core.PartialKMeans over the same chunk, config, and
+// RNG state (the loopback chaos suite pins this down for the dist
+// package's implementation).
+type RemotePartial interface {
+	Partial(ctx context.Context, c RemoteChunk) (*core.PartialResult, []Assignment, error)
+}
+
+// WithRemoteWorkers routes every partial-k-means chunk through rp — the
+// distributed runtime's entry point into the engine (internal/dist's
+// worker pool is the canonical implementation). All other engine
+// services compose unchanged: supervision retries a chunk whose remote
+// execution permanently fails, WithDegradedResults degrades over the
+// survivors when workers are lost beyond re-lease capacity, and the
+// journal records each chunk's assignment trail alongside its result.
+func WithRemoteWorkers(rp RemotePartial) ExecOption {
+	return func(e *Exec) {
+		e.remote = rp
+		e.supervised = true
+	}
+}

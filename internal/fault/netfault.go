@@ -1,0 +1,274 @@
+package fault
+
+// Network fault injection for the distributed runtime. Where Injector
+// decides the fate of operator invocations, NetInjector decides the
+// fate of protocol frames crossing a coordinator/worker link: a frame
+// may be dropped (never delivered), duplicated (delivered twice — the
+// at-least-once retry path a lost ACK provokes), delayed, or the whole
+// connection torn down mid-conversation. A peer may also be partitioned:
+// every frame to or from it is dropped until the partition heals. Like
+// Injector, all decisions are drawn from a seeded generator so a chaos
+// run is reproducible bit for bit, and a nil *NetInjector never faults.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamkm/internal/rng"
+)
+
+// NetOp is the injector's verdict for one frame.
+type NetOp int
+
+const (
+	// NetPass delivers the frame normally.
+	NetPass NetOp = iota
+	// NetDrop silently discards the frame; the sender sees a timeout,
+	// not an error.
+	NetDrop
+	// NetDup delivers the frame twice — the duplicate-delivery case the
+	// coordinator's chunk-id dedup must absorb.
+	NetDup
+	// NetDelay delivers the frame after sleeping NetConfig.DelayDur.
+	NetDelay
+	// NetDisconnect closes the connection instead of delivering — an
+	// abrupt worker death mid-conversation.
+	NetDisconnect
+)
+
+// String names the verdict for logs and test failures.
+func (o NetOp) String() string {
+	switch o {
+	case NetPass:
+		return "pass"
+	case NetDrop:
+		return "drop"
+	case NetDup:
+		return "dup"
+	case NetDelay:
+		return "delay"
+	case NetDisconnect:
+		return "disconnect"
+	}
+	return fmt.Sprintf("NetOp(%d)", int(o))
+}
+
+// NetConfig tunes a NetInjector. Rates are probabilities in [0, 1]
+// evaluated per frame in a fixed order (drop, dup, delay, disconnect);
+// the Nth fields force a fault at an exact 1-based frame index across
+// all peers, independent of the rates.
+type NetConfig struct {
+	// Seed derives the decision stream; equal seeds and frame sequences
+	// give equal faults.
+	Seed uint64
+	// DropRate is the probability a frame is silently discarded.
+	DropRate float64
+	// DupRate is the probability a frame is delivered twice.
+	DupRate float64
+	// DelayRate is the probability a frame is delayed by DelayDur.
+	DelayRate float64
+	// DisconnectRate is the probability the connection is torn down
+	// instead of delivering the frame.
+	DisconnectRate float64
+	// DropNth, if positive, drops exactly the Nth frame (1-based).
+	DropNth int64
+	// DupNth, if positive, duplicates exactly the Nth frame (1-based).
+	DupNth int64
+	// DelayNth, if positive, delays exactly the Nth frame (1-based).
+	DelayNth int64
+	// DisconnectNth, if positive, tears the connection down at exactly
+	// the Nth frame (1-based).
+	DisconnectNth int64
+	// DelayDur is the injected frame delay (0 = 20ms).
+	DelayDur time.Duration
+	// MaxFaults caps the total number of injected faults (0 =
+	// unlimited); after the cap every frame passes, bounding how long a
+	// retry budget has to out-wait the injector.
+	MaxFaults int64
+}
+
+// NetInjector injects faults at the frame layer of a network link. The
+// zero of the pointer type is valid: a nil *NetInjector passes every
+// frame, so production paths carry nil with no branching. All methods
+// are safe for concurrent use by multiple connections.
+type NetInjector struct {
+	cfg NetConfig
+
+	mu          sync.Mutex
+	r           *rng.RNG
+	partitioned map[string]bool
+
+	frames      atomic.Int64
+	drops       atomic.Int64
+	dups        atomic.Int64
+	delays      atomic.Int64
+	disconnects atomic.Int64
+}
+
+// NewNet returns a network injector for the config.
+func NewNet(cfg NetConfig) *NetInjector {
+	if cfg.DelayDur <= 0 {
+		cfg.DelayDur = 20 * time.Millisecond
+	}
+	return &NetInjector{
+		cfg:         cfg,
+		r:           rng.New(cfg.Seed),
+		partitioned: make(map[string]bool),
+	}
+}
+
+// NetDropNth returns an injector dropping exactly the nth frame
+// (1-based) and otherwise passing everything.
+func NetDropNth(n int64) *NetInjector { return NewNet(NetConfig{DropNth: n}) }
+
+// NetDupNth returns an injector duplicating exactly the nth frame.
+func NetDupNth(n int64) *NetInjector { return NewNet(NetConfig{DupNth: n}) }
+
+// NetDisconnectNth returns an injector tearing the connection down at
+// exactly the nth frame.
+func NetDisconnectNth(n int64) *NetInjector { return NewNet(NetConfig{DisconnectNth: n}) }
+
+// Frame decides the fate of one frame crossing the link to or from
+// peer. A NetDelay verdict means the caller should sleep Delay() before
+// delivering. Safe on a nil receiver (always NetPass).
+func (n *NetInjector) Frame(peer string) NetOp {
+	if n == nil {
+		return NetPass
+	}
+	idx := n.frames.Add(1)
+	if n.isPartitioned(peer) {
+		n.drops.Add(1)
+		return NetDrop
+	}
+	if n.cfg.DropNth > 0 && idx == n.cfg.DropNth {
+		n.drops.Add(1)
+		return NetDrop
+	}
+	if n.cfg.DupNth > 0 && idx == n.cfg.DupNth {
+		n.dups.Add(1)
+		return NetDup
+	}
+	if n.cfg.DelayNth > 0 && idx == n.cfg.DelayNth {
+		n.delays.Add(1)
+		return NetDelay
+	}
+	if n.cfg.DisconnectNth > 0 && idx == n.cfg.DisconnectNth {
+		n.disconnects.Add(1)
+		return NetDisconnect
+	}
+	if n.cfg.DropRate <= 0 && n.cfg.DupRate <= 0 && n.cfg.DelayRate <= 0 && n.cfg.DisconnectRate <= 0 {
+		return NetPass
+	}
+	if n.cfg.MaxFaults > 0 && n.Faults() >= n.cfg.MaxFaults {
+		return NetPass
+	}
+	n.mu.Lock()
+	drop, dup, delay, disc := n.r.Float64(), n.r.Float64(), n.r.Float64(), n.r.Float64()
+	n.mu.Unlock()
+	switch {
+	case drop < n.cfg.DropRate:
+		n.drops.Add(1)
+		return NetDrop
+	case dup < n.cfg.DupRate:
+		n.dups.Add(1)
+		return NetDup
+	case delay < n.cfg.DelayRate:
+		n.delays.Add(1)
+		return NetDelay
+	case disc < n.cfg.DisconnectRate:
+		n.disconnects.Add(1)
+		return NetDisconnect
+	}
+	return NetPass
+}
+
+// Delay returns the sleep a NetDelay verdict asks for.
+func (n *NetInjector) Delay() time.Duration {
+	if n == nil {
+		return 0
+	}
+	return n.cfg.DelayDur
+}
+
+// Partition cuts peer off: every subsequent frame to or from it drops
+// until Heal. Safe on a nil receiver (no-op).
+func (n *NetInjector) Partition(peer string) {
+	if n == nil {
+		return
+	}
+	n.mu.Lock()
+	n.partitioned[peer] = true
+	n.mu.Unlock()
+}
+
+// Heal reconnects a partitioned peer. Safe on a nil receiver.
+func (n *NetInjector) Heal(peer string) {
+	if n == nil {
+		return
+	}
+	n.mu.Lock()
+	delete(n.partitioned, peer)
+	n.mu.Unlock()
+}
+
+func (n *NetInjector) isPartitioned(peer string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.partitioned[peer]
+}
+
+// Frames returns the number of frame decisions observed.
+func (n *NetInjector) Frames() int64 {
+	if n == nil {
+		return 0
+	}
+	return n.frames.Load()
+}
+
+// Drops returns the number of dropped frames (including partition drops).
+func (n *NetInjector) Drops() int64 {
+	if n == nil {
+		return 0
+	}
+	return n.drops.Load()
+}
+
+// Dups returns the number of duplicated frames.
+func (n *NetInjector) Dups() int64 {
+	if n == nil {
+		return 0
+	}
+	return n.dups.Load()
+}
+
+// Delays returns the number of delayed frames.
+func (n *NetInjector) Delays() int64 {
+	if n == nil {
+		return 0
+	}
+	return n.delays.Load()
+}
+
+// Disconnects returns the number of injected disconnects.
+func (n *NetInjector) Disconnects() int64 {
+	if n == nil {
+		return 0
+	}
+	return n.disconnects.Load()
+}
+
+// Faults returns the total injected frame faults.
+func (n *NetInjector) Faults() int64 {
+	return n.Drops() + n.Dups() + n.Delays() + n.Disconnects()
+}
+
+// String summarizes the injector's activity.
+func (n *NetInjector) String() string {
+	if n == nil {
+		return "fault: net disabled"
+	}
+	return fmt.Sprintf("fault: net %d frames, %d drops, %d dups, %d delays, %d disconnects",
+		n.Frames(), n.Drops(), n.Dups(), n.Delays(), n.Disconnects())
+}

@@ -98,3 +98,12 @@ func (h *Heartbeat) Beats() int64 { return h.beats.Load() }
 
 // InFlight returns the number of items begun but not ended.
 func (h *Heartbeat) InFlight() int64 { return h.inflight.Load() }
+
+// Probe adapts the heartbeat into a watchdog probe named name: progress
+// is the beat counter, pending the in-flight count. This is the common
+// wiring for any component — a pipeline stage or a remote worker link —
+// whose liveness is exactly "its heartbeat still advances while work is
+// outstanding".
+func (h *Heartbeat) Probe(name string) Probe {
+	return Probe{Name: name, Progress: h.Beats, Pending: h.InFlight}
+}

@@ -42,6 +42,12 @@ const (
 	bucketVersion   = 2
 	bucketVersionV1 = 1
 	headerSize      = 4 + 2 + 2 + 2 + 2 + 8
+
+	// maxPreallocBytes bounds the slab reserved on the word of a header
+	// count that no checksum has confirmed yet (the trailer CRC comes
+	// last). A corrupt or hostile count must fail on its first short
+	// read, not allocate count×dim×8 bytes up front.
+	maxPreallocBytes = 16 << 20
 )
 
 // ErrBadBucket is wrapped by all bucket-format corruption errors.
@@ -253,8 +259,16 @@ func ReadBucket(r io.Reader) (CellKey, *dataset.Set, error) {
 		return CellKey{}, nil, err
 	}
 	// Decode record-by-record into one scratch row and bulk-append into
-	// the set's flat slab: no per-point vector allocations.
-	set.Grow(br.Header().Count)
+	// the set's flat slab: no per-point vector allocations. The
+	// reservation is bounded — the header count is not checksum-verified
+	// until the trailer, so a corrupt count must not allocate count×dim×8
+	// bytes up front. Larger valid buckets still load; append growth
+	// takes over past the hint.
+	grow := br.Header().Count
+	if limit := maxPreallocBytes / (8 * br.Header().Dim); grow > limit {
+		grow = limit
+	}
+	set.Grow(grow)
 	row := make([]float64, br.Header().Dim)
 	for {
 		ok, err := br.NextInto(row)

@@ -54,6 +54,73 @@ func FuzzBucketReader(f *testing.F) {
 	})
 }
 
+// FuzzSalvageBucket hammers the lenient decoder: whatever the bytes,
+// it must never panic or hang, anything it does salvage must be
+// well-formed (re-encodable and re-decodable), and on bytes the strict
+// decoder accepts it must recover every point — salvage is a superset
+// of read, never a lossy shortcut on healthy input.
+func FuzzSalvageBucket(f *testing.F) {
+	set := dataset.MustNewSet(3)
+	for i := 0; i < 5; i++ {
+		if err := set.Add(vector.Of(float64(i), float64(i*i), -float64(i))); err != nil {
+			f.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteBucket(&buf, CellKey{Lat: 10, Lon: 20}, set); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	// Truncation edge cases: mid-header, exactly the header, mid-record
+	// at each boundary of the first point, and a clean one-record prefix.
+	f.Add(valid[:headerSize/2])
+	f.Add(valid[:headerSize])
+	f.Add(valid[:headerSize+1])
+	f.Add(valid[:headerSize+8*3])
+	f.Add(valid[:headerSize+8*3+4])
+	f.Add(valid[:len(valid)-1])
+	// A corrupt record in the middle: salvage keeps the valid prefix.
+	mutated := append([]byte{}, valid...)
+	mutated[headerSize+8*3+2] ^= 0xFF
+	f.Add(mutated)
+	// A v1 (whole-payload CRC) bucket exercises the version split.
+	var v1 bytes.Buffer
+	if err := WriteBucketV1(&v1, CellKey{Lat: -3, Lon: 7}, set); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v1.Bytes())
+	f.Add([]byte("SKMB"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		key, salvaged, err := SalvageBucket(bytes.NewReader(data))
+		strictKey, strict, strictErr := ReadBucket(bytes.NewReader(data))
+		if strictErr == nil {
+			// The strict decoder accepted: salvage must agree completely.
+			if err != nil {
+				t.Fatalf("salvage rejected bytes the strict decoder accepts: %v", err)
+			}
+			if key != strictKey || salvaged.Len() != strict.Len() || salvaged.Dim() != strict.Dim() {
+				t.Fatalf("salvage disagrees with strict decode on healthy input")
+			}
+		}
+		if salvaged == nil || salvaged.Len() == 0 {
+			return
+		}
+		// Whatever was salvaged must be a well-formed point set.
+		var out bytes.Buffer
+		if err := WriteBucket(&out, key, salvaged); err != nil {
+			t.Fatalf("salvaged points failed to re-encode: %v", err)
+		}
+		if _, set2, err := ReadBucket(bytes.NewReader(out.Bytes())); err != nil {
+			t.Fatalf("re-encoded salvage failed to decode: %v", err)
+		} else if set2.Len() != salvaged.Len() {
+			t.Fatalf("round trip changed salvage size")
+		}
+	})
+}
+
 // FuzzSwathReader: same contract for the swath decoder.
 func FuzzSwathReader(f *testing.F) {
 	pts := []GeoPoint{

@@ -36,6 +36,7 @@ const (
 	EnginePoints         = "engine_points"          // input points entering partial steps
 	EngineBytes          = "engine_bytes"           // those points' in-memory bytes
 	EngineRestarts       = "engine_restarts"        // plan-level recoveries
+	EngineDupChunks      = "engine_dup_chunks"      // duplicate chunk deliveries absorbed by the journal
 	EngineDegradedChunks = "engine_degraded_chunks" // partitions missing from the answer
 	EngineDegradedPoints = "engine_degraded_points" // points in those partitions
 
@@ -52,4 +53,14 @@ const (
 	KMeansRestarts     = "kmeans_restarts"       // seed-set restarts executed
 	KMeansConverged    = "kmeans_converged"      // runs meeting the ΔMSE criterion
 	KMeansLastDeltaMSE = "kmeans_last_delta_mse" // float gauge: winning run's final ΔMSE
+
+	// Distributed-runtime families, labeled by the worker address
+	// (dist_workers_live is run-global).
+	DistChunksDone  = "dist_chunks_done"  // chunks a worker computed (completed leases)
+	DistRetries     = "dist_retries"      // transport retries against a worker
+	DistEvictions   = "dist_evictions"    // permanent evictions of a worker
+	DistDupResults  = "dist_dup_results"  // duplicate/stale centroid returns deduplicated
+	DistBytesSent   = "dist_bytes_sent"   // frame bytes shipped to a worker
+	DistBytesRecv   = "dist_bytes_recv"   // frame bytes received from a worker
+	DistWorkersLive = "dist_workers_live" // gauge: workers currently connected
 )

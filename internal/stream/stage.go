@@ -5,8 +5,6 @@ import (
 	"fmt"
 	"sync"
 	"time"
-
-	"streamkm/internal/rng"
 )
 
 // This file holds the single stage runner behind every transform-shaped
@@ -158,10 +156,6 @@ func (s *Stage[I, O]) spawnLocked() {
 	if !(idx == 0 && s.initial == 1) {
 		cloneName = fmt.Sprintf("%s#%d", s.name, idx)
 	}
-	var jr *rng.RNG
-	if s.sup != nil {
-		jr = rng.New(s.sup.JitterSeed + uint64(idx)*0x9e3779b97f4a7c15)
-	}
 	s.live.Add(1)
 	s.g.Go(cloneName, func() error {
 		defer s.live.Done()
@@ -182,7 +176,7 @@ func (s *Stage[I, O]) spawnLocked() {
 				return nil
 			}
 			s.stats.processed.Add(1)
-			if err := s.processOne(cloneName, jr, item, &buf, emit); err != nil {
+			if err := s.processOne(cloneName, item, &buf, emit); err != nil {
 				return err
 			}
 		}
@@ -194,7 +188,7 @@ func (s *Stage[I, O]) spawnLocked() {
 // the item as in flight until its emissions land downstream. A
 // quarantined item completes the bracket and returns nil — from the
 // governor's perspective giving up on an item is progress too.
-func (s *Stage[I, O]) processOne(cloneName string, jr *rng.RNG, item I, buf *[]O, emit func(O) error) error {
+func (s *Stage[I, O]) processOne(cloneName string, item I, buf *[]O, emit func(O) error) error {
 	if s.beat != nil {
 		s.beat.Begin()
 		defer s.beat.End()
@@ -210,7 +204,7 @@ func (s *Stage[I, O]) processOne(cloneName string, jr *rng.RNG, item I, buf *[]O
 	if s.sup == nil {
 		return s.fn(s.ctx, item, emit)
 	}
-	ok, err := superviseItem(s.ctx, cloneName, s.sup, jr, s.stats, s.fn, item, buf)
+	ok, err := superviseItem(s.ctx, cloneName, s.sup, s.sup.itemSeed(item), s.stats, s.fn, item, buf)
 	if err != nil || !ok {
 		return err // failed, or quarantined (ok=false, err=nil)
 	}

@@ -96,7 +96,7 @@ func TestRetryPolicyAttempts(t *testing.T) {
 	// Succeeds on the 3rd attempt within budget.
 	calls := 0
 	var retried []int
-	n, err := RetryPolicy{MaxRetries: 5, BaseBackoff: -1}.Attempts(context.Background(), nil,
+	n, err := RetryPolicy{MaxRetries: 5, BaseBackoff: -1}.Attempts(context.Background(), 0,
 		func(attempt int, _ error) { retried = append(retried, attempt) },
 		func(attempt int) error {
 			calls++
@@ -114,14 +114,14 @@ func TestRetryPolicyAttempts(t *testing.T) {
 
 	// Budget exhaustion returns the final error and attempt count.
 	boom := errors.New("permanent")
-	n, err = RetryPolicy{MaxRetries: 2, BaseBackoff: -1}.Attempts(context.Background(), nil, nil,
+	n, err = RetryPolicy{MaxRetries: 2, BaseBackoff: -1}.Attempts(context.Background(), 0, nil,
 		func(int) error { return boom })
 	if !errors.Is(err, boom) || n != 3 {
 		t.Fatalf("attempts = %d, err = %v, want 3 attempts of boom", n, err)
 	}
 
 	// Lifecycle errors abort without retrying.
-	n, err = RetryPolicy{MaxRetries: 5, BaseBackoff: -1}.Attempts(context.Background(), nil, nil,
+	n, err = RetryPolicy{MaxRetries: 5, BaseBackoff: -1}.Attempts(context.Background(), 0, nil,
 		func(int) error { return context.Canceled })
 	if !errors.Is(err, context.Canceled) || n != 1 {
 		t.Fatalf("cancellation retried: attempts = %d, err = %v", n, err)
@@ -131,7 +131,7 @@ func TestRetryPolicyAttempts(t *testing.T) {
 func TestBackoffNegativeBaseDisablesDelay(t *testing.T) {
 	p := RetryPolicy{MaxRetries: 3, BaseBackoff: -1, MaxBackoff: time.Second}
 	for attempt := 1; attempt <= 10; attempt++ {
-		if d := p.Backoff(attempt, nil); d != 0 {
+		if d := p.Backoff(attempt, 0); d != 0 {
 			t.Fatalf("Backoff(%d) = %v, want 0 for negative base", attempt, d)
 		}
 	}

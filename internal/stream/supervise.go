@@ -52,9 +52,14 @@ type RetryPolicy struct {
 	Jitter float64
 }
 
-// Backoff returns the delay before retry number attempt (1-based),
-// drawing jitter from r (nil = no jitter).
-func (p RetryPolicy) Backoff(attempt int, r *rng.RNG) time.Duration {
+// Backoff returns the delay before retry number attempt (1-based). The
+// jitter is drawn from a fresh generator seeded from (seed, attempt), so
+// a given (policy, seed, attempt) triple always yields the same delay —
+// the backoff schedule of one item is a pure function of its seed, not
+// of how many other items happened to retry before it on the same
+// shared generator. That reproducibility is what lets chaos tests
+// assert on retry timings.
+func (p RetryPolicy) Backoff(attempt int, seed uint64) time.Duration {
 	if p.BaseBackoff < 0 {
 		return 0
 	}
@@ -73,11 +78,12 @@ func (p RetryPolicy) Backoff(attempt int, r *rng.RNG) time.Duration {
 	if d > max {
 		d = max
 	}
-	if p.Jitter > 0 && r != nil {
+	if p.Jitter > 0 {
 		j := p.Jitter
 		if j > 1 {
 			j = 1
 		}
+		r := rng.New(seed + uint64(attempt)*0x9e3779b97f4a7c15)
 		// Uniform in [1-j, 1] of the computed delay.
 		d = time.Duration(float64(d) * (1 - j*r.Float64()))
 	}
@@ -96,13 +102,14 @@ func retryAbort(err error) bool {
 
 // Attempts drives fn under the policy: fn is called with the 1-based
 // attempt number until it returns nil or the retry budget is
-// exhausted, with Backoff-shaped sleeps (jitter from r, nil = none)
-// separating attempts. onRetry, when non-nil, observes each re-attempt
-// before its backoff sleep. Lifecycle errors (see retryAbort) abort
-// immediately. It returns the number of attempts made and fn's final
-// error. This is the one retry loop shared by supervised operators and
-// the streamkm facade's flush path.
-func (p RetryPolicy) Attempts(ctx context.Context, r *rng.RNG, onRetry func(attempt int, err error), fn func(attempt int) error) (int, error) {
+// exhausted, with Backoff-shaped sleeps (deterministic jitter derived
+// from seed per attempt) separating attempts. onRetry, when non-nil,
+// observes each re-attempt before its backoff sleep. Lifecycle errors
+// (see retryAbort) abort immediately. It returns the number of attempts
+// made and fn's final error. This is the one retry loop shared by
+// supervised operators, the streamkm facade's flush path, and the
+// distributed worker pool's transport retries.
+func (p RetryPolicy) Attempts(ctx context.Context, seed uint64, onRetry func(attempt int, err error), fn func(attempt int) error) (int, error) {
 	attempt := 0
 	for {
 		attempt++
@@ -116,7 +123,7 @@ func (p RetryPolicy) Attempts(ctx context.Context, r *rng.RNG, onRetry func(atte
 		if onRetry != nil {
 			onRetry(attempt, err)
 		}
-		if serr := sleep(ctx, p.Backoff(attempt, r)); serr != nil {
+		if serr := sleep(ctx, p.Backoff(attempt, seed)); serr != nil {
 			return attempt, serr
 		}
 	}
@@ -221,6 +228,21 @@ type Supervisor[I any] struct {
 	OnQuarantine func(DeadLetter[I])
 	// JitterSeed derives the deterministic backoff jitter stream.
 	JitterSeed uint64
+	// ItemSeed, when non-nil, folds a per-item key into the jitter seed,
+	// making each item's backoff schedule a pure function of the item —
+	// reproducible regardless of which clone retries it or what retried
+	// before. Nil means every item shares the JitterSeed-derived
+	// schedule.
+	ItemSeed func(I) uint64
+}
+
+// itemSeed computes the jitter seed for one item.
+func (s *Supervisor[I]) itemSeed(item I) uint64 {
+	seed := s.JitterSeed
+	if s.ItemSeed != nil {
+		seed ^= s.ItemSeed(item)
+	}
+	return seed
 }
 
 // attemptTransform runs fn once with panic recovery, buffering emissions
@@ -244,8 +266,8 @@ func attemptTransform[I, O any](ctx context.Context, op string, fn TransformFunc
 // It returns the buffered emissions on success; ok=false means the item
 // was quarantined (or dropped) and the caller should continue with the
 // next item; a non-nil error fails the operator.
-func superviseItem[I, O any](ctx context.Context, op string, sup *Supervisor[I], jr *rng.RNG, stats *OpStats, fn TransformFunc[I, O], item I, buf *[]O) (ok bool, err error) {
-	attempts, err := sup.Retry.Attempts(ctx, jr,
+func superviseItem[I, O any](ctx context.Context, op string, sup *Supervisor[I], seed uint64, stats *OpStats, fn TransformFunc[I, O], item I, buf *[]O) (ok bool, err error) {
+	attempts, err := sup.Retry.Attempts(ctx, seed,
 		func(int, error) { stats.retries.Add(1) },
 		func(int) error {
 			err := attemptTransform(ctx, op, fn, item, buf)

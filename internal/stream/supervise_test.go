@@ -306,13 +306,13 @@ func TestSupervisedDynamicTransformRetries(t *testing.T) {
 
 func TestBackoffGrowsAndCaps(t *testing.T) {
 	p := RetryPolicy{BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond}
-	if d := p.Backoff(1, nil); d != time.Millisecond {
+	if d := p.Backoff(1, 0); d != time.Millisecond {
 		t.Fatalf("attempt 1: %v", d)
 	}
-	if d := p.Backoff(2, nil); d != 2*time.Millisecond {
+	if d := p.Backoff(2, 0); d != 2*time.Millisecond {
 		t.Fatalf("attempt 2: %v", d)
 	}
-	if d := p.Backoff(10, nil); d != 4*time.Millisecond {
+	if d := p.Backoff(10, 0); d != 4*time.Millisecond {
 		t.Fatalf("attempt 10 should cap at MaxBackoff: %v", d)
 	}
 }

@@ -1,0 +1,77 @@
+package streamkm
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"streamkm/internal/dist"
+)
+
+// TestClusterGovernedRemoteWorkers runs the facade against real
+// loopback workers and checks the distributed answer is bit-identical
+// to the in-process governed run — the facade-level statement of the
+// §3.4 option-1 contract.
+func TestClusterGovernedRemoteWorkers(t *testing.T) {
+	pts := blobPoints(600)
+	opts := Options{
+		K: 3, Restarts: 5, ChunkPoints: 150, Seed: 9,
+		Retry: &RetryPolicy{MaxRetries: 4, BaseBackoff: time.Millisecond},
+	}
+	local, err := ClusterGoverned(context.Background(), pts, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrs := make([]string, 2)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		go dist.Serve(ctx, ln, dist.WorkerConfig{})
+	}
+	opts.RemoteWorkers = addrs
+	remote, err := ClusterGoverned(context.Background(), pts, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCentroids(t, local, remote)
+	if remote.MergeMSE != local.MergeMSE || remote.PointMSE != local.PointMSE {
+		t.Fatalf("MSE differs: %g/%g vs %g/%g",
+			remote.MergeMSE, remote.PointMSE, local.MergeMSE, local.PointMSE)
+	}
+	// The run report carries the per-worker distributed families.
+	if remote.Report == nil {
+		t.Fatal("remote run has no report")
+	}
+	var done int64
+	for _, addr := range addrs {
+		done += remote.Report.Metrics.Counter("dist_chunks_done", addr)
+	}
+	if done != int64(remote.Partitions) {
+		t.Fatalf("workers computed %d chunks, want %d", done, remote.Partitions)
+	}
+}
+
+// TestClusterGovernedRemoteWorkersUnreachable: a pool with no reachable
+// workers must fail fast with a clear error, not hang.
+func TestClusterGovernedRemoteWorkersUnreachable(t *testing.T) {
+	pts := blobPoints(300)
+	opts := Options{
+		K: 3, Restarts: 2, ChunkPoints: 150, Seed: 9,
+		RemoteWorkers: []string{"127.0.0.1:1"},
+		Retry:         &RetryPolicy{BaseBackoff: time.Millisecond},
+	}
+	start := time.Now()
+	if _, err := ClusterGoverned(context.Background(), pts, opts); err == nil {
+		t.Fatal("unreachable workers should fail the run")
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("failure took %v; should fail fast", elapsed)
+	}
+}

@@ -38,6 +38,19 @@ go test -race ./...
 # hang into a failure instead of a stuck CI job.
 go test -race -run 'TestGovernorStallSoak' -count=1 -timeout 120s ./internal/engine
 
+# Fuzz smoke: a few seconds per decoder target so a regression that
+# panics on malformed input fails the check without a long campaign.
+# Bucket v2 is also the distributed runtime's wire format for chunk
+# payloads, so these two targets guard the network boundary too.
+go test -run='^$' -fuzz='^FuzzBucketReader$' -fuzztime=5s ./internal/grid
+go test -run='^$' -fuzz='^FuzzSalvageBucket$' -fuzztime=5s ./internal/grid
+
+# Distributed chaos smoke: the loopback coordinator/worker suite under
+# injected frame faults must stay bit-identical to the local engine.
+# The explicit -timeout bounds a lost-liveness regression (a retry loop
+# that never gives up) instead of wedging the check.
+go test -race -run 'TestChaos' -count=1 -timeout 300s ./internal/dist
+
 # Benchmark smoke: one 10-iteration pass over the hot-path kernels so a
 # change that panics or deadlocks only under -bench (e.g. the restart
 # worker pool) fails the check without costing real benchmark time.

@@ -9,6 +9,7 @@ import (
 
 	"streamkm/internal/core"
 	"streamkm/internal/dataset"
+	"streamkm/internal/dist"
 	"streamkm/internal/engine"
 	"streamkm/internal/fault"
 	"streamkm/internal/govern"
@@ -89,6 +90,15 @@ type Options struct {
 	// stall yields the clustering of every surviving partition plus a
 	// Result.Degraded quality report, instead of an error.
 	AllowDegraded bool
+	// RemoteWorkers lists streamkm-worker addresses ("host:port").
+	// When non-empty, ClusterGoverned ships each partition to one of
+	// these workers (the paper's §3.4 option-1 scale-up) instead of
+	// computing it in-process; the merge stays local. Results are
+	// bit-identical to the in-process run. Dead workers are evicted and
+	// their partitions re-leased to survivors; Options.Retry bounds the
+	// re-lease budget, and AllowDegraded governs what happens when every
+	// worker is lost.
+	RemoteWorkers []string
 
 	// inject places a fault injector in front of every governed partial
 	// step (in-package governor tests only).
@@ -123,7 +133,7 @@ func (p RetryPolicy) stream() stream.RetryPolicy {
 }
 
 func (p RetryPolicy) backoff(attempt int) time.Duration {
-	return p.stream().Backoff(attempt, nil)
+	return p.stream().Backoff(attempt, 0)
 }
 
 // Result is the outcome of a clustering run.
@@ -384,6 +394,27 @@ func ClusterGoverned(ctx context.Context, points [][]float64, opts Options) (*Re
 	if opts.inject != nil {
 		eopts = append(eopts, engine.WithFaultInjection(opts.inject))
 	}
+	if len(opts.RemoteWorkers) > 0 {
+		// One registry shared by the pool and the engine, so the run
+		// report carries the per-worker dist_* families too.
+		reg := obs.NewRegistry()
+		poolRetry := stream.RetryPolicy{MaxRetries: len(opts.RemoteWorkers)}
+		if opts.Retry != nil {
+			poolRetry = opts.Retry.stream()
+		}
+		pool, err := dist.NewPool(ctx, dist.PoolConfig{
+			Addrs:           opts.RemoteWorkers,
+			Retry:           poolRetry,
+			ProgressTimeout: opts.ProgressTimeout,
+			Seed:            copts.Seed,
+			Obs:             reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer pool.Close()
+		eopts = append(eopts, engine.WithRemoteWorkers(pool), engine.WithObserver(reg))
+	}
 	cells := []engine.Cell{{Key: grid.CellKey{}, Points: set}}
 	results, stats, err := engine.NewExec(q, plan, eopts...).Execute(ctx, cells)
 	if err != nil {
@@ -540,7 +571,7 @@ func (s *StreamClusterer) flush() error {
 		policy = *s.opts.Retry
 	}
 	var pr *core.PartialResult
-	_, err := policy.stream().Attempts(context.Background(), nil,
+	_, err := policy.stream().Attempts(context.Background(), 0,
 		func(int, error) { s.retries++ },
 		func(attempt int) error {
 			attemptRNG := *chunkRNG
