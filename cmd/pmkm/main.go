@@ -16,6 +16,17 @@
 // -salvage reads damaged bucket files for their valid prefix (warning
 // on stderr) instead of aborting on the first corrupt byte.
 //
+// The partial stage is a pluggable summarizer operator: -summarizer
+// selects kmeans (the paper's partial k-means, default), ecvq
+// (entropy-constrained VQ with an adaptive per-chunk cluster count;
+// tune with -ecvq-maxk and -ecvq-lambda), or coreset (a StreamKM++-
+// style coreset tree; tune with -coreset-size). -seed-method swaps the
+// k-means seeding strategy (random, heaviest, kmeans++, kmeans||); it
+// applies to the partial stage for -summarizer=kmeans and always to
+// the merge. Every operator honors the bit-identical contract: equal
+// seeds give equal centroids whether chunks run locally, resume from a
+// journal, or ship to -remote workers.
+//
 // The resource governor adds hard bounds: -deadline caps wall-clock
 // time, -progress-timeout arms a stall watchdog that cancels and
 // retries a wedged stage, and -mem-budget shrinks chunk size and
@@ -81,6 +92,11 @@ func realMain() int {
 		rworkers   = flag.Int("restart-workers", 0, "goroutines fanning one chunk's restarts (0/1 = serial; any value is bit-identical)")
 		strategy   = flag.String("strategy", "random", "slicing strategy: random, salami, spatial")
 		merge      = flag.String("merge", "collective", "merge mode: collective or incremental")
+		summarizer = flag.String("summarizer", "kmeans", "chunk-summarizer operator: kmeans, ecvq, coreset")
+		seedMethod = flag.String("seed-method", "", "k-means seeding: random, heaviest, kmeans++, kmeans|| (default: random partial, heaviest merge)")
+		coresetSz  = flag.Int("coreset-size", 0, "weighted points kept per chunk by -summarizer=coreset (0 = 10*k)")
+		ecvqMaxK   = flag.Int("ecvq-maxk", 0, "max clusters per chunk for -summarizer=ecvq (0 = 2*k)")
+		ecvqLambda = flag.Float64("ecvq-lambda", 0, "rate-distortion trade-off for -summarizer=ecvq (0 = pure distortion)")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		explain    = flag.Bool("explain", false, "print the logical and physical plans and exit")
 		adaptive   = flag.Bool("adaptive", false, "start with 1 partial clone and let the re-optimizer scale up under backlog")
@@ -108,15 +124,19 @@ func realMain() int {
 		return 1
 	}
 	defer stopProfiling()
+	sum := sumFlags{
+		summarizer: *summarizer, seedMethod: *seedMethod,
+		coresetSize: *coresetSz, ecvqMaxK: *ecvqMaxK, ecvqLambda: *ecvqLambda,
+	}
 	if *csvPath != "" {
-		if err := runCSV(*csvPath, *k, *restarts, *mem, *workers, *rworkers, *strategy, *merge, *seed); err != nil {
+		if err := runCSV(*csvPath, *k, *restarts, *mem, *workers, *rworkers, *strategy, *merge, *seed, sum); err != nil {
 			fmt.Fprintln(os.Stderr, "pmkm:", err)
 			return 1
 		}
 		return 0
 	}
 	cfg := runConfig{
-		data: *data, mem: *mem, strategy: *strategy, merge: *merge,
+		data: *data, mem: *mem, strategy: *strategy, merge: *merge, sum: sum,
 		k: *k, restarts: *restarts, workers: *workers, restartWorkers: *rworkers, seed: *seed,
 		explain: *explain, adaptive: *adaptive, trace: *showTrace,
 		maxRetries: *maxRetries, salvage: *salvage, remote: *remote,
@@ -191,9 +211,26 @@ func startProfiling(cpuPath, memPath, pprofAddr string) (func(), error) {
 	}, nil
 }
 
+// sumFlags carries the summarizer-operator flags shared by both
+// invocation forms.
+type sumFlags struct {
+	summarizer, seedMethod string
+	coresetSize, ecvqMaxK  int
+	ecvqLambda             float64
+}
+
+// apply stamps the summarizer flags onto a query.
+func (s sumFlags) apply(q *engine.Query) {
+	q.Summarizer = s.summarizer
+	q.SeedMethod = s.seedMethod
+	q.CoresetSize = s.coresetSize
+	q.ECVQMaxK = s.ecvqMaxK
+	q.ECVQLambda = s.ecvqLambda
+}
+
 // runCSV clusters a single CSV file as one "cell" through the engine,
 // letting the library be tried on arbitrary numeric data.
-func runCSV(path string, k, restarts int, mem string, workers, restartWorkers int, strategy, merge string, seed uint64) error {
+func runCSV(path string, k, restarts int, mem string, workers, restartWorkers int, strategy, merge string, seed uint64, sum sumFlags) error {
 	budget, err := parseBytes(mem)
 	if err != nil {
 		return err
@@ -220,6 +257,7 @@ func runCSV(path string, k, restarts int, mem string, workers, restartWorkers in
 	}
 	cells := []engine.Cell{{Key: grid.CellKey{}, Points: set}}
 	q := engine.Query{K: k, Restarts: restarts, Strategy: strat, MergeMode: mode, Seed: seed, Workers: restartWorkers}
+	sum.apply(&q)
 	results, plan, stats, err := engine.Run(context.Background(), cells, q, engine.Resources{
 		MemoryBytes: budget, Workers: workers,
 	})
@@ -260,6 +298,7 @@ func parseBytes(s string) (int64, error) {
 // runConfig carries the bucket-directory invocation's flags.
 type runConfig struct {
 	data, mem, strategy, merge string
+	sum                        sumFlags
 	k, restarts, workers       int
 	restartWorkers             int
 	seed                       uint64
@@ -445,6 +484,7 @@ func run(cfg runConfig) (*engine.DegradedResult, error) {
 		Seed:      cfg.seed,
 		Workers:   cfg.restartWorkers,
 	}
+	cfg.sum.apply(&q)
 	res := engine.Resources{MemoryBytes: budget, Workers: cfg.workers}
 	sizes := make([]int, len(cells))
 	for i, c := range cells {

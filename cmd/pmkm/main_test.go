@@ -217,10 +217,10 @@ func TestRunCSVHappyPath(t *testing.T) {
 	if err := os.WriteFile(path, rows, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runCSV(path, 3, 2, "8KB", 2, 2, "random", "collective", 1); err != nil {
+	if err := runCSV(path, 3, 2, "8KB", 2, 2, "random", "collective", 1, sumFlags{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := runCSV(filepath.Join(t.TempDir(), "missing.csv"), 3, 2, "8KB", 2, 0, "random", "collective", 1); err == nil {
+	if err := runCSV(filepath.Join(t.TempDir(), "missing.csv"), 3, 2, "8KB", 2, 0, "random", "collective", 1, sumFlags{}); err == nil {
 		t.Fatal("missing csv should error")
 	}
 }

@@ -1,0 +1,164 @@
+// Command qualitygate checks every summarizer operator against the
+// committed paper-reproduction table (results_table2_full.txt): each
+// operator clusters the exact cells behind the table's chosen row and
+// its measured point MSE must stay within a stated tolerance of the
+// row's reference value. The report is JSON on stdout (or -out), one
+// entry per operator, so CI can upload it as an artifact; a violation
+// sets a non-zero exit code, which CI treats as non-blocking.
+//
+// The reference row is the partitioned k-means result, so the gate
+// reads as "no pluggable operator may degrade clustering quality more
+// than -tol times the shipped baseline". Alternative operators get a
+// summary budget of 2k points per chunk (coreset m, ECVQ max k) —
+// comparable state to the k-means operator's k weighted centroids.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"streamkm/internal/bench"
+	"streamkm/internal/core"
+)
+
+type operatorReport struct {
+	Operator string  `json:"operator"`
+	PointMSE float64 `json:"point_mse"`
+	Ratio    float64 `json:"ratio"`
+	OK       bool    `json:"ok"`
+}
+
+type report struct {
+	Table        string           `json:"table"`
+	N            int              `json:"n"`
+	Splits       int              `json:"splits"`
+	Versions     int              `json:"versions"`
+	ReferenceMSE float64          `json:"reference_point_mse"`
+	Tolerance    float64          `json:"tolerance"`
+	Operators    []operatorReport `json:"operators"`
+	Pass         bool             `json:"pass"`
+}
+
+func main() {
+	var (
+		table    = flag.String("table", "results_table2_full.txt", "committed Table 2 reproduction to gate against")
+		n        = flag.Int("n", 12500, "cell size; must have a row in the table")
+		splits   = flag.Int("splits", 5, "split count; the table row is '<splits>split'")
+		versions = flag.Int("versions", 2, "dataset versions to average (the table used 5)")
+		tol      = flag.Float64("tol", 1.25, "max allowed measured/reference point-MSE ratio")
+		out      = flag.String("out", "", "write the JSON report here instead of stdout")
+	)
+	flag.Parse()
+
+	ref, err := referencePointMSE(*table, *n, *splits)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := bench.PaperWorkload()
+	w.Versions = *versions
+	rep := report{
+		Table: *table, N: *n, Splits: *splits, Versions: *versions,
+		ReferenceMSE: ref, Tolerance: *tol, Pass: true,
+	}
+	for _, name := range core.SummarizerNames() {
+		mse, err := measure(w, *n, *splits, name)
+		if err != nil {
+			fatal(fmt.Errorf("operator %s: %w", name, err))
+		}
+		op := operatorReport{
+			Operator: name,
+			PointMSE: mse,
+			Ratio:    mse / ref,
+			OK:       mse <= ref**tol,
+		}
+		if !op.OK {
+			rep.Pass = false
+		}
+		rep.Operators = append(rep.Operators, op)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	os.Stdout.Write(enc)
+	if !rep.Pass {
+		os.Exit(1)
+	}
+}
+
+// measure averages an operator's point MSE over the workload's dataset
+// versions, using the same cell and seed derivation as bench.RunTable2
+// so the kmeans operator reproduces the table row it is gated against.
+func measure(w bench.Workload, n, splits int, operator string) (float64, error) {
+	var sum float64
+	for v := 0; v < w.Versions; v++ {
+		cell, err := w.Cell(n, v)
+		if err != nil {
+			return 0, err
+		}
+		res, err := core.Cluster(cell, core.Options{
+			K: w.K, Restarts: w.Restarts, Splits: splits,
+			Seed:        w.Seed + uint64(v)*101 + uint64(n),
+			Summarizer:  operator,
+			CoresetSize: 2 * w.K,
+			ECVQMaxK:    2 * w.K,
+		})
+		if err != nil {
+			return 0, err
+		}
+		sum += res.PointMSE
+	}
+	return sum / float64(w.Versions), nil
+}
+
+// referencePointMSE finds the point-MSE column of the table row for the
+// requested cell size and split count. Rows look like:
+//
+//	12500    5split              537            0           40.8           86.3            451
+//
+// with point MSE in the sixth column (serial rows share the layout).
+func referencePointMSE(path string, n, splits int) (float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	wantCase := fmt.Sprintf("%dsplit", splits)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 7 || fields[1] != wantCase {
+			continue
+		}
+		if rowN, err := strconv.Atoi(fields[0]); err != nil || rowN != n {
+			continue
+		}
+		mse, err := strconv.ParseFloat(fields[5], 64)
+		if err != nil {
+			return 0, fmt.Errorf("qualitygate: bad point MSE in row %q: %w", sc.Text(), err)
+		}
+		return mse, nil
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	return 0, fmt.Errorf("qualitygate: no row for N=%d case %s in %s", n, wantCase, path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qualitygate:", err)
+	os.Exit(2)
+}

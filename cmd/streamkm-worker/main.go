@@ -1,10 +1,14 @@
 // Command streamkm-worker is the remote end of pmkm's distributed
 // execution (the paper's §3.4 option-1 scale-up): it listens for a
-// coordinator, computes partial k-means over each chunk it is leased,
-// and returns the weighted centroids. It is stateless — all planning,
-// journaling, and merging stay on the coordinator — so any number of
-// workers can be pointed at by pmkm -remote, and a worker that dies
-// simply has its chunks re-leased to the survivors.
+// coordinator, runs the summarizer operator each leased chunk names
+// (partial k-means, ecvq, or coreset — the chunk's SKMF payload
+// carries the operator spec), and returns the weighted summary. It is
+// stateless — all planning, journaling, and merging stay on the
+// coordinator — so any number of workers can be pointed at by pmkm
+// -remote, and a worker that dies simply has its chunks re-leased to
+// the survivors. -summarizers restricts which operators this worker
+// agrees to run; chunks naming any other operator are refused with a
+// typed protocol error instead of computed.
 //
 // Two-terminal quickstart:
 //
@@ -19,6 +23,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"streamkm/internal/dist"
@@ -30,10 +35,18 @@ func main() {
 
 func realMain() int {
 	var (
-		listen = flag.String("listen", ":7601", "address to serve coordinators on (host:port)")
-		quiet  = flag.Bool("quiet", false, "suppress per-connection log lines")
+		listen      = flag.String("listen", ":7601", "address to serve coordinators on (host:port)")
+		quiet       = flag.Bool("quiet", false, "suppress per-connection log lines")
+		summarizers = flag.String("summarizers", "", "comma-separated allowlist of summarizer operators to run (e.g. kmeans,coreset); empty allows all")
 	)
 	flag.Parse()
+
+	var allow []string
+	for _, s := range strings.Split(*summarizers, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			allow = append(allow, s)
+		}
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -48,7 +61,7 @@ func realMain() int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	cfg := dist.WorkerConfig{}
+	cfg := dist.WorkerConfig{Summarizers: allow}
 	if !*quiet {
 		cfg.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

@@ -547,9 +547,10 @@ func RunECVQAblation(w Workload, n, splits int, lambdas []float64) ([]AblationRo
 		Elapsed:  fixed.Elapsed,
 	}}
 	for _, lambda := range lambdas {
-		res, err := core.ClusterECVQ(cell,
-			core.Options{K: w.K, Restarts: w.Restarts, Splits: splits, Seed: w.Seed},
-			core.ECVQPartialConfig{MaxK: 2 * w.K, Lambda: lambda, Restarts: w.Restarts})
+		res, err := core.Cluster(cell, core.Options{
+			K: w.K, Restarts: w.Restarts, Splits: splits, Seed: w.Seed,
+			Summarizer: core.SummarizerECVQ, ECVQMaxK: 2 * w.K, ECVQLambda: lambda,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("bench: ecvq ablation lambda=%g: %w", lambda, err)
 		}

@@ -80,6 +80,13 @@ func (w Workload) validate() error {
 	return nil
 }
 
+// Cell generates version v of the N-point cell deterministically —
+// exported so external harnesses (the quality gate) can reproduce the
+// exact cells behind the committed results tables.
+func (w Workload) Cell(n int, version int) (*dataset.Set, error) {
+	return w.cell(n, version)
+}
+
 // cell generates version v of the N-point cell deterministically.
 func (w Workload) cell(n int, version int) (*dataset.Set, error) {
 	spec := w.Spec

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/rng"
+	"streamkm/internal/vector"
+)
+
+// CoresetTreeSummarizer reduces a chunk to an m-point weighted coreset
+// with a StreamKM++-style coreset tree (Ackermann et al.): the chunk
+// starts as one node whose representative is a uniformly sampled point;
+// the highest-cost leaf is repeatedly split by drawing a new
+// representative D^2-proportionally among its members and moving the
+// members that are closer to it, until the tree has m leaves. Each leaf
+// emits its representative point weighted by its member count, so the
+// summary's total weight equals the chunk size — the same invariant the
+// k-means partial operator maintains — and the merge step consumes it
+// unchanged.
+//
+// Unlike the k-means operator it runs no Lloyd iterations at all: cost
+// is O(n log m) expected, which is what makes it the fast summarizer
+// for large chunks (ROADMAP item 2b; SNIPPETS 1-3 show CapyMOA/clusopt
+// exposing the same coreset_size knob).
+type CoresetTreeSummarizer struct {
+	size int
+}
+
+// NewCoresetTreeSummarizer builds a coreset-tree summarizer emitting at
+// most size points per chunk.
+func NewCoresetTreeSummarizer(size int) (*CoresetTreeSummarizer, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("core: coreset size must be positive, got %d", size)
+	}
+	return &CoresetTreeSummarizer{size: size}, nil
+}
+
+// Size returns the configured coreset size m.
+func (s *CoresetTreeSummarizer) Size() int { return s.size }
+
+// Spec implements Summarizer.
+func (s *CoresetTreeSummarizer) Spec() SummarizerSpec {
+	return SummarizerSpec{Name: SummarizerCoreset, Params: map[string]string{
+		"m": strconv.Itoa(s.size),
+	}}
+}
+
+// coresetLeaf is one tree leaf: the indices it owns, its representative
+// (an index into the chunk), each member's squared distance to the
+// representative, and the summed cost.
+type coresetLeaf struct {
+	members []int
+	rep     int
+	d2      []float64
+	cost    float64
+}
+
+func newCoresetLeaf(chunk *dataset.Set, members []int, rep int) *coresetLeaf {
+	l := &coresetLeaf{members: members, rep: rep, d2: make([]float64, len(members))}
+	rv := chunk.At(rep)
+	for i, m := range members {
+		d := vector.SquaredDistance(chunk.At(m), rv)
+		l.d2[i] = d
+		l.cost += d
+	}
+	return l
+}
+
+// Summarize implements Summarizer.
+func (s *CoresetTreeSummarizer) Summarize(chunk *dataset.Set, r *rng.RNG) (*PartialResult, error) {
+	n := chunk.Len()
+	if n == 0 {
+		return nil, errors.New("core: empty partition")
+	}
+	if r == nil {
+		return nil, errors.New("core: coreset summarizer requires an RNG")
+	}
+	start := time.Now()
+	out, err := dataset.NewWeightedSet(chunk.Dim())
+	if err != nil {
+		return nil, err
+	}
+
+	// Chunks at or below the coreset size pass through unit-weighted:
+	// the exact points are already a summary of themselves.
+	if n <= s.size {
+		out.Grow(n)
+		for i := 0; i < n; i++ {
+			if err := out.Add(dataset.WeightedPoint{Vec: chunk.At(i).Clone(), Weight: 1}); err != nil {
+				return nil, err
+			}
+		}
+		return &PartialResult{
+			Centroids: out,
+			Points:    n,
+			Elapsed:   time.Since(start),
+		}, nil
+	}
+
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	root := newCoresetLeaf(chunk, all, r.Intn(n))
+	leaves := []*coresetLeaf{root}
+
+	for len(leaves) < s.size {
+		// Split the strictly highest-cost leaf; creation order breaks
+		// ties so the tree is deterministic.
+		best := 0
+		for i := 1; i < len(leaves); i++ {
+			if leaves[i].cost > leaves[best].cost {
+				best = i
+			}
+		}
+		leaf := leaves[best]
+		if leaf.cost <= 0 {
+			break // every remaining leaf is a point mass; nothing to split
+		}
+		// Draw the new representative D^2-proportionally among members.
+		target := r.Float64() * leaf.cost
+		pick := len(leaf.members) - 1
+		var acc float64
+		for i, d := range leaf.d2 {
+			acc += d
+			if target < acc {
+				pick = i
+				break
+			}
+		}
+		newRep := leaf.members[pick]
+		nv := chunk.At(newRep)
+		// Members strictly closer to the new representative move to the
+		// new leaf; the old representative (distance 0) always stays.
+		var stay, move []int
+		for i, m := range leaf.members {
+			if vector.SquaredDistance(chunk.At(m), nv) < leaf.d2[i] {
+				move = append(move, m)
+			} else {
+				stay = append(stay, m)
+			}
+		}
+		if len(move) == 0 || len(stay) == 0 {
+			// Degenerate split (coincident points); mark the leaf
+			// unsplittable and continue with the others.
+			leaf.cost = 0
+			continue
+		}
+		leaves[best] = newCoresetLeaf(chunk, stay, leaf.rep)
+		leaves = append(leaves, newCoresetLeaf(chunk, move, newRep))
+	}
+
+	out.Grow(len(leaves))
+	var totalCost float64
+	for _, l := range leaves {
+		if err := out.Add(dataset.WeightedPoint{
+			Vec:    chunk.At(l.rep).Clone(),
+			Weight: float64(len(l.members)),
+		}); err != nil {
+			return nil, err
+		}
+		totalCost += l.cost
+	}
+	return &PartialResult{
+		Centroids: out,
+		MSE:       totalCost / float64(n),
+		Points:    n,
+		Elapsed:   time.Since(start),
+	}, nil
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/rng"
+)
+
+func TestCoresetTreeValidation(t *testing.T) {
+	if _, err := NewCoresetTreeSummarizer(0); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+	s, err := NewCoresetTreeSummarizer(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Summarize(dataset.MustNewSet(3), rng.New(1)); err == nil {
+		t.Fatal("empty chunk accepted")
+	}
+	chunk := blobCell(t, 4, 100, 1)
+	if _, err := s.Summarize(chunk, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+func TestCoresetTreePassthroughSmallChunk(t *testing.T) {
+	chunk := blobCell(t, 4, 30, 2)
+	s, err := NewCoresetTreeSummarizer(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := s.Summarize(chunk, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n <= m: every point survives with unit weight, cost 0.
+	if pr.Centroids.Len() != 30 {
+		t.Fatalf("len = %d", pr.Centroids.Len())
+	}
+	for i := 0; i < pr.Centroids.Len(); i++ {
+		if pr.Centroids.WeightAt(i) != 1 {
+			t.Fatalf("point %d weight %v", i, pr.Centroids.WeightAt(i))
+		}
+		for d, x := range chunk.At(i) {
+			if pr.Centroids.VecAt(i)[d] != x {
+				t.Fatalf("point %d dim %d differs", i, d)
+			}
+		}
+	}
+	if pr.MSE != 0 {
+		t.Fatalf("passthrough MSE = %v", pr.MSE)
+	}
+}
+
+func TestCoresetTreeInvariants(t *testing.T) {
+	const n, m = 500, 40
+	chunk := blobCell(t, 5, n, 4)
+	s, err := NewCoresetTreeSummarizer(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := s.Summarize(chunk, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Centroids.Len() != m {
+		t.Fatalf("summary size %d, want %d", pr.Centroids.Len(), m)
+	}
+	// The summary's mass equals the chunk's point count — the merge
+	// contract every summarizer shares. Tree weights are integer member
+	// counts, so the sum is exact.
+	if got := pr.Centroids.TotalWeight(); got != n {
+		t.Fatalf("total weight %v, want %d", got, n)
+	}
+	for i := 0; i < pr.Centroids.Len(); i++ {
+		if w := pr.Centroids.WeightAt(i); w < 1 || w != math.Trunc(w) {
+			t.Fatalf("rep %d weight %v not a positive integer", i, w)
+		}
+	}
+	if pr.Points != n || pr.Iterations != 0 {
+		t.Fatalf("stats: %+v", pr)
+	}
+	if pr.MSE < 0 || math.IsNaN(pr.MSE) {
+		t.Fatalf("MSE = %v", pr.MSE)
+	}
+}
+
+func TestCoresetTreeDeterministic(t *testing.T) {
+	chunk := blobCell(t, 5, 400, 6)
+	s, err := NewCoresetTreeSummarizer(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Summarize(chunk, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Summarize(chunk, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameWeightedSets(t, "coreset", a.Centroids, b.Centroids)
+	if a.MSE != b.MSE {
+		t.Fatalf("MSE drift: %v != %v", a.MSE, b.MSE)
+	}
+}
+
+func BenchmarkCoresetTree5000to200(b *testing.B) {
+	chunk := blobCell(b, 8, 5000, 12)
+	s, err := NewCoresetTreeSummarizer(200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Summarize(chunk, rng.New(3)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestCoresetTreeRefinesWithSize(t *testing.T) {
+	// A larger coreset must represent the chunk at least as well: the
+	// tree only ever splits the worst leaf, so cost is monotone in m.
+	chunk := blobCell(t, 6, 600, 8)
+	var prev = math.Inf(1)
+	for _, m := range []int{12, 60, 300} {
+		s, err := NewCoresetTreeSummarizer(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := s.Summarize(chunk, rng.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pr.MSE > prev+1e-9 {
+			t.Fatalf("m=%d MSE %v worse than smaller coreset %v", m, pr.MSE, prev)
+		}
+		prev = pr.MSE
+	}
+}

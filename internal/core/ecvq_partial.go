@@ -104,32 +104,19 @@ func ECVQPartial(chunk *dataset.Set, cfg ECVQPartialConfig, r *rng.RNG) (*ECVQPa
 // are reduced adaptively (k chosen per partition), then the standard
 // collective merge produces the final k centroids. opts.K is the merge
 // k; ecfg.MaxK bounds the per-partition codebooks.
+//
+// Deprecated: ECVQ is now a first-class Summarizer operator; set
+// Options.Summarizer = SummarizerECVQ (with ECVQMaxK/ECVQLambda) and
+// call Cluster, or build the operator with NewECVQSummarizer. This
+// wrapper survives only for old callers — scripts/check.sh rejects new
+// uses outside internal/core.
 func ClusterECVQ(points *dataset.Set, opts Options, ecfg ECVQPartialConfig) (*Result, error) {
-	if err := opts.validate(); err != nil {
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	if err := ecfg.validate(); err != nil {
-		return nil, err
-	}
-	start := time.Now()
-	r := rng.New(opts.Seed)
-	chunks, err := splitForOptions(points, opts, r)
+	summ, err := NewECVQSummarizer(ecfg)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Partitions: len(chunks)}
-	parts := make([]*dataset.WeightedSet, len(chunks))
-	for i, chunk := range chunks {
-		pr, err := ECVQPartial(chunk, ecfg, r.Split())
-		if err != nil {
-			return nil, fmt.Errorf("core: ECVQ partition %d: %w", i, err)
-		}
-		parts[i] = pr.Centroids
-		res.PartialTime += pr.Elapsed
-	}
-	if err := finishMerge(points, parts, opts, r, res); err != nil {
-		return nil, err
-	}
-	res.Elapsed = time.Since(start)
-	return res, nil
+	return clusterWith(points, opts, summ)
 }

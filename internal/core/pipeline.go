@@ -59,9 +59,27 @@ type Options struct {
 	// chunk's restarts over cores. Results stay bit-identical to serial
 	// execution for any value.
 	Workers int
+	// Summarizer names the chunk-summarizer operator ("" or "kmeans" =
+	// the paper's partial k-means; "ecvq", "coreset" select the
+	// adaptive-k and coreset-tree operators).
+	Summarizer string
+	// SeedMethod names the seeding strategy applied to both the
+	// k-means partial stage and the merge stage (kmeans.SeederByName;
+	// "" keeps the historic defaults: random partial, heaviest merge).
+	// Explicit PartialSeeder/MergeSeeder values take precedence.
+	SeedMethod string
+	// CoresetSize is the coreset operator's output size m per chunk
+	// (0 = 10*K).
+	CoresetSize int
+	// ECVQMaxK and ECVQLambda parameterize the ecvq operator
+	// (0 = 2*K and no rate penalty respectively).
+	ECVQMaxK   int
+	ECVQLambda float64
 }
 
-func (o Options) validate() error {
+// Validate checks the options for structural errors — exported so the
+// facade can fail fast before building pipelines or summarizers.
+func (o Options) Validate() error {
 	if o.K <= 0 {
 		return fmt.Errorf("core: K must be positive, got %d", o.K)
 	}
@@ -70,6 +88,9 @@ func (o Options) validate() error {
 	}
 	if (o.Splits > 0) == (o.ChunkPoints > 0) {
 		return errors.New("core: exactly one of Splits and ChunkPoints must be positive")
+	}
+	if _, err := kmeans.SeederByName(o.SeedMethod); err != nil {
+		return err
 	}
 	return nil
 }
@@ -91,15 +112,41 @@ func (o Options) PartialConfig() PartialConfig {
 
 // MergeConfig derives the merge-stage configuration from the options
 // (a nil Seeder lets MergeKMeans default to the heaviest-point seeder).
+// SeedMethod, when set and not overridden by MergeSeeder, selects the
+// merge seeding strategy too — with the coreset summarizer the merge is
+// the only k-means stage, so this is where -seed-method=kmeans++ bites.
 func (o Options) MergeConfig() MergeConfig {
+	seeder := o.MergeSeeder
+	if seeder == nil && o.SeedMethod != "" {
+		if s, err := kmeans.SeederByName(o.SeedMethod); err == nil {
+			seeder = s
+		}
+	}
 	return MergeConfig{
 		K:             o.K,
 		Epsilon:       o.Epsilon,
 		MaxIterations: o.MaxIterations,
-		Seeder:        o.MergeSeeder,
+		Seeder:        seeder,
 		Mode:          o.MergeMode,
 		Accelerate:    o.Accelerate,
 	}
+}
+
+// SummarizerOptions maps the pipeline options onto the summarizer
+// factory's knobs — the one place that mapping is written down, shared
+// with the engine and the streamkm facade.
+func (o Options) SummarizerOptions() SummarizerOptions {
+	return SummarizerOptions{
+		Partial:     o.PartialConfig(),
+		SeedMethod:  o.SeedMethod,
+		CoresetSize: o.CoresetSize,
+		ECVQ:        ECVQPartialConfig{MaxK: o.ECVQMaxK, Lambda: o.ECVQLambda},
+	}
+}
+
+// NewSummarizer resolves the options' chunk-summarizer operator.
+func (o Options) NewSummarizer() (Summarizer, error) {
+	return SummarizerFor(o.Summarizer, o.SummarizerOptions())
 }
 
 // Result is the outcome of a full partial/merge run.
@@ -136,9 +183,19 @@ type Result struct {
 // the paper's Table 2 measures ("even if all partial k-means steps are
 // run serially on one machine").
 func Cluster(points *dataset.Set, opts Options) (*Result, error) {
-	if err := opts.validate(); err != nil {
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	summ, err := opts.NewSummarizer()
+	if err != nil {
+		return nil, err
+	}
+	return clusterWith(points, opts, summ)
+}
+
+// clusterWith is the serial pipeline body with the summarizer operator
+// injected — shared by Cluster and the deprecated ClusterECVQ wrapper.
+func clusterWith(points *dataset.Set, opts Options, summ Summarizer) (*Result, error) {
 	start := time.Now()
 	r := rng.New(opts.Seed)
 	chunks, err := splitForOptions(points, opts, r)
@@ -148,7 +205,7 @@ func Cluster(points *dataset.Set, opts Options) (*Result, error) {
 	res := &Result{Partitions: len(chunks)}
 	parts := make([]*dataset.WeightedSet, len(chunks))
 	for i, chunk := range chunks {
-		pr, err := PartialKMeans(chunk, opts.PartialConfig(), r.Split())
+		pr, err := summ.Summarize(chunk, r.Split())
 		if err != nil {
 			return nil, fmt.Errorf("core: partition %d: %w", i, err)
 		}
@@ -170,7 +227,11 @@ func Cluster(points *dataset.Set, opts Options) (*Result, error) {
 // collective merging with heaviest-weight seeding makes the final
 // centroids insensitive to arrival order, matching §3.3's argument.
 func ClusterParallel(ctx context.Context, points *dataset.Set, opts Options) (*Result, error) {
-	if err := opts.validate(); err != nil {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	summ, err := opts.NewSummarizer()
+	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
@@ -215,9 +276,9 @@ func ClusterParallel(ctx context.Context, points *dataset.Set, opts Options) (*R
 		return nil
 	}, chunkQ)
 
-	stream.RunTransform(g, gctx, reg, "partial-kmeans", clones,
+	stream.RunTransform(g, gctx, reg, "partial-"+summ.Spec().Name, clones,
 		func(ctx context.Context, t task, emit stream.Emit[partOut]) error {
-			pr, err := PartialKMeans(t.chunk, opts.PartialConfig(), t.rng)
+			pr, err := summ.Summarize(t.chunk, t.rng)
 			if err != nil {
 				return fmt.Errorf("partition %d: %w", t.index, err)
 			}

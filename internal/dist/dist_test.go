@@ -152,11 +152,15 @@ func TestChunkPayloadRoundTrip(t *testing.T) {
 	points := distCell(t, 50, 7)
 	r := rng.New(99)
 	r.Uint64() // advance so the state is not the seed-fresh one
+	summ, err := core.NewKMeansSummarizer(core.PartialConfig{K: 4, Restarts: 3, Epsilon: 1e-7, MaxIterations: 40, Accelerate: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	c := engine.RemoteChunk{
 		Cell: 3, Chunk: 2, Total: 5,
 		Points: points,
 		RNG:    r,
-		Config: core.PartialConfig{K: 4, Restarts: 3, Epsilon: 1e-7, MaxIterations: 40, Accelerate: true, Workers: 2},
+		Spec:   summ.Spec(),
 	}
 	payload, err := encodeChunk(c)
 	if err != nil {
@@ -169,8 +173,8 @@ func TestChunkPayloadRoundTrip(t *testing.T) {
 	if got.Cell != c.Cell || got.Chunk != c.Chunk || got.Total != c.Total {
 		t.Fatalf("identity mismatch: %+v", got)
 	}
-	if got.Config != c.Config {
-		t.Fatalf("config mismatch: %+v != %+v", got.Config, c.Config)
+	if got.Spec.Encode() != c.Spec.Encode() {
+		t.Fatalf("spec mismatch: %q != %q", got.Spec.Encode(), c.Spec.Encode())
 	}
 	if got.Points.Len() != points.Len() || got.Points.Dim() != points.Dim() {
 		t.Fatalf("points mismatch: %dx%d", got.Points.Len(), got.Points.Dim())
@@ -407,7 +411,7 @@ func TestConcurrentPartials(t *testing.T) {
 			defer wg.Done()
 			_, trail, err := pool.Partial(context.Background(), engine.RemoteChunk{
 				Cell: i, Chunk: 0, Total: 1, Points: points, RNG: rng.New(uint64(i)),
-				Config: core.PartialConfig{K: 4, Restarts: 1},
+				Spec: core.SummarizerSpec{Name: core.SummarizerKMeans, Params: map[string]string{"k": "4", "restarts": "1"}},
 			})
 			if err != nil {
 				errs <- err

@@ -63,6 +63,12 @@ const (
 // ErrBadFrame is wrapped by all frame-layer corruption errors.
 var ErrBadFrame = errors.New("dist: malformed protocol frame")
 
+// ErrUnknownOperator marks a chunk whose summarizer operator the worker
+// does not know or refuses to run (allowlist). It travels back to the
+// coordinator as a fail frame carrying this error's text, so the
+// coordinator's retry logic sees a compute failure, not a dead worker.
+var ErrUnknownOperator = errors.New("dist: unknown or disallowed summarizer operator")
+
 // errInjectedDisconnect marks a connection torn down by the network
 // fault injector — the chaos suite's abrupt worker death.
 var errInjectedDisconnect = errors.New("dist: injected disconnect")

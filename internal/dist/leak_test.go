@@ -45,7 +45,7 @@ func leakChunk(t *testing.T, cell int) engine.RemoteChunk {
 		Cell: cell, Chunk: 0, Total: 1,
 		Points: distCell(t, 120, uint64(cell)+1),
 		RNG:    rng.New(uint64(cell)),
-		Config: core.PartialConfig{K: 4, Restarts: 1},
+		Spec:   core.SummarizerSpec{Name: core.SummarizerKMeans, Params: map[string]string{"k": "4", "restarts": "1"}},
 	}
 }
 

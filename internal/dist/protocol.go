@@ -25,16 +25,20 @@ import (
 // draw sequence equal the local one.
 
 // protoVersion is the handshake version; a worker refuses a coordinator
-// it cannot serve rather than mis-decoding its frames.
-const protoVersion = 1
+// it cannot serve rather than mis-decoding its frames. Version 2
+// replaced the fixed k-means scalar block in chunk payloads with the
+// summarizer operator spec (a length-prefixed canonical string), so a
+// chunk can name any operator; v1 workers refuse v2 coordinators at the
+// handshake instead of mis-decoding chunks.
+const protoVersion = 2
 
 // rngStateSize is the serialized size of an rng.RNG (see
 // rng.MarshalBinary).
 const rngStateSize = 41
 
-// chunkHeaderSize is the fixed prefix of a chunk payload before the RNG
-// state and point block.
-const chunkHeaderSize = 4*7 + 1 + 8
+// chunkHeaderSize is the fixed prefix of a chunk payload before the
+// operator spec, RNG state, and point block.
+const chunkHeaderSize = 4 * 3
 
 // encodeHello builds the handshake payload (both directions).
 func encodeHello() []byte {
@@ -52,23 +56,23 @@ func decodeHello(payload []byte) error {
 	return nil
 }
 
-// encodeChunk serializes one work unit: plan identity, partial
-// configuration, RNG state, then the points as a bucket-v2 block.
+// encodeChunk serializes one work unit: plan identity, the summarizer
+// operator spec (canonical string encoding — floats inside it use the
+// shortest exact representation, so the spec round-trips bit-exactly),
+// RNG state, then the points as a bucket-v2 block.
 func encodeChunk(c engine.RemoteChunk) ([]byte, error) {
 	var b bytes.Buffer
 	for _, v := range []uint32{
 		uint32(c.Cell), uint32(c.Chunk), uint32(c.Total),
-		uint32(c.Config.K), uint32(c.Config.Restarts),
-		uint32(c.Config.MaxIterations), uint32(c.Config.Workers),
 	} {
 		b.Write(binary.LittleEndian.AppendUint32(nil, v))
 	}
-	if c.Config.Accelerate {
-		b.WriteByte(1)
-	} else {
-		b.WriteByte(0)
+	op := c.Spec.Encode()
+	if len(op) > math.MaxUint16 {
+		return nil, fmt.Errorf("dist: operator spec too long (%d bytes)", len(op))
 	}
-	b.Write(binary.LittleEndian.AppendUint64(nil, math.Float64bits(c.Config.Epsilon)))
+	b.Write(binary.LittleEndian.AppendUint16(nil, uint16(len(op))))
+	b.WriteString(op)
 	state, err := c.RNG.MarshalBinary()
 	if err != nil {
 		return nil, err
@@ -83,9 +87,13 @@ func encodeChunk(c engine.RemoteChunk) ([]byte, error) {
 	return b.Bytes(), nil
 }
 
-// decodeChunk reconstructs a work unit from its payload.
+// decodeChunk reconstructs a work unit from its payload. The operator
+// spec is parsed but deliberately not resolved here: frame decoding
+// stays a pure transport concern, and the worker resolves (and may
+// refuse) the operator in computeChunk, where refusal produces a typed
+// fail frame instead of a dead connection.
 func decodeChunk(payload []byte) (engine.RemoteChunk, error) {
-	if len(payload) < chunkHeaderSize+rngStateSize {
+	if len(payload) < chunkHeaderSize+2 {
 		return engine.RemoteChunk{}, fmt.Errorf("%w: short chunk payload (%d bytes)", ErrBadFrame, len(payload))
 	}
 	u32 := func(off int) int { return int(binary.LittleEndian.Uint32(payload[off:])) }
@@ -93,20 +101,23 @@ func decodeChunk(payload []byte) (engine.RemoteChunk, error) {
 		Cell:  u32(0),
 		Chunk: u32(4),
 		Total: u32(8),
-		Config: core.PartialConfig{
-			K:             u32(12),
-			Restarts:      u32(16),
-			MaxIterations: u32(20),
-			Workers:       u32(24),
-			Accelerate:    payload[28] != 0,
-			Epsilon:       math.Float64frombits(binary.LittleEndian.Uint64(payload[29:])),
-		},
 	}
+	opLen := int(binary.LittleEndian.Uint16(payload[chunkHeaderSize:]))
+	rest := payload[chunkHeaderSize+2:]
+	if len(rest) < opLen+rngStateSize {
+		return engine.RemoteChunk{}, fmt.Errorf("%w: short chunk payload (%d bytes)", ErrBadFrame, len(payload))
+	}
+	spec, err := core.ParseSummarizerSpec(string(rest[:opLen]))
+	if err != nil {
+		return engine.RemoteChunk{}, fmt.Errorf("%w: operator spec: %v", ErrBadFrame, err)
+	}
+	c.Spec = spec
+	rest = rest[opLen:]
 	c.RNG = new(rng.RNG)
-	if err := c.RNG.UnmarshalBinary(payload[chunkHeaderSize : chunkHeaderSize+rngStateSize]); err != nil {
+	if err := c.RNG.UnmarshalBinary(rest[:rngStateSize]); err != nil {
 		return engine.RemoteChunk{}, fmt.Errorf("%w: rng state: %v", ErrBadFrame, err)
 	}
-	_, points, err := grid.ReadBucket(bytes.NewReader(payload[chunkHeaderSize+rngStateSize:]))
+	_, points, err := grid.ReadBucket(bytes.NewReader(rest[rngStateSize:]))
 	if err != nil {
 		return engine.RemoteChunk{}, fmt.Errorf("dist: chunk point block: %w", err)
 	}

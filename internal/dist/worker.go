@@ -16,9 +16,10 @@ import (
 // The worker side of the protocol: a stateless compute server. Each
 // connection is a serial conversation — the coordinator keeps at most
 // one chunk in flight per connection — so the worker needs no queues,
-// no scheduler, and no knowledge of the plan: it decodes a chunk, runs
-// the identical core.PartialKMeans the local engine would, and returns
-// the weighted centroids.
+// no scheduler, and no knowledge of the plan: it decodes a chunk,
+// reconstructs the summarizer operator the chunk's spec names (the
+// identical core.Summarizer the local engine would run), and returns
+// the weighted summary.
 //
 // Delivery is at-least-once from the worker's point of view: after
 // sending a result it waits for the coordinator's ACK and resends on
@@ -39,8 +40,29 @@ type WorkerConfig struct {
 	// Inject, when non-nil, injects faults into the worker's outgoing
 	// frames — the chaos suite's lost-result and dead-worker scenarios.
 	Inject *fault.NetInjector
+	// Summarizers, when non-empty, is an allowlist of operator names
+	// this worker agrees to run; a chunk naming any other operator is
+	// refused with ErrUnknownOperator. Empty allows every operator the
+	// worker's binary knows.
+	Summarizers []string
 	// Logf, when non-nil, receives one line per connection event.
 	Logf func(format string, args ...any)
+}
+
+// allows reports whether the worker may run the named operator.
+func (c WorkerConfig) allows(name string) bool {
+	if len(c.Summarizers) == 0 {
+		return true
+	}
+	if name == "" {
+		name = core.SummarizerKMeans
+	}
+	for _, s := range c.Summarizers {
+		if s == name {
+			return true
+		}
+	}
+	return false
 }
 
 func (c WorkerConfig) withDefaults() WorkerConfig {
@@ -158,7 +180,7 @@ func serveConn(conn net.Conn, cfg WorkerConfig) error {
 			}
 		}
 
-		respType, respPayload, err := computeChunk(payload)
+		respType, respPayload, err := computeChunk(payload, cfg)
 		if err != nil {
 			return err
 		}
@@ -169,16 +191,28 @@ func serveConn(conn net.Conn, cfg WorkerConfig) error {
 	}
 }
 
-// computeChunk decodes one chunk payload and runs the partial k-means,
-// producing the response frame. A malformed chunk or failed computation
-// becomes a fail frame; only transport-level problems return an error.
-func computeChunk(payload []byte) (byte, []byte, error) {
+// computeChunk decodes one chunk payload, resolves the summarizer its
+// spec names, and runs it, producing the response frame. A malformed
+// chunk, unknown/disallowed operator, or failed computation becomes a
+// fail frame; only transport-level problems return an error.
+func computeChunk(payload []byte, cfg WorkerConfig) (byte, []byte, error) {
 	c, err := decodeChunk(payload)
 	if err != nil {
 		// The identity may be unreadable; report what we can.
 		return frameFail, encodeFail(c.Cell, c.Chunk, err.Error()), nil
 	}
-	pr, err := core.PartialKMeans(c.Points, c.Config, c.RNG)
+	if !cfg.allows(c.Spec.Name) {
+		err := fmt.Errorf("%w: operator %q not in this worker's allowlist", ErrUnknownOperator, c.Spec.Name)
+		return frameFail, encodeFail(c.Cell, c.Chunk, err.Error()), nil
+	}
+	summ, err := core.NewSummarizer(c.Spec)
+	if err != nil {
+		if errors.Is(err, core.ErrUnknownSummarizer) {
+			err = fmt.Errorf("%w: %v", ErrUnknownOperator, err)
+		}
+		return frameFail, encodeFail(c.Cell, c.Chunk, err.Error()), nil
+	}
+	pr, err := summ.Summarize(c.Points, c.RNG)
 	if err != nil {
 		return frameFail, encodeFail(c.Cell, c.Chunk, err.Error()), nil
 	}

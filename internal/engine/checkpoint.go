@@ -8,9 +8,11 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"streamkm/internal/core"
 	"streamkm/internal/dataset"
 )
 
@@ -42,16 +44,38 @@ import (
 // A journal with no leases still encodes as version 1, so local
 // checkpoints remain byte-identical to PR 2's format and old readers
 // keep working on them.
+//
+// Version 3 (written only when the journal was filled by a summarizer
+// other than the default k-means operator) inserts a length-prefixed
+// operator record between the header and the entries, and always ends
+// with the lease section (count may be 0):
+//
+//	magic    [4]byte "SKMJ"
+//	version  uint16 = 3
+//	operator uint16 length + canonical core.SummarizerSpec encoding
+//	entries  uint32, then entries as in v1
+//	leases   uint32, then leases as in v2
+//
+// Journals written by the k-means operator keep encoding as v1/v2, so
+// every pre-summarizer checkpoint stays byte-identical and decodes to
+// an implicit "kmeans" operator record.
 const (
 	journalMagic      = "SKMJ"
 	journalVersion    = 1
 	journalVersionV2  = 2
+	journalVersionV3  = 3
 	journalMaxStrLen  = 1 << 12
 	journalMaxEntries = 1 << 24
 )
 
 // ErrBadJournal is wrapped by journal decoding errors.
 var ErrBadJournal = errors.New("engine: malformed execution journal")
+
+// ErrJournalOperatorMismatch is returned when an execution tries to
+// resume a journal that was filled by a different summarizer operator —
+// merging summaries produced by two different operators would be
+// silently wrong, so the resume is refused up front.
+var ErrJournalOperatorMismatch = errors.New("engine: journal operator mismatch")
 
 type journalKey struct{ cell, chunk int }
 
@@ -86,6 +110,10 @@ type Journal struct {
 	done   map[int]int // cell -> journaled chunk count
 	totals map[int]int // cell -> total chunk count
 	leases []LeaseRecord
+	// operator is the canonical spec encoding of the summarizer that
+	// filled the journal ("" until the first execution binds one;
+	// legacy checkpoints decode to the bare operator name).
+	operator string
 }
 
 // NewJournal returns an empty journal.
@@ -122,6 +150,59 @@ func (j *Journal) record(p partialOut) bool {
 		elapsed:   p.res.Elapsed,
 		centroids: p.res.Centroids,
 	})
+}
+
+// Operator returns the canonical spec encoding of the summarizer bound
+// to the journal ("" when no execution has bound one yet).
+func (j *Journal) Operator() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.operator
+}
+
+// operatorName extracts the operator name from a canonical spec
+// encoding ("kmeans(k=5,...)" -> "kmeans").
+func operatorName(enc string) string {
+	if i := strings.IndexByte(enc, '('); i >= 0 {
+		return enc[:i]
+	}
+	return enc
+}
+
+// operatorIdentity normalizes a spec encoding for resume-compatibility
+// comparison: execution-shape params that never change the summary bits
+// (restart fan-out workers, the accelerated Lloyd toggle) are dropped,
+// so a checkpoint taken on an 8-core worker pool resumes on a laptop.
+func operatorIdentity(enc string) string {
+	spec, err := core.ParseSummarizerSpec(enc)
+	if err != nil {
+		return enc
+	}
+	delete(spec.Params, "workers")
+	delete(spec.Params, "accel")
+	return spec.Encode()
+}
+
+// bindOperator ties the journal to the executing summarizer. The first
+// binding records the spec; later bindings must be identity-compatible
+// or the resume is refused with ErrJournalOperatorMismatch. A bare
+// operator name (a decoded legacy checkpoint) accepts any spec of the
+// same operator and upgrades to the full encoding.
+func (j *Journal) bindOperator(spec core.SummarizerSpec) error {
+	enc := spec.Encode()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.operator {
+	case "", enc, spec.Name:
+		j.operator = enc
+		return nil
+	}
+	if operatorIdentity(j.operator) == operatorIdentity(enc) {
+		j.operator = enc
+		return nil
+	}
+	return fmt.Errorf("%w: journal was written by %q, query runs %q",
+		ErrJournalOperatorMismatch, j.operator, enc)
 }
 
 // recordLeases appends a chunk's assignment trail — one record per
@@ -261,6 +342,7 @@ func (j *Journal) Encode(w io.Writer) error {
 	}
 	leases := make([]LeaseRecord, len(j.leases))
 	copy(leases, j.leases)
+	operator := j.operator
 	j.mu.Unlock()
 	sort.Slice(keys, func(a, b int) bool {
 		if keys[a].cell != keys[b].cell {
@@ -272,10 +354,15 @@ func (j *Journal) Encode(w io.Writer) error {
 
 	// A lease-free journal writes version 1 — byte-identical to the
 	// pre-distributed format — so only distributed checkpoints carry the
-	// new section.
+	// lease section, and only non-k-means summarizers carry the operator
+	// record (v3): every checkpoint a pre-summarizer engine could have
+	// produced still serializes to the bytes it produced then.
 	version := uint16(journalVersion)
 	if len(leases) > 0 {
 		version = journalVersionV2
+	}
+	if name := operatorName(operator); name != "" && name != core.SummarizerKMeans {
+		version = journalVersionV3
 	}
 
 	bw := bufio.NewWriter(w)
@@ -284,6 +371,11 @@ func (j *Journal) Encode(w io.Writer) error {
 	}
 	if err := binary.Write(bw, binary.LittleEndian, version); err != nil {
 		return err
+	}
+	if version == journalVersionV3 {
+		if err := writeJournalString(bw, operator); err != nil {
+			return err
+		}
 	}
 	if err := binary.Write(bw, binary.LittleEndian, uint32(len(keys))); err != nil {
 		return err
@@ -304,7 +396,7 @@ func (j *Journal) Encode(w io.Writer) error {
 			return err
 		}
 	}
-	if version == journalVersionV2 {
+	if version >= journalVersionV2 {
 		if err := binary.Write(bw, binary.LittleEndian, uint32(len(leases))); err != nil {
 			return err
 		}
@@ -367,8 +459,21 @@ func DecodeJournal(r io.Reader) (*Journal, error) {
 	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadJournal, err)
 	}
-	if version != journalVersion && version != journalVersionV2 {
+	if version < journalVersion || version > journalVersionV3 {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadJournal, version)
+	}
+	// Pre-v3 checkpoints were by construction filled by the k-means
+	// partial operator; the implicit name-only record lets bindOperator
+	// accept any k-means spec on resume.
+	operator := core.SummarizerKMeans
+	if version == journalVersionV3 {
+		var err error
+		if operator, err = readJournalString(br); err != nil {
+			return nil, fmt.Errorf("%w: operator record: %v", ErrBadJournal, err)
+		}
+		if operator == "" {
+			return nil, fmt.Errorf("%w: empty operator record", ErrBadJournal)
+		}
 	}
 	var count uint32
 	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
@@ -378,6 +483,7 @@ func DecodeJournal(r io.Reader) (*Journal, error) {
 		return nil, fmt.Errorf("%w: implausible entry count %d", ErrBadJournal, count)
 	}
 	j := NewJournal()
+	j.operator = operator
 	for i := uint32(0); i < count; i++ {
 		var cell, chunk, total uint32
 		var elapsedNs int64
@@ -406,7 +512,7 @@ func DecodeJournal(r io.Reader) (*Journal, error) {
 			return nil, fmt.Errorf("%w: duplicate entry for cell %d chunk %d", ErrBadJournal, cell, chunk)
 		}
 	}
-	if version == journalVersionV2 {
+	if version >= journalVersionV2 {
 		var leases uint32
 		if err := binary.Read(br, binary.LittleEndian, &leases); err != nil {
 			return nil, fmt.Errorf("%w: lease count: %v", ErrBadJournal, err)

@@ -263,6 +263,16 @@ func (e *Exec) Execute(ctx context.Context, cells []Cell) ([]CellResult, *ExecSt
 		defer cancel()
 	}
 
+	// Resolve the chunk-summarizer operator once for the whole
+	// execution; its spec names the partial stage everywhere (plan
+	// EXPLAIN, traces, metrics, watchdog probes, fault injection) and is
+	// what the journal and the distributed workers see.
+	summ, err := q.newSummarizer()
+	if err != nil {
+		return nil, nil, err
+	}
+	stagePartial := q.partialStage()
+
 	master := rng.New(q.Seed)
 	tasks, mergeRNGs, err := prepareTasks(cells, q, plan, master)
 	if err != nil {
@@ -275,7 +285,7 @@ func (e *Exec) Execute(ctx context.Context, cells []Cell) ([]CellResult, *ExecSt
 	if obsReg == nil {
 		obsReg = obs.NewRegistry()
 	}
-	ob := newExecObs(obsReg)
+	ob := newExecObs(obsReg, stagePartial)
 	ob.cellsTotal.Add(int64(len(cells)))
 	ob.chunksTotal.Add(int64(len(tasks)))
 	if admission != nil && admission.Constrained() {
@@ -291,6 +301,12 @@ func (e *Exec) Execute(ctx context.Context, cells []Cell) ([]CellResult, *ExecSt
 	if journal == nil {
 		journal = NewJournal()
 	}
+	// A journal is bound to the operator that filled it: resuming a
+	// checkpoint under a different summarizer would merge incompatible
+	// summaries, so the mismatch is refused up front.
+	if err := journal.bindOperator(summ.Spec()); err != nil {
+		return nil, nil, err
+	}
 	compress := q.Compress
 	if e.compress != nil {
 		compress = *e.compress
@@ -302,11 +318,11 @@ func (e *Exec) Execute(ctx context.Context, cells []Cell) ([]CellResult, *ExecSt
 	// attempts instead of reporting only the last attempt's pipeline.
 	reg := stream.NewStatsRegistry()
 
-	work := partialTransform(cells, q, tr, ob, e.remote, journal)
+	work := partialTransform(cells, summ, stagePartial, tr, ob, e.remote, journal)
 	if e.inject != nil {
 		base, inj := work, e.inject
 		work = func(ctx context.Context, t chunkTask, emit stream.Emit[partialOut]) error {
-			if err := inj.InvokeContext(ctx, opPartial); err != nil {
+			if err := inj.InvokeContext(ctx, stagePartial); err != nil {
 				return err
 			}
 			return base(ctx, t, emit)
@@ -372,7 +388,7 @@ func (e *Exec) Execute(ctx context.Context, cells []Cell) ([]CellResult, *ExecSt
 		partQ := stream.NewQueue[partialOut](queuePartials, plan.QueueCapacity)
 
 		stream.RunSource(g, gctx, reg, opScan, taskSource(remaining), chunkQ)
-		pcfg := stream.StageConfig[chunkTask]{Name: opPartial, Clones: plan.PartialClones, Sup: sup,
+		pcfg := stream.StageConfig[chunkTask]{Name: stagePartial, Clones: plan.PartialClones, Sup: sup,
 			Observe: ob.partialSeconds.ObserveDuration}
 		mcfg := stream.StageConfig[partialOut]{Name: opMerge, Clones: 1,
 			Observe: ob.mergeSeconds.ObserveDuration}
@@ -399,7 +415,7 @@ func (e *Exec) Execute(ctx context.Context, cells []Cell) ([]CellResult, *ExecSt
 		if hbPartial != nil {
 			wd := govern.NewWatchdog(e.budget.ProgressTimeout,
 				govern.Probe{
-					Name:     opPartial,
+					Name:     stagePartial,
 					Progress: func() int64 { return hbPartial.Beats() + chunkQ.Dequeued() },
 					Pending:  func() int64 { return hbPartial.InFlight() + int64(chunkQ.Len()) },
 				},

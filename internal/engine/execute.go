@@ -18,10 +18,13 @@ import (
 
 // Stage names: pipeline operators, trace timeline lanes, and obs metric
 // stage labels all use the same vocabulary, so a lane in the timeline
-// cross-references a stage label in the JSON run report.
+// cross-references a stage label in the JSON run report. The partial
+// stage is named after the summarizer operator actually running in it
+// (Query.partialStage(): "partial-kmeans", "partial-ecvq",
+// "partial-coreset"); opPartial is that label for the default operator.
 const (
 	opScan    = "scan"
-	opPartial = "partial-kmeans"
+	opPartial = "partial-" + core.SummarizerKMeans
 	opMerge   = "merge-kmeans"
 
 	queueChunks   = "chunks"
@@ -152,11 +155,12 @@ func validateExecArgs(cells []Cell, q Query, plan PhysicalPlan) error {
 	return nil
 }
 
-func partialTransform(cells []Cell, q Query, tr *trace.Tracer, ob *execObs, remote RemotePartial, journal *Journal) stream.TransformFunc[chunkTask, partialOut] {
+func partialTransform(cells []Cell, summ core.Summarizer, stage string, tr *trace.Tracer, ob *execObs, remote RemotePartial, journal *Journal) stream.TransformFunc[chunkTask, partialOut] {
+	spec := summ.Spec()
 	return func(ctx context.Context, t chunkTask, emit stream.Emit[partialOut]) error {
 		key := cells[t.cellIdx].Key
-		end := tr.SpanL(opPartial, fmt.Sprintf("%v/%d", key, t.chunkIdx),
-			trace.Label{Key: "stage", Value: opPartial},
+		end := tr.SpanL(stage, fmt.Sprintf("%v/%d", key, t.chunkIdx),
+			trace.Label{Key: "stage", Value: stage},
 			trace.Label{Key: "cell", Value: fmt.Sprintf("%v", key)},
 			trace.Label{Key: "chunk", Value: fmt.Sprintf("%d", t.chunkIdx)})
 		// Every invocation is one attempt (retries of a supervised chunk
@@ -168,7 +172,8 @@ func partialTransform(cells []Cell, q Query, tr *trace.Tracer, ob *execObs, remo
 		ob.chunkPoints.Observe(float64(t.chunk.Len()))
 		// Work on a copy of the task's pre-derived RNG so a retried or
 		// restarted chunk replays the identical random sequence — locally
-		// or on a remote worker, which receives this exact state.
+		// or on a remote worker, which receives this exact state along
+		// with the operator spec so it runs the identical summarizer.
 		taskRNG := *t.rng
 		var pr *core.PartialResult
 		var err error
@@ -176,11 +181,11 @@ func partialTransform(cells []Cell, q Query, tr *trace.Tracer, ob *execObs, remo
 			var trail []Assignment
 			pr, trail, err = remote.Partial(ctx, RemoteChunk{
 				Cell: t.cellIdx, Chunk: t.chunkIdx, Total: t.total,
-				Points: t.chunk, RNG: &taskRNG, Config: q.partialConfig(),
+				Points: t.chunk, RNG: &taskRNG, Spec: spec,
 			})
 			journal.recordLeases(t.cellIdx, t.chunkIdx, trail)
 		} else {
-			pr, err = core.PartialKMeans(t.chunk, q.partialConfig(), &taskRNG)
+			pr, err = summ.Summarize(t.chunk, &taskRNG)
 		}
 		end()
 		if err != nil {
@@ -190,6 +195,7 @@ func partialTransform(cells []Cell, q Query, tr *trace.Tracer, ob *execObs, remo
 		ob.kmRestarts.Add(int64(pr.Restarts))
 		ob.kmConvPartial.Add(int64(pr.Converged))
 		ob.kmDeltaMSE.Set(pr.DeltaMSE)
+		ob.summaryPoints.Add(int64(pr.Centroids.Len()))
 		return emit(partialOut{cellIdx: t.cellIdx, chunkIdx: t.chunkIdx, total: t.total, res: pr})
 	}
 }

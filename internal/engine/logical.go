@@ -73,6 +73,7 @@ func LogicalFor(q Query, nCells int, withCompress bool) *LogicalNode {
 		Props: map[string]string{
 			"k":        fmt.Sprintf("%d", q.K),
 			"restarts": fmt.Sprintf("%d", q.Restarts),
+			"operator": q.partialStage(),
 		},
 		Children: []*LogicalNode{split},
 	}

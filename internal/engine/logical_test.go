@@ -32,7 +32,7 @@ func TestLogicalString(t *testing.T) {
 	for _, want := range []string{
 		"Compress",
 		"  MergeKMeans(k=40, mode=collective)",
-		"    PartialKMeans(k=40, restarts=10)",
+		"    PartialKMeans(k=40, operator=partial-kmeans, restarts=10)",
 		"      Split(strategy=random)",
 		"        Scan(cells=5)",
 	} {

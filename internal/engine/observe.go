@@ -55,9 +55,15 @@ type execObs struct {
 	kmConvPartial *obs.Counter
 	kmIterMerge   *obs.Counter
 	kmDeltaMSE    *obs.FloatGauge
+	summaryPoints *obs.Counter
 }
 
-func newExecObs(reg *obs.Registry) *execObs {
+// newExecObs builds the execution's instrument cache. stagePartial is
+// the summarizer-derived partial stage label, so every per-operator
+// family (stage latency, chunk sizes, k-means counters, summary output)
+// is keyed by the operator that actually ran — run reports distinguish
+// a partial-coreset run from a partial-kmeans one at a glance.
+func newExecObs(reg *obs.Registry, stagePartial string) *execObs {
 	return &execObs{
 		reg:            reg,
 		chunksTotal:    reg.Counter(obs.EngineChunksTotal, ""),
@@ -74,15 +80,16 @@ func newExecObs(reg *obs.Registry) *execObs {
 		degradedChunks: reg.Counter(obs.EngineDegradedChunks, ""),
 		degradedPoints: reg.Counter(obs.EngineDegradedPoints, ""),
 
-		partialSeconds: reg.Histogram(obs.StageSeconds, opPartial, obs.LatencyBuckets()),
+		partialSeconds: reg.Histogram(obs.StageSeconds, stagePartial, obs.LatencyBuckets()),
 		mergeSeconds:   reg.Histogram(obs.StageSeconds, opMerge, obs.LatencyBuckets()),
-		chunkPoints:    reg.Histogram(obs.ChunkPoints, opPartial, obs.SizeBuckets()),
+		chunkPoints:    reg.Histogram(obs.ChunkPoints, stagePartial, obs.SizeBuckets()),
 
-		kmIterPartial: reg.Counter(obs.KMeansIterations, opPartial),
-		kmRestarts:    reg.Counter(obs.KMeansRestarts, opPartial),
-		kmConvPartial: reg.Counter(obs.KMeansConverged, opPartial),
+		kmIterPartial: reg.Counter(obs.KMeansIterations, stagePartial),
+		kmRestarts:    reg.Counter(obs.KMeansRestarts, stagePartial),
+		kmConvPartial: reg.Counter(obs.KMeansConverged, stagePartial),
 		kmIterMerge:   reg.Counter(obs.KMeansIterations, opMerge),
-		kmDeltaMSE:    reg.FloatGauge(obs.KMeansLastDeltaMSE, opPartial),
+		kmDeltaMSE:    reg.FloatGauge(obs.KMeansLastDeltaMSE, stagePartial),
+		summaryPoints: reg.Counter(obs.SummaryPoints, stagePartial),
 	}
 }
 

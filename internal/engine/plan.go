@@ -46,6 +46,19 @@ type Query struct {
 	// each CellResult carries a multivariate histogram built from the
 	// cell's points and final centroids.
 	Compress bool
+	// Summarizer names the chunk-summarizer operator ("" or "kmeans" =
+	// the paper's partial k-means; "ecvq", "coreset").
+	Summarizer string
+	// SeedMethod names the seeding strategy for both the k-means
+	// partial stage and the merge stage (kmeans.SeederByName; "" keeps
+	// the historic defaults: random partial, heaviest merge).
+	SeedMethod string
+	// CoresetSize is the coreset operator's output size m (0 = 10*K).
+	CoresetSize int
+	// ECVQMaxK and ECVQLambda parameterize the ecvq operator
+	// (0 = 2*K and no rate penalty).
+	ECVQMaxK   int
+	ECVQLambda float64
 }
 
 func (q Query) validate() error {
@@ -55,7 +68,32 @@ func (q Query) validate() error {
 	if q.Restarts <= 0 {
 		return fmt.Errorf("engine: Restarts must be positive, got %d", q.Restarts)
 	}
+	if _, err := q.newSummarizer(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// newSummarizer resolves the query's chunk-summarizer operator.
+func (q Query) newSummarizer() (core.Summarizer, error) {
+	return core.SummarizerFor(q.Summarizer, core.SummarizerOptions{
+		Partial:     q.partialConfig(),
+		SeedMethod:  q.SeedMethod,
+		CoresetSize: q.CoresetSize,
+		ECVQ:        core.ECVQPartialConfig{MaxK: q.ECVQMaxK, Lambda: q.ECVQLambda},
+	})
+}
+
+// partialStage names the partial stage after the operator actually
+// running in it ("partial-kmeans", "partial-ecvq", "partial-coreset").
+// The label flows into plan EXPLAIN output, traces, metric families,
+// watchdog probes, and fault-injection points.
+func (q Query) partialStage() string {
+	name := q.Summarizer
+	if name == "" {
+		name = core.SummarizerKMeans
+	}
+	return "partial-" + name
 }
 
 // Resources is the physical resource model the optimizer consults.
@@ -86,13 +124,21 @@ type PhysicalPlan struct {
 	QueueCapacity int
 	// Rationale explains the decision for logs and EXPLAIN output.
 	Rationale string
+	// PartialStage labels the partial stage with the summarizer
+	// operator that runs in it (Query.partialStage(); "" renders as the
+	// k-means default for hand-built plans).
+	PartialStage string
 }
 
 // Explain formats the plan like a query EXPLAIN.
 func (p PhysicalPlan) Explain() string {
+	stage := p.PartialStage
+	if stage == "" {
+		stage = "partial-" + core.SummarizerKMeans
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "PhysicalPlan:\n")
-	fmt.Fprintf(&b, "  scan -> partial-kmeans x%d -> merge-kmeans\n", p.PartialClones)
+	fmt.Fprintf(&b, "  scan -> %s x%d -> merge-kmeans\n", stage, p.PartialClones)
 	fmt.Fprintf(&b, "  chunk size: %d points\n", p.ChunkPoints)
 	fmt.Fprintf(&b, "  queue capacity: %d\n", p.QueueCapacity)
 	fmt.Fprintf(&b, "  rationale: %s\n", p.Rationale)
@@ -160,6 +206,7 @@ func Optimize(q Query, cellSizes []int, dim int, res Resources) (PhysicalPlan, e
 		ChunkPoints:   chunk,
 		PartialClones: clones,
 		QueueCapacity: queueCap,
+		PartialStage:  q.partialStage(),
 		Rationale: fmt.Sprintf(
 			"budget %dB / %dB-per-point(dim=%d) = %d points per chunk; %d cells totalling %d points -> ~%d chunks; %d workers -> %d clones",
 			res.MemoryBytes, pointBytes(dim), dim, budgetChunk, len(cellSizes), total, expectedChunks, workers, clones),
@@ -178,11 +225,17 @@ func (q Query) partialConfig() core.PartialConfig {
 }
 
 func (q Query) mergeConfig() core.MergeConfig {
+	var seeder kmeans.Seeder = kmeans.HeaviestSeeder{}
+	if q.SeedMethod != "" {
+		if s, err := kmeans.SeederByName(q.SeedMethod); err == nil && s != nil {
+			seeder = s
+		}
+	}
 	return core.MergeConfig{
 		K:             q.K,
 		Epsilon:       q.Epsilon,
 		MaxIterations: q.MaxIterations,
-		Seeder:        kmeans.HeaviestSeeder{},
+		Seeder:        seeder,
 		Mode:          q.MergeMode,
 		Accelerate:    q.Accelerate,
 	}

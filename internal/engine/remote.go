@@ -11,24 +11,26 @@ import (
 // This file is the engine's seam for §3.4 option-1 scale-up: "clone the
 // partial k-means to as many machines as possible". The engine stays
 // the single owner of planning, chunk slicing, RNG derivation,
-// journaling, and merging; a RemotePartial merely computes one chunk's
-// partial k-means somewhere else. Because the chunk carries its
-// pre-derived RNG state and the remote side runs the same
-// core.PartialKMeans code path, the returned centroids are bit-identical
-// to local execution — every engine guarantee (retry, restart, journal
-// resume, degraded merge) composes with remoting unchanged.
+// journaling, and merging; a RemotePartial merely runs one chunk's
+// summarizer somewhere else. Because the chunk carries its pre-derived
+// RNG state plus the operator spec, and the remote side reconstructs
+// the identical summarizer from that spec, the returned centroids are
+// bit-identical to local execution — every engine guarantee (retry,
+// restart, journal resume, degraded merge) composes with remoting
+// unchanged, for any summarizer.
 
-// RemoteChunk is one partial-k-means work unit handed to a remote
-// executor: the chunk's points, its identity within the plan, the
-// pre-derived RNG whose state travels with it (so the remote draw
-// sequence equals the local one), and the partial configuration. Config
-// is always transferable: Query carries no Seeder, so the remote side
-// reconstructs the exact configuration from scalar fields alone.
+// RemoteChunk is one summarizer work unit handed to a remote executor:
+// the chunk's points, its identity within the plan, the pre-derived RNG
+// whose state travels with it (so the remote draw sequence equals the
+// local one), and the summarizer operator's spec. The spec is always
+// transferable — it is the operator's canonical string encoding
+// (core.SummarizerSpec), from which the remote side reconstructs the
+// exact operator with core.NewSummarizer.
 type RemoteChunk struct {
 	Cell, Chunk, Total int
 	Points             *dataset.Set
 	RNG                *rng.RNG
-	Config             core.PartialConfig
+	Spec               core.SummarizerSpec
 }
 
 // Assignment audits one attempt to run a chunk on a worker: which
@@ -42,14 +44,14 @@ type Assignment struct {
 	Err string
 }
 
-// RemotePartial computes one chunk's partial k-means on a remote
-// executor. Partial returns the result plus the assignment trail — every
-// worker that held the chunk's lease, in order — which the engine
-// journals for the exactly-once audit. Implementations must be safe for
-// concurrent use by cloned partial operators, and must return results
-// bit-identical to core.PartialKMeans over the same chunk, config, and
-// RNG state (the loopback chaos suite pins this down for the dist
-// package's implementation).
+// RemotePartial computes one chunk's summary on a remote executor.
+// Partial returns the result plus the assignment trail — every worker
+// that held the chunk's lease, in order — which the engine journals for
+// the exactly-once audit. Implementations must be safe for concurrent
+// use by cloned partial operators, and must return results bit-identical
+// to running the spec'd summarizer locally over the same chunk and RNG
+// state (the loopback chaos suite pins this down for the dist package's
+// implementation).
 type RemotePartial interface {
 	Partial(ctx context.Context, c RemoteChunk) (*core.PartialResult, []Assignment, error)
 }

@@ -1,0 +1,172 @@
+package kmeans
+
+import (
+	"errors"
+	"testing"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/rng"
+)
+
+// scalableTestSet builds nBlobs well-separated unit-weight blobs.
+func scalableTestSet(t *testing.T, nBlobs, n int, seed uint64) *dataset.WeightedSet {
+	t.Helper()
+	spec := dataset.DefaultCellSpec()
+	spec.Clusters = nBlobs
+	spec.Dim = 3
+	spec.NoiseFrac = 0
+	spec.Separation = 30
+	spec.Spread = 0.5
+	s, err := dataset.GenerateCell(spec, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dataset.Unweighted(s)
+}
+
+func TestScalableSeederValidation(t *testing.T) {
+	s := seedTestSet(t)
+	if _, err := (ScalableSeeder{}).Seed(s, 0, rng.New(1)); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := (ScalableSeeder{}).Seed(s, s.Len()+1, rng.New(1)); !errors.Is(err, ErrTooFewPoints) {
+		t.Fatalf("k>N: %v", err)
+	}
+	if _, err := (ScalableSeeder{}).Seed(s, 3, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+func TestScalableSeederDeterministic(t *testing.T) {
+	points := scalableTestSet(t, 6, 400, 3)
+	for _, k := range []int{3, 8, 20} {
+		a, err := (ScalableSeeder{}).Seed(points, k, rng.New(11))
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		b, err := (ScalableSeeder{}).Seed(points, k, rng.New(11))
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(a) != k || len(b) != k {
+			t.Fatalf("k=%d: got %d and %d seeds", k, len(a), len(b))
+		}
+		for i := range a {
+			for d := range a[i] {
+				if a[i][d] != b[i][d] {
+					t.Fatalf("k=%d seed %d dim %d: %v != %v", k, i, d, a[i][d], b[i][d])
+				}
+			}
+		}
+	}
+}
+
+func TestScalableSeederBitIdenticalAcrossWorkers(t *testing.T) {
+	// The acceptance bar for pluggable seeding: RunRestarts with the
+	// scalable seeder must be bit-identical for every fan-out shape,
+	// because seed sets are derived serially before any workers spawn.
+	points := scalableTestSet(t, 5, 500, 7)
+	var want *RestartResult
+	for _, workers := range []int{0, 2, 4} {
+		cfg := Config{K: 10, Seeder: ScalableSeeder{}, Parallel: workers}
+		got, err := RunRestarts(points, cfg, 3, rng.New(99))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if got.Best.MSE != want.Best.MSE {
+			t.Fatalf("workers=%d: MSE %v != %v", workers, got.Best.MSE, want.Best.MSE)
+		}
+		for i := range want.Best.Centroids {
+			for d := range want.Best.Centroids[i] {
+				if got.Best.Centroids[i][d] != want.Best.Centroids[i][d] {
+					t.Fatalf("workers=%d: centroid %d dim %d differs", workers, i, d)
+				}
+			}
+		}
+	}
+}
+
+func TestScalableSeederSeedsComeFromTheData(t *testing.T) {
+	points := scalableTestSet(t, 4, 200, 13)
+	k := 4
+	seeds, err := (ScalableSeeder{}).Seed(points, k, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != k {
+		t.Fatalf("len = %d", len(seeds))
+	}
+	// Mutating a seed must not corrupt the dataset (seeds are clones).
+	orig := points.At(0).Vec[0]
+	seeds[0][0] += 1e6
+	if points.At(0).Vec[0] != orig {
+		t.Fatal("seed aliases dataset storage")
+	}
+}
+
+func TestScalableSeederBeatsUniformRestarts(t *testing.T) {
+	// One k-means|| seeded run should reach the quality of 10
+	// uniform-restart runs with fewer total Lloyd iterations — the
+	// trade the operator exists for. Fixed seeds make this exact, not
+	// statistical.
+	points := scalableTestSet(t, 10, 1000, 17)
+	const k = 10
+	uniform, err := RunRestarts(points, Config{K: k}, 10, rng.New(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalable, err := RunRestarts(points, Config{K: k, Seeder: ScalableSeeder{}}, 1, rng.New(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scalable.Best.MSE > uniform.Best.MSE*1.0000001 {
+		t.Fatalf("k-means|| MSE %v worse than uniform best-of-10 %v",
+			scalable.Best.MSE, uniform.Best.MSE)
+	}
+	if scalable.TotalIterations >= uniform.TotalIterations {
+		t.Fatalf("k-means|| used %d Lloyd iterations, uniform restarts %d — no savings",
+			scalable.TotalIterations, uniform.TotalIterations)
+	}
+}
+
+func TestSeederByName(t *testing.T) {
+	cases := map[string]string{
+		"random": "random", "heaviest": "heaviest",
+		"kmeans++": "kmeans++", "plusplus": "kmeans++",
+		"kmeans||": "kmeans||", "scalable": "kmeans||",
+	}
+	for name, want := range cases {
+		s, err := SeederByName(name)
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		if s.Name() != want {
+			t.Fatalf("%q resolved to %q", name, s.Name())
+		}
+	}
+	if s, err := SeederByName(""); err != nil || s != nil {
+		t.Fatalf("empty name: %v, %v", s, err)
+	}
+	if _, err := SeederByName("voronoi"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+// Compile-time check that ScalableSeeder satisfies the Seeder contract
+// next to the others.
+var _ Seeder = ScalableSeeder{}
+
+func BenchmarkSeedScalableK40(b *testing.B) {
+	s := randomWeighted(5000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (ScalableSeeder{}).Seed(s, 40, rng.New(2)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -48,11 +48,17 @@ const (
 	StageSeconds = "stage_seconds" // histogram: per-item stage latency
 	ChunkPoints  = "chunk_points"  // histogram: partition sizes
 
-	// K-means families, labeled by the phase that ran Lloyd.
+	// K-means families, labeled by the phase that ran Lloyd. With a
+	// non-k-means summarizer the partial-stage labels carry that
+	// operator's name instead ("partial-ecvq", "partial-coreset") and
+	// iteration/restart counters read 0 for operators that run no Lloyd.
 	KMeansIterations   = "kmeans_iterations"     // Lloyd iterations summed over runs
 	KMeansRestarts     = "kmeans_restarts"       // seed-set restarts executed
 	KMeansConverged    = "kmeans_converged"      // runs meeting the ΔMSE criterion
 	KMeansLastDeltaMSE = "kmeans_last_delta_mse" // float gauge: winning run's final ΔMSE
+
+	// Summarizer families, labeled by the partial-stage operator.
+	SummaryPoints = "summary_points" // weighted points emitted by chunk summaries
 
 	// Distributed-runtime families, labeled by the worker address
 	// (dist_workers_live is run-global).

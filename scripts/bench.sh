@@ -10,14 +10,18 @@
 # shared benchmark machines swing 30-40% run to run; best-of is the
 # stablest estimator of the achievable time.
 #
+# Benchmarks absent from the baseline report (newly added kernels) are
+# self-baselined at their current time, reported with speedup 1.00 and
+# "new": true, so the chain picks them up without manual edits.
+#
 # Usage: scripts/bench.sh [count] [out.json]
 #   count    runs per benchmark (default 3)
-#   out.json output report path (default BENCH_PR5.json)
+#   out.json output report path (default BENCH_PR7.json)
 set -eu
 cd "$(dirname "$0")/.."
 
 COUNT="${1:-3}"
-OUT="${2:-BENCH_PR5.json}"
+OUT="${2:-BENCH_PR7.json}"
 
 # Pick the baseline report: the newest committed BENCH_*.json that is
 # not the output file itself (version sort, so PR10 follows PR9).
@@ -35,8 +39,10 @@ RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 echo "running benchmarks (-benchtime=10x -count=$COUNT) ..." >&2
-go test -run='^$' -bench='LloydNaiveK40|LloydHamerlyK40|LloydParallel4Workers' \
+go test -run='^$' -bench='LloydNaiveK40|LloydHamerlyK40|LloydParallel4Workers|SeedScalableK40' \
   -benchtime=10x -count="$COUNT" -benchmem ./internal/kmeans | tee -a "$RAW" >&2
+go test -run='^$' -bench='CoresetTree5000to200' \
+  -benchtime=10x -count="$COUNT" -benchmem ./internal/core | tee -a "$RAW" >&2
 go test -run='^$' -bench='SquaredDistance6D|NearestIndex40Centroids' \
   -count="$COUNT" ./internal/vector | tee -a "$RAW" >&2
 
@@ -63,14 +69,20 @@ BEGIN {
     if (!(name in best) || ns < best[name]) best[name] = ns
 }
 END {
-    n = split("LloydNaiveK40 LloydHamerlyK40 LloydParallel4Workers SquaredDistance6D NearestIndex40Centroids", order, " ")
+    n = split("LloydNaiveK40 LloydHamerlyK40 LloydParallel4Workers SeedScalableK40 CoresetTree5000to200 SquaredDistance6D NearestIndex40Centroids", order, " ")
     printf "{\n"
-    printf "  \"note\": \"baseline_ns_op from the previous BENCH report; current_ns_op is best-of-count on this machine\",\n"
+    printf "  \"note\": \"baseline_ns_op from the previous BENCH report; current_ns_op is best-of-count on this machine; new benchmarks self-baseline\",\n"
     printf "  \"benchmarks\": [\n"
     for (i = 1; i <= n; i++) {
         name = order[i]
         if (!(name in best)) { missing = missing " " name; continue }
-        if (!(name in base)) { missing = missing " " name "(no baseline)"; continue }
+        if (!(name in base)) {
+            # A kernel added this PR has no prior report to compare
+            # against: self-baseline so the next PR inherits a number.
+            printf "    {\"name\": \"%s\", \"baseline_ns_op\": %s, \"current_ns_op\": %s, \"speedup\": 1.00, \"new\": true}%s\n",
+                name, best[name], best[name], (i < n ? "," : "")
+            continue
+        }
         printf "    {\"name\": \"%s\", \"baseline_ns_op\": %s, \"current_ns_op\": %s, \"speedup\": %.2f}%s\n",
             name, base[name], best[name], base[name] / best[name], (i < n ? "," : "")
     }

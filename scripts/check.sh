@@ -17,6 +17,15 @@ if grep -rn --include='*.go' -E 'engine\.Execute(Supervised|Adaptive)\(' . \
   exit 1
 fi
 
+# ClusterECVQ survives only as a deprecated wrapper; every caller must
+# select operators through the summarizer contract instead
+# (Options.Summarizer = "ecvq", or core.NewSummarizer for raw specs).
+if grep -rn --include='*.go' -E 'core\.ClusterECVQ\(' . \
+    | grep -v '^\./internal/core/'; then
+  echo "error: core.ClusterECVQ is deprecated outside internal/core; set Options.Summarizer = core.SummarizerECVQ instead" >&2
+  exit 1
+fi
+
 # Formatting gate: the tree must be gofmt-clean (CI enforces the same
 # gate in its tier-1 job).
 UNFORMATTED="$(gofmt -l .)"

@@ -58,6 +58,25 @@ type Options struct {
 	// Accelerate selects Hamerly's bound-based Lloyd iteration: the
 	// same fixpoints with far fewer distance computations for large K.
 	Accelerate bool
+	// Summarizer selects the chunk-summarizer operator that reduces each
+	// partition to a weighted summary: "kmeans" (default — the paper's
+	// partial k-means), "ecvq" (entropy-constrained VQ, adaptive cluster
+	// count), or "coreset" (StreamKM++-style coreset tree).
+	Summarizer string
+	// SeedMethod selects the k-means seeding strategy where Lloyd runs:
+	// "random" (default for partial steps), "heaviest" (default for the
+	// merge), "kmeans++" (D²-weighted sampling), or "kmeans||" (the
+	// scalable k-means|| oversampling scheme). Applies to the partial
+	// stage when Summarizer is "kmeans" and always to the merge stage.
+	SeedMethod string
+	// CoresetSize is the number of weighted points the "coreset"
+	// summarizer keeps per chunk (0 = 10*K).
+	CoresetSize int
+	// ECVQMaxK caps the "ecvq" summarizer's adaptive cluster count per
+	// chunk (0 = 2*K); ECVQLambda is its rate-distortion trade-off
+	// (0 = pure distortion, plain k-means behavior).
+	ECVQMaxK   int
+	ECVQLambda float64
 	// Retry, when non-nil, makes StreamClusterer re-attempt a failed
 	// chunk reduction instead of surfacing the first error. Each attempt
 	// replays the chunk's own pre-derived random state, so a run that
@@ -244,12 +263,20 @@ func (o Options) toCore() (core.Options, error) {
 		Parallelism:   o.Parallelism,
 		Accelerate:    o.Accelerate,
 		Workers:       o.Workers,
+		Summarizer:    o.Summarizer,
+		SeedMethod:    o.SeedMethod,
+		CoresetSize:   o.CoresetSize,
+		ECVQMaxK:      o.ECVQMaxK,
+		ECVQLambda:    o.ECVQLambda,
 	}
 	if opts.Restarts == 0 {
 		opts.Restarts = 10
 	}
 	if opts.Splits == 0 && opts.ChunkPoints == 0 {
 		opts.Splits = 5
+	}
+	if err := opts.Validate(); err != nil {
+		return core.Options{}, err
 	}
 	return opts, nil
 }
@@ -373,6 +400,11 @@ func ClusterGoverned(ctx context.Context, points [][]float64, opts Options) (*Re
 		Seed:          copts.Seed,
 		Accelerate:    copts.Accelerate,
 		Workers:       copts.Workers,
+		Summarizer:    copts.Summarizer,
+		SeedMethod:    copts.SeedMethod,
+		CoresetSize:   copts.CoresetSize,
+		ECVQMaxK:      copts.ECVQMaxK,
+		ECVQLambda:    copts.ECVQLambda,
 	}
 	plan := engine.PhysicalPlan{
 		ChunkPoints:   chunk,
@@ -459,6 +491,7 @@ func ClusterGoverned(ctx context.Context, points [][]float64, opts Options) (*Re
 type StreamClusterer struct {
 	opts     Options
 	copts    core.Options
+	summ     core.Summarizer
 	dim      int
 	buffer   *dataset.Set
 	parts    []*dataset.WeightedSet
@@ -489,6 +522,10 @@ func NewStreamClusterer(dim int, opts Options) (*StreamClusterer, error) {
 	if err != nil {
 		return nil, err
 	}
+	summ, err := copts.NewSummarizer()
+	if err != nil {
+		return nil, err
+	}
 	buffer, err := dataset.NewSet(dim)
 	if err != nil {
 		return nil, err
@@ -496,6 +533,7 @@ func NewStreamClusterer(dim int, opts Options) (*StreamClusterer, error) {
 	return &StreamClusterer{
 		opts:   opts,
 		copts:  copts,
+		summ:   summ,
 		dim:    dim,
 		buffer: buffer,
 		rng:    rng.New(opts.Seed),
@@ -581,7 +619,7 @@ func (s *StreamClusterer) flush() error {
 				}
 			}
 			var err error
-			pr, err = core.PartialKMeans(s.buffer, s.copts.PartialConfig(), &attemptRNG)
+			pr, err = s.summ.Summarize(s.buffer, &attemptRNG)
 			return err
 		})
 	if err != nil {
