@@ -92,6 +92,7 @@ func realMain() int {
 		rworkers   = flag.Int("restart-workers", 0, "goroutines fanning one chunk's restarts (0/1 = serial; any value is bit-identical)")
 		strategy   = flag.String("strategy", "random", "slicing strategy: random, salami, spatial")
 		merge      = flag.String("merge", "collective", "merge mode: collective or incremental")
+		mergeSolv  = flag.String("merge-solver", "", "merge-stage Lloyd kernel: lloyd (default) or minibatch (mini-batch gradient steps; faster on large merge pools)")
 		summarizer = flag.String("summarizer", "kmeans", "chunk-summarizer operator: kmeans, ecvq, coreset")
 		seedMethod = flag.String("seed-method", "", "k-means seeding: random, heaviest, kmeans++, kmeans|| (default: random partial, heaviest merge)")
 		coresetSz  = flag.Int("coreset-size", 0, "weighted points kept per chunk by -summarizer=coreset (0 = 10*k)")
@@ -101,6 +102,8 @@ func realMain() int {
 		explain    = flag.Bool("explain", false, "print the logical and physical plans and exit")
 		adaptive   = flag.Bool("adaptive", false, "start with 1 partial clone and let the re-optimizer scale up under backlog")
 		csvPath    = flag.String("csv", "", "cluster a single CSV file of numeric columns instead of a bucket directory")
+		snapEvery  = flag.Int("snapshot-every", 0, "with -csv: stream the rows through a sliding-window clusterer and query a snapshot every N points (0 = one-shot engine run)")
+		windowSz   = flag.Int("window", 50, "chunks covered by the sliding window for -snapshot-every")
 		showTrace  = flag.Bool("trace", false, "print the operator-span timeline after execution")
 		maxRetries = flag.Int("max-retries", 0, "run supervised: retry each failed chunk up to N times and restart the plan from its journal after a crash")
 		salvage    = flag.Bool("salvage", false, "recover the valid prefix of damaged bucket files instead of aborting")
@@ -125,8 +128,19 @@ func realMain() int {
 	}
 	defer stopProfiling()
 	sum := sumFlags{
-		summarizer: *summarizer, seedMethod: *seedMethod,
+		summarizer: *summarizer, seedMethod: *seedMethod, mergeSolver: *mergeSolv,
 		coresetSize: *coresetSz, ecvqMaxK: *ecvqMaxK, ecvqLambda: *ecvqLambda,
+	}
+	if *snapEvery > 0 {
+		if *csvPath == "" {
+			fmt.Fprintln(os.Stderr, "pmkm: -snapshot-every requires -csv")
+			return 1
+		}
+		if err := runWindowed(*csvPath, *k, *restarts, *snapEvery, *windowSz, *mem, *mergeSolv, *seed, *reportPath); err != nil {
+			fmt.Fprintln(os.Stderr, "pmkm:", err)
+			return 1
+		}
+		return 0
 	}
 	if *csvPath != "" {
 		if err := runCSV(*csvPath, *k, *restarts, *mem, *workers, *rworkers, *strategy, *merge, *seed, sum); err != nil {
@@ -211,21 +225,108 @@ func startProfiling(cpuPath, memPath, pprofAddr string) (func(), error) {
 	}, nil
 }
 
-// sumFlags carries the summarizer-operator flags shared by both
+// sumFlags carries the operator-selection flags shared by both
 // invocation forms.
 type sumFlags struct {
 	summarizer, seedMethod string
+	mergeSolver            string
 	coresetSize, ecvqMaxK  int
 	ecvqLambda             float64
 }
 
-// apply stamps the summarizer flags onto a query.
+// apply stamps the operator flags onto a query.
 func (s sumFlags) apply(q *engine.Query) {
 	q.Summarizer = s.summarizer
 	q.SeedMethod = s.seedMethod
+	q.MergeSolver = s.mergeSolver
 	q.CoresetSize = s.coresetSize
 	q.ECVQMaxK = s.ecvqMaxK
 	q.ECVQLambda = s.ecvqLambda
+}
+
+// runWindowed streams a CSV file through the facade's sliding-window
+// clusterer, querying a snapshot every N points — the continuous-query
+// regime served by the incremental merge index. The per-chunk budget is
+// derived from -mem exactly like the engine's planner would: points
+// that fit the budget, floored at k.
+func runWindowed(path string, k, restarts, every, window int, mem, solver string, seed uint64, reportPath string) error {
+	budget, err := parseBytes(mem)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	set, err := dataset.ReadCSV(f, dataset.CSVOptions{})
+	closeErr := f.Close()
+	if err != nil {
+		return err
+	}
+	if closeErr != nil {
+		return closeErr
+	}
+	chunkPoints := int(budget / int64(set.Dim()*8))
+	if chunkPoints < k {
+		chunkPoints = k
+	}
+	w, err := streamkm.NewWindowedClusterer(set.Dim(), streamkm.WindowedOptions{
+		K:            k,
+		ChunkPoints:  chunkPoints,
+		WindowChunks: window,
+		Restarts:     restarts,
+		Seed:         seed,
+		MergeSolver:  solver,
+	})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	var last *streamkm.Result
+	queries := 0
+	for i := 0; i < set.Len(); i++ {
+		if err := w.Push(set.At(i)); err != nil {
+			return err
+		}
+		// The index needs at least k representatives before it can answer.
+		if (i+1)%every == 0 && w.Consumed() >= k {
+			last, err = w.Snapshot()
+			if err != nil {
+				return err
+			}
+			queries++
+		}
+	}
+	if last == nil || w.Consumed()%every != 0 {
+		if w.Consumed() < k {
+			return fmt.Errorf("stream held %d points, need at least k=%d", w.Consumed(), k)
+		}
+		last, err = w.Snapshot()
+		if err != nil {
+			return err
+		}
+		queries++
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("streamed %d points (dim %d) through a %d-chunk window of %d-point chunks in %v\n",
+		w.Consumed(), set.Dim(), window, chunkPoints, elapsed)
+	stats := w.SnapshotStats()
+	fmt.Printf("%d snapshots: %d cache hits, %d warm starts, %d resyncs, %d refine iterations\n",
+		queries, stats.CacheHits, stats.WarmStarts, stats.Resyncs, stats.RefineIterations)
+	fmt.Printf("final snapshot: merge MSE %.4f over %d live chunks\n", last.MergeMSE, last.Partitions)
+	for i, c := range last.Centroids {
+		fmt.Printf("  w=%10.1f  %v\n", last.Weights[i], c)
+	}
+	if reportPath != "" {
+		b, err := w.Report().JSON()
+		if err != nil {
+			return fmt.Errorf("report: %w", err)
+		}
+		if err := os.WriteFile(reportPath, append(b, '\n'), 0o644); err != nil {
+			return fmt.Errorf("report: %w", err)
+		}
+	}
+	return nil
 }
 
 // runCSV clusters a single CSV file as one "cell" through the engine,

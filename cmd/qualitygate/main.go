@@ -24,6 +24,7 @@ import (
 
 	"streamkm/internal/bench"
 	"streamkm/internal/core"
+	"streamkm/internal/kmeans"
 )
 
 type operatorReport struct {
@@ -31,6 +32,18 @@ type operatorReport struct {
 	PointMSE float64 `json:"point_mse"`
 	Ratio    float64 `json:"ratio"`
 	OK       bool    `json:"ok"`
+}
+
+// snapshotReport gates the windowed query path: the warm (mini-batch,
+// incrementally maintained) snapshot answer must stay within its own
+// tight tolerance of the cold full-merge reference over the same
+// stream.
+type snapshotReport struct {
+	ColdMSE   float64 `json:"cold_mse"`
+	WarmMSE   float64 `json:"warm_mse"`
+	Ratio     float64 `json:"ratio"`
+	Tolerance float64 `json:"tolerance"`
+	OK        bool    `json:"ok"`
 }
 
 type report struct {
@@ -41,6 +54,7 @@ type report struct {
 	ReferenceMSE float64          `json:"reference_point_mse"`
 	Tolerance    float64          `json:"tolerance"`
 	Operators    []operatorReport `json:"operators"`
+	Snapshot     *snapshotReport  `json:"snapshot,omitempty"`
 	Pass         bool             `json:"pass"`
 }
 
@@ -51,6 +65,7 @@ func main() {
 		splits   = flag.Int("splits", 5, "split count; the table row is '<splits>split'")
 		versions = flag.Int("versions", 2, "dataset versions to average (the table used 5)")
 		tol      = flag.Float64("tol", 1.25, "max allowed measured/reference point-MSE ratio")
+		snapTol  = flag.Float64("snapshot-tol", 1.05, "max allowed warm/cold windowed-snapshot MSE ratio")
 		out      = flag.String("out", "", "write the JSON report here instead of stdout")
 	)
 	flag.Parse()
@@ -67,7 +82,7 @@ func main() {
 		ReferenceMSE: ref, Tolerance: *tol, Pass: true,
 	}
 	for _, name := range core.SummarizerNames() {
-		mse, err := measure(w, *n, *splits, name)
+		mse, err := measure(w, *n, *splits, name, "")
 		if err != nil {
 			fatal(fmt.Errorf("operator %s: %w", name, err))
 		}
@@ -81,6 +96,32 @@ func main() {
 			rep.Pass = false
 		}
 		rep.Operators = append(rep.Operators, op)
+	}
+	// The mini-batch merge solver rides the same gate: swapping the
+	// merge kernel must not degrade end quality past the tolerance.
+	{
+		mse, err := measure(w, *n, *splits, core.SummarizerKMeans, kmeans.SolverMiniBatch)
+		if err != nil {
+			fatal(fmt.Errorf("merge solver %s: %w", kmeans.SolverMiniBatch, err))
+		}
+		op := operatorReport{
+			Operator: core.SummarizerKMeans + "+merge-" + kmeans.SolverMiniBatch,
+			PointMSE: mse,
+			Ratio:    mse / ref,
+			OK:       mse <= ref**tol,
+		}
+		if !op.OK {
+			rep.Pass = false
+		}
+		rep.Operators = append(rep.Operators, op)
+	}
+	snap, err := snapshotGate(w, *n, *snapTol)
+	if err != nil {
+		fatal(fmt.Errorf("snapshot gate: %w", err))
+	}
+	rep.Snapshot = snap
+	if !snap.OK {
+		rep.Pass = false
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -102,7 +143,7 @@ func main() {
 // measure averages an operator's point MSE over the workload's dataset
 // versions, using the same cell and seed derivation as bench.RunTable2
 // so the kmeans operator reproduces the table row it is gated against.
-func measure(w bench.Workload, n, splits int, operator string) (float64, error) {
+func measure(w bench.Workload, n, splits int, operator, solver string) (float64, error) {
 	var sum float64
 	for v := 0; v < w.Versions; v++ {
 		cell, err := w.Cell(n, v)
@@ -113,6 +154,7 @@ func measure(w bench.Workload, n, splits int, operator string) (float64, error) 
 			K: w.K, Restarts: w.Restarts, Splits: splits,
 			Seed:        w.Seed + uint64(v)*101 + uint64(n),
 			Summarizer:  operator,
+			MergeSolver: solver,
 			CoresetSize: 2 * w.K,
 			ECVQMaxK:    2 * w.K,
 		})
@@ -122,6 +164,58 @@ func measure(w bench.Workload, n, splits int, operator string) (float64, error) 
 		sum += res.PointMSE
 	}
 	return sum / float64(w.Versions), nil
+}
+
+// snapshotGate streams one workload cell through two windowed
+// clusterers — a cold reference that fully re-merges per query and a
+// warm one whose mini-batch index maintains the answer incrementally —
+// and compares their final snapshot MSE. Both see identical pushes and
+// seeds, so the ratio isolates exactly the warm-start approximation.
+func snapshotGate(w bench.Workload, n int, tol float64) (*snapshotReport, error) {
+	cell, err := w.Cell(n, 0)
+	if err != nil {
+		return nil, err
+	}
+	run := func(solver string) (float64, error) {
+		wc, err := core.NewWindowedClusterer(cell.Dim(), core.WindowConfig{
+			K:           w.K,
+			ChunkPoints: n / 20,
+			// A window smaller than the chunk count forces expirations,
+			// so the gate covers rotation, expiry, and the buffered tail.
+			WindowChunks: 10,
+			Restarts:     2,
+			Seed:         w.Seed,
+			MergeSolver:  solver,
+		})
+		if err != nil {
+			return 0, err
+		}
+		for i := 0; i < cell.Len(); i++ {
+			if err := wc.Push(cell.At(i)); err != nil {
+				return 0, err
+			}
+		}
+		mr, err := wc.Snapshot()
+		if err != nil {
+			return 0, err
+		}
+		return mr.MSE, nil
+	}
+	cold, err := run("")
+	if err != nil {
+		return nil, err
+	}
+	warm, err := run(kmeans.SolverMiniBatch)
+	if err != nil {
+		return nil, err
+	}
+	return &snapshotReport{
+		ColdMSE:   cold,
+		WarmMSE:   warm,
+		Ratio:     warm / cold,
+		Tolerance: tol,
+		OK:        warm <= cold*tol,
+	}, nil
 }
 
 // referencePointMSE finds the point-MSE column of the table row for the

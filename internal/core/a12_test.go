@@ -1,0 +1,75 @@
+package core
+
+// A12 exhibit generator (EXPERIMENTS.md): steady-state rotate+query
+// cost and answer quality of the windowed snapshot path, cold vs warm,
+// at several window sizes. Skipped by default; regenerate the table
+// with: A12=1 go test -run TestA12Table -v ./internal/core
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/kmeans"
+)
+
+func a12Run(t *testing.T, W int, solver string) (best time.Duration, mse float64) {
+	const (
+		k    = 40
+		dim  = 3
+		rows = 40
+		iter = 60
+	)
+	fresh := make([]*dataset.WeightedSet, 64)
+	for i := range fresh {
+		fresh[i] = benchSummary(dim, rows, uint64(i+1))
+	}
+	ring := make([]*dataset.WeightedSet, W)
+	for i := range ring {
+		ring[i] = fresh[i%len(fresh)]
+	}
+	ix := newSnapshotIndex(dim, MergeConfig{K: k, Solver: solver}, 0)
+	tail, err := dataset.NewSet(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.admit(ring); err != nil {
+		t.Fatal(err)
+	}
+	best = time.Hour
+	var snap *MergeResult
+	for i := 0; i < iter; i++ {
+		start := time.Now()
+		copy(ring, ring[1:])
+		ring[W-1] = fresh[i%len(fresh)]
+		if err := ix.admit(ring); err != nil {
+			t.Fatal(err)
+		}
+		snap, err = ix.snapshot(tail, (i+1)*rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best, snap.MSE
+}
+
+func TestA12Table(t *testing.T) {
+	if os.Getenv("A12") == "" {
+		t.Skip("set A12=1 to generate the exhibit")
+	}
+	t.Log("| W | cold query | warm query | speedup | warm/cold MSE |")
+	for _, W := range []int{10, 50, 200} {
+		coldT, coldMSE := a12Run(t, W, "")
+		warmT, warmMSE := a12Run(t, W, kmeans.SolverMiniBatch)
+		t.Logf("| %d | %.2f ms | %.2f ms | %.1fx | %.3f |",
+			W,
+			float64(coldT.Microseconds())/1000,
+			float64(warmT.Microseconds())/1000,
+			float64(coldT)/float64(warmT),
+			warmMSE/coldMSE)
+	}
+}

@@ -58,11 +58,18 @@ type MergeConfig struct {
 	// sweep across that many goroutines. Deterministic per worker count;
 	// across counts results agree up to floating-point summation order.
 	Workers int
+	// Solver selects the merge iteration kernel ("" or kmeans.SolverLloyd
+	// = full Lloyd; kmeans.SolverMiniBatch = sampled gradient steps with
+	// per-center learning rates — the warm-startable fast-query path).
+	Solver string
 }
 
 func (c MergeConfig) validate() error {
 	if c.K <= 0 {
 		return fmt.Errorf("core: merge K must be positive, got %d", c.K)
+	}
+	if err := kmeans.ValidateSolver(c.Solver); err != nil {
+		return err
 	}
 	return nil
 }
@@ -79,6 +86,7 @@ func (c MergeConfig) kmeansConfig() kmeans.Config {
 		Seeder:        seeder,
 		Accelerate:    c.Accelerate,
 		Workers:       c.Workers,
+		Solver:        c.Solver,
 	}
 }
 

@@ -68,6 +68,11 @@ type Options struct {
 	// "" keeps the historic defaults: random partial, heaviest merge).
 	// Explicit PartialSeeder/MergeSeeder values take precedence.
 	SeedMethod string
+	// MergeSolver selects the merge-stage iteration kernel
+	// (kmeans.SolverNames; "" = full Lloyd). "minibatch" runs the merge
+	// as sampled gradient steps — cheaper on large pools, and the
+	// kernel behind the windowed snapshot index's warm refines.
+	MergeSolver string
 	// CoresetSize is the coreset operator's output size m per chunk
 	// (0 = 10*K).
 	CoresetSize int
@@ -90,6 +95,9 @@ func (o Options) Validate() error {
 		return errors.New("core: exactly one of Splits and ChunkPoints must be positive")
 	}
 	if _, err := kmeans.SeederByName(o.SeedMethod); err != nil {
+		return err
+	}
+	if err := kmeans.ValidateSolver(o.MergeSolver); err != nil {
 		return err
 	}
 	return nil
@@ -129,6 +137,7 @@ func (o Options) MergeConfig() MergeConfig {
 		Seeder:        seeder,
 		Mode:          o.MergeMode,
 		Accelerate:    o.Accelerate,
+		Solver:        o.MergeSolver,
 	}
 }
 

@@ -1,0 +1,368 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/kmeans"
+	"streamkm/internal/rng"
+)
+
+// snapshotIndex maintains a WindowedClusterer's merged answer so
+// continuous queries stop paying a full merge k-means per call — the
+// always-maintained-answer design of "Streaming k-Means Clustering
+// with Fast Queries" (Zhang et al.) fitted onto the partial/merge
+// operators.
+//
+// Determinism contract: a snapshot is a pure function of stream
+// position. The maintained answer is updated eagerly at every chunk
+// rotation (never at query time), all refine sampling streams are
+// keyed on the rotation or consumed-point counters, and query-time
+// work with a buffered tail derives a result without writing back to
+// the maintained state. Querying after every point and querying once
+// at the end therefore see identical answers, for any query frequency.
+//
+// Dirty tracking: every Push and every rotation invalidate the cached
+// query answer; a Snapshot with nothing changed returns the same
+// immutable *MergeResult pointer in O(1) with zero allocations.
+//
+// Warm path (MergeConfig.Solver == kmeans.SolverMiniBatch): each
+// rotation rebuilds the pooled summaries (O(W·k·d) copying — the cheap
+// part) and refines the previous answer with warm-started mini-batch
+// steps, focusing the first batch on the freshly rotated summary's
+// rows and pre-loading per-center learning-rate mass from the previous
+// answer's weights so new data moves centroids proportionally to its
+// mass. Every resyncEvery-th rotation runs a full cold Lloyd merge
+// instead, bounding warm-start drift.
+type snapshotIndex struct {
+	k           int
+	merge       MergeConfig
+	resyncEvery int
+	// warm selects eager maintenance with mini-batch refines; when
+	// false the index only provides dirty-tracked query caching over
+	// the classic cold merge.
+	warm bool
+
+	// pool is the reused merge input: the live summaries in ring order
+	// (rebuilt at each rotation), with query-time tail rows appended
+	// past poolLen and truncated away again on the next use.
+	pool    *dataset.WeightedSet
+	poolLen int
+	// focus is the reused FocusRows buffer for warm refines.
+	focus []int
+
+	// rotations counts chunk rotations folded into the ring.
+	rotations int
+
+	// base is the eagerly maintained answer over the live summaries
+	// only — nil until the ring holds at least k representatives (and
+	// always nil on the cold path).
+	base *MergeResult
+
+	// cache is the answer the last Snapshot returned, valid until the
+	// next Push or rotation changes what a query would see.
+	cache      *MergeResult
+	cacheValid bool
+
+	stats SnapshotStats
+}
+
+// SnapshotStats counts the snapshot index's activity; exported through
+// WindowedClusterer.SnapshotStats for the obs snapshot_* families.
+type SnapshotStats struct {
+	// Queries counts Snapshot calls.
+	Queries int64
+	// CacheHits counts queries answered from the unchanged-window cache
+	// (or the maintained answer) without any k-means work.
+	CacheHits int64
+	// WarmStarts counts mini-batch refines seeded from the previous
+	// answer (rotation maintenance and tail-derived queries).
+	WarmStarts int64
+	// Resyncs counts periodic full cold merges that replaced a
+	// maintained warm answer.
+	Resyncs int64
+	// RefineIterations sums mini-batch gradient batches across refines.
+	RefineIterations int64
+}
+
+// refineMaxBatches caps one warm refine's gradient batches. A refine
+// adjusts an already-good answer after one chunk changed; a handful of
+// rounds suffices, and the cap bounds the per-rotation cost that makes
+// the warm path beat the cold merge (each full-pool evaluation sweep
+// costs as much as several batches, so the cap also bounds evals).
+const refineMaxBatches = 4
+
+// refineBatchFactor sizes refine batches at 4*K samples — smaller than
+// the cold kernel's 10*K default, because a refine starts next to the
+// answer and only needs gentle corrective pressure.
+const refineBatchFactor = 4
+
+// refineRelEpsilon loosens the refine's ΔMSE criterion to a fraction
+// of the maintained answer's MSE: the absolute paper epsilon (1e-9)
+// would chase sampling noise through the full batch budget on every
+// rotation.
+const refineRelEpsilon = 1e-4
+
+// DefaultResyncEvery is the default warm-start resync period: every
+// 16th rotation replaces the maintained answer with a full cold merge.
+const DefaultResyncEvery = 16
+
+// resyncMSEFactor triggers an on-demand resync when a refine ends up
+// this many times worse than the answer it started from: the window's
+// content has shifted faster than damped mini-batch steps can track
+// (e.g. the stream jumped to a new regime), so re-seeding from scratch
+// beats chasing it. The trigger is a pure function of the data, so it
+// preserves the determinism contract.
+const resyncMSEFactor = 4.0
+
+// snapSeedConst separates the query-time sampling/seeding stream (keyed
+// on consumed points, matching the pre-index snapshot behavior) from
+// the rotation-maintenance stream.
+const snapSeedConst = 0x9e3779b97f4a7c15
+
+func newSnapshotIndex(dim int, merge MergeConfig, resyncEvery int) *snapshotIndex {
+	if resyncEvery <= 0 {
+		resyncEvery = DefaultResyncEvery
+	}
+	return &snapshotIndex{
+		k:           merge.K,
+		merge:       merge,
+		resyncEvery: resyncEvery,
+		warm:        merge.Solver == kmeans.SolverMiniBatch,
+		pool:        dataset.MustNewWeightedSet(dim),
+	}
+}
+
+// invalidate marks the cached query answer stale. Called on every Push
+// (the unit-weight tail is part of what a query sees) and on rotation.
+func (ix *snapshotIndex) invalidate() {
+	ix.cacheValid = false
+	ix.cache = nil
+}
+
+// admit folds a completed rotation into the index: rebuild the pooled
+// summaries in ring order and, on the warm path, eagerly maintain the
+// merged answer so a later query is O(1). Eager (rather than
+// query-time) maintenance is what makes snapshots independent of query
+// frequency: the refine happens at the same stream position whether or
+// not anyone is watching.
+func (ix *snapshotIndex) admit(summaries []*dataset.WeightedSet) error {
+	ix.rotations++
+	ix.invalidate()
+	ix.pool.Reset()
+	for _, s := range summaries {
+		if err := ix.pool.Append(s); err != nil {
+			return err
+		}
+	}
+	ix.poolLen = ix.pool.Len()
+	if !ix.warm {
+		return nil
+	}
+	if ix.poolLen < ix.k {
+		// Not enough representatives to maintain an answer yet; queries
+		// fall back to the cold path (which reports the shortfall).
+		ix.base = nil
+		return nil
+	}
+	return ix.maintain(summaries[len(summaries)-1].Len())
+}
+
+// maintain updates the warm path's answer over the current pool: a
+// full cold merge on the first fill and every resyncEvery-th rotation,
+// a warm-started mini-batch refine otherwise. newRows is the size of
+// the freshly rotated summary, which occupies the pool's final rows.
+func (ix *snapshotIndex) maintain(newRows int) error {
+	if ix.base == nil || ix.rotations%ix.resyncEvery == 0 {
+		resync := ix.base != nil
+		res, err := ix.coldMerge(rotationSeed(ix.rotations))
+		if err != nil {
+			return err
+		}
+		if resync {
+			ix.stats.Resyncs++
+		}
+		ix.base = res
+		return nil
+	}
+	start := time.Now()
+	cfg := ix.refineConfig(rotationSeed(ix.rotations))
+	ix.focus = ix.focus[:0]
+	for i := ix.poolLen - newRows; i < ix.poolLen; i++ {
+		ix.focus = append(ix.focus, i)
+	}
+	cfg.FocusRows = ix.focus
+	cfg.InitialCounts = ix.base.Weights
+	kres, err := kmeans.RunFromCentroids(ix.pool, ix.base.Centroids, cfg)
+	if err != nil {
+		return err
+	}
+	if refineDegenerate(kres, ix.base.MSE) {
+		res, err := ix.coldMerge(rotationSeed(ix.rotations))
+		if err != nil {
+			return err
+		}
+		ix.stats.Resyncs++
+		ix.base = res
+		return nil
+	}
+	ix.stats.WarmStarts++
+	ix.stats.RefineIterations += int64(kres.Iterations)
+	ix.base = &MergeResult{
+		Centroids:  kres.Centroids,
+		Weights:    kres.Weights,
+		MSE:        kres.MSE,
+		Iterations: kres.Iterations,
+		Inputs:     ix.poolLen,
+		Elapsed:    time.Since(start),
+	}
+	return nil
+}
+
+// snapshot answers one query over the live summaries plus the buffered
+// tail (unit weights, so recent data is never invisible).
+func (ix *snapshotIndex) snapshot(tail *dataset.Set, consumed int) (*MergeResult, error) {
+	ix.stats.Queries++
+	if ix.poolLen == 0 && tail.Len() == 0 {
+		return nil, errors.New("core: window is empty")
+	}
+	if ix.cacheValid {
+		ix.stats.CacheHits++
+		return ix.cache, nil
+	}
+	if ix.warm && tail.Len() == 0 && ix.base != nil {
+		// At a rotation boundary the maintained answer IS the snapshot.
+		ix.stats.CacheHits++
+		ix.cache, ix.cacheValid = ix.base, true
+		return ix.base, nil
+	}
+	// Append the tail past the pooled summaries (dropping any previous
+	// query's tail rows first — the pool's slab is reused, not
+	// reallocated).
+	ix.pool.Truncate(ix.poolLen)
+	if tail.Len() > 0 {
+		if err := ix.pool.AppendUnweighted(tail); err != nil {
+			return nil, err
+		}
+	}
+	total := ix.pool.Len()
+	if total < ix.k {
+		return nil, fmt.Errorf("core: window holds %d representatives, need at least k=%d", total, ix.k)
+	}
+	var res *MergeResult
+	var err error
+	if ix.warm && ix.base != nil {
+		res, err = ix.refineWithTail(consumed, total)
+	} else {
+		// Cold query: a full merge seeded on progress, bit-compatible
+		// with the pre-index Snapshot (same pool order, same derived
+		// RNG), just without re-copying an unchanged window.
+		res, err = ix.coldMerge(uint64(consumed)*snapSeedConst + 1)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ix.cache, ix.cacheValid = res, true
+	return res, nil
+}
+
+// refineWithTail derives a query answer from the maintained state plus
+// the buffered tail without mutating that state: warm-start from the
+// maintained centroids, focus the first batch on the tail rows, and
+// key the sampling stream on consumed points so the result is a pure
+// function of stream position.
+func (ix *snapshotIndex) refineWithTail(consumed, total int) (*MergeResult, error) {
+	start := time.Now()
+	cfg := ix.refineConfig(uint64(consumed)*snapSeedConst + 1)
+	ix.focus = ix.focus[:0]
+	for i := ix.poolLen; i < total; i++ {
+		ix.focus = append(ix.focus, i)
+	}
+	cfg.FocusRows = ix.focus
+	cfg.InitialCounts = ix.base.Weights
+	kres, err := kmeans.RunFromCentroids(ix.pool, ix.base.Centroids, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if refineDegenerate(kres, ix.base.MSE) {
+		res, err := ix.coldMerge(uint64(consumed)*snapSeedConst + 1)
+		if err != nil {
+			return nil, err
+		}
+		ix.stats.Resyncs++
+		return res, nil
+	}
+	ix.stats.WarmStarts++
+	ix.stats.RefineIterations += int64(kres.Iterations)
+	return &MergeResult{
+		Centroids:  kres.Centroids,
+		Weights:    kres.Weights,
+		MSE:        kres.MSE,
+		Iterations: kres.Iterations,
+		Inputs:     total,
+		Elapsed:    time.Since(start),
+	}, nil
+}
+
+// refineDegenerate decides whether a warm refine's answer is unusable:
+// it stranded centers on departed data (zero assigned weight) or landed
+// far above the quality it warm-started from. Either means the window
+// changed faster than damped gradient steps can follow, and the caller
+// resyncs with a full cold merge instead.
+func refineDegenerate(res *kmeans.Result, baseMSE float64) bool {
+	for _, c := range res.Counts {
+		if c == 0 {
+			return true
+		}
+	}
+	// A base MSE of 0 (k rows, k centers) makes any ratio meaningless;
+	// the stranded-center check above still guards that regime.
+	return baseMSE > 0 && res.MSE > baseMSE*resyncMSEFactor
+}
+
+// coldMerge runs the full-Lloyd collective merge over the current pool
+// contents. The warm path's resyncs land here too, so a resynced
+// answer equals the cold reference answer by construction.
+func (ix *snapshotIndex) coldMerge(seed uint64) (*MergeResult, error) {
+	start := time.Now()
+	cfg := ix.merge
+	cfg.Solver = ""
+	cfg.Mode = MergeCollective
+	inputs := ix.pool.Len()
+	res, err := runMergeKMeans(ix.pool, cfg, rng.New(seed))
+	if err != nil {
+		return nil, err
+	}
+	return &MergeResult{
+		Centroids:  res.Centroids,
+		Weights:    res.Weights,
+		MSE:        res.MSE,
+		Iterations: res.Iterations,
+		Inputs:     inputs,
+		Elapsed:    time.Since(start),
+	}, nil
+}
+
+// refineConfig is the mini-batch kmeans configuration for one warm
+// refine: the merge's kernel settings with a bounded batch budget and
+// a ΔMSE criterion relative to the maintained answer's MSE (both
+// deterministic functions of the maintained state).
+func (ix *snapshotIndex) refineConfig(sampleSeed uint64) kmeans.Config {
+	cfg := ix.merge.kmeansConfig()
+	cfg.SampleSeed = sampleSeed
+	cfg.MaxIterations = refineMaxBatches
+	cfg.BatchSize = refineBatchFactor * ix.k
+	if eps := ix.base.MSE * refineRelEpsilon; eps > cfg.Epsilon {
+		cfg.Epsilon = eps
+	}
+	return cfg
+}
+
+// rotationSeed keys rotation-maintenance randomness on the rotation
+// counter — a different stream from query-time seeds, so interleaved
+// queries cannot perturb maintenance.
+func rotationSeed(rotation int) uint64 {
+	return uint64(rotation)*snapSeedConst + 0xbf58476d1ce4e5b9
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/kmeans"
+	"streamkm/internal/rng"
+	"streamkm/internal/vector"
+)
+
+// streamThrough pushes n points of drifting 1-D blob data through a
+// fresh clusterer, optionally querying a snapshot after every push.
+// It returns the final snapshot.
+func streamThrough(t *testing.T, cfg WindowConfig, n int, seed uint64, queryEveryPush bool) *MergeResult {
+	t.Helper()
+	w, err := NewWindowedClusterer(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(seed)
+	for i := 0; i < n; i++ {
+		center := float64(i/200) * 50 // drift every 200 points
+		if err := w.Push([]float64{center + r.NormFloat64()}); err != nil {
+			t.Fatal(err)
+		}
+		if queryEveryPush && w.Consumed() >= cfg.K {
+			if _, err := w.Snapshot(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	snap, err := w.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// TestSnapshotIndependentOfQueryFrequency pins the determinism
+// contract: snapshots are a pure function of stream position, so a
+// clusterer queried after every push and one queried only at the end
+// produce bitwise-identical final answers — for both solvers.
+func TestSnapshotIndependentOfQueryFrequency(t *testing.T) {
+	for _, solver := range []string{"", kmeans.SolverMiniBatch} {
+		cfg := WindowConfig{
+			K: 3, ChunkPoints: 60, WindowChunks: 4, Restarts: 2, Seed: 7,
+			MergeSolver: solver,
+		}
+		eager := streamThrough(t, cfg, 500, 11, true)
+		lazy := streamThrough(t, cfg, 500, 11, false)
+		if math.Float64bits(eager.MSE) != math.Float64bits(lazy.MSE) {
+			t.Fatalf("solver %q: MSE differs with query frequency: %g vs %g", solver, eager.MSE, lazy.MSE)
+		}
+		for j := range eager.Centroids {
+			if !eager.Centroids[j].Equal(lazy.Centroids[j]) {
+				t.Fatalf("solver %q: centroid %d differs with query frequency", solver, j)
+			}
+		}
+	}
+}
+
+// TestWarmSnapshotQualityNearCold bounds the warm path's approximation
+// across seeds: the incrementally maintained mini-batch answer must
+// stay within 1.05x of the cold full-merge reference.
+func TestWarmSnapshotQualityNearCold(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		cfg := WindowConfig{K: 4, ChunkPoints: 80, WindowChunks: 5, Restarts: 2, Seed: seed}
+		cold := streamThrough(t, cfg, 1200, seed*17+1, false)
+		cfg.MergeSolver = kmeans.SolverMiniBatch
+		warm := streamThrough(t, cfg, 1200, seed*17+1, false)
+		if warm.MSE > cold.MSE*1.05 {
+			t.Fatalf("seed %d: warm MSE %g exceeds 1.05x cold MSE %g", seed, warm.MSE, cold.MSE)
+		}
+	}
+}
+
+// TestSnapshotCacheHitIsAllocationFree pins the cached-hit contract: a
+// repeated Snapshot over an unchanged window returns the same result
+// pointer without a single heap allocation.
+func TestSnapshotCacheHitIsAllocationFree(t *testing.T) {
+	for _, solver := range []string{"", kmeans.SolverMiniBatch} {
+		w, err := NewWindowedClusterer(1, WindowConfig{
+			K: 3, ChunkPoints: 50, WindowChunks: 3, Seed: 5, MergeSolver: solver,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(2)
+		for i := 0; i < 200; i++ {
+			if err := w.Push([]float64{r.NormFloat64() * 20}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		first, err := w.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			snap, err := w.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if snap != first {
+				t.Fatal("cached hit should return the identical result pointer")
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("solver %q: cached snapshot allocates %.1f objects/op, want 0", solver, allocs)
+		}
+	}
+}
+
+// TestSnapshotStatsCounters pins the index's bookkeeping: rotation
+// maintenance warm-starts between resyncs, resyncs fire on the period,
+// and rotation-boundary queries are cache hits.
+func TestSnapshotStatsCounters(t *testing.T) {
+	w, err := NewWindowedClusterer(1, WindowConfig{
+		K: 3, ChunkPoints: 60, WindowChunks: 4, Seed: 9,
+		MergeSolver: kmeans.SolverMiniBatch, ResyncEvery: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly 10 rotations of noise-free three-blob data, ending on a
+	// chunk boundary (empty tail). Perfectly clusterable chunks keep
+	// every refine healthy, so only the periodic resyncs fire and the
+	// counters are exact.
+	for i := 0; i < 600; i++ {
+		if err := w.Push([]float64{float64(i%3) * 50}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Rotation 1 is the first fill (cold, not a resync); rotations 4 and
+	// 8 resync; the other 7 warm-start.
+	st := w.SnapshotStats()
+	if st.Resyncs != 2 {
+		t.Fatalf("Resyncs = %d, want 2", st.Resyncs)
+	}
+	if st.WarmStarts != 7 {
+		t.Fatalf("WarmStarts = %d, want 7", st.WarmStarts)
+	}
+	if st.RefineIterations == 0 {
+		t.Fatal("warm starts should record refine iterations")
+	}
+	// At a rotation boundary the maintained answer is the snapshot:
+	// both queries are cache hits, no extra k-means work.
+	if _, err := w.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	st = w.SnapshotStats()
+	if st.Queries != 2 || st.CacheHits != 2 {
+		t.Fatalf("Queries/CacheHits = %d/%d, want 2/2", st.Queries, st.CacheHits)
+	}
+	if st.WarmStarts != 7 {
+		t.Fatalf("boundary queries ran refines: WarmStarts = %d, want 7", st.WarmStarts)
+	}
+	// A pushed tail dirties the cache; the next query warm-refines with
+	// the tail focused, without touching the maintained state.
+	if err := w.Push([]float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	st = w.SnapshotStats()
+	if st.Queries != 3 || st.CacheHits != 2 {
+		t.Fatalf("Queries/CacheHits = %d/%d, want 3/2", st.Queries, st.CacheHits)
+	}
+	if st.WarmStarts != 8 {
+		t.Fatalf("tail query should warm-start: WarmStarts = %d, want 8", st.WarmStarts)
+	}
+}
+
+// benchSummary synthesizes one chunk summary: rows weighted centroids
+// drawn from a handful of well-separated blobs, the shape PartialKMeans
+// emits on clusterable data.
+func benchSummary(dim, rows int, seed uint64) *dataset.WeightedSet {
+	r := rng.New(seed)
+	s := dataset.MustNewWeightedSet(dim)
+	for i := 0; i < rows; i++ {
+		blob := float64(i % 8)
+		v := make([]float64, dim)
+		for d := range v {
+			v[d] = blob*30 + r.NormFloat64()
+		}
+		if err := s.Add(dataset.WeightedPoint{Vec: vector.Of(v...), Weight: 5 + 10*r.Float64()}); err != nil {
+			panic(err)
+		}
+	}
+	return s
+}
+
+// benchSnapshot measures the steady-state cost of one continuous-query
+// step — rotate one chunk into a W-chunk window, then query — for the
+// given merge solver. The summaries are injected directly so the
+// measurement isolates the merge/maintenance path from PartialKMeans.
+func benchSnapshot(b *testing.B, solver string) {
+	const (
+		W    = 50
+		k    = 40
+		dim  = 3
+		rows = 40
+	)
+	fresh := make([]*dataset.WeightedSet, 64)
+	for i := range fresh {
+		fresh[i] = benchSummary(dim, rows, uint64(i+1))
+	}
+	ring := make([]*dataset.WeightedSet, W)
+	for i := range ring {
+		ring[i] = fresh[i%len(fresh)]
+	}
+	ix := newSnapshotIndex(dim, MergeConfig{K: k, Solver: solver}, 0)
+	tail, err := dataset.NewSet(dim)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ix.admit(ring); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(ring, ring[1:])
+		ring[W-1] = fresh[i%len(fresh)]
+		if err := ix.admit(ring); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ix.snapshot(tail, (i+1)*rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotCold is the pre-index behavior: every query pays a
+// full Lloyd merge over the W=50 pooled summaries.
+func BenchmarkSnapshotCold(b *testing.B) { benchSnapshot(b, "") }
+
+// BenchmarkSnapshotWarm is the incremental path: each rotation
+// warm-starts a bounded mini-batch refine and the query itself is a
+// cache hit.
+func BenchmarkSnapshotWarm(b *testing.B) { benchSnapshot(b, kmeans.SolverMiniBatch) }
+
+// BenchmarkMergeMiniBatch measures the mini-batch kernel as a cold
+// merge solver (no warm start) over the same W=50 pool, isolating the
+// kernel speedup from the warm-start savings.
+func BenchmarkMergeMiniBatch(b *testing.B) {
+	const (
+		W    = 50
+		k    = 40
+		dim  = 3
+		rows = 40
+	)
+	pool := dataset.MustNewWeightedSet(dim)
+	for i := 0; i < W; i++ {
+		if err := pool.Append(benchSummary(dim, rows, uint64(i+1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cfg := MergeConfig{K: k, Solver: kmeans.SolverMiniBatch}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runMergeKMeans(pool, cfg, rng.New(uint64(i+1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

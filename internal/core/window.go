@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 
 	"streamkm/internal/dataset"
@@ -30,6 +29,8 @@ type WindowedClusterer struct {
 	summaries []*dataset.WeightedSet
 	consumed  int
 	expired   int
+	// idx maintains the merged answer between queries (snapshot.go).
+	idx *snapshotIndex
 }
 
 // WindowConfig parameterizes a WindowedClusterer.
@@ -49,6 +50,18 @@ type WindowConfig struct {
 	Accelerate    bool
 	// Seed drives all randomness.
 	Seed uint64
+	// MergeSolver selects the snapshot merge kernel
+	// (kmeans.SolverNames; "" = a full Lloyd merge per query). With
+	// kmeans.SolverMiniBatch the clusterer maintains the merged answer
+	// incrementally: each rotation warm-starts from the previous
+	// answer and refines with mini-batch steps focused on the changed
+	// summary, so queries return in O(k·d).
+	MergeSolver string
+	// ResyncEvery bounds warm-start drift: every Nth rotation replaces
+	// the maintained answer with a full cold merge (0 =
+	// DefaultResyncEvery; only meaningful with MergeSolver
+	// "minibatch").
+	ResyncEvery int
 }
 
 // NewWindowedClusterer validates the configuration.
@@ -65,6 +78,12 @@ func NewWindowedClusterer(dim int, cfg WindowConfig) (*WindowedClusterer, error)
 	if cfg.WindowChunks <= 0 {
 		return nil, fmt.Errorf("core: WindowChunks must be positive, got %d", cfg.WindowChunks)
 	}
+	if err := kmeans.ValidateSolver(cfg.MergeSolver); err != nil {
+		return nil, err
+	}
+	if cfg.ResyncEvery < 0 {
+		return nil, fmt.Errorf("core: ResyncEvery must be non-negative, got %d", cfg.ResyncEvery)
+	}
 	restarts := cfg.Restarts
 	if restarts <= 0 {
 		restarts = 1
@@ -72,6 +91,14 @@ func NewWindowedClusterer(dim int, cfg WindowConfig) (*WindowedClusterer, error)
 	buffer, err := dataset.NewSet(dim)
 	if err != nil {
 		return nil, err
+	}
+	merge := MergeConfig{
+		K:             cfg.K,
+		Epsilon:       cfg.Epsilon,
+		MaxIterations: cfg.MaxIterations,
+		Seeder:        kmeans.HeaviestSeeder{},
+		Accelerate:    cfg.Accelerate,
+		Solver:        cfg.MergeSolver,
 	}
 	return &WindowedClusterer{
 		k:      cfg.K,
@@ -83,17 +110,12 @@ func NewWindowedClusterer(dim int, cfg WindowConfig) (*WindowedClusterer, error)
 			MaxIterations: cfg.MaxIterations,
 			Accelerate:    cfg.Accelerate,
 		},
-		merge: MergeConfig{
-			K:             cfg.K,
-			Epsilon:       cfg.Epsilon,
-			MaxIterations: cfg.MaxIterations,
-			Seeder:        kmeans.HeaviestSeeder{},
-			Accelerate:    cfg.Accelerate,
-		},
+		merge:    merge,
 		dim:      dim,
 		rng:      rng.New(cfg.Seed),
 		buffer:   buffer,
 		chunkCap: cfg.ChunkPoints,
+		idx:      newSnapshotIndex(dim, merge, cfg.ResyncEvery),
 	}, nil
 }
 
@@ -107,18 +129,25 @@ func (w *WindowedClusterer) Expired() int { return w.expired }
 // LiveChunks returns the number of summaries currently in the window.
 func (w *WindowedClusterer) LiveChunks() int { return len(w.summaries) }
 
+// SnapshotStats reports the snapshot index's activity counters.
+func (w *WindowedClusterer) SnapshotStats() SnapshotStats { return w.idx.stats }
+
 // Push consumes one point; a full buffer becomes a chunk summary and the
 // oldest summary expires when the window overflows.
 func (w *WindowedClusterer) Push(point []float64) error {
 	if len(point) != w.dim {
 		return fmt.Errorf("core: point dim %d, want %d", len(point), w.dim)
 	}
-	p := make([]float64, w.dim)
-	copy(p, point)
-	if err := w.buffer.Add(p); err != nil {
+	// Add copies the point into the buffer's flat slab, so no
+	// intermediate copy is needed and a steady-state push allocates
+	// nothing once the slab has grown to the chunk capacity.
+	if err := w.buffer.Add(point); err != nil {
 		return err
 	}
 	w.consumed++
+	// The buffered tail is part of what a query sees, so every push
+	// dirties the cached snapshot.
+	w.idx.invalidate()
 	if w.buffer.Len() >= w.chunkCap {
 		return w.rotate()
 	}
@@ -130,42 +159,26 @@ func (w *WindowedClusterer) rotate() error {
 	if err != nil {
 		return err
 	}
+	// The summary owns fresh centroid storage, so the chunk buffer can
+	// be truncated in place and its slab reused by the next chunk.
+	w.buffer.Reset()
 	w.summaries = append(w.summaries, pr.Centroids)
 	if len(w.summaries) > w.window {
+		w.summaries[0] = nil
 		w.summaries = w.summaries[1:]
 		w.expired++
 	}
-	fresh, err := dataset.NewSet(w.dim)
-	if err != nil {
-		return err
-	}
-	w.buffer = fresh
-	return nil
+	return w.idx.admit(w.summaries)
 }
 
-// Snapshot merges the window's live summaries (plus any buffered tail
-// with at least one point, kept as unit-weight centroids so recent data
-// is never invisible) into the current clustering. The clusterer keeps
-// running; Snapshot can be called any number of times.
+// Snapshot returns the clustering of the window's live summaries plus
+// any buffered tail (kept as unit-weight centroids so recent data is
+// never invisible). The clusterer keeps running; Snapshot can be called
+// any number of times, and with nothing changed since the last call it
+// returns the same cached result without re-merging. Snapshots are a
+// pure function of stream position — querying never perturbs the
+// stream's RNG sequence or the maintained state, so any query
+// frequency sees identical answers (snapshot.go has the contract).
 func (w *WindowedClusterer) Snapshot() (*MergeResult, error) {
-	parts := make([]*dataset.WeightedSet, 0, len(w.summaries)+1)
-	parts = append(parts, w.summaries...)
-	if w.buffer.Len() > 0 {
-		parts = append(parts, dataset.Unweighted(w.buffer))
-	}
-	if len(parts) == 0 {
-		return nil, errors.New("core: window is empty")
-	}
-	total := 0
-	for _, p := range parts {
-		total += p.Len()
-	}
-	if total < w.k {
-		return nil, fmt.Errorf("core: window holds %d representatives, need at least k=%d", total, w.k)
-	}
-	// Snapshot must not perturb the ongoing stream's RNG sequence:
-	// derive a throwaway generator keyed on progress. (Heaviest seeding
-	// is deterministic anyway; the RNG covers custom seeders.)
-	snapRNG := rng.New(uint64(w.consumed)*0x9e3779b97f4a7c15 + 1)
-	return MergeKMeans(parts, w.merge, snapRNG)
+	return w.idx.snapshot(w.buffer, w.consumed)
 }

@@ -165,6 +165,11 @@ func (s *Set) Shuffle(r *rng.RNG) {
 	})
 }
 
+// Reset truncates the set to zero points, keeping the allocated slab so
+// a reused buffer (the windowed clusterer's chunk buffer) stops
+// allocating once it has warmed up.
+func (s *Set) Reset() { s.data = s.data[:0] }
+
 // ErrEmptySet is returned by operations that need at least one point.
 var ErrEmptySet = errors.New("dataset: empty set")
 
@@ -318,6 +323,30 @@ func (s *WeightedSet) Append(o *WeightedSet) error {
 	s.weights = append(s.weights, o.weights...)
 	return nil
 }
+
+// AppendUnweighted adds copies of all points of o with unit weight —
+// the reuse-friendly form of Unweighted for callers that pool a plain
+// set into an existing weighted buffer without a fresh allocation.
+func (s *WeightedSet) AppendUnweighted(o *Set) error {
+	if o.dim != s.dim {
+		return fmt.Errorf("dataset: cannot append dim %d into dim %d", o.dim, s.dim)
+	}
+	s.data = append(s.data, o.data...)
+	for i, n := 0, o.Len(); i < n; i++ {
+		s.weights = append(s.weights, 1)
+	}
+	return nil
+}
+
+// Truncate drops every point past index n, keeping capacity — the
+// inverse of AppendUnweighted for buffers that carry a transient tail.
+func (s *WeightedSet) Truncate(n int) {
+	s.data = s.data[:n*s.dim]
+	s.weights = s.weights[:n]
+}
+
+// Reset truncates the weighted set to zero points, keeping capacity.
+func (s *WeightedSet) Reset() { s.Truncate(0) }
 
 // Unweighted converts a plain set into a weighted set with unit weights,
 // so serial k-means and merge k-means share one weighted implementation.

@@ -272,6 +272,7 @@ func (e *Exec) Execute(ctx context.Context, cells []Cell) ([]CellResult, *ExecSt
 		return nil, nil, err
 	}
 	stagePartial := q.partialStage()
+	stageMerge := q.mergeStage()
 
 	master := rng.New(q.Seed)
 	tasks, mergeRNGs, err := prepareTasks(cells, q, plan, master)
@@ -285,7 +286,7 @@ func (e *Exec) Execute(ctx context.Context, cells []Cell) ([]CellResult, *ExecSt
 	if obsReg == nil {
 		obsReg = obs.NewRegistry()
 	}
-	ob := newExecObs(obsReg, stagePartial)
+	ob := newExecObs(obsReg, stagePartial, stageMerge)
 	ob.cellsTotal.Add(int64(len(cells)))
 	ob.chunksTotal.Add(int64(len(tasks)))
 	if admission != nil && admission.Constrained() {
@@ -390,7 +391,7 @@ func (e *Exec) Execute(ctx context.Context, cells []Cell) ([]CellResult, *ExecSt
 		stream.RunSource(g, gctx, reg, opScan, taskSource(remaining), chunkQ)
 		pcfg := stream.StageConfig[chunkTask]{Name: stagePartial, Clones: plan.PartialClones, Sup: sup,
 			Observe: ob.partialSeconds.ObserveDuration}
-		mcfg := stream.StageConfig[partialOut]{Name: opMerge, Clones: 1,
+		mcfg := stream.StageConfig[partialOut]{Name: stageMerge, Clones: 1,
 			Observe: ob.mergeSeconds.ObserveDuration}
 		if hbPartial != nil {
 			// Assign only when armed: a typed-nil *Heartbeat in the
@@ -420,7 +421,7 @@ func (e *Exec) Execute(ctx context.Context, cells []Cell) ([]CellResult, *ExecSt
 					Pending:  func() int64 { return hbPartial.InFlight() + int64(chunkQ.Len()) },
 				},
 				govern.Probe{
-					Name:     opMerge,
+					Name:     stageMerge,
 					Progress: func() int64 { return hbMerge.Beats() + partQ.Dequeued() },
 					Pending:  func() int64 { return hbMerge.InFlight() + int64(partQ.Len()) },
 				})

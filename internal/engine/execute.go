@@ -10,6 +10,7 @@ import (
 	"streamkm/internal/govern"
 	"streamkm/internal/grid"
 	"streamkm/internal/histogram"
+	"streamkm/internal/kmeans"
 	"streamkm/internal/obs"
 	"streamkm/internal/rng"
 	"streamkm/internal/stream"
@@ -25,7 +26,10 @@ import (
 const (
 	opScan    = "scan"
 	opPartial = "partial-" + core.SummarizerKMeans
-	opMerge   = "merge-kmeans"
+	// The merge stage is named after the solver running in it
+	// (Query.mergeStage()); opMerge is the full-Lloyd default.
+	opMerge          = "merge-kmeans"
+	opMergeMiniBatch = "merge-" + kmeans.SolverMiniBatch
 
 	queueChunks   = "chunks"
 	queuePartials = "partials"

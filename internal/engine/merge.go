@@ -33,6 +33,9 @@ type cellMerger struct {
 	// checkpoint); an internal journal is pruned cell by cell instead.
 	retain bool
 	ob     *execObs
+	// stage is the solver-derived merge stage label (Query.mergeStage),
+	// shared with traces, metrics, and the watchdog.
+	stage string
 
 	mu        sync.Mutex
 	results   []CellResult
@@ -49,6 +52,7 @@ func newCellMerger(cells []Cell, q Query, compress bool, mergeRNGs []*rng.RNG, t
 		journal:   journal,
 		retain:    retain,
 		ob:        ob,
+		stage:     q.mergeStage(),
 		results:   make([]CellResult, len(cells)),
 		completed: make([]bool, len(cells)),
 	}
@@ -127,8 +131,8 @@ func (m *cellMerger) mergePartial(ci, total int) (missing []int, err error) {
 // partitions.
 func (m *cellMerger) finishCell(ci int, parts []*dataset.WeightedSet, partialTime time.Duration, lost int) error {
 	key := m.cells[ci].Key
-	endSpan := m.tr.SpanL(opMerge, fmt.Sprintf("%v", key),
-		trace.Label{Key: "stage", Value: opMerge},
+	endSpan := m.tr.SpanL(m.stage, fmt.Sprintf("%v", key),
+		trace.Label{Key: "stage", Value: m.stage},
 		trace.Label{Key: "cell", Value: fmt.Sprintf("%v", key)})
 	mergeRNG := *m.mergeRNGs[ci]
 	mr, err := core.MergeKMeans(parts, m.q.mergeConfig(), &mergeRNG)

@@ -59,11 +59,13 @@ type execObs struct {
 }
 
 // newExecObs builds the execution's instrument cache. stagePartial is
-// the summarizer-derived partial stage label, so every per-operator
-// family (stage latency, chunk sizes, k-means counters, summary output)
-// is keyed by the operator that actually ran — run reports distinguish
-// a partial-coreset run from a partial-kmeans one at a glance.
-func newExecObs(reg *obs.Registry, stagePartial string) *execObs {
+// the summarizer-derived partial stage label and stageMerge the
+// solver-derived merge stage label, so every per-operator family
+// (stage latency, chunk sizes, k-means counters, summary output) is
+// keyed by the operator that actually ran — run reports distinguish a
+// partial-coreset or merge-minibatch run from the defaults at a
+// glance.
+func newExecObs(reg *obs.Registry, stagePartial, stageMerge string) *execObs {
 	return &execObs{
 		reg:            reg,
 		chunksTotal:    reg.Counter(obs.EngineChunksTotal, ""),
@@ -81,13 +83,13 @@ func newExecObs(reg *obs.Registry, stagePartial string) *execObs {
 		degradedPoints: reg.Counter(obs.EngineDegradedPoints, ""),
 
 		partialSeconds: reg.Histogram(obs.StageSeconds, stagePartial, obs.LatencyBuckets()),
-		mergeSeconds:   reg.Histogram(obs.StageSeconds, opMerge, obs.LatencyBuckets()),
+		mergeSeconds:   reg.Histogram(obs.StageSeconds, stageMerge, obs.LatencyBuckets()),
 		chunkPoints:    reg.Histogram(obs.ChunkPoints, stagePartial, obs.SizeBuckets()),
 
 		kmIterPartial: reg.Counter(obs.KMeansIterations, stagePartial),
 		kmRestarts:    reg.Counter(obs.KMeansRestarts, stagePartial),
 		kmConvPartial: reg.Counter(obs.KMeansConverged, stagePartial),
-		kmIterMerge:   reg.Counter(obs.KMeansIterations, opMerge),
+		kmIterMerge:   reg.Counter(obs.KMeansIterations, stageMerge),
 		kmDeltaMSE:    reg.FloatGauge(obs.KMeansLastDeltaMSE, stagePartial),
 		summaryPoints: reg.Counter(obs.SummaryPoints, stagePartial),
 	}

@@ -53,6 +53,12 @@ type Query struct {
 	// partial stage and the merge stage (kmeans.SeederByName; "" keeps
 	// the historic defaults: random partial, heaviest merge).
 	SeedMethod string
+	// MergeSolver selects the merge-stage iteration kernel
+	// (kmeans.SolverNames; "" = full Lloyd, "minibatch" = sampled
+	// gradient steps). Labeled in plans, traces, and metrics as
+	// "merge-minibatch"; journals are unaffected (the merge re-runs on
+	// resume from journaled partials, like Accelerate).
+	MergeSolver string
 	// CoresetSize is the coreset operator's output size m (0 = 10*K).
 	CoresetSize int
 	// ECVQMaxK and ECVQLambda parameterize the ecvq operator
@@ -70,6 +76,9 @@ func (q Query) validate() error {
 	}
 	if _, err := q.newSummarizer(); err != nil {
 		return err
+	}
+	if err := kmeans.ValidateSolver(q.MergeSolver); err != nil {
+		return fmt.Errorf("engine: %w", err)
 	}
 	return nil
 }
@@ -94,6 +103,17 @@ func (q Query) partialStage() string {
 		name = core.SummarizerKMeans
 	}
 	return "partial-" + name
+}
+
+// mergeStage names the merge stage after the solver running in it
+// ("merge-kmeans" for the full Lloyd default, "merge-minibatch" for
+// the sampled kernel), flowing into the same EXPLAIN/trace/metric/
+// watchdog surfaces as partialStage.
+func (q Query) mergeStage() string {
+	if q.MergeSolver == kmeans.SolverMiniBatch {
+		return opMergeMiniBatch
+	}
+	return opMerge
 }
 
 // Resources is the physical resource model the optimizer consults.
@@ -128,6 +148,9 @@ type PhysicalPlan struct {
 	// operator that runs in it (Query.partialStage(); "" renders as the
 	// k-means default for hand-built plans).
 	PartialStage string
+	// MergeStage labels the merge stage with the solver that runs in
+	// it (Query.mergeStage(); "" renders as the full-Lloyd default).
+	MergeStage string
 }
 
 // Explain formats the plan like a query EXPLAIN.
@@ -136,9 +159,13 @@ func (p PhysicalPlan) Explain() string {
 	if stage == "" {
 		stage = "partial-" + core.SummarizerKMeans
 	}
+	merge := p.MergeStage
+	if merge == "" {
+		merge = opMerge
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "PhysicalPlan:\n")
-	fmt.Fprintf(&b, "  scan -> %s x%d -> merge-kmeans\n", stage, p.PartialClones)
+	fmt.Fprintf(&b, "  scan -> %s x%d -> %s\n", stage, p.PartialClones, merge)
 	fmt.Fprintf(&b, "  chunk size: %d points\n", p.ChunkPoints)
 	fmt.Fprintf(&b, "  queue capacity: %d\n", p.QueueCapacity)
 	fmt.Fprintf(&b, "  rationale: %s\n", p.Rationale)
@@ -207,6 +234,7 @@ func Optimize(q Query, cellSizes []int, dim int, res Resources) (PhysicalPlan, e
 		PartialClones: clones,
 		QueueCapacity: queueCap,
 		PartialStage:  q.partialStage(),
+		MergeStage:    q.mergeStage(),
 		Rationale: fmt.Sprintf(
 			"budget %dB / %dB-per-point(dim=%d) = %d points per chunk; %d cells totalling %d points -> ~%d chunks; %d workers -> %d clones",
 			res.MemoryBytes, pointBytes(dim), dim, budgetChunk, len(cellSizes), total, expectedChunks, workers, clones),
@@ -238,5 +266,6 @@ func (q Query) mergeConfig() core.MergeConfig {
 		Seeder:        seeder,
 		Mode:          q.MergeMode,
 		Accelerate:    q.Accelerate,
+		Solver:        q.MergeSolver,
 	}
 }

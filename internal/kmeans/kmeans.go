@@ -11,6 +11,7 @@ package kmeans
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
 	"streamkm/internal/dataset"
@@ -71,13 +72,66 @@ type Config struct {
 	// winner are bit-identical to serial execution for any worker count.
 	// Ignored by single runs.
 	Parallel int
+	// Solver selects the iteration kernel: "" or SolverLloyd runs full
+	// Lloyd passes over every point; SolverMiniBatch runs the
+	// mini-batch kernel (Sculley, WWW 2010, generalized to weighted
+	// points): BatchSize points sampled per step from a dedicated
+	// sampling stream, with only the sampled centers moved under
+	// per-center learning rates. The mini-batch kernel ignores
+	// Accelerate, Workers, and EmptyPolicy (an unsampled center simply
+	// stays put).
+	Solver string
+	// BatchSize is the mini-batch sample size per gradient step
+	// (0 = 10*K). Mini-batch solver only.
+	BatchSize int
+	// SampleSeed seeds the mini-batch sampling stream. Run and
+	// RunRestarts overwrite it with values drawn from the caller's RNG
+	// after seeding — keeping "Lloyd consumes no randomness" true for
+	// the full-Lloyd solvers — while RunFromCentroids uses it as given,
+	// so a warm-started refine is a pure function of its inputs.
+	SampleSeed uint64
+	// FocusRows, when non-empty, is processed as one deterministic
+	// first batch before sampling begins — the warm-refine hook
+	// guaranteeing that freshly changed rows influence the answer even
+	// if the sampled batches miss them. Mini-batch solver only.
+	FocusRows []int
+	// InitialCounts pre-loads the per-center learning-rate mass
+	// (length K). A warm-started refine passes the previous answer's
+	// Weights so new data moves centroids proportionally to its mass
+	// instead of yanking them onto itself. Mini-batch solver only; nil
+	// starts every center at zero mass.
+	InitialCounts []float64
+}
+
+// Solver names for Config.Solver / MergeConfig.Solver.
+const (
+	// SolverLloyd is the full Lloyd iteration (the default).
+	SolverLloyd = "lloyd"
+	// SolverMiniBatch is the sampled gradient kernel.
+	SolverMiniBatch = "minibatch"
+)
+
+// SolverNames lists the selectable iteration kernels.
+func SolverNames() []string { return []string{SolverLloyd, SolverMiniBatch} }
+
+// ValidateSolver checks a solver name; "" selects the Lloyd default.
+func ValidateSolver(name string) error {
+	switch name {
+	case "", SolverLloyd, SolverMiniBatch:
+		return nil
+	default:
+		return fmt.Errorf("kmeans: unknown solver %q (have %s)", name, strings.Join(SolverNames(), ", "))
+	}
 }
 
 func (c Config) withDefaults() Config {
 	if c.Epsilon == 0 {
 		c.Epsilon = DefaultEpsilon
 	}
-	if c.MaxIterations == 0 {
+	// The mini-batch solver budgets gradient batches from the input
+	// size (see runMiniBatch); Lloyd's 500-sweep cap would be a ~50x
+	// oversized sample budget.
+	if c.MaxIterations == 0 && c.Solver != SolverMiniBatch {
 		c.MaxIterations = DefaultMaxIterations
 	}
 	if c.Seeder == nil {
@@ -98,6 +152,15 @@ func (c Config) validate() error {
 	}
 	if c.Parallel < 0 {
 		return fmt.Errorf("kmeans: Parallel must be non-negative, got %d", c.Parallel)
+	}
+	if err := ValidateSolver(c.Solver); err != nil {
+		return err
+	}
+	if c.BatchSize < 0 {
+		return fmt.Errorf("kmeans: BatchSize must be non-negative, got %d", c.BatchSize)
+	}
+	if c.InitialCounts != nil && len(c.InitialCounts) != c.K {
+		return fmt.Errorf("kmeans: %d initial counts but K=%d", len(c.InitialCounts), c.K)
 	}
 	return nil
 }
@@ -167,6 +230,12 @@ func Run(points *dataset.WeightedSet, cfg Config, r *rng.RNG) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Solver == SolverMiniBatch {
+		// The sampling stream is derived from the caller's RNG after
+		// seeding, so a run remains reproducible from (points, cfg, r)
+		// and the full-Lloyd solvers' RNG consumption is unchanged.
+		cfg.SampleSeed = r.Uint64()
+	}
 	return runLloyd(points, centroids, cfg, nil)
 }
 
@@ -200,6 +269,9 @@ func RunFromCentroids(points *dataset.WeightedSet, initial []vector.Vector, cfg 
 func runLloyd(points *dataset.WeightedSet, centroids []vector.Vector, cfg Config, sc *scratch) (*Result, error) {
 	if points.TotalWeight() <= 0 {
 		return nil, errors.New("kmeans: total weight is zero")
+	}
+	if cfg.Solver == SolverMiniBatch {
+		return runMiniBatch(points, centroids, cfg, sc)
 	}
 	if cfg.Accelerate {
 		return runHamerly(points, centroids, cfg, sc)
@@ -311,12 +383,29 @@ func RunRestarts(points *dataset.WeightedSet, cfg Config, restarts int, r *rng.R
 		return nil, errors.New("kmeans: restart 0: kmeans: empty input")
 	}
 	seedSets := make([][]vector.Vector, restarts)
+	var sampleSeeds []uint64
+	if cfg.Solver == SolverMiniBatch {
+		sampleSeeds = make([]uint64, restarts)
+	}
 	for run := range seedSets {
 		seeds, err := cfg.Seeder.Seed(points, cfg.K, r)
 		if err != nil {
 			return nil, fmt.Errorf("kmeans: restart %d: %w", run, err)
 		}
 		seedSets[run] = seeds
+		if sampleSeeds != nil {
+			// Like the seed sets, sampling streams are derived serially
+			// up front so parallel restarts stay bit-identical to serial.
+			sampleSeeds[run] = r.Uint64()
+		}
+	}
+	cfgFor := func(run int) Config {
+		if sampleSeeds == nil {
+			return cfg
+		}
+		c := cfg
+		c.SampleSeed = sampleSeeds[run]
+		return c
 	}
 
 	results := make([]*Result, restarts)
@@ -329,7 +418,7 @@ func RunRestarts(points *dataset.WeightedSet, cfg Config, restarts int, r *rng.R
 		sc := newScratch(points.Len(), cfg.K, points.Dim())
 		defer sc.release()
 		for run := 0; run < restarts; run++ {
-			results[run], errs[run] = runLloyd(points, seedSets[run], cfg, sc)
+			results[run], errs[run] = runLloyd(points, seedSets[run], cfgFor(run), sc)
 		}
 	} else {
 		next := make(chan int)
@@ -341,7 +430,7 @@ func RunRestarts(points *dataset.WeightedSet, cfg Config, restarts int, r *rng.R
 				sc := newScratch(points.Len(), cfg.K, points.Dim())
 				defer sc.release()
 				for run := range next {
-					results[run], errs[run] = runLloyd(points, seedSets[run], cfg, sc)
+					results[run], errs[run] = runLloyd(points, seedSets[run], cfgFor(run), sc)
 				}
 			}()
 		}

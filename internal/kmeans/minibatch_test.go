@@ -1,0 +1,181 @@
+package kmeans
+
+import (
+	"math"
+	"testing"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/rng"
+	"streamkm/internal/vector"
+)
+
+func TestValidateSolver(t *testing.T) {
+	for _, ok := range []string{"", SolverLloyd, SolverMiniBatch} {
+		if err := ValidateSolver(ok); err != nil {
+			t.Errorf("ValidateSolver(%q) = %v, want nil", ok, err)
+		}
+	}
+	if err := ValidateSolver("sgd"); err == nil {
+		t.Error("unknown solver should be rejected")
+	}
+	if _, err := Run(twoBlobs(t, 10), Config{K: 2, Solver: "sgd"}, rng.New(1)); err == nil {
+		t.Error("Run should reject an unknown solver")
+	}
+}
+
+func TestMiniBatchSeparatesBlobs(t *testing.T) {
+	s := twoBlobs(t, 100)
+	res, err := Run(s, Config{K: 2, Solver: SolverMiniBatch}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var left, right bool
+	for _, c := range res.Centroids {
+		if math.Abs(c[0]+10) < 1 {
+			left = true
+		}
+		if math.Abs(c[0]-10) < 1 {
+			right = true
+		}
+	}
+	if !left || !right {
+		t.Fatalf("mini-batch centroids did not find both blobs: %v", res.Centroids)
+	}
+	if res.MSE > 0.1 {
+		t.Fatalf("MSE = %g, want near within-blob variance", res.MSE)
+	}
+}
+
+// TestMiniBatchDeterminism pins the solver's reproducibility contract:
+// randomness comes only from the seeded sampling stream, so equal
+// configs and RNG states give bitwise-equal results.
+func TestMiniBatchDeterminism(t *testing.T) {
+	s := randomWeighted(500, 7)
+	cfg := Config{K: 8, Solver: SolverMiniBatch}
+	a, err := Run(s, cfg, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(s, cfg, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if centroidChecksum(a) != centroidChecksum(b) {
+		t.Fatal("equal seeds should give bitwise-equal mini-batch centroids")
+	}
+	if a.Iterations != b.Iterations || a.MSE != b.MSE {
+		t.Fatalf("runs differ: %d/%g vs %d/%g", a.Iterations, a.MSE, b.Iterations, b.MSE)
+	}
+}
+
+// TestMiniBatchQualityNearLloyd bounds the sampling approximation: on a
+// clusterable workload the mini-batch answer stays within a small
+// factor of the full-Lloyd answer from the same seed.
+func TestMiniBatchQualityNearLloyd(t *testing.T) {
+	s := randomWeighted(2000, 11)
+	full, err := RunRestarts(s, Config{K: 10}, 3, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := RunRestarts(s, Config{K: 10, Solver: SolverMiniBatch}, 3, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mb.Best.MSE > full.Best.MSE*1.05 {
+		t.Fatalf("mini-batch MSE %g exceeds 1.05x full Lloyd MSE %g", mb.Best.MSE, full.Best.MSE)
+	}
+}
+
+// TestMiniBatchRestartsBitIdenticalAcrossWorkerCounts extends the
+// package's parallel-restart equivalence guarantee to the new solver:
+// per-run sample seeds are pre-derived serially, so fan-out cannot
+// change the answer.
+func TestMiniBatchRestartsBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	s := randomWeighted(400, 9)
+	base, err := RunRestarts(s, Config{K: 6, Solver: SolverMiniBatch, Parallel: 1}, 5, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parallel := range []int{2, 4, 8} {
+		rr, err := RunRestarts(s, Config{K: 6, Solver: SolverMiniBatch, Parallel: parallel}, 5, rng.New(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rr.BestRun != base.BestRun {
+			t.Fatalf("Parallel=%d: BestRun %d vs %d", parallel, rr.BestRun, base.BestRun)
+		}
+		if centroidChecksum(rr.Best) != centroidChecksum(base.Best) {
+			t.Fatalf("Parallel=%d: winning centroids differ bitwise", parallel)
+		}
+		for run := range base.MSEs {
+			if math.Float64bits(rr.MSEs[run]) != math.Float64bits(base.MSEs[run]) {
+				t.Fatalf("Parallel=%d: run %d MSE differs", parallel, run)
+			}
+		}
+	}
+}
+
+func TestMiniBatchConfigValidation(t *testing.T) {
+	s := randomWeighted(50, 3)
+	if _, err := Run(s, Config{K: 3, Solver: SolverMiniBatch, BatchSize: -1}, rng.New(1)); err == nil {
+		t.Fatal("negative BatchSize should error")
+	}
+	if _, err := Run(s, Config{K: 3, Solver: SolverMiniBatch, InitialCounts: []float64{1, 2}}, rng.New(1)); err == nil {
+		t.Fatal("InitialCounts of wrong length should error")
+	}
+	seeds, err := (RandomSeeder{}).Seed(s, 3, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{K: 3, Solver: SolverMiniBatch, FocusRows: []int{-1}},
+		{K: 3, Solver: SolverMiniBatch, FocusRows: []int{s.Len()}},
+	}
+	for i, cfg := range bad {
+		if _, err := RunFromCentroids(s, seeds, cfg); err == nil {
+			t.Fatalf("case %d: out-of-range focus row should error", i)
+		}
+	}
+}
+
+// TestMiniBatchWarmStartFocusMovesAnswer drives the snapshot-index
+// pattern directly: warm-start from converged centers, then present
+// changed rows as the focus batch. The focused refine must move the
+// answer toward the new data even before any sampling happens.
+func TestMiniBatchWarmStartFocusMovesAnswer(t *testing.T) {
+	s := twoBlobs(t, 50)
+	full, err := Run(s, Config{K: 2}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append a heavy outlier cluster at x=+30 and refine from the old
+	// answer with the new rows focused.
+	for i := 0; i < 10; i++ {
+		if err := s.Add(dataset.WeightedPoint{Vec: vector.Of(30, 0), Weight: 25}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	focus := make([]int, 10)
+	for i := range focus {
+		focus[i] = s.Len() - 10 + i
+	}
+	res, err := RunFromCentroids(s, full.Centroids, Config{
+		K: 2, Solver: SolverMiniBatch,
+		FocusRows:     focus,
+		InitialCounts: full.Weights,
+		MaxIterations: 40,
+		SampleSeed:    99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nearNew bool
+	for _, c := range res.Centroids {
+		if c[0] > 5 {
+			nearNew = true
+		}
+	}
+	if !nearNew {
+		t.Fatalf("focused warm refine ignored the new mass: %v", res.Centroids)
+	}
+}

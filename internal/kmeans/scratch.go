@@ -31,6 +31,12 @@ type scratch struct {
 	move    []float64
 	oldCent []float64 // dim
 
+	// mbCounts is the mini-batch solver's per-center learning-rate
+	// mass (the cumulative sampled weight behind each center),
+	// allocated on first mini-batch run. Distinct from weights, which
+	// every full evaluation sweep resets.
+	mbCounts []float64
+
 	// pool shards the assignment sweep when Config.Workers >= 2; started
 	// lazily, reused across iterations and runs, stopped by release.
 	pool *assignPool

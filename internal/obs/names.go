@@ -60,6 +60,17 @@ const (
 	// Summarizer families, labeled by the partial-stage operator.
 	SummaryPoints = "summary_points" // weighted points emitted by chunk summaries
 
+	// Snapshot families for the windowed continuous-query path, all
+	// labeled "snapshot" (one query surface per clusterer). Counters
+	// mirror core.SnapshotStats; the histogram is observed once per
+	// Snapshot call by the facade.
+	SnapshotQueries    = "snapshot_queries"     // Snapshot calls
+	SnapshotCacheHits  = "snapshot_cache_hits"  // answered without k-means work
+	SnapshotWarmStarts = "snapshot_warm_starts" // warm-started mini-batch refines
+	SnapshotResyncs    = "snapshot_resyncs"     // periodic full-merge resyncs
+	SnapshotRefineIter = "snapshot_refine_iterations"
+	SnapshotSeconds    = "snapshot_seconds" // histogram: per-query latency
+
 	// Distributed-runtime families, labeled by the worker address
 	// (dist_workers_live is run-global).
 	DistChunksDone  = "dist_chunks_done"  // chunks a worker computed (completed leases)

@@ -16,12 +16,12 @@
 #
 # Usage: scripts/bench.sh [count] [out.json]
 #   count    runs per benchmark (default 3)
-#   out.json output report path (default BENCH_PR7.json)
+#   out.json output report path (default BENCH_PR8.json)
 set -eu
 cd "$(dirname "$0")/.."
 
 COUNT="${1:-3}"
-OUT="${2:-BENCH_PR7.json}"
+OUT="${2:-BENCH_PR8.json}"
 
 # Pick the baseline report: the newest committed BENCH_*.json that is
 # not the output file itself (version sort, so PR10 follows PR9).
@@ -41,7 +41,7 @@ trap 'rm -f "$RAW"' EXIT
 echo "running benchmarks (-benchtime=10x -count=$COUNT) ..." >&2
 go test -run='^$' -bench='LloydNaiveK40|LloydHamerlyK40|LloydParallel4Workers|SeedScalableK40' \
   -benchtime=10x -count="$COUNT" -benchmem ./internal/kmeans | tee -a "$RAW" >&2
-go test -run='^$' -bench='CoresetTree5000to200' \
+go test -run='^$' -bench='CoresetTree5000to200|SnapshotCold|SnapshotWarm|MergeMiniBatch' \
   -benchtime=10x -count="$COUNT" -benchmem ./internal/core | tee -a "$RAW" >&2
 go test -run='^$' -bench='SquaredDistance6D|NearestIndex40Centroids' \
   -count="$COUNT" ./internal/vector | tee -a "$RAW" >&2
@@ -69,7 +69,7 @@ BEGIN {
     if (!(name in best) || ns < best[name]) best[name] = ns
 }
 END {
-    n = split("LloydNaiveK40 LloydHamerlyK40 LloydParallel4Workers SeedScalableK40 CoresetTree5000to200 SquaredDistance6D NearestIndex40Centroids", order, " ")
+    n = split("LloydNaiveK40 LloydHamerlyK40 LloydParallel4Workers SeedScalableK40 CoresetTree5000to200 SnapshotCold SnapshotWarm MergeMiniBatch SquaredDistance6D NearestIndex40Centroids", order, " ")
     printf "{\n"
     printf "  \"note\": \"baseline_ns_op from the previous BENCH report; current_ns_op is best-of-count on this machine; new benchmarks self-baseline\",\n"
     printf "  \"benchmarks\": [\n"

@@ -49,6 +49,13 @@ type Options struct {
 	Strategy string
 	// MergeMode selects "collective" (default) or "incremental".
 	MergeMode string
+	// MergeSolver selects the Lloyd kernel the merge stage runs:
+	// "lloyd" (default — full-batch iterations to the ΔMSE fixpoint) or
+	// "minibatch" (Sculley-style mini-batch gradient steps with
+	// per-center learning rates; faster on large merge pools, answers
+	// within a small MSE factor of full Lloyd). Deterministic for a
+	// fixed Seed either way.
+	MergeSolver string
 	// Epsilon is the ΔMSE convergence threshold (0 = 1e-9).
 	Epsilon float64
 	// MaxIterations caps Lloyd iterations per run (0 = 500).
@@ -257,6 +264,7 @@ func (o Options) toCore() (core.Options, error) {
 		ChunkPoints:   o.ChunkPoints,
 		Strategy:      strat,
 		MergeMode:     mode,
+		MergeSolver:   o.MergeSolver,
 		Epsilon:       o.Epsilon,
 		MaxIterations: o.MaxIterations,
 		Seed:          o.Seed,
@@ -397,6 +405,7 @@ func ClusterGoverned(ctx context.Context, points [][]float64, opts Options) (*Re
 		MaxIterations: copts.MaxIterations,
 		Strategy:      copts.Strategy,
 		MergeMode:     copts.MergeMode,
+		MergeSolver:   copts.MergeSolver,
 		Seed:          copts.Seed,
 		Accelerate:    copts.Accelerate,
 		Workers:       copts.Workers,

@@ -1,15 +1,35 @@
 package streamkm
 
 import (
+	"time"
+
 	"streamkm/internal/core"
+	"streamkm/internal/obs"
 )
 
 // WindowedClusterer clusters the W most recent memory-budget chunks of
 // an unbounded stream, answering "what does the stream look like now"
 // snapshots at any time — the continuous-query regime of the paper's
 // related work (§2.2), built from the same partial/merge operators.
+//
+// Snapshots are served from an incremental merge index: the merged
+// answer over the live window is maintained eagerly as chunks rotate,
+// so a query against an unchanged window returns a cached result in
+// O(k·d) with no k-means work. With MergeSolver "minibatch" the index
+// additionally warm-starts each maintenance step from the previous
+// answer and refines with mini-batch Lloyd instead of re-merging from
+// scratch (a periodic full merge every ResyncEvery rotations bounds
+// drift). Answers are a pure function of the stream position — the
+// same pushes yield the same snapshot regardless of how often
+// intermediate snapshots were taken.
 type WindowedClusterer struct {
 	inner *core.WindowedClusterer
+
+	reg         *obs.Registry
+	snapSeconds *obs.Histogram
+	// absorbed tracks the core stats already folded into the registry's
+	// counters, so Report can be called repeatedly and mid-stream.
+	absorbed core.SnapshotStats
 }
 
 // WindowedOptions configures a windowed clusterer.
@@ -28,6 +48,14 @@ type WindowedOptions struct {
 	Accelerate    bool
 	// Seed makes the stream reproducible.
 	Seed uint64
+	// MergeSolver selects the merge/maintenance kernel: "lloyd"
+	// (default) or "minibatch", which unlocks warm-started incremental
+	// refinement of the snapshot index (see WindowedClusterer).
+	MergeSolver string
+	// ResyncEvery is how many chunk rotations the mini-batch snapshot
+	// index goes between full-merge resyncs (0 = a default policy;
+	// ignored under the "lloyd" solver, which always fully merges).
+	ResyncEvery int
 }
 
 // NewWindowedClusterer returns a windowed clusterer for dim-dimensional
@@ -42,11 +70,18 @@ func NewWindowedClusterer(dim int, opts WindowedOptions) (*WindowedClusterer, er
 		MaxIterations: opts.MaxIterations,
 		Accelerate:    opts.Accelerate,
 		Seed:          opts.Seed,
+		MergeSolver:   opts.MergeSolver,
+		ResyncEvery:   opts.ResyncEvery,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &WindowedClusterer{inner: inner}, nil
+	reg := obs.NewRegistry()
+	return &WindowedClusterer{
+		inner:       inner,
+		reg:         reg,
+		snapSeconds: reg.Histogram(obs.SnapshotSeconds, "snapshot", obs.LatencyBuckets()),
+	}, nil
 }
 
 // Push consumes one point (the slice is copied).
@@ -58,10 +93,17 @@ func (w *WindowedClusterer) Consumed() int   { return w.inner.Consumed() }
 func (w *WindowedClusterer) Expired() int    { return w.inner.Expired() }
 func (w *WindowedClusterer) LiveChunks() int { return w.inner.LiveChunks() }
 
+// SnapshotStats reports the snapshot index's lifetime work counters.
+func (w *WindowedClusterer) SnapshotStats() core.SnapshotStats { return w.inner.SnapshotStats() }
+
 // Snapshot merges the live window into the current clustering without
-// disturbing the stream; it can be called repeatedly.
+// disturbing the stream; it can be called repeatedly, and repeated
+// calls against an unchanged window are answered from the index's
+// cache.
 func (w *WindowedClusterer) Snapshot() (*Result, error) {
+	start := time.Now()
 	mr, err := w.inner.Snapshot()
+	w.snapSeconds.Observe(time.Since(start).Seconds())
 	if err != nil {
 		return nil, err
 	}
@@ -77,4 +119,22 @@ func (w *WindowedClusterer) Snapshot() (*Result, error) {
 		out.Centroids[i] = c
 	}
 	return out, nil
+}
+
+// Report renders the clusterer's query-path metrics as the same
+// schema-stable JSON document engine runs emit: the snapshot_* counter
+// family (queries, cache hits, warm starts, resyncs, refine
+// iterations) plus the per-query latency histogram, all under the
+// "snapshot" stage label.
+func (w *WindowedClusterer) Report() *obs.Report {
+	s := w.inner.SnapshotStats()
+	w.reg.Counter(obs.SnapshotQueries, "snapshot").Add(s.Queries - w.absorbed.Queries)
+	w.reg.Counter(obs.SnapshotCacheHits, "snapshot").Add(s.CacheHits - w.absorbed.CacheHits)
+	w.reg.Counter(obs.SnapshotWarmStarts, "snapshot").Add(s.WarmStarts - w.absorbed.WarmStarts)
+	w.reg.Counter(obs.SnapshotResyncs, "snapshot").Add(s.Resyncs - w.absorbed.Resyncs)
+	w.reg.Counter(obs.SnapshotRefineIter, "snapshot").Add(s.RefineIterations - w.absorbed.RefineIterations)
+	w.absorbed = s
+	snap := w.reg.Snapshot()
+	snap.Sort()
+	return &obs.Report{Schema: obs.ReportSchema, Metrics: snap}
 }
