@@ -176,6 +176,189 @@ func TestCheckpointPropagatesWriteErrors(t *testing.T) {
 	}
 }
 
+// windowedCheckpointScenario runs a reference windowed clusterer and a
+// checkpointed-then-resumed one over the same stream and requires
+// bit-identical snapshots for the rest of the stream.
+func windowedCheckpointScenario(t *testing.T, opts WindowedOptions, cut int) {
+	t.Helper()
+	pts := blobPoints(900)
+	ref, err := NewWindowedClusterer(2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := NewWindowedClusterer(2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts[:cut] {
+		if err := ref.Push(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := live.Push(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := live.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := ResumeWindowedClusterer(bytes.NewReader(buf.Bytes()), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Consumed() != cut {
+		t.Fatalf("resumed consumed %d, want %d", resumed.Consumed(), cut)
+	}
+	for i, p := range pts[cut:] {
+		if err := ref.Push(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := resumed.Push(p); err != nil {
+			t.Fatal(err)
+		}
+		if i%61 != 0 {
+			continue
+		}
+		a, err := ref.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := resumed.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.MergeMSE != b.MergeMSE {
+			t.Fatalf("push %d: resumed MergeMSE %g != reference %g", i, b.MergeMSE, a.MergeMSE)
+		}
+		for j := range a.Centroids {
+			for d := range a.Centroids[j] {
+				if a.Centroids[j][d] != b.Centroids[j][d] {
+					t.Fatalf("push %d: centroid %d differs after resume", i, j)
+				}
+			}
+			if a.Weights[j] != b.Weights[j] {
+				t.Fatalf("push %d: weight %d differs after resume", i, j)
+			}
+		}
+	}
+}
+
+func TestWindowedCheckpointResumeIsBitIdentical(t *testing.T) {
+	for _, solver := range []string{"", "minibatch"} {
+		// Cuts land mid-chunk (130), on a rotation boundary (240), and
+		// past a window expiry (610).
+		for _, cut := range []int{130, 240, 610} {
+			opts := WindowedOptions{
+				K: 5, ChunkPoints: 80, WindowChunks: 4,
+				Restarts: 2, Seed: 21, MergeSolver: solver,
+			}
+			windowedCheckpointScenario(t, opts, cut)
+		}
+	}
+}
+
+func TestWindowedCheckpointStatsSurvive(t *testing.T) {
+	opts := WindowedOptions{K: 4, ChunkPoints: 60, WindowChunks: 3, Seed: 7, MergeSolver: "minibatch"}
+	w, err := NewWindowedClusterer(2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range blobPoints(500) {
+		if err := w.Push(p); err != nil {
+			t.Fatal(err)
+		}
+		if i >= 100 && i%50 == 0 {
+			if _, err := w.Snapshot(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	before := w.SnapshotStats()
+	if before.Queries == 0 {
+		t.Fatal("scenario issued no queries")
+	}
+	var buf bytes.Buffer
+	if err := w.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := ResumeWindowedClusterer(bytes.NewReader(buf.Bytes()), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resumed.SnapshotStats(); got != before {
+		t.Fatalf("snapshot stats lost in checkpoint: %+v != %+v", got, before)
+	}
+}
+
+func TestCheckpointKindMismatchRejected(t *testing.T) {
+	wopts := WindowedOptions{K: 3, ChunkPoints: 30, WindowChunks: 2, Seed: 1}
+	w, err := NewWindowedClusterer(2, wopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range blobPoints(100) {
+		if err := w.Push(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wbuf bytes.Buffer
+	if err := w.Checkpoint(&wbuf); err != nil {
+		t.Fatal(err)
+	}
+	sopts := Options{K: 3, Restarts: 1, ChunkPoints: 30, Seed: 1}
+	if _, err := ResumeStreamClusterer(bytes.NewReader(wbuf.Bytes()), sopts); err == nil {
+		t.Fatal("stream resume of a windowed checkpoint should fail")
+	}
+
+	sc, err := NewStreamClusterer(2, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range blobPoints(100) {
+		if err := sc.Push(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sbuf bytes.Buffer
+	if err := sc.Checkpoint(&sbuf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResumeWindowedClusterer(bytes.NewReader(sbuf.Bytes()), wopts); err == nil {
+		t.Fatal("windowed resume of a stream (v1) checkpoint should fail")
+	}
+}
+
+func TestWindowedResumeRejectsCorruption(t *testing.T) {
+	opts := WindowedOptions{K: 3, ChunkPoints: 40, WindowChunks: 2, Seed: 5, MergeSolver: "minibatch"}
+	w, err := NewWindowedClusterer(2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range blobPoints(200) {
+		if err := w.Push(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := w.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte("XXXX"), good[4:]...),
+		"bad version": func() []byte { b := append([]byte{}, good...); b[4] = 9; return b }(),
+		"bad kind":    func() []byte { b := append([]byte{}, good...); b[6] = 7; return b }(),
+		"truncated":   good[:len(good)-5],
+		"flipped":     func() []byte { b := append([]byte{}, good...); b[len(b)-12] ^= 0x20; return b }(),
+	}
+	for name, data := range cases {
+		if _, err := ResumeWindowedClusterer(bytes.NewReader(data), opts); err == nil {
+			t.Errorf("%s: corruption not detected", name)
+		}
+	}
+}
+
 func TestResumeValidatesOptions(t *testing.T) {
 	opts := Options{K: 3, Restarts: 2, ChunkPoints: 50, Seed: 3}
 	sc, err := NewStreamClusterer(2, opts)

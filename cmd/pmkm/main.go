@@ -62,6 +62,7 @@ import (
 	"time"
 
 	"streamkm"
+	"streamkm/internal/buildinfo"
 	"streamkm/internal/dataset"
 	"streamkm/internal/dist"
 	"streamkm/internal/engine"
@@ -119,8 +120,13 @@ func realMain() int {
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
+		version    = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("pmkm"))
+		return 0
+	}
 	stopProfiling, err := startProfiling(*cpuProfile, *memProfile, *pprofAddr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmkm:", err)

@@ -26,6 +26,7 @@ import (
 	"strings"
 	"syscall"
 
+	"streamkm/internal/buildinfo"
 	"streamkm/internal/dist"
 )
 
@@ -38,8 +39,13 @@ func realMain() int {
 		listen      = flag.String("listen", ":7601", "address to serve coordinators on (host:port)")
 		quiet       = flag.Bool("quiet", false, "suppress per-connection log lines")
 		summarizers = flag.String("summarizers", "", "comma-separated allowlist of summarizer operators to run (e.g. kmeans,coreset); empty allows all")
+		version     = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("streamkm-worker"))
+		return 0
+	}
 
 	var allow []string
 	for _, s := range strings.Split(*summarizers, ",") {

@@ -1,0 +1,53 @@
+// Package buildinfo stamps binaries with their provenance. Version is
+// an ldflags override point:
+//
+//	go build -ldflags "-X streamkm/internal/buildinfo.Version=v1.2.3" ./cmd/...
+//
+// Revision and GoVersion come from the embedded debug build info, so
+// even an unstamped binary can say which commit produced it. Every
+// daemon and CLI surfaces String() behind a -version flag, and the
+// daemon additionally reports it from /healthz — the first question
+// about a misbehaving deployment is always "what exactly is running".
+package buildinfo
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// Version is the human-facing release string, "dev" unless stamped at
+// link time.
+var Version = "dev"
+
+// Revision returns the VCS commit the binary was built from (12-char
+// prefix, "+dirty" when the tree was modified), or "unknown".
+func Revision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "unknown", false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return rev
+}
+
+// GoVersion returns the toolchain that built the binary.
+func GoVersion() string { return runtime.Version() }
+
+// String renders the one-line identity a -version flag prints.
+func String(binary string) string {
+	return binary + " " + Version + " (" + Revision() + ", " + GoVersion() + ")"
+}

@@ -135,6 +135,42 @@ func newSnapshotIndex(dim int, merge MergeConfig, resyncEvery int) *snapshotInde
 	}
 }
 
+// restore rebuilds the index from persisted state: the pooled
+// summaries are reconstructed in ring order and the maintained answer
+// and counters are reinstated exactly, so a restored clusterer's next
+// rotation refines from the same base an uninterrupted one would have.
+// The cache is deliberately left cold — the first query after a
+// restore recomputes, and by the purity contract lands on the same
+// answer the cached pointer held.
+func (ix *snapshotIndex) restore(summaries []*dataset.WeightedSet, rotations int, stats SnapshotStats, base *MergeResult) error {
+	ix.rotations = rotations
+	ix.stats = stats
+	ix.invalidate()
+	ix.pool.Reset()
+	for _, s := range summaries {
+		if err := ix.pool.Append(s); err != nil {
+			return err
+		}
+	}
+	ix.poolLen = ix.pool.Len()
+	if !ix.warm {
+		return nil
+	}
+	ix.base = base
+	if ix.base == nil && ix.poolLen >= ix.k {
+		// A warm index always maintains an answer once the ring holds k
+		// representatives, so a checkpoint written by this code carries
+		// one; a state without it (hand-built or damaged) falls back to
+		// a cold merge keyed on the rotation counter.
+		res, err := ix.coldMerge(rotationSeed(ix.rotations))
+		if err != nil {
+			return err
+		}
+		ix.base = res
+	}
+	return nil
+}
+
 // invalidate marks the cached query answer stale. Called on every Push
 // (the unit-weight tail is part of what a query sees) and on rotation.
 func (ix *snapshotIndex) invalidate() {

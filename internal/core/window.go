@@ -119,6 +119,9 @@ func NewWindowedClusterer(dim int, cfg WindowConfig) (*WindowedClusterer, error)
 	}, nil
 }
 
+// Dim returns the point dimensionality.
+func (w *WindowedClusterer) Dim() int { return w.dim }
+
 // Consumed returns the total number of points pushed.
 func (w *WindowedClusterer) Consumed() int { return w.consumed }
 
@@ -181,4 +184,96 @@ func (w *WindowedClusterer) rotate() error {
 // frequency sees identical answers (snapshot.go has the contract).
 func (w *WindowedClusterer) Snapshot() (*MergeResult, error) {
 	return w.idx.snapshot(w.buffer, w.consumed)
+}
+
+// WindowState is everything a WindowedClusterer must persist to resume
+// bit-identically: the buffered tail, the window ring of chunk
+// summaries, the stream counters, the RNG state, and the snapshot
+// index's maintained answer plus activity counters. Configuration is
+// deliberately absent — the restoring caller supplies the same
+// WindowConfig, mirroring the stream-clusterer checkpoint contract.
+type WindowState struct {
+	// Consumed, Expired, Rotations are the stream-position counters:
+	// points pushed, summaries fallen out of the window, and chunk
+	// rotations folded into the snapshot index.
+	Consumed  int
+	Expired   int
+	Rotations int
+	// RNGState is the serialized per-stream random generator
+	// (rng.RNG.MarshalBinary).
+	RNGState []byte
+	// Summaries is the window ring in oldest-first order.
+	Summaries []*dataset.WeightedSet
+	// Buffer is the partially filled chunk.
+	Buffer *dataset.Set
+	// Stats are the snapshot index's lifetime work counters.
+	Stats SnapshotStats
+	// Base is the warm path's eagerly maintained answer, nil when the
+	// index has none (cold solver, or fewer than k representatives).
+	Base *MergeResult
+}
+
+// State captures the clusterer's persistent state. The returned
+// summaries and buffer alias the live structures (summaries are
+// immutable once rotated; the buffer must be encoded before the next
+// Push), so callers serialize before mutating the clusterer again.
+func (w *WindowedClusterer) State() (*WindowState, error) {
+	rngState, err := w.rng.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	summaries := make([]*dataset.WeightedSet, len(w.summaries))
+	copy(summaries, w.summaries)
+	return &WindowState{
+		Consumed:  w.consumed,
+		Expired:   w.expired,
+		Rotations: w.idx.rotations,
+		RNGState:  rngState,
+		Summaries: summaries,
+		Buffer:    w.buffer,
+		Stats:     w.idx.stats,
+		Base:      w.idx.base,
+	}, nil
+}
+
+// RestoreWindowedClusterer rebuilds a clusterer from a captured state.
+// The caller supplies the same WindowConfig used originally; a resumed
+// clusterer's future pushes and snapshots are bit-identical to one that
+// was never interrupted at the same stream position.
+func RestoreWindowedClusterer(dim int, cfg WindowConfig, st *WindowState) (*WindowedClusterer, error) {
+	w, err := NewWindowedClusterer(dim, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if st.Consumed < 0 || st.Expired < 0 || st.Rotations < 0 {
+		return nil, fmt.Errorf("core: negative window-state counter")
+	}
+	if len(st.Summaries) > cfg.WindowChunks {
+		return nil, fmt.Errorf("core: window state holds %d summaries, window is %d chunks", len(st.Summaries), cfg.WindowChunks)
+	}
+	for i, s := range st.Summaries {
+		if s.Dim() != dim {
+			return nil, fmt.Errorf("core: window-state summary %d has dim %d, want %d", i, s.Dim(), dim)
+		}
+	}
+	if st.Buffer.Dim() != dim {
+		return nil, fmt.Errorf("core: window-state buffer has dim %d, want %d", st.Buffer.Dim(), dim)
+	}
+	if st.Buffer.Len() > cfg.ChunkPoints {
+		return nil, fmt.Errorf("core: window-state buffer holds %d points, chunk budget is %d", st.Buffer.Len(), cfg.ChunkPoints)
+	}
+	if st.Base != nil && len(st.Base.Centroids) != cfg.K {
+		return nil, fmt.Errorf("core: window-state base has %d centroids, want k=%d", len(st.Base.Centroids), cfg.K)
+	}
+	if err := w.rng.UnmarshalBinary(st.RNGState); err != nil {
+		return nil, err
+	}
+	w.consumed = st.Consumed
+	w.expired = st.Expired
+	w.buffer = st.Buffer
+	w.summaries = st.Summaries
+	if err := w.idx.restore(w.summaries, st.Rotations, st.Stats, st.Base); err != nil {
+		return nil, err
+	}
+	return w, nil
 }

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"streamkm/internal/rng"
+)
+
+// windowPoints derives a deterministic point stream for restore tests.
+func windowPoints(n, dim int, seed uint64) [][]float64 {
+	r := rng.New(seed)
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		center := float64(r.Intn(4)) * 10
+		for d := range p {
+			p[d] = center + r.NormFloat64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func mergeResultsEqual(t *testing.T, a, b *MergeResult) {
+	t.Helper()
+	if len(a.Centroids) != len(b.Centroids) {
+		t.Fatalf("centroid count %d != %d", len(a.Centroids), len(b.Centroids))
+	}
+	for i := range a.Centroids {
+		for d := range a.Centroids[i] {
+			if a.Centroids[i][d] != b.Centroids[i][d] {
+				t.Fatalf("centroid %d dim %d: %v != %v", i, d, a.Centroids[i][d], b.Centroids[i][d])
+			}
+		}
+		if a.Weights[i] != b.Weights[i] {
+			t.Fatalf("weight %d: %v != %v", i, a.Weights[i], b.Weights[i])
+		}
+	}
+	if a.MSE != b.MSE && !(math.IsNaN(a.MSE) && math.IsNaN(b.MSE)) {
+		t.Fatalf("MSE %v != %v", a.MSE, b.MSE)
+	}
+}
+
+// TestWindowRestoreBitIdentical: capture state mid-stream, restore, push
+// the identical suffix into both clusterers, and require bit-identical
+// snapshots at every position — for both the cold (lloyd) and warm
+// (minibatch) snapshot-index paths, and at capture points that land
+// mid-chunk as well as on a rotation boundary.
+func TestWindowRestoreBitIdentical(t *testing.T) {
+	const dim = 3
+	for _, solver := range []string{"", "minibatch"} {
+		for _, cut := range []int{57, 120, 301} {
+			cfg := WindowConfig{
+				K: 4, ChunkPoints: 40, WindowChunks: 3,
+				Restarts: 2, Seed: 11, MergeSolver: solver,
+			}
+			pts := windowPoints(500, dim, 99)
+
+			ref, err := NewWindowedClusterer(dim, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			live, err := NewWindowedClusterer(dim, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range pts[:cut] {
+				if err := ref.Push(p); err != nil {
+					t.Fatal(err)
+				}
+				if err := live.Push(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			st, err := live.State()
+			if err != nil {
+				t.Fatal(err)
+			}
+			restored, err := RestoreWindowedClusterer(dim, cfg, st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if restored.Consumed() != ref.Consumed() || restored.Expired() != ref.Expired() {
+				t.Fatalf("counters diverge: consumed %d/%d expired %d/%d",
+					restored.Consumed(), ref.Consumed(), restored.Expired(), ref.Expired())
+			}
+			for i, p := range pts[cut:] {
+				if err := ref.Push(p); err != nil {
+					t.Fatal(err)
+				}
+				if err := restored.Push(p); err != nil {
+					t.Fatal(err)
+				}
+				if i%37 != 0 {
+					continue
+				}
+				a, err := ref.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := restored.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				mergeResultsEqual(t, a, b)
+			}
+			a, err := ref.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := restored.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			mergeResultsEqual(t, a, b)
+		}
+	}
+}
+
+// TestWindowRestoreRejectsMismatch: a state captured under one shape
+// must not restore into an incompatible configuration.
+func TestWindowRestoreRejectsMismatch(t *testing.T) {
+	const dim = 3
+	cfg := WindowConfig{K: 4, ChunkPoints: 40, WindowChunks: 3, Seed: 1}
+	w, err := NewWindowedClusterer(dim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range windowPoints(200, dim, 5) {
+		if err := w.Push(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := w.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreWindowedClusterer(dim, WindowConfig{K: 4, ChunkPoints: 40, WindowChunks: 2, Seed: 1}, st); err == nil {
+		t.Fatal("restore into a smaller window should fail")
+	}
+	if _, err := RestoreWindowedClusterer(dim+1, cfg, st); err == nil {
+		t.Fatal("restore into a different dimensionality should fail")
+	}
+}

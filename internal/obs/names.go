@@ -71,6 +71,26 @@ const (
 	SnapshotRefineIter = "snapshot_refine_iterations"
 	SnapshotSeconds    = "snapshot_seconds" // histogram: per-query latency
 
+	// Serving-layer families, exported by the streamkmd daemon's
+	// /metrics endpoint. Counters and gauges are daemon-global (no
+	// label) except serve_rejects, which is labeled by the refusal
+	// reason ("memory", "queue-full", "draining", "session-limit").
+	ServeSessions            = "serve_sessions"             // gauge: live sessions
+	ServeSessionsCreated     = "serve_sessions_created"     // sessions admitted since boot
+	ServeSessionsRecovered   = "serve_sessions_recovered"   // sessions rebuilt from disk at boot
+	ServeSessionsEvicted     = "serve_sessions_evicted"     // sessions deleted (client or deadline)
+	ServeSessionsQuarantined = "serve_sessions_quarantined" // sessions isolated by the watchdog
+	ServeRejects             = "serve_rejects"              // 503 refusals, labeled by reason
+	ServeIngestBatches       = "serve_ingest_batches"       // ingest batches applied
+	ServeIngestPoints        = "serve_ingest_points"        // points applied across sessions
+	ServeQueries             = "serve_queries"              // snapshot/finish queries served
+	ServeWALFsyncs           = "serve_wal_fsyncs"           // write-ahead log fsyncs
+	ServeCheckpoints         = "serve_checkpoints"          // checkpoint compactions completed
+	ServeCheckpointErrors    = "serve_checkpoint_errors"    // compactions that failed (session kept running on its WAL)
+	ServeMemBytes            = "serve_mem_bytes"            // gauge: admitted working-set estimate
+	ServeIngestSeconds       = "serve_ingest_seconds"       // histogram: per-batch apply latency
+	ServeQuerySeconds        = "serve_query_seconds"        // histogram: per-query latency
+
 	// Distributed-runtime families, labeled by the worker address
 	// (dist_workers_live is run-global).
 	DistChunksDone  = "dist_chunks_done"  // chunks a worker computed (completed leases)

@@ -1,0 +1,474 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"streamkm/internal/fault"
+	"streamkm/internal/govern"
+	"streamkm/internal/obs"
+)
+
+// Seeded chaos for the serving layer: every failure here is either a
+// literal disk image of a crash instant (a copied state directory —
+// exactly what SIGKILL leaves behind) or a deterministic injected
+// fault, so failures replay.
+
+// crashImage copies a server's state directory byte-for-byte into a
+// fresh root — the disk as a kill -9 would leave it. Callers must
+// quiesce ingestion first (all Ingest calls returned) so the image is
+// taken between writes, not mid-write.
+func crashImage(t *testing.T, root string) string {
+	t.Helper()
+	dst := t.TempDir()
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, b, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+// TestChaosKillBetweenFsyncs ingests with a coarse fsync cadence,
+// snapshots the disk between batches (the kill -9 image), and proves
+// every recovery lands at least at the acknowledged durable point
+// and answers bit-identically to an uninterrupted run at whatever
+// position it recovered.
+func TestChaosKillBetweenFsyncs(t *testing.T) {
+	root := t.TempDir()
+	cfg := testWindowedConfig("k")
+	cfg.FsyncEvery = 7
+	cfg.CheckpointEvery = 120
+	pts := servePoints(400, cfg.Dim, 21)
+
+	a, err := New(Config{Root: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Drain(context.Background())
+	mustCreate(t, a, cfg)
+
+	var durable uint64
+	batch := 13
+	for i := 0; i < len(pts); i += batch {
+		end := i + batch
+		if end > len(pts) {
+			end = len(pts)
+		}
+		res, err := a.Ingest(context.Background(), "k", pts[i:end])
+		if err != nil {
+			t.Fatal(err)
+		}
+		durable = res.Durable
+		if end == 91 || end == 247 || end == 400 {
+			img := crashImage(t, root)
+			b, err := New(Config{Root: img})
+			if err != nil {
+				t.Fatalf("recovery at cut %d: %v", end, err)
+			}
+			got, err := b.Clusters(context.Background(), "k")
+			if err != nil {
+				t.Fatalf("recovered query at cut %d: %v", end, err)
+			}
+			if got.Consumed < durable {
+				t.Fatalf("cut %d: recovered %d points, %d were acknowledged durable", end, got.Consumed, durable)
+			}
+			if got.Consumed > uint64(end) {
+				t.Fatalf("cut %d: recovered %d points, only %d were ever pushed", end, got.Consumed, end)
+			}
+			assertMatchesReference(t, got, cfg, pts)
+			if err := b.Drain(context.Background()); err != nil {
+				t.Fatalf("draining recovered server: %v", err)
+			}
+		}
+	}
+}
+
+// TestChaosTornWAL corrupts the journal the way real crashes do — a
+// truncated tail, then a flipped byte mid-file — and checks recovery
+// truncates to the last intact record and stays bit-identical there.
+func TestChaosTornWAL(t *testing.T) {
+	root := t.TempDir()
+	cfg := testWindowedConfig("torn")
+	cfg.FsyncEvery = 1
+	cfg.CheckpointEvery = 1 << 20 // keep everything in the WAL
+	pts := servePoints(100, cfg.Dim, 22)
+
+	a, err := New(Config{Root: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCreate(t, a, cfg)
+	mustIngest(t, a, "torn", pts, 20)
+	if err := a.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Drain compacted into a checkpoint; rebuild a WAL-only image by
+	// re-ingesting on a fresh root (same seeds, same bytes).
+	root = t.TempDir()
+	a2, err := New(Config{Root: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCreate(t, a2, cfg)
+	mustIngest(t, a2, "torn", pts, 20)
+
+	rs := walRecordSize(cfg.Dim)
+
+	t.Run("truncated-tail", func(t *testing.T) {
+		img := crashImage(t, root)
+		p := filepath.Join(img, sessionsDirName, "torn", walFileName)
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(p, fi.Size()-5); err != nil {
+			t.Fatal(err)
+		}
+		b, err := New(Config{Root: img})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer b.Drain(context.Background())
+		got, err := b.Clusters(context.Background(), "torn")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Consumed != 99 {
+			t.Fatalf("torn tail should cost exactly the last record: recovered %d, want 99", got.Consumed)
+		}
+		assertMatchesReference(t, got, cfg, pts)
+	})
+
+	t.Run("flipped-byte", func(t *testing.T) {
+		img := crashImage(t, root)
+		p := filepath.Join(img, sessionsDirName, "torn", walFileName)
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Corrupt record 50 (0-based): everything from it on is gone.
+		b[walHeaderSize+50*rs+10] ^= 0xff
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		srv, err := New(Config{Root: img})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Drain(context.Background())
+		got, err := srv.Clusters(context.Background(), "torn")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Consumed != 50 {
+			t.Fatalf("corruption at record 50 should truncate there: recovered %d", got.Consumed)
+		}
+		assertMatchesReference(t, got, cfg, pts)
+	})
+
+	t.Run("seq-gap-quarantines", func(t *testing.T) {
+		img := crashImage(t, root)
+		p := filepath.Join(img, sessionsDirName, "torn", walFileName)
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rewrite the first record's seq to 3 (a gap above base 0)
+		// with a valid checksum: unrecoverable loss, not a torn tail.
+		rec := b[walHeaderSize : walHeaderSize+rs]
+		binary.BigEndian.PutUint64(rec, 3)
+		fixRecordCRC(rec)
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		srv, err := New(Config{Root: img})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Drain(context.Background())
+		info, err := srv.Info("torn")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.State != "quarantined" {
+			t.Fatalf("a seq gap must quarantine, not silently drop points: %+v", info)
+		}
+	})
+
+	a2.Drain(context.Background())
+}
+
+func fixRecordCRC(rec []byte) {
+	binary.BigEndian.PutUint32(rec[len(rec)-4:], crc32.ChecksumIEEE(rec[:len(rec)-4]))
+}
+
+// TestChaosDiskFullCheckpoint injects a failure into the first
+// checkpoint compaction: the session must keep running on its WAL,
+// count the error, succeed at the next cadence boundary, and recover
+// bit-identically throughout.
+func TestChaosDiskFullCheckpoint(t *testing.T) {
+	root := t.TempDir()
+	cfg := testWindowedConfig("df")
+	cfg.FsyncEvery = 1
+	cfg.CheckpointEvery = 20
+	pts := servePoints(90, cfg.Dim, 23)
+
+	a, err := New(Config{Root: root, injectCheckpoint: fault.ErrorNth(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Drain(context.Background())
+	mustCreate(t, a, cfg)
+	mustIngest(t, a, "df", pts, 10)
+
+	if v := a.reg.Counter(obs.ServeCheckpointErrors, "").Value(); v == 0 {
+		t.Fatal("injected checkpoint failure was not counted")
+	}
+	if v := a.reg.Counter(obs.ServeCheckpoints, "").Value(); v == 0 {
+		t.Fatal("no compaction ever succeeded after the failure")
+	}
+	info, err := a.Info("df")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != "active" {
+		t.Fatalf("a failed compaction must not kill the session: %+v", info)
+	}
+
+	img := crashImage(t, root)
+	b, err := New(Config{Root: img})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Drain(context.Background())
+	got, err := b.Clusters(context.Background(), "df")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Consumed != uint64(len(pts)) {
+		t.Fatalf("recovered %d of %d points despite per-point fsync", got.Consumed, len(pts))
+	}
+	assertMatchesReference(t, got, cfg, pts)
+}
+
+// TestChaosQueueFullRefuses wedges the worker briefly so the bounded
+// queue fills: the overflow ingest must get an immediate ErrBusy (a
+// 503 to HTTP clients), and every accepted batch must still apply.
+func TestChaosQueueFullRefuses(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.QueueDepth = 1
+		c.injectApply = fault.DelayNth(1, 500*time.Millisecond)
+	})
+	defer s.Drain(context.Background())
+	cfg := testWindowedConfig("qf")
+	mustCreate(t, s, cfg)
+	pts := servePoints(30, cfg.Dim, 24)
+	ctx := context.Background()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Ingest(ctx, "qf", pts[:10])
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // the worker is now inside the injected delay
+
+	// Second batch parks in the queue (depth 1)...
+	done2 := make(chan error, 1)
+	go func() {
+		_, err := s.Ingest(ctx, "qf", pts[10:20])
+		done2 <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	// ...so the third must be refused immediately, not block.
+	refusedAt := time.Now()
+	_, err := s.Ingest(ctx, "qf", pts[20:30])
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("want ErrBusy, got %v", err)
+	}
+	if d := time.Since(refusedAt); d > 200*time.Millisecond {
+		t.Fatalf("refusal took %v; it must not wait for the wedged worker", d)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("first batch: %v", err)
+	}
+	if err := <-done2; err != nil {
+		t.Fatalf("queued batch: %v", err)
+	}
+	info, _ := s.Info("qf")
+	if info.Consumed != 20 {
+		t.Fatalf("accepted batches must apply: consumed %d, want 20", info.Consumed)
+	}
+	if s.reg.Counter(obs.ServeRejects, "queue-full").Value() == 0 {
+		t.Fatal("queue-full rejection not counted")
+	}
+}
+
+// TestChaosSlowClientTimeout departs mid-ingest: the client's context
+// expires while its batch is queued behind a slow worker. The client
+// gets its deadline error; the accepted batch still applies; the
+// session stays healthy.
+func TestChaosSlowClientTimeout(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.injectApply = fault.DelayNth(1, 300*time.Millisecond)
+	})
+	defer s.Drain(context.Background())
+	cfg := testWindowedConfig("slow")
+	mustCreate(t, s, cfg)
+	pts := servePoints(20, cfg.Dim, 25)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := s.Ingest(ctx, "slow", pts[:10]); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	// The departed client's batch was accepted and must still apply.
+	res, err := s.Ingest(context.Background(), "slow", pts[10:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 20 {
+		t.Fatalf("applied %d, want 20 (the timed-out batch counts)", res.Applied)
+	}
+}
+
+// TestChaosConcurrentEviction races ingestion against eviction and
+// re-creation under -race: no panics, no deadlocks, and exactly one
+// eviction wins per round.
+func TestChaosConcurrentEviction(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.Budget = govern.Budget{ProgressTimeout: 5 * time.Second}
+	})
+	defer s.Drain(context.Background())
+	cfg := testWindowedConfig("ce")
+	pts := servePoints(40, cfg.Dim, 26)
+	ctx := context.Background()
+
+	tolerated := func(err error) bool {
+		return err == nil || errors.Is(err, ErrNotFound) || errors.Is(err, ErrClosed) ||
+			errors.Is(err, ErrBusy) || errors.Is(err, ErrQuarantined)
+	}
+	for round := 0; round < 8; round++ {
+		mustCreate(t, s, cfg)
+		var wg sync.WaitGroup
+		evictWins := make(chan struct{}, 4)
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 5; i++ {
+					if _, err := s.Ingest(ctx, "ce", pts[:8]); !tolerated(err) {
+						panic(fmt.Sprintf("ingest: unexpected %v", err))
+					}
+				}
+			}(g)
+		}
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := s.Evict(ctx, "ce"); err == nil {
+					evictWins <- struct{}{}
+				} else if !errors.Is(err, ErrNotFound) {
+					panic(fmt.Sprintf("evict: unexpected %v", err))
+				}
+			}()
+		}
+		wg.Wait()
+		if len(evictWins) != 1 {
+			t.Fatalf("round %d: %d evictions succeeded, want exactly 1", round, len(evictWins))
+		}
+		if _, err := s.Info("ce"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("round %d: session survived eviction: %v", round, err)
+		}
+	}
+}
+
+// TestChaosRestartLoop crashes and recovers the same state directory
+// repeatedly, ingesting between crashes: positions never move
+// backwards past a durability acknowledgment and the final answer is
+// bit-identical to one uninterrupted run over the recovered prefix.
+func TestChaosRestartLoop(t *testing.T) {
+	root := t.TempDir()
+	cfg := testWindowedConfig("loop")
+	cfg.FsyncEvery = 5
+	cfg.CheckpointEvery = 64
+	pts := servePoints(600, cfg.Dim, 27)
+
+	srv, err := New(Config{Root: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCreate(t, srv, cfg)
+	fed := 0
+	var consumed uint64
+	for round := 0; round < 5; round++ {
+		// Feed from wherever the recovered session actually is — a
+		// crash may have rolled back past `fed`.
+		info, err := srv.Info("loop")
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := int(info.Consumed)
+		end := start + 100
+		mustIngest(t, srv, "loop", pts[start:end], 11)
+		fed = end
+		// Crash: image the disk, abandon the live server object.
+		img := crashImage(t, root)
+		srv.Drain(context.Background()) // release goroutines; state dir no longer used
+		root = img
+		srv, err = New(Config{Root: root})
+		if err != nil {
+			t.Fatalf("round %d recovery: %v", round, err)
+		}
+		got, err := srv.Clusters(context.Background(), "loop")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Consumed > uint64(fed) {
+			t.Fatalf("round %d: consumed %d > fed %d", round, got.Consumed, fed)
+		}
+		if got.Consumed < consumed {
+			t.Fatalf("round %d: durable position went backwards: %d < %d", round, got.Consumed, consumed)
+		}
+		consumed = got.Consumed
+		assertMatchesReference(t, got, cfg, pts)
+	}
+	srv.Drain(context.Background())
+}
+
+// clustersJSONEqual asserts two marshaled answers are byte-identical.
+func clustersJSONEqual(t *testing.T, a, b *ClustersResult) {
+	t.Helper()
+	ab, _ := json.Marshal(a)
+	bb, _ := json.Marshal(b)
+	if !bytes.Equal(ab, bb) {
+		t.Fatalf("answers differ:\n %s\n %s", ab, bb)
+	}
+}

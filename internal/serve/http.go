@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"streamkm/internal/buildinfo"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	GET    /healthz                   — liveness + build identity
+//	GET    /readyz                    — readiness (503 while draining)
+//	GET    /metrics                   — daemon metrics (obs run-report JSON)
+//	GET    /v1/sessions               — list sessions
+//	POST   /v1/sessions               — create a session (body: SessionConfig)
+//	GET    /v1/sessions/{id}          — one session's status
+//	DELETE /v1/sessions/{id}          — evict a session and its state
+//	POST   /v1/sessions/{id}/points   — ingest {"points": [[...], ...]}
+//	GET    /v1/sessions/{id}/clusters — windowed snapshot query
+//	POST   /v1/sessions/{id}/finish   — stream final merge (removes the session)
+//	GET    /v1/sessions/{id}/report   — windowed query-path metrics
+//
+// Refusals the client should retry (queue full, memory budget,
+// draining, session limit) answer 503 with a Retry-After header;
+// everything else maps to conventional statuses.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/sessions", s.handleList)
+	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleInfo)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleEvict)
+	mux.HandleFunc("POST /v1/sessions/{id}/points", s.handleIngest)
+	mux.HandleFunc("GET /v1/sessions/{id}/clusters", s.handleClusters)
+	mux.HandleFunc("POST /v1/sessions/{id}/finish", s.handleFinish)
+	mux.HandleFunc("GET /v1/sessions/{id}/report", s.handleReport)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeErr maps the package's sentinel errors onto HTTP statuses.
+func (s *Server) writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrMemory),
+		errors.Is(err, ErrDraining), errors.Is(err, ErrTooMany):
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.retryAfter().Seconds()+0.5)))
+	case errors.Is(err, ErrQuarantined), errors.Is(err, ErrClosed),
+		errors.Is(err, ErrExists), errors.Is(err, ErrWrongKind),
+		errors.Is(err, ErrNotReady):
+		status = http.StatusConflict
+	case errors.Is(err, ErrBadRequest):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"version":        buildinfo.Version,
+		"revision":       buildinfo.Revision(),
+		"go":             buildinfo.GoVersion(),
+		"sessions":       s.SessionCount(),
+		"draining":       s.Draining(),
+		"uptime_seconds": s.Uptime().Seconds(),
+	})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.retryAfter().Seconds()+0.5)))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	b, err := s.Report().JSON()
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+	w.Write([]byte("\n"))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": s.List()})
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var cfg SessionConfig
+	if err := decodeBody(w, r, &cfg); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	info, err := s.CreateSession(cfg)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	info, err := s.Info(r.PathValue("id"))
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
+	if err := s.Evict(r.Context(), r.PathValue("id")); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "evicted"})
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Points [][]float64 `json:"points"`
+	}
+	if err := decodeBody(w, r, &body); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	res, err := s.Ingest(r.Context(), r.PathValue("id"), body.Points)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
+	res, err := s.Clusters(r.Context(), r.PathValue("id"))
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleFinish(w http.ResponseWriter, r *http.Request) {
+	res, err := s.Finish(r.Context(), r.PathValue("id"))
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.SessionReport(r.Context(), r.PathValue("id"))
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	b, err := rep.JSON()
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+	w.Write([]byte("\n"))
+}
+
+// maxBodyBytes bounds request bodies (64 MiB covers the largest legal
+// batch with slack; a hostile body fails fast instead of ballooning).
+const maxBodyBytes = 64 << 20
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"streamkm/internal/fault"
+	"streamkm/internal/govern"
+)
+
+// Goroutine-leak coverage for the serving layer: every way a session
+// ends — eviction, server drain racing live ingestion, a watchdog
+// quarantining a stalled worker — must unwind the session worker, its
+// watchdog, its deadline timer, and any blocked clients completely.
+
+// waitForGoroutines polls until the goroutine count drops back to the
+// baseline (scheduler cleanup is asynchronous).
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestLeakSessionEviction creates and evicts sessions (with watchdogs
+// and deadline timers armed) across several rounds: workers, watchdog
+// goroutines, and timers must all be gone afterwards.
+func TestLeakSessionEviction(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for round := 0; round < 3; round++ {
+		s := newTestServer(t, func(c *Config) {
+			c.Budget = govern.Budget{ProgressTimeout: time.Second, Deadline: time.Minute}
+		})
+		pts := servePoints(60, 3, uint64(round)+40)
+		for _, id := range []string{"a", "b", "c"} {
+			cfg := testWindowedConfig(id)
+			mustCreate(t, s, cfg)
+			mustIngest(t, s, id, pts, 20)
+		}
+		for _, id := range []string{"a", "b", "c"} {
+			if err := s.Evict(context.Background(), id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Drain(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitForGoroutines(t, baseline)
+}
+
+// TestLeakDrainWhileIngesting drains the server while clients are
+// mid-ingest: the workers must reply to every queued batch (no client
+// blocks forever on its reply channel) and then exit.
+func TestLeakDrainWhileIngesting(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for round := 0; round < 3; round++ {
+		s := newTestServer(t, nil)
+		pts := servePoints(200, 3, uint64(round)+50)
+		for _, id := range []string{"x", "y"} {
+			mustCreate(t, s, testWindowedConfig(id))
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				id := []string{"x", "y"}[g%2]
+				for {
+					_, err := s.Ingest(context.Background(), id, pts[:25])
+					if err != nil {
+						if errors.Is(err, ErrDraining) || errors.Is(err, ErrClosed) || errors.Is(err, ErrBusy) {
+							return
+						}
+						panic(err)
+					}
+				}
+			}(g)
+		}
+		time.Sleep(20 * time.Millisecond) // let ingestion get going
+		if err := s.Drain(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+	}
+	waitForGoroutines(t, baseline)
+}
+
+// TestLeakWatchdogQuarantinedStall wedges a worker permanently; the
+// progress watchdog must quarantine the session (cancelling the
+// stalled apply and releasing the blocked client), and eviction plus
+// drain must then unwind everything.
+func TestLeakWatchdogQuarantinedStall(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	s := newTestServer(t, func(c *Config) {
+		c.Budget = govern.Budget{ProgressTimeout: 50 * time.Millisecond}
+		c.injectApply = fault.StallNth(1)
+	})
+	cfg := testWindowedConfig("stall")
+	mustCreate(t, s, cfg)
+	pts := servePoints(30, cfg.Dim, 60)
+
+	// The batch hits the injected stall; the watchdog's quarantine
+	// cancels it and the client gets an error instead of hanging.
+	if _, err := s.Ingest(context.Background(), "stall", pts[:10]); err == nil {
+		t.Fatal("stalled ingest returned success")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		info, err := s.Info("stall")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.State == "quarantined" {
+			if info.Reason == "" {
+				t.Fatal("quarantine must record a reason")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("watchdog never quarantined the stalled session: %+v", info)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := s.Ingest(context.Background(), "stall", pts[:10]); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("want ErrQuarantined after stall, got %v", err)
+	}
+	if err := s.Evict(context.Background(), "stall"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	waitForGoroutines(t, baseline)
+}

@@ -1,0 +1,505 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"streamkm"
+	"streamkm/internal/govern"
+	"streamkm/internal/rng"
+)
+
+// servePoints generates a deterministic clustered stream.
+func servePoints(n, dim int, seed uint64) [][]float64 {
+	r := rng.New(seed)
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		center := float64(r.Intn(4)) * 10
+		for d := range p {
+			p[d] = center + r.NormFloat64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func newTestServer(t *testing.T, mutate func(*Config)) *Server {
+	t.Helper()
+	cfg := Config{Root: t.TempDir(), FsyncEvery: 1, CheckpointEvery: 1 << 20}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func testWindowedConfig(id string) SessionConfig {
+	return SessionConfig{
+		ID: id, Kind: KindWindowed, Dim: 3, K: 4,
+		ChunkPoints: 40, WindowChunks: 3, Restarts: 2, Seed: 11,
+		MergeSolver: "minibatch",
+	}
+}
+
+func mustCreate(t *testing.T, s *Server, cfg SessionConfig) string {
+	t.Helper()
+	info, err := s.CreateSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info.ID
+}
+
+func mustIngest(t *testing.T, s *Server, id string, pts [][]float64, batch int) IngestResult {
+	t.Helper()
+	var last IngestResult
+	for i := 0; i < len(pts); i += batch {
+		end := i + batch
+		if end > len(pts) {
+			end = len(pts)
+		}
+		res, err := s.Ingest(context.Background(), id, pts[i:end])
+		if err != nil {
+			t.Fatalf("ingest [%d:%d): %v", i, end, err)
+		}
+		last = res
+	}
+	return last
+}
+
+// clustersJSON renders a deterministic answer for bitwise comparison.
+func clustersJSON(t *testing.T, res *ClustersResult) []byte {
+	t.Helper()
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// referenceClusters computes the expected answer by feeding the same
+// prefix through a fresh in-process clusterer.
+func referenceClusters(t *testing.T, cfg SessionConfig, pts [][]float64) *streamkm.Result {
+	t.Helper()
+	w, err := streamkm.NewWindowedClusterer(cfg.Dim, cfg.windowedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if err := w.Push(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := w.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func assertMatchesReference(t *testing.T, got *ClustersResult, cfg SessionConfig, pts [][]float64) {
+	t.Helper()
+	want := referenceClusters(t, cfg, pts[:got.Consumed])
+	if got.MergeMSE != want.MergeMSE {
+		t.Fatalf("MergeMSE %v, reference %v", got.MergeMSE, want.MergeMSE)
+	}
+	gotB, _ := json.Marshal(got.Centroids)
+	wantB, _ := json.Marshal(want.Centroids)
+	if !bytes.Equal(gotB, wantB) {
+		t.Fatalf("centroids diverge from reference:\n got %s\nwant %s", gotB, wantB)
+	}
+	gw, _ := json.Marshal(got.Weights)
+	ww, _ := json.Marshal(want.Weights)
+	if !bytes.Equal(gw, ww) {
+		t.Fatalf("weights diverge from reference:\n got %s\nwant %s", gw, ww)
+	}
+}
+
+// TestRecoveryBitIdentical is the tentpole contract: drain a server,
+// reopen the same state directory, and the recovered session answers
+// byte-identically to both its pre-drain self and a never-interrupted
+// reference clusterer.
+func TestRecoveryBitIdentical(t *testing.T) {
+	root := t.TempDir()
+	cfg := testWindowedConfig("w1")
+	pts := servePoints(500, cfg.Dim, 7)
+
+	a, err := New(Config{Root: root, FsyncEvery: 1, CheckpointEvery: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCreate(t, a, cfg)
+	mustIngest(t, a, "w1", pts, 33)
+	before, err := a.Clusters(context.Background(), "w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	b, err := New(Config{Root: root, FsyncEvery: 1, CheckpointEvery: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Drain(context.Background())
+	after, err := b.Clusters(context.Background(), "w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Consumed != uint64(len(pts)) {
+		t.Fatalf("recovered %d points, ingested %d", after.Consumed, len(pts))
+	}
+	if got, want := clustersJSON(t, after), clustersJSON(t, before); !bytes.Equal(got, want) {
+		t.Fatalf("recovered answer differs:\n got %s\nwant %s", got, want)
+	}
+	assertMatchesReference(t, after, cfg, pts)
+
+	// The recovered session keeps streaming: push more and stay
+	// bit-identical to an uninterrupted run at the same position.
+	more := servePoints(200, cfg.Dim, 8)
+	mustIngest(t, b, "w1", more, 25)
+	res, err := b.Clusters(context.Background(), "w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesReference(t, res, cfg, append(append([][]float64{}, pts...), more...))
+}
+
+func TestStreamSessionFinish(t *testing.T) {
+	s := newTestServer(t, nil)
+	defer s.Drain(context.Background())
+	cfg := SessionConfig{
+		ID: "st1", Kind: KindStream, Dim: 2, K: 3,
+		ChunkPoints: 30, Restarts: 1, Seed: 5,
+	}
+	pts := servePoints(200, cfg.Dim, 9)
+	mustCreate(t, s, cfg)
+	mustIngest(t, s, "st1", pts, 17)
+
+	res, err := s.Finish(context.Background(), "st1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sc, err := streamkm.NewStreamClusterer(cfg.Dim, cfg.streamOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if err := sc.Push(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := sc.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, _ := json.Marshal(res.Centroids)
+	wantB, _ := json.Marshal(want.Centroids)
+	if !bytes.Equal(gotB, wantB) {
+		t.Fatalf("finish centroids diverge:\n got %s\nwant %s", gotB, wantB)
+	}
+	if _, err := s.Info("st1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("finished session should be gone, got %v", err)
+	}
+}
+
+func TestStreamSessionRecovery(t *testing.T) {
+	root := t.TempDir()
+	cfg := SessionConfig{
+		ID: "st2", Kind: KindStream, Dim: 2, K: 3,
+		ChunkPoints: 25, Restarts: 1, Seed: 6, CheckpointEvery: 60,
+	}
+	pts := servePoints(180, cfg.Dim, 10)
+
+	a, err := New(Config{Root: root, FsyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCreate(t, a, cfg)
+	mustIngest(t, a, "st2", pts, 20)
+	if err := a.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := New(Config{Root: root, FsyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Drain(context.Background())
+	res, err := b.Finish(context.Background(), "st2")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sc, _ := streamkm.NewStreamClusterer(cfg.Dim, cfg.streamOptions())
+	for _, p := range pts {
+		sc.Push(p)
+	}
+	want, err := sc.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, _ := json.Marshal(res.Centroids)
+	wantB, _ := json.Marshal(want.Centroids)
+	if !bytes.Equal(gotB, wantB) {
+		t.Fatalf("recovered stream finish diverges:\n got %s\nwant %s", gotB, wantB)
+	}
+}
+
+func TestAdmissionMemoryBudget(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.Budget = govern.Budget{MemoryBytes: 8 << 10}
+	})
+	defer s.Drain(context.Background())
+	small := testWindowedConfig("fits")
+	small.ChunkPoints = 40
+	mustCreate(t, s, small)
+
+	big := testWindowedConfig("too-big")
+	big.ChunkPoints = 100_000
+	if _, err := s.CreateSession(big); !errors.Is(err, ErrMemory) {
+		t.Fatalf("want ErrMemory, got %v", err)
+	}
+	if s.reg.Counter("serve_rejects", "memory").Value() == 0 {
+		t.Fatal("memory rejection not counted")
+	}
+}
+
+func TestAdmissionSessionLimit(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.MaxSessions = 1 })
+	defer s.Drain(context.Background())
+	mustCreate(t, s, testWindowedConfig("one"))
+	if _, err := s.CreateSession(testWindowedConfig("two")); !errors.Is(err, ErrTooMany) {
+		t.Fatalf("want ErrTooMany, got %v", err)
+	}
+}
+
+func TestIngestValidation(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.MaxBatchPoints = 8 })
+	defer s.Drain(context.Background())
+	cfg := testWindowedConfig("v")
+	mustCreate(t, s, cfg)
+	ctx := context.Background()
+
+	if _, err := s.Ingest(ctx, "v", [][]float64{{1, 2}}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("wrong dim: want ErrBadRequest, got %v", err)
+	}
+	nan := []float64{1, 2, math.NaN()}
+	if _, err := s.Ingest(ctx, "v", [][]float64{nan}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("NaN: want ErrBadRequest, got %v", err)
+	}
+	if _, err := s.Ingest(ctx, "v", servePoints(9, 3, 1)); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("oversized batch: want ErrBadRequest, got %v", err)
+	}
+	if _, err := s.Ingest(ctx, "missing", servePoints(1, 3, 1)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestDrainRefusesNewWork(t *testing.T) {
+	s := newTestServer(t, nil)
+	cfg := testWindowedConfig("d")
+	pts := servePoints(50, cfg.Dim, 3)
+	mustCreate(t, s, cfg)
+	mustIngest(t, s, "d", pts, 10)
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateSession(testWindowedConfig("late")); !errors.Is(err, ErrDraining) {
+		t.Fatalf("create after drain: want ErrDraining, got %v", err)
+	}
+	if _, err := s.Ingest(context.Background(), "d", pts[:1]); !errors.Is(err, ErrDraining) {
+		t.Fatalf("ingest after drain: want ErrDraining, got %v", err)
+	}
+}
+
+// TestHTTPLifecycle drives the full API over real HTTP: create,
+// ingest, query, list, info, metrics, health, evict — plus the 503 +
+// Retry-After shape on refused admissions.
+func TestHTTPLifecycle(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.MaxSessions = 1 })
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(path string, body any) (*http.Response, []byte) {
+		t.Helper()
+		b, _ := json.Marshal(body)
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, out
+	}
+	get := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, out
+	}
+
+	if resp, body := get("/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz %d: %s", resp.StatusCode, body)
+	} else {
+		var h map[string]any
+		if err := json.Unmarshal(body, &h); err != nil {
+			t.Fatal(err)
+		}
+		for _, key := range []string{"version", "revision", "go"} {
+			if h[key] == nil || h[key] == "" {
+				t.Fatalf("healthz missing %q: %s", key, body)
+			}
+		}
+	}
+	if resp, _ := get("/readyz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz %d", resp.StatusCode)
+	}
+
+	cfg := testWindowedConfig("h1")
+	if resp, body := post("/v1/sessions", cfg); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create %d: %s", resp.StatusCode, body)
+	}
+	// The session limit is 1: the next create must be a 503 with a
+	// Retry-After hint, the "never OOM, always retryable" contract.
+	if resp, body := post("/v1/sessions", testWindowedConfig("h2")); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-limit create: want 503, got %d: %s", resp.StatusCode, body)
+	} else if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+
+	pts := servePoints(130, cfg.Dim, 4)
+	for i := 0; i < len(pts); i += 26 {
+		resp, body := post("/v1/sessions/h1/points", map[string]any{"points": pts[i : i+26]})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest %d: %s", resp.StatusCode, body)
+		}
+	}
+	resp, body := get("/v1/sessions/h1/clusters")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("clusters %d: %s", resp.StatusCode, body)
+	}
+	var res ClustersResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Consumed != uint64(len(pts)) || len(res.Centroids) != cfg.K {
+		t.Fatalf("clusters answer off: consumed %d, %d centroids", res.Consumed, len(res.Centroids))
+	}
+	assertMatchesReference(t, &res, cfg, pts)
+
+	if resp, body := get("/v1/sessions"); resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(`"h1"`)) {
+		t.Fatalf("list %d: %s", resp.StatusCode, body)
+	}
+	if resp, body := get("/v1/sessions/h1"); resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(`"active"`)) {
+		t.Fatalf("info %d: %s", resp.StatusCode, body)
+	}
+	if resp, body := get("/v1/sessions/h1/report"); resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("snapshot_queries")) {
+		t.Fatalf("report %d: %s", resp.StatusCode, body)
+	}
+	if resp, body := get("/metrics"); resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("serve_ingest_points")) {
+		t.Fatalf("metrics %d: %s", resp.StatusCode, body)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions/h1", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("evict %d", dresp.StatusCode)
+	}
+	if resp, _ := get("/v1/sessions/h1"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted session: want 404, got %d", resp.StatusCode)
+	}
+}
+
+func TestSessionDeadlineQuarantines(t *testing.T) {
+	s := newTestServer(t, nil)
+	defer s.Drain(context.Background())
+	cfg := testWindowedConfig("dl")
+	cfg.DeadlineSeconds = 0.05
+	mustCreate(t, s, cfg)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		info, err := s.Info("dl")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.State == "quarantined" {
+			if info.Reason == "" {
+				t.Fatal("quarantined without a reason")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session never expired: %+v", info)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := s.Ingest(context.Background(), "dl", servePoints(1, cfg.Dim, 1)); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("ingest into expired session: want ErrQuarantined, got %v", err)
+	}
+	if err := s.Evict(context.Background(), "dl"); err != nil {
+		t.Fatalf("evicting quarantined session: %v", err)
+	}
+}
+
+func TestRecoveredHuskIsVisibleAndDeletable(t *testing.T) {
+	root := t.TempDir()
+	a, err := New(Config{Root: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCreate(t, a, testWindowedConfig("husk"))
+	if err := a.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the meta so recovery cannot rebuild the session.
+	if err := writeTestFile(root+"/sessions/husk/meta.json", []byte("{not json")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{Root: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Drain(context.Background())
+	info, err := b.Info("husk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != "quarantined" || info.Reason == "" {
+		t.Fatalf("husk should be quarantined with a reason, got %+v", info)
+	}
+	if _, err := b.Clusters(context.Background(), "husk"); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("querying husk: want ErrQuarantined, got %v", err)
+	}
+	if err := b.Evict(context.Background(), "husk"); err != nil {
+		t.Fatalf("evicting husk: %v", err)
+	}
+}
+
+func writeTestFile(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644)
+}

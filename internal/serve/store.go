@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+)
+
+// On-disk layout: <root>/sessions/<id>/{meta.json, checkpoint,
+// wal.log}. meta.json is the session's configuration (written once at
+// create); checkpoint is the latest SKMC document (replaced
+// atomically at every compaction); wal.log journals the points since
+// that checkpoint. Recovery = decode checkpoint, replay wal.log.
+const (
+	sessionsDirName    = "sessions"
+	metaFileName       = "meta.json"
+	checkpointFileName = "checkpoint"
+	walFileName        = "wal.log"
+)
+
+// idPattern keeps session IDs filesystem- and URL-safe.
+var idPattern = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$`)
+
+func validSessionID(id string) bool {
+	return idPattern.MatchString(id) && id != "." && id != ".."
+}
+
+func (s *Server) sessionDir(id string) string {
+	return filepath.Join(s.root, sessionsDirName, id)
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry
+// is durable too.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// writeFileAtomic writes via a temp file, fsyncs it, renames it into
+// place, and fsyncs the directory — a reader (including a recovering
+// daemon) sees either the old complete file or the new complete file,
+// never a torn one.
+func writeFileAtomic(dir, name string, write func(io.Writer) error) (err error) {
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	bw := bufio.NewWriter(f)
+	if err = write(bw); err != nil {
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+func saveMeta(dir string, cfg SessionConfig) error {
+	return writeFileAtomic(dir, metaFileName, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(cfg)
+	})
+}
+
+func loadMeta(dir string) (SessionConfig, error) {
+	var cfg SessionConfig
+	b, err := os.ReadFile(filepath.Join(dir, metaFileName))
+	if err != nil {
+		return cfg, err
+	}
+	if err := json.Unmarshal(b, &cfg); err != nil {
+		return cfg, fmt.Errorf("serve: corrupt %s: %w", metaFileName, err)
+	}
+	return cfg, nil
+}

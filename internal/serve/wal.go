@@ -1,0 +1,233 @@
+// Package serve is the daemon-side serving layer: it hosts many
+// concurrent clustering sessions (one windowed or stream clusterer
+// each) behind an HTTP API, journals every ingested point to a
+// per-session write-ahead log, and compacts the log into SKMC
+// checkpoints on a configurable cadence. The robustness contract is
+// the package's reason to exist: a SIGKILL at any instant loses at
+// most the points after the last fsync, and a restarted daemon
+// resumes every session bit-identically from its last durable point
+// (checkpoint + WAL replay); admission control refuses work with 503
+// instead of growing past the memory budget; a per-session watchdog
+// quarantines stalled sessions instead of letting them wedge the
+// daemon; SIGTERM drains gracefully — no new work, flush everything,
+// exit 0.
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+)
+
+// WAL format "SKML" (docs/FORMATS.md): an 8-byte header — magic
+// "SKML", version uint16, dim uint16 — followed by fixed-size
+// records, each seq uint64 | dim float64 coordinates | crc32(IEEE)
+// over the preceding bytes, all big-endian. Records carry strictly
+// sequential seqs; recovery truncates a torn tail at the first
+// short or checksum-failing record and replays only seqs above the
+// checkpoint's covered position, so a crash between a checkpoint
+// rename and the log truncation can never double-apply a point.
+const (
+	walMagic      = "SKML"
+	walVersion    = 1
+	walHeaderSize = 8
+)
+
+func walRecordSize(dim int) int { return 8 + 8*dim + 4 }
+
+// wal is an append-only point journal for one session. It is not
+// safe for concurrent use; the session's worker goroutine owns it.
+type wal struct {
+	f   *os.File
+	w   *bufio.Writer
+	dim int
+	rec []byte
+}
+
+func walHeader(dim int) []byte {
+	hdr := make([]byte, walHeaderSize)
+	copy(hdr, walMagic)
+	binary.BigEndian.PutUint16(hdr[4:], walVersion)
+	binary.BigEndian.PutUint16(hdr[6:], uint16(dim))
+	return hdr
+}
+
+// createWAL truncates (or creates) the log at path and writes a
+// durable header.
+func createWAL(path string, dim int) (*wal, error) {
+	if dim <= 0 || dim > math.MaxUint16 {
+		return nil, fmt.Errorf("serve: wal dim %d out of range", dim)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(walHeader(dim)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &wal{f: f, w: bufio.NewWriter(f), dim: dim, rec: make([]byte, walRecordSize(dim))}, nil
+}
+
+// openWALAppend opens an existing, already-validated log for
+// appending (replayWAL has verified the header and truncated any
+// torn tail).
+func openWALAppend(path string, dim int) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &wal{f: f, w: bufio.NewWriter(f), dim: dim, rec: make([]byte, walRecordSize(dim))}, nil
+}
+
+// Append journals one point under the given sequence number. The
+// record lands in the write buffer; it is durable only after Sync.
+func (w *wal) Append(seq uint64, point []float64) error {
+	if len(point) != w.dim {
+		return fmt.Errorf("serve: wal point dim %d, want %d", len(point), w.dim)
+	}
+	rec := w.rec
+	binary.BigEndian.PutUint64(rec, seq)
+	for i, v := range point {
+		binary.BigEndian.PutUint64(rec[8+8*i:], math.Float64bits(v))
+	}
+	binary.BigEndian.PutUint32(rec[len(rec)-4:], crc32.ChecksumIEEE(rec[:len(rec)-4]))
+	_, err := w.w.Write(rec)
+	return err
+}
+
+// Sync flushes buffered records and fsyncs the file: everything
+// appended so far survives a crash.
+func (w *wal) Sync() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Reset discards buffered records and truncates the log back to its
+// header — called right after a checkpoint made every journaled
+// point redundant.
+func (w *wal) Reset() error {
+	w.w.Reset(w.f)
+	if err := w.f.Truncate(walHeaderSize); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(walHeaderSize, io.SeekStart); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Close flushes best-effort and closes the file.
+func (w *wal) Close() error {
+	ferr := w.w.Flush()
+	cerr := w.f.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
+
+// replayWAL scans the log at path, invoking apply for every intact
+// record with seq > base in order, and truncates a torn tail at the
+// first short or corrupt record. It returns the last sequence the
+// log accounts for (base when the log adds nothing) and whether the
+// caller must recreate the file (missing, or its header itself was
+// torn — both mean no replayable records survived, which is safe
+// exactly because the header is only ever rewritten when a fresh
+// checkpoint already covers every logged point).
+func replayWAL(path string, dim int, base uint64, apply func(seq uint64, point []float64) error) (last uint64, reinit bool, err error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return base, true, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	defer f.Close()
+
+	hdr := make([]byte, walHeaderSize)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return base, true, nil
+		}
+		return 0, false, err
+	}
+	if string(hdr[:4]) != walMagic {
+		return 0, false, fmt.Errorf("serve: wal magic %q, want %q", hdr[:4], walMagic)
+	}
+	if v := binary.BigEndian.Uint16(hdr[4:]); v != walVersion {
+		return 0, false, fmt.Errorf("serve: wal version %d, want %d", v, walVersion)
+	}
+	if d := int(binary.BigEndian.Uint16(hdr[6:])); d != dim {
+		return 0, false, fmt.Errorf("serve: wal dim %d, want %d", d, dim)
+	}
+
+	rs := walRecordSize(dim)
+	rec := make([]byte, rs)
+	point := make([]float64, dim)
+	off := int64(walHeaderSize)
+	last = base
+	havePrev := false
+	var prev uint64
+	for {
+		_, rerr := io.ReadFull(f, rec)
+		if errors.Is(rerr, io.EOF) {
+			return last, false, nil
+		}
+		torn := errors.Is(rerr, io.ErrUnexpectedEOF)
+		if rerr != nil && !torn {
+			return 0, false, rerr
+		}
+		if !torn {
+			want := binary.BigEndian.Uint32(rec[rs-4:])
+			torn = crc32.ChecksumIEEE(rec[:rs-4]) != want
+		}
+		seq := binary.BigEndian.Uint64(rec)
+		if !torn {
+			if havePrev && seq != prev+1 {
+				torn = true
+			} else if !havePrev && seq > base+1 {
+				// A gap between the checkpoint's covered position and
+				// the first journaled record means points were lost on
+				// disk; no truncation can recover a consistent state.
+				return 0, false, fmt.Errorf("serve: wal starts at seq %d, checkpoint covers %d: %d points missing", seq, base, seq-base-1)
+			}
+		}
+		if torn {
+			// Everything from this record on is unusable (a partial
+			// write, bit rot, or a sequence break); cut it off so the
+			// reopened log appends cleanly after the last good record.
+			if terr := os.Truncate(path, off); terr != nil {
+				return 0, false, terr
+			}
+			return last, false, nil
+		}
+		prev, havePrev = seq, true
+		off += int64(rs)
+		if seq <= base {
+			continue // already covered by the checkpoint
+		}
+		for i := range point {
+			point[i] = math.Float64frombits(binary.BigEndian.Uint64(rec[8+8*i:]))
+		}
+		if err := apply(seq, point); err != nil {
+			return 0, false, fmt.Errorf("serve: wal replay at seq %d: %w", seq, err)
+		}
+		last = seq
+	}
+}

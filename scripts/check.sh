@@ -53,12 +53,21 @@ go test -race -run 'TestGovernorStallSoak' -count=1 -timeout 120s ./internal/eng
 # payloads, so these two targets guard the network boundary too.
 go test -run='^$' -fuzz='^FuzzBucketReader$' -fuzztime=5s ./internal/grid
 go test -run='^$' -fuzz='^FuzzSalvageBucket$' -fuzztime=5s ./internal/grid
+# Checkpoint decoders (SKMC v1 stream + v2 windowed) guard the serving
+# daemon's recovery path; the committed corpus pins both versions.
+go test -run='^$' -fuzz='^FuzzCheckpoint$' -fuzztime=5s .
 
 # Distributed chaos smoke: the loopback coordinator/worker suite under
 # injected frame faults must stay bit-identical to the local engine.
 # The explicit -timeout bounds a lost-liveness regression (a retry loop
 # that never gives up) instead of wedging the check.
 go test -race -run 'TestChaos' -count=1 -timeout 300s ./internal/dist
+
+# Serving-layer chaos smoke: crash-image recovery, torn WALs, injected
+# disk-full checkpoints, queue overflow, and goroutine-leak sweeps for
+# the daemon, all under the race detector. The subprocess SIGKILL test
+# (TestDaemon*) runs too: it builds cmd/streamkmd and kills it for real.
+go test -race -run 'TestChaos|TestLeak|TestDaemon' -count=1 -timeout 300s ./internal/serve
 
 # Benchmark smoke: one 10-iteration pass over the hot-path kernels so a
 # change that panics or deadlocks only under -bench (e.g. the restart

@@ -1,0 +1,68 @@
+#!/bin/sh
+# Daemon chaos smoke: exercise the real streamkmd binary through a
+# SIGKILL crash/recovery cycle and save its /metrics output for
+# inspection. The in-process chaos suite (internal/serve/chaos_test.go)
+# covers the fault matrix; this script is the operational drill — the
+# exact commands an operator would run — kept as a CI artifact.
+#
+# Usage: scripts/daemon_chaos.sh [metrics-out.txt]
+set -eux
+cd "$(dirname "$0")/.."
+
+OUT="${1:-daemon-chaos-metrics.txt}"
+STATE="$(mktemp -d)"
+BIN="$(mktemp -d)/streamkmd"
+trap 'kill $PID 2>/dev/null || true; rm -rf "$STATE" "$(dirname "$BIN")"' EXIT
+
+go build -o "$BIN" ./cmd/streamkmd
+
+start_daemon() {
+  "$BIN" -listen 127.0.0.1:0 -state "$STATE" >"$STATE/stdout" 2>"$STATE/stderr" &
+  PID=$!
+  # The first stdout line announces the bound address.
+  for _ in $(seq 1 100); do
+    ADDR="$(awk '/listening on/ {print $4; exit}' "$STATE/stdout" 2>/dev/null || true)"
+    [ -n "$ADDR" ] && return 0
+    kill -0 "$PID" || { cat "$STATE/stderr" >&2; exit 1; }
+    sleep 0.1
+  done
+  echo "daemon never announced its address" >&2
+  exit 1
+}
+
+start_daemon
+curl -sSf -X POST "http://$ADDR/v1/sessions" -d '{
+  "id": "drill", "kind": "windowed", "dim": 2, "k": 3,
+  "chunk_points": 50, "window_chunks": 3, "seed": 7, "fsync_every": 1}' >/dev/null
+
+# Ingest a few durable batches, then record the answer.
+i=0
+while [ $i -lt 6 ]; do
+  curl -sSf -X POST "http://$ADDR/v1/sessions/drill/points" \
+    -d "{\"points\": [[$i.1, 0.2], [$i.9, 4.1], [0.2, $i.1], [4.0, $i.8]]}" >/dev/null
+  i=$((i + 1))
+done
+BEFORE="$(curl -sSf "http://$ADDR/v1/sessions/drill/clusters")"
+
+# The crash: no drain, no flush, no goodbye.
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+
+# Recovery must reproduce the answer byte-for-byte (every point was
+# fsynced before its ack).
+start_daemon
+AFTER="$(curl -sSf "http://$ADDR/v1/sessions/drill/clusters")"
+if [ "$BEFORE" != "$AFTER" ]; then
+  echo "FAIL: recovered answer differs from pre-crash answer" >&2
+  echo "before: $BEFORE" >&2
+  echo "after:  $AFTER" >&2
+  exit 1
+fi
+
+curl -sSf "http://$ADDR/healthz"
+curl -sSf "http://$ADDR/metrics" >"$OUT"
+
+# Graceful exit: SIGTERM must drain and exit 0.
+kill "$PID"
+wait "$PID"
+echo "daemon chaos drill passed; metrics in $OUT"

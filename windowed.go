@@ -24,6 +24,7 @@ import (
 // intermediate snapshots were taken.
 type WindowedClusterer struct {
 	inner *core.WindowedClusterer
+	opts  WindowedOptions
 
 	reg         *obs.Registry
 	snapSeconds *obs.Histogram
@@ -61,27 +62,34 @@ type WindowedOptions struct {
 // NewWindowedClusterer returns a windowed clusterer for dim-dimensional
 // points.
 func NewWindowedClusterer(dim int, opts WindowedOptions) (*WindowedClusterer, error) {
-	inner, err := core.NewWindowedClusterer(dim, core.WindowConfig{
-		K:             opts.K,
-		ChunkPoints:   opts.ChunkPoints,
-		WindowChunks:  opts.WindowChunks,
-		Restarts:      opts.Restarts,
-		Epsilon:       opts.Epsilon,
-		MaxIterations: opts.MaxIterations,
-		Accelerate:    opts.Accelerate,
-		Seed:          opts.Seed,
-		MergeSolver:   opts.MergeSolver,
-		ResyncEvery:   opts.ResyncEvery,
-	})
+	w := &WindowedClusterer{opts: opts}
+	inner, err := core.NewWindowedClusterer(dim, w.coreConfig())
 	if err != nil {
 		return nil, err
 	}
 	reg := obs.NewRegistry()
-	return &WindowedClusterer{
-		inner:       inner,
-		reg:         reg,
-		snapSeconds: reg.Histogram(obs.SnapshotSeconds, "snapshot", obs.LatencyBuckets()),
-	}, nil
+	w.inner = inner
+	w.reg = reg
+	w.snapSeconds = reg.Histogram(obs.SnapshotSeconds, "snapshot", obs.LatencyBuckets())
+	return w, nil
+}
+
+// coreConfig maps the facade options onto the core configuration; the
+// checkpoint restore path uses it to rebuild the inner clusterer with
+// exactly the shape the options describe.
+func (w *WindowedClusterer) coreConfig() core.WindowConfig {
+	return core.WindowConfig{
+		K:             w.opts.K,
+		ChunkPoints:   w.opts.ChunkPoints,
+		WindowChunks:  w.opts.WindowChunks,
+		Restarts:      w.opts.Restarts,
+		Epsilon:       w.opts.Epsilon,
+		MaxIterations: w.opts.MaxIterations,
+		Accelerate:    w.opts.Accelerate,
+		Seed:          w.opts.Seed,
+		MergeSolver:   w.opts.MergeSolver,
+		ResyncEvery:   w.opts.ResyncEvery,
+	}
 }
 
 // Push consumes one point (the slice is copied).
