@@ -1,0 +1,221 @@
+// Package loadgen is the production-scale load harness: a deterministic
+// corpus generator plus a rate-controlled replayer that drives the
+// clustering engine (in-process) and the streamkmd daemon (over HTTP)
+// through capacity scenarios — throughput ceiling, latency under load,
+// governor degradation, and crash recovery — and emits a versioned
+// streamkm.load-report/v1 document. The kernel bench gate answers "did
+// a hot loop regress?"; this package answers the system questions the
+// paper's premise raises: how many points per second and sessions does
+// the engine sustain under a relentless, memory-bounded stream, what
+// does an interleaved snapshot query cost at p99, and how fast does a
+// killed daemon return to ready.
+package loadgen
+
+import (
+	"fmt"
+
+	"streamkm/internal/dataset"
+	"streamkm/internal/rng"
+)
+
+// Corpus shapes. Each is a different stress on the chunk-size/quality
+// trade-off: a stationary mixture is the paper's own workload, drift
+// moves the ground truth under the window, burst violates the uniform
+// arrival assumption, and adversarial feeds the degenerate inputs
+// (duplicates, extreme outliers) that break naive summaries.
+const (
+	ShapeMixture     = "mixture"     // stationary Gaussian mixture (the paper's cell model)
+	ShapeDrift       = "drift"       // component means translate linearly with stream position
+	ShapeBurst       = "burst"       // periodic windows where a single component dominates
+	ShapeAdversarial = "adversarial" // duplicates runs + far outliers over a base mixture
+)
+
+// CorpusSpec fully determines a corpus: equal specs generate
+// bit-identical point streams, per session, forever.
+type CorpusSpec struct {
+	Shape    string // one of the Shape* constants (default mixture)
+	Dim      int    // point dimensionality (default 6, the paper's)
+	Clusters int    // latent mixture components (default 8)
+	Seed     uint64 // master seed; session i derives its own generator
+}
+
+func (s CorpusSpec) withDefaults() CorpusSpec {
+	if s.Shape == "" {
+		s.Shape = ShapeMixture
+	}
+	if s.Dim <= 0 {
+		s.Dim = 6
+	}
+	if s.Clusters <= 0 {
+		s.Clusters = 8
+	}
+	return s
+}
+
+// Validate rejects unknown shapes before any generation happens.
+func (s CorpusSpec) Validate() error {
+	switch s.withDefaults().Shape {
+	case ShapeMixture, ShapeDrift, ShapeBurst, ShapeAdversarial:
+		return nil
+	default:
+		return fmt.Errorf("loadgen: unknown corpus shape %q", s.Shape)
+	}
+}
+
+// Corpus hands out deterministic per-session point streams. It is
+// stateless after construction; streams own all mutable state, so
+// concurrent sessions never contend.
+type Corpus struct {
+	spec CorpusSpec
+}
+
+// NewCorpus validates the spec and returns the corpus.
+func NewCorpus(spec CorpusSpec) (*Corpus, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Corpus{spec: spec.withDefaults()}, nil
+}
+
+// Spec returns the (defaulted) spec the corpus generates from.
+func (c *Corpus) Spec() CorpusSpec { return c.spec }
+
+// Dim returns the point dimensionality.
+func (c *Corpus) Dim() int { return c.spec.Dim }
+
+// Stream returns session i's point stream, positioned at the start.
+// The stream is deterministic in (spec, session): re-creating it
+// replays the identical points, which is what makes a crash-recovery
+// drill's "re-ingest the same stream" step meaningful.
+func (c *Corpus) Stream(session int) *PointStream {
+	// splitmix-style decorrelation of the per-session seed so adjacent
+	// sessions don't share low-bit structure.
+	seed := c.spec.Seed + uint64(session)*0x9e3779b97f4a7c15
+	r := rng.New(seed)
+	mix := mustCellMixture(c.spec, r)
+	s := &PointStream{
+		shape: c.spec.Shape,
+		dim:   c.spec.Dim,
+		mix:   mix,
+		rng:   r,
+	}
+	switch c.spec.Shape {
+	case ShapeDrift:
+		// One drift velocity per dimension, a few percent of the
+		// separation scale per 1000 points: over a typical window the
+		// ground truth visibly moves without teleporting.
+		s.drift = make([]float64, c.spec.Dim)
+		for j := range s.drift {
+			s.drift[j] = (r.Float64()*2 - 1) * 0.5e-3 * corpusSeparation
+		}
+	}
+	return s
+}
+
+// corpusSeparation mirrors dataset.DefaultCellSpec's mean-separation
+// scale; drift velocities and outlier magnitudes are expressed in it.
+const corpusSeparation = 12.0
+
+func mustCellMixture(spec CorpusSpec, r *rng.RNG) *dataset.Mixture {
+	mix, err := dataset.NewCellMixture(dataset.CellSpec{
+		Dim:         spec.Dim,
+		Clusters:    spec.Clusters,
+		Spread:      1.0,
+		Separation:  corpusSeparation,
+		WeightSkew:  0.5,
+		NoiseFrac:   0.02,
+		NoiseSpread: 2.5 * corpusSeparation,
+	}, r)
+	if err != nil {
+		// CorpusSpec.Validate plus withDefaults make every CellSpec
+		// field legal; a failure here is a programming error.
+		panic(fmt.Sprintf("loadgen: cell mixture: %v", err))
+	}
+	return mix
+}
+
+// PointStream generates one session's points in order. Not safe for
+// concurrent use; each session goroutine owns its stream.
+type PointStream struct {
+	shape string
+	dim   int
+	mix   *dataset.Mixture
+	rng   *rng.RNG
+	pos   int // points generated so far
+
+	drift   []float64 // ShapeDrift: per-dimension velocity
+	dupLeft int       // ShapeAdversarial: remaining copies of dup
+	dup     []float64
+}
+
+// Pos returns the number of points generated so far.
+func (s *PointStream) Pos() int { return s.pos }
+
+// Next fills dst with the stream's next len(dst) points, allocating
+// each point slice (batches cross API boundaries that retain them).
+func (s *PointStream) Next(dst [][]float64) {
+	for i := range dst {
+		p := make([]float64, s.dim)
+		s.fill(p)
+		dst[i] = p
+	}
+}
+
+// Batch returns the next n points.
+func (s *PointStream) Batch(n int) [][]float64 {
+	out := make([][]float64, n)
+	s.Next(out)
+	return out
+}
+
+func (s *PointStream) fill(p []float64) {
+	switch s.shape {
+	case ShapeDrift:
+		s.mix.SampleInto(s.rng, p)
+		for j := range p {
+			p[j] += s.drift[j] * float64(s.pos)
+		}
+	case ShapeBurst:
+		// Every 1000 points, a 200-point burst re-draws from a single
+		// component by rejection-free trick: sample, then collapse to
+		// component 0's neighborhood by blending toward its mean.
+		if s.pos%1000 >= 800 {
+			c := s.mix.Component(0)
+			for j := range p {
+				p[j] = c.Mean[j] + c.StdDev[j]*s.rng.NormFloat64()
+			}
+		} else {
+			s.mix.SampleInto(s.rng, p)
+		}
+	case ShapeAdversarial:
+		switch {
+		case s.dupLeft > 0:
+			// A run of byte-identical points: stresses empty-cluster
+			// reseeding and degenerate within-chunk variance.
+			copy(p, s.dup)
+			s.dupLeft--
+		case s.pos%257 == 0:
+			// A far outlier, ~20 separations out along a random axis.
+			s.mix.SampleInto(s.rng, p)
+			axis := s.rng.Intn(s.dim)
+			sign := 1.0
+			if s.rng.Float64() < 0.5 {
+				sign = -1
+			}
+			p[axis] += sign * 20 * corpusSeparation
+		case s.pos%113 == 0:
+			// Start a duplicate run of 16 copies of this point.
+			s.mix.SampleInto(s.rng, p)
+			if s.dup == nil {
+				s.dup = make([]float64, s.dim)
+			}
+			copy(s.dup, p)
+			s.dupLeft = 15
+		default:
+			s.mix.SampleInto(s.rng, p)
+		}
+	default: // ShapeMixture
+		s.mix.SampleInto(s.rng, p)
+	}
+	s.pos++
+}

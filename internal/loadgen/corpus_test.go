@@ -1,0 +1,102 @@
+package loadgen
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+var allShapes = []string{ShapeMixture, ShapeDrift, ShapeBurst, ShapeAdversarial}
+
+// The whole harness hangs off this invariant: equal (spec, session)
+// must replay bit-identical points, across every shape, so a committed
+// baseline and a CI run measure the same workload.
+func TestCorpusBitReproducible(t *testing.T) {
+	for _, shape := range allShapes {
+		spec := CorpusSpec{Shape: shape, Dim: 5, Clusters: 4, Seed: 42}
+		c1, err := NewCorpus(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", shape, err)
+		}
+		c2, err := NewCorpus(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", shape, err)
+		}
+		for _, session := range []int{0, 1, 7} {
+			a := c1.Stream(session).Batch(2048)
+			b := c2.Stream(session).Batch(2048)
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("%s session %d: independent corpora disagree", shape, session)
+			}
+		}
+	}
+}
+
+// A re-created stream replays from position zero — the property the
+// recovery drill's "re-ingest the same stream" step relies on.
+func TestCorpusStreamReplays(t *testing.T) {
+	c, err := NewCorpus(CorpusSpec{Shape: ShapeAdversarial, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := c.Stream(3).Batch(500)
+	again := c.Stream(3).Batch(500)
+	if !reflect.DeepEqual(first, again) {
+		t.Fatal("fresh stream did not replay the original points")
+	}
+}
+
+func TestCorpusSessionsDecorrelated(t *testing.T) {
+	c, err := NewCorpus(CorpusSpec{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := c.Stream(0).Batch(64)
+	b := c.Stream(1).Batch(64)
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("sessions 0 and 1 generated identical points")
+	}
+}
+
+func TestCorpusDefaultsAndValidation(t *testing.T) {
+	c, err := NewCorpus(CorpusSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := c.Spec()
+	if spec.Shape != ShapeMixture || spec.Dim != 6 || spec.Clusters != 8 {
+		t.Fatalf("unexpected defaults: %+v", spec)
+	}
+	if _, err := NewCorpus(CorpusSpec{Shape: "bogus"}); err == nil {
+		t.Fatal("unknown shape accepted")
+	}
+}
+
+// Every shape must emit finite points of the right dimensionality, and
+// the adversarial shape must actually contain duplicate runs.
+func TestCorpusShapesWellFormed(t *testing.T) {
+	for _, shape := range allShapes {
+		c, err := NewCorpus(CorpusSpec{Shape: shape, Dim: 4, Seed: 5})
+		if err != nil {
+			t.Fatalf("%s: %v", shape, err)
+		}
+		pts := c.Stream(0).Batch(1000)
+		dups := 0
+		for i, p := range pts {
+			if len(p) != 4 {
+				t.Fatalf("%s: point %d has dim %d", shape, i, len(p))
+			}
+			for _, v := range p {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s: point %d not finite: %v", shape, i, p)
+				}
+			}
+			if i > 0 && reflect.DeepEqual(pts[i-1], p) {
+				dups++
+			}
+		}
+		if shape == ShapeAdversarial && dups == 0 {
+			t.Error("adversarial shape produced no duplicate runs")
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package loadgen
+
+import (
+	"errors"
+	"time"
+)
+
+// Sentinel errors the scenarios dispatch on. Anything else returned by
+// a driver aborts the scenario: the harness measures capacity, it does
+// not paper over broken systems.
+var (
+	// ErrBackpressure is a retryable refusal: the daemon answered 503
+	// (queue full, memory budget, session limit, draining) or the
+	// in-process governor refused admission. The throughput scenario
+	// counts these as saturation evidence.
+	ErrBackpressure = errors.New("loadgen: backpressure")
+	// ErrNotReady means a query arrived before the session had a full
+	// chunk to answer from; scenarios skip it rather than fail.
+	ErrNotReady = errors.New("loadgen: clustering not ready")
+)
+
+// SessionSpec is the clusterer shape every load session runs:
+// windowed sessions (the serving layer's continuous-query regime), so
+// snapshot queries are meaningful mid-stream.
+type SessionSpec struct {
+	Dim          int    `json:"dim"`
+	K            int    `json:"k"`
+	ChunkPoints  int    `json:"chunk_points"`
+	WindowChunks int    `json:"window_chunks"`
+	Seed         uint64 `json:"seed"`
+	// FsyncEvery is the daemon driver's WAL fsync cadence (ignored by
+	// the engine driver, which has no WAL). 0 = daemon default.
+	FsyncEvery int `json:"fsync_every,omitempty"`
+}
+
+// RecoveryTiming breaks down a Recover call: ReadySeconds is the time
+// until the system accepted work again (the daemon's /readyz, the
+// engine's resumed clusterers), QuerySeconds until every recovered
+// session answered a snapshot query.
+type RecoveryTiming struct {
+	ReadySeconds float64 `json:"ready_seconds"`
+	QuerySeconds float64 `json:"query_seconds"`
+	Sessions     int     `json:"sessions"`
+}
+
+// Driver abstracts the system under test. Open admits up to n
+// sessions and returns how many were accepted (governor refusals are
+// data, not errors); sessions are then addressed 0..admitted-1.
+// Ingest and Query may be called concurrently for different sessions
+// but serially per session. Crash destroys the live system keeping
+// only durable state; Recover rebuilds it and reports how long that
+// took. Close releases everything.
+type Driver interface {
+	Name() string
+	Open(spec SessionSpec, n int) (admitted int, err error)
+	Ingest(session int, points [][]float64) error
+	Query(session int) error
+	Crash() error
+	Recover() (RecoveryTiming, error)
+	Close() error
+}
+
+// nowSeconds measures a step under the harness clock.
+func nowSeconds(clock Clock, from time.Time) float64 {
+	return clock.Now().Sub(from).Seconds()
+}

@@ -1,0 +1,94 @@
+package loadgen
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts wall time so the rate controller is testable under a
+// fake clock and the scenarios can bound themselves without real
+// sleeps in unit tests.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+// RealClock is the production clock.
+type RealClock struct{}
+
+// Now returns time.Now.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// Sleep calls time.Sleep.
+func (RealClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// FakeClock is a deterministic manual clock: Sleep advances it
+// instantly. Safe for concurrent use so paced goroutines can share it
+// in tests.
+type FakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewFakeClock starts a fake clock at an arbitrary fixed origin.
+func NewFakeClock() *FakeClock {
+	return &FakeClock{now: time.Unix(1_000_000, 0)}
+}
+
+// Now returns the fake time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep advances the fake time by d without blocking.
+func (c *FakeClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// Pacer holds a point stream at a target rate: after Wait(n) returns,
+// the caller may send n more points without exceeding rate points/sec
+// measured from the pacer's start. The schedule is absolute — the i-th
+// point's due time is start + i/rate — so a caller that falls behind
+// (the system under test is the bottleneck) is never asked to sleep,
+// and the achieved-vs-offered gap becomes the saturation signal the
+// throughput scenario reads. Not safe for concurrent use; each session
+// goroutine paces itself.
+type Pacer struct {
+	rate  float64 // points per second; <= 0 means unpaced
+	clock Clock
+	start time.Time
+	sent  int64
+}
+
+// NewPacer returns a pacer over clock (nil = RealClock) at rate
+// points/sec (<= 0 = unpaced: Wait never sleeps).
+func NewPacer(rate float64, clock Clock) *Pacer {
+	if clock == nil {
+		clock = RealClock{}
+	}
+	return &Pacer{rate: rate, clock: clock, start: clock.Now()}
+}
+
+// Wait blocks until n more points are due, then accounts them.
+func (p *Pacer) Wait(n int) {
+	if p.rate > 0 {
+		due := p.start.Add(time.Duration(float64(p.sent) / p.rate * float64(time.Second)))
+		if d := due.Sub(p.clock.Now()); d > 0 {
+			p.clock.Sleep(d)
+		}
+	}
+	p.sent += int64(n)
+}
+
+// Sent returns the points accounted so far.
+func (p *Pacer) Sent() int64 { return p.sent }
+
+// Elapsed returns the time since the pacer started.
+func (p *Pacer) Elapsed() time.Duration { return p.clock.Now().Sub(p.start) }

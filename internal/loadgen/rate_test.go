@@ -1,0 +1,67 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// Under a fake clock the pacer's absolute schedule is exact: after
+// waiting for N points at R points/sec, the clock has advanced to the
+// last point's due time, (N-batch)/R after start.
+func TestPacerHoldsTargetRate(t *testing.T) {
+	clock := NewFakeClock()
+	p := NewPacer(1000, clock)
+	const batch, batches = 10, 100
+	for i := 0; i < batches; i++ {
+		p.Wait(batch)
+	}
+	if got := p.Sent(); got != batch*batches {
+		t.Fatalf("Sent() = %d, want %d", got, batch*batches)
+	}
+	// The final Wait slept until 990 points were due (the schedule
+	// gates entry, not completion): 990/1000 s.
+	want := 990 * time.Millisecond
+	if got := p.Elapsed(); got != want {
+		t.Fatalf("Elapsed() = %v, want %v", got, want)
+	}
+	rate := float64(p.Sent()) / (p.Elapsed() + 10*time.Millisecond).Seconds()
+	if math.Abs(rate-1000) > 1 {
+		t.Fatalf("achieved rate %.1f pps, want ~1000", rate)
+	}
+}
+
+// A caller already behind schedule is never made to sleep: offered load
+// stays honest when the system under test is the bottleneck.
+func TestPacerNeverSleepsWhenBehind(t *testing.T) {
+	clock := NewFakeClock()
+	p := NewPacer(1000, clock)
+	p.Wait(100)                  // due immediately; no sleep
+	clock.Sleep(5 * time.Second) // simulate a slow system under test
+	before := clock.Now()
+	p.Wait(100)
+	if got := clock.Now().Sub(before); got != 0 {
+		t.Fatalf("pacer slept %v while behind schedule", got)
+	}
+}
+
+func TestPacerUnpaced(t *testing.T) {
+	clock := NewFakeClock()
+	p := NewPacer(0, clock)
+	for i := 0; i < 1000; i++ {
+		p.Wait(100)
+	}
+	if p.Elapsed() != 0 {
+		t.Fatalf("unpaced pacer advanced the clock by %v", p.Elapsed())
+	}
+}
+
+func TestFakeClockSleepAdvances(t *testing.T) {
+	clock := NewFakeClock()
+	t0 := clock.Now()
+	clock.Sleep(3 * time.Second)
+	clock.Sleep(-time.Second) // negative sleeps must not rewind time
+	if got := clock.Now().Sub(t0); got != 3*time.Second {
+		t.Fatalf("fake clock advanced %v, want 3s", got)
+	}
+}

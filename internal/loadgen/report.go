@@ -1,0 +1,126 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// ReportSchema identifies the load-report document format, versioned
+// alongside the run-report schema. Bump only on incompatible changes.
+const ReportSchema = "streamkm.load-report/v1"
+
+// Gate is one regression-gated scalar: scripts/load_gate.sh compares
+// each gate's value against the committed baseline's same-named gate,
+// in the stated direction, at a noise-tolerant threshold. Keeping the
+// gate list inside the report means the comparator needs no knowledge
+// of the report's nested shape.
+type Gate struct {
+	Metric    string  `json:"metric"`
+	Value     float64 `json:"value"`
+	Direction string  `json:"direction"` // "higher" (regression = lower) or "lower" (regression = higher)
+}
+
+// DriverReport is one driver's results across the four scenarios.
+// Sections are nil when a scenario was skipped.
+type DriverReport struct {
+	Driver      string             `json:"driver"`
+	Throughput  *ThroughputResult  `json:"throughput,omitempty"`
+	Latency     *LatencyResult     `json:"latency,omitempty"`
+	Degradation *DegradationResult `json:"degradation,omitempty"`
+	Recovery    *RecoveryResult    `json:"recovery,omitempty"`
+}
+
+// Report is the versioned load-report document. Field order is fixed
+// and every nested structure is a struct (no maps), so marshaling a
+// given Report value is byte-stable.
+type Report struct {
+	Schema  string         `json:"schema"`
+	Profile string         `json:"profile"`
+	Corpus  CorpusSpec     `json:"corpus"`
+	Session SessionSpec    `json:"session"`
+	Drivers []DriverReport `json:"drivers"`
+	Gates   []Gate         `json:"gates"`
+}
+
+// BuildGates derives the gated scalars from the scenario results and
+// stores them sorted by metric name. Call after the driver sections
+// are filled in.
+func (r *Report) BuildGates() {
+	var gates []Gate
+	add := func(metric string, v float64, dir string) {
+		gates = append(gates, Gate{Metric: metric, Value: v, Direction: dir})
+	}
+	for _, d := range r.Drivers {
+		p := d.Driver + "_"
+		if t := d.Throughput; t != nil {
+			add(p+"ceiling_pps", t.CeilingPPS, "higher")
+		}
+		if l := d.Latency; l != nil {
+			add(p+"ingest_p99_ms", l.Ingest.P99Ms, "lower")
+			if l.Query.Count > 0 {
+				add(p+"query_p99_ms", l.Query.P99Ms, "lower")
+			}
+		}
+		if g := d.Degradation; g != nil {
+			add(p+"degraded_achieved_pps", g.AchievedPPS, "higher")
+		}
+		if rec := d.Recovery; rec != nil {
+			add(p+"recovery_ready_seconds", rec.ReadySeconds, "lower")
+			add(p+"recovery_query_seconds", rec.QuerySeconds, "lower")
+		}
+	}
+	sort.Slice(gates, func(i, j int) bool { return gates[i].Metric < gates[j].Metric })
+	r.Gates = gates
+}
+
+// Validate checks the document's invariants: the schema tag, unique
+// driver names, legal gate directions, and that every present gate
+// value is finite-by-construction (JSON cannot carry NaN, so this is
+// a marshal-time guarantee re-checked for clarity).
+func (r *Report) Validate() error {
+	if r.Schema != ReportSchema {
+		return fmt.Errorf("loadgen: report schema %q, want %q", r.Schema, ReportSchema)
+	}
+	if len(r.Drivers) == 0 {
+		return fmt.Errorf("loadgen: report has no driver sections")
+	}
+	seen := map[string]bool{}
+	for _, d := range r.Drivers {
+		if d.Driver == "" {
+			return fmt.Errorf("loadgen: driver section with empty name")
+		}
+		if seen[d.Driver] {
+			return fmt.Errorf("loadgen: duplicate driver section %q", d.Driver)
+		}
+		seen[d.Driver] = true
+	}
+	for _, g := range r.Gates {
+		if g.Direction != "higher" && g.Direction != "lower" {
+			return fmt.Errorf("loadgen: gate %q has direction %q (want higher or lower)", g.Metric, g.Direction)
+		}
+	}
+	return nil
+}
+
+// JSON marshals the report with indentation and a trailing newline —
+// the exact bytes cmd/loadgen writes and LOAD_*.json commits.
+func (r *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// ParseReport decodes and validates a load report.
+func ParseReport(b []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("loadgen: parsing report: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

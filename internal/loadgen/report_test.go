@@ -1,0 +1,138 @@
+package loadgen
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		Schema:  ReportSchema,
+		Profile: "test",
+		Corpus:  CorpusSpec{Shape: ShapeMixture, Dim: 6, Clusters: 8, Seed: 1},
+		Session: SessionSpec{Dim: 6, K: 8, ChunkPoints: 256, WindowChunks: 4, Seed: 1},
+		Drivers: []DriverReport{
+			{
+				Driver: "engine",
+				Throughput: &ThroughputResult{
+					Sessions: 4, CeilingPPS: 100000, Saturated: true,
+					Steps: []ThroughputStep{{OfferedPPS: 100000, AchievedPPS: 100000, Passed: true}},
+				},
+				Latency: &LatencyResult{
+					Sessions: 4, OfferedPPS: 1000, AchievedPPS: 990,
+					Ingest:  LatencySummary{Count: 10, P99Ms: 1.5},
+					Query:   LatencySummary{Count: 5, P99Ms: 0.5},
+					Queries: 5,
+				},
+				Degradation: &DegradationResult{
+					OfferedSessions: 8, AdmittedSessions: 4, RefusedSessions: 4, AchievedPPS: 500,
+				},
+				Recovery: &RecoveryResult{
+					Sessions: 4, PrefillPoints: 512, ReadySeconds: 0.01, QuerySeconds: 0.02,
+				},
+			},
+		},
+	}
+}
+
+// The committed baseline must be byte-stable: marshaling the same
+// document twice, or a decode/re-encode round trip, yields identical
+// bytes, so regenerating an unchanged report never dirties git.
+func TestReportJSONByteStable(t *testing.T) {
+	r := sampleReport()
+	r.BuildGates()
+	a, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two marshals of one report differ")
+	}
+	parsed, err := ParseReport(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := parsed.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, c) {
+		t.Fatal("decode/re-encode round trip changed the bytes")
+	}
+	if a[len(a)-1] != '\n' {
+		t.Fatal("report does not end in a newline")
+	}
+}
+
+func TestBuildGates(t *testing.T) {
+	r := sampleReport()
+	r.BuildGates()
+	want := map[string]string{
+		"engine_ceiling_pps":            "higher",
+		"engine_ingest_p99_ms":          "lower",
+		"engine_query_p99_ms":           "lower",
+		"engine_degraded_achieved_pps":  "higher",
+		"engine_recovery_ready_seconds": "lower",
+		"engine_recovery_query_seconds": "lower",
+	}
+	if len(r.Gates) != len(want) {
+		t.Fatalf("got %d gates, want %d: %+v", len(r.Gates), len(want), r.Gates)
+	}
+	for _, g := range r.Gates {
+		if want[g.Metric] != g.Direction {
+			t.Errorf("gate %s: direction %q, want %q", g.Metric, g.Direction, want[g.Metric])
+		}
+	}
+	if !sort.SliceIsSorted(r.Gates, func(i, j int) bool { return r.Gates[i].Metric < r.Gates[j].Metric }) {
+		t.Error("gates are not sorted by metric")
+	}
+	// A driver with zero queries must not emit a query-latency gate.
+	r.Drivers[0].Latency.Query.Count = 0
+	r.BuildGates()
+	for _, g := range r.Gates {
+		if g.Metric == "engine_query_p99_ms" {
+			t.Error("query p99 gate emitted with zero queries")
+		}
+	}
+}
+
+func TestReportValidate(t *testing.T) {
+	good := sampleReport()
+	good.BuildGates()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+
+	r := sampleReport()
+	r.Schema = "streamkm.load-report/v0"
+	if err := r.Validate(); err == nil {
+		t.Error("wrong schema accepted")
+	}
+
+	r = sampleReport()
+	r.Drivers = append(r.Drivers, DriverReport{Driver: "engine"})
+	if err := r.Validate(); err == nil {
+		t.Error("duplicate driver accepted")
+	}
+
+	r = sampleReport()
+	r.Drivers = nil
+	if err := r.Validate(); err == nil {
+		t.Error("empty driver list accepted")
+	}
+
+	r = sampleReport()
+	r.Gates = []Gate{{Metric: "x", Value: 1, Direction: "sideways"}}
+	if err := r.Validate(); err == nil {
+		t.Error("bad gate direction accepted")
+	}
+
+	if _, err := ParseReport([]byte("{")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}

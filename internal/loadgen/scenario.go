@@ -1,0 +1,457 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamkm/internal/obs"
+)
+
+// Scenario names, as they appear in reports and on the CLI.
+const (
+	ScenarioThroughput  = "throughput"
+	ScenarioLatency     = "latency"
+	ScenarioDegradation = "degradation"
+	ScenarioRecovery    = "recovery"
+)
+
+// pacedStats aggregates one paced run across all session workers.
+type pacedStats struct {
+	attempts       int64 // ingest calls issued
+	rejects        int64 // calls refused with ErrBackpressure
+	acceptedPoints int64 // points the system under test accepted
+	elapsed        float64
+}
+
+func (s pacedStats) achievedPPS(fallback time.Duration) float64 {
+	el := s.elapsed
+	if el <= 0 {
+		el = fallback.Seconds()
+	}
+	if el <= 0 {
+		return 0
+	}
+	return float64(s.acceptedPoints) / el
+}
+
+// pacedRun drives `sessions` concurrent workers for `duration`: each
+// worker paces its share of totalRate, pulls batches from its stream,
+// and ingests them. hook (optional) runs after every ingest attempt
+// with the call's latency and outcome — the latency scenario hangs its
+// histograms and interleaved queries on it. Backpressure is counted
+// and the worker moves on (the pacer keeps the offered rate honest);
+// any other error aborts the run.
+func pacedRun(d Driver, streams []*PointStream, totalRate float64, duration time.Duration,
+	batch int, clock Clock, hook func(session, batchIdx int, seconds float64, err error) error) (pacedStats, error) {
+
+	sessions := len(streams)
+	perRate := totalRate / float64(sessions)
+	start := clock.Now()
+	end := start.Add(duration)
+
+	var stats pacedStats
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for si := 0; si < sessions; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			pacer := NewPacer(perRate, clock)
+			stream := streams[si]
+			for batchIdx := 0; clock.Now().Before(end); batchIdx++ {
+				pacer.Wait(batch)
+				pts := stream.Batch(batch)
+				t0 := clock.Now()
+				err := d.Ingest(si, pts)
+				secs := clock.Now().Sub(t0).Seconds()
+				atomic.AddInt64(&stats.attempts, 1)
+				switch {
+				case err == nil:
+					atomic.AddInt64(&stats.acceptedPoints, int64(len(pts)))
+				case errors.Is(err, ErrBackpressure):
+					atomic.AddInt64(&stats.rejects, 1)
+				default:
+					firstErr.CompareAndSwap(nil, fmt.Errorf("loadgen: session %d ingest: %w", si, err))
+					return
+				}
+				if hook != nil {
+					if herr := hook(si, batchIdx, secs, err); herr != nil {
+						firstErr.CompareAndSwap(nil, herr)
+						return
+					}
+				}
+			}
+		}(si)
+	}
+	wg.Wait()
+	stats.elapsed = clock.Now().Sub(start).Seconds()
+	if v := firstErr.Load(); v != nil {
+		return stats, v.(error)
+	}
+	return stats, nil
+}
+
+// openStreams admits sessions and builds one corpus stream per
+// admitted session.
+func openStreams(d Driver, c *Corpus, spec SessionSpec, sessions int) ([]*PointStream, int, error) {
+	admitted, err := d.Open(spec, sessions)
+	if err != nil {
+		return nil, admitted, err
+	}
+	if admitted == 0 {
+		return nil, 0, nil
+	}
+	streams := make([]*PointStream, admitted)
+	for i := range streams {
+		streams[i] = c.Stream(i)
+	}
+	return streams, admitted, nil
+}
+
+// ThroughputOptions shapes the step-load ceiling search.
+type ThroughputOptions struct {
+	Sessions     int
+	BatchPoints  int
+	StartRate    float64 // total offered points/sec, first step
+	MaxRate      float64 // search stops above this
+	StepFactor   float64 // rate multiplier per step (0 = 2)
+	StepDuration time.Duration
+	Spec         SessionSpec
+	Clock        Clock
+	Logf         func(format string, args ...any)
+}
+
+// ThroughputStep is one step of the search.
+type ThroughputStep struct {
+	OfferedPPS  float64 `json:"offered_pps"`
+	AchievedPPS float64 `json:"achieved_pps"`
+	RejectFrac  float64 `json:"reject_frac"`
+	Passed      bool    `json:"passed"`
+}
+
+// ThroughputResult is the ceiling search's outcome. CeilingPPS is the
+// highest achieved ingest rate observed at any step — when a step
+// fails, its achieved rate IS the capacity estimate (offered load
+// beyond capacity doesn't raise it). Saturated reports that the
+// search actually found the wall rather than running out of MaxRate.
+type ThroughputResult struct {
+	Sessions   int              `json:"sessions"`
+	CeilingPPS float64          `json:"ceiling_pps"`
+	Saturated  bool             `json:"saturated"`
+	Steps      []ThroughputStep `json:"steps"`
+}
+
+// stepPassFrac and stepRejectFrac are the step SLO: a step passes when
+// the system kept up with >= 85% of the offered rate while refusing
+// <= 5% of batches.
+const (
+	stepPassFrac   = 0.85
+	stepRejectFrac = 0.05
+)
+
+// RunThroughput performs the step-load search: offered rate starts at
+// StartRate and multiplies by StepFactor until a step fails its SLO
+// (saturation) or MaxRate is exceeded. It terminates on any driver —
+// a server refusing every batch fails the first step immediately.
+func RunThroughput(d Driver, c *Corpus, opt ThroughputOptions) (*ThroughputResult, error) {
+	clock := opt.Clock
+	if clock == nil {
+		clock = RealClock{}
+	}
+	factor := opt.StepFactor
+	if factor <= 1 {
+		factor = 2
+	}
+	streams, admitted, err := openStreams(d, c, opt.Spec, opt.Sessions)
+	if err != nil {
+		return nil, err
+	}
+	res := &ThroughputResult{Sessions: admitted}
+	if admitted == 0 {
+		res.Saturated = true // nothing was even admitted
+		return res, nil
+	}
+	for rate := opt.StartRate; rate <= opt.MaxRate; rate *= factor {
+		stats, err := pacedRun(d, streams, rate, opt.StepDuration, opt.BatchPoints, clock, nil)
+		if err != nil {
+			return nil, err
+		}
+		achieved := stats.achievedPPS(opt.StepDuration)
+		rejectFrac := 0.0
+		if stats.attempts > 0 {
+			rejectFrac = float64(stats.rejects) / float64(stats.attempts)
+		}
+		step := ThroughputStep{
+			OfferedPPS:  rate,
+			AchievedPPS: achieved,
+			RejectFrac:  rejectFrac,
+			Passed:      achieved >= stepPassFrac*rate && rejectFrac <= stepRejectFrac,
+		}
+		res.Steps = append(res.Steps, step)
+		if achieved > res.CeilingPPS {
+			res.CeilingPPS = achieved
+		}
+		if opt.Logf != nil {
+			opt.Logf("loadgen: %s throughput step offered=%.0f pps achieved=%.0f pps rejects=%.1f%% passed=%t",
+				d.Name(), rate, achieved, 100*rejectFrac, step.Passed)
+		}
+		if !step.Passed {
+			res.Saturated = true
+			break
+		}
+	}
+	return res, nil
+}
+
+// LatencyOptions shapes the latency-under-load scenario.
+type LatencyOptions struct {
+	Sessions    int
+	BatchPoints int
+	RatePPS     float64 // total offered rate, held for Duration
+	Duration    time.Duration
+	// QueryEveryBatches interleaves one snapshot query per session
+	// every this many ingest batches (0 = 8) — the fast-query regime
+	// of interleaved continuous queries under write pressure.
+	QueryEveryBatches int
+	Spec              SessionSpec
+	Clock             Clock
+}
+
+// LatencySummary condenses one obs latency histogram.
+type LatencySummary struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+func summarize(h obs.HistogramSnapshot) LatencySummary {
+	s := LatencySummary{Count: h.Count}
+	if h.Count == 0 {
+		return s
+	}
+	const ms = 1e3
+	s.MeanMs = h.Sum / float64(h.Count) * ms
+	s.P50Ms = h.Quantile(0.50) * ms
+	s.P95Ms = h.Quantile(0.95) * ms
+	s.P99Ms = h.Quantile(0.99) * ms
+	s.MaxMs = h.Max * ms
+	return s
+}
+
+// LatencyResult reports ingest and interleaved snapshot-query latency
+// distributions under a fixed offered rate.
+type LatencyResult struct {
+	Sessions        int            `json:"sessions"`
+	OfferedPPS      float64        `json:"offered_pps"`
+	AchievedPPS     float64        `json:"achieved_pps"`
+	Ingest          LatencySummary `json:"ingest"`
+	Query           LatencySummary `json:"query"`
+	Queries         int64          `json:"queries"`
+	QueriesNotReady int64          `json:"queries_not_ready"`
+	IngestRejects   int64          `json:"ingest_rejects"`
+}
+
+// RunLatency holds RatePPS for Duration while interleaving snapshot
+// queries, and reports both paths' latency histograms through the obs
+// quantile estimator.
+func RunLatency(d Driver, c *Corpus, opt LatencyOptions) (*LatencyResult, error) {
+	clock := opt.Clock
+	if clock == nil {
+		clock = RealClock{}
+	}
+	queryEvery := opt.QueryEveryBatches
+	if queryEvery <= 0 {
+		queryEvery = 8
+	}
+	streams, admitted, err := openStreams(d, c, opt.Spec, opt.Sessions)
+	if err != nil {
+		return nil, err
+	}
+	if admitted == 0 {
+		return nil, errors.New("loadgen: latency scenario admitted zero sessions")
+	}
+	reg := obs.NewRegistry()
+	ingestH := reg.Histogram("load_ingest_seconds", "", obs.LatencyBuckets())
+	queryH := reg.Histogram("load_query_seconds", "", obs.LatencyBuckets())
+	var queries, notReady int64
+	hook := func(si, batchIdx int, seconds float64, ingErr error) error {
+		if ingErr == nil {
+			ingestH.Observe(seconds)
+		}
+		if batchIdx%queryEvery != queryEvery-1 {
+			return nil
+		}
+		t0 := clock.Now()
+		qerr := d.Query(si)
+		switch {
+		case qerr == nil:
+			queryH.Observe(clock.Now().Sub(t0).Seconds())
+			atomic.AddInt64(&queries, 1)
+		case errors.Is(qerr, ErrNotReady):
+			atomic.AddInt64(&notReady, 1)
+		case errors.Is(qerr, ErrBackpressure):
+			atomic.AddInt64(&notReady, 1)
+		default:
+			return fmt.Errorf("loadgen: session %d query: %w", si, qerr)
+		}
+		return nil
+	}
+	stats, err := pacedRun(d, streams, opt.RatePPS, opt.Duration, opt.BatchPoints, clock, hook)
+	if err != nil {
+		return nil, err
+	}
+	snap := reg.Snapshot()
+	res := &LatencyResult{
+		Sessions:        admitted,
+		OfferedPPS:      opt.RatePPS,
+		AchievedPPS:     stats.achievedPPS(opt.Duration),
+		Queries:         queries,
+		QueriesNotReady: notReady,
+		IngestRejects:   stats.rejects,
+	}
+	if h := snap.Histogram("load_ingest_seconds", ""); h != nil {
+		res.Ingest = summarize(*h)
+	}
+	if h := snap.Histogram("load_query_seconds", ""); h != nil {
+		res.Query = summarize(*h)
+	}
+	return res, nil
+}
+
+// DegradationOptions shapes the governor-pressure scenario. The caller
+// constructs the driver with the induced memory budget (the engine
+// driver's MemoryBudget field, the daemon's -mem-budget flag); the
+// scenario measures what that budget does to admissions and ingest.
+type DegradationOptions struct {
+	Sessions    int // offered sessions (the budget admits fewer)
+	BatchPoints int
+	RatePPS     float64
+	Duration    time.Duration
+	Spec        SessionSpec
+	Clock       Clock
+}
+
+// DegradationResult reports how the system degraded under the budget:
+// refused admissions, refused ingest, and the rate it still sustained.
+// The governor contract is graceful degradation — refusals are typed
+// 503s and admitted sessions keep working — so AchievedPPS > 0 with
+// RejectFrac < 1 is the passing shape.
+type DegradationResult struct {
+	OfferedSessions  int     `json:"offered_sessions"`
+	AdmittedSessions int     `json:"admitted_sessions"`
+	RefusedSessions  int     `json:"refused_sessions"`
+	IngestAttempts   int64   `json:"ingest_attempts"`
+	IngestRejects    int64   `json:"ingest_rejects"`
+	RejectFrac       float64 `json:"reject_frac"`
+	AchievedPPS      float64 `json:"achieved_pps"`
+}
+
+// RunDegradation offers more sessions than the budget can hold and
+// measures the degradation surface.
+func RunDegradation(d Driver, c *Corpus, opt DegradationOptions) (*DegradationResult, error) {
+	clock := opt.Clock
+	if clock == nil {
+		clock = RealClock{}
+	}
+	streams, admitted, err := openStreams(d, c, opt.Spec, opt.Sessions)
+	if err != nil {
+		return nil, err
+	}
+	res := &DegradationResult{
+		OfferedSessions:  opt.Sessions,
+		AdmittedSessions: admitted,
+		RefusedSessions:  opt.Sessions - admitted,
+	}
+	if admitted == 0 {
+		return res, nil
+	}
+	stats, err := pacedRun(d, streams, opt.RatePPS, opt.Duration, opt.BatchPoints, clock, nil)
+	if err != nil {
+		return nil, err
+	}
+	res.IngestAttempts = stats.attempts
+	res.IngestRejects = stats.rejects
+	if stats.attempts > 0 {
+		res.RejectFrac = float64(stats.rejects) / float64(stats.attempts)
+	}
+	res.AchievedPPS = stats.achievedPPS(opt.Duration)
+	return res, nil
+}
+
+// RecoveryOptions shapes the crash-recovery drill.
+type RecoveryOptions struct {
+	Sessions      int
+	BatchPoints   int
+	PrefillPoints int // per session, unpaced; must cover >= 1 chunk
+	Spec          SessionSpec
+	Clock         Clock
+}
+
+// RecoveryResult reports the climb back from a crash.
+type RecoveryResult struct {
+	Sessions      int     `json:"sessions"`
+	PrefillPoints int     `json:"prefill_points"`
+	ReadySeconds  float64 `json:"ready_seconds"`
+	QuerySeconds  float64 `json:"query_seconds"`
+}
+
+// RunRecovery prefills every session past its first chunk, verifies
+// queries answer, crashes the system under test, and times the
+// recovery until it is ready and answering again.
+func RunRecovery(d Driver, c *Corpus, opt RecoveryOptions) (*RecoveryResult, error) {
+	streams, admitted, err := openStreams(d, c, opt.Spec, opt.Sessions)
+	if err != nil {
+		return nil, err
+	}
+	if admitted == 0 {
+		return nil, errors.New("loadgen: recovery scenario admitted zero sessions")
+	}
+	batch := opt.BatchPoints
+	if batch <= 0 {
+		batch = 64
+	}
+	var wg sync.WaitGroup
+	var firstErr atomic.Value
+	for si := 0; si < admitted; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			for sent := 0; sent < opt.PrefillPoints; sent += batch {
+				n := batch
+				if rem := opt.PrefillPoints - sent; rem < n {
+					n = rem
+				}
+				if err := d.Ingest(si, streams[si].Batch(n)); err != nil && !errors.Is(err, ErrBackpressure) {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("loadgen: prefill session %d: %w", si, err))
+					return
+				}
+			}
+			if err := d.Query(si); err != nil && !errors.Is(err, ErrNotReady) {
+				firstErr.CompareAndSwap(nil, fmt.Errorf("loadgen: pre-crash query session %d: %w", si, err))
+			}
+		}(si)
+	}
+	wg.Wait()
+	if v := firstErr.Load(); v != nil {
+		return nil, v.(error)
+	}
+	if err := d.Crash(); err != nil {
+		return nil, err
+	}
+	timing, err := d.Recover()
+	if err != nil {
+		return nil, err
+	}
+	return &RecoveryResult{
+		Sessions:      timing.Sessions,
+		PrefillPoints: opt.PrefillPoints,
+		ReadySeconds:  timing.ReadySeconds,
+		QuerySeconds:  timing.QuerySeconds,
+	}, nil
+}

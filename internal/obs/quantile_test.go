@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func snapFor(bounds []float64, values ...float64) HistogramSnapshot {
+	h := NewHistogram(bounds)
+	for _, v := range values {
+		h.Observe(v)
+	}
+	return h.snapshot("q", "")
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	s := snapFor(LatencyBuckets())
+	if !math.IsNaN(s.Quantile(0.5)) {
+		t.Fatal("empty histogram did not answer NaN")
+	}
+}
+
+func TestQuantileSingleValue(t *testing.T) {
+	s := snapFor(LatencyBuckets(), 0.02)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 0.02 {
+			t.Fatalf("Quantile(%v) = %v, want 0.02 (the only observation)", q, got)
+		}
+	}
+}
+
+func TestQuantileUniform(t *testing.T) {
+	bounds := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i + 1) // 1..100, 10 per bucket
+	}
+	s := snapFor(bounds, vals...)
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 50}, {0.95, 95}, {0.99, 99},
+	} {
+		got := s.Quantile(tc.q)
+		// Exactness is bucket-width-limited; one bucket of tolerance.
+		if math.Abs(got-tc.want) > 10 {
+			t.Errorf("Quantile(%v) = %v, want ~%v", tc.q, got, tc.want)
+		}
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %v, want Min", got)
+	}
+	if got := s.Quantile(1); got != 100 {
+		t.Errorf("Quantile(1) = %v, want Max", got)
+	}
+}
+
+// Quantiles are monotone in q and always inside [Min, Max], even with
+// mass in the overflow bucket.
+func TestQuantileMonotoneAndClamped(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	s := snapFor(bounds, 0.5, 1.5, 3, 7, 9, 11) // two observations overflow
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		if v < s.Min || v > s.Max {
+			t.Fatalf("Quantile(%v) = %v outside [%v, %v]", q, v, s.Min, s.Max)
+		}
+		prev = v
+	}
+	if got := s.Quantile(0.99); got != s.Max {
+		t.Errorf("rank in the overflow bucket answered %v, want Max %v", got, s.Max)
+	}
+}

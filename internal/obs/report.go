@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"math"
 	"sort"
 )
 
@@ -57,6 +58,55 @@ type HistogramSnapshot struct {
 	Max      float64       `json:"max"`
 	Buckets  []BucketCount `json:"buckets"`
 	Overflow int64         `json:"overflow"`
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed
+// distribution by linear interpolation inside the bucket the rank falls
+// in — the standard fixed-bucket estimator. The first bucket
+// interpolates from the observed minimum and every estimate is clamped
+// to [Min, Max], so a histogram whose mass sits in one wide bucket
+// still answers with a value the distribution actually contained.
+// Observations that landed in the overflow bucket answer Max. Returns
+// NaN for an empty histogram.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return h.Min
+	}
+	if q >= 1 {
+		return h.Max
+	}
+	rank := q * float64(h.Count)
+	var cum int64
+	lower := h.Min
+	for _, b := range h.Buckets {
+		if b.Count > 0 {
+			next := float64(cum + b.Count)
+			if rank <= next {
+				upper := math.Min(b.LE, h.Max)
+				if upper < lower {
+					upper = lower
+				}
+				frac := (rank - float64(cum)) / float64(b.Count)
+				return clamp(lower+(upper-lower)*frac, h.Min, h.Max)
+			}
+			cum += b.Count
+			lower = math.Min(b.LE, h.Max)
+		}
+	}
+	return h.Max // rank falls in the overflow bucket
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
 }
 
 func (h HistogramSnapshot) less(o HistogramSnapshot) bool {

@@ -6,12 +6,26 @@
 # catches order-of-magnitude regressions (an accidental quadratic loop,
 # a lost fast path), not percent-level drift.
 #
-# Usage: scripts/bench_gate.sh current.json baseline.json [threshold]
+# Usage: scripts/bench_gate.sh current.json [baseline.json] [threshold]
+#
+# When the baseline is omitted or given as "latest", the newest
+# committed BENCH_PR*.json (by version sort, so PR10 > PR8) is used —
+# the gate always compares against the most recent accepted numbers
+# instead of whichever file was hardcoded last.
 set -eu
 
-CUR="${1:?usage: bench_gate.sh current.json baseline.json [threshold]}"
-BASE="${2:?usage: bench_gate.sh current.json baseline.json [threshold]}"
+CUR="${1:?usage: bench_gate.sh current.json [baseline.json] [threshold]}"
+BASE="${2:-latest}"
 THRESHOLD="${3:-2.5}"
+
+if [ "$BASE" = "latest" ]; then
+    BASE=$(ls "$(dirname "$0")/.."/BENCH_PR*.json 2>/dev/null | sort -V | tail -n 1)
+    if [ -z "$BASE" ]; then
+        echo "error: no committed BENCH_PR*.json baseline found" >&2
+        exit 1
+    fi
+    echo "bench gate: baseline $(basename "$BASE") (latest committed)"
+fi
 
 awk -v curfile="$CUR" -v basefile="$BASE" -v thr="$THRESHOLD" '
 function parse(file, into,   line, name) {

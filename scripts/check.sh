@@ -73,3 +73,10 @@ go test -race -run 'TestChaos|TestLeak|TestDaemon' -count=1 -timeout 300s ./inte
 # change that panics or deadlocks only under -bench (e.g. the restart
 # worker pool) fails the check without costing real benchmark time.
 go test -run='^$' -bench=. -benchtime=10x ./internal/kmeans ./internal/vector
+
+# Load-harness smoke: the tiny profile through both drivers (in-process
+# engine and a spawned streamkmd), all four scenarios. Seconds, not
+# minutes, and ungated — it proves the harness and both drivers work;
+# the gated capacity run is CI's `load` job with the ci profile.
+go run ./cmd/loadgen -profile smoke -driver both -out /tmp/load-smoke.$$.json
+rm -f /tmp/load-smoke.$$.json

@@ -1,0 +1,81 @@
+#!/bin/sh
+# Compare a load report's gates against a committed baseline report,
+# failing on direction-aware regressions. Each streamkm.load-report/v1
+# document carries a flat "gates" array of {metric, value, direction}
+# triples, so this comparator needs no knowledge of the report's nested
+# scenario shape.
+#
+# A "higher" gate (throughput) regresses when the current value falls
+# below baseline/THRESHOLD; a "lower" gate (latency, recovery time)
+# regresses when it rises above baseline*THRESHOLD. Load numbers swing
+# far more than microbenchmarks on shared runners, so the default
+# threshold is 4.0x — this catches cliffs (a lost fast path, an
+# accidental serial bottleneck), not percent-level drift. On top of the
+# ratio, small absolute slack keyed off the metric's unit suffix stops
+# microsecond-scale values from tripping the ratio on scheduler noise:
+# _ms gates get 5ms of slack, _seconds gates 0.5s, _pps gates 500 pps.
+#
+# Usage: scripts/load_gate.sh current.json baseline.json [threshold]
+set -eu
+
+CUR="${1:?usage: load_gate.sh current.json baseline.json [threshold]}"
+BASE="${2:?usage: load_gate.sh current.json baseline.json [threshold]}"
+THRESHOLD="${3:-4.0}"
+
+awk -v curfile="$CUR" -v basefile="$BASE" -v thr="$THRESHOLD" '
+# parse reads the MarshalIndent layout cmd/loadgen writes: inside the
+# "gates" array each triple spans three lines, "metric" first. Only
+# gate objects contain a "metric" key, so keying the state machine on
+# it is unambiguous.
+function parse(file, vals, dirs,   line, name) {
+    name = ""
+    while ((getline line < file) > 0) {
+        if (match(line, /"metric": "[^"]*"/)) {
+            name = substr(line, RSTART + 11, RLENGTH - 12)
+            order[++norder] = name
+        } else if (name != "" && match(line, /"value": [0-9.eE+-]*/)) {
+            vals[name] = substr(line, RSTART + 9, RLENGTH - 9) + 0
+        } else if (name != "" && match(line, /"direction": "[^"]*"/)) {
+            dirs[name] = substr(line, RSTART + 14, RLENGTH - 15)
+            name = ""
+        }
+    }
+    close(file)
+}
+function slack(name) {
+    if (name ~ /_ms$/)      return 5.0
+    if (name ~ /_seconds$/) return 0.5
+    if (name ~ /_pps$/)     return 500.0
+    return 0
+}
+BEGIN {
+    parse(basefile, base, basedir)
+    nbase = norder
+    parse(curfile, current, curdir)
+    status = 0
+    for (i = 1; i <= nbase; i++) {
+        name = order[i]
+        if (!(name in current)) {
+            printf "MISSING  %-32s (in baseline, absent from current report)\n", name
+            status = 1
+            continue
+        }
+        dir = basedir[name]
+        b = base[name]; c = current[name]; s = slack(name)
+        if (dir == "higher")
+            bad = (c < b / thr - s)
+        else
+            bad = (c > b * thr + s)
+        verdict = bad ? "REGRESS" : "ok"
+        printf "%-8s %-32s baseline %14.3f   current %14.3f   (%s is worse, limit %.1fx)\n",
+            verdict, name, b, c, (dir == "higher" ? "lower" : "higher"), thr
+        if (bad) status = 1
+    }
+    if (nbase == 0) {
+        print "error: no gates found in " basefile > "/dev/stderr"
+        status = 1
+    }
+    print (status ? "load gate: FAIL" : "load gate: ok")
+    exit status
+}
+'
